@@ -1,0 +1,62 @@
+// Ablation: the paper's k * max_queue hop-latency heuristic vs a direct
+// in-switch dwell-time measurement (what a full INT deployment exports).
+// The heuristic needs a hand-tuned k; the measurement needs an extra
+// register but no tuning. How much scheduling quality does the heuristic
+// give up?
+//
+// Flags: --full, --seed=N, --reps=N
+
+#include "bench_common.hpp"
+
+using namespace intsched;
+
+int main(int argc, char** argv) {
+  const auto opts = benchtool::parse_options(argc, argv);
+  std::cout << "Ablation: k*maxQueue heuristic vs measured hop latency\n\n";
+
+  exp::ExperimentConfig base =
+      benchtool::make_base_config(edge::WorkloadKind::kServerless, opts);
+  std::vector<exp::ExperimentResult> nearest_runs;
+  for (std::int32_t rep = 0; rep < opts.reps; ++rep) {
+    exp::ExperimentConfig cfg = base;
+    cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
+    cfg.policy = core::PolicyKind::kNearest;
+    nearest_runs.push_back(exp::run_experiment(cfg));
+  }
+
+  exp::TextTable table{"completion-time gain vs nearest"};
+  table.set_headers({"hop-latency source", "overall gain"});
+  struct Arm {
+    const char* name;
+    core::QueueStatistic stat;
+  };
+  for (const Arm arm :
+       {Arm{"k * max queue (paper)", core::QueueStatistic::kMaximum},
+        Arm{"measured dwell time", core::QueueStatistic::kMeasuredHopLatency}}) {
+    std::vector<exp::ExperimentResult> runs;
+    for (std::int32_t rep = 0; rep < opts.reps; ++rep) {
+      exp::ExperimentConfig cfg = base;
+      cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
+      cfg.policy = core::PolicyKind::kIntDelay;
+      cfg.ranker.queue_statistic = arm.stat;
+      runs.push_back(exp::run_experiment(cfg));
+    }
+    double treat = 0.0;
+    double baseline = 0.0;
+    for (const edge::TaskClass cls : edge::kAllTaskClasses) {
+      const auto t = benchtool::pooled_class_mean(runs, cls, false);
+      const auto n = benchtool::pooled_class_mean(nearest_runs, cls, false);
+      if (t && n) {
+        treat += *t;
+        baseline += *n;
+      }
+    }
+    table.add_row(
+        {arm.name, exp::fmt_percent(exp::percent_gain(baseline, treat))});
+  }
+  table.print(std::cout);
+  std::cout << "(the measured variant charges true queueing delay — often "
+               "milliseconds — where the paper's k = 20 ms deliberately "
+               "overreacts to any queue; both beat the baseline)\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: sensitivity of delay-based ranking to the queue-to-latency
+// conversion factor k (Algorithm 1). The paper fixes k = 20 ms and defers
+// tuning to future work; this sweep shows the gain-vs-nearest as k moves
+// from "ignore queues" (k ~ 0) to "panic at any queue" (k = 100 ms).
+//
+// Flags: --full, --seed=N, --reps=N
+
+#include "bench_common.hpp"
+
+using namespace intsched;
+
+int main(int argc, char** argv) {
+  const auto opts = benchtool::parse_options(argc, argv);
+
+  std::cout << "Ablation: Algorithm 1 conversion factor k\n"
+               "(paper default k = 20 ms; small k under-reacts to "
+               "congestion, huge k chases any transient queue)\n\n";
+
+  // Baseline (nearest) once per rep; reused across the k sweep.
+  exp::ExperimentConfig base =
+      benchtool::make_base_config(edge::WorkloadKind::kServerless, opts);
+  std::vector<exp::ExperimentResult> nearest_runs;
+  for (std::int32_t rep = 0; rep < opts.reps; ++rep) {
+    exp::ExperimentConfig cfg = base;
+    cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
+    cfg.policy = core::PolicyKind::kNearest;
+    nearest_runs.push_back(exp::run_experiment(cfg));
+  }
+
+  exp::TextTable table{"completion-time gain vs nearest, by k"};
+  table.set_headers({"k (ms)", "VS", "S", "M", "L", "overall"});
+  for (const std::int64_t k_ms : {0, 5, 10, 20, 50, 100}) {
+    std::vector<exp::ExperimentResult> runs;
+    for (std::int32_t rep = 0; rep < opts.reps; ++rep) {
+      exp::ExperimentConfig cfg = base;
+      cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
+      cfg.policy = core::PolicyKind::kIntDelay;
+      cfg.ranker.k_factor = sim::SimTime::milliseconds(k_ms);
+      runs.push_back(exp::run_experiment(cfg));
+    }
+    std::vector<std::string> row{std::to_string(k_ms)};
+    sim::RunningStats treat_all;
+    sim::RunningStats base_all;
+    for (const edge::TaskClass cls : edge::kAllTaskClasses) {
+      const auto t = benchtool::pooled_class_mean(runs, cls, false);
+      const auto n = benchtool::pooled_class_mean(nearest_runs, cls, false);
+      row.push_back(t && n ? exp::fmt_percent(exp::percent_gain(*n, *t))
+                           : std::string{"n/a"});
+      if (t && n) {
+        treat_all.add(*t);
+        base_all.add(*n);
+      }
+    }
+    row.push_back(exp::fmt_percent(
+        exp::percent_gain(base_all.sum(), treat_all.sum())));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "intsched/exp/experiment.hpp"
+#include "intsched/exp/report.hpp"
+#include "intsched/sim/stats.hpp"
+#include "intsched/sim/strfmt.hpp"
+
+namespace intsched::benchtool {
+
+struct Options {
+  /// --full: paper scale (200 tasks per run). Default is a scaled-down run
+  /// so the whole bench suite finishes in a few minutes.
+  bool full = false;
+  bool csv = false;
+  std::uint64_t seed = 42;
+  /// Independent repetitions (seed, seed+1, ...) pooled into the reported
+  /// statistics; per-class means from a single 200-task run are noisy.
+  std::int32_t reps = 2;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") opts.full = true;
+    if (arg == "--csv") opts.csv = true;
+    if (arg.rfind("--seed=", 0) == 0) opts.seed = std::stoull(arg.substr(7));
+    if (arg.rfind("--reps=", 0) == 0) {
+      opts.reps = std::stoi(arg.substr(7));
+    }
+  }
+  return opts;
+}
+
+/// Baseline experiment configuration shared by the Fig. 5-9 benches.
+inline exp::ExperimentConfig make_base_config(edge::WorkloadKind kind,
+                                              const Options& opts) {
+  exp::ExperimentConfig cfg;
+  cfg.seed = opts.seed;
+  cfg.workload.kind = kind;
+  cfg.workload.total_tasks = opts.full ? 200 : 120;
+  // Same mean task arrival rate for both workload kinds.
+  cfg.workload.job_interval = kind == edge::WorkloadKind::kServerless
+                                  ? sim::SimTime::seconds(2)
+                                  : sim::SimTime::seconds(6);
+  cfg.background.mode = exp::BackgroundMode::kRandomPairs;
+  return cfg;
+}
+
+/// All repetitions of all policy arms of one experiment.
+using SuiteResults =
+    std::map<core::PolicyKind, std::vector<exp::ExperimentResult>>;
+
+/// Runs `reps` repetitions (consecutive seeds) of every policy arm; each
+/// repetition's arms share a seed, so per-rep comparisons stay paired.
+inline SuiteResults run_suite(const exp::ExperimentConfig& base,
+                              const std::vector<core::PolicyKind>& arms,
+                              std::int32_t reps) {
+  SuiteResults all;
+  for (std::int32_t rep = 0; rep < reps; ++rep) {
+    exp::ExperimentConfig cfg = base;
+    cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
+    for (const core::PolicyKind policy : arms) {
+      cfg.policy = policy;
+      all[policy].push_back(exp::run_experiment(cfg));
+    }
+  }
+  return all;
+}
+
+/// Task-level pooled mean of completion or transfer time for one class
+/// across all repetitions of one arm.
+inline std::optional<double> pooled_class_mean(
+    const std::vector<exp::ExperimentResult>& reps, edge::TaskClass cls,
+    bool transfer_time) {
+  sim::RunningStats stats;
+  for (const exp::ExperimentResult& r : reps) {
+    for (const edge::TaskRecord* record : r.metrics.records()) {
+      if (record->cls != cls || !record->is_complete()) continue;
+      if (transfer_time) {
+        if (record->transfer_end < sim::SimTime::zero()) continue;
+        stats.add(record->transfer_time().to_seconds());
+      } else {
+        stats.add(record->completion_time().to_seconds());
+      }
+    }
+  }
+  if (stats.count() == 0) return std::nullopt;
+  return stats.mean();
+}
+
+/// Pools per-task paired gains (vs the nearest arm, matched by rep and
+/// task id) across repetitions.
+inline std::vector<double> pooled_gains(const SuiteResults& results,
+                                        core::PolicyKind treatment,
+                                        bool use_transfer_time) {
+  std::vector<double> gains;
+  const auto& treat_reps = results.at(treatment);
+  const auto& base_reps = results.at(core::PolicyKind::kNearest);
+  for (std::size_t rep = 0;
+       rep < std::min(treat_reps.size(), base_reps.size()); ++rep) {
+    const std::vector<double> g = edge::paired_gains(
+        treat_reps[rep].metrics, base_reps[rep].metrics, use_transfer_time);
+    gains.insert(gains.end(), g.begin(), g.end());
+  }
+  return gains;
+}
+
+/// Prints the canonical policy-comparison table: per task class, the mean
+/// metric per policy plus INT-vs-baseline gains.
+inline void print_comparison(const std::string& title,
+                             const SuiteResults& results,
+                             core::PolicyKind int_policy, bool transfer_time,
+                             bool csv) {
+  exp::TextTable table{title};
+  table.set_headers({"class", "int (s)", "nearest (s)", "random (s)",
+                     "gain vs nearest", "gain vs random"});
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const edge::TaskClass cls : edge::kAllTaskClasses) {
+    const auto t =
+        pooled_class_mean(results.at(int_policy), cls, transfer_time);
+    const auto n = pooled_class_mean(results.at(core::PolicyKind::kNearest),
+                                     cls, transfer_time);
+    const auto r = pooled_class_mean(results.at(core::PolicyKind::kRandom),
+                                     cls, transfer_time);
+    std::string gain_n = "n/a";
+    std::string gain_r = "n/a";
+    if (t && n) gain_n = exp::fmt_percent(exp::percent_gain(*n, *t));
+    if (t && r) gain_r = exp::fmt_percent(exp::percent_gain(*r, *t));
+    table.add_row({edge::short_name(cls), exp::fmt_opt_seconds(t),
+                   exp::fmt_opt_seconds(n), exp::fmt_opt_seconds(r), gain_n,
+                   gain_r});
+    csv_rows.push_back({edge::short_name(cls), exp::fmt_opt_seconds(t),
+                        exp::fmt_opt_seconds(n), exp::fmt_opt_seconds(r)});
+  }
+  table.print(std::cout);
+
+  if (csv) {
+    std::cout << "csv:class,int_s,nearest_s,random_s ("
+              << (transfer_time ? "transfer" : "completion") << ")\n";
+    for (const auto& row : csv_rows) exp::write_csv_row(std::cout, row);
+    std::cout << '\n';
+  }
+}
+
+inline void print_run_summary(const SuiteResults& results) {
+  exp::TextTable table{"run summary (summed over repetitions)"};
+  table.set_headers({"policy", "tasks done", "sim time (s)", "events",
+                     "probes", "reports", "queries", "drops", "bg flows"});
+  for (const auto& [policy, reps] : results) {
+    exp::ExperimentResult sum;
+    for (const exp::ExperimentResult& r : reps) {
+      sum.tasks_completed += r.tasks_completed;
+      sum.tasks_total += r.tasks_total;
+      sum.sim_duration += r.sim_duration;
+      sum.events_executed += r.events_executed;
+      sum.probes_sent += r.probes_sent;
+      sum.probe_reports += r.probe_reports;
+      sum.queries_served += r.queries_served;
+      sum.switch_queue_drops += r.switch_queue_drops;
+      sum.background_flows += r.background_flows;
+    }
+    table.add_row({core::to_string(policy),
+                   sim::cat(sum.tasks_completed, "/", sum.tasks_total),
+                   exp::fmt_seconds(sum.sim_duration.to_seconds()),
+                   std::to_string(sum.events_executed),
+                   std::to_string(sum.probes_sent),
+                   std::to_string(sum.probe_reports),
+                   std::to_string(sum.queries_served),
+                   std::to_string(sum.switch_queue_drops),
+                   std::to_string(sum.background_flows)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace intsched::benchtool

@@ -1,0 +1,37 @@
+// Reproduces paper Fig. 5: serverless-computing workload (one task per
+// job) scheduled with delay-based node ranking, compared against the
+// Nearest and Random baselines under random-pair background congestion.
+//
+// Paper expectation: INT-based network-aware scheduling beats Nearest by
+// 17-31% in average task completion time, with the largest gain for the
+// very-small (VS) class and the smallest for large (L) tasks.
+//
+// Flags: --full (200 tasks, paper scale), --csv, --seed=N
+
+#include "bench_common.hpp"
+
+using namespace intsched;
+
+int main(int argc, char** argv) {
+  const auto opts = benchtool::parse_options(argc, argv);
+
+  exp::ExperimentConfig cfg =
+      benchtool::make_base_config(edge::WorkloadKind::kServerless, opts);
+
+  std::cout << "Fig. 5 reproduction: serverless workload, delay-based "
+               "ranking\n(paper: 17-31% completion-time gain over nearest, "
+               "max for VS)\n\n";
+
+  const auto results = benchtool::run_suite(
+      cfg,
+      {core::PolicyKind::kIntDelay, core::PolicyKind::kNearest,
+       core::PolicyKind::kRandom},
+      opts.reps);
+
+  benchtool::print_comparison(
+      "Fig 5: avg task completion time, serverless / delay ranking",
+      results, core::PolicyKind::kIntDelay, /*transfer_time=*/false,
+      opts.csv);
+  benchtool::print_run_summary(results);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces paper Fig. 8: empirical CDF of the per-task completion-time
+// gain of network-aware scheduling over the nearest baseline, for three
+// configurations: distributed/bandwidth, distributed/delay and
+// serverless/delay.
+//
+// Paper expectation: ~19% of distributed/bandwidth tasks and ~38% of
+// delay-ranked tasks see zero or negative gain (measurement jitter
+// de-prioritizing nearest nodes under light congestion); >60% of
+// distributed/bandwidth tasks gain >=20%; 10-20% of tasks gain >=60%.
+//
+// Flags: --full, --csv, --seed=N
+
+#include "bench_common.hpp"
+#include "intsched/sim/stats.hpp"
+
+using namespace intsched;
+
+namespace {
+
+struct Series {
+  std::string name;
+  sim::Ecdf ecdf;
+};
+
+Series run_series(const std::string& name, edge::WorkloadKind kind,
+                  core::PolicyKind policy,
+                  const benchtool::Options& opts) {
+  exp::ExperimentConfig cfg = benchtool::make_base_config(kind, opts);
+  const auto results = benchtool::run_suite(
+      cfg, {policy, core::PolicyKind::kNearest}, opts.reps);
+  Series s;
+  s.name = name;
+  s.ecdf.add_all(
+      benchtool::pooled_gains(results, policy, /*use_transfer_time=*/false));
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = benchtool::parse_options(argc, argv);
+
+  std::cout << "Fig. 8 reproduction: ECDF of per-task completion-time gain "
+               "vs nearest\n(paper: 19% / 38% of tasks at zero-or-negative "
+               "gain for bw / delay ranking;\n >60% of distributed-bw tasks "
+               "gain >=20%; 10-20% of tasks gain >=60%)\n\n";
+
+  std::vector<Series> series;
+  series.push_back(run_series("distributed/bandwidth",
+                              edge::WorkloadKind::kDistributed,
+                              core::PolicyKind::kIntBandwidth, opts));
+  series.push_back(run_series("distributed/delay",
+                              edge::WorkloadKind::kDistributed,
+                              core::PolicyKind::kIntDelay, opts));
+  series.push_back(run_series("serverless/delay",
+                              edge::WorkloadKind::kServerless,
+                              core::PolicyKind::kIntDelay, opts));
+
+  exp::TextTable table{"Fig 8: fraction of tasks by completion-time gain"};
+  table.set_headers({"series", "tasks", "gain<=0", ">=20%", ">=40%",
+                     ">=60%", "median"});
+  for (const Series& s : series) {
+    table.add_row({s.name, std::to_string(s.ecdf.count()),
+                   exp::fmt_percent(100.0 * s.ecdf.fraction_at_most(0.0)),
+                   exp::fmt_percent(100.0 * s.ecdf.fraction_at_least(0.2)),
+                   exp::fmt_percent(100.0 * s.ecdf.fraction_at_least(0.4)),
+                   exp::fmt_percent(100.0 * s.ecdf.fraction_at_least(0.6)),
+                   exp::fmt_percent(100.0 * s.ecdf.quantile(0.5))});
+  }
+  table.print(std::cout);
+
+  if (opts.csv) {
+    std::cout << "csv:series,gain\n";
+    for (const Series& s : series) {
+      for (const double g : s.ecdf.sorted()) {
+        exp::write_csv_row(std::cout, {s.name, exp::fmt_seconds(g)});
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Fig. 9: impact of the probing interval on average data
+// transfer time, under slowly changing (Traffic 1: 30 s on / 30 s off,
+// medium tasks) and rapidly changing (Traffic 2: 5 s on / 5 s off, small
+// tasks) background congestion.
+//
+// Paper expectation: shorter probing intervals yield lower transfer times
+// in both scenarios (e.g. ~12.5 s at 0.1 s vs >15 s at 30 s for Traffic 1
+// — >20% difference); stale telemetry hurts more when congestion changes
+// faster.
+//
+// Flags: --full, --csv, --seed=N
+
+#include "bench_common.hpp"
+
+using namespace intsched;
+
+namespace {
+
+double run_point(exp::BackgroundMode mode, edge::TaskClass cls,
+                 sim::SimTime probe_interval,
+                 const benchtool::Options& opts) {
+  exp::ExperimentConfig cfg =
+      benchtool::make_base_config(edge::WorkloadKind::kDistributed, opts);
+  cfg.policy = core::PolicyKind::kIntBandwidth;
+  cfg.background.mode = mode;
+  cfg.workload.classes = {cls};
+  cfg.probe_interval = probe_interval;
+
+  sim::RunningStats transfer;
+  for (std::int32_t rep = 0; rep < opts.reps; ++rep) {
+    cfg.seed = opts.seed + static_cast<std::uint64_t>(rep);
+    const exp::ExperimentResult result = exp::run_experiment(cfg);
+    for (const edge::TaskRecord* r : result.metrics.records()) {
+      if (r->is_complete() && r->transfer_end >= sim::SimTime::zero()) {
+        transfer.add(r->transfer_time().to_seconds());
+      }
+    }
+  }
+  return transfer.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = benchtool::parse_options(argc, argv);
+
+  std::cout << "Fig. 9 reproduction: probing interval vs avg transfer time\n"
+               "(paper: 0.1 s probing beats 30 s probing by >20%; both "
+               "traffic patterns degrade as probes get stale)\n\n";
+
+  const sim::SimTime intervals[] = {
+      sim::SimTime::milliseconds(100), sim::SimTime::seconds(5),
+      sim::SimTime::seconds(10), sim::SimTime::seconds(20),
+      sim::SimTime::seconds(30)};
+
+  exp::TextTable table{"Fig 9: avg data transfer time (s) by probing interval"};
+  table.set_headers({"interval", "Traffic 1 (M tasks)", "Traffic 2 (S tasks)"});
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const sim::SimTime interval : intervals) {
+    const double t1 = run_point(exp::BackgroundMode::kPattern1,
+                                edge::TaskClass::kMedium, interval, opts);
+    const double t2 = run_point(exp::BackgroundMode::kPattern2,
+                                edge::TaskClass::kSmall, interval, opts);
+    table.add_row({sim::to_string(interval), exp::fmt_seconds(t1),
+                   exp::fmt_seconds(t2)});
+    csv_rows.push_back({exp::fmt_seconds(interval.to_seconds()),
+                        exp::fmt_seconds(t1), exp::fmt_seconds(t2)});
+  }
+  table.print(std::cout);
+
+  if (opts.csv) {
+    std::cout << "csv:interval_s,traffic1_transfer_s,traffic2_transfer_s\n";
+    for (const auto& row : csv_rows) exp::write_csv_row(std::cout, row);
+  }
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator
+// and the scheduler: event queue churn, per-packet pipeline cost, INT
+// probe processing, Dijkstra, and Algorithm-1 ranking.
+
+#include <benchmark/benchmark.h>
+
+#include "intsched/core/ranking.hpp"
+#include "intsched/exp/fig4.hpp"
+#include "intsched/sim/event_queue.hpp"
+#include "intsched/sim/rng.hpp"
+#include "intsched/sim/strfmt.hpp"
+#include "intsched/telemetry/collector.hpp"
+#include "intsched/telemetry/int_program.hpp"
+#include "intsched/telemetry/probe_agent.hpp"
+#include "intsched/transport/host_stack.hpp"
+#include "intsched/transport/tcp.hpp"
+
+namespace {
+
+using namespace intsched;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng{1};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      q.push(sim::SimTime::nanoseconds(t + rng.uniform_int(0, 1'000'000)),
+             [] {});
+    }
+    for (int i = 0; i < 64; ++i) {
+      auto [at, cb] = q.pop();
+      t = at.ns();
+      benchmark::DoNotOptimize(cb);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_RngU64(benchmark::State& state) {
+  sim::Rng rng{1};
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_DijkstraFig4(benchmark::State& state) {
+  sim::Simulator sim;
+  exp::Fig4Network network{sim, exp::Fig4Config{}};
+  const net::Graph& g = network.topology().graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::dijkstra(g, 0));
+  }
+}
+BENCHMARK(BM_DijkstraFig4);
+
+/// Cost of pushing one data packet through a P4 switch pipeline
+/// (parse + table lookup + enqueue + egress), amortized.
+void BM_SwitchPipelinePerPacket(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  auto& a = topo.add_node<net::Host>("a");
+  auto& b = topo.add_node<net::Host>("b");
+  p4::SwitchConfig cfg;
+  cfg.proc_delay_mean = sim::SimTime::microseconds(1);
+  cfg.stall_probability = 0.0;
+  auto& sw = topo.add_node<p4::P4Switch>("sw", cfg);
+  net::LinkConfig link;
+  link.prop_delay = sim::SimTime::microseconds(1);
+  topo.connect(a, sw, link);
+  topo.connect(b, sw, link);
+  topo.install_routes();
+  sw.load_program(std::make_unique<telemetry::IntTelemetryProgram>());
+  std::int64_t delivered = 0;
+  b.set_receiver([&](net::Packet&&) { ++delivered; });
+  for (auto _ : state) {
+    for (int i = 0; i < 32; ++i) {
+      net::Packet p;
+      p.dst = b.id();
+      p.wire_size = 1500;
+      a.send(std::move(p));
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_SwitchPipelinePerPacket);
+
+/// Full probe round: host -> 3 switches -> collector, parse included.
+void BM_ProbeRoundTrip(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  auto& a = topo.add_node<net::Host>("a");
+  auto& b = topo.add_node<net::Host>("b");
+  p4::SwitchConfig cfg;
+  cfg.proc_delay_mean = sim::SimTime::microseconds(1);
+  cfg.stall_probability = 0.0;
+  std::vector<p4::P4Switch*> switches;
+  for (int i = 0; i < 3; ++i) {
+    switches.push_back(&topo.add_node<p4::P4Switch>(sim::cat("s", i), cfg));
+  }
+  net::LinkConfig link;
+  link.prop_delay = sim::SimTime::microseconds(1);
+  topo.connect(a, *switches[0], link);
+  topo.connect(*switches[0], *switches[1], link);
+  topo.connect(*switches[1], *switches[2], link);
+  topo.connect(*switches[2], b, link);
+  topo.install_routes();
+  for (auto* sw : switches) {
+    sw->load_program(std::make_unique<telemetry::IntTelemetryProgram>());
+  }
+  transport::HostStack stack_b{b};
+  telemetry::IntCollector collector{b};
+  stack_b.bind_udp(net::kProbePort, [&](const net::Packet& p) {
+    collector.handle_packet(p);
+  });
+  telemetry::ProbeAgent agent{a, b.id()};
+  for (auto _ : state) {
+    agent.send_probe();
+    sim.run();
+  }
+  benchmark::DoNotOptimize(collector.probes_received());
+}
+BENCHMARK(BM_ProbeRoundTrip);
+
+/// Algorithm 1 over the inferred Fig. 4 map with live telemetry.
+void BM_RankSevenCandidates(benchmark::State& state) {
+  sim::Simulator sim;
+  exp::Fig4Network network{sim, exp::Fig4Config{}};
+  std::vector<std::unique_ptr<transport::HostStack>> stacks;
+  for (net::Host* h : network.hosts()) {
+    stacks.push_back(std::make_unique<transport::HostStack>(*h));
+  }
+  telemetry::IntCollector collector{network.scheduler_host()};
+  core::NetworkMap map;
+  stacks[5]->bind_udp(net::kProbePort, [&](const net::Packet& p) {
+    collector.handle_packet(p);
+  });
+  collector.set_handler([&](const telemetry::ProbeReport& r) {
+    map.ingest(r, sim.now());
+  });
+  std::vector<std::unique_ptr<telemetry::ProbeAgent>> agents;
+  for (net::Host* h : network.hosts()) {
+    if (h->id() == 5) continue;
+    agents.push_back(std::make_unique<telemetry::ProbeAgent>(*h, 5));
+    agents.back()->start();
+  }
+  sim.run_until(sim::SimTime::seconds(1));
+  core::Ranker ranker{map};
+  const std::vector<net::NodeId> candidates{1, 2, 3, 4, 5, 6, 7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ranker.rank(
+        0, candidates, core::RankingMetric::kDelay, sim.now()));
+  }
+}
+BENCHMARK(BM_RankSevenCandidates);
+
+/// End-to-end simulated TCP throughput: wall time per simulated megabyte.
+void BM_TcpTransferPerMB(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Topology topo{sim};
+    auto& a = topo.add_node<net::Host>("a");
+    auto& b = topo.add_node<net::Host>("b");
+    p4::SwitchConfig cfg;
+    cfg.stall_probability = 0.0;
+    auto& sw = topo.add_node<p4::P4Switch>("sw", cfg);
+    topo.connect(a, sw, net::LinkConfig{});
+    topo.connect(b, sw, net::LinkConfig{});
+    topo.install_routes();
+    sw.load_program(std::make_unique<p4::ForwardingProgram>());
+    transport::HostStack stack_a{a};
+    transport::HostStack stack_b{b};
+    transport::TcpListener listener{
+        stack_b, net::kTaskPort,
+        [](net::NodeId, sim::Bytes, std::shared_ptr<const net::AppMessage>) {
+        }};
+    transport::TcpSender sender{stack_a, b.id(), net::kTaskPort,
+                                1 * sim::kMB};
+    sender.start();
+    sim.run();
+    benchmark::DoNotOptimize(sender.complete());
+  }
+  state.SetBytesProcessed(state.iterations() * sim::kMB);
+}
+BENCHMARK(BM_TcpTransferPerMB)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

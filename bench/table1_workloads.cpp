@@ -1,0 +1,54 @@
+// Reproduces paper Table I: the data-size and execution-time ranges of the
+// four task classes, and validates that the workload generator samples
+// uniformly inside them.
+//
+// Flags: --seed=N
+
+#include "bench_common.hpp"
+#include "intsched/sim/stats.hpp"
+
+using namespace intsched;
+
+int main(int argc, char** argv) {
+  const auto opts = benchtool::parse_options(argc, argv);
+
+  std::cout << "Table I reproduction: task classes and sampled statistics\n\n";
+
+  exp::TextTable spec_table{"Table I: configured ranges"};
+  spec_table.set_headers(
+      {"type", "data size (KB)", "execution time (ms)"});
+  for (const edge::TaskClass cls : edge::kAllTaskClasses) {
+    const auto& spec = edge::task_class_spec(cls);
+    spec_table.add_row(
+        {sim::cat(to_string(cls), " (", edge::short_name(cls), ")"),
+         sim::cat(spec.data_min / sim::kKB, " - ", spec.data_max / sim::kKB),
+         sim::cat(spec.exec_min.ns() / 1'000'000, " - ",
+                  spec.exec_max.ns() / 1'000'000)});
+  }
+  spec_table.print(std::cout);
+
+  // Sample 10k tasks per class and report the observed spread.
+  sim::Rng rng{opts.seed};
+  exp::TextTable sample_table{"sampled statistics (10000 tasks per class)"};
+  sample_table.set_headers({"type", "data KB min/mean/max",
+                            "exec ms min/mean/max"});
+  for (const edge::TaskClass cls : edge::kAllTaskClasses) {
+    sim::RunningStats data_kb;
+    sim::RunningStats exec_ms;
+    for (int i = 0; i < 10000; ++i) {
+      const edge::TaskSpec t = edge::sample_task(cls, i, 0, rng);
+      data_kb.add(static_cast<double>(t.data_bytes) / 1000.0);
+      exec_ms.add(t.exec_time.to_milliseconds());
+    }
+    sample_table.add_row(
+        {edge::short_name(cls),
+         sim::cat(sim::fixed(data_kb.min(), 0), " / ",
+                  sim::fixed(data_kb.mean(), 0), " / ",
+                  sim::fixed(data_kb.max(), 0)),
+         sim::cat(sim::fixed(exec_ms.min(), 0), " / ",
+                  sim::fixed(exec_ms.mean(), 0), " / ",
+                  sim::fixed(exec_ms.max(), 0))});
+  }
+  sample_table.print(std::cout);
+  return 0;
+}

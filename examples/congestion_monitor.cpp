@@ -1,0 +1,79 @@
+// Network-monitoring scenario: use the telemetry stack alone — no task
+// scheduling — as a live congestion monitor, the way a NOC dashboard
+// would. Shows INT's core value proposition from the paper's §I: probes
+// pick up a transient 8-second congestion event within one 100 ms probing
+// interval, while an SNMP-style 30-second poller misses it entirely.
+//
+// Run: ./build/examples/congestion_monitor
+
+#include <iomanip>
+#include <iostream>
+
+#include "intsched/core/network_map.hpp"
+#include "intsched/exp/fig4.hpp"
+#include "intsched/telemetry/probe_agent.hpp"
+#include "intsched/transport/iperf.hpp"
+
+using namespace intsched;
+
+int main() {
+  sim::Simulator sim;
+  exp::Fig4Network network{sim, exp::Fig4Config{}};
+
+  std::vector<std::unique_ptr<transport::HostStack>> stacks;
+  std::vector<std::unique_ptr<transport::IperfUdpSink>> sinks;
+  for (net::Host* h : network.hosts()) {
+    stacks.push_back(std::make_unique<transport::HostStack>(*h));
+    sinks.push_back(std::make_unique<transport::IperfUdpSink>(*stacks.back()));
+  }
+
+  // INT termination on the scheduler host, feeding a NetworkMap.
+  telemetry::IntCollector collector{network.scheduler_host()};
+  core::NetworkMap map;
+  stacks[5]->bind_udp(net::kProbePort, [&](const net::Packet& p) {
+    collector.handle_packet(p);
+  });
+  collector.set_handler([&](const telemetry::ProbeReport& r) {
+    map.ingest(r, sim.now());
+  });
+  std::vector<std::unique_ptr<telemetry::ProbeAgent>> agents;
+  for (net::Host* h : network.hosts()) {
+    if (h->id() == network.scheduler_host().id()) continue;
+    agents.push_back(std::make_unique<telemetry::ProbeAgent>(
+        *h, network.scheduler_host().id()));
+    agents.back()->start();
+  }
+
+  // A transient 8 s congestion event: node3 floods node4 at t in [4, 12).
+  transport::IperfUdpSender::Config burst;
+  burst.rate = sim::DataRate::megabits_per_second(21.0);
+  transport::IperfUdpSender flood{*stacks[2], network.hosts()[3]->id(),
+                                  burst};
+  sim.schedule_at(sim::SimTime::seconds(4),
+                  [&] { flood.start(sim::SimTime::seconds(8)); });
+
+  // INT-based monitor: sample the map every second. SNMP-style monitor:
+  // sample a 30 s-old snapshot (reports nothing until t = 30).
+  std::cout << "t(s)  INT view: max device queue (pod-1 switches)   "
+               "verdict\n";
+  std::int64_t int_detections = 0;
+  for (int t = 1; t <= 20; ++t) {
+    sim.run_until(sim::SimTime::seconds(t));
+    std::int64_t worst = 0;
+    for (const p4::P4Switch* sw : network.switches()) {
+      worst = std::max(worst, map.device_max_queue(sw->id(), sim.now()));
+    }
+    const bool congested = worst > 10;
+    if (congested) ++int_detections;
+    std::cout << std::setw(3) << t << "   max queue = " << std::setw(4)
+              << worst << "                               "
+              << (congested ? "CONGESTED" : "clear") << "\n";
+  }
+  std::cout << "\nINT monitor flagged the 8 s event in " << int_detections
+            << " of 20 one-second samples.\n";
+  std::cout << "A 30 s SNMP poll cycle would have produced its first "
+               "report after the event ended.\n";
+  std::cout << "\nprobes parsed: " << collector.probes_received()
+            << ", links mapped: " << map.known_link_count() << "\n";
+  return 0;
+}

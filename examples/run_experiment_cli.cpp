@@ -1,0 +1,151 @@
+// Command-line experiment driver: run any scheduling experiment the
+// library supports without writing code.
+//
+//   run_experiment_cli [--policy=int-delay|int-bandwidth|nearest|random]
+//                      [--workload=serverless|distributed]
+//                      [--tasks=N] [--seed=N] [--probe-interval-ms=N]
+//                      [--background=none|random-pairs|traffic-1|traffic-2]
+//                      [--classes=VS,S,M,L] [--k-ms=N] [--compute-aware]
+//                      [--worker-slots=N] [--csv]
+//
+// Prints the per-class summary table; --csv appends per-task records.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "intsched/exp/experiment.hpp"
+#include "intsched/exp/report.hpp"
+#include "intsched/sim/strfmt.hpp"
+
+using namespace intsched;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& bad) {
+  std::cerr << "unknown or malformed option: " << bad << "\n"
+            << "see the header comment of run_experiment_cli.cpp\n";
+  std::exit(2);
+}
+
+core::PolicyKind parse_policy(const std::string& v) {
+  if (v == "int-delay") return core::PolicyKind::kIntDelay;
+  if (v == "int-bandwidth") return core::PolicyKind::kIntBandwidth;
+  if (v == "nearest") return core::PolicyKind::kNearest;
+  if (v == "random") return core::PolicyKind::kRandom;
+  usage("--policy=" + v);
+}
+
+exp::BackgroundMode parse_background(const std::string& v) {
+  if (v == "none") return exp::BackgroundMode::kNone;
+  if (v == "random-pairs") return exp::BackgroundMode::kRandomPairs;
+  if (v == "traffic-1") return exp::BackgroundMode::kPattern1;
+  if (v == "traffic-2") return exp::BackgroundMode::kPattern2;
+  usage("--background=" + v);
+}
+
+std::vector<edge::TaskClass> parse_classes(const std::string& v) {
+  std::vector<edge::TaskClass> out;
+  std::stringstream ss{v};
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token == "VS") out.push_back(edge::TaskClass::kVerySmall);
+    else if (token == "S") out.push_back(edge::TaskClass::kSmall);
+    else if (token == "M") out.push_back(edge::TaskClass::kMedium);
+    else if (token == "L") out.push_back(edge::TaskClass::kLarge);
+    else usage("--classes=" + v);
+  }
+  if (out.empty()) usage("--classes=" + v);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::ExperimentConfig cfg;
+  bool csv = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const std::string& prefix) {
+      return arg.substr(prefix.size());
+    };
+    if (arg.rfind("--policy=", 0) == 0) {
+      cfg.policy = parse_policy(value("--policy="));
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      const std::string v = value("--workload=");
+      if (v == "serverless") {
+        cfg.workload.kind = edge::WorkloadKind::kServerless;
+      } else if (v == "distributed") {
+        cfg.workload.kind = edge::WorkloadKind::kDistributed;
+        cfg.workload.job_interval = sim::SimTime::seconds(6);
+      } else {
+        usage(arg);
+      }
+    } else if (arg.rfind("--tasks=", 0) == 0) {
+      cfg.workload.total_tasks = std::stoi(value("--tasks="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      cfg.seed = std::stoull(value("--seed="));
+    } else if (arg.rfind("--probe-interval-ms=", 0) == 0) {
+      cfg.probe_interval = sim::SimTime::milliseconds(
+          std::stoll(value("--probe-interval-ms=")));
+    } else if (arg.rfind("--background=", 0) == 0) {
+      cfg.background.mode = parse_background(value("--background="));
+    } else if (arg.rfind("--classes=", 0) == 0) {
+      cfg.workload.classes = parse_classes(value("--classes="));
+    } else if (arg.rfind("--k-ms=", 0) == 0) {
+      cfg.ranker.k_factor =
+          sim::SimTime::milliseconds(std::stoll(value("--k-ms=")));
+    } else if (arg == "--compute-aware") {
+      cfg.scheduler.compute_aware = true;
+    } else if (arg.rfind("--worker-slots=", 0) == 0) {
+      cfg.server.worker_slots = std::stoi(value("--worker-slots="));
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      usage(arg);
+    }
+  }
+
+  const exp::ExperimentResult result = exp::run_experiment(cfg);
+
+  exp::TextTable table{sim::cat("experiment: ", core::to_string(cfg.policy),
+                                " / ", to_string(cfg.workload.kind),
+                                " / seed ", cfg.seed)};
+  table.set_headers({"class", "tasks", "mean completion (s)",
+                     "mean transfer (s)"});
+  for (const edge::TaskClass cls : edge::kAllTaskClasses) {
+    std::int64_t count = 0;
+    for (const edge::TaskRecord* r : result.metrics.records()) {
+      if (r->cls == cls && r->is_complete()) ++count;
+    }
+    if (count == 0) continue;
+    table.add_row({edge::short_name(cls), std::to_string(count),
+                   exp::fmt_opt_seconds(result.metrics.mean_completion_s(cls)),
+                   exp::fmt_opt_seconds(result.metrics.mean_transfer_s(cls))});
+  }
+  table.print(std::cout);
+  std::cout << "completed " << result.tasks_completed << "/"
+            << result.tasks_total << " tasks in "
+            << sim::to_string(result.sim_duration) << " simulated ("
+            << result.events_executed << " events); probes "
+            << result.probes_sent << ", queries " << result.queries_served
+            << ", drops " << result.switch_queue_drops << "\n";
+
+  if (csv) {
+    std::cout << "\ncsv:job,task,class,device,server,submitted_s,"
+                 "transfer_s,completion_s\n";
+    for (const edge::TaskRecord* r : result.metrics.records()) {
+      if (!r->is_complete()) continue;
+      exp::write_csv_row(
+          std::cout,
+          {std::to_string(r->job_id), std::to_string(r->task_index),
+           edge::short_name(r->cls), std::to_string(r->device),
+           std::to_string(r->server),
+           exp::fmt_seconds(r->submitted.to_seconds()),
+           exp::fmt_seconds(r->transfer_time().to_seconds()),
+           exp::fmt_seconds(r->completion_time().to_seconds())});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "intsched/core/policies.hpp"
+#include "intsched/edge/metrics.hpp"
+#include "intsched/edge/workload.hpp"
+#include "intsched/transport/tcp.hpp"
+
+namespace intsched::edge {
+
+/// An end device that offloads jobs: asks its selection policy for servers
+/// (steps 5-6 of the paper's Fig. 1), ships each task's data over TCP, and
+/// waits for completion notifications.
+class EdgeDevice {
+ public:
+  using CompletionHandler = std::function<void(const TaskRecord&)>;
+
+  EdgeDevice(transport::HostStack& stack, MetricsCollector& metrics,
+             core::SelectionPolicy& policy);
+  ~EdgeDevice();
+  EdgeDevice(const EdgeDevice&) = delete;
+  EdgeDevice& operator=(const EdgeDevice&) = delete;
+
+  [[nodiscard]] net::NodeId id() const { return stack_.host().id(); }
+
+  /// Submits a job (all of its tasks at once). The job's submitter must be
+  /// this device.
+  void submit(const JobSpec& job);
+
+  /// Fires every time one of this device's tasks completes.
+  void set_completion_handler(CompletionHandler h) {
+    on_complete_ = std::move(h);
+  }
+
+  [[nodiscard]] std::int64_t jobs_submitted() const { return jobs_; }
+  [[nodiscard]] std::int64_t tasks_completed() const { return done_; }
+  [[nodiscard]] std::int64_t transfers_in_flight() const {
+    return static_cast<std::int64_t>(senders_.size());
+  }
+
+ private:
+  void dispatch(const JobSpec& job, std::vector<net::NodeId> servers);
+  void start_transfer(const TaskSpec& task, net::NodeId server);
+  void on_done_message(const net::Packet& p);
+
+  transport::HostStack& stack_;
+  MetricsCollector& metrics_;
+  core::SelectionPolicy& policy_;
+  CompletionHandler on_complete_;
+  std::map<std::pair<std::int64_t, std::int32_t>,
+           std::unique_ptr<transport::TcpSender>>
+      senders_;
+  std::int64_t jobs_ = 0;
+  std::int64_t done_ = 0;
+};
+
+}  // namespace intsched::edge

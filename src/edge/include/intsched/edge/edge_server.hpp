@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "intsched/edge/metrics.hpp"
+#include "intsched/edge/task.hpp"
+#include "intsched/transport/tcp.hpp"
+
+namespace intsched::edge {
+
+struct EdgeServerConfig {
+  /// Concurrent task executions; 0 = unlimited. The paper models no
+  /// compute contention (compute-awareness is its future work), so the
+  /// default is unlimited; finite slots are available for the extension
+  /// experiments.
+  std::int32_t worker_slots = 0;
+};
+
+/// An edge server: accepts task submissions over TCP on the task port,
+/// executes them (a pure timer — computation is out of scope for the
+/// paper), and notifies the submitting device on completion.
+class EdgeServer {
+ public:
+  EdgeServer(transport::HostStack& stack, MetricsCollector& metrics,
+             EdgeServerConfig config = {});
+  ~EdgeServer();
+  EdgeServer(const EdgeServer&) = delete;
+  EdgeServer& operator=(const EdgeServer&) = delete;
+
+  [[nodiscard]] net::NodeId id() const { return stack_.host().id(); }
+
+  /// Compute-aware extension (paper §VI): periodically reports this
+  /// server's outstanding task count to the scheduler.
+  void enable_load_reports(
+      net::NodeId scheduler,
+      sim::SimTime interval = sim::SimTime::milliseconds(500));
+  void disable_load_reports();
+
+  /// Tasks currently running plus queued.
+  [[nodiscard]] std::int32_t outstanding_tasks() const {
+    return running_ + static_cast<std::int32_t>(waiting_.size());
+  }
+
+  [[nodiscard]] std::int64_t tasks_received() const { return received_; }
+  [[nodiscard]] std::int64_t tasks_executed() const { return executed_; }
+  [[nodiscard]] std::int32_t running_now() const { return running_; }
+  [[nodiscard]] std::int64_t max_concurrent() const { return high_water_; }
+
+ private:
+  struct PendingTask {
+    TaskSpec spec;
+    net::NodeId submitter = net::kInvalidNode;
+    net::PortNumber done_port = 0;
+  };
+
+  void on_task_arrival(net::NodeId peer, sim::Bytes bytes,
+                       const std::shared_ptr<const net::AppMessage>& msg);
+  void maybe_start_next();
+  void execute(PendingTask task);
+  void finish(const PendingTask& task);
+  void send_done(const PendingTask& task, std::int32_t attempt);
+  void on_done_ack(const net::Packet& p);
+
+  transport::HostStack& stack_;
+  MetricsCollector& metrics_;
+  EdgeServerConfig cfg_;
+  /// Guard token captured (weakly, by copy of the shared_ptr) by every
+  /// deferred callback so destroying the server mid-simulation is safe.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  sim::PeriodicHandle load_report_timer_;
+  net::NodeId load_report_target_ = net::kInvalidNode;
+  std::unique_ptr<transport::TcpListener> listener_;
+  std::deque<PendingTask> waiting_;
+  /// Done notifications awaiting device acknowledgement.
+  std::set<std::pair<std::int64_t, std::int32_t>> unacked_;
+  std::int32_t running_ = 0;
+  std::int64_t high_water_ = 0;
+  std::int64_t received_ = 0;
+  std::int64_t executed_ = 0;
+};
+
+}  // namespace intsched::edge

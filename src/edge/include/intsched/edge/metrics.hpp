@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "intsched/edge/task.hpp"
+#include "intsched/sim/stats.hpp"
+
+namespace intsched::edge {
+
+/// Per-task timeline collected by the experiment harness. Times are
+/// simulation timestamps; durations are derived.
+struct TaskRecord {
+  std::int64_t job_id = 0;
+  std::int32_t task_index = 0;
+  TaskClass cls = TaskClass::kVerySmall;
+  net::NodeId device = net::kInvalidNode;
+  net::NodeId server = net::kInvalidNode;
+
+  sim::Bytes data_bytes = 0;
+  sim::SimTime exec_time = sim::SimTime::zero();
+
+  sim::SimTime submitted = sim::SimTime::nanoseconds(-1);
+  sim::SimTime scheduled = sim::SimTime::nanoseconds(-1);
+  sim::SimTime transfer_start = sim::SimTime::nanoseconds(-1);
+  sim::SimTime transfer_end = sim::SimTime::nanoseconds(-1);  ///< receiver side
+  sim::SimTime exec_end = sim::SimTime::nanoseconds(-1);
+  sim::SimTime completed = sim::SimTime::nanoseconds(-1);     ///< device notified
+
+  [[nodiscard]] bool is_complete() const {
+    return completed >= sim::SimTime::zero();
+  }
+  /// End-device to edge-server data movement time (Fig. 7's metric).
+  [[nodiscard]] sim::SimTime transfer_time() const {
+    return transfer_end - transfer_start;
+  }
+  /// Submit-to-notification turnaround (Figs. 5/6 metric).
+  [[nodiscard]] sim::SimTime completion_time() const {
+    return completed - submitted;
+  }
+};
+
+/// Keyed store for task records; the device and server both update the
+/// same record as the task progresses.
+class MetricsCollector {
+ public:
+  /// Registers a task at submission. Asserts the key is fresh.
+  TaskRecord& open(const TaskSpec& spec, net::NodeId device);
+
+  [[nodiscard]] TaskRecord& at(std::int64_t job_id, std::int32_t task_index);
+  [[nodiscard]] const TaskRecord* find(std::int64_t job_id,
+                                       std::int32_t task_index) const;
+
+  [[nodiscard]] std::int64_t total() const {
+    return static_cast<std::int64_t>(records_.size());
+  }
+  [[nodiscard]] std::int64_t completed() const { return completed_count_; }
+  void note_completed() { ++completed_count_; }
+
+  /// All records, ordered by (job, task).
+  [[nodiscard]] std::vector<const TaskRecord*> records() const;
+
+  /// Mean completion / transfer time (seconds) over completed tasks of one
+  /// class; nullopt when the class has no completed tasks.
+  [[nodiscard]] std::optional<double> mean_completion_s(TaskClass cls) const;
+  [[nodiscard]] std::optional<double> mean_transfer_s(TaskClass cls) const;
+
+ private:
+  std::map<std::pair<std::int64_t, std::int32_t>, TaskRecord> records_;
+  std::int64_t completed_count_ = 0;
+};
+
+/// Per-task relative gain of `treatment` over `baseline`, matched by
+/// (job_id, task_index):  (T_base - T_treat) / T_base. Only pairs complete
+/// in both runs contribute. `use_transfer_time` selects the Fig. 7 metric.
+[[nodiscard]] std::vector<double> paired_gains(
+    const MetricsCollector& treatment, const MetricsCollector& baseline,
+    bool use_transfer_time = false);
+
+}  // namespace intsched::edge

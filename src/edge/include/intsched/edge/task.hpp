@@ -1,0 +1,79 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "intsched/net/packet.hpp"
+#include "intsched/sim/rng.hpp"
+#include "intsched/sim/units.hpp"
+
+namespace intsched::edge {
+
+/// Table I's task classes.
+enum class TaskClass : std::uint8_t { kVerySmall, kSmall, kMedium, kLarge };
+
+inline constexpr std::array<TaskClass, 4> kAllTaskClasses = {
+    TaskClass::kVerySmall, TaskClass::kSmall, TaskClass::kMedium,
+    TaskClass::kLarge};
+
+[[nodiscard]] const char* to_string(TaskClass cls);
+[[nodiscard]] const char* short_name(TaskClass cls);  ///< VS / S / M / L
+
+/// Sampling ranges from Table I (data in KB, execution time in ms).
+struct TaskClassSpec {
+  sim::Bytes data_min = 0;
+  sim::Bytes data_max = 0;
+  sim::SimTime exec_min = sim::SimTime::zero();
+  sim::SimTime exec_max = sim::SimTime::zero();
+};
+
+/// Table I, verbatim: VS 0-1000 KB / 0-2000 ms, S 1500-2500 KB /
+/// 2500-4500 ms, M 3000-4000 KB / 5000-7000 ms, L 4500-5500 KB /
+/// 7500-9500 ms. (The VS data floor is clamped to 1 KB so every task has a
+/// transfer to measure.)
+[[nodiscard]] const TaskClassSpec& task_class_spec(TaskClass cls);
+
+/// One schedulable unit: the data to ship to an edge server plus the time
+/// the server computes on it.
+struct TaskSpec {
+  std::int64_t job_id = 0;
+  std::int32_t task_index = 0;
+  TaskClass cls = TaskClass::kVerySmall;
+  sim::Bytes data_bytes = 0;
+  sim::SimTime exec_time = sim::SimTime::zero();
+  /// Hardware/software the executing server must provide (paper §VI
+  /// future work: "tasks may have certain hardware (e.g., GPU) or software
+  /// (e.g., Keras) requirements"). Empty = any server qualifies.
+  std::vector<std::string> requirements;
+};
+
+/// Draws a task's size/duration uniformly from its class's Table-I range.
+[[nodiscard]] TaskSpec sample_task(TaskClass cls, std::int64_t job_id,
+                                   std::int32_t task_index, sim::Rng& rng);
+
+/// Application-layer descriptor that rides along the task's data transfer
+/// so the edge server knows what to execute and whom to notify.
+struct TaskDescriptor : net::AppMessage {
+  TaskSpec spec;
+  net::NodeId submitter = net::kInvalidNode;
+  net::PortNumber done_port = 0;  ///< where the completion message goes
+};
+
+/// Completion notification (edge server -> device). Retransmitted until
+/// the device acknowledges — completion rides UDP and must survive the
+/// very congestion the experiments create.
+struct TaskDoneMessage : net::AppMessage {
+  std::int64_t job_id = 0;
+  std::int32_t task_index = 0;
+  net::NodeId server = net::kInvalidNode;
+};
+
+/// Device -> edge server acknowledgement of a TaskDoneMessage.
+struct TaskDoneAck : net::AppMessage {
+  std::int64_t job_id = 0;
+  std::int32_t task_index = 0;
+};
+
+}  // namespace intsched::edge

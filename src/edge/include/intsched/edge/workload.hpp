@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "intsched/edge/task.hpp"
+#include "intsched/sim/rng.hpp"
+
+namespace intsched::edge {
+
+/// The two workload shapes of §IV: serverless (FaaS) jobs submit one task;
+/// distributed-computing jobs (e.g. federated learning rounds) submit
+/// three tasks to three servers.
+enum class WorkloadKind : std::uint8_t { kServerless, kDistributed };
+
+[[nodiscard]] const char* to_string(WorkloadKind kind);
+[[nodiscard]] std::int32_t tasks_per_job(WorkloadKind kind);
+
+/// One job: tasks plus where and when it is submitted.
+struct JobSpec {
+  std::int64_t job_id = 0;
+  WorkloadKind kind = WorkloadKind::kServerless;
+  TaskClass cls = TaskClass::kVerySmall;
+  net::NodeId submitter = net::kInvalidNode;
+  sim::SimTime submit_at = sim::SimTime::zero();
+  std::vector<TaskSpec> tasks;
+};
+
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kServerless;
+  /// Total tasks across all jobs (the paper's "each experiment consists of
+  /// 200 tasks"); the generator emits ceil(total_tasks / tasks_per_job)
+  /// jobs.
+  std::int32_t total_tasks = 200;
+  /// Jobs are submitted this far apart (uniform jitter of +-25% applied so
+  /// arrivals do not beat against probe timers).
+  sim::SimTime job_interval = sim::SimTime::seconds(2);
+  sim::SimTime first_submit = sim::SimTime::seconds(5);
+  /// Restrict to one class, or cycle through all four when empty.
+  std::vector<TaskClass> classes = {kAllTaskClasses.begin(),
+                                    kAllTaskClasses.end()};
+};
+
+/// Deterministically expands a config into a job schedule. Submitters are
+/// drawn uniformly from `submitters`; classes cycle deterministically so
+/// every class receives the same number of tasks (the paper reports
+/// per-class averages from one mixed run). Two generators with equal seeds
+/// produce identical schedules — the fairness rule for comparing policies.
+[[nodiscard]] std::vector<JobSpec> generate_workload(
+    const WorkloadConfig& config, const std::vector<net::NodeId>& submitters,
+    sim::Rng& rng);
+
+}  // namespace intsched::edge

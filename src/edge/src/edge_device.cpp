@@ -1,0 +1,95 @@
+#include "intsched/edge/edge_device.hpp"
+
+#include <cassert>
+
+#include "intsched/sim/logging.hpp"
+
+namespace intsched::edge {
+
+EdgeDevice::EdgeDevice(transport::HostStack& stack,
+                       MetricsCollector& metrics,
+                       core::SelectionPolicy& policy)
+    : stack_{stack}, metrics_{metrics}, policy_{policy} {
+  stack_.bind_udp(net::kTaskDonePort,
+                  [this](const net::Packet& p) { on_done_message(p); });
+}
+
+EdgeDevice::~EdgeDevice() { stack_.unbind_udp(net::kTaskDonePort); }
+
+void EdgeDevice::submit(const JobSpec& job) {
+  assert(job.submitter == id());
+  ++jobs_;
+  const sim::SimTime now = stack_.simulator().now();
+  for (const TaskSpec& task : job.tasks) {
+    TaskRecord& r = metrics_.open(task, id());
+    r.submitted = now;
+  }
+  policy_.select(id(), static_cast<std::int32_t>(job.tasks.size()),
+                 job.tasks.front().requirements,
+                 [this, job](std::vector<net::NodeId> servers) {
+                   dispatch(job, std::move(servers));
+                 });
+}
+
+void EdgeDevice::dispatch(const JobSpec& job,
+                          std::vector<net::NodeId> servers) {
+  const sim::SimTime now = stack_.simulator().now();
+  if (servers.empty()) {
+    sim::Log::log(sim::LogLevel::kWarn, now, "edge-device",
+                  "no servers for job ", job.job_id);
+    return;
+  }
+  for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+    const TaskSpec& task = job.tasks[i];
+    const net::NodeId server = servers[i % servers.size()];
+    TaskRecord& r = metrics_.at(task.job_id, task.task_index);
+    r.scheduled = now;
+    r.server = server;
+    start_transfer(task, server);
+  }
+}
+
+void EdgeDevice::start_transfer(const TaskSpec& task, net::NodeId server) {
+  auto desc = std::make_shared<TaskDescriptor>();
+  desc->spec = task;
+  desc->submitter = id();
+  desc->done_port = net::kTaskDonePort;
+
+  auto sender = std::make_unique<transport::TcpSender>(
+      stack_, server, net::kTaskPort, task.data_bytes, std::move(desc));
+  const auto key = std::make_pair(task.job_id, task.task_index);
+  sender->set_completion_handler([this, key](transport::TcpSender&) {
+    // Deferred erase: the sender is mid-callback; destroy it next event.
+    stack_.simulator().schedule_after(sim::SimTime::zero(),
+                                      [this, key] { senders_.erase(key); });
+  });
+
+  TaskRecord& r = metrics_.at(task.job_id, task.task_index);
+  r.transfer_start = stack_.simulator().now();
+  transport::TcpSender& ref = *sender;
+  senders_.emplace(key, std::move(sender));
+  ref.start();
+}
+
+void EdgeDevice::on_done_message(const net::Packet& p) {
+  const auto* done = dynamic_cast<const TaskDoneMessage*>(p.app.get());
+  if (done == nullptr) return;
+  // Always (re-)acknowledge so the server stops retransmitting, including
+  // for duplicates whose original ack was lost.
+  auto ack = std::make_shared<TaskDoneAck>();
+  ack->job_id = done->job_id;
+  ack->task_index = done->task_index;
+  const auto* udp = p.udp();
+  stack_.send_datagram(p.src, udp != nullptr ? udp->dst_port : 0,
+                       net::kTaskPort, net::kHeaderBytes + 16,
+                       std::move(ack));
+
+  TaskRecord& r = metrics_.at(done->job_id, done->task_index);
+  if (r.is_complete()) return;  // duplicate notification
+  r.completed = stack_.simulator().now();
+  metrics_.note_completed();
+  ++done_;
+  if (on_complete_) on_complete_(r);
+}
+
+}  // namespace intsched::edge

@@ -1,0 +1,120 @@
+#include "intsched/edge/edge_server.hpp"
+
+#include <algorithm>
+
+#include "intsched/core/scheduler_service.hpp"
+
+namespace intsched::edge {
+
+EdgeServer::EdgeServer(transport::HostStack& stack,
+                       MetricsCollector& metrics, EdgeServerConfig config)
+    : stack_{stack}, metrics_{metrics}, cfg_{config} {
+  listener_ = std::make_unique<transport::TcpListener>(
+      stack_, net::kTaskPort,
+      [this](net::NodeId peer, sim::Bytes bytes,
+             std::shared_ptr<const net::AppMessage> msg) {
+        on_task_arrival(peer, bytes, msg);
+      });
+  stack_.bind_udp(net::kTaskPort,
+                  [this](const net::Packet& p) { on_done_ack(p); });
+}
+
+EdgeServer::~EdgeServer() {
+  *alive_ = false;
+  stack_.unbind_udp(net::kTaskPort);
+}
+
+void EdgeServer::enable_load_reports(net::NodeId scheduler,
+                                     sim::SimTime interval) {
+  disable_load_reports();
+  load_report_target_ = scheduler;
+  load_report_timer_ = stack_.simulator().schedule_periodic(
+      sim::SimTime::zero(), interval, [this] {
+        auto report = std::make_shared<core::LoadReportMessage>();
+        report->server = id();
+        report->outstanding_tasks = outstanding_tasks();
+        stack_.send_datagram(load_report_target_, net::kTaskPort,
+                             net::kSchedulerPort, net::kHeaderBytes + 8,
+                             std::move(report));
+      });
+}
+
+void EdgeServer::disable_load_reports() { load_report_timer_.cancel(); }
+
+void EdgeServer::on_done_ack(const net::Packet& p) {
+  const auto* ack = dynamic_cast<const TaskDoneAck*>(p.app.get());
+  if (ack == nullptr) return;
+  unacked_.erase({ack->job_id, ack->task_index});
+}
+
+void EdgeServer::on_task_arrival(
+    net::NodeId peer, sim::Bytes bytes,
+    const std::shared_ptr<const net::AppMessage>& msg) {
+  (void)bytes;
+  const auto* desc = dynamic_cast<const TaskDescriptor*>(msg.get());
+  if (desc == nullptr) return;  // not a task submission (e.g. plain iperf)
+  ++received_;
+
+  TaskRecord& record =
+      metrics_.at(desc->spec.job_id, desc->spec.task_index);
+  record.transfer_end = stack_.simulator().now();
+  record.server = id();
+
+  waiting_.push_back(PendingTask{desc->spec, peer, desc->done_port});
+  maybe_start_next();
+}
+
+void EdgeServer::maybe_start_next() {
+  while (!waiting_.empty() &&
+         (cfg_.worker_slots <= 0 || running_ < cfg_.worker_slots)) {
+    PendingTask task = std::move(waiting_.front());
+    waiting_.pop_front();
+    execute(std::move(task));
+  }
+}
+
+void EdgeServer::execute(PendingTask task) {
+  ++running_;
+  high_water_ = std::max<std::int64_t>(high_water_, running_);
+  const sim::SimTime exec_time = task.spec.exec_time;
+  stack_.simulator().schedule_after(
+      exec_time, [this, alive = alive_, task = std::move(task)] {
+        if (!*alive) return;
+        --running_;
+        finish(task);
+        maybe_start_next();
+      });
+}
+
+void EdgeServer::finish(const PendingTask& task) {
+  ++executed_;
+  TaskRecord& record = metrics_.at(task.spec.job_id, task.spec.task_index);
+  record.exec_end = stack_.simulator().now();
+  unacked_.insert({task.spec.job_id, task.spec.task_index});
+  send_done(task, 0);
+}
+
+void EdgeServer::send_done(const PendingTask& task, std::int32_t attempt) {
+  const auto key = std::make_pair(task.spec.job_id, task.spec.task_index);
+  if (!unacked_.contains(key)) return;
+
+  auto done = std::make_shared<TaskDoneMessage>();
+  done->job_id = task.spec.job_id;
+  done->task_index = task.spec.task_index;
+  done->server = id();
+  stack_.send_datagram(task.submitter, net::kTaskPort, task.done_port,
+                       net::kHeaderBytes + 16, std::move(done));
+  // Unbounded retransmission with exponential backoff (capped at 10 s):
+  // congestion hotspots move, so delivery eventually succeeds, and a task
+  // must never be lost to a dropped notification.
+  const sim::SimTime delay =
+      std::min(sim::SimTime::seconds(1) * (std::int64_t{1} << std::min(attempt, 4)),
+               sim::SimTime::seconds(10));
+  stack_.simulator().schedule_after(
+      delay, [this, alive = alive_, task, attempt] {
+        if (!*alive) return;
+        send_done(task, attempt + 1);
+      });
+}
+
+}  // namespace intsched::edge

@@ -1,0 +1,94 @@
+#include "intsched/edge/metrics.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "intsched/sim/strfmt.hpp"
+
+namespace intsched::edge {
+
+TaskRecord& MetricsCollector::open(const TaskSpec& spec, net::NodeId device) {
+  const auto key = std::make_pair(spec.job_id, spec.task_index);
+  const auto [it, inserted] = records_.try_emplace(key);
+  if (!inserted) {
+    throw std::logic_error(sim::cat("task (", spec.job_id, ",",
+                                    spec.task_index, ") opened twice"));
+  }
+  TaskRecord& r = it->second;
+  r.job_id = spec.job_id;
+  r.task_index = spec.task_index;
+  r.cls = spec.cls;
+  r.device = device;
+  r.data_bytes = spec.data_bytes;
+  r.exec_time = spec.exec_time;
+  return r;
+}
+
+TaskRecord& MetricsCollector::at(std::int64_t job_id,
+                                 std::int32_t task_index) {
+  const auto it = records_.find({job_id, task_index});
+  if (it == records_.end()) {
+    throw std::logic_error(
+        sim::cat("unknown task (", job_id, ",", task_index, ")"));
+  }
+  return it->second;
+}
+
+const TaskRecord* MetricsCollector::find(std::int64_t job_id,
+                                         std::int32_t task_index) const {
+  const auto it = records_.find({job_id, task_index});
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<const TaskRecord*> MetricsCollector::records() const {
+  std::vector<const TaskRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& [_, r] : records_) out.push_back(&r);
+  return out;
+}
+
+std::optional<double> MetricsCollector::mean_completion_s(
+    TaskClass cls) const {
+  sim::RunningStats stats;
+  for (const auto& [_, r] : records_) {
+    if (r.cls == cls && r.is_complete()) {
+      stats.add(r.completion_time().to_seconds());
+    }
+  }
+  if (stats.count() == 0) return std::nullopt;
+  return stats.mean();
+}
+
+std::optional<double> MetricsCollector::mean_transfer_s(TaskClass cls) const {
+  sim::RunningStats stats;
+  for (const auto& [_, r] : records_) {
+    if (r.cls == cls && r.is_complete() &&
+        r.transfer_end >= sim::SimTime::zero()) {
+      stats.add(r.transfer_time().to_seconds());
+    }
+  }
+  if (stats.count() == 0) return std::nullopt;
+  return stats.mean();
+}
+
+std::vector<double> paired_gains(const MetricsCollector& treatment,
+                                 const MetricsCollector& baseline,
+                                 bool use_transfer_time) {
+  std::vector<double> gains;
+  for (const TaskRecord* t : treatment.records()) {
+    if (!t->is_complete()) continue;
+    const TaskRecord* b = baseline.find(t->job_id, t->task_index);
+    if (b == nullptr || !b->is_complete()) continue;
+    const double treat = use_transfer_time
+                             ? t->transfer_time().to_seconds()
+                             : t->completion_time().to_seconds();
+    const double base = use_transfer_time
+                            ? b->transfer_time().to_seconds()
+                            : b->completion_time().to_seconds();
+    if (base <= 0.0) continue;
+    gains.push_back((base - treat) / base);
+  }
+  return gains;
+}
+
+}  // namespace intsched::edge

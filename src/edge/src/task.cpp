@@ -1,0 +1,56 @@
+#include "intsched/edge/task.hpp"
+
+namespace intsched::edge {
+
+const char* to_string(TaskClass cls) {
+  switch (cls) {
+    case TaskClass::kVerySmall: return "very-small";
+    case TaskClass::kSmall: return "small";
+    case TaskClass::kMedium: return "medium";
+    case TaskClass::kLarge: return "large";
+  }
+  return "?";
+}
+
+const char* short_name(TaskClass cls) {
+  switch (cls) {
+    case TaskClass::kVerySmall: return "VS";
+    case TaskClass::kSmall: return "S";
+    case TaskClass::kMedium: return "M";
+    case TaskClass::kLarge: return "L";
+  }
+  return "?";
+}
+
+const TaskClassSpec& task_class_spec(TaskClass cls) {
+  static const TaskClassSpec specs[] = {
+      // VS: 0-1000 KB, 0-2000 ms (1 KB floor so transfers are non-empty).
+      {1 * sim::kKB, 1000 * sim::kKB, sim::SimTime::zero(),
+       sim::SimTime::milliseconds(2000)},
+      // S: 1500-2500 KB, 2500-4500 ms.
+      {1500 * sim::kKB, 2500 * sim::kKB, sim::SimTime::milliseconds(2500),
+       sim::SimTime::milliseconds(4500)},
+      // M: 3000-4000 KB, 5000-7000 ms.
+      {3000 * sim::kKB, 4000 * sim::kKB, sim::SimTime::milliseconds(5000),
+       sim::SimTime::milliseconds(7000)},
+      // L: 4500-5500 KB, 7500-9500 ms.
+      {4500 * sim::kKB, 5500 * sim::kKB, sim::SimTime::milliseconds(7500),
+       sim::SimTime::milliseconds(9500)},
+  };
+  return specs[static_cast<std::size_t>(cls)];
+}
+
+TaskSpec sample_task(TaskClass cls, std::int64_t job_id,
+                     std::int32_t task_index, sim::Rng& rng) {
+  const TaskClassSpec& spec = task_class_spec(cls);
+  TaskSpec task;
+  task.job_id = job_id;
+  task.task_index = task_index;
+  task.cls = cls;
+  task.data_bytes = rng.uniform_int(spec.data_min, spec.data_max);
+  task.exec_time = sim::SimTime::nanoseconds(
+      rng.uniform_int(spec.exec_min.ns(), spec.exec_max.ns()));
+  return task;
+}
+
+}  // namespace intsched::edge

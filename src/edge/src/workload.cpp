@@ -1,0 +1,57 @@
+#include "intsched/edge/workload.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace intsched::edge {
+
+const char* to_string(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kServerless: return "serverless";
+    case WorkloadKind::kDistributed: return "distributed";
+  }
+  return "?";
+}
+
+std::int32_t tasks_per_job(WorkloadKind kind) {
+  return kind == WorkloadKind::kServerless ? 1 : 3;
+}
+
+std::vector<JobSpec> generate_workload(
+    const WorkloadConfig& config, const std::vector<net::NodeId>& submitters,
+    sim::Rng& rng) {
+  if (submitters.empty()) {
+    throw std::invalid_argument("generate_workload: no submitters");
+  }
+  if (config.classes.empty()) {
+    throw std::invalid_argument("generate_workload: no task classes");
+  }
+  const std::int32_t per_job = tasks_per_job(config.kind);
+  const std::int32_t n_jobs =
+      (config.total_tasks + per_job - 1) / per_job;
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(n_jobs));
+  sim::SimTime at = config.first_submit;
+  for (std::int32_t j = 0; j < n_jobs; ++j) {
+    JobSpec job;
+    job.job_id = j;
+    job.kind = config.kind;
+    job.cls = config.classes[static_cast<std::size_t>(j) %
+                             config.classes.size()];
+    job.submitter = submitters[static_cast<std::size_t>(
+        rng.index(static_cast<std::int64_t>(submitters.size())))];
+    job.submit_at = at;
+    for (std::int32_t t = 0; t < per_job; ++t) {
+      job.tasks.push_back(sample_task(job.cls, j, t, rng));
+    }
+    jobs.push_back(std::move(job));
+
+    const double jitter = rng.uniform_real(0.75, 1.25);
+    at += sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+        static_cast<double>(config.job_interval.ns()) * jitter));
+  }
+  return jobs;
+}
+
+}  // namespace intsched::edge

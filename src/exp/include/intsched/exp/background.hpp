@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "intsched/sim/rng.hpp"
+#include "intsched/transport/iperf.hpp"
+
+namespace intsched::exp {
+
+/// §IV background-congestion patterns.
+enum class BackgroundMode : std::uint8_t {
+  kNone,
+  /// Main experiments: "at any given time, one or two iperf transfers run
+  /// between randomly selected nodes for 30 s or 60 s".
+  kRandomPairs,
+  /// §IV-C Traffic 1: three transfers, 30 s on / 30 s off, 10 s stagger
+  /// (slow-changing congestion).
+  kPattern1,
+  /// §IV-C Traffic 2: three transfers, 5 s on / 5 s off, ~3 s stagger
+  /// (fast-changing congestion).
+  kPattern2,
+};
+
+[[nodiscard]] const char* to_string(BackgroundMode mode);
+
+struct BackgroundConfig {
+  BackgroundMode mode = BackgroundMode::kRandomPairs;
+  std::uint64_t seed = 42;
+  /// Per-flow CBR rate range as a fraction of the nominal 20 Mbps
+  /// effective switch capacity; drawn per flow. The upper end exceeding
+  /// 1.0 creates genuinely saturated hotspots.
+  double rate_min_fraction = 0.6;
+  double rate_max_fraction = 1.0;
+  sim::DataRate nominal_capacity = sim::DataRate::megabits_per_second(20.0);
+  sim::Bytes packet_size = 1500;
+};
+
+/// Drives iperf-like UDP flows between random host pairs per the selected
+/// pattern. Deterministic: the flow sequence depends only on the seed, so
+/// compared policy arms see identical congestion (the paper's fairness
+/// rule).
+class BackgroundTraffic {
+ public:
+  BackgroundTraffic(sim::Simulator& sim,
+                    std::vector<transport::HostStack*> hosts,
+                    BackgroundConfig config);
+  ~BackgroundTraffic();
+  BackgroundTraffic(const BackgroundTraffic&) = delete;
+  BackgroundTraffic& operator=(const BackgroundTraffic&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::int64_t flows_started() const { return flows_; }
+
+ private:
+  struct Slot {
+    std::unique_ptr<transport::IperfUdpSender> sender;
+    bool stopped = false;
+  };
+
+  void schedule_cycle(std::size_t slot, sim::SimTime at);
+  void begin_flow(std::size_t slot, sim::SimTime on_duration,
+                  sim::SimTime off_duration);
+
+  sim::Simulator& sim_;
+  std::vector<transport::HostStack*> hosts_;
+  BackgroundConfig cfg_;
+  sim::Rng rng_;
+  std::vector<Slot> slots_;
+  bool running_ = false;
+  std::int64_t flows_ = 0;
+};
+
+}  // namespace intsched::exp

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "intsched/core/policies.hpp"
+#include "intsched/edge/edge_server.hpp"
+#include "intsched/edge/metrics.hpp"
+#include "intsched/edge/workload.hpp"
+#include "intsched/exp/background.hpp"
+#include "intsched/exp/fig4.hpp"
+
+namespace intsched::exp {
+
+/// Everything defining one experiment arm. Two configs differing only in
+/// `policy` see byte-identical workloads and background traffic.
+struct ExperimentConfig {
+  std::uint64_t seed = 42;
+  core::PolicyKind policy = core::PolicyKind::kIntDelay;
+  edge::WorkloadConfig workload{};
+  sim::SimTime probe_interval = sim::SimTime::milliseconds(100);
+  /// Probe-route optimization (the paper's future work): source-route
+  /// probes so every switch-to-switch link is measured. Off = the paper's
+  /// shortest-path probing.
+  bool optimize_probe_routes = false;
+  BackgroundConfig background{};
+  Fig4Config network{};
+  edge::EdgeServerConfig server{};
+  core::RankerConfig ranker{};
+  /// Compute-aware extension knobs; when scheduler.compute_aware is set,
+  /// every edge server also streams load reports to the scheduler.
+  core::SchedulerConfig scheduler{};
+  /// Hard stop even if tasks are still pending (lost-completion safety).
+  sim::SimTime max_duration = sim::SimTime::seconds(3600);
+};
+
+struct ExperimentResult {
+  edge::MetricsCollector metrics;
+  std::int64_t tasks_total = 0;
+  std::int64_t tasks_completed = 0;
+  sim::SimTime sim_duration = sim::SimTime::zero();
+  std::int64_t events_executed = 0;
+
+  // Infrastructure counters for overhead analysis / sanity checks.
+  std::int64_t probes_sent = 0;
+  sim::Bytes probe_bytes_sent = 0;
+  std::int64_t probe_reports = 0;
+  std::int64_t queries_served = 0;
+  std::int64_t switch_queue_drops = 0;
+  std::int64_t background_flows = 0;
+};
+
+/// Builds the Fig.-4 network, deploys the full system (INT programs,
+/// probe agents, scheduler service, edge servers/devices, background
+/// traffic), replays the generated workload under the configured policy,
+/// and runs to completion. Single-threaded and deterministic.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Runs the same config under several policies (same seed => identical
+/// workload + congestion), the paper's comparison methodology.
+[[nodiscard]] std::map<core::PolicyKind, ExperimentResult> run_policy_suite(
+    const ExperimentConfig& base, const std::vector<core::PolicyKind>& arms);
+
+}  // namespace intsched::exp

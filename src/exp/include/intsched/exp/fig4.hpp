@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "intsched/net/topology.hpp"
+#include "intsched/p4/switch.hpp"
+#include "intsched/sim/simulator.hpp"
+
+namespace intsched::exp {
+
+struct Fig4Config {
+  std::uint64_t seed = 42;
+  /// All links carry the paper's 10 ms delay. Rates are 100 Mbps because
+  /// the effective bottleneck is switch processing, exactly as in the
+  /// paper's BMv2 deployment.
+  net::LinkConfig link{};
+  p4::SwitchConfig switch_config{};
+  /// Load the INT telemetry program onto every switch (true for all paper
+  /// experiments; false gives plain forwarding for ablations).
+  bool enable_int = true;
+};
+
+/// The experimental topology of paper Fig. 4: 8 host nodes connected
+/// through 12 P4 switches, realized as four pods (two leaf switches with
+/// one host each + one middle switch) whose middles form a ring. Intra-pod
+/// host pairs — (1,2), (3,4), (5,6), (7,8) — are three switch-hops apart,
+/// matching the paper's "Node 7 and Node 8 are the nearest nodes for each
+/// other". Node 6 is the scheduler.
+class Fig4Network {
+ public:
+  Fig4Network(sim::Simulator& sim, const Fig4Config& config);
+
+  [[nodiscard]] net::Topology& topology() { return topology_; }
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+
+  /// Host nodes in paper order: hosts()[i] is "node<i+1>".
+  [[nodiscard]] const std::vector<net::Host*>& hosts() const {
+    return hosts_;
+  }
+  [[nodiscard]] const std::vector<p4::P4Switch*>& switches() const {
+    return switches_;
+  }
+  /// Node 6 (index 5) per the paper.
+  [[nodiscard]] net::Host& scheduler_host() const { return *hosts_[5]; }
+
+  [[nodiscard]] std::vector<net::NodeId> host_ids() const;
+
+  /// Directed switch-to-switch and switch-to-host links traversed by at
+  /// least one host->scheduler probe path — what INT can actually observe
+  /// under the paper's probing pattern.
+  [[nodiscard]] std::set<std::pair<net::NodeId, net::NodeId>>
+  probe_covered_links() const;
+
+  /// All directed switch-to-switch links (the coverage target for probe
+  /// routing; host downlinks cannot be covered by scheduler-bound probes).
+  [[nodiscard]] std::set<std::pair<net::NodeId, net::NodeId>>
+  switch_links() const;
+
+  /// Probe-route optimization (the paper's §III-A future work): greedily
+  /// assigns each probing host at most one waypoint so the union of probe
+  /// paths covers every directed switch-to-switch link. Returns waypoint
+  /// lists per host id (empty list = default shortest path).
+  [[nodiscard]] std::unordered_map<net::NodeId, std::vector<net::NodeId>>
+  plan_probe_routes() const;
+
+  /// Full node sequence a probe from `host` takes through `waypoints` to
+  /// the scheduler (ground-truth routing).
+  [[nodiscard]] std::vector<net::NodeId> probe_route(
+      net::NodeId host, const std::vector<net::NodeId>& waypoints) const;
+
+ private:
+  net::Topology topology_;
+  std::vector<net::Host*> hosts_;
+  std::vector<p4::P4Switch*> switches_;
+};
+
+}  // namespace intsched::exp

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "intsched/net/topology.hpp"
+#include "intsched/sim/simulator.hpp"
+
+namespace intsched::exp {
+
+/// Periodically samples every port's counters and derives per-interval
+/// link utilization — the ground-truth time series the INT telemetry is
+/// trying to estimate. Used by monitoring examples and for debugging
+/// experiments; exportable as CSV for plotting.
+class FlowMonitor {
+ public:
+  struct Sample {
+    sim::SimTime at;
+    net::NodeId node = net::kInvalidNode;
+    std::int32_t port = -1;
+    net::NodeId peer = net::kInvalidNode;
+    double utilization = 0.0;  ///< busy fraction within the interval
+    std::int64_t tx_packets = 0;
+    std::int64_t drops = 0;
+    std::int64_t queue_depth = 0;
+  };
+
+  FlowMonitor(net::Topology& topology, sim::SimTime interval);
+  ~FlowMonitor() { stop(); }
+  FlowMonitor(const FlowMonitor&) = delete;
+  FlowMonitor& operator=(const FlowMonitor&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+
+  /// Peak utilization seen on any port of the node across all samples.
+  [[nodiscard]] double peak_utilization(net::NodeId node) const;
+
+  /// Writes "time_s,node,port,peer,utilization,tx_packets,drops,queue".
+  void write_csv(std::ostream& os) const;
+
+ private:
+  struct PortState {
+    net::Node* node = nullptr;
+    std::int32_t port = -1;
+    sim::SimTime last_busy = sim::SimTime::zero();
+    std::int64_t last_tx = 0;
+    std::int64_t last_drops = 0;
+  };
+
+  void sample_all();
+
+  net::Topology& topology_;
+  sim::SimTime interval_;
+  sim::PeriodicHandle timer_;
+  std::vector<PortState> ports_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace intsched::exp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "intsched/edge/metrics.hpp"
+
+namespace intsched::exp {
+
+/// Plain-text aligned table, the output format of every bench binary.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_{std::move(title)} {}
+
+  void set_headers(std::vector<std::string> headers) {
+    headers_ = std::move(headers);
+  }
+  void add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Percent improvement of `treatment` over `baseline` (positive = faster).
+[[nodiscard]] double percent_gain(double baseline, double treatment);
+
+/// "1.234" style fixed formatting helpers used by the bench binaries.
+[[nodiscard]] std::string fmt_seconds(double s);
+[[nodiscard]] std::string fmt_percent(double p);
+[[nodiscard]] std::string fmt_opt_seconds(const std::optional<double>& s);
+
+/// CSV escape-free writer for downstream plotting; one call per row.
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells);
+
+}  // namespace intsched::exp

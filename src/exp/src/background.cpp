@@ -1,0 +1,116 @@
+#include "intsched/exp/background.hpp"
+
+#include <cassert>
+
+#include "intsched/sim/strfmt.hpp"
+
+namespace intsched::exp {
+
+const char* to_string(BackgroundMode mode) {
+  switch (mode) {
+    case BackgroundMode::kNone: return "none";
+    case BackgroundMode::kRandomPairs: return "random-pairs";
+    case BackgroundMode::kPattern1: return "traffic-1";
+    case BackgroundMode::kPattern2: return "traffic-2";
+  }
+  return "?";
+}
+
+BackgroundTraffic::BackgroundTraffic(
+    sim::Simulator& sim, std::vector<transport::HostStack*> hosts,
+    BackgroundConfig config)
+    : sim_{sim},
+      hosts_{std::move(hosts)},
+      cfg_{config},
+      rng_{sim::Rng::derive(config.seed, "background-traffic")} {
+  assert(hosts_.size() >= 2);
+}
+
+BackgroundTraffic::~BackgroundTraffic() { stop(); }
+
+void BackgroundTraffic::start() {
+  if (running_ || cfg_.mode == BackgroundMode::kNone) return;
+  running_ = true;
+  switch (cfg_.mode) {
+    case BackgroundMode::kNone:
+      break;
+    case BackgroundMode::kRandomPairs:
+      // Slot 0 runs back-to-back flows; slot 1 alternates flow/idle, so
+      // 1-2 flows are live at any instant.
+      slots_.resize(2);
+      schedule_cycle(0, sim::SimTime::zero());
+      schedule_cycle(1, sim::SimTime::zero());
+      break;
+    case BackgroundMode::kPattern1:
+      slots_.resize(3);
+      for (std::size_t s = 0; s < 3; ++s) {
+        schedule_cycle(s, sim::SimTime::seconds(10 * static_cast<int>(s)));
+      }
+      break;
+    case BackgroundMode::kPattern2:
+      slots_.resize(3);
+      for (std::size_t s = 0; s < 3; ++s) {
+        schedule_cycle(s, sim::SimTime::seconds(3 * static_cast<int>(s)));
+      }
+      break;
+  }
+}
+
+void BackgroundTraffic::stop() {
+  running_ = false;
+  for (Slot& slot : slots_) {
+    slot.stopped = true;
+    if (slot.sender) slot.sender->stop();
+  }
+}
+
+void BackgroundTraffic::schedule_cycle(std::size_t slot, sim::SimTime at) {
+  sim_.schedule_after(at, [this, slot] {
+    if (!running_ || slots_[slot].stopped) return;
+    switch (cfg_.mode) {
+      case BackgroundMode::kNone:
+        return;
+      case BackgroundMode::kRandomPairs: {
+        const sim::SimTime on =
+            rng_.chance(0.5) ? sim::SimTime::seconds(30)
+                             : sim::SimTime::seconds(60);
+        // Slot 0: continuous; slot 1: idle as long as it ran.
+        const sim::SimTime off = slot == 0 ? sim::SimTime::zero() : on;
+        begin_flow(slot, on, off);
+        return;
+      }
+      case BackgroundMode::kPattern1:
+        begin_flow(slot, sim::SimTime::seconds(30), sim::SimTime::seconds(30));
+        return;
+      case BackgroundMode::kPattern2:
+        begin_flow(slot, sim::SimTime::seconds(5), sim::SimTime::seconds(5));
+        return;
+    }
+  });
+}
+
+void BackgroundTraffic::begin_flow(std::size_t slot, sim::SimTime on_duration,
+                                   sim::SimTime off_duration) {
+  const auto n = static_cast<std::int64_t>(hosts_.size());
+  const auto src = rng_.index(n);
+  auto dst = rng_.index(n - 1);
+  if (dst >= src) ++dst;  // distinct pair
+
+  const double fraction =
+      rng_.uniform_real(cfg_.rate_min_fraction, cfg_.rate_max_fraction);
+
+  transport::IperfUdpSender::Config flow_cfg;
+  flow_cfg.rate = cfg_.nominal_capacity * fraction;
+  flow_cfg.packet_size = cfg_.packet_size;
+
+  Slot& s = slots_[slot];
+  s.sender = std::make_unique<transport::IperfUdpSender>(
+      *hosts_[static_cast<std::size_t>(src)],
+      hosts_[static_cast<std::size_t>(dst)]->host().id(), flow_cfg);
+  s.sender->start(on_duration);
+  ++flows_;
+
+  schedule_cycle(slot, on_duration + off_duration);
+}
+
+}  // namespace intsched::exp

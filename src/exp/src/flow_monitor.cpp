@@ -1,0 +1,70 @@
+#include "intsched/exp/flow_monitor.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "intsched/exp/report.hpp"
+
+namespace intsched::exp {
+
+FlowMonitor::FlowMonitor(net::Topology& topology, sim::SimTime interval)
+    : topology_{topology}, interval_{interval} {
+  for (net::NodeId id = 0;
+       id < static_cast<net::NodeId>(topology_.node_count()); ++id) {
+    net::Node& node = topology_.node(id);
+    for (std::int32_t p = 0; p < node.port_count(); ++p) {
+      ports_.push_back(PortState{&node, p, sim::SimTime::zero(), 0, 0});
+    }
+  }
+}
+
+void FlowMonitor::start() {
+  if (timer_.active()) return;
+  timer_ = topology_.simulator().schedule_periodic(
+      interval_, interval_, [this] { sample_all(); });
+}
+
+void FlowMonitor::stop() { timer_.cancel(); }
+
+void FlowMonitor::sample_all() {
+  const sim::SimTime now = topology_.simulator().now();
+  for (PortState& state : ports_) {
+    const net::Port& port = state.node->port(state.port);
+    Sample s;
+    s.at = now;
+    s.node = state.node->id();
+    s.port = state.port;
+    s.peer = port.peer() != nullptr ? port.peer()->id() : net::kInvalidNode;
+    s.utilization = (port.busy_time() - state.last_busy) / interval_;
+    s.tx_packets = port.tx_packets() - state.last_tx;
+    s.drops = port.queue().dropped() - state.last_drops;
+    s.queue_depth = port.queue().size_pkts();
+    samples_.push_back(s);
+
+    state.last_busy = port.busy_time();
+    state.last_tx = port.tx_packets();
+    state.last_drops = port.queue().dropped();
+  }
+}
+
+double FlowMonitor::peak_utilization(net::NodeId node) const {
+  double peak = 0.0;
+  for (const Sample& s : samples_) {
+    if (s.node == node) peak = std::max(peak, s.utilization);
+  }
+  return peak;
+}
+
+void FlowMonitor::write_csv(std::ostream& os) const {
+  os << "time_s,node,port,peer,utilization,tx_packets,drops,queue\n";
+  for (const Sample& s : samples_) {
+    write_csv_row(os, {fmt_seconds(s.at.to_seconds()),
+                       std::to_string(s.node), std::to_string(s.port),
+                       std::to_string(s.peer), fmt_seconds(s.utilization),
+                       std::to_string(s.tx_packets),
+                       std::to_string(s.drops),
+                       std::to_string(s.queue_depth)});
+  }
+}
+
+}  // namespace intsched::exp

@@ -1,0 +1,71 @@
+#include "intsched/exp/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "intsched/sim/strfmt.hpp"
+
+namespace intsched::exp {
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  const auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  os << "== " << title_ << " ==\n";
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) {
+        os << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) {
+    print_row(headers_);
+    std::size_t rule = 0;
+    for (const std::size_t w : widths) rule += w + 2;
+    os << std::string(rule > 2 ? rule - 2 : rule, '-') << '\n';
+  }
+  for (const auto& row : rows_) print_row(row);
+  os << '\n';
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+double percent_gain(double baseline, double treatment) {
+  if (baseline <= 0.0) return 0.0;
+  return (baseline - treatment) / baseline * 100.0;
+}
+
+std::string fmt_seconds(double s) { return sim::cat(sim::fixed(s, 3)); }
+
+std::string fmt_percent(double p) {
+  return sim::cat(sim::fixed(p, 1), "%");
+}
+
+std::string fmt_opt_seconds(const std::optional<double>& s) {
+  return s.has_value() ? fmt_seconds(*s) : std::string{"n/a"};
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    os << cells[i];
+    if (i + 1 < cells.size()) os << ',';
+  }
+  os << '\n';
+}
+
+}  // namespace intsched::exp

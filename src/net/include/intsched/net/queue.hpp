@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "intsched/net/packet.hpp"
+
+namespace intsched::net {
+
+/// FIFO drop-tail egress queue with occupancy instrumentation. This is the
+/// queue whose length the INT data-plane program samples: the paper's whole
+/// congestion signal is "max egress queue occupancy within a probing
+/// interval".
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(std::int64_t capacity_pkts)
+      : capacity_{capacity_pkts} {}
+
+  /// Enqueues, or drops when full. Returns true if enqueued.
+  bool enqueue(Packet&& p);
+
+  /// Pops the head packet; nullopt when empty.
+  std::optional<Packet> dequeue();
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::int64_t size_pkts() const {
+    return static_cast<std::int64_t>(q_.size());
+  }
+  [[nodiscard]] sim::Bytes size_bytes() const { return bytes_; }
+  [[nodiscard]] std::int64_t capacity_pkts() const { return capacity_; }
+
+  // Lifetime counters.
+  [[nodiscard]] std::int64_t enqueued() const { return enqueued_; }
+  [[nodiscard]] std::int64_t dequeued() const { return dequeued_; }
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+
+  /// Observer invoked on every enqueue attempt with the occupancy the
+  /// arriving packet observed (pre-enqueue depth — BMv2's enq_qdepth
+  /// semantics; a full queue reports its capacity on drop). The INT
+  /// program uses this to maintain its max-occupancy register at packet
+  /// granularity. Idle queues therefore report 0, matching the paper's
+  /// "many packets observe empty queue".
+  void set_occupancy_observer(std::function<void(std::int64_t)> cb) {
+    occupancy_observer_ = std::move(cb);
+  }
+  void set_drop_observer(std::function<void(const Packet&)> cb) {
+    drop_observer_ = std::move(cb);
+  }
+
+ private:
+  std::deque<Packet> q_;
+  std::int64_t capacity_;
+  sim::Bytes bytes_ = 0;
+  std::int64_t enqueued_ = 0;
+  std::int64_t dequeued_ = 0;
+  std::int64_t dropped_ = 0;
+  std::function<void(std::int64_t)> occupancy_observer_;
+  std::function<void(const Packet&)> drop_observer_;
+};
+
+}  // namespace intsched::net

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "intsched/net/packet.hpp"
+#include "intsched/sim/time.hpp"
+
+namespace intsched::net {
+
+/// Lightweight graph view of a topology used by the routing computation and
+/// by the scheduler's network map. Edges are directed; connect() in the
+/// topology adds both directions.
+struct Graph {
+  struct Edge {
+    NodeId to = kInvalidNode;
+    std::int32_t out_port = -1;   ///< egress port on the source node
+    sim::SimTime cost = sim::SimTime::zero();
+  };
+
+  /// adjacency[node] -> outgoing edges, in insertion order.
+  std::unordered_map<NodeId, std::vector<Edge>> adjacency;
+
+  void add_edge(NodeId from, NodeId to, std::int32_t out_port,
+                sim::SimTime cost);
+  [[nodiscard]] bool has_node(NodeId n) const {
+    return adjacency.contains(n);
+  }
+  [[nodiscard]] std::vector<NodeId> nodes() const;
+};
+
+/// Result of a single-source shortest-path run.
+struct ShortestPaths {
+  NodeId source = kInvalidNode;
+  /// Distance from source; missing key = unreachable.
+  std::unordered_map<NodeId, sim::SimTime> distance;
+  /// Predecessor on the chosen shortest path (deterministic tie-break:
+  /// smallest predecessor id wins).
+  std::unordered_map<NodeId, NodeId> predecessor;
+  /// First-hop egress port at the source toward each destination.
+  std::unordered_map<NodeId, std::int32_t> first_hop_port;
+
+  /// Node sequence source..dst inclusive; empty if unreachable.
+  [[nodiscard]] std::vector<NodeId> path_to(NodeId dst) const;
+};
+
+/// Dijkstra with deterministic tie-breaking (by distance, then node id) so
+/// route tables — and therefore every experiment — are reproducible.
+[[nodiscard]] ShortestPaths dijkstra(const Graph& g, NodeId source);
+
+}  // namespace intsched::net

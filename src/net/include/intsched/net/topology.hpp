@@ -1,0 +1,70 @@
+#pragma once
+
+#include <concepts>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "intsched/net/node.hpp"
+#include "intsched/net/routing.hpp"
+#include "intsched/sim/simulator.hpp"
+
+namespace intsched::net {
+
+/// Owns all nodes of an emulated network, wires them together, and installs
+/// shortest-path routes. The mininet-equivalent of this reproduction.
+class Topology {
+ public:
+  explicit Topology(sim::Simulator& sim) : sim_{sim} {}
+
+  /// Creates a node of type T (must derive from Node). The id is assigned
+  /// sequentially and doubles as the node's address.
+  template <std::derived_from<Node> T, typename... Args>
+  T& add_node(std::string name, Args&&... args) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    auto node = std::make_unique<T>(sim_, id, std::move(name),
+                                    std::forward<Args>(args)...);
+    T& ref = *node;
+    by_id_.emplace(id, node.get());
+    nodes_.push_back(std::move(node));
+    return ref;
+  }
+
+  /// Creates a full-duplex link: one port on each node, cross-connected,
+  /// both directions using `cfg`.
+  void connect(Node& a, Node& b, const LinkConfig& cfg);
+
+  /// Computes shortest paths (cost = propagation delay) between all pairs
+  /// and installs next-hop forwarding state into every node. Must be called
+  /// after all connect() calls and before traffic starts.
+  void install_routes();
+
+  /// Ground-truth graph (edge cost = propagation delay). Valid after the
+  /// first connect().
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+
+  /// Ground-truth node sequence a..b inclusive along installed routes.
+  /// Requires install_routes() to have run.
+  [[nodiscard]] std::vector<NodeId> path(NodeId a, NodeId b) const;
+
+  /// Ground-truth path delay (sum of link propagation delays), the
+  /// uncongested baseline the paper's Delay() formula estimates.
+  [[nodiscard]] sim::SimTime path_delay(NodeId a, NodeId b) const;
+
+  [[nodiscard]] Node& node(NodeId id) const;
+  [[nodiscard]] std::vector<Node*> nodes_of_kind(NodeKind kind) const;
+  [[nodiscard]] std::int64_t node_count() const {
+    return static_cast<std::int64_t>(nodes_.size());
+  }
+  [[nodiscard]] sim::Simulator& simulator() const { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<NodeId, Node*> by_id_;
+  Graph graph_;
+  std::unordered_map<NodeId, ShortestPaths> paths_;  // per source
+};
+
+}  // namespace intsched::net

@@ -1,0 +1,13 @@
+#include "intsched/net/packet.hpp"
+
+#include "intsched/sim/strfmt.hpp"
+
+namespace intsched::net {
+
+std::string to_string(const Packet& p) {
+  const char* proto = p.protocol == IpProtocol::kUdp ? "udp" : "tcp";
+  return sim::cat("pkt[uid=", p.uid, " ", p.src, "->", p.dst, " ", proto, " ",
+                  p.wire_size, "B", p.is_int_probe() ? " probe" : "", "]");
+}
+
+}  // namespace intsched::net

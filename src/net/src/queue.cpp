@@ -1,0 +1,29 @@
+#include "intsched/net/queue.hpp"
+
+namespace intsched::net {
+
+bool DropTailQueue::enqueue(Packet&& p) {
+  const std::int64_t observed_depth = size_pkts();
+  if (observed_depth >= capacity_) {
+    ++dropped_;
+    if (drop_observer_) drop_observer_(p);
+    if (occupancy_observer_) occupancy_observer_(observed_depth);
+    return false;
+  }
+  bytes_ += p.wire_size;
+  q_.push_back(std::move(p));
+  ++enqueued_;
+  if (occupancy_observer_) occupancy_observer_(observed_depth);
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue() {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p.wire_size;
+  ++dequeued_;
+  return p;
+}
+
+}  // namespace intsched::net

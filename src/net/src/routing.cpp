@@ -1,0 +1,85 @@
+#include "intsched/net/routing.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace intsched::net {
+
+void Graph::add_edge(NodeId from, NodeId to, std::int32_t out_port,
+                     sim::SimTime cost) {
+  adjacency[from].push_back(Edge{to, out_port, cost});
+  adjacency.try_emplace(to);  // ensure isolated sinks are known nodes
+}
+
+std::vector<NodeId> Graph::nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(adjacency.size());
+  for (const auto& [n, _] : adjacency) out.push_back(n);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> ShortestPaths::path_to(NodeId dst) const {
+  std::vector<NodeId> path;
+  if (!distance.contains(dst)) return path;
+  for (NodeId cur = dst; cur != source;) {
+    path.push_back(cur);
+    const auto it = predecessor.find(cur);
+    if (it == predecessor.end()) return {};  // defensive: broken chain
+    cur = it->second;
+  }
+  path.push_back(source);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPaths dijkstra(const Graph& g, NodeId source) {
+  ShortestPaths result;
+  result.source = source;
+
+  struct QueueEntry {
+    sim::SimTime dist;
+    NodeId node;
+    bool operator>(const QueueEntry& o) const {
+      if (dist != o.dist) return dist > o.dist;
+      return node > o.node;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      frontier;
+
+  result.distance[source] = sim::SimTime::zero();
+  frontier.push({sim::SimTime::zero(), source});
+
+  while (!frontier.empty()) {
+    const auto [dist, node] = frontier.top();
+    frontier.pop();
+    const auto best = result.distance.find(node);
+    if (best == result.distance.end() || dist > best->second) continue;
+
+    const auto adj = g.adjacency.find(node);
+    if (adj == g.adjacency.end()) continue;
+    for (const auto& edge : adj->second) {
+      const sim::SimTime next_dist = dist + edge.cost;
+      const auto cur = result.distance.find(edge.to);
+      const bool improves = cur == result.distance.end() ||
+                            next_dist < cur->second;
+      // Deterministic tie-break: keep the path whose predecessor id is
+      // smaller, so route tables never depend on hash-map iteration order.
+      const bool ties_better = cur != result.distance.end() &&
+                               next_dist == cur->second &&
+                               node < result.predecessor.at(edge.to);
+      if (!improves && !ties_better) continue;
+      result.distance[edge.to] = next_dist;
+      result.predecessor[edge.to] = node;
+      result.first_hop_port[edge.to] =
+          node == source ? edge.out_port : result.first_hop_port[node];
+      frontier.push({next_dist, edge.to});
+    }
+  }
+  result.first_hop_port.erase(source);
+  return result;
+}
+
+}  // namespace intsched::net

@@ -1,0 +1,65 @@
+#include "intsched/net/topology.hpp"
+
+#include "intsched/sim/strfmt.hpp"
+#include <stdexcept>
+
+namespace intsched::net {
+
+void Topology::connect(Node& a, Node& b, const LinkConfig& cfg) {
+  Port& pa = a.add_port(cfg);
+  Port& pb = b.add_port(cfg);
+  pa.connect_to(b, pb.index());
+  pb.connect_to(a, pa.index());
+  graph_.add_edge(a.id(), b.id(), pa.index(), cfg.prop_delay);
+  graph_.add_edge(b.id(), a.id(), pb.index(), cfg.prop_delay);
+}
+
+void Topology::install_routes() {
+  paths_.clear();
+  for (const auto& node : nodes_) {
+    ShortestPaths sp = dijkstra(graph_, node->id());
+    for (const auto& [dst, port] : sp.first_hop_port) {
+      node->set_route(dst, port);
+    }
+    paths_.emplace(node->id(), std::move(sp));
+  }
+}
+
+std::vector<NodeId> Topology::path(NodeId a, NodeId b) const {
+  const auto it = paths_.find(a);
+  if (it == paths_.end()) {
+    throw std::logic_error("Topology::path before install_routes()");
+  }
+  return it->second.path_to(b);
+}
+
+sim::SimTime Topology::path_delay(NodeId a, NodeId b) const {
+  const auto it = paths_.find(a);
+  if (it == paths_.end()) {
+    throw std::logic_error("Topology::path_delay before install_routes()");
+  }
+  const auto d = it->second.distance.find(b);
+  if (d == it->second.distance.end()) {
+    throw std::invalid_argument(
+        sim::cat("no path from node ", a, " to node ", b));
+  }
+  return d->second;
+}
+
+Node& Topology::node(NodeId id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    throw std::invalid_argument(sim::cat("unknown node id ", id));
+  }
+  return *it->second;
+}
+
+std::vector<Node*> Topology::nodes_of_kind(NodeKind kind) const {
+  std::vector<Node*> out;
+  for (const auto& node : nodes_) {
+    if (node->kind() == kind) out.push_back(node.get());
+  }
+  return out;
+}
+
+}  // namespace intsched::net

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+
+#include "intsched/net/packet.hpp"
+#include "intsched/sim/time.hpp"
+
+namespace intsched::p4 {
+
+class P4Switch;
+
+/// Per-packet pipeline state, the analogue of P4's standard_metadata plus
+/// the parsed packet itself.
+struct PipelineContext {
+  net::Packet& packet;
+  P4Switch& device;
+  std::int32_t ingress_port = -1;
+  std::int32_t egress_port = -1;  ///< set by the ingress control flow
+  bool drop = false;
+  sim::SimTime now;  ///< device-local time (includes modelled clock skew)
+};
+
+/// A data-plane program in the BMv2 architecture: Parser -> Ingress ->
+/// (egress queueing) -> Egress -> Deparser. The switch invokes parse() and
+/// ingress() on arrival, then egress() and deparse() as the packet leaves
+/// its egress queue — exactly where the paper's INT program samples
+/// registers into probe packets and applies egress timestamps.
+class P4Program {
+ public:
+  virtual ~P4Program() = default;
+
+  /// Called once when the program is loaded onto a switch, after all ports
+  /// exist. Register allocation and queue instrumentation happen here.
+  virtual void on_attach(P4Switch& device) { (void)device; }
+
+  /// Parser stage: header validation/extraction. May mark the packet for
+  /// drop on parse errors.
+  virtual void parse(PipelineContext& ctx) { (void)ctx; }
+
+  /// Ingress control flow: forwarding decision + ingress-side actions.
+  virtual void ingress(PipelineContext& ctx) = 0;
+
+  /// Egress control flow: runs when the packet leaves the egress queue.
+  virtual void egress(PipelineContext& ctx) { (void)ctx; }
+
+  /// Deparser: final packet reconstruction before serialization.
+  virtual void deparse(PipelineContext& ctx) { (void)ctx; }
+};
+
+/// Baseline program: plain L3 forwarding through the match-action table,
+/// no telemetry. Used by non-INT switches and as the base class for the
+/// INT data-plane program.
+class ForwardingProgram : public P4Program {
+ public:
+  void ingress(PipelineContext& ctx) override;
+
+ protected:
+  /// Sets ctx.egress_port toward `target` via the match-action table;
+  /// marks the packet for drop when no entry exists.
+  static void forward_toward(PipelineContext& ctx, net::NodeId target);
+};
+
+}  // namespace intsched::p4

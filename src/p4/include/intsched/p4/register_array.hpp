@@ -1,0 +1,64 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace intsched::p4 {
+
+/// A P4 register extern: an array of stateful cells the data plane reads
+/// and writes per packet. The INT program keeps one cell per egress port
+/// (max queue occupancy since last collection) plus a device-wide cell —
+/// the paper's "one register for each INT parameter".
+class RegisterArray {
+ public:
+  RegisterArray(std::string name, std::int64_t size,
+                std::int64_t initial = 0)
+      : name_{std::move(name)},
+        initial_{initial},
+        cells_(static_cast<std::size_t>(size), initial) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(cells_.size());
+  }
+
+  [[nodiscard]] std::int64_t read(std::int64_t index) const {
+    assert(index >= 0 && index < size());
+    return cells_[static_cast<std::size_t>(index)];
+  }
+
+  void write(std::int64_t index, std::int64_t value) {
+    assert(index >= 0 && index < size());
+    cells_[static_cast<std::size_t>(index)] = value;
+  }
+
+  /// cells[index] = max(cells[index], value) — the INT program's
+  /// per-packet update.
+  void update_max(std::int64_t index, std::int64_t value) {
+    assert(index >= 0 && index < size());
+    auto& cell = cells_[static_cast<std::size_t>(index)];
+    cell = std::max(cell, value);
+  }
+
+  /// Resets one cell to its initial value and returns the previous
+  /// contents — the collect-and-reset a probe packet performs.
+  std::int64_t collect(std::int64_t index) {
+    assert(index >= 0 && index < size());
+    auto& cell = cells_[static_cast<std::size_t>(index)];
+    const std::int64_t value = cell;
+    cell = initial_;
+    return value;
+  }
+
+  void reset_all() { std::ranges::fill(cells_, initial_); }
+
+ private:
+  std::string name_;
+  std::int64_t initial_;
+  std::vector<std::int64_t> cells_;
+};
+
+}  // namespace intsched::p4

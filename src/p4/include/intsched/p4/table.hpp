@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+namespace intsched::p4 {
+
+/// An exact-match match-action table. Keys are looked up per packet; a hit
+/// runs the bound action value, a miss runs the default action. This is the
+/// P4 `table { key = { ... : exact; } actions = {...} }` shape; LPM is not
+/// needed because the simulator's addresses are flat node ids.
+template <typename Key, typename Value>
+class ExactMatchTable {
+ public:
+  void insert(const Key& key, Value value) {
+    entries_.insert_or_assign(key, std::move(value));
+  }
+
+  bool erase(const Key& key) { return entries_.erase(key) > 0; }
+
+  void set_default(Value value) { default_ = std::move(value); }
+
+  /// Looks the key up, falling back to the default entry; counts hits and
+  /// misses like a hardware table would for telemetry.
+  [[nodiscard]] std::optional<Value> lookup(const Key& key) {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    return default_;
+  }
+
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(entries_.size());
+  }
+  [[nodiscard]] std::int64_t hits() const { return hits_; }
+  [[nodiscard]] std::int64_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<Key, Value> entries_;
+  std::optional<Value> default_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace intsched::p4

@@ -1,0 +1,21 @@
+#include "intsched/p4/program.hpp"
+
+#include "intsched/p4/switch.hpp"
+
+namespace intsched::p4 {
+
+void ForwardingProgram::forward_toward(PipelineContext& ctx,
+                                       net::NodeId target) {
+  const auto port = ctx.device.forwarding_table().lookup(target);
+  if (!port.has_value() || *port < 0) {
+    ctx.drop = true;
+    return;
+  }
+  ctx.egress_port = *port;
+}
+
+void ForwardingProgram::ingress(PipelineContext& ctx) {
+  forward_toward(ctx, ctx.packet.dst);
+}
+
+}  // namespace intsched::p4

@@ -1,0 +1,110 @@
+#include "intsched/p4/switch.hpp"
+
+#include <stdexcept>
+
+#include "intsched/sim/strfmt.hpp"
+
+namespace intsched::p4 {
+
+P4Switch::P4Switch(sim::Simulator& sim, net::NodeId id, std::string name,
+                   const SwitchConfig& config)
+    : net::Node(sim, id, std::move(name), net::NodeKind::kSwitch),
+      config_{config},
+      rng_{sim::Rng::derive(config.seed,
+                            sim::cat("switch-", id, "-proc"))} {}
+
+void P4Switch::load_program(std::unique_ptr<P4Program> program) {
+  program_ = std::move(program);
+  if (program_) program_->on_attach(*this);
+}
+
+RegisterArray& P4Switch::register_array(const std::string& name,
+                                        std::int64_t size) {
+  auto it = registers_.find(name);
+  if (it == registers_.end()) {
+    it = registers_
+             .emplace(name, std::make_unique<RegisterArray>(name, size))
+             .first;
+  } else if (it->second->size() != size) {
+    throw std::logic_error(
+        sim::cat("register array '", name, "' re-allocated with size ", size,
+                 " != ", it->second->size()));
+  }
+  return *it->second;
+}
+
+RegisterArray* P4Switch::find_register_array(const std::string& name) {
+  const auto it = registers_.find(name);
+  return it == registers_.end() ? nullptr : it->second.get();
+}
+
+void P4Switch::set_route(net::NodeId dst, std::int32_t port_index) {
+  net::Node::set_route(dst, port_index);
+  forwarding_table_.insert(dst, port_index);
+}
+
+void P4Switch::receive(net::Packet&& p, std::int32_t ingress_port) {
+  if (program_ == nullptr) {
+    throw std::logic_error(sim::cat("switch ", name(), " has no program"));
+  }
+  if (--p.ttl <= 0) {
+    ++pipeline_drops_;
+    return;
+  }
+  p.meta_ingress_port = ingress_port;
+  p.meta_link_latency = sim::SimTime::nanoseconds(-1);
+
+  PipelineContext ctx{.packet = p,
+                      .device = *this,
+                      .ingress_port = ingress_port,
+                      .egress_port = -1,
+                      .drop = false,
+                      .now = local_time()};
+  program_->parse(ctx);
+  if (!ctx.drop) program_->ingress(ctx);
+  if (ctx.drop || ctx.egress_port < 0 ||
+      ctx.egress_port >= port_count()) {
+    ++pipeline_drops_;
+    return;
+  }
+  ++processed_;
+  port(ctx.egress_port).send(std::move(p));
+}
+
+void P4Switch::on_egress(net::Packet& p, net::Port& out) {
+  if (program_ == nullptr) return;
+  PipelineContext ctx{.packet = p,
+                      .device = *this,
+                      .ingress_port = p.meta_ingress_port,
+                      .egress_port = out.index(),
+                      .drop = false,
+                      .now = local_time()};
+  program_->egress(ctx);
+  program_->deparse(ctx);
+}
+
+sim::SimTime P4Switch::egress_service_delay(const net::Packet& p,
+                                            const net::Port& out) {
+  (void)p;
+  (void)out;
+  const double jitter =
+      rng_.uniform_real(-config_.proc_jitter_frac, config_.proc_jitter_frac);
+  auto service = sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+      static_cast<double>(config_.proc_delay_mean.ns()) * (1.0 + jitter)));
+  if (config_.stall_probability > 0.0 &&
+      rng_.chance(config_.stall_probability)) {
+    service += sim::SimTime::nanoseconds(
+        rng_.uniform_int(config_.stall_min.ns(), config_.stall_max.ns()));
+  }
+  return service;
+}
+
+std::int64_t P4Switch::queue_drops() const {
+  std::int64_t drops = 0;
+  for (std::int32_t i = 0; i < port_count(); ++i) {
+    drops += port(i).queue().dropped();
+  }
+  return drops;
+}
+
+}  // namespace intsched::p4

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "intsched/sim/time.hpp"
+
+namespace intsched::sim {
+
+/// Opaque handle to a scheduled event; used to cancel it.
+struct EventId {
+  std::uint64_t value = 0;
+  friend constexpr auto operator<=>(EventId, EventId) = default;
+};
+
+/// Time-ordered queue of callbacks. Ties are broken by insertion order so
+/// the simulation is fully deterministic: two events scheduled for the same
+/// instant fire in the order they were scheduled.
+///
+/// Cancellation is lazy: cancelled ids are dropped from the callback map and
+/// their heap entries are skipped when they surface.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Inserts an event at the given absolute time.
+  EventId push(SimTime at, Callback cb);
+
+  /// Cancels a pending event. Returns false if the id was never issued or
+  /// has already fired.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+
+  /// Time of the earliest pending (non-cancelled) event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest pending event. Requires !empty().
+  std::pair<SimTime, Callback> pop();
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops heap entries whose callbacks were cancelled.
+  void drop_cancelled_front() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace intsched::sim

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "intsched/sim/strfmt.hpp"
+#include "intsched/sim/time.hpp"
+
+namespace intsched::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log sink for simulation diagnostics. Off above kWarn by
+/// default so experiment binaries print only their tables; tests flip it on
+/// when debugging.
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  [[nodiscard]] static LogLevel level();
+
+  /// Emits one line: "[level] t=<simtime> <component>: <message>".
+  static void write(LogLevel level, SimTime at, std::string_view component,
+                    std::string_view message);
+
+  /// Streams all message arguments together, e.g.
+  /// Log::log(LogLevel::kDebug, now, "tcp", "cwnd=", cwnd).
+  template <typename... Args>
+  static void log(LogLevel lvl, SimTime at, std::string_view component,
+                  Args&&... args) {
+    if (lvl < level()) return;
+    write(lvl, at, component, cat(std::forward<Args>(args)...));
+  }
+};
+
+}  // namespace intsched::sim

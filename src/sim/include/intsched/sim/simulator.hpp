@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "intsched/sim/event_queue.hpp"
+#include "intsched/sim/time.hpp"
+
+namespace intsched::sim {
+
+class Simulator;
+
+/// Cancellable handle to a periodic timer created by
+/// Simulator::schedule_periodic.
+class PeriodicHandle {
+ public:
+  PeriodicHandle() = default;
+
+  /// Stops future firings. Safe to call multiple times.
+  void cancel();
+
+  [[nodiscard]] bool active() const;
+
+ private:
+  friend class Simulator;
+  struct State;
+  explicit PeriodicHandle(std::shared_ptr<State> state)
+      : state_{std::move(state)} {}
+  std::shared_ptr<State> state_;
+};
+
+/// The discrete-event simulation kernel: a virtual clock plus an event
+/// queue. Single-threaded by design — determinism is a correctness
+/// requirement for paired experiment arms, and the workloads here are far
+/// below the scale where a parallel DES (optimistic/conservative) would pay
+/// for its synchronization.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at the absolute time `at`. `at` must not be in the past.
+  EventId schedule_at(SimTime at, EventQueue::Callback cb);
+
+  /// Schedules `cb` after the given delay (>= 0) from now.
+  EventId schedule_after(SimTime delay, EventQueue::Callback cb);
+
+  /// Cancels a pending one-shot event.
+  bool cancel(EventId id);
+
+  /// Fires `cb` every `period` starting at now + `initial_delay`, until the
+  /// returned handle is cancelled or the simulation ends.
+  PeriodicHandle schedule_periodic(SimTime initial_delay, SimTime period,
+                                   std::function<void()> cb);
+
+  /// Runs until the event queue drains or the clock passes `deadline`.
+  /// Events at exactly `deadline` still fire. Returns the number of events
+  /// executed.
+  std::int64_t run_until(SimTime deadline);
+
+  /// Runs until the event queue drains.
+  std::int64_t run();
+
+  /// Requests that the run loop stop after the current event.
+  void stop() { stop_requested_ = true; }
+
+  [[nodiscard]] std::int64_t events_executed() const {
+    return events_executed_;
+  }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  void arm_periodic(const std::shared_ptr<PeriodicHandle::State>& state);
+
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::int64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace intsched::sim

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace intsched::sim {
+
+/// Streaming moments (Welford) plus min/max; O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel-reduction friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Empirical cumulative distribution over a stored sample set.
+class Ecdf {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::int64_t count() const;
+
+  /// Fraction of samples <= x, in [0, 1]. Returns 0 for an empty set.
+  [[nodiscard]] double fraction_at_most(double x) const;
+
+  /// Fraction of samples >= x.
+  [[nodiscard]] double fraction_at_least(double x) const;
+
+  /// q-quantile, q in [0, 1], by nearest-rank. Requires count() > 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Sorted copy of the samples (for plotting/export).
+  [[nodiscard]] const std::vector<double>& sorted() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin. Used for queue-occupancy and latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::int64_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::int64_t bins() const {
+    return static_cast<std::int64_t>(counts_.size());
+  }
+  [[nodiscard]] std::int64_t bin_count(std::int64_t bin) const;
+  [[nodiscard]] double bin_lower(std::int64_t bin) const;
+  [[nodiscard]] double bin_upper(std::int64_t bin) const;
+  [[nodiscard]] std::int64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace intsched::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace intsched::sim {
+
+/// Fixed-precision double wrapper for cat(): cat("x=", fixed(3.14159, 2)).
+/// (The toolchain's libstdc++ predates <format>; this tiny shim covers the
+/// project's formatting needs without an external dependency.)
+struct Fixed {
+  double value;
+  int precision;
+};
+[[nodiscard]] inline Fixed fixed(double v, int precision = 3) {
+  return Fixed{v, precision};
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Fixed& f) {
+  const auto flags = os.flags();
+  const auto prec = os.precision();
+  os << std::fixed << std::setprecision(f.precision) << f.value;
+  os.flags(flags);
+  os.precision(prec);
+  return os;
+}
+
+/// Concatenates all arguments through an ostringstream.
+template <typename... Args>
+[[nodiscard]] std::string cat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+}  // namespace intsched::sim

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace intsched::sim {
+
+/// Simulated time. A strong wrapper over a signed 64-bit nanosecond count so
+/// that durations and instants cannot be confused with plain integers.
+///
+/// The simulation epoch is SimTime::zero(); all event timestamps are
+/// non-negative in practice, but arithmetic (differences) may produce
+/// negative values, which is why the representation is signed
+/// (Core Guidelines ES.102).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] static constexpr SimTime nanoseconds(std::int64_t ns) {
+    return SimTime{ns};
+  }
+  [[nodiscard]] static constexpr SimTime microseconds(std::int64_t us) {
+    return SimTime{us * 1'000};
+  }
+  [[nodiscard]] static constexpr SimTime milliseconds(std::int64_t ms) {
+    return SimTime{ms * 1'000'000};
+  }
+  [[nodiscard]] static constexpr SimTime seconds(std::int64_t s) {
+    return SimTime{s * 1'000'000'000};
+  }
+  /// Converts a floating-point second count, e.g. from a rate computation.
+  [[nodiscard]] static constexpr SimTime from_seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double to_milliseconds() const {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+  [[nodiscard]] constexpr double to_microseconds() const {
+    return static_cast<double>(ns_) * 1e-3;
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime{a.ns_ + b.ns_};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime{a.ns_ - b.ns_};
+  }
+  constexpr SimTime& operator+=(SimTime other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t m) {
+    return SimTime{a.ns_ * m};
+  }
+  friend constexpr SimTime operator*(std::int64_t m, SimTime a) { return a * m; }
+  friend constexpr SimTime operator/(SimTime a, std::int64_t d) {
+    return SimTime{a.ns_ / d};
+  }
+  /// Ratio of two durations (e.g. elapsed / interval).
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+ private:
+  explicit constexpr SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+/// Human-readable rendering with an auto-selected unit, e.g. "12.5ms".
+[[nodiscard]] std::string to_string(SimTime t);
+
+}  // namespace intsched::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+#include "intsched/sim/time.hpp"
+
+namespace intsched::sim {
+
+/// Byte counts are signed (ES.102); negative values never occur in valid
+/// states and are caught by assertions at construction sites.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+/// The paper speaks in KB/MB (decimal) for workload sizes.
+inline constexpr Bytes kKB = 1000;
+inline constexpr Bytes kMB = 1000 * kKB;
+
+/// Transmission rate of a link or a constant-bit-rate source.
+class DataRate {
+ public:
+  constexpr DataRate() = default;
+
+  [[nodiscard]] static constexpr DataRate bits_per_second(double bps) {
+    return DataRate{bps};
+  }
+  [[nodiscard]] static constexpr DataRate kilobits_per_second(double kbps) {
+    return DataRate{kbps * 1e3};
+  }
+  [[nodiscard]] static constexpr DataRate megabits_per_second(double mbps) {
+    return DataRate{mbps * 1e6};
+  }
+
+  [[nodiscard]] constexpr double bps() const { return bits_per_sec_; }
+  [[nodiscard]] constexpr double mbps() const { return bits_per_sec_ * 1e-6; }
+
+  /// Time to serialize `size` bytes onto a medium at this rate.
+  [[nodiscard]] constexpr SimTime transmission_time(Bytes size) const {
+    return SimTime::from_seconds(static_cast<double>(size) * 8.0 /
+                                 bits_per_sec_);
+  }
+  /// Bytes transferable in `window` at this rate.
+  [[nodiscard]] constexpr Bytes bytes_in(SimTime window) const {
+    return static_cast<Bytes>(bits_per_sec_ * window.to_seconds() / 8.0);
+  }
+
+  friend constexpr auto operator<=>(DataRate, DataRate) = default;
+  friend constexpr DataRate operator*(DataRate r, double f) {
+    return DataRate{r.bits_per_sec_ * f};
+  }
+  friend constexpr DataRate operator*(double f, DataRate r) { return r * f; }
+  friend constexpr double operator/(DataRate a, DataRate b) {
+    return a.bits_per_sec_ / b.bits_per_sec_;
+  }
+
+ private:
+  explicit constexpr DataRate(double bps) : bits_per_sec_{bps} {}
+  double bits_per_sec_ = 0.0;
+};
+
+}  // namespace intsched::sim

@@ -1,0 +1,39 @@
+#include "intsched/sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace intsched::sim {
+
+EventId EventQueue::push(SimTime at, Callback cb) {
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return EventId{id};
+}
+
+bool EventQueue::cancel(EventId id) { return callbacks_.erase(id.value) > 0; }
+
+void EventQueue::drop_cancelled_front() const {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled_front();
+  assert(!heap_.empty() && "next_time() on empty queue");
+  return heap_.top().at;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  drop_cancelled_front();
+  assert(!heap_.empty() && "pop() on empty queue");
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.id);
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  return {entry.at, std::move(cb)};
+}
+
+}  // namespace intsched::sim

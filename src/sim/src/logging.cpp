@@ -1,0 +1,37 @@
+#include "intsched/sim/logging.hpp"
+
+#include <cstdio>
+
+namespace intsched::sim {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+
+LogLevel Log::level() { return g_level; }
+
+void Log::write(LogLevel level, SimTime at, std::string_view component,
+                std::string_view message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] t=%s %.*s: %.*s\n", level_name(level),
+               to_string(at).c_str(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace intsched::sim

@@ -1,0 +1,103 @@
+#include "intsched/sim/simulator.hpp"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+#include "intsched/sim/strfmt.hpp"
+
+namespace intsched::sim {
+
+std::string to_string(SimTime t) {
+  const double ns = static_cast<double>(t.ns());
+  if (t.ns() % 1'000'000'000 == 0) return cat(t.ns() / 1'000'000'000, "s");
+  if (ns >= 1e9 || ns <= -1e9) return cat(fixed(ns * 1e-9, 3), "s");
+  if (ns >= 1e6 || ns <= -1e6) return cat(fixed(ns * 1e-6, 3), "ms");
+  if (ns >= 1e3 || ns <= -1e3) return cat(fixed(ns * 1e-3, 3), "us");
+  return cat(t.ns(), "ns");
+}
+
+struct PeriodicHandle::State {
+  Simulator* sim = nullptr;
+  SimTime period;
+  std::function<void()> cb;
+  EventId pending;
+  bool cancelled = false;
+};
+
+void PeriodicHandle::cancel() {
+  if (!state_ || state_->cancelled) return;
+  state_->cancelled = true;
+  state_->sim->cancel(state_->pending);
+}
+
+bool PeriodicHandle::active() const { return state_ && !state_->cancelled; }
+
+EventId Simulator::schedule_at(SimTime at, EventQueue::Callback cb) {
+  if (at < now_) {
+    throw std::invalid_argument("schedule_at: time is in the past");
+  }
+  return queue_.push(at, std::move(cb));
+}
+
+EventId Simulator::schedule_after(SimTime delay, EventQueue::Callback cb) {
+  if (delay < SimTime::zero()) {
+    throw std::invalid_argument("schedule_after: negative delay");
+  }
+  return queue_.push(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+
+void Simulator::arm_periodic(
+    const std::shared_ptr<PeriodicHandle::State>& state) {
+  state->pending = schedule_after(state->period, [this, state] {
+    if (state->cancelled) return;
+    state->cb();
+    if (!state->cancelled) arm_periodic(state);
+  });
+}
+
+PeriodicHandle Simulator::schedule_periodic(SimTime initial_delay,
+                                            SimTime period,
+                                            std::function<void()> cb) {
+  if (period <= SimTime::zero()) {
+    throw std::invalid_argument("schedule_periodic: period must be positive");
+  }
+  auto state = std::make_shared<PeriodicHandle::State>();
+  state->sim = this;
+  state->period = period;
+  state->cb = std::move(cb);
+  state->pending = schedule_after(initial_delay, [this, state] {
+    if (state->cancelled) return;
+    state->cb();
+    if (!state->cancelled) arm_periodic(state);
+  });
+  return PeriodicHandle{state};
+}
+
+std::int64_t Simulator::run_until(SimTime deadline) {
+  stop_requested_ = false;
+  std::int64_t executed = 0;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > deadline) break;
+    auto [at, cb] = queue_.pop();
+    assert(at >= now_ && "event queue went backwards");
+    now_ = at;
+    cb();
+    ++executed;
+    ++events_executed_;
+  }
+  // The clock still advances to the deadline even if the queue drained
+  // earlier, so back-to-back run_until calls observe monotonic time. A
+  // drain-everything run (deadline == max) leaves the clock at the last
+  // event instead.
+  if (now_ < deadline && deadline != SimTime::max() && !stop_requested_) {
+    now_ = deadline;
+  }
+  return executed;
+}
+
+std::int64_t Simulator::run() { return run_until(SimTime::max()); }
+
+}  // namespace intsched::sim

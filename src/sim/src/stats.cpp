@@ -1,0 +1,135 @@
+#include "intsched/sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace intsched::sim {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return count_ > 0 ? min_ : 0.0; }
+double RunningStats::max() const { return count_ > 0 ? max_ : 0.0; }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Ecdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Ecdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+std::int64_t Ecdf::count() const {
+  return static_cast<std::int64_t>(samples_.size());
+}
+
+void Ecdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Ecdf::fraction_at_most(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::fraction_at_least(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::lower_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(samples_.end() - it) /
+         static_cast<double>(samples_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Ecdf::quantile on empty set");
+  ensure_sorted();
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+const std::vector<double>& Ecdf::sorted() const {
+  ensure_sorted();
+  return samples_;
+}
+
+Histogram::Histogram(double lo, double hi, std::int64_t bins)
+    : lo_{lo},
+      width_{(hi - lo) / static_cast<double>(bins)},
+      counts_(static_cast<std::size_t>(bins), 0) {
+  if (bins <= 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: need bins > 0 and hi > lo");
+  }
+}
+
+void Histogram::add(double x) {
+  auto bin = static_cast<std::int64_t>((x - lo_) / width_);
+  bin = std::clamp<std::int64_t>(bin, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::int64_t Histogram::bin_count(std::int64_t bin) const {
+  assert(bin >= 0 && bin < bins());
+  return counts_[static_cast<std::size_t>(bin)];
+}
+
+double Histogram::bin_lower(std::int64_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(std::int64_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+}  // namespace intsched::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "intsched/net/node.hpp"
+#include "intsched/net/packet.hpp"
+
+namespace intsched::telemetry {
+
+/// One parsed probe packet, in scheduler-side terms. Entries are in
+/// traversal order — the property the network-mapping step relies on.
+struct ProbeReport {
+  net::NodeId src = net::kInvalidNode;  ///< probing edge server
+  net::NodeId dst = net::kInvalidNode;  ///< the collector host
+  sim::SimTime arrival = sim::SimTime::zero();
+  std::vector<net::IntStackEntry> entries;
+  /// Latency of the final hop (last switch -> collector host), measured by
+  /// the collector from the last switch's egress timestamp.
+  sim::SimTime final_link_latency = sim::SimTime::nanoseconds(-1);
+};
+
+/// Scheduler-side INT termination point: validates and parses probe
+/// packets into ProbeReports and hands them to a subscriber (the network
+/// map). Dropping malformed probes here mirrors an INT sink's behaviour.
+class IntCollector {
+ public:
+  using ReportHandler = std::function<void(const ProbeReport&)>;
+
+  explicit IntCollector(net::Host& host) : host_{host} {}
+
+  void set_handler(ReportHandler handler) { handler_ = std::move(handler); }
+
+  /// Feeds one arriving packet. Non-probe packets are ignored (returns
+  /// false); malformed probes count as errors.
+  bool handle_packet(const net::Packet& p);
+
+  [[nodiscard]] std::int64_t probes_received() const { return received_; }
+  [[nodiscard]] std::int64_t entries_parsed() const { return entries_; }
+  [[nodiscard]] std::int64_t malformed() const { return malformed_; }
+
+ private:
+  net::Host& host_;
+  ReportHandler handler_;
+  std::int64_t received_ = 0;
+  std::int64_t entries_ = 0;
+  std::int64_t malformed_ = 0;
+};
+
+}  // namespace intsched::telemetry

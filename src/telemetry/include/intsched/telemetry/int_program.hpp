@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+
+#include "intsched/p4/program.hpp"
+#include "intsched/p4/register_array.hpp"
+#include "intsched/p4/switch.hpp"
+
+namespace intsched::telemetry {
+
+/// Names of the register arrays the INT program allocates on each switch.
+inline constexpr const char* kMaxQueuePortRegister = "int_max_queue_port";
+inline constexpr const char* kMaxQueueDeviceRegister = "int_max_queue_device";
+inline constexpr const char* kSumQueueDeviceRegister = "int_sum_queue_device";
+inline constexpr const char* kCntQueueDeviceRegister = "int_cnt_queue_device";
+inline constexpr const char* kMaxHopLatencyRegister = "int_max_hop_latency";
+
+/// The paper's INT data-plane program (§III-A, Fig. 2):
+///
+///  * On every packet enqueue, the egress queue occupancy is folded into a
+///    per-port max register and a device-wide max register ("we create one
+///    register for each INT parameter and update its value as new packets
+///    are observed").
+///  * Probe packets (UDP + Geneve option) additionally collect-and-reset
+///    those registers into an INT stack entry appended at the egress stage,
+///    growing the probe's wire size per hop.
+///  * The ingress stage extracts the upstream device's egress timestamp —
+///    before the packet is queued — so the measured difference is pure link
+///    latency (transmission + propagation, no queueing).
+///  * The deparser stamps the device-local egress time into the probe for
+///    the next hop's measurement.
+///
+/// Production packets are forwarded unmodified: zero telemetry bytes on the
+/// data path, which is the paper's key overhead argument.
+class IntTelemetryProgram : public p4::ForwardingProgram {
+ public:
+  void on_attach(p4::P4Switch& device) override;
+  void parse(p4::PipelineContext& ctx) override;
+  void ingress(p4::PipelineContext& ctx) override;
+  void egress(p4::PipelineContext& ctx) override;
+  void deparse(p4::PipelineContext& ctx) override;
+
+ private:
+  p4::RegisterArray* port_max_queue_ = nullptr;
+  p4::RegisterArray* device_max_queue_ = nullptr;
+  // Sum/count registers backing the average-occupancy statistic the paper
+  // evaluated and rejected (kept for the ablation).
+  p4::RegisterArray* device_sum_queue_ = nullptr;
+  p4::RegisterArray* device_cnt_queue_ = nullptr;
+  // Direct hop-latency measurement (ns), for the measured-vs-k ablation.
+  p4::RegisterArray* device_max_hop_latency_ = nullptr;
+};
+
+/// The collection scheme the paper argues *against* (§III-A): every
+/// production packet carries its own INT stack, growing by one entry per
+/// traversed device. No registers, no probes — and measurable per-packet
+/// byte overhead, which ablation_int_overhead quantifies against the
+/// register+probe design.
+class EmbeddingIntProgram : public p4::ForwardingProgram {
+ public:
+  void egress(p4::PipelineContext& ctx) override;
+
+  [[nodiscard]] sim::Bytes telemetry_bytes_added() const {
+    return telemetry_bytes_;
+  }
+
+ private:
+  sim::Bytes telemetry_bytes_ = 0;
+};
+
+}  // namespace intsched::telemetry

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+
+#include "intsched/net/node.hpp"
+#include "intsched/sim/simulator.hpp"
+#include "intsched/sim/units.hpp"
+
+namespace intsched::telemetry {
+
+struct ProbeConfig {
+  /// Paper default: a probe from every edge server each 100 ms.
+  sim::SimTime interval = sim::SimTime::milliseconds(100);
+  /// First probe fires after this offset; stagger agents so the collector
+  /// is not hit by synchronized bursts.
+  sim::SimTime start_offset = sim::SimTime::zero();
+  /// Paper sizes probes at ~1.5 KB (10 pkt/s * 1.5 KB = 120 Kbps per
+  /// server). The INT stack grows this by 32 B per hop on top.
+  sim::Bytes base_size = 1400;
+  /// Loose source route: switches to visit (in order) before reaching the
+  /// collector — the paper's probe-route-optimization future work. Empty
+  /// = shortest path, the paper's default behaviour.
+  std::vector<net::NodeId> waypoints;
+};
+
+/// Emits INT probe packets from an edge server toward the scheduler. The
+/// host's NIC stamps the departure time (last_egress_timestamp) so the
+/// first switch can measure the access-link latency too.
+class ProbeAgent {
+ public:
+  ProbeAgent(net::Host& host, net::NodeId collector, ProbeConfig config = {});
+  ~ProbeAgent() { stop(); }
+  ProbeAgent(const ProbeAgent&) = delete;
+  ProbeAgent& operator=(const ProbeAgent&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return timer_.active(); }
+
+  void set_interval(sim::SimTime interval);
+  [[nodiscard]] sim::SimTime interval() const { return config_.interval; }
+
+  [[nodiscard]] std::int64_t probes_sent() const { return sent_; }
+  [[nodiscard]] sim::Bytes bytes_sent() const { return bytes_sent_; }
+
+  /// Sends one probe immediately (also used by the periodic timer).
+  void send_probe();
+
+ private:
+  net::Host& host_;
+  net::NodeId collector_;
+  ProbeConfig config_;
+  sim::PeriodicHandle timer_;
+  std::int64_t sent_ = 0;
+  sim::Bytes bytes_sent_ = 0;
+};
+
+}  // namespace intsched::telemetry

@@ -1,0 +1,39 @@
+#include "intsched/telemetry/collector.hpp"
+
+namespace intsched::telemetry {
+
+bool IntCollector::handle_packet(const net::Packet& p) {
+  if (!p.is_int_probe()) return false;
+  if (p.dst != host_.id()) {
+    ++malformed_;
+    return false;
+  }
+
+  ProbeReport report;
+  report.src = p.src;
+  report.dst = p.dst;
+  report.arrival = host_.local_time();
+  report.entries = p.int_stack;
+
+  // Entries must form a chain: entry i's device forwarded to entry i+1's
+  // device. A probe that somehow carries no entries (e.g. a directly
+  // attached host with no switch in between) is still valid but useless.
+  for (std::size_t i = 1; i < report.entries.size(); ++i) {
+    if (report.entries[i].device == report.entries[i - 1].device) {
+      ++malformed_;
+      return false;
+    }
+  }
+
+  if (p.last_egress_timestamp >= sim::SimTime::zero()) {
+    report.final_link_latency =
+        host_.local_time() - p.last_egress_timestamp;
+  }
+
+  ++received_;
+  entries_ += static_cast<std::int64_t>(report.entries.size());
+  if (handler_) handler_(report);
+  return true;
+}
+
+}  // namespace intsched::telemetry

@@ -1,0 +1,109 @@
+#include "intsched/telemetry/int_program.hpp"
+
+namespace intsched::telemetry {
+
+void IntTelemetryProgram::on_attach(p4::P4Switch& device) {
+  const auto ports = static_cast<std::int64_t>(device.port_count());
+  port_max_queue_ = &device.register_array(kMaxQueuePortRegister, ports);
+  device_max_queue_ = &device.register_array(kMaxQueueDeviceRegister, 1);
+  device_sum_queue_ = &device.register_array(kSumQueueDeviceRegister, 1);
+  device_cnt_queue_ = &device.register_array(kCntQueueDeviceRegister, 1);
+  device_max_hop_latency_ =
+      &device.register_array(kMaxHopLatencyRegister, 1);
+
+  // Per-packet register update, at enqueue granularity: exactly the
+  // "measure queue length when a packet is processed and save it if larger
+  // than all values observed within a probing interval" step.
+  for (std::int32_t i = 0; i < device.port_count(); ++i) {
+    device.port(i).queue().set_occupancy_observer(
+        [this, i](std::int64_t occupancy) {
+          port_max_queue_->update_max(i, occupancy);
+          device_max_queue_->update_max(0, occupancy);
+          device_sum_queue_->write(0, device_sum_queue_->read(0) + occupancy);
+          device_cnt_queue_->write(0, device_cnt_queue_->read(0) + 1);
+        });
+  }
+}
+
+void IntTelemetryProgram::parse(p4::PipelineContext& ctx) {
+  // Probe packets must be UDP towards the probe port; anything else with
+  // the probe Geneve option is malformed and dropped by the parser.
+  if (!ctx.packet.is_int_probe()) return;
+  const auto* udp = ctx.packet.udp();
+  if (udp == nullptr || udp->dst_port != net::kProbePort) ctx.drop = true;
+}
+
+void IntTelemetryProgram::ingress(p4::PipelineContext& ctx) {
+  // Probe-route optimization (paper future work): loose source routing.
+  // Consume any waypoint(s) naming this device, then steer toward the
+  // next waypoint instead of the final destination.
+  auto& route = ctx.packet.source_route;
+  if (ctx.packet.is_int_probe() && !route.empty()) {
+    while (!route.empty() && route.front() == ctx.device.id()) {
+      route.erase(route.begin());
+    }
+  }
+  if (ctx.packet.is_int_probe() && !route.empty()) {
+    forward_toward(ctx, route.front());
+  } else {
+    ForwardingProgram::ingress(ctx);
+  }
+  if (ctx.drop) return;
+  // standard_metadata.ingress_global_timestamp, for the hop-latency
+  // measurement at the egress stage (every packet, not just probes).
+  ctx.packet.meta_ingress_timestamp = ctx.now;
+  if (!ctx.packet.is_int_probe()) return;
+  // Link-latency measurement: extract the upstream egress timestamp before
+  // the packet is enqueued, so queueing here never pollutes the sample.
+  if (ctx.packet.last_egress_timestamp >= sim::SimTime::zero()) {
+    ctx.packet.meta_link_latency =
+        ctx.now - ctx.packet.last_egress_timestamp;
+  }
+}
+
+void IntTelemetryProgram::egress(p4::PipelineContext& ctx) {
+  // Direct hop-latency measurement on every packet: dwell time between
+  // the ingress stage and leaving the egress queue.
+  if (ctx.packet.meta_ingress_timestamp >= sim::SimTime::zero()) {
+    device_max_hop_latency_->update_max(
+        0, (ctx.now - ctx.packet.meta_ingress_timestamp).ns());
+  }
+  if (!ctx.packet.is_int_probe()) return;
+  net::IntStackEntry entry;
+  entry.device = ctx.device.id();
+  entry.ingress_port = ctx.ingress_port;
+  entry.egress_port = ctx.egress_port;
+  entry.max_queue_pkts = port_max_queue_->collect(ctx.egress_port);
+  entry.device_max_queue_pkts = device_max_queue_->collect(0);
+  const std::int64_t sum = device_sum_queue_->collect(0);
+  const std::int64_t cnt = device_cnt_queue_->collect(0);
+  entry.device_avg_queue_x100 = cnt > 0 ? sum * 100 / cnt : 0;
+  entry.max_hop_latency =
+      sim::SimTime::nanoseconds(device_max_hop_latency_->collect(0));
+  entry.ingress_link_latency = ctx.packet.meta_link_latency;
+  entry.egress_timestamp = ctx.now;
+  ctx.packet.int_stack.push_back(entry);
+  ctx.packet.wire_size += net::kIntStackEntryWireBytes;
+}
+
+void IntTelemetryProgram::deparse(p4::PipelineContext& ctx) {
+  if (!ctx.packet.is_int_probe()) return;
+  ctx.packet.last_egress_timestamp = ctx.now;
+}
+
+void EmbeddingIntProgram::egress(p4::PipelineContext& ctx) {
+  // Telemetry on *every* packet: the classic INT deployment model.
+  net::IntStackEntry entry;
+  entry.device = ctx.device.id();
+  entry.ingress_port = ctx.ingress_port;
+  entry.egress_port = ctx.egress_port;
+  entry.max_queue_pkts =
+      ctx.device.port(ctx.egress_port).queue().size_pkts();
+  entry.device_max_queue_pkts = entry.max_queue_pkts;
+  entry.egress_timestamp = ctx.now;
+  ctx.packet.int_stack.push_back(entry);
+  ctx.packet.wire_size += net::kIntStackEntryWireBytes;
+  telemetry_bytes_ += net::kIntStackEntryWireBytes;
+}
+
+}  // namespace intsched::telemetry

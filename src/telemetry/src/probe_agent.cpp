@@ -1,0 +1,44 @@
+#include "intsched/telemetry/probe_agent.hpp"
+
+namespace intsched::telemetry {
+
+ProbeAgent::ProbeAgent(net::Host& host, net::NodeId collector,
+                       ProbeConfig config)
+    : host_{host}, collector_{collector}, config_{config} {}
+
+void ProbeAgent::start() {
+  if (timer_.active()) return;
+  timer_ = host_.simulator().schedule_periodic(
+      config_.start_offset, config_.interval, [this] { send_probe(); });
+}
+
+void ProbeAgent::stop() { timer_.cancel(); }
+
+void ProbeAgent::set_interval(sim::SimTime interval) {
+  config_.interval = interval;
+  if (timer_.active()) {
+    stop();
+    start();
+  }
+}
+
+void ProbeAgent::send_probe() {
+  net::Packet p;
+  p.src = host_.id();
+  p.dst = collector_;
+  p.protocol = net::IpProtocol::kUdp;
+  p.l4 = net::UdpHeader{.src_port = net::kProbePort,
+                        .dst_port = net::kProbePort};
+  p.geneve = net::GeneveOption{.type = net::kIntProbeOptionType};
+  p.source_route = config_.waypoints;
+  p.wire_size = config_.base_size;
+  // Host-side departure stamp so the access link's latency is measurable
+  // by the first switch's ingress stage.
+  p.last_egress_timestamp = host_.local_time();
+  if (host_.send(std::move(p))) {
+    ++sent_;
+    bytes_sent_ += config_.base_size;
+  }
+}
+
+}  // namespace intsched::telemetry

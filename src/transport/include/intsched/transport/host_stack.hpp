@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "intsched/net/node.hpp"
+#include "intsched/net/packet.hpp"
+
+namespace intsched::transport {
+
+class TcpEndpoint;
+
+/// Key identifying one TCP connection from the local host's point of view.
+struct ConnKey {
+  net::NodeId peer = net::kInvalidNode;
+  net::PortNumber local_port = 0;
+  net::PortNumber remote_port = 0;
+  friend constexpr bool operator==(const ConnKey&, const ConnKey&) = default;
+};
+
+struct ConnKeyHash {
+  std::size_t operator()(const ConnKey& k) const {
+    const auto a = static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(k.peer));
+    return std::hash<std::uint64_t>{}(
+        (a << 32) | (static_cast<std::uint64_t>(k.local_port) << 16) |
+        k.remote_port);
+  }
+};
+
+/// Minimal host networking stack: demultiplexes arriving packets to UDP
+/// port handlers and TCP endpoints, allocates ephemeral ports, and offers a
+/// datagram-send helper. One per Host; installs itself as the host's
+/// receiver.
+class HostStack {
+ public:
+  using DatagramHandler = std::function<void(const net::Packet&)>;
+
+  explicit HostStack(net::Host& host);
+
+  [[nodiscard]] net::Host& host() const { return host_; }
+  [[nodiscard]] sim::Simulator& simulator() const {
+    return host_.simulator();
+  }
+
+  /// Registers a UDP receive handler for a local port. Overwrites any
+  /// previous handler on that port.
+  void bind_udp(net::PortNumber port, DatagramHandler handler);
+
+  /// Removes a UDP handler; late datagrams count as unroutable. Objects
+  /// that bind a port must unbind it on destruction.
+  void unbind_udp(net::PortNumber port);
+
+  /// Sends a UDP datagram. `size` is the wire size including headers (use
+  /// datagram_size() to build it from a payload size).
+  bool send_datagram(net::NodeId dst, net::PortNumber src_port,
+                     net::PortNumber dst_port, sim::Bytes size,
+                     std::shared_ptr<const net::AppMessage> app = nullptr);
+
+  [[nodiscard]] static sim::Bytes datagram_size(sim::Bytes payload) {
+    return net::kHeaderBytes + payload;
+  }
+
+  /// Ephemeral port allocator for client connections.
+  [[nodiscard]] net::PortNumber allocate_port();
+
+  // -- TCP plumbing (used by TcpListener/TcpSender/TcpReceiver) --
+  void register_tcp(const ConnKey& key, TcpEndpoint* endpoint);
+  void unregister_tcp(const ConnKey& key);
+  void listen_tcp(net::PortNumber port,
+                  std::function<void(const net::Packet&)> on_syn);
+  bool send_raw(net::Packet&& p) { return host_.send(std::move(p)); }
+
+  [[nodiscard]] std::int64_t datagrams_received() const { return udp_rx_; }
+  [[nodiscard]] std::int64_t unroutable_packets() const {
+    return unroutable_;
+  }
+
+ private:
+  void on_packet(net::Packet&& p);
+
+  net::Host& host_;
+  std::unordered_map<net::PortNumber, DatagramHandler> udp_handlers_;
+  std::unordered_map<ConnKey, TcpEndpoint*, ConnKeyHash> tcp_conns_;
+  std::unordered_map<net::PortNumber,
+                     std::function<void(const net::Packet&)>>
+      tcp_listeners_;
+  net::PortNumber next_ephemeral_ = 20000;
+  std::int64_t udp_rx_ = 0;
+  std::int64_t unroutable_ = 0;
+};
+
+/// Interface for objects receiving TCP segments from the stack.
+class TcpEndpoint {
+ public:
+  virtual ~TcpEndpoint() = default;
+  virtual void on_segment(const net::Packet& p) = 0;
+};
+
+}  // namespace intsched::transport

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "intsched/transport/host_stack.hpp"
+#include "intsched/transport/tcp.hpp"
+
+namespace intsched::transport {
+
+/// iperf-like constant-bit-rate UDP source ("iperf -u -b <rate>"), the
+/// paper's background-congestion and Fig. 3 load generator. Packets are
+/// paced at exactly rate/packet_size; the receiving side just counts.
+class IperfUdpSender {
+ public:
+  struct Config {
+    sim::DataRate rate = sim::DataRate::megabits_per_second(10.0);
+    sim::Bytes packet_size = 1500;  ///< wire size per packet
+    net::PortNumber dst_port = net::kIperfPort;
+  };
+
+  IperfUdpSender(HostStack& stack, net::NodeId dst, Config config);
+  ~IperfUdpSender() { stop(); }
+  IperfUdpSender(const IperfUdpSender&) = delete;
+  IperfUdpSender& operator=(const IperfUdpSender&) = delete;
+
+  /// Starts sending; if `duration` > 0 the sender stops by itself.
+  void start(sim::SimTime duration = sim::SimTime::zero());
+  void stop();
+  [[nodiscard]] bool running() const { return timer_.active(); }
+
+  [[nodiscard]] std::int64_t packets_sent() const { return sent_; }
+  [[nodiscard]] sim::Bytes bytes_sent() const { return bytes_; }
+
+ private:
+  void send_one();
+
+  HostStack& stack_;
+  net::NodeId dst_;
+  Config cfg_;
+  net::PortNumber src_port_ = 0;
+  sim::PeriodicHandle timer_;
+  sim::EventId stop_event_{};
+  bool stop_armed_ = false;
+  std::int64_t sent_ = 0;
+  sim::Bytes bytes_ = 0;
+};
+
+/// Counts datagrams arriving on a UDP port and tracks goodput.
+class IperfUdpSink {
+ public:
+  IperfUdpSink(HostStack& stack, net::PortNumber port = net::kIperfPort);
+
+  [[nodiscard]] std::int64_t packets_received() const { return packets_; }
+  [[nodiscard]] sim::Bytes bytes_received() const { return bytes_; }
+  [[nodiscard]] sim::SimTime first_arrival() const { return first_; }
+  [[nodiscard]] sim::SimTime last_arrival() const { return last_; }
+
+  /// Average goodput between the first and last arrival.
+  [[nodiscard]] sim::DataRate goodput() const;
+
+ private:
+  std::int64_t packets_ = 0;
+  sim::Bytes bytes_ = 0;
+  sim::SimTime first_ = sim::SimTime::zero();
+  sim::SimTime last_ = sim::SimTime::zero();
+};
+
+/// Bulk TCP transfer ("iperf" classic mode): pushes `bytes` through a
+/// TcpSender and reports the achieved throughput.
+class IperfTcpSender {
+ public:
+  IperfTcpSender(HostStack& stack, net::NodeId dst, sim::Bytes bytes,
+                 net::PortNumber dst_port = net::kIperfPort,
+                 TcpConfig config = {});
+
+  void start();
+  [[nodiscard]] bool complete() const;
+  [[nodiscard]] sim::SimTime elapsed() const;
+  [[nodiscard]] sim::DataRate throughput() const;
+  [[nodiscard]] TcpSender& sender() { return *sender_; }
+
+ private:
+  std::unique_ptr<TcpSender> sender_;
+  sim::Bytes bytes_;
+};
+
+/// Accepts bulk TCP transfers on a port (the "iperf -s" side).
+class IperfTcpServer {
+ public:
+  IperfTcpServer(HostStack& stack, net::PortNumber port = net::kIperfPort);
+
+  [[nodiscard]] std::int64_t transfers_completed() const {
+    return listener_->completed();
+  }
+
+ private:
+  std::unique_ptr<TcpListener> listener_;
+};
+
+}  // namespace intsched::transport

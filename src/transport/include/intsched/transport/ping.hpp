@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "intsched/sim/stats.hpp"
+#include "intsched/transport/host_stack.hpp"
+
+namespace intsched::transport {
+
+/// Echo payload: the responder reflects it unchanged so the pinger can
+/// match replies to requests and compute RTTs.
+struct EchoMessage : net::AppMessage {
+  std::int64_t sequence = 0;
+  sim::SimTime sent_at = sim::SimTime::zero();
+};
+
+/// Answers echo requests on the echo port. One per pingable host.
+class PingResponder {
+ public:
+  explicit PingResponder(HostStack& stack);
+
+  [[nodiscard]] std::int64_t replies_sent() const { return replies_; }
+
+ private:
+  std::int64_t replies_ = 0;
+};
+
+/// Parameters for PingApp. Defined outside the class because GCC rejects
+/// brace-default arguments of nested aggregates with member initializers.
+struct PingConfig {
+  sim::SimTime interval = sim::SimTime::seconds(1);
+  sim::Bytes packet_size = 64 + net::kHeaderBytes;
+};
+
+/// `ping`-equivalent: sends an echo request every interval and records
+/// RTTs. The paper runs this in the background during the Fig. 3
+/// calibration to relate utilization to end-to-end delay.
+class PingApp {
+ public:
+  using Config = PingConfig;
+
+  PingApp(HostStack& stack, net::NodeId dst, Config config = {});
+  ~PingApp() { stop(); }
+  PingApp(const PingApp&) = delete;
+  PingApp& operator=(const PingApp&) = delete;
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::int64_t sent() const { return sent_; }
+  [[nodiscard]] std::int64_t received() const { return received_; }
+  [[nodiscard]] const sim::RunningStats& rtt_ms() const { return rtt_ms_; }
+  [[nodiscard]] const std::vector<double>& rtt_samples_ms() const {
+    return samples_ms_;
+  }
+
+ private:
+  void send_request();
+
+  HostStack& stack_;
+  net::NodeId dst_;
+  Config cfg_;
+  net::PortNumber src_port_ = 0;
+  sim::PeriodicHandle timer_;
+  std::int64_t sent_ = 0;
+  std::int64_t received_ = 0;
+  sim::RunningStats rtt_ms_;
+  std::vector<double> samples_ms_;
+};
+
+}  // namespace intsched::transport

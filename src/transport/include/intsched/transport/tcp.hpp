@@ -1,0 +1,181 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "intsched/transport/host_stack.hpp"
+
+namespace intsched::transport {
+
+/// Reno-style congestion control parameters.
+struct TcpConfig {
+  sim::Bytes mss = net::kMss;
+  /// Initial window (RFC 6928-style 10 segments).
+  std::int64_t initial_window_segments = 10;
+  /// Receive-window cap on the congestion window.
+  sim::Bytes max_window = 256 * sim::kKiB;
+  sim::SimTime initial_rto = sim::SimTime::seconds(1);
+  sim::SimTime min_rto = sim::SimTime::milliseconds(200);
+  sim::SimTime max_rto = sim::SimTime::seconds(60);
+};
+
+/// Message framing for a one-shot transfer: total size plus an optional
+/// structured payload the receiver's application gets on completion.
+struct TransferHeader : net::AppMessage {
+  sim::Bytes total_bytes = 0;
+  std::shared_ptr<const net::AppMessage> payload;
+};
+
+/// Sender half of a one-shot reliable transfer (think: HTTP PUT of a task's
+/// input data). Implements Reno congestion control: slow start, AIMD
+/// congestion avoidance, fast retransmit on three duplicate ACKs, and
+/// exponentially backed-off retransmission timeouts. Byte-counted: segments
+/// carry sizes, not buffers.
+class TcpSender : public TcpEndpoint {
+ public:
+  using CompletionHandler = std::function<void(TcpSender&)>;
+
+  TcpSender(HostStack& stack, net::NodeId dst, net::PortNumber dst_port,
+            sim::Bytes payload_bytes,
+            std::shared_ptr<const net::AppMessage> message = nullptr,
+            TcpConfig config = {});
+  ~TcpSender() override;
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+
+  /// Sends the SYN and begins the transfer.
+  void start();
+
+  /// Invoked once all payload bytes have been acknowledged.
+  void set_completion_handler(CompletionHandler h) { done_cb_ = std::move(h); }
+
+  void on_segment(const net::Packet& p) override;
+
+  [[nodiscard]] bool established() const { return established_; }
+  [[nodiscard]] bool complete() const { return complete_; }
+  [[nodiscard]] sim::Bytes total_bytes() const { return total_; }
+  [[nodiscard]] sim::SimTime start_time() const { return start_time_; }
+  [[nodiscard]] sim::SimTime completion_time() const { return done_time_; }
+  [[nodiscard]] std::int64_t retransmissions() const { return retransmits_; }
+  [[nodiscard]] std::int64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] double cwnd_bytes() const { return cwnd_; }
+  [[nodiscard]] sim::SimTime smoothed_rtt() const { return srtt_; }
+
+ private:
+  void send_syn();
+  void send_window();
+  void send_segment(std::int64_t seq, bool retransmission);
+  void on_ack(std::int64_t ack);
+  void enter_fast_retransmit();
+  void arm_rto();
+  void on_rto();
+  void update_rtt(sim::SimTime sample);
+  void finish();
+
+  HostStack& stack_;
+  net::NodeId dst_;
+  net::PortNumber dst_port_;
+  net::PortNumber src_port_;
+  sim::Bytes total_;
+  std::shared_ptr<const TransferHeader> header_;
+  TcpConfig cfg_;
+  CompletionHandler done_cb_;
+
+  bool started_ = false;
+  bool established_ = false;
+  bool complete_ = false;
+  std::int64_t snd_una_ = 0;
+  std::int64_t snd_nxt_ = 0;
+  double cwnd_ = 0.0;
+  double ssthresh_ = 0.0;
+  std::int32_t dup_acks_ = 0;
+
+  // RTT estimation (RFC 6298) with Karn's rule: only segments sent exactly
+  // once are sampled, one at a time.
+  sim::SimTime srtt_ = sim::SimTime::zero();
+  sim::SimTime rttvar_ = sim::SimTime::zero();
+  sim::SimTime rto_;
+  std::int64_t rtt_seq_ = -1;
+  sim::SimTime rtt_sent_at_ = sim::SimTime::zero();
+
+  sim::EventId rto_timer_{};
+  bool rto_armed_ = false;
+  std::int64_t retransmits_ = 0;
+  std::int64_t timeouts_ = 0;
+  sim::SimTime start_time_ = sim::SimTime::zero();
+  sim::SimTime done_time_ = sim::SimTime::zero();
+};
+
+/// Receiver half, created by a TcpListener on SYN arrival. Acknowledges
+/// cumulatively, reassembles out-of-order ranges, and reports completion
+/// when all bytes of the framed transfer have arrived.
+class TcpReceiver : public TcpEndpoint {
+ public:
+  using CompletionHandler =
+      std::function<void(TcpReceiver&, std::shared_ptr<const net::AppMessage>)>;
+
+  TcpReceiver(HostStack& stack, net::NodeId peer, net::PortNumber peer_port,
+              net::PortNumber local_port, CompletionHandler on_complete,
+              TcpConfig config = {});
+  ~TcpReceiver() override;
+  TcpReceiver(const TcpReceiver&) = delete;
+  TcpReceiver& operator=(const TcpReceiver&) = delete;
+
+  void on_segment(const net::Packet& p) override;
+
+  [[nodiscard]] net::NodeId peer() const { return peer_; }
+  [[nodiscard]] bool complete() const { return complete_; }
+  [[nodiscard]] sim::Bytes bytes_received() const { return rcv_nxt_; }
+  [[nodiscard]] sim::SimTime first_segment_time() const { return first_rx_; }
+  [[nodiscard]] sim::SimTime completion_time() const { return done_time_; }
+
+ private:
+  void send_control(net::TcpFlag flags, std::int64_t ack);
+  void merge_range(std::int64_t begin, std::int64_t end);
+
+  HostStack& stack_;
+  net::NodeId peer_;
+  net::PortNumber peer_port_;
+  net::PortNumber local_port_;
+  CompletionHandler on_complete_;
+  TcpConfig cfg_;
+
+  std::int64_t rcv_nxt_ = 0;
+  sim::Bytes expected_total_ = -1;
+  std::map<std::int64_t, std::int64_t> ooo_;  ///< out-of-order [begin,end)
+  std::shared_ptr<const net::AppMessage> app_payload_;
+  bool complete_ = false;
+  sim::SimTime first_rx_ = sim::SimTime::zero();
+  sim::SimTime done_time_ = sim::SimTime::zero();
+};
+
+/// Passive endpoint: spawns a TcpReceiver per incoming connection and
+/// surfaces completed transfers to the application.
+class TcpListener {
+ public:
+  /// on_transfer(peer, bytes, message, receiver) fires when a transfer
+  /// completes.
+  using TransferHandler = std::function<void(
+      net::NodeId, sim::Bytes, std::shared_ptr<const net::AppMessage>)>;
+
+  TcpListener(HostStack& stack, net::PortNumber port,
+              TransferHandler on_transfer, TcpConfig config = {});
+
+  [[nodiscard]] std::int64_t accepted() const { return accepted_; }
+  [[nodiscard]] std::int64_t completed() const { return completed_; }
+
+ private:
+  void on_syn(const net::Packet& p);
+
+  HostStack& stack_;
+  net::PortNumber port_;
+  TransferHandler on_transfer_;
+  TcpConfig cfg_;
+  std::vector<std::unique_ptr<TcpReceiver>> receivers_;
+  std::int64_t accepted_ = 0;
+  std::int64_t completed_ = 0;
+};
+
+}  // namespace intsched::transport

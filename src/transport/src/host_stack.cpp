@@ -1,0 +1,89 @@
+#include "intsched/transport/host_stack.hpp"
+
+namespace intsched::transport {
+
+HostStack::HostStack(net::Host& host) : host_{host} {
+  host_.set_receiver([this](net::Packet&& p) { on_packet(std::move(p)); });
+}
+
+void HostStack::bind_udp(net::PortNumber port, DatagramHandler handler) {
+  udp_handlers_[port] = std::move(handler);
+}
+
+void HostStack::unbind_udp(net::PortNumber port) {
+  udp_handlers_.erase(port);
+}
+
+bool HostStack::send_datagram(net::NodeId dst, net::PortNumber src_port,
+                              net::PortNumber dst_port, sim::Bytes size,
+                              std::shared_ptr<const net::AppMessage> app) {
+  net::Packet p;
+  p.src = host_.id();
+  p.dst = dst;
+  p.protocol = net::IpProtocol::kUdp;
+  p.l4 = net::UdpHeader{.src_port = src_port, .dst_port = dst_port};
+  p.wire_size = size;
+  p.app = std::move(app);
+  return host_.send(std::move(p));
+}
+
+net::PortNumber HostStack::allocate_port() {
+  // 20000..60000 wraparound; the simulator never holds 40k live
+  // connections per host, so collisions cannot occur in practice.
+  if (next_ephemeral_ >= 60000) next_ephemeral_ = 20000;
+  return next_ephemeral_++;
+}
+
+void HostStack::register_tcp(const ConnKey& key, TcpEndpoint* endpoint) {
+  tcp_conns_[key] = endpoint;
+}
+
+void HostStack::unregister_tcp(const ConnKey& key) { tcp_conns_.erase(key); }
+
+void HostStack::listen_tcp(net::PortNumber port,
+                           std::function<void(const net::Packet&)> on_syn) {
+  tcp_listeners_[port] = std::move(on_syn);
+}
+
+void HostStack::on_packet(net::Packet&& p) {
+  if (p.protocol == net::IpProtocol::kUdp) {
+    const auto* udp = p.udp();
+    if (udp == nullptr) {
+      ++unroutable_;
+      return;
+    }
+    const auto it = udp_handlers_.find(udp->dst_port);
+    if (it == udp_handlers_.end()) {
+      ++unroutable_;
+      return;
+    }
+    ++udp_rx_;
+    it->second(p);
+    return;
+  }
+
+  const auto* tcp = p.tcp();
+  if (tcp == nullptr) {
+    ++unroutable_;
+    return;
+  }
+  // Established connections first (a retransmitted SYN for an existing
+  // connection must reach the endpoint, not spawn a duplicate).
+  const ConnKey key{p.src, tcp->dst_port, tcp->src_port};
+  const auto conn = tcp_conns_.find(key);
+  if (conn != tcp_conns_.end()) {
+    conn->second->on_segment(p);
+    return;
+  }
+  if (has_flag(tcp->flags, net::TcpFlag::kSyn) &&
+      !has_flag(tcp->flags, net::TcpFlag::kAck)) {
+    const auto listener = tcp_listeners_.find(tcp->dst_port);
+    if (listener != tcp_listeners_.end()) {
+      listener->second(p);
+      return;
+    }
+  }
+  ++unroutable_;
+}
+
+}  // namespace intsched::transport

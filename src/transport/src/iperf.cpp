@@ -1,0 +1,89 @@
+#include "intsched/transport/iperf.hpp"
+
+namespace intsched::transport {
+
+IperfUdpSender::IperfUdpSender(HostStack& stack, net::NodeId dst,
+                               Config config)
+    : stack_{stack}, dst_{dst}, cfg_{config} {}
+
+void IperfUdpSender::start(sim::SimTime duration) {
+  if (timer_.active()) return;
+  src_port_ = stack_.allocate_port();
+  const sim::SimTime spacing = cfg_.rate.transmission_time(cfg_.packet_size);
+  timer_ = stack_.simulator().schedule_periodic(sim::SimTime::zero(), spacing,
+                                                [this] { send_one(); });
+  if (duration > sim::SimTime::zero()) {
+    stop_event_ = stack_.simulator().schedule_after(duration, [this] {
+      stop_armed_ = false;
+      stop();
+    });
+    stop_armed_ = true;
+  }
+}
+
+void IperfUdpSender::stop() {
+  timer_.cancel();
+  if (stop_armed_) {
+    stack_.simulator().cancel(stop_event_);
+    stop_armed_ = false;
+  }
+}
+
+void IperfUdpSender::send_one() {
+  if (stack_.send_datagram(dst_, src_port_, cfg_.dst_port,
+                           cfg_.packet_size)) {
+    ++sent_;
+    bytes_ += cfg_.packet_size;
+  }
+}
+
+IperfUdpSink::IperfUdpSink(HostStack& stack, net::PortNumber port) {
+  stack.bind_udp(port, [this, &stack](const net::Packet& p) {
+    const sim::SimTime now = stack.simulator().now();
+    if (packets_ == 0) first_ = now;
+    last_ = now;
+    ++packets_;
+    bytes_ += p.wire_size;
+  });
+}
+
+sim::DataRate IperfUdpSink::goodput() const {
+  const sim::SimTime span = last_ - first_;
+  if (span <= sim::SimTime::zero()) {
+    return sim::DataRate::bits_per_second(0.0);
+  }
+  return sim::DataRate::bits_per_second(static_cast<double>(bytes_) * 8.0 /
+                                        span.to_seconds());
+}
+
+IperfTcpSender::IperfTcpSender(HostStack& stack, net::NodeId dst,
+                               sim::Bytes bytes, net::PortNumber dst_port,
+                               TcpConfig config)
+    : sender_{std::make_unique<TcpSender>(stack, dst, dst_port, bytes,
+                                          nullptr, config)},
+      bytes_{bytes} {}
+
+void IperfTcpSender::start() { sender_->start(); }
+
+bool IperfTcpSender::complete() const { return sender_->complete(); }
+
+sim::SimTime IperfTcpSender::elapsed() const {
+  return sender_->completion_time() - sender_->start_time();
+}
+
+sim::DataRate IperfTcpSender::throughput() const {
+  const sim::SimTime span = elapsed();
+  if (!complete() || span <= sim::SimTime::zero()) {
+    return sim::DataRate::bits_per_second(0.0);
+  }
+  return sim::DataRate::bits_per_second(static_cast<double>(bytes_) * 8.0 /
+                                        span.to_seconds());
+}
+
+IperfTcpServer::IperfTcpServer(HostStack& stack, net::PortNumber port)
+    : listener_{std::make_unique<TcpListener>(
+          stack, port,
+          [](net::NodeId, sim::Bytes,
+             std::shared_ptr<const net::AppMessage>) {})} {}
+
+}  // namespace intsched::transport

@@ -1,0 +1,48 @@
+#include "intsched/transport/ping.hpp"
+
+namespace intsched::transport {
+
+PingResponder::PingResponder(HostStack& stack) {
+  stack.bind_udp(net::kPingPort, [this, &stack](const net::Packet& p) {
+    const auto* udp = p.udp();
+    if (udp == nullptr) return;
+    // Reflect the echo payload back to the sender's source port.
+    stack.send_datagram(p.src, net::kPingPort, udp->src_port, p.wire_size,
+                        p.app);
+    ++replies_;
+  });
+}
+
+PingApp::PingApp(HostStack& stack, net::NodeId dst, Config config)
+    : stack_{stack}, dst_{dst}, cfg_{config} {
+  src_port_ = stack_.allocate_port();
+  stack_.bind_udp(src_port_, [this](const net::Packet& p) {
+    const auto* echo = dynamic_cast<const EchoMessage*>(p.app.get());
+    if (echo == nullptr) return;
+    ++received_;
+    const double rtt_ms =
+        (stack_.simulator().now() - echo->sent_at).to_milliseconds();
+    rtt_ms_.add(rtt_ms);
+    samples_ms_.push_back(rtt_ms);
+  });
+}
+
+void PingApp::start() {
+  if (timer_.active()) return;
+  timer_ = stack_.simulator().schedule_periodic(
+      sim::SimTime::zero(), cfg_.interval, [this] { send_request(); });
+}
+
+void PingApp::stop() { timer_.cancel(); }
+
+void PingApp::send_request() {
+  auto echo = std::make_shared<EchoMessage>();
+  echo->sequence = sent_;
+  echo->sent_at = stack_.simulator().now();
+  if (stack_.send_datagram(dst_, src_port_, net::kPingPort, cfg_.packet_size,
+                           std::move(echo))) {
+    ++sent_;
+  }
+}
+
+}  // namespace intsched::transport

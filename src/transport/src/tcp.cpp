@@ -1,0 +1,337 @@
+#include "intsched/transport/tcp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace intsched::transport {
+namespace {
+
+net::Packet make_tcp_packet(net::NodeId src, net::NodeId dst,
+                            net::PortNumber src_port,
+                            net::PortNumber dst_port, std::int64_t seq,
+                            std::int64_t ack, net::TcpFlag flags,
+                            sim::Bytes payload) {
+  net::Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.protocol = net::IpProtocol::kTcp;
+  p.l4 = net::TcpHeader{.src_port = src_port,
+                        .dst_port = dst_port,
+                        .seq = seq,
+                        .ack = ack,
+                        .flags = flags};
+  p.wire_size = net::kHeaderBytes + payload;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- sender
+
+TcpSender::TcpSender(HostStack& stack, net::NodeId dst,
+                     net::PortNumber dst_port, sim::Bytes payload_bytes,
+                     std::shared_ptr<const net::AppMessage> message,
+                     TcpConfig config)
+    : stack_{stack},
+      dst_{dst},
+      dst_port_{dst_port},
+      src_port_{0},
+      total_{payload_bytes},
+      cfg_{config},
+      rto_{config.initial_rto} {
+  assert(payload_bytes > 0);
+  auto header = std::make_shared<TransferHeader>();
+  header->total_bytes = payload_bytes;
+  header->payload = std::move(message);
+  header_ = std::move(header);
+}
+
+TcpSender::~TcpSender() {
+  if (rto_armed_) stack_.simulator().cancel(rto_timer_);
+  if (started_ && !complete_) {
+    stack_.unregister_tcp(ConnKey{dst_, src_port_, dst_port_});
+  }
+}
+
+void TcpSender::start() {
+  assert(!started_);
+  started_ = true;
+  start_time_ = stack_.simulator().now();
+  src_port_ = stack_.allocate_port();
+  stack_.register_tcp(ConnKey{dst_, src_port_, dst_port_}, this);
+  cwnd_ = static_cast<double>(cfg_.initial_window_segments * cfg_.mss);
+  ssthresh_ = static_cast<double>(cfg_.max_window);
+  send_syn();
+  arm_rto();
+}
+
+void TcpSender::send_syn() {
+  stack_.send_raw(make_tcp_packet(stack_.host().id(), dst_, src_port_,
+                                  dst_port_, 0, 0, net::TcpFlag::kSyn, 0));
+}
+
+void TcpSender::on_segment(const net::Packet& p) {
+  const auto* tcp = p.tcp();
+  if (tcp == nullptr || complete_) return;
+
+  if (has_flag(tcp->flags, net::TcpFlag::kSyn) &&
+      has_flag(tcp->flags, net::TcpFlag::kAck)) {
+    if (!established_) {
+      established_ = true;
+      dup_acks_ = 0;
+      arm_rto();
+      send_window();
+    }
+    return;
+  }
+  if (has_flag(tcp->flags, net::TcpFlag::kAck)) on_ack(tcp->ack);
+}
+
+void TcpSender::on_ack(std::int64_t ack) {
+  if (ack > snd_una_) {
+    const std::int64_t acked = ack - snd_una_;
+    snd_una_ = ack;
+    if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+    dup_acks_ = 0;
+
+    if (rtt_seq_ >= 0 && ack > rtt_seq_) {
+      update_rtt(stack_.simulator().now() - rtt_sent_at_);
+      rtt_seq_ = -1;
+    }
+
+    // Appropriate byte counting: slow start grows by at most one MSS per
+    // ACK; congestion avoidance by MSS*MSS/cwnd.
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += static_cast<double>(std::min<std::int64_t>(acked, cfg_.mss));
+    } else {
+      cwnd_ += static_cast<double>(cfg_.mss) * static_cast<double>(cfg_.mss) /
+               cwnd_;
+    }
+    cwnd_ = std::min(cwnd_, static_cast<double>(cfg_.max_window));
+
+    if (snd_una_ >= total_) {
+      finish();
+      return;
+    }
+    arm_rto();
+    send_window();
+    return;
+  }
+
+  // Duplicate ACK.
+  if (snd_una_ < snd_nxt_) {
+    ++dup_acks_;
+    if (dup_acks_ == 3) enter_fast_retransmit();
+  }
+}
+
+void TcpSender::enter_fast_retransmit() {
+  const auto flight = static_cast<double>(snd_nxt_ - snd_una_);
+  ssthresh_ =
+      std::max(flight / 2.0, static_cast<double>(2 * cfg_.mss));
+  cwnd_ = ssthresh_;
+  dup_acks_ = 0;
+  ++retransmits_;
+  send_segment(snd_una_, /*retransmission=*/true);
+  arm_rto();
+}
+
+void TcpSender::send_window() {
+  if (!established_ || complete_) return;
+  while (snd_nxt_ < total_) {
+    const sim::Bytes len = std::min<sim::Bytes>(cfg_.mss, total_ - snd_nxt_);
+    const std::int64_t in_flight = snd_nxt_ - snd_una_;
+    if (static_cast<double>(in_flight + len) > cwnd_) break;
+    send_segment(snd_nxt_, /*retransmission=*/false);
+    if (rtt_seq_ < 0) {
+      rtt_seq_ = snd_nxt_;
+      rtt_sent_at_ = stack_.simulator().now();
+    }
+    snd_nxt_ += len;
+  }
+}
+
+void TcpSender::send_segment(std::int64_t seq, bool retransmission) {
+  const sim::Bytes len = std::min<sim::Bytes>(cfg_.mss, total_ - seq);
+  auto p = make_tcp_packet(stack_.host().id(), dst_, src_port_, dst_port_,
+                           seq, 0, net::TcpFlag::kNone, len);
+  p.app = header_;
+  stack_.send_raw(std::move(p));
+  if (retransmission && rtt_seq_ == seq) rtt_seq_ = -1;  // Karn's rule
+}
+
+void TcpSender::arm_rto() {
+  if (rto_armed_) stack_.simulator().cancel(rto_timer_);
+  rto_armed_ = true;
+  rto_timer_ = stack_.simulator().schedule_after(rto_, [this] {
+    rto_armed_ = false;
+    on_rto();
+  });
+}
+
+void TcpSender::on_rto() {
+  if (complete_) return;
+  ++timeouts_;
+  const auto flight = static_cast<double>(snd_nxt_ - snd_una_);
+  ssthresh_ =
+      std::max(flight / 2.0, static_cast<double>(2 * cfg_.mss));
+  cwnd_ = static_cast<double>(cfg_.mss);
+  rto_ = std::min(rto_ * 2, cfg_.max_rto);
+  rtt_seq_ = -1;
+  dup_acks_ = 0;
+  if (!established_) {
+    send_syn();
+  } else {
+    // Go-back-N from the last cumulative ACK.
+    snd_nxt_ = snd_una_;
+    ++retransmits_;
+    send_window();
+  }
+  arm_rto();
+}
+
+void TcpSender::update_rtt(sim::SimTime sample) {
+  if (srtt_ == sim::SimTime::zero()) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    const sim::SimTime err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+    rttvar_ = (rttvar_ * 3) / 4 + err / 4;
+    srtt_ = (srtt_ * 7) / 8 + sample / 8;
+  }
+  rto_ = std::clamp(srtt_ + rttvar_ * 4, cfg_.min_rto, cfg_.max_rto);
+}
+
+void TcpSender::finish() {
+  complete_ = true;
+  done_time_ = stack_.simulator().now();
+  if (rto_armed_) {
+    stack_.simulator().cancel(rto_timer_);
+    rto_armed_ = false;
+  }
+  stack_.unregister_tcp(ConnKey{dst_, src_port_, dst_port_});
+  // May destroy this sender; must be the last statement.
+  if (done_cb_) done_cb_(*this);
+}
+
+// -------------------------------------------------------------- receiver
+
+TcpReceiver::TcpReceiver(HostStack& stack, net::NodeId peer,
+                         net::PortNumber peer_port,
+                         net::PortNumber local_port,
+                         CompletionHandler on_complete, TcpConfig config)
+    : stack_{stack},
+      peer_{peer},
+      peer_port_{peer_port},
+      local_port_{local_port},
+      on_complete_{std::move(on_complete)},
+      cfg_{config} {
+  stack_.register_tcp(ConnKey{peer_, local_port_, peer_port_}, this);
+  send_control(net::TcpFlag::kSyn | net::TcpFlag::kAck, 0);
+}
+
+TcpReceiver::~TcpReceiver() {
+  stack_.unregister_tcp(ConnKey{peer_, local_port_, peer_port_});
+}
+
+void TcpReceiver::send_control(net::TcpFlag flags, std::int64_t ack) {
+  stack_.send_raw(make_tcp_packet(stack_.host().id(), peer_, local_port_,
+                                  peer_port_, 0, ack, flags, 0));
+}
+
+void TcpReceiver::on_segment(const net::Packet& p) {
+  const auto* tcp = p.tcp();
+  if (tcp == nullptr) return;
+
+  if (has_flag(tcp->flags, net::TcpFlag::kSyn)) {
+    // Retransmitted SYN: our SYN-ACK was lost.
+    send_control(net::TcpFlag::kSyn | net::TcpFlag::kAck, rcv_nxt_);
+    return;
+  }
+
+  const sim::Bytes len = p.wire_size - net::kHeaderBytes;
+  if (len <= 0) return;  // stray control segment
+
+  if (first_rx_ == sim::SimTime::zero() && rcv_nxt_ == 0 && ooo_.empty()) {
+    first_rx_ = stack_.simulator().now();
+  }
+  if (const auto* header = dynamic_cast<const TransferHeader*>(p.app.get())) {
+    expected_total_ = header->total_bytes;
+    if (header->payload) app_payload_ = header->payload;
+  }
+
+  if (complete_) {
+    // Post-completion duplicate (our FIN-ACK was lost): re-acknowledge.
+    send_control(net::TcpFlag::kFin | net::TcpFlag::kAck, rcv_nxt_);
+    return;
+  }
+
+  merge_range(tcp->seq, tcp->seq + len);
+
+  if (expected_total_ >= 0 && rcv_nxt_ >= expected_total_) {
+    complete_ = true;
+    done_time_ = stack_.simulator().now();
+    send_control(net::TcpFlag::kFin | net::TcpFlag::kAck, rcv_nxt_);
+    if (on_complete_) on_complete_(*this, app_payload_);
+    return;
+  }
+  send_control(net::TcpFlag::kAck, rcv_nxt_);
+}
+
+void TcpReceiver::merge_range(std::int64_t begin, std::int64_t end) {
+  if (end <= rcv_nxt_) return;  // entirely duplicate
+  begin = std::max(begin, rcv_nxt_);
+
+  // Insert [begin,end) into the out-of-order set, coalescing overlaps.
+  auto it = ooo_.lower_bound(begin);
+  if (it != ooo_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      it = ooo_.erase(prev);
+    }
+  }
+  while (it != ooo_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = ooo_.erase(it);
+  }
+  ooo_.emplace(begin, end);
+
+  // Advance the cumulative pointer through now-contiguous ranges.
+  auto head = ooo_.begin();
+  while (head != ooo_.end() && head->first <= rcv_nxt_) {
+    rcv_nxt_ = std::max(rcv_nxt_, head->second);
+    head = ooo_.erase(head);
+  }
+}
+
+// -------------------------------------------------------------- listener
+
+TcpListener::TcpListener(HostStack& stack, net::PortNumber port,
+                         TransferHandler on_transfer, TcpConfig config)
+    : stack_{stack},
+      port_{port},
+      on_transfer_{std::move(on_transfer)},
+      cfg_{config} {
+  stack_.listen_tcp(port_,
+                    [this](const net::Packet& p) { on_syn(p); });
+}
+
+void TcpListener::on_syn(const net::Packet& p) {
+  const auto* tcp = p.tcp();
+  if (tcp == nullptr) return;
+  ++accepted_;
+  receivers_.push_back(std::make_unique<TcpReceiver>(
+      stack_, p.src, tcp->src_port, port_,
+      [this](TcpReceiver& r,
+             std::shared_ptr<const net::AppMessage> message) {
+        ++completed_;
+        if (on_transfer_) {
+          on_transfer_(r.peer(), r.bytes_received(), std::move(message));
+        }
+      },
+      cfg_));
+}
+
+}  // namespace intsched::transport

@@ -1,0 +1,208 @@
+// Device + server end-to-end on a small topology: full task lifecycle,
+// timestamps ordered, worker-slot queueing, completion-notification
+// reliability.
+#include <gtest/gtest.h>
+
+#include "intsched/edge/edge_device.hpp"
+#include "intsched/edge/edge_server.hpp"
+#include "intsched/net/topology.hpp"
+#include "intsched/p4/switch.hpp"
+
+namespace intsched::edge {
+namespace {
+
+/// Fixed-choice policy for tests.
+class FixedPolicy : public core::SelectionPolicy {
+ public:
+  explicit FixedPolicy(std::vector<net::NodeId> servers)
+      : servers_{std::move(servers)} {}
+  void select(net::NodeId, std::int32_t count,
+              const std::vector<std::string>&,
+              SelectionHandler handler) override {
+    std::vector<net::NodeId> chosen;
+    for (std::int32_t i = 0; i < count; ++i) {
+      chosen.push_back(servers_[static_cast<std::size_t>(i) %
+                                servers_.size()]);
+    }
+    handler(std::move(chosen));
+  }
+  using core::SelectionPolicy::select;
+  [[nodiscard]] core::PolicyKind kind() const override {
+    return core::PolicyKind::kNearest;
+  }
+
+ private:
+  std::vector<net::NodeId> servers_;
+};
+
+JobSpec make_job(std::int64_t id, net::NodeId submitter, int tasks,
+                 sim::Bytes data = 100'000,
+                 sim::SimTime exec = sim::SimTime::seconds(1)) {
+  JobSpec job;
+  job.job_id = id;
+  job.kind = tasks == 1 ? WorkloadKind::kServerless
+                        : WorkloadKind::kDistributed;
+  job.submitter = submitter;
+  for (int t = 0; t < tasks; ++t) {
+    TaskSpec spec;
+    spec.job_id = id;
+    spec.task_index = t;
+    spec.cls = TaskClass::kVerySmall;
+    spec.data_bytes = data;
+    spec.exec_time = exec;
+    job.tasks.push_back(spec);
+  }
+  return job;
+}
+
+struct EdgeFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::Host* device_host = nullptr;
+  net::Host* server_host1 = nullptr;
+  net::Host* server_host2 = nullptr;
+  std::vector<std::unique_ptr<transport::HostStack>> stacks;
+  MetricsCollector metrics;
+  std::unique_ptr<FixedPolicy> policy;
+  std::unique_ptr<EdgeDevice> device;
+  std::vector<std::unique_ptr<EdgeServer>> servers;
+
+  void wire(EdgeServerConfig server_cfg = {}) {
+    device_host = &topo.add_node<net::Host>("device");
+    server_host1 = &topo.add_node<net::Host>("server1");
+    server_host2 = &topo.add_node<net::Host>("server2");
+    p4::SwitchConfig cfg;
+    cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+    cfg.proc_jitter_frac = 0.0;
+    cfg.stall_probability = 0.0;
+    auto& sw = topo.add_node<p4::P4Switch>("sw", cfg);
+    for (net::Host* h : {device_host, server_host1, server_host2}) {
+      net::LinkConfig link;
+      link.prop_delay = sim::SimTime::milliseconds(5);
+      topo.connect(*h, sw, link);
+    }
+    topo.install_routes();
+    sw.load_program(std::make_unique<p4::ForwardingProgram>());
+    for (net::Host* h : {device_host, server_host1, server_host2}) {
+      stacks.push_back(std::make_unique<transport::HostStack>(*h));
+    }
+    policy = std::make_unique<FixedPolicy>(std::vector<net::NodeId>{
+        server_host1->id(), server_host2->id()});
+    device = std::make_unique<EdgeDevice>(*stacks[0], metrics, *policy);
+    servers.push_back(
+        std::make_unique<EdgeServer>(*stacks[1], metrics, server_cfg));
+    servers.push_back(
+        std::make_unique<EdgeServer>(*stacks[2], metrics, server_cfg));
+  }
+};
+
+TEST_F(EdgeFixture, SingleTaskLifecycle) {
+  wire();
+  device->submit(make_job(0, device_host->id(), 1));
+  sim.run();
+  const TaskRecord& r = metrics.at(0, 0);
+  EXPECT_TRUE(r.is_complete());
+  EXPECT_EQ(r.server, server_host1->id());
+  EXPECT_EQ(r.device, device_host->id());
+  EXPECT_EQ(metrics.completed(), 1);
+  EXPECT_EQ(servers[0]->tasks_executed(), 1);
+}
+
+TEST_F(EdgeFixture, TimestampsOrdered) {
+  wire();
+  device->submit(make_job(0, device_host->id(), 1));
+  sim.run();
+  const TaskRecord& r = metrics.at(0, 0);
+  EXPECT_GE(r.scheduled, r.submitted);
+  EXPECT_GE(r.transfer_start, r.scheduled);
+  EXPECT_GT(r.transfer_end, r.transfer_start);
+  EXPECT_GE(r.exec_end, r.transfer_end + r.exec_time);
+  EXPECT_GT(r.completed, r.exec_end);
+}
+
+TEST_F(EdgeFixture, ExecutionTimeRespected) {
+  wire();
+  device->submit(make_job(0, device_host->id(), 1, 50'000,
+                          sim::SimTime::seconds(3)));
+  sim.run();
+  const TaskRecord& r = metrics.at(0, 0);
+  EXPECT_EQ(r.exec_end - r.transfer_end, sim::SimTime::seconds(3));
+}
+
+TEST_F(EdgeFixture, DistributedJobSpreadsTasks) {
+  wire();
+  device->submit(make_job(0, device_host->id(), 3));
+  sim.run();
+  EXPECT_EQ(metrics.completed(), 3);
+  // Round-robin over two servers: tasks 0, 2 -> server1; task 1 -> server2.
+  EXPECT_EQ(metrics.at(0, 0).server, server_host1->id());
+  EXPECT_EQ(metrics.at(0, 1).server, server_host2->id());
+  EXPECT_EQ(metrics.at(0, 2).server, server_host1->id());
+}
+
+TEST_F(EdgeFixture, UnlimitedSlotsRunConcurrently) {
+  wire();  // worker_slots = 0 (unlimited)
+  device->submit(make_job(0, device_host->id(), 3, 50'000,
+                          sim::SimTime::seconds(5)));
+  sim.run();
+  EXPECT_EQ(servers[0]->max_concurrent(), 2);  // tasks 0 and 2 overlap
+}
+
+TEST_F(EdgeFixture, SingleSlotSerializesExecution) {
+  EdgeServerConfig cfg;
+  cfg.worker_slots = 1;
+  wire(cfg);
+  device->submit(make_job(0, device_host->id(), 3, 50'000,
+                          sim::SimTime::seconds(5)));
+  sim.run();
+  EXPECT_EQ(servers[0]->max_concurrent(), 1);
+  // Both tasks at server1 executed, 5 s apart.
+  const sim::SimTime gap =
+      metrics.at(0, 2).exec_end - metrics.at(0, 0).exec_end;
+  EXPECT_EQ(gap, sim::SimTime::seconds(5));
+}
+
+TEST_F(EdgeFixture, MultipleJobsAllComplete) {
+  wire();
+  for (int j = 0; j < 5; ++j) {
+    const auto job = make_job(j, device_host->id(), 1);
+    sim.schedule_at(sim::SimTime::seconds(j),
+                    [this, job] { device->submit(job); });
+  }
+  sim.run();
+  EXPECT_EQ(metrics.completed(), 5);
+  EXPECT_EQ(device->tasks_completed(), 5);
+  EXPECT_EQ(device->jobs_submitted(), 5);
+}
+
+TEST_F(EdgeFixture, CompletionHandlerFires) {
+  wire();
+  std::vector<std::int64_t> completed_jobs;
+  device->set_completion_handler(
+      [&](const TaskRecord& r) { completed_jobs.push_back(r.job_id); });
+  device->submit(make_job(7, device_host->id(), 1));
+  sim.run();
+  EXPECT_EQ(completed_jobs, (std::vector<std::int64_t>{7}));
+}
+
+TEST_F(EdgeFixture, TransferBytesMatchTaskSize) {
+  wire();
+  device->submit(make_job(0, device_host->id(), 1, 250'000));
+  sim.run();
+  EXPECT_EQ(servers[0]->tasks_received(), 1);
+  const TaskRecord& r = metrics.at(0, 0);
+  EXPECT_EQ(r.data_bytes, 250'000);
+  // Transfer of 250 KB at ~52 Mbps effective takes tens of ms.
+  EXPECT_GT(r.transfer_time(), sim::SimTime::milliseconds(20));
+  EXPECT_LT(r.transfer_time(), sim::SimTime::seconds(2));
+}
+
+TEST_F(EdgeFixture, NoSendersLeakAfterCompletion) {
+  wire();
+  device->submit(make_job(0, device_host->id(), 3));
+  sim.run();
+  EXPECT_EQ(device->transfers_in_flight(), 0);
+}
+
+}  // namespace
+}  // namespace intsched::edge

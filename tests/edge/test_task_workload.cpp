@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "intsched/edge/workload.hpp"
+
+namespace intsched::edge {
+namespace {
+
+TEST(TaskClassTest, Names) {
+  EXPECT_STREQ(to_string(TaskClass::kVerySmall), "very-small");
+  EXPECT_STREQ(short_name(TaskClass::kVerySmall), "VS");
+  EXPECT_STREQ(short_name(TaskClass::kSmall), "S");
+  EXPECT_STREQ(short_name(TaskClass::kMedium), "M");
+  EXPECT_STREQ(short_name(TaskClass::kLarge), "L");
+}
+
+TEST(TaskClassTest, TableOneRanges) {
+  const auto& vs = task_class_spec(TaskClass::kVerySmall);
+  EXPECT_EQ(vs.data_max, 1000 * sim::kKB);
+  EXPECT_EQ(vs.exec_max, sim::SimTime::milliseconds(2000));
+  const auto& l = task_class_spec(TaskClass::kLarge);
+  EXPECT_EQ(l.data_min, 4500 * sim::kKB);
+  EXPECT_EQ(l.data_max, 5500 * sim::kKB);
+  EXPECT_EQ(l.exec_min, sim::SimTime::milliseconds(7500));
+  EXPECT_EQ(l.exec_max, sim::SimTime::milliseconds(9500));
+}
+
+TEST(TaskClassTest, ClassesAreDisjointAndOrdered) {
+  for (std::size_t i = 1; i < kAllTaskClasses.size(); ++i) {
+    const auto& prev = task_class_spec(kAllTaskClasses[i - 1]);
+    const auto& cur = task_class_spec(kAllTaskClasses[i]);
+    EXPECT_LT(prev.data_max, cur.data_min);
+    EXPECT_LT(prev.exec_max, cur.exec_min);
+  }
+}
+
+TEST(SampleTaskTest, StaysInRange) {
+  sim::Rng rng{3};
+  for (const TaskClass cls : kAllTaskClasses) {
+    const auto& spec = task_class_spec(cls);
+    for (int i = 0; i < 500; ++i) {
+      const TaskSpec t = sample_task(cls, 1, 0, rng);
+      EXPECT_GE(t.data_bytes, spec.data_min);
+      EXPECT_LE(t.data_bytes, spec.data_max);
+      EXPECT_GE(t.exec_time, spec.exec_min);
+      EXPECT_LE(t.exec_time, spec.exec_max);
+      EXPECT_EQ(t.cls, cls);
+    }
+  }
+}
+
+TEST(SampleTaskTest, CarriesIdentity) {
+  sim::Rng rng{3};
+  const TaskSpec t = sample_task(TaskClass::kSmall, 42, 2, rng);
+  EXPECT_EQ(t.job_id, 42);
+  EXPECT_EQ(t.task_index, 2);
+}
+
+TEST(WorkloadKindTest, TasksPerJob) {
+  EXPECT_EQ(tasks_per_job(WorkloadKind::kServerless), 1);
+  EXPECT_EQ(tasks_per_job(WorkloadKind::kDistributed), 3);
+  EXPECT_STREQ(to_string(WorkloadKind::kServerless), "serverless");
+  EXPECT_STREQ(to_string(WorkloadKind::kDistributed), "distributed");
+}
+
+TEST(WorkloadGenTest, ServerlessJobCountMatchesTasks) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadKind::kServerless;
+  cfg.total_tasks = 200;
+  sim::Rng rng{1};
+  const auto jobs = generate_workload(cfg, {0, 1, 2}, rng);
+  EXPECT_EQ(jobs.size(), 200u);
+  for (const JobSpec& j : jobs) EXPECT_EQ(j.tasks.size(), 1u);
+}
+
+TEST(WorkloadGenTest, DistributedRoundsUp) {
+  WorkloadConfig cfg;
+  cfg.kind = WorkloadKind::kDistributed;
+  cfg.total_tasks = 200;
+  sim::Rng rng{1};
+  const auto jobs = generate_workload(cfg, {0, 1}, rng);
+  EXPECT_EQ(jobs.size(), 67u);  // ceil(200/3)
+  for (const JobSpec& j : jobs) EXPECT_EQ(j.tasks.size(), 3u);
+}
+
+TEST(WorkloadGenTest, ClassesCycleEvenly) {
+  WorkloadConfig cfg;
+  cfg.total_tasks = 80;
+  sim::Rng rng{1};
+  const auto jobs = generate_workload(cfg, {0}, rng);
+  std::map<TaskClass, int> counts;
+  for (const JobSpec& j : jobs) ++counts[j.cls];
+  for (const TaskClass cls : kAllTaskClasses) EXPECT_EQ(counts[cls], 20);
+}
+
+TEST(WorkloadGenTest, SingleClassRestriction) {
+  WorkloadConfig cfg;
+  cfg.total_tasks = 10;
+  cfg.classes = {TaskClass::kMedium};
+  sim::Rng rng{1};
+  for (const JobSpec& j : generate_workload(cfg, {0}, rng)) {
+    EXPECT_EQ(j.cls, TaskClass::kMedium);
+  }
+}
+
+TEST(WorkloadGenTest, SubmitTimesMonotoneWithJitter) {
+  WorkloadConfig cfg;
+  cfg.total_tasks = 50;
+  cfg.job_interval = sim::SimTime::seconds(2);
+  sim::Rng rng{1};
+  const auto jobs = generate_workload(cfg, {0}, rng);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    const sim::SimTime gap = jobs[i].submit_at - jobs[i - 1].submit_at;
+    EXPECT_GE(gap, sim::SimTime::milliseconds(1500));
+    EXPECT_LE(gap, sim::SimTime::milliseconds(2500));
+  }
+  EXPECT_EQ(jobs[0].submit_at, cfg.first_submit);
+}
+
+TEST(WorkloadGenTest, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  cfg.total_tasks = 40;
+  sim::Rng r1{9};
+  sim::Rng r2{9};
+  const auto a = generate_workload(cfg, {0, 1, 2, 3}, r1);
+  const auto b = generate_workload(cfg, {0, 1, 2, 3}, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submitter, b[i].submitter);
+    EXPECT_EQ(a[i].submit_at, b[i].submit_at);
+    for (std::size_t t = 0; t < a[i].tasks.size(); ++t) {
+      EXPECT_EQ(a[i].tasks[t].data_bytes, b[i].tasks[t].data_bytes);
+      EXPECT_EQ(a[i].tasks[t].exec_time, b[i].tasks[t].exec_time);
+    }
+  }
+}
+
+TEST(WorkloadGenTest, SubmittersDrawnFromPool) {
+  WorkloadConfig cfg;
+  cfg.total_tasks = 100;
+  sim::Rng rng{2};
+  std::set<net::NodeId> seen;
+  for (const JobSpec& j : generate_workload(cfg, {4, 5, 6}, rng)) {
+    seen.insert(j.submitter);
+  }
+  for (const net::NodeId s : seen) {
+    EXPECT_TRUE(s == 4 || s == 5 || s == 6);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(WorkloadGenTest, EmptyInputsThrow) {
+  WorkloadConfig cfg;
+  sim::Rng rng{1};
+  EXPECT_THROW(static_cast<void>(generate_workload(cfg, {}, rng)),
+               std::invalid_argument);
+  cfg.classes.clear();
+  EXPECT_THROW(static_cast<void>(generate_workload(cfg, {0}, rng)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace intsched::edge

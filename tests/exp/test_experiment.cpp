@@ -1,0 +1,183 @@
+// Experiment runner: completion, determinism, policy pairing.
+#include "intsched/exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intsched::exp {
+namespace {
+
+ExperimentConfig small_config(core::PolicyKind policy,
+                              std::int32_t tasks = 12) {
+  ExperimentConfig cfg;
+  cfg.seed = 5;
+  cfg.policy = policy;
+  cfg.workload.total_tasks = tasks;
+  cfg.workload.job_interval = sim::SimTime::seconds(2);
+  cfg.background.mode = BackgroundMode::kNone;
+  return cfg;
+}
+
+TEST(ExperimentTest, AllTasksCompleteOnQuietNetwork) {
+  const ExperimentResult r =
+      run_experiment(small_config(core::PolicyKind::kNearest));
+  EXPECT_EQ(r.tasks_total, 12);
+  EXPECT_EQ(r.tasks_completed, 12);
+  EXPECT_LT(r.sim_duration, sim::SimTime::seconds(120));
+}
+
+TEST(ExperimentTest, IntPolicyAlsoCompletes) {
+  const ExperimentResult r =
+      run_experiment(small_config(core::PolicyKind::kIntDelay));
+  EXPECT_EQ(r.tasks_completed, 12);
+  EXPECT_GT(r.queries_served, 0);
+  EXPECT_GT(r.probe_reports, 0);
+}
+
+TEST(ExperimentTest, RandomPolicyCompletes) {
+  const ExperimentResult r =
+      run_experiment(small_config(core::PolicyKind::kRandom));
+  EXPECT_EQ(r.tasks_completed, 12);
+  EXPECT_EQ(r.queries_served, 0);  // random never asks the scheduler
+}
+
+TEST(ExperimentTest, ProbesRunRegardlessOfPolicy) {
+  const ExperimentResult r =
+      run_experiment(small_config(core::PolicyKind::kNearest));
+  EXPECT_GT(r.probes_sent, 0);
+  EXPECT_GT(r.probe_reports, 0);
+}
+
+TEST(ExperimentTest, DeterministicRepeat) {
+  const ExperimentConfig cfg = small_config(core::PolicyKind::kIntDelay);
+  const ExperimentResult a = run_experiment(cfg);
+  const ExperimentResult b = run_experiment(cfg);
+  EXPECT_EQ(a.sim_duration, b.sim_duration);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  const auto ra = a.metrics.records();
+  const auto rb = b.metrics.records();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i]->completed, rb[i]->completed);
+    EXPECT_EQ(ra[i]->server, rb[i]->server);
+  }
+}
+
+TEST(ExperimentTest, PoliciesSeeIdenticalWorkload) {
+  const auto results = run_policy_suite(
+      small_config(core::PolicyKind::kIntDelay),
+      {core::PolicyKind::kIntDelay, core::PolicyKind::kNearest});
+  const auto a = results.at(core::PolicyKind::kIntDelay).metrics.records();
+  const auto b = results.at(core::PolicyKind::kNearest).metrics.records();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i]->job_id, b[i]->job_id);
+    EXPECT_EQ(a[i]->device, b[i]->device);
+    EXPECT_EQ(a[i]->data_bytes, b[i]->data_bytes);
+    EXPECT_EQ(a[i]->exec_time, b[i]->exec_time);
+    EXPECT_EQ(a[i]->submitted, b[i]->submitted);
+  }
+}
+
+TEST(ExperimentTest, DistributedWorkloadUsesThreeServers) {
+  ExperimentConfig cfg = small_config(core::PolicyKind::kIntDelay);
+  cfg.workload.kind = edge::WorkloadKind::kDistributed;
+  cfg.workload.total_tasks = 9;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.tasks_completed, 9);
+  // Each job's three tasks go to three distinct servers.
+  for (std::int64_t job = 0; job < 3; ++job) {
+    const auto* t0 = r.metrics.find(job, 0);
+    const auto* t1 = r.metrics.find(job, 1);
+    const auto* t2 = r.metrics.find(job, 2);
+    ASSERT_NE(t0, nullptr);
+    ASSERT_NE(t1, nullptr);
+    ASSERT_NE(t2, nullptr);
+    EXPECT_NE(t0->server, t1->server);
+    EXPECT_NE(t1->server, t2->server);
+    EXPECT_NE(t0->server, t2->server);
+  }
+}
+
+TEST(ExperimentTest, CompletionTimesIncludeExecution) {
+  const ExperimentResult r =
+      run_experiment(small_config(core::PolicyKind::kNearest));
+  for (const edge::TaskRecord* rec : r.metrics.records()) {
+    ASSERT_TRUE(rec->is_complete());
+    EXPECT_GT(rec->completion_time(), rec->exec_time);
+  }
+}
+
+TEST(ExperimentTest, MaxDurationSafetyStop) {
+  ExperimentConfig cfg = small_config(core::PolicyKind::kNearest);
+  cfg.max_duration = sim::SimTime::seconds(6);  // too short to finish
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_LT(r.tasks_completed, r.tasks_total);
+  EXPECT_EQ(r.sim_duration, sim::SimTime::seconds(6));
+}
+
+TEST(ExperimentTest, BackgroundCongestionSlowsTasks) {
+  ExperimentConfig quiet = small_config(core::PolicyKind::kNearest, 16);
+  ExperimentConfig busy = quiet;
+  busy.background.mode = BackgroundMode::kRandomPairs;
+  const ExperimentResult rq = run_experiment(quiet);
+  const ExperimentResult rb = run_experiment(busy);
+  double quiet_mean = 0.0;
+  double busy_mean = 0.0;
+  for (const edge::TaskClass cls : edge::kAllTaskClasses) {
+    quiet_mean += rq.metrics.mean_completion_s(cls).value_or(0.0);
+    busy_mean += rb.metrics.mean_completion_s(cls).value_or(0.0);
+  }
+  EXPECT_GT(busy_mean, quiet_mean);
+}
+
+}  // namespace
+}  // namespace intsched::exp
+
+// -- Extension paths through the experiment runner --
+
+namespace intsched::exp {
+namespace {
+
+TEST(ExperimentExtensionTest, ComputeAwareRunsEndToEnd) {
+  ExperimentConfig cfg;
+  cfg.seed = 6;
+  cfg.workload.total_tasks = 12;
+  cfg.background.mode = BackgroundMode::kNone;
+  cfg.policy = core::PolicyKind::kIntDelay;
+  cfg.scheduler.compute_aware = true;
+  cfg.server.worker_slots = 1;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.tasks_completed, 12);
+}
+
+TEST(ExperimentExtensionTest, ComputeAwareSpreadsLoadUnderOverload) {
+  // Short job interval + single worker: compute-aware completes faster.
+  ExperimentConfig cfg;
+  cfg.seed = 6;
+  cfg.workload.total_tasks = 24;
+  cfg.workload.job_interval = sim::SimTime::milliseconds(700);
+  cfg.workload.classes = {edge::TaskClass::kMedium};  // 5-7 s execution
+  cfg.background.mode = BackgroundMode::kNone;
+  cfg.policy = core::PolicyKind::kIntDelay;
+  cfg.server.worker_slots = 1;
+
+  const ExperimentResult plain = run_experiment(cfg);
+  cfg.scheduler.compute_aware = true;
+  cfg.scheduler.load_penalty = sim::SimTime::seconds(2);
+  const ExperimentResult aware = run_experiment(cfg);
+
+  ASSERT_EQ(plain.tasks_completed, 24);
+  ASSERT_EQ(aware.tasks_completed, 24);
+  double plain_total = 0.0;
+  double aware_total = 0.0;
+  for (const edge::TaskRecord* r : plain.metrics.records()) {
+    plain_total += r->completion_time().to_seconds();
+  }
+  for (const edge::TaskRecord* r : aware.metrics.records()) {
+    aware_total += r->completion_time().to_seconds();
+  }
+  EXPECT_LT(aware_total, plain_total);
+}
+
+}  // namespace
+}  // namespace intsched::exp

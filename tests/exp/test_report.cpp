@@ -1,0 +1,73 @@
+#include "intsched/exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace intsched::exp {
+namespace {
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t{"demo"};
+  t.set_headers({"a", "long-header"});
+  t.add_row({"wide-cell", "x"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("wide-cell"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, RowsKeepOrder) {
+  TextTable t{"demo"};
+  t.set_headers({"v"});
+  t.add_row({"first"});
+  t.add_row({"second"});
+  const std::string out = t.to_string();
+  EXPECT_LT(out.find("first"), out.find("second"));
+}
+
+TEST(TextTableTest, NoHeadersNoRule) {
+  TextTable t{"demo"};
+  t.add_row({"only"});
+  const std::string out = t.to_string();
+  EXPECT_EQ(out.find("---"), std::string::npos);
+}
+
+TEST(PercentGainTest, Basics) {
+  EXPECT_DOUBLE_EQ(percent_gain(10.0, 5.0), 50.0);
+  EXPECT_DOUBLE_EQ(percent_gain(10.0, 15.0), -50.0);
+  EXPECT_DOUBLE_EQ(percent_gain(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(percent_gain(0.0, 5.0), 0.0);  // guarded
+}
+
+TEST(FormattersTest, Seconds) {
+  EXPECT_EQ(fmt_seconds(1.23456), "1.235");
+  EXPECT_EQ(fmt_seconds(0.0), "0.000");
+}
+
+TEST(FormattersTest, Percent) {
+  EXPECT_EQ(fmt_percent(12.34), "12.3%");
+  EXPECT_EQ(fmt_percent(-5.0), "-5.0%");
+}
+
+TEST(FormattersTest, OptionalSeconds) {
+  EXPECT_EQ(fmt_opt_seconds(1.5), "1.500");
+  EXPECT_EQ(fmt_opt_seconds(std::nullopt), "n/a");
+}
+
+TEST(CsvTest, WritesCommaSeparated) {
+  std::ostringstream os;
+  write_csv_row(os, {"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvTest, SingleCell) {
+  std::ostringstream os;
+  write_csv_row(os, {"only"});
+  EXPECT_EQ(os.str(), "only\n");
+}
+
+}  // namespace
+}  // namespace intsched::exp

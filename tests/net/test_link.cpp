@@ -1,0 +1,175 @@
+// Port/link mechanics: serialization, propagation, busy-transmitter
+// queueing, arrival monotonicity under jitter.
+#include <gtest/gtest.h>
+
+#include "intsched/net/node.hpp"
+#include "intsched/net/topology.hpp"
+
+namespace intsched::net {
+namespace {
+
+Packet sized_packet(sim::Bytes size) {
+  Packet p;
+  p.wire_size = size;
+  return p;
+}
+
+struct LinkFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  Host* a = nullptr;
+  Host* b = nullptr;
+  std::vector<sim::SimTime> arrivals;
+
+  void wire(LinkConfig cfg) {
+    a = &topo.add_node<Host>("a");
+    b = &topo.add_node<Host>("b");
+    topo.connect(*a, *b, cfg);
+    topo.install_routes();
+    b->set_receiver([this](Packet&&) { arrivals.push_back(sim.now()); });
+  }
+};
+
+TEST_F(LinkFixture, DeliveryTimeIsSerializationPlusPropagation) {
+  LinkConfig cfg;
+  cfg.rate = sim::DataRate::megabits_per_second(8.0);  // 1 ms per 1000 B
+  cfg.prop_delay = sim::SimTime::milliseconds(10);
+  wire(cfg);
+
+  Packet p = sized_packet(1000);
+  p.dst = b->id();
+  a->send(std::move(p));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], sim::SimTime::milliseconds(11));
+}
+
+TEST_F(LinkFixture, BackToBackPacketsSerialize) {
+  LinkConfig cfg;
+  cfg.rate = sim::DataRate::megabits_per_second(8.0);
+  cfg.prop_delay = sim::SimTime::milliseconds(10);
+  wire(cfg);
+
+  for (int i = 0; i < 3; ++i) {
+    Packet p = sized_packet(1000);
+    p.dst = b->id();
+    a->send(std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // 1 ms serialization each, pipelined over the same 10 ms propagation.
+  EXPECT_EQ(arrivals[0], sim::SimTime::milliseconds(11));
+  EXPECT_EQ(arrivals[1], sim::SimTime::milliseconds(12));
+  EXPECT_EQ(arrivals[2], sim::SimTime::milliseconds(13));
+}
+
+TEST_F(LinkFixture, JitterNeverReordersAChannel) {
+  LinkConfig cfg;
+  cfg.rate = sim::DataRate::megabits_per_second(100.0);
+  cfg.prop_delay = sim::SimTime::milliseconds(5);
+  cfg.jitter = sim::SimTime::milliseconds(4);
+  wire(cfg);
+
+  std::vector<std::uint64_t> uids;
+  b->set_receiver([&](Packet&& p) {
+    arrivals.push_back(sim.now());
+    uids.push_back(p.uid);
+  });
+  for (int i = 0; i < 50; ++i) {
+    Packet p = sized_packet(200);
+    p.dst = b->id();
+    a->send(std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 50u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i], arrivals[i - 1]);
+    EXPECT_GT(uids[i], uids[i - 1]);  // FIFO preserved
+  }
+}
+
+TEST_F(LinkFixture, PortCountersTrackTraffic) {
+  LinkConfig cfg;
+  wire(cfg);
+  for (int i = 0; i < 4; ++i) {
+    Packet p = sized_packet(500);
+    p.dst = b->id();
+    a->send(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(a->port(0).tx_packets(), 4);
+  EXPECT_EQ(a->port(0).tx_bytes(), 2000);
+  EXPECT_EQ(b->rx_packets(), 4);
+  EXPECT_EQ(b->rx_bytes(), 2000);
+}
+
+TEST_F(LinkFixture, BusyTimeAccumulates) {
+  LinkConfig cfg;
+  cfg.rate = sim::DataRate::megabits_per_second(8.0);
+  wire(cfg);
+  Packet p = sized_packet(1000);  // 1 ms serialization
+  p.dst = b->id();
+  a->send(std::move(p));
+  sim.run();
+  EXPECT_EQ(a->port(0).busy_time(), sim::SimTime::milliseconds(1));
+}
+
+TEST_F(LinkFixture, HostDropsForeignPackets) {
+  LinkConfig cfg;
+  wire(cfg);
+  Packet p = sized_packet(100);
+  p.dst = 999;  // not b
+  a->port(0).send(std::move(p));
+  sim.run();
+  EXPECT_TRUE(arrivals.empty());
+}
+
+TEST_F(LinkFixture, HostAssignsDistinctUids) {
+  LinkConfig cfg;
+  wire(cfg);
+  std::vector<std::uint64_t> uids;
+  b->set_receiver([&](Packet&& p) { uids.push_back(p.uid); });
+  for (int i = 0; i < 3; ++i) {
+    Packet p = sized_packet(100);
+    p.dst = b->id();
+    a->send(std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(uids.size(), 3u);
+  EXPECT_NE(uids[0], uids[1]);
+  EXPECT_NE(uids[1], uids[2]);
+}
+
+TEST(LinkErrorTest, SendWithoutPortThrows) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  auto& lonely = topo.add_node<Host>("lonely");
+  Packet p;
+  p.dst = 0;
+  EXPECT_THROW(lonely.send(std::move(p)), std::logic_error);
+}
+
+TEST(LinkErrorTest, UnconnectedPortThrowsOnTransmit) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  auto& h = topo.add_node<Host>("h");
+  h.add_port(LinkConfig{});
+  Packet p;
+  p.dst = 5;
+  p.wire_size = 10;
+  EXPECT_THROW(h.port(0).send(std::move(p)), std::logic_error);
+}
+
+TEST(NodeClockTest, SkewShiftsLocalTime) {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  auto& h = topo.add_node<Host>("h");
+  h.set_clock_skew(sim::SimTime::microseconds(250));
+  sim.schedule_at(sim::SimTime::seconds(1), [] {});
+  sim.run();
+  EXPECT_EQ(h.local_time(),
+            sim::SimTime::seconds(1) + sim::SimTime::microseconds(250));
+}
+
+}  // namespace
+}  // namespace intsched::net

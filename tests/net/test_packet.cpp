@@ -1,0 +1,77 @@
+#include "intsched/net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intsched::net {
+namespace {
+
+TEST(TcpFlagTest, OrCombines) {
+  const TcpFlag both = TcpFlag::kSyn | TcpFlag::kAck;
+  EXPECT_TRUE(has_flag(both, TcpFlag::kSyn));
+  EXPECT_TRUE(has_flag(both, TcpFlag::kAck));
+  EXPECT_FALSE(has_flag(both, TcpFlag::kFin));
+}
+
+TEST(TcpFlagTest, NoneHasNoFlags) {
+  EXPECT_FALSE(has_flag(TcpFlag::kNone, TcpFlag::kSyn));
+  EXPECT_FALSE(has_flag(TcpFlag::kNone, TcpFlag::kAck));
+}
+
+TEST(PacketTest, DefaultsAreInvalid) {
+  const Packet p;
+  EXPECT_EQ(p.src, kInvalidNode);
+  EXPECT_EQ(p.dst, kInvalidNode);
+  EXPECT_FALSE(p.is_int_probe());
+  EXPECT_TRUE(p.int_stack.empty());
+  EXPECT_LT(p.last_egress_timestamp, sim::SimTime::zero());
+}
+
+TEST(PacketTest, L4Accessors) {
+  Packet p;
+  p.l4 = UdpHeader{.src_port = 10, .dst_port = 20};
+  ASSERT_NE(p.udp(), nullptr);
+  EXPECT_EQ(p.tcp(), nullptr);
+  EXPECT_EQ(p.udp()->dst_port, 20);
+
+  p.l4 = TcpHeader{.src_port = 1, .dst_port = 2, .seq = 100};
+  ASSERT_NE(p.tcp(), nullptr);
+  EXPECT_EQ(p.udp(), nullptr);
+  EXPECT_EQ(p.tcp()->seq, 100);
+}
+
+TEST(PacketTest, ProbeRequiresGeneveOptionType) {
+  Packet p;
+  EXPECT_FALSE(p.is_int_probe());
+  p.geneve = GeneveOption{};  // wrong type value
+  EXPECT_FALSE(p.is_int_probe());
+  p.geneve = GeneveOption{.type = kIntProbeOptionType};
+  EXPECT_TRUE(p.is_int_probe());
+}
+
+TEST(PacketTest, ToStringMentionsKeyFields) {
+  Packet p;
+  p.src = 1;
+  p.dst = 2;
+  p.uid = 77;
+  p.wire_size = 1500;
+  p.protocol = IpProtocol::kTcp;
+  const std::string s = to_string(p);
+  EXPECT_NE(s.find("77"), std::string::npos);
+  EXPECT_NE(s.find("tcp"), std::string::npos);
+  EXPECT_NE(s.find("1500"), std::string::npos);
+}
+
+TEST(PacketTest, ProbeMarkerInToString) {
+  Packet p;
+  p.geneve = GeneveOption{.type = kIntProbeOptionType};
+  EXPECT_NE(to_string(p).find("probe"), std::string::npos);
+}
+
+TEST(PacketTest, WireConstantsSane) {
+  // A full segment plus headers matches the paper's 1.5 KB packets.
+  EXPECT_EQ(kMss + kHeaderBytes, 1500);
+  EXPECT_GT(kIntStackEntryWireBytes, 0);
+}
+
+}  // namespace
+}  // namespace intsched::net

@@ -1,0 +1,106 @@
+#include "intsched/net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace intsched::net {
+namespace {
+
+Packet make_packet(std::uint64_t uid, sim::Bytes size = 100) {
+  Packet p;
+  p.uid = uid;
+  p.wire_size = size;
+  return p;
+}
+
+TEST(DropTailQueueTest, StartsEmpty) {
+  DropTailQueue q{4};
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size_pkts(), 0);
+  EXPECT_EQ(q.size_bytes(), 0);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTailQueueTest, FifoOrder) {
+  DropTailQueue q{10};
+  for (std::uint64_t i = 0; i < 5; ++i) q.enqueue(make_packet(i));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->uid, i);
+  }
+}
+
+TEST(DropTailQueueTest, DropsWhenFull) {
+  DropTailQueue q{2};
+  EXPECT_TRUE(q.enqueue(make_packet(1)));
+  EXPECT_TRUE(q.enqueue(make_packet(2)));
+  EXPECT_FALSE(q.enqueue(make_packet(3)));
+  EXPECT_EQ(q.size_pkts(), 2);
+  EXPECT_EQ(q.dropped(), 1);
+  EXPECT_EQ(q.enqueued(), 2);
+}
+
+TEST(DropTailQueueTest, ByteAccounting) {
+  DropTailQueue q{10};
+  q.enqueue(make_packet(1, 100));
+  q.enqueue(make_packet(2, 250));
+  EXPECT_EQ(q.size_bytes(), 350);
+  q.dequeue();
+  EXPECT_EQ(q.size_bytes(), 250);
+  q.dequeue();
+  EXPECT_EQ(q.size_bytes(), 0);
+}
+
+TEST(DropTailQueueTest, CountersAccumulate) {
+  DropTailQueue q{2};
+  q.enqueue(make_packet(1));
+  q.enqueue(make_packet(2));
+  q.enqueue(make_packet(3));  // dropped
+  q.dequeue();
+  q.enqueue(make_packet(4));
+  EXPECT_EQ(q.enqueued(), 3);
+  EXPECT_EQ(q.dequeued(), 1);
+  EXPECT_EQ(q.dropped(), 1);
+}
+
+TEST(DropTailQueueTest, ObserverSeesPreEnqueueDepth) {
+  // BMv2 enq_qdepth semantics: the depth the arriving packet observes,
+  // not including itself.
+  DropTailQueue q{3};
+  std::vector<std::int64_t> observed;
+  q.set_occupancy_observer([&](std::int64_t d) { observed.push_back(d); });
+  q.enqueue(make_packet(1));
+  q.enqueue(make_packet(2));
+  q.enqueue(make_packet(3));
+  q.enqueue(make_packet(4));  // dropped, observes full queue
+  EXPECT_EQ(observed, (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(DropTailQueueTest, DropObserverFiresOnlyOnDrop) {
+  DropTailQueue q{1};
+  int drops = 0;
+  q.set_drop_observer([&](const Packet&) { ++drops; });
+  q.enqueue(make_packet(1));
+  EXPECT_EQ(drops, 0);
+  q.enqueue(make_packet(2));
+  EXPECT_EQ(drops, 1);
+}
+
+TEST(DropTailQueueTest, CapacityQuery) {
+  DropTailQueue q{42};
+  EXPECT_EQ(q.capacity_pkts(), 42);
+}
+
+TEST(DropTailQueueTest, ReuseAfterDrain) {
+  DropTailQueue q{1};
+  q.enqueue(make_packet(1));
+  q.enqueue(make_packet(2));  // dropped
+  q.dequeue();
+  EXPECT_TRUE(q.enqueue(make_packet(3)));
+  EXPECT_EQ(q.dequeue()->uid, 3u);
+}
+
+}  // namespace
+}  // namespace intsched::net

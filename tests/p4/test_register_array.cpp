@@ -1,0 +1,71 @@
+#include "intsched/p4/register_array.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intsched::p4 {
+namespace {
+
+TEST(RegisterArrayTest, InitializesToInitialValue) {
+  RegisterArray r{"r", 4, 7};
+  EXPECT_EQ(r.size(), 4);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(r.read(i), 7);
+}
+
+TEST(RegisterArrayTest, WriteRead) {
+  RegisterArray r{"r", 2};
+  r.write(0, 42);
+  EXPECT_EQ(r.read(0), 42);
+  EXPECT_EQ(r.read(1), 0);
+}
+
+TEST(RegisterArrayTest, UpdateMaxKeepsLarger) {
+  RegisterArray r{"r", 1};
+  r.update_max(0, 5);
+  EXPECT_EQ(r.read(0), 5);
+  r.update_max(0, 3);
+  EXPECT_EQ(r.read(0), 5);
+  r.update_max(0, 9);
+  EXPECT_EQ(r.read(0), 9);
+}
+
+TEST(RegisterArrayTest, CollectReturnsAndResets) {
+  RegisterArray r{"r", 1, 0};
+  r.update_max(0, 11);
+  EXPECT_EQ(r.collect(0), 11);
+  EXPECT_EQ(r.read(0), 0);
+  EXPECT_EQ(r.collect(0), 0);  // idempotent when already reset
+}
+
+TEST(RegisterArrayTest, CollectResetsToInitialNotZero) {
+  RegisterArray r{"r", 1, -1};
+  r.write(0, 5);
+  EXPECT_EQ(r.collect(0), 5);
+  EXPECT_EQ(r.read(0), -1);
+}
+
+TEST(RegisterArrayTest, ResetAll) {
+  RegisterArray r{"r", 3};
+  r.write(0, 1);
+  r.write(1, 2);
+  r.write(2, 3);
+  r.reset_all();
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_EQ(r.read(i), 0);
+}
+
+TEST(RegisterArrayTest, Name) {
+  RegisterArray r{"int_max_queue_port", 1};
+  EXPECT_EQ(r.name(), "int_max_queue_port");
+}
+
+TEST(RegisterArrayTest, IndependentCells) {
+  RegisterArray r{"r", 3};
+  r.update_max(1, 10);
+  EXPECT_EQ(r.read(0), 0);
+  EXPECT_EQ(r.read(1), 10);
+  EXPECT_EQ(r.read(2), 0);
+  r.collect(1);
+  EXPECT_EQ(r.read(1), 0);
+}
+
+}  // namespace
+}  // namespace intsched::p4

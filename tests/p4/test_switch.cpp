@@ -1,0 +1,165 @@
+#include "intsched/p4/switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intsched/net/topology.hpp"
+#include "intsched/p4/program.hpp"
+
+namespace intsched::p4 {
+namespace {
+
+net::Packet packet_to(net::NodeId dst, sim::Bytes size = 500) {
+  net::Packet p;
+  p.dst = dst;
+  p.wire_size = size;
+  return p;
+}
+
+struct SwitchFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::Host* a = nullptr;
+  net::Host* b = nullptr;
+  P4Switch* sw = nullptr;
+  std::vector<net::Packet> delivered;
+
+  void wire(SwitchConfig cfg = {}) {
+    a = &topo.add_node<net::Host>("a");
+    b = &topo.add_node<net::Host>("b");
+    sw = &topo.add_node<P4Switch>("s", cfg);
+    topo.connect(*a, *sw, net::LinkConfig{});
+    topo.connect(*b, *sw, net::LinkConfig{});
+    topo.install_routes();
+    sw->load_program(std::make_unique<ForwardingProgram>());
+    b->set_receiver([this](net::Packet&& p) {
+      delivered.push_back(std::move(p));
+    });
+  }
+};
+
+TEST_F(SwitchFixture, ForwardsViaMatchActionTable) {
+  wire();
+  a->send(packet_to(b->id()));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(sw->processed_packets(), 1);
+  EXPECT_GT(sw->forwarding_table().hits(), 0);
+}
+
+TEST_F(SwitchFixture, UnknownDestinationDropsInPipeline) {
+  wire();
+  a->send(packet_to(77));
+  sim.run();
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(sw->pipeline_drops(), 1);
+  EXPECT_EQ(sw->processed_packets(), 0);
+}
+
+TEST_F(SwitchFixture, TtlExpiryDrops) {
+  wire();
+  net::Packet p = packet_to(b->id());
+  p.ttl = 1;  // decremented to 0 at the switch
+  a->send(std::move(p));
+  sim.run();
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(sw->pipeline_drops(), 1);
+}
+
+TEST_F(SwitchFixture, TtlDecrementsInFlight) {
+  wire();
+  net::Packet p = packet_to(b->id());
+  p.ttl = 10;
+  a->send(std::move(p));
+  sim.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].ttl, 9);
+}
+
+TEST_F(SwitchFixture, NoProgramThrows) {
+  a = &topo.add_node<net::Host>("a");
+  sw = &topo.add_node<P4Switch>("s", SwitchConfig{});
+  topo.connect(*a, *sw, net::LinkConfig{});
+  topo.install_routes();
+  a->send(packet_to(sw->id()));
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST_F(SwitchFixture, ServiceDelayWithinConfiguredRange) {
+  SwitchConfig cfg;
+  cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+  cfg.proc_jitter_frac = 0.5;
+  cfg.stall_probability = 0.0;
+  wire(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const sim::SimTime d =
+        sw->egress_service_delay(packet_to(b->id()), sw->port(0));
+    EXPECT_GE(d, sim::SimTime::microseconds(50));
+    EXPECT_LE(d, sim::SimTime::microseconds(150));
+  }
+}
+
+TEST_F(SwitchFixture, StallsAddLargeDelays) {
+  SwitchConfig cfg;
+  cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+  cfg.proc_jitter_frac = 0.0;
+  cfg.stall_probability = 1.0;  // every packet stalls
+  cfg.stall_min = sim::SimTime::milliseconds(5);
+  cfg.stall_max = sim::SimTime::milliseconds(6);
+  wire(cfg);
+  const sim::SimTime d =
+      sw->egress_service_delay(packet_to(b->id()), sw->port(0));
+  EXPECT_GE(d, sim::SimTime::milliseconds(5));
+  EXPECT_LE(d, sim::SimTime::microseconds(6100));
+}
+
+TEST_F(SwitchFixture, ZeroStallProbabilityNeverStalls) {
+  SwitchConfig cfg;
+  cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+  cfg.proc_jitter_frac = 0.0;
+  cfg.stall_probability = 0.0;
+  wire(cfg);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sw->egress_service_delay(packet_to(b->id()), sw->port(0)),
+              sim::SimTime::microseconds(100));
+  }
+}
+
+TEST_F(SwitchFixture, RegisterAllocationIsIdempotent) {
+  wire();
+  RegisterArray& r1 = sw->register_array("x", 4);
+  RegisterArray& r2 = sw->register_array("x", 4);
+  EXPECT_EQ(&r1, &r2);
+  EXPECT_THROW(static_cast<void>(sw->register_array("x", 8)),
+               std::logic_error);
+}
+
+TEST_F(SwitchFixture, FindRegisterArray) {
+  wire();
+  EXPECT_EQ(sw->find_register_array("missing"), nullptr);
+  sw->register_array("present", 2);
+  EXPECT_NE(sw->find_register_array("present"), nullptr);
+}
+
+TEST_F(SwitchFixture, QueueDropsAggregateAcrossPorts) {
+  wire();
+  EXPECT_EQ(sw->queue_drops(), 0);
+}
+
+TEST_F(SwitchFixture, DeterministicServiceForSameSeed) {
+  SwitchConfig cfg;
+  cfg.seed = 99;
+  sim::Simulator sim2;
+  net::Topology topo2{sim2};
+  auto& s1 = topo.add_node<P4Switch>("s1", cfg);
+  auto& s2 = topo2.add_node<P4Switch>("s1", cfg);
+  s1.add_port(net::LinkConfig{});
+  s2.add_port(net::LinkConfig{});
+  net::Packet p = packet_to(0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(s1.egress_service_delay(p, s1.port(0)),
+              s2.egress_service_delay(p, s2.port(0)));
+  }
+}
+
+}  // namespace
+}  // namespace intsched::p4

@@ -1,0 +1,58 @@
+#include "intsched/p4/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace intsched::p4 {
+namespace {
+
+TEST(ExactMatchTableTest, MissWithoutDefaultIsEmpty) {
+  ExactMatchTable<int, int> t;
+  EXPECT_FALSE(t.lookup(5).has_value());
+  EXPECT_EQ(t.misses(), 1);
+  EXPECT_EQ(t.hits(), 0);
+}
+
+TEST(ExactMatchTableTest, HitReturnsBoundValue) {
+  ExactMatchTable<int, int> t;
+  t.insert(5, 99);
+  EXPECT_EQ(t.lookup(5), 99);
+  EXPECT_EQ(t.hits(), 1);
+}
+
+TEST(ExactMatchTableTest, DefaultActionOnMiss) {
+  ExactMatchTable<int, std::string> t;
+  t.set_default("drop");
+  EXPECT_EQ(t.lookup(1), "drop");
+  EXPECT_EQ(t.misses(), 1);
+}
+
+TEST(ExactMatchTableTest, InsertOverwrites) {
+  ExactMatchTable<int, int> t;
+  t.insert(1, 10);
+  t.insert(1, 20);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.lookup(1), 20);
+}
+
+TEST(ExactMatchTableTest, Erase) {
+  ExactMatchTable<int, int> t;
+  t.insert(1, 10);
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_FALSE(t.lookup(1).has_value());
+}
+
+TEST(ExactMatchTableTest, CountersAccumulate) {
+  ExactMatchTable<int, int> t;
+  t.insert(1, 10);
+  static_cast<void>(t.lookup(1));
+  static_cast<void>(t.lookup(1));
+  static_cast<void>(t.lookup(2));
+  EXPECT_EQ(t.hits(), 2);
+  EXPECT_EQ(t.misses(), 1);
+}
+
+}  // namespace
+}  // namespace intsched::p4

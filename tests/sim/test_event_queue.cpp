@@ -1,0 +1,110 @@
+#include "intsched/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace intsched::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(SimTime::seconds(3), [&] { order.push_back(3); });
+  q.push(SimTime::seconds(1), [&] { order.push_back(1); });
+  q.push(SimTime::seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(SimTime::seconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, PopReturnsTimestamp) {
+  EventQueue q;
+  q.push(SimTime::milliseconds(250), [] {});
+  const auto [at, cb] = q.pop();
+  EXPECT_EQ(at, SimTime::milliseconds(250));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.push(SimTime::seconds(1), [] {});
+  q.push(SimTime::seconds(2), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), SimTime::seconds(2));
+}
+
+TEST(EventQueueTest, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(SimTime::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelUnknownReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{9999}));
+}
+
+TEST(EventQueueTest, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(SimTime::seconds(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(SimTime::seconds(1), [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.push(SimTime::seconds(1), [] {});
+  q.push(SimTime::seconds(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, ManyInterleavedOperations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.push(SimTime::milliseconds(100 - i), [] {}));
+  }
+  // Cancel every other event.
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  SimTime last = SimTime::zero();
+  int popped = 0;
+  while (!q.empty()) {
+    const auto [at, cb] = q.pop();
+    EXPECT_GE(at, last);
+    last = at;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 50);
+}
+
+}  // namespace
+}  // namespace intsched::sim

@@ -1,0 +1,135 @@
+#include "intsched/sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace intsched::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, DerivedStreamsAreIndependent) {
+  Rng a = Rng::derive(42, "stream-a");
+  Rng b = Rng::derive(42, "stream-b");
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, DerivedStreamIsStable) {
+  Rng a = Rng::derive(42, "workload");
+  Rng b = Rng::derive(42, "workload");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng{7};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng{7};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  }
+}
+
+TEST(RngTest, UniformIntNegativeRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-10, -1);
+    ASSERT_GE(v, -10);
+    ASSERT_LE(v, -1);
+  }
+}
+
+TEST(RngTest, Uniform01InHalfOpenRange) {
+  Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // mean of U(0,1)
+}
+
+TEST(RngTest, UniformRealBounds) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(2.5, 3.5);
+    ASSERT_GE(v, 2.5);
+    ASSERT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng rng{7};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng{7};
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.exponential(2.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 2.0, 0.1);
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng{7};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[static_cast<std::size_t>(rng.index(4))];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);  // roughly uniform
+    EXPECT_LT(c, 1200);
+  }
+}
+
+}  // namespace
+}  // namespace intsched::sim

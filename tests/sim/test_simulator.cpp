@@ -1,0 +1,173 @@
+#include "intsched/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace intsched::sim {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+TEST(SimulatorTest, ScheduleAtAdvancesClock) {
+  Simulator sim;
+  SimTime fired_at = SimTime::zero();
+  sim.schedule_at(SimTime::seconds(5), [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, SimTime::seconds(5));
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  sim.schedule_at(SimTime::seconds(2), [&] {
+    sim.schedule_after(SimTime::seconds(3),
+                       [&] { fires.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(fires.size(), 1u);
+  EXPECT_EQ(fires[0], SimTime::seconds(5));
+}
+
+TEST(SimulatorTest, ScheduleInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(SimTime::seconds(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::seconds(1), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(SimTime::nanoseconds(-1), [] {}),
+               std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::seconds(1), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(10), [&] { ++fired; });
+  const std::int64_t executed = sim.run_until(SimTime::seconds(5));
+  EXPECT_EQ(executed, 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::seconds(5));
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, EventExactlyAtDeadlineFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(SimTime::seconds(5), [&] { fired = true; });
+  sim.run_until(SimTime::seconds(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, BackToBackRunUntilMonotonic) {
+  Simulator sim;
+  sim.run_until(SimTime::seconds(3));
+  EXPECT_EQ(sim.now(), SimTime::seconds(3));
+  sim.run_until(SimTime::seconds(7));
+  EXPECT_EQ(sim.now(), SimTime::seconds(7));
+}
+
+TEST(SimulatorTest, RunDrainsWithoutClockJumpToMax) {
+  Simulator sim;
+  sim.schedule_at(SimTime::seconds(2), [] {});
+  sim.run();
+  EXPECT_EQ(sim.now(), SimTime::seconds(2));
+}
+
+TEST(SimulatorTest, StopInterruptsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::seconds(1), [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(SimTime::seconds(2), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(SimTime::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 1; i <= 5; ++i) {
+    sim.schedule_at(SimTime::seconds(i), [] {});
+  }
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 5);
+}
+
+TEST(SimulatorPeriodicTest, FiresAtFixedIntervals) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  auto handle = sim.schedule_periodic(SimTime::zero(), SimTime::seconds(2),
+                                      [&] { fires.push_back(sim.now()); });
+  sim.run_until(SimTime::seconds(7));
+  handle.cancel();
+  ASSERT_EQ(fires.size(), 4u);  // t = 0, 2, 4, 6
+  EXPECT_EQ(fires[0], SimTime::zero());
+  EXPECT_EQ(fires[3], SimTime::seconds(6));
+}
+
+TEST(SimulatorPeriodicTest, InitialDelayShiftsPhase) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  sim.schedule_periodic(SimTime::seconds(1), SimTime::seconds(2),
+                        [&] { fires.push_back(sim.now()); });
+  sim.run_until(SimTime::seconds(6));
+  ASSERT_GE(fires.size(), 3u);
+  EXPECT_EQ(fires[0], SimTime::seconds(1));
+  EXPECT_EQ(fires[1], SimTime::seconds(3));
+  EXPECT_EQ(fires[2], SimTime::seconds(5));
+}
+
+TEST(SimulatorPeriodicTest, CancelStopsFiring) {
+  Simulator sim;
+  int fires = 0;
+  auto handle = sim.schedule_periodic(SimTime::zero(), SimTime::seconds(1),
+                                      [&] { ++fires; });
+  sim.run_until(SimTime::milliseconds(2500));
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(fires, 3);  // t = 0, 1, 2
+}
+
+TEST(SimulatorPeriodicTest, CancelFromWithinCallback) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicHandle handle;
+  handle = sim.schedule_periodic(SimTime::zero(), SimTime::seconds(1), [&] {
+    if (++fires == 2) handle.cancel();
+  });
+  sim.run_until(SimTime::seconds(10));
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(SimulatorPeriodicTest, ZeroPeriodThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_periodic(SimTime::zero(), SimTime::zero(), [] {}),
+               std::invalid_argument);
+}
+
+TEST(SimulatorPeriodicTest, DefaultHandleInactive) {
+  PeriodicHandle handle;
+  EXPECT_FALSE(handle.active());
+  handle.cancel();  // must be safe
+}
+
+}  // namespace
+}  // namespace intsched::sim

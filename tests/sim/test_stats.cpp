@@ -1,0 +1,156 @@
+#include "intsched/sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace intsched::sim {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = static_cast<double>(i * i % 17);
+    all.add(x);
+    (i < 25 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(EcdfTest, EmptyBehaviour) {
+  Ecdf e;
+  EXPECT_EQ(e.count(), 0);
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.fraction_at_least(1.0), 0.0);
+  EXPECT_THROW(static_cast<void>(e.quantile(0.5)), std::logic_error);
+}
+
+TEST(EcdfTest, Fractions) {
+  Ecdf e;
+  e.add_all({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.fraction_at_least(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.fraction_at_least(4.1), 0.0);
+}
+
+TEST(EcdfTest, Quantiles) {
+  Ecdf e;
+  for (int i = 1; i <= 100; ++i) e.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.95), 95.0);
+}
+
+TEST(EcdfTest, DuplicatesCount) {
+  Ecdf e;
+  e.add_all({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(e.fraction_at_most(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 2.0);
+}
+
+TEST(EcdfTest, SortedView) {
+  Ecdf e;
+  e.add_all({3.0, 1.0, 2.0});
+  const auto& sorted = e.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h{0.0, 10.0, 5};
+  EXPECT_EQ(h.bins(), 5);
+  h.add(-1.0);   // clamps into bin 0
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(100.0);  // clamps into bin 4
+  EXPECT_EQ(h.bin_count(0), 2);
+  EXPECT_EQ(h.bin_count(4), 2);
+  EXPECT_EQ(h.total(), 4);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h{0.0, 10.0, 5};
+  EXPECT_DOUBLE_EQ(h.bin_lower(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lower(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(4), 10.0);
+}
+
+TEST(HistogramTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(6.0, 5.0, 3), std::invalid_argument);
+}
+
+TEST(HistogramTest, BoundaryFallsInUpperBin) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(2.0);  // exactly on the 0/1 boundary -> bin 1
+  EXPECT_EQ(h.bin_count(1), 1);
+  EXPECT_EQ(h.bin_count(0), 0);
+}
+
+}  // namespace
+}  // namespace intsched::sim

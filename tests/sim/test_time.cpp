@@ -1,0 +1,83 @@
+#include "intsched/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intsched::sim {
+namespace {
+
+TEST(SimTimeTest, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ns(), 0);
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+}
+
+TEST(SimTimeTest, UnitConstructors) {
+  EXPECT_EQ(SimTime::nanoseconds(7).ns(), 7);
+  EXPECT_EQ(SimTime::microseconds(7).ns(), 7'000);
+  EXPECT_EQ(SimTime::milliseconds(7).ns(), 7'000'000);
+  EXPECT_EQ(SimTime::seconds(7).ns(), 7'000'000'000);
+}
+
+TEST(SimTimeTest, FromSecondsRoundsTowardZero) {
+  EXPECT_EQ(SimTime::from_seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(SimTime::from_seconds(0.0).ns(), 0);
+  EXPECT_EQ(SimTime::from_seconds(1e-9).ns(), 1);
+}
+
+TEST(SimTimeTest, Conversions) {
+  const SimTime t = SimTime::milliseconds(1500);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.to_milliseconds(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.to_microseconds(), 1'500'000.0);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  EXPECT_LT(SimTime::seconds(1), SimTime::seconds(2));
+  EXPECT_LE(SimTime::seconds(2), SimTime::seconds(2));
+  EXPECT_GT(SimTime::seconds(3), SimTime::seconds(2));
+  EXPECT_EQ(SimTime::milliseconds(1000), SimTime::seconds(1));
+  EXPECT_NE(SimTime::milliseconds(1001), SimTime::seconds(1));
+}
+
+TEST(SimTimeTest, AdditionSubtraction) {
+  const SimTime a = SimTime::seconds(2);
+  const SimTime b = SimTime::milliseconds(500);
+  EXPECT_EQ((a + b).ns(), 2'500'000'000);
+  EXPECT_EQ((a - b).ns(), 1'500'000'000);
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::milliseconds(2500));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(SimTimeTest, DifferencesMayBeNegative) {
+  const SimTime d = SimTime::seconds(1) - SimTime::seconds(3);
+  EXPECT_EQ(d.ns(), -2'000'000'000);
+  EXPECT_LT(d, SimTime::zero());
+}
+
+TEST(SimTimeTest, ScalarMultiplyDivide) {
+  EXPECT_EQ(SimTime::seconds(2) * 3, SimTime::seconds(6));
+  EXPECT_EQ(3 * SimTime::seconds(2), SimTime::seconds(6));
+  EXPECT_EQ(SimTime::seconds(6) / 3, SimTime::seconds(2));
+}
+
+TEST(SimTimeTest, DurationRatio) {
+  EXPECT_DOUBLE_EQ(SimTime::seconds(3) / SimTime::seconds(2), 1.5);
+}
+
+TEST(SimTimeTest, MaxIsHuge) {
+  EXPECT_GT(SimTime::max(), SimTime::seconds(1'000'000'000));
+}
+
+TEST(SimTimeToStringTest, PicksUnits) {
+  EXPECT_EQ(to_string(SimTime::seconds(3)), "3s");
+  EXPECT_EQ(to_string(SimTime::milliseconds(1500)), "1.500s");
+  EXPECT_EQ(to_string(SimTime::milliseconds(12)), "12.000ms");
+  EXPECT_EQ(to_string(SimTime::microseconds(7)), "7.000us");
+  EXPECT_EQ(to_string(SimTime::nanoseconds(42)), "42ns");
+  EXPECT_EQ(to_string(SimTime::zero()), "0s");
+}
+
+}  // namespace
+}  // namespace intsched::sim

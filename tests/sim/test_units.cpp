@@ -1,0 +1,65 @@
+#include "intsched/sim/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intsched::sim {
+namespace {
+
+TEST(DataRateTest, UnitConstructors) {
+  EXPECT_DOUBLE_EQ(DataRate::bits_per_second(1e6).bps(), 1e6);
+  EXPECT_DOUBLE_EQ(DataRate::kilobits_per_second(1000.0).bps(), 1e6);
+  EXPECT_DOUBLE_EQ(DataRate::megabits_per_second(1.0).bps(), 1e6);
+  EXPECT_DOUBLE_EQ(DataRate::megabits_per_second(20.0).mbps(), 20.0);
+}
+
+TEST(DataRateTest, TransmissionTime) {
+  // 1500 B at 12 Mbps = 1 ms.
+  const DataRate rate = DataRate::megabits_per_second(12.0);
+  EXPECT_EQ(rate.transmission_time(1500), SimTime::milliseconds(1));
+}
+
+TEST(DataRateTest, TransmissionTimeScalesLinearly) {
+  const DataRate rate = DataRate::megabits_per_second(8.0);
+  const SimTime one = rate.transmission_time(1000);
+  const SimTime two = rate.transmission_time(2000);
+  EXPECT_EQ(two.ns(), 2 * one.ns());
+}
+
+TEST(DataRateTest, BytesInWindow) {
+  const DataRate rate = DataRate::megabits_per_second(8.0);  // 1 MB/s
+  EXPECT_EQ(rate.bytes_in(SimTime::seconds(1)), 1'000'000);
+  EXPECT_EQ(rate.bytes_in(SimTime::milliseconds(1)), 1'000);
+}
+
+TEST(DataRateTest, RoundTripTransmissionBytes) {
+  const DataRate rate = DataRate::megabits_per_second(20.0);
+  const Bytes size = 123'456;
+  const SimTime t = rate.transmission_time(size);
+  EXPECT_NEAR(static_cast<double>(rate.bytes_in(t)),
+              static_cast<double>(size), 2.0);
+}
+
+TEST(DataRateTest, Comparisons) {
+  EXPECT_LT(DataRate::megabits_per_second(1.0),
+            DataRate::megabits_per_second(2.0));
+  EXPECT_EQ(DataRate::megabits_per_second(1.0),
+            DataRate::kilobits_per_second(1000.0));
+}
+
+TEST(DataRateTest, Scaling) {
+  const DataRate r = DataRate::megabits_per_second(10.0) * 0.5;
+  EXPECT_DOUBLE_EQ(r.mbps(), 5.0);
+  EXPECT_DOUBLE_EQ(0.5 * DataRate::megabits_per_second(10.0) /
+                       DataRate::megabits_per_second(5.0),
+                   1.0);
+}
+
+TEST(UnitsTest, ByteConstants) {
+  EXPECT_EQ(kKiB, 1024);
+  EXPECT_EQ(kMiB, 1024 * 1024);
+  EXPECT_EQ(kKB, 1000);
+  EXPECT_EQ(kMB, 1'000'000);
+}
+
+}  // namespace
+}  // namespace intsched::sim

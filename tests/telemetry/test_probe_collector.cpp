@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "intsched/net/topology.hpp"
+#include "intsched/telemetry/collector.hpp"
+#include "intsched/telemetry/int_program.hpp"
+#include "intsched/telemetry/probe_agent.hpp"
+#include "intsched/transport/host_stack.hpp"
+
+namespace intsched::telemetry {
+namespace {
+
+struct ProbeFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::Host* server = nullptr;
+  net::Host* sched = nullptr;
+  p4::P4Switch* sw = nullptr;
+  std::unique_ptr<transport::HostStack> sched_stack;
+  std::unique_ptr<IntCollector> collector;
+  std::vector<ProbeReport> reports;
+
+  void SetUp() override {
+    server = &topo.add_node<net::Host>("server");
+    sched = &topo.add_node<net::Host>("sched");
+    p4::SwitchConfig cfg;
+    cfg.stall_probability = 0.0;
+    sw = &topo.add_node<p4::P4Switch>("sw", cfg);
+    topo.connect(*server, *sw, net::LinkConfig{});
+    topo.connect(*sched, *sw, net::LinkConfig{});
+    topo.install_routes();
+    sw->load_program(std::make_unique<IntTelemetryProgram>());
+
+    sched_stack = std::make_unique<transport::HostStack>(*sched);
+    collector = std::make_unique<IntCollector>(*sched);
+    sched_stack->bind_udp(net::kProbePort, [this](const net::Packet& p) {
+      collector->handle_packet(p);
+    });
+    collector->set_handler(
+        [this](const ProbeReport& r) { reports.push_back(r); });
+  }
+};
+
+TEST_F(ProbeFixture, AgentSendsAtConfiguredInterval) {
+  ProbeConfig cfg;
+  cfg.interval = sim::SimTime::milliseconds(100);
+  ProbeAgent agent{*server, sched->id(), cfg};
+  agent.start();
+  sim.run_until(sim::SimTime::seconds(1));
+  agent.stop();
+  // t = 0, 100 ms, ..., 1000 ms inclusive.
+  EXPECT_EQ(agent.probes_sent(), 11);
+  EXPECT_EQ(agent.bytes_sent(), 11 * cfg.base_size);
+}
+
+TEST_F(ProbeFixture, StartOffsetDelaysFirstProbe) {
+  ProbeConfig cfg;
+  cfg.interval = sim::SimTime::milliseconds(100);
+  cfg.start_offset = sim::SimTime::milliseconds(550);
+  ProbeAgent agent{*server, sched->id(), cfg};
+  agent.start();
+  sim.run_until(sim::SimTime::seconds(1));
+  EXPECT_EQ(agent.probes_sent(), 5);  // 550, 650, 750, 850, 950
+}
+
+TEST_F(ProbeFixture, CollectorParsesReports) {
+  ProbeAgent agent{*server, sched->id()};
+  agent.start();
+  sim.run_until(sim::SimTime::milliseconds(350));
+  EXPECT_EQ(collector->probes_received(), 4);
+  ASSERT_EQ(reports.size(), 4u);
+  const ProbeReport& r = reports[0];
+  EXPECT_EQ(r.src, server->id());
+  EXPECT_EQ(r.dst, sched->id());
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].device, sw->id());
+  EXPECT_EQ(collector->entries_parsed(), 4);
+}
+
+TEST_F(ProbeFixture, FinalLinkLatencyMeasured) {
+  ProbeAgent agent{*server, sched->id()};
+  agent.start();
+  sim.run_until(sim::SimTime::milliseconds(150));
+  ASSERT_FALSE(reports.empty());
+  // Switch -> scheduler host: 10 ms prop + serialization + no queueing.
+  EXPECT_GT(reports[0].final_link_latency, sim::SimTime::milliseconds(9));
+  EXPECT_LT(reports[0].final_link_latency, sim::SimTime::milliseconds(12));
+}
+
+TEST_F(ProbeFixture, NonProbePacketsIgnored) {
+  net::Packet plain;
+  plain.src = server->id();
+  plain.dst = sched->id();
+  plain.wire_size = 100;
+  EXPECT_FALSE(collector->handle_packet(plain));
+  EXPECT_EQ(collector->probes_received(), 0);
+  EXPECT_EQ(collector->malformed(), 0);
+}
+
+TEST_F(ProbeFixture, MisaddressedProbeCountsMalformed) {
+  net::Packet probe;
+  probe.src = server->id();
+  probe.dst = 42;  // not the collector's host
+  probe.geneve = net::GeneveOption{.type = net::kIntProbeOptionType};
+  EXPECT_FALSE(collector->handle_packet(probe));
+  EXPECT_EQ(collector->malformed(), 1);
+}
+
+TEST_F(ProbeFixture, RepeatedDeviceInStackRejected) {
+  net::Packet probe;
+  probe.src = server->id();
+  probe.dst = sched->id();
+  probe.geneve = net::GeneveOption{.type = net::kIntProbeOptionType};
+  net::IntStackEntry e;
+  e.device = 7;
+  probe.int_stack = {e, e};  // impossible: a device repeated back-to-back
+  EXPECT_FALSE(collector->handle_packet(probe));
+  EXPECT_EQ(collector->malformed(), 1);
+}
+
+TEST_F(ProbeFixture, SetIntervalRestartsTimer) {
+  ProbeConfig cfg;
+  cfg.interval = sim::SimTime::milliseconds(100);
+  ProbeAgent agent{*server, sched->id(), cfg};
+  agent.start();
+  sim.run_until(sim::SimTime::milliseconds(250));  // 3 probes: 0,100,200
+  agent.set_interval(sim::SimTime::seconds(1));
+  EXPECT_EQ(agent.interval(), sim::SimTime::seconds(1));
+  sim.run_until(sim::SimTime::milliseconds(1500));
+  // Restart sends immediately at 250 ms (offset 0) then at 1250 ms.
+  EXPECT_EQ(agent.probes_sent(), 5);
+}
+
+TEST_F(ProbeFixture, StopHaltsProbing) {
+  ProbeAgent agent{*server, sched->id()};
+  agent.start();
+  EXPECT_TRUE(agent.running());
+  sim.run_until(sim::SimTime::milliseconds(150));
+  agent.stop();
+  EXPECT_FALSE(agent.running());
+  const std::int64_t sent = agent.probes_sent();
+  sim.run_until(sim::SimTime::seconds(2));
+  EXPECT_EQ(agent.probes_sent(), sent);
+}
+
+TEST_F(ProbeFixture, ProbeTrafficMatchesPaperBudget) {
+  // Paper: 10 probes/s * ~1.5 KB < 120 kbps per server.
+  ProbeAgent agent{*server, sched->id()};
+  agent.start();
+  sim.run_until(sim::SimTime::seconds(10));
+  const double kbps = static_cast<double>(agent.bytes_sent()) * 8.0 /
+                      10.0 / 1000.0;
+  EXPECT_LT(kbps, 120.0);
+  EXPECT_GT(kbps, 80.0);
+}
+
+}  // namespace
+}  // namespace intsched::telemetry

@@ -1,0 +1,102 @@
+#include "intsched/transport/host_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intsched/net/topology.hpp"
+
+namespace intsched::transport {
+namespace {
+
+struct StackFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::Host* a = nullptr;
+  net::Host* b = nullptr;
+  std::unique_ptr<HostStack> stack_a;
+  std::unique_ptr<HostStack> stack_b;
+
+  void SetUp() override {
+    a = &topo.add_node<net::Host>("a");
+    b = &topo.add_node<net::Host>("b");
+    topo.connect(*a, *b, net::LinkConfig{});
+    topo.install_routes();
+    stack_a = std::make_unique<HostStack>(*a);
+    stack_b = std::make_unique<HostStack>(*b);
+  }
+};
+
+TEST_F(StackFixture, UdpDemuxByPort) {
+  int on_5000 = 0;
+  int on_6000 = 0;
+  stack_b->bind_udp(5000, [&](const net::Packet&) { ++on_5000; });
+  stack_b->bind_udp(6000, [&](const net::Packet&) { ++on_6000; });
+  stack_a->send_datagram(b->id(), 1, 5000, 100);
+  stack_a->send_datagram(b->id(), 1, 5000, 100);
+  stack_a->send_datagram(b->id(), 1, 6000, 100);
+  sim.run();
+  EXPECT_EQ(on_5000, 2);
+  EXPECT_EQ(on_6000, 1);
+  EXPECT_EQ(stack_b->datagrams_received(), 3);
+}
+
+TEST_F(StackFixture, UnboundPortCountsUnroutable) {
+  stack_a->send_datagram(b->id(), 1, 7777, 100);
+  sim.run();
+  EXPECT_EQ(stack_b->unroutable_packets(), 1);
+  EXPECT_EQ(stack_b->datagrams_received(), 0);
+}
+
+TEST_F(StackFixture, AppMessageRidesAlong) {
+  struct Marker : net::AppMessage {
+    int value = 0;
+  };
+  int seen = 0;
+  stack_b->bind_udp(5000, [&](const net::Packet& p) {
+    const auto* m = dynamic_cast<const Marker*>(p.app.get());
+    ASSERT_NE(m, nullptr);
+    seen = m->value;
+  });
+  auto msg = std::make_shared<Marker>();
+  msg->value = 42;
+  stack_a->send_datagram(b->id(), 1, 5000, 100, std::move(msg));
+  sim.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST_F(StackFixture, EphemeralPortsAdvance) {
+  const net::PortNumber p1 = stack_a->allocate_port();
+  const net::PortNumber p2 = stack_a->allocate_port();
+  EXPECT_NE(p1, p2);
+  EXPECT_GE(p1, 20000);
+}
+
+TEST_F(StackFixture, TcpWithoutListenerUnroutable) {
+  net::Packet syn;
+  syn.src = a->id();
+  syn.dst = b->id();
+  syn.protocol = net::IpProtocol::kTcp;
+  syn.l4 = net::TcpHeader{.src_port = 1, .dst_port = 2,
+                          .flags = net::TcpFlag::kSyn};
+  syn.wire_size = net::kHeaderBytes;
+  a->send(std::move(syn));
+  sim.run();
+  EXPECT_EQ(stack_b->unroutable_packets(), 1);
+}
+
+TEST_F(StackFixture, RebindReplacesHandler) {
+  int first = 0;
+  int second = 0;
+  stack_b->bind_udp(5000, [&](const net::Packet&) { ++first; });
+  stack_b->bind_udp(5000, [&](const net::Packet&) { ++second; });
+  stack_a->send_datagram(b->id(), 1, 5000, 100);
+  sim.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST_F(StackFixture, DatagramSizeHelper) {
+  EXPECT_EQ(HostStack::datagram_size(100), 100 + net::kHeaderBytes);
+}
+
+}  // namespace
+}  // namespace intsched::transport

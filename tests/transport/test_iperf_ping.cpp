@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "intsched/net/topology.hpp"
+#include "intsched/p4/switch.hpp"
+#include "intsched/transport/iperf.hpp"
+#include "intsched/transport/ping.hpp"
+
+namespace intsched::transport {
+namespace {
+
+struct AppsFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::Host* a = nullptr;
+  net::Host* b = nullptr;
+  std::unique_ptr<HostStack> stack_a;
+  std::unique_ptr<HostStack> stack_b;
+
+  void SetUp() override {
+    a = &topo.add_node<net::Host>("a");
+    b = &topo.add_node<net::Host>("b");
+    p4::SwitchConfig cfg;
+    cfg.proc_delay_mean = sim::SimTime::microseconds(50);
+    cfg.proc_jitter_frac = 0.0;
+    cfg.stall_probability = 0.0;
+    auto& sw = topo.add_node<p4::P4Switch>("sw", cfg);
+    net::LinkConfig link;
+    link.prop_delay = sim::SimTime::milliseconds(10);
+    topo.connect(*a, sw, link);
+    topo.connect(*b, sw, link);
+    topo.install_routes();
+    sw.load_program(std::make_unique<p4::ForwardingProgram>());
+    stack_a = std::make_unique<HostStack>(*a);
+    stack_b = std::make_unique<HostStack>(*b);
+  }
+};
+
+TEST_F(AppsFixture, CbrSendsAtConfiguredRate) {
+  IperfUdpSender::Config cfg;
+  cfg.rate = sim::DataRate::megabits_per_second(12.0);
+  cfg.packet_size = 1500;  // 1 ms spacing
+  IperfUdpSink sink{*stack_b};
+  IperfUdpSender sender{*stack_a, b->id(), cfg};
+  sender.start(sim::SimTime::seconds(1));
+  sim.run();
+  // 1 packet per ms for 1 s (t=0 inclusive, stop at t=1s).
+  EXPECT_NEAR(static_cast<double>(sender.packets_sent()), 1000.0, 2.0);
+  EXPECT_EQ(sink.packets_received(), sender.packets_sent());
+}
+
+TEST_F(AppsFixture, SinkGoodputMatchesRate) {
+  IperfUdpSender::Config cfg;
+  cfg.rate = sim::DataRate::megabits_per_second(10.0);
+  IperfUdpSink sink{*stack_b};
+  IperfUdpSender sender{*stack_a, b->id(), cfg};
+  sender.start(sim::SimTime::seconds(5));
+  sim.run();
+  EXPECT_NEAR(sink.goodput().mbps(), 10.0, 0.5);
+}
+
+TEST_F(AppsFixture, StopHaltsFlow) {
+  IperfUdpSender::Config cfg;
+  cfg.rate = sim::DataRate::megabits_per_second(10.0);
+  IperfUdpSender sender{*stack_a, b->id(), cfg};
+  sender.start();
+  sim.run_until(sim::SimTime::milliseconds(100));
+  sender.stop();
+  const std::int64_t sent = sender.packets_sent();
+  EXPECT_FALSE(sender.running());
+  sim.run_until(sim::SimTime::seconds(1));
+  EXPECT_EQ(sender.packets_sent(), sent);
+}
+
+TEST_F(AppsFixture, EmptySinkReportsZeroGoodput) {
+  IperfUdpSink sink{*stack_b};
+  EXPECT_DOUBLE_EQ(sink.goodput().bps(), 0.0);
+  EXPECT_EQ(sink.packets_received(), 0);
+}
+
+TEST_F(AppsFixture, TcpBulkTransferReportsThroughput) {
+  IperfTcpServer server{*stack_b};
+  IperfTcpSender sender{*stack_a, b->id(), 2'000'000};
+  sender.start();
+  sim.run();
+  EXPECT_TRUE(sender.complete());
+  EXPECT_EQ(server.transfers_completed(), 1);
+  EXPECT_GT(sender.throughput().mbps(), 10.0);
+  EXPECT_GT(sender.elapsed(), sim::SimTime::zero());
+}
+
+TEST_F(AppsFixture, PingMeasuresBaselineRtt) {
+  PingResponder responder{*stack_b};
+  PingApp ping{*stack_a, b->id()};
+  ping.start();
+  sim.run_until(sim::SimTime::milliseconds(10500));
+  ping.stop();
+  EXPECT_EQ(ping.sent(), 11);
+  EXPECT_EQ(ping.received(), 11);
+  EXPECT_EQ(responder.replies_sent(), 11);
+  // 4 x 10 ms propagation + small service/serialization each way.
+  EXPECT_NEAR(ping.rtt_ms().mean(), 40.3, 0.5);
+}
+
+TEST_F(AppsFixture, PingSamplesRecorded) {
+  PingResponder responder{*stack_b};
+  PingApp ping{*stack_a, b->id()};
+  ping.start();
+  sim.run_until(sim::SimTime::milliseconds(3500));
+  EXPECT_EQ(ping.rtt_samples_ms().size(), 4u);
+  for (const double rtt : ping.rtt_samples_ms()) {
+    EXPECT_GT(rtt, 40.0);
+    EXPECT_LT(rtt, 42.0);
+  }
+}
+
+TEST_F(AppsFixture, PingRttInflatesUnderCongestion) {
+  PingResponder responder{*stack_b};
+  PingApp quiet{*stack_a, b->id()};
+  quiet.start();
+  sim.run_until(sim::SimTime::seconds(3));
+  quiet.stop();
+  const double baseline = quiet.rtt_ms().mean();
+
+  // Saturate the a->b egress: service is 50 us + 120 us; a 1500 B CBR at
+  // 100 Mbps offers a packet every 120 us.
+  IperfUdpSink sink{*stack_b};
+  IperfUdpSender::Config cfg;
+  cfg.rate = sim::DataRate::megabits_per_second(90.0);
+  IperfUdpSender flood{*stack_a, b->id(), cfg};
+  flood.start(sim::SimTime::seconds(5));
+  PingApp loaded{*stack_a, b->id()};
+  loaded.start();
+  sim.run_until(sim::SimTime::seconds(8));
+  EXPECT_GT(loaded.rtt_ms().mean(), baseline + 1.0);
+}
+
+}  // namespace
+}  // namespace intsched::transport

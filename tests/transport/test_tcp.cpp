@@ -1,0 +1,282 @@
+// Reliable-transport behaviour: handshake, delivery, loss recovery,
+// congestion response. Loss is induced with tiny switch queues.
+#include "intsched/transport/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intsched/net/topology.hpp"
+#include "intsched/p4/switch.hpp"
+
+namespace intsched::transport {
+namespace {
+
+struct TcpFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::Host* a = nullptr;
+  net::Host* b = nullptr;
+  p4::P4Switch* sw = nullptr;
+  std::unique_ptr<HostStack> stack_a;
+  std::unique_ptr<HostStack> stack_b;
+  std::unique_ptr<TcpListener> listener;
+
+  sim::Bytes received_bytes = 0;
+  int transfers_done = 0;
+  std::shared_ptr<const net::AppMessage> received_msg;
+
+  void wire(std::int64_t switch_queue_capacity = 512) {
+    a = &topo.add_node<net::Host>("a");
+    b = &topo.add_node<net::Host>("b");
+    p4::SwitchConfig cfg;
+    cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+    cfg.proc_jitter_frac = 0.0;
+    cfg.stall_probability = 0.0;
+    sw = &topo.add_node<p4::P4Switch>("sw", cfg);
+    net::LinkConfig link;
+    link.prop_delay = sim::SimTime::milliseconds(5);
+    link.queue_capacity_pkts = switch_queue_capacity;
+    topo.connect(*a, *sw, link);
+    topo.connect(*b, *sw, link);
+    topo.install_routes();
+    sw->load_program(std::make_unique<p4::ForwardingProgram>());
+    stack_a = std::make_unique<HostStack>(*a);
+    stack_b = std::make_unique<HostStack>(*b);
+    listener = std::make_unique<TcpListener>(
+        *stack_b, net::kTaskPort,
+        [this](net::NodeId, sim::Bytes bytes,
+               std::shared_ptr<const net::AppMessage> msg) {
+          received_bytes = bytes;
+          received_msg = std::move(msg);
+          ++transfers_done;
+        });
+  }
+};
+
+TEST_F(TcpFixture, SmallTransferDeliversExactBytes) {
+  wire();
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, 5000};
+  sender.start();
+  sim.run();
+  EXPECT_EQ(transfers_done, 1);
+  EXPECT_EQ(received_bytes, 5000);
+  EXPECT_TRUE(sender.complete());
+  EXPECT_EQ(sender.retransmissions(), 0);
+  EXPECT_EQ(sender.timeouts(), 0);
+}
+
+TEST_F(TcpFixture, MultiSegmentTransfer) {
+  wire();
+  const sim::Bytes size = 1'000'000;
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, size};
+  sender.start();
+  sim.run();
+  EXPECT_EQ(received_bytes, size);
+  EXPECT_EQ(listener->accepted(), 1);
+  EXPECT_EQ(listener->completed(), 1);
+}
+
+TEST_F(TcpFixture, MessageDeliveredWithTransfer) {
+  wire();
+  struct Tag : net::AppMessage {
+    int id = 0;
+  };
+  auto tag = std::make_shared<Tag>();
+  tag->id = 1234;
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, 10'000, tag};
+  sender.start();
+  sim.run();
+  const auto* got = dynamic_cast<const Tag*>(received_msg.get());
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->id, 1234);
+}
+
+TEST_F(TcpFixture, CompletionHandlerFires) {
+  wire();
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, 5000};
+  bool done = false;
+  sender.set_completion_handler([&](TcpSender& s) {
+    done = true;
+    EXPECT_TRUE(s.complete());
+  });
+  sender.start();
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(TcpFixture, TransferTimeBoundedByHandshakePlusSerialization) {
+  wire();
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, 5000};
+  sender.start();
+  sim.run();
+  // >= 2 RTT-ish (handshake + data); one-way is ~10.2 ms.
+  const sim::SimTime elapsed =
+      sender.completion_time() - sender.start_time();
+  EXPECT_GT(elapsed, sim::SimTime::milliseconds(40));
+  EXPECT_LT(elapsed, sim::SimTime::milliseconds(120));
+}
+
+TEST_F(TcpFixture, RecoversFromHeavyLoss) {
+  wire(/*switch_queue_capacity=*/4);  // brutal: 4-packet queues
+  const sim::Bytes size = 500'000;
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, size};
+  sender.start();
+  sim.run();
+  EXPECT_EQ(received_bytes, size);
+  EXPECT_TRUE(sender.complete());
+  EXPECT_GT(sender.retransmissions() + sender.timeouts(), 0);
+  EXPECT_GT(sw->queue_drops(), 0);
+}
+
+TEST_F(TcpFixture, SlowStartGrowsWindow) {
+  wire();
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, 2'000'000};
+  const double initial = static_cast<double>(10 * net::kMss);
+  sender.start();
+  sim.run_until(sim::SimTime::seconds(2));
+  EXPECT_GT(sender.cwnd_bytes(), initial);
+}
+
+TEST_F(TcpFixture, RttEstimateTracksPath) {
+  wire();
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, 500'000};
+  sender.start();
+  sim.run();
+  // Path RTT ~20.5 ms (2x 5 ms prop each way + service); srtt should be
+  // in a sane band even with queueing.
+  EXPECT_GT(sender.smoothed_rtt(), sim::SimTime::milliseconds(15));
+  EXPECT_LT(sender.smoothed_rtt(), sim::SimTime::milliseconds(120));
+}
+
+TEST_F(TcpFixture, ParallelTransfersBothComplete) {
+  wire();
+  TcpSender s1{*stack_a, b->id(), net::kTaskPort, 300'000};
+  TcpSender s2{*stack_a, b->id(), net::kTaskPort, 300'000};
+  s1.start();
+  s2.start();
+  sim.run();
+  EXPECT_EQ(transfers_done, 2);
+  EXPECT_TRUE(s1.complete());
+  EXPECT_TRUE(s2.complete());
+  EXPECT_EQ(listener->accepted(), 2);
+}
+
+TEST_F(TcpFixture, SenderDeletableFromCompletionHandler) {
+  wire();
+  auto* sender =
+      new TcpSender{*stack_a, b->id(), net::kTaskPort, 5000};
+  bool deleted = false;
+  sender->set_completion_handler([&](TcpSender& s) {
+    delete &s;
+    deleted = true;
+  });
+  sender->start();
+  sim.run();
+  EXPECT_TRUE(deleted);
+}
+
+TEST_F(TcpFixture, ThroughputApproachesBottleneck) {
+  wire();
+  // Bottleneck: 100 us processing + ~120 us serialization per 1.5 KB.
+  const sim::Bytes size = 5'000'000;
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, size};
+  sender.start();
+  sim.run();
+  const double secs =
+      (sender.completion_time() - sender.start_time()).to_seconds();
+  const double mbps = static_cast<double>(size) * 8.0 / secs / 1e6;
+  EXPECT_GT(mbps, 20.0);  // should get most of the ~52 Mbps service rate
+}
+
+}  // namespace
+}  // namespace intsched::transport
+
+// -- Additional edge cases --
+
+namespace intsched::transport {
+namespace {
+
+TEST_F(TcpFixture, RtoBackoffOnTotalBlackout) {
+  wire();
+  // Remove the route to b at the switch so every data packet dies.
+  sw->forwarding_table().erase(b->id());
+  sw->set_route(b->id(), -1);
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, 10'000};
+  sender.start();
+  sim.run_until(sim::SimTime::seconds(30));
+  EXPECT_FALSE(sender.complete());
+  // 1 s initial RTO doubling: retries at ~1, 3, 7, 15 s -> >= 4 timeouts.
+  EXPECT_GE(sender.timeouts(), 4);
+  EXPECT_LE(sender.timeouts(), 8);
+}
+
+TEST_F(TcpFixture, RecoversWhenRouteHealsMidTransfer) {
+  wire();
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, 200'000};
+  sender.start();
+  sim.run_until(sim::SimTime::milliseconds(50));
+  // Blackhole for two seconds, then heal.
+  const std::int32_t port = sw->route_to(b->id());
+  sw->forwarding_table().erase(b->id());
+  sim.run_until(sim::SimTime::seconds(2));
+  sw->forwarding_table().insert(b->id(), port);
+  sim.run();
+  EXPECT_TRUE(sender.complete());
+  EXPECT_EQ(received_bytes, 200'000);
+  EXPECT_GE(sender.timeouts(), 1);
+}
+
+TEST_F(TcpFixture, ManySmallTransfersSequentially) {
+  wire();
+  for (int i = 0; i < 20; ++i) {
+    TcpSender sender{*stack_a, b->id(), net::kTaskPort, 1'000};
+    sender.start();
+    sim.run();
+    ASSERT_TRUE(sender.complete()) << i;
+  }
+  EXPECT_EQ(listener->completed(), 20);
+}
+
+TEST_F(TcpFixture, BidirectionalTransfersShareThePath) {
+  wire();
+  // Reverse-direction listener on a.
+  sim::Bytes reverse_bytes = 0;
+  TcpListener reverse{*stack_a, net::kTaskPort,
+                      [&](net::NodeId, sim::Bytes bytes,
+                          std::shared_ptr<const net::AppMessage>) {
+                        reverse_bytes = bytes;
+                      }};
+  TcpSender fwd{*stack_a, b->id(), net::kTaskPort, 400'000};
+  TcpSender rev{*stack_b, a->id(), net::kTaskPort, 400'000};
+  fwd.start();
+  rev.start();
+  sim.run();
+  EXPECT_TRUE(fwd.complete());
+  EXPECT_TRUE(rev.complete());
+  EXPECT_EQ(received_bytes, 400'000);
+  EXPECT_EQ(reverse_bytes, 400'000);
+}
+
+TEST_F(TcpFixture, SsthreshDropsAfterLoss) {
+  wire(/*switch_queue_capacity=*/6);
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, 1'000'000};
+  sender.start();
+  sim.run();
+  ASSERT_TRUE(sender.complete());
+  // With an 6-packet bottleneck queue the window cannot stay at the
+  // 256 KB cap; congestion control must have clamped it.
+  EXPECT_LT(sender.cwnd_bytes(), 200'000.0);
+}
+
+TEST_F(TcpFixture, ZeroLossPathHasNoRetransmissions) {
+  wire(1024);
+  TcpSender sender{*stack_a, b->id(), net::kTaskPort, 3'000'000};
+  sender.start();
+  sim.run();
+  EXPECT_TRUE(sender.complete());
+  EXPECT_EQ(sender.retransmissions(), 0);
+  EXPECT_EQ(sender.timeouts(), 0);
+  EXPECT_EQ(sw->queue_drops(), 0);
+}
+
+}  // namespace
+}  // namespace intsched::transport
