@@ -1,0 +1,194 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "intsched/net/routing.hpp"
+#include "intsched/sim/units.hpp"
+#include "intsched/telemetry/collector.hpp"
+
+namespace intsched::core {
+
+/// Directed link key (learned from probe traversal order).
+struct LinkKey {
+  net::NodeId from = net::kInvalidNode;
+  net::NodeId to = net::kInvalidNode;
+  friend constexpr bool operator==(const LinkKey&, const LinkKey&) = default;
+};
+struct LinkKeyHash {
+  std::size_t operator()(const LinkKey& k) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.from))
+         << 32) |
+        static_cast<std::uint32_t>(k.to));
+  }
+};
+
+/// (device, egress port) key for per-port queue telemetry.
+struct PortKey {
+  net::NodeId device = net::kInvalidNode;
+  std::int32_t port = -1;
+  friend constexpr bool operator==(const PortKey&, const PortKey&) = default;
+};
+struct PortKeyHash {
+  std::size_t operator()(const PortKey& k) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.device))
+         << 32) |
+        static_cast<std::uint32_t>(k.port));
+  }
+};
+
+struct NetworkMapConfig {
+  /// Nominal per-hop capacity assumed by the bandwidth estimator. The
+  /// paper's effective BMv2 rate.
+  sim::DataRate nominal_capacity = sim::DataRate::megabits_per_second(20.0);
+  /// Window over which max-queue reports are aggregated ("maximum observed
+  /// queue size in the last probing interval"). Reports older than this
+  /// are considered stale and ignored.
+  sim::SimTime queue_window = sim::SimTime::milliseconds(150);
+  /// EWMA weight for new link-latency samples.
+  double link_delay_alpha = 0.25;
+  /// Used for links never measured (e.g. reverse direction of a host
+  /// access link before symmetry kicks in).
+  sim::SimTime default_link_delay = sim::SimTime::milliseconds(10);
+  /// A link whose latest measurement is older than this is *stale*: its
+  /// delay estimate is still served (last known good) but link_stale /
+  /// path_stale report it so rankers can deprioritize or fall back.
+  /// Zero (the default) disables staleness tracking entirely — the seed's
+  /// behaviour, where estimates never expire.
+  sim::SimTime link_staleness = sim::SimTime::zero();
+};
+
+/// The scheduler's model of the network, built *exclusively* from INT probe
+/// reports (paper §III-B): adjacency from the order of INT stack entries,
+/// link delays from egress-timestamp differences, congestion from
+/// collect-and-reset max-queue registers.
+class NetworkMap {
+ public:
+  explicit NetworkMap(NetworkMapConfig config = {}) : cfg_{config} {}
+
+  /// Ingests one parsed probe. `now` is the scheduler-local arrival time.
+  void ingest(const telemetry::ProbeReport& report, sim::SimTime now);
+
+  // -- topology queries --
+
+  /// Inferred graph; edge costs are current link-delay estimates. Suitable
+  /// for shortest-path ranking. Hosts appear once a probe from/to them has
+  /// been seen.
+  [[nodiscard]] const net::Graph& graph() const { return graph_; }
+
+  /// Snapshot with up-to-date link-delay costs on every edge — what the
+  /// rankers run Dijkstra over.
+  [[nodiscard]] net::Graph delay_graph() const;
+
+  [[nodiscard]] bool knows_node(net::NodeId n) const {
+    return graph_.has_node(n);
+  }
+  [[nodiscard]] std::int64_t known_link_count() const {
+    return static_cast<std::int64_t>(link_delay_.size());
+  }
+
+  /// Estimated one-way delay of a directed link; falls back to the reverse
+  /// direction (symmetry), then to the configured default.
+  [[nodiscard]] sim::SimTime link_delay(net::NodeId from,
+                                        net::NodeId to) const;
+
+  /// Smoothed absolute deviation of the link-delay samples — the "jitter
+  /// characteristics" the paper's probes capture (§III-A). Zero until two
+  /// measurements exist.
+  [[nodiscard]] sim::SimTime link_jitter(net::NodeId from,
+                                         net::NodeId to) const;
+
+  /// Egress port of `from` facing `to`, if learned (-1 otherwise).
+  [[nodiscard]] std::int32_t egress_port(net::NodeId from,
+                                         net::NodeId to) const;
+
+  // -- congestion queries --
+
+  /// Max queue occupancy reported for the device within the freshness
+  /// window ending at `now` (Algorithm 1's Q(h_i)). Zero when nothing
+  /// fresh was reported — the paper's "assume uncongested" fallback.
+  [[nodiscard]] std::int64_t device_max_queue(net::NodeId device,
+                                              sim::SimTime now) const;
+
+  /// Max queue for the directed link from->to: the per-port register if the
+  /// port is known and fresh, otherwise the device-level value of `from`.
+  [[nodiscard]] std::int64_t link_max_queue(net::NodeId from, net::NodeId to,
+                                            sim::SimTime now) const;
+
+  /// Freshest mean occupancy (packets) reported for the device within the
+  /// window — the alternative statistic the paper found inconclusive.
+  [[nodiscard]] double device_avg_queue(net::NodeId device,
+                                        sim::SimTime now) const;
+
+  /// Max directly-measured in-device dwell time within the window — the
+  /// hop latency a full INT deployment reports (ablation alternative to
+  /// the paper's k * max_queue heuristic).
+  [[nodiscard]] sim::SimTime device_hop_latency(net::NodeId device,
+                                                sim::SimTime now) const;
+
+  // -- staleness queries (all no-ops unless config.link_staleness > 0) --
+
+  /// True when the directed link's telemetry (or its symmetric reverse)
+  /// has not been refreshed within the staleness window ending at `now`.
+  /// Links that were never measured at all count as stale.
+  [[nodiscard]] bool link_stale(net::NodeId from, net::NodeId to,
+                                sim::SimTime now) const;
+
+  /// True when any hop of the node path is stale.
+  [[nodiscard]] bool path_stale(const std::vector<net::NodeId>& path,
+                                sim::SimTime now) const;
+
+  [[nodiscard]] const NetworkMapConfig& config() const { return cfg_; }
+  [[nodiscard]] std::int64_t reports_ingested() const { return reports_; }
+  /// INT stack entries discarded by ingest sanity checks (invalid device
+  /// ids); the report's remaining entries are still used.
+  [[nodiscard]] std::int64_t rejected_entries() const { return rejected_; }
+
+ private:
+  struct QueueSeries {
+    /// (report time, register value); pruned against the queue window.
+    std::deque<std::pair<sim::SimTime, std::int64_t>> samples;
+  };
+
+  void learn_edge(net::NodeId from, net::NodeId to, std::int32_t out_port,
+                  sim::SimTime delay_sample, sim::SimTime now);
+  void record_queue(QueueSeries& series, sim::SimTime now,
+                    std::int64_t value);
+  [[nodiscard]] static std::int64_t max_in_window(const QueueSeries& series,
+                                                  sim::SimTime cutoff);
+
+  /// `now - window`, saturating instead of overflowing when the window is
+  /// wider than the whole representable time range. All freshness
+  /// comparisons go through this so they stay in SimTime space.
+  [[nodiscard]] static sim::SimTime window_cutoff(sim::SimTime now,
+                                                  sim::SimTime window);
+
+  struct DelayEstimate {
+    sim::SimTime value = sim::SimTime::zero();
+    /// EWMA of |sample - value| over measured samples.
+    sim::SimTime jitter = sim::SimTime::zero();
+    /// Ingest time of the newest real sample; meaningless until measured.
+    sim::SimTime measured_at = sim::SimTime::zero();
+    /// False while the estimate is only the configured default or a
+    /// symmetry guess; measured values always beat unmeasured ones.
+    bool measured = false;
+  };
+
+  NetworkMapConfig cfg_;
+  net::Graph graph_;
+  std::unordered_map<LinkKey, DelayEstimate, LinkKeyHash> link_delay_;
+  std::unordered_map<LinkKey, std::int32_t, LinkKeyHash> link_port_;
+  std::unordered_map<PortKey, QueueSeries, PortKeyHash> port_queue_;
+  std::unordered_map<net::NodeId, QueueSeries> device_queue_;
+  std::unordered_map<net::NodeId, QueueSeries> device_avg_queue_;  // x100
+  std::unordered_map<net::NodeId, QueueSeries> device_hop_latency_;  // ns
+  std::int64_t reports_ = 0;
+  std::int64_t rejected_ = 0;
+};
+
+}  // namespace intsched::core

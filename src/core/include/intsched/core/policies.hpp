@@ -1,0 +1,150 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "intsched/core/scheduler_service.hpp"
+#include "intsched/net/topology.hpp"
+#include "intsched/sim/rng.hpp"
+
+namespace intsched::core {
+
+/// Which scheduling strategy an edge device runs. The INT variants query
+/// the central scheduler; Nearest and Random are the paper's baselines and
+/// decide locally (the paper assumes nearest nodes are precomputed, "no
+/// runtime network topology mapping is required").
+enum class PolicyKind : std::uint8_t {
+  kIntDelay,
+  kIntBandwidth,
+  kNearest,
+  kRandom,
+};
+
+[[nodiscard]] const char* to_string(PolicyKind kind);
+
+/// Strategy interface: pick `count` servers for a job submitted by
+/// `device`. Asynchronous because INT policies involve a network
+/// round-trip to the scheduler.
+class SelectionPolicy {
+ public:
+  using SelectionHandler = std::function<void(std::vector<net::NodeId>)>;
+
+  virtual ~SelectionPolicy() = default;
+  /// Picks `count` servers for `device`. `requirements` lists capabilities
+  /// the servers must offer (heterogeneous-server extension; usually
+  /// empty).
+  virtual void select(net::NodeId device, std::int32_t count,
+                      const std::vector<std::string>& requirements,
+                      SelectionHandler handler) = 0;
+  /// Convenience overload for requirement-free jobs.
+  void select(net::NodeId device, std::int32_t count,
+              SelectionHandler handler) {
+    select(device, count, {}, std::move(handler));
+  }
+  [[nodiscard]] virtual PolicyKind kind() const = 0;
+};
+
+/// Network-aware selection through the scheduler service.
+class IntPolicy : public SelectionPolicy {
+ public:
+  IntPolicy(SchedulerClient& client, RankingMetric metric)
+      : client_{client}, metric_{metric} {}
+
+  void select(net::NodeId device, std::int32_t count,
+              const std::vector<std::string>& requirements,
+              SelectionHandler handler) override;
+  using SelectionPolicy::select;
+  [[nodiscard]] PolicyKind kind() const override {
+    return metric_ == RankingMetric::kDelay ? PolicyKind::kIntDelay
+                                            : PolicyKind::kIntBandwidth;
+  }
+
+ private:
+  SchedulerClient& client_;
+  RankingMetric metric_;
+};
+
+/// Network-aware selection for a device co-located with the scheduler
+/// (paper's Node 6 also submits tasks): ranks via a direct call instead of
+/// a UDP round-trip.
+class DirectIntPolicy : public SelectionPolicy {
+ public:
+  DirectIntPolicy(SchedulerService& service, RankingMetric metric)
+      : service_{service}, metric_{metric} {}
+
+  void select(net::NodeId device, std::int32_t count,
+              const std::vector<std::string>& requirements,
+              SelectionHandler handler) override;
+  using SelectionPolicy::select;
+  [[nodiscard]] PolicyKind kind() const override {
+    return metric_ == RankingMetric::kDelay ? PolicyKind::kIntDelay
+                                            : PolicyKind::kIntBandwidth;
+  }
+
+ private:
+  SchedulerService& service_;
+  RankingMetric metric_;
+};
+
+/// Always offloads to the statically closest servers (ground-truth
+/// propagation delay, precomputed at startup).
+class NearestPolicy : public SelectionPolicy {
+ public:
+  /// `servers` are the candidate edge servers; distances come from the
+  /// ground-truth topology (link propagation delays).
+  /// `capabilities` maps servers to what they offer (for the
+  /// heterogeneous extension); omitted = every server satisfies anything.
+  NearestPolicy(const net::Topology& topology,
+                std::vector<net::NodeId> servers,
+                std::unordered_map<net::NodeId, std::vector<std::string>>
+                    capabilities = {});
+
+  void select(net::NodeId device, std::int32_t count,
+              const std::vector<std::string>& requirements,
+              SelectionHandler handler) override;
+  using SelectionPolicy::select;
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::kNearest;
+  }
+
+  /// The precomputed preference order for a device (nearest first).
+  [[nodiscard]] const std::vector<net::NodeId>& order_for(
+      net::NodeId device) const;
+
+ private:
+  [[nodiscard]] bool satisfies(net::NodeId server,
+                               const std::vector<std::string>& reqs) const;
+
+  std::vector<net::NodeId> servers_;
+  std::unordered_map<net::NodeId, std::vector<net::NodeId>> order_;
+  std::unordered_map<net::NodeId, std::vector<std::string>> capabilities_;
+};
+
+/// Uniformly random selection (the paper's load-balancing baseline).
+class RandomPolicy : public SelectionPolicy {
+ public:
+  RandomPolicy(std::vector<net::NodeId> servers, sim::Rng rng,
+               std::unordered_map<net::NodeId, std::vector<std::string>>
+                   capabilities = {})
+      : servers_{std::move(servers)},
+        rng_{rng},
+        capabilities_{std::move(capabilities)} {}
+
+  void select(net::NodeId device, std::int32_t count,
+              const std::vector<std::string>& requirements,
+              SelectionHandler handler) override;
+  using SelectionPolicy::select;
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::kRandom;
+  }
+
+ private:
+  std::vector<net::NodeId> servers_;
+  sim::Rng rng_;
+  std::unordered_map<net::NodeId, std::vector<std::string>> capabilities_;
+};
+
+}  // namespace intsched::core

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "intsched/core/network_map.hpp"
+#include "intsched/sim/units.hpp"
+
+namespace intsched::core {
+
+/// Which metric the scheduler ranks candidate edge servers by.
+enum class RankingMetric : std::uint8_t { kDelay, kBandwidth };
+
+[[nodiscard]] const char* to_string(RankingMetric metric);
+
+/// One ranked candidate, as returned to edge devices: both estimates are
+/// always filled so devices can run custom selection (the paper's "second
+/// option").
+struct ServerRank {
+  net::NodeId server = net::kInvalidNode;
+  sim::SimTime delay_estimate = sim::SimTime::zero();
+  sim::DataRate bandwidth_estimate = sim::DataRate::bits_per_second(0.0);
+  /// Pure link-delay sum of the chosen path (no queue terms): the Dijkstra
+  /// distance. Survives congestion-telemetry loss, so it is the fallback
+  /// key when the path's queue telemetry is stale (Nearest-style ranking).
+  sim::SimTime baseline_delay = sim::SimTime::zero();
+  /// Outstanding tasks the scheduler believes the server holds; only
+  /// non-zero when the compute-aware extension is active.
+  std::int32_t outstanding_tasks = 0;
+  /// True when at least one hop of the path has stale telemetry (only ever
+  /// set when the NetworkMap's link_staleness window is enabled).
+  bool stale = false;
+};
+
+/// Piecewise-linear mapping from observed max queue occupancy to estimated
+/// egress utilization (the Fig. 3 relationship, inverted). Clamped at the
+/// table's ends.
+class QueueToUtilization {
+ public:
+  struct Point {
+    double max_queue_pkts;
+    double utilization;  ///< in [0, 1]
+  };
+
+  /// Default calibration derived from this repo's own Fig. 3 reproduction:
+  /// small standing queues appear near 50% utilization; tens of packets
+  /// mean saturation.
+  QueueToUtilization();
+  explicit QueueToUtilization(std::vector<Point> points);
+
+  [[nodiscard]] double utilization(std::int64_t max_queue_pkts) const;
+
+ private:
+  std::vector<Point> points_;  ///< sorted by max_queue_pkts
+};
+
+/// Which per-hop occupancy statistic Algorithm 1 consumes. The paper uses
+/// the maximum ("we rely on maximum queue length value"); the average is
+/// implemented for the ablation reproducing the paper's finding that it
+/// "leads to inconclusive results".
+enum class QueueStatistic : std::uint8_t {
+  kMaximum,   ///< the paper's choice: k * max queue occupancy
+  kAverage,   ///< the paper's rejected alternative: k * mean occupancy
+  /// Directly measured max in-device dwell time (no k at all) — what a
+  /// full INT deployment would supply.
+  kMeasuredHopLatency,
+};
+
+struct RankerConfig {
+  /// Algorithm 1's queue-occupancy-to-latency conversion factor k. The
+  /// paper fixes k = 20 ms and notes it is a congestion-identification
+  /// weight, deliberately large, rather than a calibrated per-packet
+  /// queueing delay.
+  sim::SimTime k_factor = sim::SimTime::milliseconds(20);
+  QueueStatistic queue_statistic = QueueStatistic::kMaximum;
+  QueueToUtilization queue_to_utilization{};
+};
+
+/// One calibration observation: a queue occupancy and the end-to-end
+/// delay inflation (over the idle baseline) seen at the same time.
+struct KCalibrationSample {
+  double max_queue_pkts = 0.0;
+  double extra_delay_ms = 0.0;
+};
+
+/// Paper §III-C future work ("we leave its automation and fine-tuning as
+/// a future work"): least-squares fit of extra_delay = k * max_queue
+/// through the origin, from Fig.-3-style calibration measurements.
+/// Returns the paper's default (20 ms) when the data carries no signal.
+[[nodiscard]] sim::SimTime estimate_k_factor(
+    const std::vector<KCalibrationSample>& samples);
+
+/// The paper's scheduler-side ranking engine. Given the live NetworkMap it
+/// computes, for an initiating edge node, the estimated end-to-end delay
+/// (Algorithm 1) and bottleneck bandwidth (§III-D) to every candidate
+/// server, and sorts by the requested metric.
+class Ranker {
+ public:
+  Ranker(const NetworkMap& map, RankerConfig config = {})
+      : map_{&map}, cfg_{std::move(config)} {}
+
+  /// Ranks `candidates` as seen from `origin` at time `now`, best first
+  /// (ascending delay, or descending bandwidth). Unreachable candidates
+  /// rank last with delay = SimTime::max() / bandwidth = 0.
+  [[nodiscard]] std::vector<ServerRank> rank(
+      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      RankingMetric metric, sim::SimTime now) const;
+
+  /// Algorithm 1 for a single path: sum of link-delay estimates plus
+  /// k * maxQueue for every intermediate device.
+  [[nodiscard]] sim::SimTime path_delay_estimate(
+      const std::vector<net::NodeId>& path, sim::SimTime now) const;
+
+  /// §III-D: min over links of capacity * (1 - utilization(maxQueue)).
+  [[nodiscard]] sim::DataRate path_bandwidth_estimate(
+      const std::vector<net::NodeId>& path, sim::SimTime now) const;
+
+  [[nodiscard]] const RankerConfig& config() const { return cfg_; }
+  void set_k_factor(sim::SimTime k) { cfg_.k_factor = k; }
+
+ private:
+  const NetworkMap* map_;
+  RankerConfig cfg_;
+};
+
+}  // namespace intsched::core

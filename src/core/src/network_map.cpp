@@ -1,0 +1,239 @@
+#include "intsched/core/network_map.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace intsched::core {
+
+sim::SimTime NetworkMap::window_cutoff(sim::SimTime now, sim::SimTime window) {
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  const std::int64_t n = now.ns();
+  const std::int64_t w = window.ns();
+  // n - w would underflow when w > n - kMin; saturate to "everything is
+  // fresh" instead. Windows are non-negative, so overflow upward is
+  // impossible.
+  if (w > 0 && n < kMin + w) return sim::SimTime::nanoseconds(kMin);
+  return sim::SimTime::nanoseconds(n - w);
+}
+
+void NetworkMap::learn_edge(net::NodeId from, net::NodeId to,
+                            std::int32_t out_port,
+                            sim::SimTime delay_sample, sim::SimTime now) {
+  const LinkKey key{from, to};
+  const auto known = link_delay_.find(key);
+  const bool have_sample = delay_sample >= sim::SimTime::zero();
+
+  if (known == link_delay_.end()) {
+    link_delay_.emplace(
+        key, DelayEstimate{
+                 have_sample ? delay_sample : cfg_.default_link_delay,
+                 sim::SimTime::zero(), now, have_sample});
+    if (out_port >= 0) link_port_[key] = out_port;
+    // New edge: extend the inferred graph. Edge cost is refreshed at
+    // query time via delay_graph(); the stored cost is the first estimate.
+    graph_.add_edge(from, to, out_port,
+                    have_sample ? delay_sample : cfg_.default_link_delay);
+    return;
+  }
+
+  if (out_port >= 0) link_port_[key] = out_port;
+  if (have_sample) {
+    DelayEstimate& est = known->second;
+    est.measured_at = std::max(est.measured_at, now);
+    if (!est.measured) {
+      est.value = delay_sample;
+      est.jitter = sim::SimTime::zero();
+      est.measured = true;
+      return;
+    }
+    const double alpha = cfg_.link_delay_alpha;
+    const auto deviation = delay_sample > est.value
+                               ? delay_sample - est.value
+                               : est.value - delay_sample;
+    est.jitter = sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+        alpha * static_cast<double>(deviation.ns()) +
+        (1.0 - alpha) * static_cast<double>(est.jitter.ns())));
+    const double blended =
+        alpha * static_cast<double>(delay_sample.ns()) +
+        (1.0 - alpha) * static_cast<double>(est.value.ns());
+    est.value = sim::SimTime::nanoseconds(static_cast<std::int64_t>(blended));
+  }
+}
+
+void NetworkMap::record_queue(QueueSeries& series, sim::SimTime now,
+                              std::int64_t value) {
+  series.samples.emplace_back(now, value);
+  const sim::SimTime cutoff = window_cutoff(now, cfg_.queue_window);
+  while (!series.samples.empty() && series.samples.front().first < cutoff) {
+    series.samples.pop_front();
+  }
+}
+
+std::int64_t NetworkMap::max_in_window(const QueueSeries& series,
+                                       sim::SimTime cutoff) {
+  std::int64_t best = 0;
+  for (const auto& [t, v] : series.samples) {
+    if (t >= cutoff) best = std::max(best, v);
+  }
+  return best;
+}
+
+void NetworkMap::ingest(const telemetry::ProbeReport& report,
+                        sim::SimTime now) {
+  ++reports_;
+  const auto& entries = report.entries;
+
+  // Track the previous *accepted* entry so a rejected one in the middle of
+  // the stack does not fabricate an edge across the gap from a bogus id.
+  net::NodeId upstream = report.src;
+  std::int32_t upstream_port = 0;
+
+  for (const auto& e : entries) {
+    // Sanity: a damaged stack entry (truncated / corrupted probe) must not
+    // poison the topology with an invalid node. Skip it but keep the rest.
+    if (e.device < 0) {
+      ++rejected_;
+      continue;
+    }
+
+    // Adjacency + link delay. Entry i's ingress link comes from the
+    // previous device in the stack (or the probing host for i == 0).
+    learn_edge(upstream, e.device, upstream_port, e.ingress_link_latency,
+               now);
+    // The reverse direction's egress port is this entry's ingress port;
+    // delay is assumed symmetric but we do not overwrite a measured value
+    // with the sample (pass no sample).
+    learn_edge(e.device, upstream, e.ingress_port,
+               sim::SimTime::nanoseconds(-1), now);
+
+    // Congestion state. Register values are occupancy counts; negative
+    // values can only come from corruption, clamp so the max logic and
+    // bandwidth estimator never see them.
+    record_queue(port_queue_[PortKey{e.device, e.egress_port}], now,
+                 std::max<std::int64_t>(0, e.max_queue_pkts));
+    record_queue(device_queue_[e.device], now,
+                 std::max<std::int64_t>(0, e.device_max_queue_pkts));
+    record_queue(device_avg_queue_[e.device], now,
+                 std::max<std::int64_t>(0, e.device_avg_queue_x100));
+    record_queue(device_hop_latency_[e.device], now,
+                 std::max<std::int64_t>(0, e.max_hop_latency.ns()));
+
+    upstream = e.device;
+    upstream_port = e.egress_port;
+  }
+
+  // Final hop: last accepted switch -> collector host.
+  if (upstream != report.src) {
+    learn_edge(upstream, report.dst, upstream_port,
+               report.final_link_latency, now);
+    learn_edge(report.dst, upstream, 0, sim::SimTime::nanoseconds(-1), now);
+  }
+}
+
+bool NetworkMap::link_stale(net::NodeId from, net::NodeId to,
+                            sim::SimTime now) const {
+  if (cfg_.link_staleness <= sim::SimTime::zero()) return false;
+  const sim::SimTime cutoff = window_cutoff(now, cfg_.link_staleness);
+  const auto it = link_delay_.find(LinkKey{from, to});
+  if (it != link_delay_.end() && it->second.measured) {
+    return it->second.measured_at < cutoff;
+  }
+  const auto rev = link_delay_.find(LinkKey{to, from});
+  if (rev != link_delay_.end() && rev->second.measured) {
+    return rev->second.measured_at < cutoff;
+  }
+  return true;  // never measured in either direction
+}
+
+bool NetworkMap::path_stale(const std::vector<net::NodeId>& path,
+                            sim::SimTime now) const {
+  if (cfg_.link_staleness <= sim::SimTime::zero()) return false;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (link_stale(path[i - 1], path[i], now)) return true;
+  }
+  return false;
+}
+
+sim::SimTime NetworkMap::link_jitter(net::NodeId from,
+                                     net::NodeId to) const {
+  const auto it = link_delay_.find(LinkKey{from, to});
+  if (it != link_delay_.end() && it->second.measured) {
+    return it->second.jitter;
+  }
+  const auto rev = link_delay_.find(LinkKey{to, from});
+  if (rev != link_delay_.end() && rev->second.measured) {
+    return rev->second.jitter;
+  }
+  return sim::SimTime::zero();
+}
+
+net::Graph NetworkMap::delay_graph() const {
+  net::Graph g;
+  for (const auto& [key, _] : link_delay_) {
+    const auto port = link_port_.find(key);
+    g.add_edge(key.from, key.to,
+               port == link_port_.end() ? -1 : port->second,
+               link_delay(key.from, key.to));
+  }
+  return g;
+}
+
+sim::SimTime NetworkMap::link_delay(net::NodeId from, net::NodeId to) const {
+  const auto it = link_delay_.find(LinkKey{from, to});
+  if (it != link_delay_.end() && it->second.measured) return it->second.value;
+  // Never measured in this direction: assume symmetry with the reverse.
+  const auto rev = link_delay_.find(LinkKey{to, from});
+  if (rev != link_delay_.end() && rev->second.measured) {
+    return rev->second.value;
+  }
+  if (it != link_delay_.end()) return it->second.value;
+  if (rev != link_delay_.end()) return rev->second.value;
+  return cfg_.default_link_delay;
+}
+
+std::int32_t NetworkMap::egress_port(net::NodeId from, net::NodeId to) const {
+  const auto it = link_port_.find(LinkKey{from, to});
+  return it == link_port_.end() ? -1 : it->second;
+}
+
+std::int64_t NetworkMap::device_max_queue(net::NodeId device,
+                                          sim::SimTime now) const {
+  const auto it = device_queue_.find(device);
+  if (it == device_queue_.end()) return 0;
+  return max_in_window(it->second, window_cutoff(now, cfg_.queue_window));
+}
+
+double NetworkMap::device_avg_queue(net::NodeId device,
+                                    sim::SimTime now) const {
+  const auto it = device_avg_queue_.find(device);
+  if (it == device_avg_queue_.end()) return 0.0;
+  return static_cast<double>(
+             max_in_window(it->second, window_cutoff(now, cfg_.queue_window))) /
+         100.0;
+}
+
+sim::SimTime NetworkMap::device_hop_latency(net::NodeId device,
+                                            sim::SimTime now) const {
+  const auto it = device_hop_latency_.find(device);
+  if (it == device_hop_latency_.end()) return sim::SimTime::zero();
+  return sim::SimTime::nanoseconds(
+      max_in_window(it->second, window_cutoff(now, cfg_.queue_window)));
+}
+
+std::int64_t NetworkMap::link_max_queue(net::NodeId from, net::NodeId to,
+                                        sim::SimTime now) const {
+  const sim::SimTime cutoff = window_cutoff(now, cfg_.queue_window);
+  const auto port_it = link_port_.find(LinkKey{from, to});
+  if (port_it != link_port_.end()) {
+    const auto q = port_queue_.find(PortKey{from, port_it->second});
+    if (q != port_queue_.end() && !q->second.samples.empty() &&
+        q->second.samples.back().first >= cutoff) {
+      return max_in_window(q->second, cutoff);
+    }
+  }
+  // Port never probed (or stale): fall back to the device-wide register,
+  // a conservative over-approximation.
+  return device_max_queue(from, now);
+}
+
+}  // namespace intsched::core

@@ -1,0 +1,152 @@
+#include "intsched/core/policies.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace intsched::core {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kIntDelay: return "int-delay";
+    case PolicyKind::kIntBandwidth: return "int-bandwidth";
+    case PolicyKind::kNearest: return "nearest";
+    case PolicyKind::kRandom: return "random";
+  }
+  return "?";
+}
+
+void IntPolicy::select(net::NodeId device, std::int32_t count,
+                       const std::vector<std::string>& requirements,
+                       SelectionHandler handler) {
+  (void)device;  // the client stamps its own host id into the request
+  client_.query(
+      metric_,
+      [count, handler = std::move(handler)](const CandidateResponse& resp) {
+        std::vector<net::NodeId> chosen;
+        chosen.reserve(static_cast<std::size_t>(count));
+        for (const ServerRank& r : resp.ranked) {
+          if (static_cast<std::int32_t>(chosen.size()) >= count) break;
+          chosen.push_back(r.server);
+        }
+        // Fewer candidates than requested tasks: wrap around (a job's
+        // tasks then share servers), mirroring the paper's top-N
+        // assignment.
+        const std::size_t unique = chosen.size();
+        while (!chosen.empty() &&
+               static_cast<std::int32_t>(chosen.size()) < count) {
+          chosen.push_back(chosen[chosen.size() % unique]);
+        }
+        handler(std::move(chosen));
+      },
+      requirements);
+}
+
+void DirectIntPolicy::select(net::NodeId device, std::int32_t count,
+                             const std::vector<std::string>& requirements,
+                             SelectionHandler handler) {
+  const std::vector<ServerRank> ranked =
+      service_.rank_for(device, metric_, requirements);
+  std::vector<net::NodeId> chosen;
+  for (const ServerRank& r : ranked) {
+    if (static_cast<std::int32_t>(chosen.size()) >= count) break;
+    chosen.push_back(r.server);
+  }
+  const std::size_t unique = chosen.size();
+  while (!chosen.empty() &&
+         static_cast<std::int32_t>(chosen.size()) < count) {
+    chosen.push_back(chosen[chosen.size() % unique]);
+  }
+  handler(std::move(chosen));
+}
+
+NearestPolicy::NearestPolicy(
+    const net::Topology& topology, std::vector<net::NodeId> servers,
+    std::unordered_map<net::NodeId, std::vector<std::string>> capabilities)
+    : servers_{std::move(servers)}, capabilities_{std::move(capabilities)} {
+  // Precompute, for every node in the topology, candidate servers sorted
+  // by ground-truth path delay (ties by id). This is the "calculated ahead
+  // of time" table the paper gives the baseline for free.
+  for (net::NodeId device = 0;
+       device < static_cast<net::NodeId>(topology.node_count()); ++device) {
+    std::vector<net::NodeId> order;
+    for (const net::NodeId s : servers_) {
+      if (s != device) order.push_back(s);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](net::NodeId a, net::NodeId b) {
+                const auto da = topology.path_delay(device, a);
+                const auto db = topology.path_delay(device, b);
+                if (da != db) return da < db;
+                return a < b;
+              });
+    order_.emplace(device, std::move(order));
+  }
+}
+
+const std::vector<net::NodeId>& NearestPolicy::order_for(
+    net::NodeId device) const {
+  const auto it = order_.find(device);
+  if (it == order_.end()) {
+    throw std::invalid_argument("NearestPolicy: unknown device");
+  }
+  return it->second;
+}
+
+bool NearestPolicy::satisfies(net::NodeId server,
+                              const std::vector<std::string>& reqs) const {
+  if (reqs.empty()) return true;
+  const auto it = capabilities_.find(server);
+  if (it == capabilities_.end()) return false;
+  return std::ranges::all_of(reqs, [&](const std::string& req) {
+    return std::ranges::find(it->second, req) != it->second.end();
+  });
+}
+
+void NearestPolicy::select(net::NodeId device, std::int32_t count,
+                           const std::vector<std::string>& requirements,
+                           SelectionHandler handler) {
+  std::vector<net::NodeId> order;
+  for (const net::NodeId s : order_for(device)) {
+    if (satisfies(s, requirements)) order.push_back(s);
+  }
+  std::vector<net::NodeId> chosen;
+  for (std::int32_t i = 0; i < count && !order.empty(); ++i) {
+    chosen.push_back(order[static_cast<std::size_t>(i) % order.size()]);
+  }
+  handler(std::move(chosen));
+}
+
+void RandomPolicy::select(net::NodeId device, std::int32_t count,
+                          const std::vector<std::string>& requirements,
+                          SelectionHandler handler) {
+  const auto qualifies = [&](net::NodeId s) {
+    if (s == device) return false;
+    if (requirements.empty()) return true;
+    const auto it = capabilities_.find(s);
+    if (it == capabilities_.end()) return false;
+    return std::ranges::all_of(requirements, [&](const std::string& req) {
+      return std::ranges::find(it->second, req) != it->second.end();
+    });
+  };
+  std::vector<net::NodeId> pool;
+  for (const net::NodeId s : servers_) {
+    if (qualifies(s)) pool.push_back(s);
+  }
+  std::vector<net::NodeId> chosen;
+  for (std::int32_t i = 0; i < count && !pool.empty(); ++i) {
+    // Sample without replacement until the pool runs dry, then reuse.
+    if (pool.empty()) break;
+    const auto idx = static_cast<std::size_t>(
+        rng_.index(static_cast<std::int64_t>(pool.size())));
+    chosen.push_back(pool[idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+    if (pool.empty() && static_cast<std::int32_t>(chosen.size()) < count) {
+      for (const net::NodeId s : servers_) {
+        if (qualifies(s)) pool.push_back(s);
+      }
+    }
+  }
+  handler(std::move(chosen));
+}
+
+}  // namespace intsched::core

@@ -1,0 +1,174 @@
+#include "intsched/core/ranking.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace intsched::core {
+
+const char* to_string(RankingMetric metric) {
+  switch (metric) {
+    case RankingMetric::kDelay: return "delay";
+    case RankingMetric::kBandwidth: return "bandwidth";
+  }
+  return "?";
+}
+
+QueueToUtilization::QueueToUtilization()
+    : QueueToUtilization(std::vector<Point>{
+          // Inverse of the measured Fig.-3 curve (bench/fig3_queue_vs_util):
+          // avg window-max queue of ~4 packets appears near 50% load,
+          // ~10 near 70%, ~17 near 80%, hundreds at saturation.
+          {0.0, 0.00},
+          {1.0, 0.25},
+          {2.0, 0.35},
+          {4.0, 0.50},
+          {7.0, 0.62},
+          {10.0, 0.70},
+          {17.0, 0.80},
+          {40.0, 0.86},
+          {100.0, 0.90},
+          {200.0, 0.94},
+          {512.0, 1.00},
+      }) {}
+
+QueueToUtilization::QueueToUtilization(std::vector<Point> points)
+    : points_{std::move(points)} {
+  if (points_.empty()) {
+    throw std::invalid_argument("QueueToUtilization: empty table");
+  }
+  if (!std::is_sorted(points_.begin(), points_.end(),
+                      [](const Point& a, const Point& b) {
+                        return a.max_queue_pkts < b.max_queue_pkts;
+                      })) {
+    throw std::invalid_argument("QueueToUtilization: table must be sorted");
+  }
+}
+
+double QueueToUtilization::utilization(std::int64_t max_queue_pkts) const {
+  const auto q = static_cast<double>(max_queue_pkts);
+  if (q <= points_.front().max_queue_pkts) {
+    return points_.front().utilization;
+  }
+  if (q >= points_.back().max_queue_pkts) {
+    return points_.back().utilization;
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (q <= points_[i].max_queue_pkts) {
+      const auto& lo = points_[i - 1];
+      const auto& hi = points_[i];
+      const double t = (q - lo.max_queue_pkts) /
+                       (hi.max_queue_pkts - lo.max_queue_pkts);
+      return lo.utilization + t * (hi.utilization - lo.utilization);
+    }
+  }
+  return points_.back().utilization;  // unreachable
+}
+
+sim::SimTime estimate_k_factor(
+    const std::vector<KCalibrationSample>& samples) {
+  double qq = 0.0;
+  double qd = 0.0;
+  for (const KCalibrationSample& s : samples) {
+    qq += s.max_queue_pkts * s.max_queue_pkts;
+    qd += s.max_queue_pkts * s.extra_delay_ms;
+  }
+  if (qq <= 0.0 || qd <= 0.0) {
+    return sim::SimTime::milliseconds(20);  // paper default: no signal
+  }
+  return sim::SimTime::from_seconds(qd / qq * 1e-3);
+}
+
+sim::SimTime Ranker::path_delay_estimate(const std::vector<net::NodeId>& path,
+                                         sim::SimTime now) const {
+  assert(path.size() >= 2);
+  sim::SimTime total_link_delay = sim::SimTime::zero();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    total_link_delay += map_->link_delay(path[i], path[i + 1]);
+  }
+  // Hops are the intermediate devices (switches) on the path.
+  sim::SimTime total_hop_delay = sim::SimTime::zero();
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    switch (cfg_.queue_statistic) {
+      case QueueStatistic::kMaximum:
+        total_hop_delay +=
+            cfg_.k_factor * map_->device_max_queue(path[i], now);
+        break;
+      case QueueStatistic::kAverage:
+        total_hop_delay +=
+            sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+                static_cast<double>(cfg_.k_factor.ns()) *
+                map_->device_avg_queue(path[i], now)));
+        break;
+      case QueueStatistic::kMeasuredHopLatency:
+        total_hop_delay += map_->device_hop_latency(path[i], now);
+        break;
+    }
+  }
+  return total_link_delay + total_hop_delay;
+}
+
+sim::DataRate Ranker::path_bandwidth_estimate(
+    const std::vector<net::NodeId>& path, sim::SimTime now) const {
+  assert(path.size() >= 2);
+  double min_bps = map_->config().nominal_capacity.bps();
+  // The first link is the origin host's own uplink; hosts are not
+  // pps-bound, so per-link availability is charged from the first switch
+  // onward (each directed link's headroom is its upstream device's egress).
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const std::int64_t q = map_->link_max_queue(path[i], path[i + 1], now);
+    const double util = cfg_.queue_to_utilization.utilization(q);
+    const double avail = map_->config().nominal_capacity.bps() * (1.0 - util);
+    min_bps = std::min(min_bps, avail);
+  }
+  return sim::DataRate::bits_per_second(min_bps);
+}
+
+std::vector<ServerRank> Ranker::rank(
+    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    RankingMetric metric, sim::SimTime now) const {
+  const net::Graph g = map_->delay_graph();
+  const net::ShortestPaths sp = net::dijkstra(g, origin);
+
+  std::vector<ServerRank> out;
+  out.reserve(candidates.size());
+  for (const net::NodeId server : candidates) {
+    ServerRank r;
+    r.server = server;
+    const std::vector<net::NodeId> path = sp.path_to(server);
+    if (path.size() < 2) {
+      r.delay_estimate = sim::SimTime::max();
+      r.bandwidth_estimate = sim::DataRate::bits_per_second(0.0);
+      r.baseline_delay = sim::SimTime::max();
+    } else {
+      r.delay_estimate = path_delay_estimate(path, now);
+      r.bandwidth_estimate = path_bandwidth_estimate(path, now);
+      const auto d = sp.distance.find(server);
+      r.baseline_delay =
+          d == sp.distance.end() ? sim::SimTime::max() : d->second;
+      r.stale = map_->path_stale(path, now);
+    }
+    out.push_back(r);
+  }
+
+  const auto by_delay = [](const ServerRank& a, const ServerRank& b) {
+    if (a.delay_estimate != b.delay_estimate) {
+      return a.delay_estimate < b.delay_estimate;
+    }
+    return a.server < b.server;
+  };
+  const auto by_bandwidth = [](const ServerRank& a, const ServerRank& b) {
+    if (a.bandwidth_estimate != b.bandwidth_estimate) {
+      return a.bandwidth_estimate > b.bandwidth_estimate;
+    }
+    return a.server < b.server;
+  };
+  if (metric == RankingMetric::kDelay) {
+    std::sort(out.begin(), out.end(), by_delay);
+  } else {
+    std::sort(out.begin(), out.end(), by_bandwidth);
+  }
+  return out;
+}
+
+}  // namespace intsched::core

@@ -3,12 +3,44 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "intsched/edge/task.hpp"
 #include "intsched/sim/stats.hpp"
 
 namespace intsched::edge {
+
+/// Aggregated graceful-degradation telemetry for one run: how much probe
+/// traffic the fault plan destroyed and how often the scheduler had to
+/// stop trusting its congestion estimates. All zero in fault-free runs.
+struct DegradationCounters {
+  // -- injected faults (from the FaultPlan) --
+  std::int64_t probes_dropped = 0;     ///< suppressed before transmission
+  std::int64_t probes_delayed = 0;
+  std::int64_t probes_duplicated = 0;
+  std::int64_t packets_lost_link_down = 0;
+  std::int64_t link_flap_events = 0;   ///< down + up transitions
+  std::int64_t switch_kills = 0;
+  std::int64_t switch_restarts = 0;
+  // -- observed consequences (from the scheduler) --
+  std::int64_t malformed_reports = 0;  ///< collector-level rejects
+  std::int64_t rejected_entries = 0;   ///< map-level per-entry rejects
+  std::int64_t stale_lookups = 0;      ///< stale candidates at query time
+  std::int64_t fallback_decisions = 0; ///< queries re-ordered by staleness
+
+  [[nodiscard]] bool any() const {
+    return probes_dropped != 0 || probes_delayed != 0 ||
+           probes_duplicated != 0 || packets_lost_link_down != 0 ||
+           link_flap_events != 0 || switch_kills != 0 ||
+           switch_restarts != 0 || malformed_reports != 0 ||
+           rejected_entries != 0 || stale_lookups != 0 ||
+           fallback_decisions != 0;
+  }
+};
+
+/// Single-line human-readable rendering for experiment reports.
+[[nodiscard]] std::string to_string(const DegradationCounters& c);
 
 /// Per-task timeline collected by the experiment harness. Times are
 /// simulation timestamps; durations are derived.

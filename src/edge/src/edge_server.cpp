@@ -21,6 +21,7 @@ EdgeServer::EdgeServer(transport::HostStack& stack,
 
 EdgeServer::~EdgeServer() {
   *alive_ = false;
+  disable_load_reports();  // the periodic timer would outlive `this`
   stack_.unbind_udp(net::kTaskPort);
 }
 

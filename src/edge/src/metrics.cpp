@@ -7,6 +7,18 @@
 
 namespace intsched::edge {
 
+std::string to_string(const DegradationCounters& c) {
+  return sim::cat("dropped=", c.probes_dropped, " delayed=", c.probes_delayed,
+                  " duplicated=", c.probes_duplicated,
+                  " link_down_loss=", c.packets_lost_link_down,
+                  " flaps=", c.link_flap_events, " kills=", c.switch_kills,
+                  " restarts=", c.switch_restarts,
+                  " malformed=", c.malformed_reports,
+                  " rejected_entries=", c.rejected_entries,
+                  " stale_lookups=", c.stale_lookups,
+                  " fallbacks=", c.fallback_decisions);
+}
+
 TaskRecord& MetricsCollector::open(const TaskSpec& spec, net::NodeId device) {
   const auto key = std::make_pair(spec.job_id, spec.task_index);
   const auto [it, inserted] = records_.try_emplace(key);

@@ -10,6 +10,7 @@
 #include "intsched/edge/workload.hpp"
 #include "intsched/exp/background.hpp"
 #include "intsched/exp/fig4.hpp"
+#include "intsched/net/fault.hpp"
 
 namespace intsched::exp {
 
@@ -33,6 +34,14 @@ struct ExperimentConfig {
   core::SchedulerConfig scheduler{};
   /// Hard stop even if tasks are still pending (lost-completion safety).
   sim::SimTime max_duration = sim::SimTime::seconds(3600);
+  /// Fault injection (off by default). When enabled() the run gets a
+  /// FaultPlan armed on the Fig.-4 topology; disabled configs take the
+  /// exact seed code paths and produce byte-identical results.
+  net::FaultPlanConfig faults{};
+  /// Link-telemetry staleness window for the scheduler's map. Zero keeps
+  /// the seed behaviour (estimates never expire); fault runs typically set
+  /// a few probe intervals so dead paths are detected.
+  sim::SimTime telemetry_staleness = sim::SimTime::zero();
 };
 
 struct ExperimentResult {
@@ -49,6 +58,9 @@ struct ExperimentResult {
   std::int64_t queries_served = 0;
   std::int64_t switch_queue_drops = 0;
   std::int64_t background_flows = 0;
+  /// Fault-injection + graceful-degradation ledger; all zero when the
+  /// config's fault plan is disabled.
+  edge::DegradationCounters degradation{};
 };
 
 /// Builds the Fig.-4 network, deploys the full system (INT programs,

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "intsched/exp/experiment.hpp"
+#include "intsched/exp/report.hpp"
+
+namespace intsched::exp {
+
+/// Probe-loss ablation: reruns the same experiment while the fault plan
+/// destroys an increasing fraction of the INT probes, with the scheduler's
+/// staleness window enabled so dead telemetry is detected rather than
+/// trusted forever.
+struct FaultSweepConfig {
+  /// The common arm; its `faults.probe.drop_probability` and
+  /// `telemetry_staleness` fields are overwritten per sweep point.
+  ExperimentConfig base{};
+  /// Probe drop probabilities to sweep (0 = pristine baseline).
+  std::vector<double> drop_rates{0.0, 0.05, 0.2, 0.5};
+  /// Staleness window applied to every arm (including the baseline, so the
+  /// arms differ only in injected loss). Zero = derive 5x probe interval.
+  sim::SimTime staleness = sim::SimTime::zero();
+};
+
+struct FaultSweepRow {
+  double drop_rate = 0.0;
+  ExperimentResult result;
+};
+
+struct FaultSweepResult {
+  std::vector<FaultSweepRow> rows;
+};
+
+[[nodiscard]] FaultSweepResult run_fault_sweep(const FaultSweepConfig& config);
+
+/// Paper-style text table: loss rate vs delivery, telemetry health, and
+/// degradation counters.
+[[nodiscard]] TextTable render_fault_sweep(const FaultSweepResult& sweep);
+
+}  // namespace intsched::exp

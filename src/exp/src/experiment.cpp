@@ -41,12 +41,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
   transport::HostStack& scheduler_stack = *stacks[5];
 
+  // Fault injection: only instantiated when the plan actually does
+  // something, so fault-free configs keep null fault pointers everywhere
+  // (byte-identical to the seed).
+  std::unique_ptr<net::FaultPlan> fault_plan;
+  if (config.faults.enabled()) {
+    fault_plan = std::make_unique<net::FaultPlan>(config.faults);
+    fault_plan->arm(network.topology());
+  }
+
   // Scheduler service. The freshness window tracks the probing interval:
   // "maximum observed queue size in the last probing interval".
   core::NetworkMapConfig map_cfg;
   map_cfg.nominal_capacity = config.background.nominal_capacity;
   map_cfg.queue_window = std::max(sim::SimTime::milliseconds(150),
                                   (config.probe_interval * 3) / 2);
+  map_cfg.link_staleness = config.telemetry_staleness;
   core::SchedulerService service{scheduler_stack, config.ranker, map_cfg,
                                  config.scheduler};
   for (const net::NodeId id : host_ids) service.register_edge_server(id);
@@ -67,6 +77,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       telemetry::ProbeConfig pc;
       pc.interval = config.probe_interval;
       pc.start_offset = (config.probe_interval * idx) / n;
+      pc.faults = fault_plan.get();
       if (const auto it = route_plan.find(h->id());
           it != route_plan.end()) {
         pc.waypoints = it->second;
@@ -186,6 +197,22 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.switch_queue_drops += sw->queue_drops();
   }
   result.background_flows = background.flows_started();
+  if (fault_plan != nullptr) {
+    const net::FaultCounters& fc = fault_plan->counters();
+    result.degradation.probes_dropped = fc.probes_dropped;
+    result.degradation.probes_delayed = fc.probes_delayed;
+    result.degradation.probes_duplicated = fc.probes_duplicated;
+    result.degradation.packets_lost_link_down = fc.packets_lost_link_down;
+    result.degradation.link_flap_events =
+        fc.link_down_events + fc.link_up_events;
+    result.degradation.switch_kills = fc.switch_kills;
+    result.degradation.switch_restarts = fc.switch_restarts;
+  }
+  result.degradation.malformed_reports = service.collector().malformed();
+  result.degradation.rejected_entries =
+      service.network_map().rejected_entries();
+  result.degradation.stale_lookups = service.stale_lookups();
+  result.degradation.fallback_decisions = service.fallback_decisions();
   result.metrics = std::move(metrics);
   return result;
 }

@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "intsched/net/packet.hpp"
+#include "intsched/sim/rng.hpp"
+#include "intsched/sim/time.hpp"
+
+namespace intsched::net {
+
+class Topology;
+
+/// Probabilistic probe-packet faults, applied by the probe agent before a
+/// probe enters the network (telemetry loss is the common case in real INT
+/// deployments; production traffic is not touched). Decisions draw from
+/// named Rng streams owned by the FaultPlan, so enabling one fault kind
+/// never perturbs the sequence another kind sees.
+struct ProbeFaultConfig {
+  /// Fraction of probes silently lost before transmission.
+  double drop_probability = 0.0;
+  /// Fraction of probes emitted twice back-to-back (duplicated reports).
+  double duplicate_probability = 0.0;
+  /// Fraction of probes held back for a uniform delay in
+  /// [delay_min, delay_max] before being sent (stale/out-of-order arrival).
+  double delay_probability = 0.0;
+  sim::SimTime delay_min = sim::SimTime::milliseconds(50);
+  sim::SimTime delay_max = sim::SimTime::milliseconds(500);
+};
+
+/// One scheduled down/up cycle of the undirected link a<->b. While down,
+/// packets entering either direction of the wire are lost.
+struct LinkFlapSpec {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  sim::SimTime down_at = sim::SimTime::zero();
+  sim::SimTime up_at = sim::SimTime::zero();  ///< <= down_at: stays down
+};
+
+/// Kill/restart cycle of one node. While dead the node drops every
+/// arriving packet; a restarting P4 switch additionally loses all INT
+/// register state (cleared to initial values).
+struct SwitchKillSpec {
+  NodeId node = kInvalidNode;
+  sim::SimTime kill_at = sim::SimTime::zero();
+  sim::SimTime restart_at = sim::SimTime::zero();  ///< <= kill_at: stays dead
+};
+
+/// Constant per-node timestamp skew applied when the plan is armed —
+/// models the NTP-sync assumption (paper footnote 1) being violated.
+struct ClockSkewSpec {
+  NodeId node = kInvalidNode;
+  sim::SimTime skew = sim::SimTime::zero();
+};
+
+/// Full description of the faults injected into one run. Default-constructed
+/// plans are inert: enabled() is false and nothing in the data path changes
+/// behaviour (the zero-cost default every seed experiment relies on).
+struct FaultPlanConfig {
+  std::uint64_t seed = 1;
+  ProbeFaultConfig probe{};
+  std::vector<LinkFlapSpec> link_flaps;
+  std::vector<SwitchKillSpec> switch_kills;
+  std::vector<ClockSkewSpec> clock_skews;
+
+  [[nodiscard]] bool enabled() const {
+    return probe.drop_probability > 0.0 ||
+           probe.duplicate_probability > 0.0 ||
+           probe.delay_probability > 0.0 || !link_flaps.empty() ||
+           !switch_kills.empty() || !clock_skews.empty();
+  }
+};
+
+/// Injection-side ledger. Together with per-node offline-drop counters and
+/// per-queue drop counters this closes the packet conservation equation the
+/// property suite checks: sent + duplicated = delivered + dropped.
+struct FaultCounters {
+  std::int64_t probes_dropped = 0;     ///< suppressed before transmission
+  std::int64_t probes_delayed = 0;
+  std::int64_t probes_duplicated = 0;  ///< extra copies injected
+  std::int64_t packets_lost_link_down = 0;
+  std::int64_t link_down_events = 0;
+  std::int64_t link_up_events = 0;
+  std::int64_t switch_kills = 0;
+  std::int64_t switch_restarts = 0;
+};
+
+/// Deterministic fault-injection layer driven by the event queue and
+/// sim::Rng streams. Construct from a config, then arm() it on a topology:
+/// every port consults the plan's link state at transmit time, the
+/// flap/kill schedules become simulator events, and clock skews are
+/// applied. Probe agents opt in via ProbeConfig::faults.
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig config);
+
+  /// Wires the plan into the topology and arms the flap/kill schedules on
+  /// its simulator. Events whose time is already past fire immediately.
+  /// Call once, after topology wiring.
+  void arm(Topology& topo);
+
+  [[nodiscard]] const FaultPlanConfig& config() const { return cfg_; }
+
+  // -- probe faults (consulted by telemetry::ProbeAgent) --
+
+  /// Draws the per-probe drop decision (counts when true).
+  [[nodiscard]] bool should_drop_probe();
+  /// Draws the per-probe duplication decision (counts when true).
+  [[nodiscard]] bool should_duplicate_probe();
+  /// Draws the per-probe delay decision; nullopt = send immediately.
+  [[nodiscard]] std::optional<sim::SimTime> probe_delay();
+
+  // -- link state (consulted by net::Port at transmit time) --
+
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
+  void set_link_state(NodeId a, NodeId b, bool up);
+  void note_packet_lost_link_down() { ++counters_.packets_lost_link_down; }
+
+  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+
+ private:
+  static std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  FaultPlanConfig cfg_;
+  sim::Rng drop_rng_;
+  sim::Rng dup_rng_;
+  sim::Rng delay_rng_;
+  std::set<std::pair<NodeId, NodeId>> down_links_;
+  FaultCounters counters_;
+};
+
+}  // namespace intsched::net

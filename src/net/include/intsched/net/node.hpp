@@ -15,6 +15,7 @@
 
 namespace intsched::net {
 
+class FaultPlan;
 class Node;
 
 /// Per-direction link parameters. A Topology::connect call creates one Port
@@ -57,6 +58,11 @@ class Port {
   /// packets. utilization = busy_time / elapsed.
   [[nodiscard]] sim::SimTime busy_time() const { return busy_time_; }
 
+  /// Opts this port into fault injection: the transmitter consults the
+  /// plan's link state before putting bits on the wire. Null (the default)
+  /// means no fault checks at all.
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+
  private:
   void try_transmit();
 
@@ -66,6 +72,7 @@ class Port {
   DropTailQueue queue_;
   Node* peer_ = nullptr;
   std::int32_t peer_port_ = -1;
+  FaultPlan* faults_ = nullptr;
   bool transmitting_ = false;
   sim::SimTime last_arrival_ = sim::SimTime::zero();
   std::int64_t tx_packets_ = 0;
@@ -121,6 +128,20 @@ class Node {
   virtual void set_route(NodeId dst, std::int32_t port_index);
   [[nodiscard]] std::int32_t route_to(NodeId dst) const;
 
+  /// Crash-fault state. An offline node loses every packet that arrives
+  /// (counted in rx_dropped_offline); subclasses hook on_online_changed to
+  /// model state loss across a restart (a P4 switch clears its INT
+  /// registers). Nodes start online; only fault injection takes them down.
+  [[nodiscard]] bool online() const { return online_; }
+  void set_online(bool online) {
+    if (online == online_) return;
+    online_ = online;
+    on_online_changed();
+  }
+  [[nodiscard]] std::int64_t rx_dropped_offline() const {
+    return rx_dropped_offline_;
+  }
+
   /// Local clock with optional skew, for timestamping telemetry the way an
   /// (imperfectly) NTP-synced device would.
   [[nodiscard]] sim::SimTime local_time() const {
@@ -138,6 +159,10 @@ class Node {
     ++rx_packets_;
     rx_bytes_ += p.wire_size;
   }
+  void note_offline_drop() { ++rx_dropped_offline_; }
+
+  /// Called after online() flips (both directions).
+  virtual void on_online_changed() {}
 
  private:
   sim::Simulator& sim_;
@@ -147,8 +172,10 @@ class Node {
   std::vector<std::unique_ptr<Port>> ports_;
   std::unordered_map<NodeId, std::int32_t> routes_;
   sim::SimTime clock_skew_ = sim::SimTime::zero();
+  bool online_ = true;
   std::int64_t rx_packets_ = 0;
   sim::Bytes rx_bytes_ = 0;
+  std::int64_t rx_dropped_offline_ = 0;
 };
 
 /// A plain end host: single-homed, delivers arriving packets to a

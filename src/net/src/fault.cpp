@@ -1,0 +1,92 @@
+#include "intsched/net/fault.hpp"
+
+#include <algorithm>
+
+#include "intsched/net/topology.hpp"
+
+namespace intsched::net {
+
+FaultPlan::FaultPlan(FaultPlanConfig config)
+    : cfg_{std::move(config)},
+      drop_rng_{sim::Rng::derive(cfg_.seed, "fault-probe-drop")},
+      dup_rng_{sim::Rng::derive(cfg_.seed, "fault-probe-dup")},
+      delay_rng_{sim::Rng::derive(cfg_.seed, "fault-probe-delay")} {}
+
+void FaultPlan::arm(Topology& topo) {
+  sim::Simulator& sim = topo.simulator();
+  // Every port consults the plan before putting bits on the wire.
+  for (NodeId id = 0; id < topo.node_count(); ++id) {
+    Node& node = topo.node(id);
+    for (std::int32_t i = 0; i < node.port_count(); ++i) {
+      node.port(i).set_fault_plan(this);
+    }
+  }
+  // schedule_at refuses past times; clamp so plans can be armed mid-run.
+  const auto at_or_now = [&sim](sim::SimTime at) {
+    return std::max(at, sim.now());
+  };
+  for (const LinkFlapSpec& flap : cfg_.link_flaps) {
+    sim.schedule_at(at_or_now(flap.down_at), [this, flap] {
+      set_link_state(flap.a, flap.b, false);
+    });
+    if (flap.up_at > flap.down_at) {
+      sim.schedule_at(at_or_now(flap.up_at), [this, flap] {
+        set_link_state(flap.a, flap.b, true);
+      });
+    }
+  }
+  for (const SwitchKillSpec& kill : cfg_.switch_kills) {
+    Node& node = topo.node(kill.node);
+    sim.schedule_at(at_or_now(kill.kill_at), [this, &node] {
+      node.set_online(false);
+      ++counters_.switch_kills;
+    });
+    if (kill.restart_at > kill.kill_at) {
+      sim.schedule_at(at_or_now(kill.restart_at), [this, &node] {
+        node.set_online(true);
+        ++counters_.switch_restarts;
+      });
+    }
+  }
+  for (const ClockSkewSpec& skew : cfg_.clock_skews) {
+    topo.node(skew.node).set_clock_skew(skew.skew);
+  }
+}
+
+bool FaultPlan::should_drop_probe() {
+  if (cfg_.probe.drop_probability <= 0.0) return false;
+  const bool drop = drop_rng_.chance(cfg_.probe.drop_probability);
+  if (drop) ++counters_.probes_dropped;
+  return drop;
+}
+
+bool FaultPlan::should_duplicate_probe() {
+  if (cfg_.probe.duplicate_probability <= 0.0) return false;
+  const bool dup = dup_rng_.chance(cfg_.probe.duplicate_probability);
+  if (dup) ++counters_.probes_duplicated;
+  return dup;
+}
+
+std::optional<sim::SimTime> FaultPlan::probe_delay() {
+  if (cfg_.probe.delay_probability <= 0.0) return std::nullopt;
+  if (!delay_rng_.chance(cfg_.probe.delay_probability)) return std::nullopt;
+  ++counters_.probes_delayed;
+  return sim::SimTime::nanoseconds(delay_rng_.uniform_int(
+      cfg_.probe.delay_min.ns(), cfg_.probe.delay_max.ns()));
+}
+
+bool FaultPlan::link_up(NodeId a, NodeId b) const {
+  return !down_links_.contains(link_key(a, b));
+}
+
+void FaultPlan::set_link_state(NodeId a, NodeId b, bool up) {
+  if (up) {
+    if (down_links_.erase(link_key(a, b)) > 0) ++counters_.link_up_events;
+  } else {
+    if (down_links_.insert(link_key(a, b)).second) {
+      ++counters_.link_down_events;
+    }
+  }
+}
+
+}  // namespace intsched::net

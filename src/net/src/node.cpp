@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "intsched/net/fault.hpp"
 #include "intsched/sim/strfmt.hpp"
 
 namespace intsched::net {
@@ -61,12 +62,23 @@ void Port::try_transmit() {
   if (arrival < last_arrival_) arrival = last_arrival_;
   last_arrival_ = arrival;
 
-  Node* peer = peer_;
-  const std::int32_t peer_port = peer_port_;
-  sim.schedule_at(arrival, [peer, peer_port, pkt = std::move(p)]() mutable {
-    peer->note_rx(pkt);
-    peer->receive(std::move(pkt), peer_port);
-  });
+  // Fault injection: a downed link loses the bits on the wire (the
+  // transmitter still spends the service time, as real NICs do).
+  if (faults_ != nullptr && !faults_->link_up(owner_.id(), peer_->id())) {
+    faults_->note_packet_lost_link_down();
+  } else {
+    Node* peer = peer_;
+    const std::int32_t peer_port = peer_port_;
+    sim.schedule_at(arrival,
+                    [peer, peer_port, pkt = std::move(p)]() mutable {
+                      if (!peer->online()) {
+                        peer->note_offline_drop();
+                        return;
+                      }
+                      peer->note_rx(pkt);
+                      peer->receive(std::move(pkt), peer_port);
+                    });
+  }
   sim.schedule_after(service, [this] {
     transmitting_ = false;
     try_transmit();

@@ -69,6 +69,12 @@ class P4Switch : public net::Node {
   [[nodiscard]] std::int64_t pipeline_drops() const { return pipeline_drops_; }
   [[nodiscard]] std::int64_t queue_drops() const;
 
+ protected:
+  /// Crash-restart semantics: register state does not survive a power
+  /// cycle, so coming back online resets every register array to its
+  /// initial value (the scheduler must cope with the telemetry gap).
+  void on_online_changed() override;
+
  private:
   SwitchConfig config_;
   sim::Rng rng_;

@@ -38,6 +38,11 @@ RegisterArray* P4Switch::find_register_array(const std::string& name) {
   return it == registers_.end() ? nullptr : it->second.get();
 }
 
+void P4Switch::on_online_changed() {
+  if (!online()) return;
+  for (auto& entry : registers_) entry.second->reset_all();
+}
+
 void P4Switch::set_route(net::NodeId dst, std::int32_t port_index) {
   net::Node::set_route(dst, port_index);
   forwarding_table_.insert(dst, port_index);

@@ -1,10 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "intsched/net/node.hpp"
 #include "intsched/sim/simulator.hpp"
 #include "intsched/sim/units.hpp"
+
+namespace intsched::net {
+class FaultPlan;
+}
 
 namespace intsched::telemetry {
 
@@ -21,6 +26,10 @@ struct ProbeConfig {
   /// collector — the paper's probe-route-optimization future work. Empty
   /// = shortest path, the paper's default behaviour.
   std::vector<net::NodeId> waypoints;
+  /// Fault-injection opt-in: when set, every probe consults the plan for
+  /// drop/delay/duplicate decisions before entering the network. Null (the
+  /// default) skips all fault checks — the seed's zero-cost behaviour.
+  net::FaultPlan* faults = nullptr;
 };
 
 /// Emits INT probe packets from an edge server toward the scheduler. The
@@ -42,16 +51,24 @@ class ProbeAgent {
 
   [[nodiscard]] std::int64_t probes_sent() const { return sent_; }
   [[nodiscard]] sim::Bytes bytes_sent() const { return bytes_sent_; }
+  /// Probes the fault plan suppressed before transmission.
+  [[nodiscard]] std::int64_t probes_suppressed() const { return suppressed_; }
 
-  /// Sends one probe immediately (also used by the periodic timer).
+  /// Sends one probe immediately (also used by the periodic timer), after
+  /// consulting the fault plan when one is configured.
   void send_probe();
 
  private:
+  /// Builds and transmits one probe packet (post fault decisions).
+  void emit_probe();
+
   net::Host& host_;
   net::NodeId collector_;
   ProbeConfig config_;
   sim::PeriodicHandle timer_;
+  std::vector<sim::EventId> delayed_probes_;
   std::int64_t sent_ = 0;
+  std::int64_t suppressed_ = 0;
   sim::Bytes bytes_sent_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "intsched/telemetry/probe_agent.hpp"
 
+#include "intsched/net/fault.hpp"
+
 namespace intsched::telemetry {
 
 ProbeAgent::ProbeAgent(net::Host& host, net::NodeId collector,
@@ -12,7 +14,13 @@ void ProbeAgent::start() {
       config_.start_offset, config_.interval, [this] { send_probe(); });
 }
 
-void ProbeAgent::stop() { timer_.cancel(); }
+void ProbeAgent::stop() {
+  timer_.cancel();
+  for (const sim::EventId id : delayed_probes_) {
+    host_.simulator().cancel(id);
+  }
+  delayed_probes_.clear();
+}
 
 void ProbeAgent::set_interval(sim::SimTime interval) {
   config_.interval = interval;
@@ -23,6 +31,29 @@ void ProbeAgent::set_interval(sim::SimTime interval) {
 }
 
 void ProbeAgent::send_probe() {
+  net::FaultPlan* faults = config_.faults;
+  if (faults == nullptr) {
+    emit_probe();
+    return;
+  }
+  if (faults->should_drop_probe()) {
+    ++suppressed_;
+    return;
+  }
+  const bool duplicate = faults->should_duplicate_probe();
+  if (const auto delay = faults->probe_delay()) {
+    delayed_probes_.push_back(host_.simulator().schedule_after(
+        *delay, [this, duplicate] {
+          emit_probe();
+          if (duplicate) emit_probe();
+        }));
+    return;
+  }
+  emit_probe();
+  if (duplicate) emit_probe();
+}
+
+void ProbeAgent::emit_probe() {
   net::Packet p;
   p.src = host_.id();
   p.dst = collector_;

@@ -210,8 +210,12 @@ void TcpSender::finish() {
     rto_armed_ = false;
   }
   stack_.unregister_tcp(ConnKey{dst_, src_port_, dst_port_});
-  // May destroy this sender; must be the last statement.
-  if (done_cb_) done_cb_(*this);
+  // The handler may destroy this sender, which would free the member
+  // std::function while it executes — move it to the stack first.
+  if (done_cb_) {
+    const CompletionHandler cb = std::move(done_cb_);
+    cb(*this);
+  }
 }
 
 // -------------------------------------------------------------- receiver

@@ -1,0 +1,383 @@
+// NetworkMap: topology inference from INT entry order, link-delay EWMA,
+// queue freshness windows.
+#include "intsched/core/network_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intsched::core {
+namespace {
+
+sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+
+net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
+                         std::int32_t out_port, std::int64_t port_q,
+                         std::int64_t dev_q, sim::SimTime link_latency) {
+  net::IntStackEntry e;
+  e.device = device;
+  e.ingress_port = in_port;
+  e.egress_port = out_port;
+  e.max_queue_pkts = port_q;
+  e.device_max_queue_pkts = dev_q;
+  e.ingress_link_latency = link_latency;
+  return e;
+}
+
+/// host 0 -> s10 -> s11 -> host 1 (the collector).
+telemetry::ProbeReport simple_report(std::int64_t q10 = 0,
+                                     std::int64_t q11 = 0) {
+  telemetry::ProbeReport r;
+  r.src = 0;
+  r.dst = 1;
+  r.entries = {
+      entry(10, 0, 2, q10, q10, ms(10)),
+      entry(11, 1, 3, q11, q11, ms(12)),
+  };
+  r.final_link_latency = ms(9);
+  return r;
+}
+
+TEST(NetworkMapTest, LearnsAdjacencyFromEntryOrder) {
+  NetworkMap map;
+  map.ingest(simple_report(), ms(0));
+  EXPECT_TRUE(map.knows_node(0));
+  EXPECT_TRUE(map.knows_node(10));
+  EXPECT_TRUE(map.knows_node(11));
+  EXPECT_TRUE(map.knows_node(1));
+  // Both directions of every traversed link.
+  EXPECT_EQ(map.known_link_count(), 6);
+}
+
+TEST(NetworkMapTest, LearnsEgressPortsBothDirections) {
+  NetworkMap map;
+  map.ingest(simple_report(), ms(0));
+  EXPECT_EQ(map.egress_port(10, 11), 2);  // forward: s10's egress
+  EXPECT_EQ(map.egress_port(11, 10), 1);  // reverse: s11's ingress port
+  EXPECT_EQ(map.egress_port(11, 1), 3);   // toward the collector
+}
+
+TEST(NetworkMapTest, LinkDelaysFromMeasurements) {
+  NetworkMap map;
+  map.ingest(simple_report(), ms(0));
+  EXPECT_EQ(map.link_delay(0, 10), ms(10));
+  EXPECT_EQ(map.link_delay(10, 11), ms(12));
+  EXPECT_EQ(map.link_delay(11, 1), ms(9));
+}
+
+TEST(NetworkMapTest, ReverseDirectionAssumedSymmetric) {
+  NetworkMap map;
+  map.ingest(simple_report(), ms(0));
+  EXPECT_EQ(map.link_delay(11, 10), ms(12));
+  EXPECT_EQ(map.link_delay(1, 11), ms(9));
+}
+
+TEST(NetworkMapTest, UnknownLinkUsesDefault) {
+  NetworkMapConfig cfg;
+  cfg.default_link_delay = ms(33);
+  NetworkMap map{cfg};
+  EXPECT_EQ(map.link_delay(5, 6), ms(33));
+}
+
+TEST(NetworkMapTest, EwmaSmoothsLinkDelay) {
+  NetworkMapConfig cfg;
+  cfg.link_delay_alpha = 0.5;
+  NetworkMap map{cfg};
+  map.ingest(simple_report(), ms(0));  // s10->s11 = 12 ms
+  telemetry::ProbeReport r2 = simple_report();
+  r2.entries[1].ingress_link_latency = ms(20);
+  map.ingest(r2, ms(100));
+  EXPECT_EQ(map.link_delay(10, 11), ms(16));  // 0.5*20 + 0.5*12
+}
+
+TEST(NetworkMapTest, DeviceMaxQueueWithinWindow) {
+  NetworkMapConfig cfg;
+  cfg.queue_window = ms(150);
+  NetworkMap map{cfg};
+  map.ingest(simple_report(7, 0), ms(0));
+  EXPECT_EQ(map.device_max_queue(10, ms(100)), 7);
+}
+
+TEST(NetworkMapTest, StaleReportsExpire) {
+  NetworkMapConfig cfg;
+  cfg.queue_window = ms(150);
+  NetworkMap map{cfg};
+  map.ingest(simple_report(7, 0), ms(0));
+  EXPECT_EQ(map.device_max_queue(10, ms(400)), 0);
+}
+
+TEST(NetworkMapTest, WindowKeepsMaxOfMultipleReports) {
+  NetworkMapConfig cfg;
+  cfg.queue_window = ms(150);
+  NetworkMap map{cfg};
+  map.ingest(simple_report(3, 0), ms(0));
+  map.ingest(simple_report(9, 0), ms(50));
+  map.ingest(simple_report(2, 0), ms(100));
+  EXPECT_EQ(map.device_max_queue(10, ms(120)), 9);
+}
+
+TEST(NetworkMapTest, LinkMaxQueueUsesPortRegister) {
+  NetworkMap map;
+  telemetry::ProbeReport r = simple_report();
+  r.entries[0].max_queue_pkts = 4;        // port 2 (toward s11)
+  r.entries[0].device_max_queue_pkts = 9; // some other port was busier
+  map.ingest(r, ms(0));
+  EXPECT_EQ(map.link_max_queue(10, 11, ms(10)), 4);
+  EXPECT_EQ(map.device_max_queue(10, ms(10)), 9);
+}
+
+TEST(NetworkMapTest, LinkMaxQueueFallsBackToDevice) {
+  NetworkMap map;
+  map.ingest(simple_report(6, 0), ms(0));
+  // Link s10 -> host 0 (reverse direction) was never probed per-port;
+  // the device-wide register of s10 is the conservative answer.
+  EXPECT_EQ(map.link_max_queue(10, 0, ms(10)), 6);
+}
+
+TEST(NetworkMapTest, UnknownDeviceQueueIsZero) {
+  NetworkMap map;
+  EXPECT_EQ(map.device_max_queue(99, ms(0)), 0);
+  EXPECT_EQ(map.link_max_queue(99, 98, ms(0)), 0);
+}
+
+TEST(NetworkMapTest, DelayGraphUsesCurrentEstimates) {
+  NetworkMapConfig cfg;
+  cfg.link_delay_alpha = 1.0;  // adopt newest sample outright
+  NetworkMap map{cfg};
+  map.ingest(simple_report(), ms(0));
+  telemetry::ProbeReport r2 = simple_report();
+  r2.entries[1].ingress_link_latency = ms(50);
+  map.ingest(r2, ms(100));
+
+  const net::Graph g = map.delay_graph();
+  bool found = false;
+  for (const auto& edge : g.adjacency.at(10)) {
+    if (edge.to == 11) {
+      EXPECT_EQ(edge.cost, ms(50));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NetworkMapTest, ReportsCounted) {
+  NetworkMap map;
+  map.ingest(simple_report(), ms(0));
+  map.ingest(simple_report(), ms(100));
+  EXPECT_EQ(map.reports_ingested(), 2);
+}
+
+TEST(NetworkMapTest, NegativeLatencySampleIgnored) {
+  NetworkMap map;
+  telemetry::ProbeReport r = simple_report();
+  r.entries[0].ingress_link_latency = sim::SimTime::nanoseconds(-1);
+  map.ingest(r, ms(0));
+  // Falls back to the default estimate instead of adopting garbage.
+  EXPECT_EQ(map.link_delay(0, 10), map.config().default_link_delay);
+}
+
+TEST(NetworkMapTest, NegativeQueueValuesClampedToZero) {
+  NetworkMap map;
+  telemetry::ProbeReport r = simple_report();
+  r.entries[0].max_queue_pkts = -5;
+  r.entries[0].device_max_queue_pkts = -9;
+  map.ingest(r, ms(0));
+  EXPECT_EQ(map.device_max_queue(10, ms(10)), 0);
+  EXPECT_EQ(map.link_max_queue(10, 11, ms(10)), 0);
+}
+
+TEST(NetworkMapTest, InvalidDeviceEntryRejectedNotLearned) {
+  NetworkMap map;
+  telemetry::ProbeReport r = simple_report();
+  r.entries.insert(r.entries.begin() + 1,
+                   entry(net::kInvalidNode, 0, 0, 0, 0, ms(5)));
+  map.ingest(r, ms(0));
+  EXPECT_EQ(map.rejected_entries(), 1);
+  EXPECT_FALSE(map.knows_node(net::kInvalidNode));
+  // The surviving entries still stitch the path together correctly.
+  EXPECT_TRUE(map.knows_node(10));
+  EXPECT_TRUE(map.knows_node(11));
+}
+
+TEST(NetworkMapTest, OutOfOrderIngestIsSafe) {
+  // Reports may arrive with decreasing timestamps (clock-skewed probes);
+  // the freshness bookkeeping must take the max, not the latest arrival.
+  NetworkMapConfig cfg;
+  cfg.link_staleness = ms(200);
+  NetworkMap map{cfg};
+  map.ingest(simple_report(), ms(500));
+  map.ingest(simple_report(), ms(100));  // late straggler
+  EXPECT_FALSE(map.link_stale(0, 10, ms(600)));
+  EXPECT_TRUE(map.link_stale(0, 10, ms(800)));
+}
+
+}  // namespace
+}  // namespace intsched::core
+
+// -- Link jitter tracking (paper §III-A: probes capture jitter) --
+
+namespace intsched::core {
+namespace {
+
+telemetry::ProbeReport one_hop_report(sim::SimTime latency) {
+  telemetry::ProbeReport r;
+  r.src = 0;
+  r.dst = 1;
+  net::IntStackEntry e;
+  e.device = 10;
+  e.ingress_port = 0;
+  e.egress_port = 1;
+  e.ingress_link_latency = latency;
+  r.entries = {e};
+  r.final_link_latency = sim::SimTime::milliseconds(10);
+  return r;
+}
+
+TEST(NetworkMapJitterTest, StableLinkHasZeroJitter) {
+  NetworkMap map;
+  for (int i = 0; i < 10; ++i) {
+    map.ingest(one_hop_report(sim::SimTime::milliseconds(10)),
+               sim::SimTime::milliseconds(100 * i));
+  }
+  EXPECT_EQ(map.link_jitter(0, 10), sim::SimTime::zero());
+}
+
+TEST(NetworkMapJitterTest, VariableLinkAccumulatesJitter) {
+  NetworkMap map;
+  for (int i = 0; i < 20; ++i) {
+    const auto latency = sim::SimTime::milliseconds(i % 2 == 0 ? 8 : 12);
+    map.ingest(one_hop_report(latency), sim::SimTime::milliseconds(100 * i));
+  }
+  // Samples alternate +-2 ms around the mean: jitter settles near 2 ms.
+  const double jitter_ms = map.link_jitter(0, 10).to_milliseconds();
+  EXPECT_GT(jitter_ms, 1.0);
+  EXPECT_LT(jitter_ms, 3.0);
+}
+
+TEST(NetworkMapJitterTest, UnknownLinkReportsZero) {
+  NetworkMap map;
+  EXPECT_EQ(map.link_jitter(5, 6), sim::SimTime::zero());
+}
+
+TEST(NetworkMapJitterTest, ReverseDirectionFallsBack) {
+  NetworkMap map;
+  for (int i = 0; i < 20; ++i) {
+    const auto latency = sim::SimTime::milliseconds(i % 2 == 0 ? 5 : 15);
+    map.ingest(one_hop_report(latency), sim::SimTime::milliseconds(100 * i));
+  }
+  EXPECT_GT(map.link_jitter(10, 0), sim::SimTime::zero());
+  EXPECT_EQ(map.link_jitter(10, 0), map.link_jitter(0, 10));
+}
+
+}  // namespace
+}  // namespace intsched::core
+
+// -- Telemetry staleness (failure model: expire what probes stop refreshing) --
+
+namespace intsched::core {
+namespace {
+
+sim::SimTime sms(int v) { return sim::SimTime::milliseconds(v); }
+
+telemetry::ProbeReport stale_report() {
+  telemetry::ProbeReport r;
+  r.src = 0;
+  r.dst = 1;
+  net::IntStackEntry e;
+  e.device = 10;
+  e.ingress_port = 0;
+  e.egress_port = 1;
+  e.ingress_link_latency = sms(10);
+  r.entries = {e};
+  r.final_link_latency = sms(9);
+  return r;
+}
+
+TEST(NetworkMapStalenessTest, FreshWithinWindowStaleBeyondIt) {
+  NetworkMapConfig cfg;
+  cfg.link_staleness = sms(200);
+  NetworkMap map{cfg};
+  map.ingest(stale_report(), sms(100));
+  EXPECT_FALSE(map.link_stale(0, 10, sms(250)));
+  EXPECT_TRUE(map.link_stale(0, 10, sms(301)));
+}
+
+TEST(NetworkMapStalenessTest, ReverseMeasurementRefreshesLink) {
+  // Only the 0->10 direction is ever measured; queries about 10->0 use
+  // the symmetric estimate and inherit its freshness.
+  NetworkMapConfig cfg;
+  cfg.link_staleness = sms(200);
+  NetworkMap map{cfg};
+  map.ingest(stale_report(), sms(100));
+  EXPECT_FALSE(map.link_stale(10, 0, sms(250)));
+  EXPECT_TRUE(map.link_stale(10, 0, sms(301)));
+}
+
+TEST(NetworkMapStalenessTest, NeverMeasuredLinkIsStale) {
+  NetworkMapConfig cfg;
+  cfg.link_staleness = sms(200);
+  NetworkMap map{cfg};
+  EXPECT_TRUE(map.link_stale(4, 5, sms(0)));
+}
+
+TEST(NetworkMapStalenessTest, DisabledWindowNeverExpires) {
+  NetworkMap map;  // link_staleness defaults to zero = disabled
+  EXPECT_FALSE(map.link_stale(4, 5, sms(0)));
+  map.ingest(stale_report(), sms(0));
+  EXPECT_FALSE(map.link_stale(0, 10, sim::SimTime::seconds(3600)));
+}
+
+TEST(NetworkMapStalenessTest, PathStaleIfAnyHopIsStale) {
+  NetworkMapConfig cfg;
+  cfg.link_staleness = sms(200);
+  NetworkMap map{cfg};
+  map.ingest(stale_report(), sms(100));
+  map.ingest(stale_report(), sms(400));  // refresh 0->10 only
+  // Path 0 -> 10 -> 99: second hop never measured.
+  EXPECT_TRUE(map.path_stale({0, 10, 99}, sms(450)));
+  EXPECT_FALSE(map.path_stale({0, 10}, sms(450)));
+  // Degenerate paths can't be judged and are never stale.
+  EXPECT_FALSE(map.path_stale({0}, sms(450)));
+  EXPECT_FALSE(map.path_stale({}, sms(450)));
+}
+
+TEST(NetworkMapStalenessTest, HugeWindowDoesNotUnderflow) {
+  // now - window must saturate, not wrap: a max() window means "never
+  // expire", even queried at t=0. (Pinned: this is SimTime arithmetic on
+  // the raw ns value, where naive subtraction would be signed overflow.)
+  NetworkMapConfig cfg;
+  cfg.link_staleness = sim::SimTime::max();
+  cfg.queue_window = sim::SimTime::max();
+  NetworkMap map{cfg};
+  map.ingest(stale_report(), sms(0));
+  EXPECT_FALSE(map.link_stale(0, 10, sms(0)));
+  EXPECT_FALSE(map.link_stale(0, 10, sim::SimTime::seconds(100000)));
+  EXPECT_EQ(map.device_max_queue(10, sim::SimTime::seconds(100000)),
+            map.device_max_queue(10, sms(1)));
+}
+
+TEST(NetworkMapStalenessTest, QueriesAreTranslationInvariant) {
+  // The same report ingested at t and t+X must answer window queries
+  // identically at now and now+X: all comparisons live in SimTime, no
+  // absolute epoch leaks in.
+  const sim::SimTime shift = sim::SimTime::seconds(7200);
+  NetworkMapConfig cfg;
+  cfg.link_staleness = sms(200);
+  cfg.queue_window = sms(150);
+  NetworkMap a{cfg};
+  NetworkMap b{cfg};
+  telemetry::ProbeReport r = stale_report();
+  r.entries[0].max_queue_pkts = 6;
+  r.entries[0].device_max_queue_pkts = 6;
+  a.ingest(r, sms(100));
+  b.ingest(r, sms(100) + shift);
+  for (const int probe_ms : {120, 240, 290, 310, 500}) {
+    EXPECT_EQ(a.link_stale(0, 10, sms(probe_ms)),
+              b.link_stale(0, 10, sms(probe_ms) + shift))
+        << probe_ms;
+    EXPECT_EQ(a.device_max_queue(10, sms(probe_ms)),
+              b.device_max_queue(10, sms(probe_ms) + shift))
+        << probe_ms;
+  }
+}
+
+}  // namespace
+}  // namespace intsched::core

@@ -1,0 +1,117 @@
+#include "intsched/core/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "intsched/exp/fig4.hpp"
+
+namespace intsched::core {
+namespace {
+
+struct PoliciesFixture : ::testing::Test {
+  sim::Simulator sim;
+  exp::Fig4Network network{sim, exp::Fig4Config{}};
+  std::vector<net::NodeId> servers = network.host_ids();
+};
+
+TEST_F(PoliciesFixture, NearestPrefersPodSibling) {
+  NearestPolicy nearest{network.topology(), servers};
+  // Paper: node 7 and node 8 (ids 6, 7) are each other's nearest.
+  EXPECT_EQ(nearest.order_for(6).front(), 7);
+  EXPECT_EQ(nearest.order_for(7).front(), 6);
+  EXPECT_EQ(nearest.order_for(0).front(), 1);
+  EXPECT_EQ(nearest.order_for(1).front(), 0);
+}
+
+TEST_F(PoliciesFixture, NearestOrderExcludesSelf) {
+  NearestPolicy nearest{network.topology(), servers};
+  for (net::NodeId device = 0; device < 8; ++device) {
+    const auto& order = nearest.order_for(device);
+    EXPECT_EQ(order.size(), 7u);
+    for (const net::NodeId s : order) EXPECT_NE(s, device);
+  }
+}
+
+TEST_F(PoliciesFixture, NearestOrderSortedByGroundTruthDelay) {
+  NearestPolicy nearest{network.topology(), servers};
+  const auto& order = nearest.order_for(0);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(network.topology().path_delay(0, order[i - 1]),
+              network.topology().path_delay(0, order[i]));
+  }
+}
+
+TEST_F(PoliciesFixture, NearestSelectReturnsTopN) {
+  NearestPolicy nearest{network.topology(), servers};
+  std::vector<net::NodeId> chosen;
+  nearest.select(6, 3, [&](std::vector<net::NodeId> s) { chosen = s; });
+  ASSERT_EQ(chosen.size(), 3u);
+  EXPECT_EQ(chosen[0], 7);  // pod sibling first
+}
+
+TEST_F(PoliciesFixture, NearestUnknownDeviceThrows) {
+  NearestPolicy nearest{network.topology(), servers};
+  EXPECT_THROW(static_cast<void>(nearest.order_for(99)),
+               std::invalid_argument);
+}
+
+TEST_F(PoliciesFixture, RandomSelectsDistinctServers) {
+  RandomPolicy random{servers, sim::Rng{7}};
+  std::vector<net::NodeId> chosen;
+  random.select(3, 3, [&](std::vector<net::NodeId> s) { chosen = s; });
+  ASSERT_EQ(chosen.size(), 3u);
+  const std::set<net::NodeId> uniq(chosen.begin(), chosen.end());
+  EXPECT_EQ(uniq.size(), 3u);
+  for (const net::NodeId s : chosen) EXPECT_NE(s, 3);
+}
+
+TEST_F(PoliciesFixture, RandomNeverPicksSelf) {
+  RandomPolicy random{servers, sim::Rng{7}};
+  for (int trial = 0; trial < 50; ++trial) {
+    random.select(0, 1, [&](std::vector<net::NodeId> s) {
+      ASSERT_EQ(s.size(), 1u);
+      EXPECT_NE(s[0], 0);
+    });
+  }
+}
+
+TEST_F(PoliciesFixture, RandomIsDeterministicPerSeed) {
+  RandomPolicy r1{servers, sim::Rng{5}};
+  RandomPolicy r2{servers, sim::Rng{5}};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<net::NodeId> a;
+    std::vector<net::NodeId> b;
+    r1.select(0, 3, [&](std::vector<net::NodeId> s) { a = s; });
+    r2.select(0, 3, [&](std::vector<net::NodeId> s) { b = s; });
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(PoliciesFixture, RandomCoversAllServersEventually) {
+  RandomPolicy random{servers, sim::Rng{11}};
+  std::set<net::NodeId> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    random.select(0, 1, [&](std::vector<net::NodeId> s) {
+      seen.insert(s[0]);
+    });
+  }
+  EXPECT_EQ(seen.size(), 7u);  // every server except the device itself
+}
+
+TEST_F(PoliciesFixture, KindMapping) {
+  NearestPolicy nearest{network.topology(), servers};
+  RandomPolicy random{servers, sim::Rng{1}};
+  EXPECT_EQ(nearest.kind(), PolicyKind::kNearest);
+  EXPECT_EQ(random.kind(), PolicyKind::kRandom);
+}
+
+TEST(PolicyNamesTest, ToString) {
+  EXPECT_STREQ(to_string(PolicyKind::kIntDelay), "int-delay");
+  EXPECT_STREQ(to_string(PolicyKind::kIntBandwidth), "int-bandwidth");
+  EXPECT_STREQ(to_string(PolicyKind::kNearest), "nearest");
+  EXPECT_STREQ(to_string(PolicyKind::kRandom), "random");
+}
+
+}  // namespace
+}  // namespace intsched::core

@@ -1,0 +1,304 @@
+// Ranker: Algorithm 1 (delay) and the min-bandwidth path estimate.
+#include "intsched/core/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace intsched::core {
+namespace {
+
+sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+
+net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
+                         std::int32_t out_port, std::int64_t q,
+                         sim::SimTime latency) {
+  net::IntStackEntry e;
+  e.device = device;
+  e.ingress_port = in_port;
+  e.egress_port = out_port;
+  e.max_queue_pkts = q;
+  e.device_max_queue_pkts = q;
+  e.ingress_link_latency = latency;
+  return e;
+}
+
+/// Builds a map of a line topology:
+///   host 0 -- s10 -- s11 -- host 1 (collector), with s12 -- host 2
+///   hanging off s10.
+/// via two probes (from hosts 0 and 2) to collector host 1.
+NetworkMap make_map(std::int64_t q10, std::int64_t q11, std::int64_t q12) {
+  NetworkMap map;
+  telemetry::ProbeReport from0;
+  from0.src = 0;
+  from0.dst = 1;
+  from0.entries = {entry(10, 0, 1, q10, ms(10)),
+                   entry(11, 0, 1, q11, ms(10))};
+  from0.final_link_latency = ms(10);
+  map.ingest(from0, ms(0));
+
+  telemetry::ProbeReport from2;
+  from2.src = 2;
+  from2.dst = 1;
+  from2.entries = {entry(12, 0, 1, q12, ms(10)),
+                   entry(10, 2, 1, q10, ms(10)),
+                   entry(11, 0, 1, q11, ms(10))};
+  from2.final_link_latency = ms(10);
+  map.ingest(from2, ms(0));
+  return map;
+}
+
+TEST(QueueToUtilizationTest, EndpointsClamp) {
+  QueueToUtilization q;
+  EXPECT_DOUBLE_EQ(q.utilization(0), 0.0);
+  EXPECT_DOUBLE_EQ(q.utilization(100000), 1.0);
+}
+
+TEST(QueueToUtilizationTest, MonotoneNondecreasing) {
+  QueueToUtilization q;
+  double prev = -1.0;
+  for (std::int64_t i = 0; i <= 600; i += 5) {
+    const double u = q.utilization(i);
+    EXPECT_GE(u, prev);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    prev = u;
+  }
+}
+
+TEST(QueueToUtilizationTest, LinearInterpolationBetweenPoints) {
+  QueueToUtilization q{{{0.0, 0.0}, {10.0, 1.0}}};
+  EXPECT_DOUBLE_EQ(q.utilization(5), 0.5);
+  EXPECT_DOUBLE_EQ(q.utilization(2), 0.2);
+}
+
+TEST(QueueToUtilizationTest, RejectsBadTables) {
+  EXPECT_THROW(QueueToUtilization(std::vector<QueueToUtilization::Point>{}),
+               std::invalid_argument);
+  EXPECT_THROW(QueueToUtilization(std::vector<QueueToUtilization::Point>{
+                   {5.0, 0.1}, {1.0, 0.9}}),
+               std::invalid_argument);
+}
+
+TEST(RankerTest, Algorithm1FormulaExact) {
+  // Delay(path) = sum(link delays) + k * sum(device max queues).
+  NetworkMap map = make_map(3, 5, 0);
+  RankerConfig cfg;
+  cfg.k_factor = ms(20);
+  Ranker ranker{map, cfg};
+  // Path 0 -> s10 -> s11 -> 1: links 10+10+10, hops 3 and 5.
+  const sim::SimTime d =
+      ranker.path_delay_estimate({0, 10, 11, 1}, ms(10));
+  EXPECT_EQ(d, ms(30) + ms(20) * 8);
+}
+
+TEST(RankerTest, ZeroQueuesGivePureLinkDelay) {
+  NetworkMap map = make_map(0, 0, 0);
+  Ranker ranker{map};
+  EXPECT_EQ(ranker.path_delay_estimate({0, 10, 11, 1}, ms(10)), ms(30));
+}
+
+TEST(RankerTest, KFactorScalesHopPenalty) {
+  NetworkMap map = make_map(2, 0, 0);
+  RankerConfig cfg;
+  cfg.k_factor = ms(5);
+  Ranker ranker{map, cfg};
+  EXPECT_EQ(ranker.path_delay_estimate({0, 10, 11, 1}, ms(10)),
+            ms(30) + ms(10));
+  ranker.set_k_factor(ms(50));
+  EXPECT_EQ(ranker.path_delay_estimate({0, 10, 11, 1}, ms(10)),
+            ms(30) + ms(100));
+}
+
+TEST(RankerTest, BandwidthIsMinOverLinks) {
+  // Utilization table maps q=0 -> 0 so idle path = nominal capacity.
+  NetworkMap map = make_map(0, 0, 0);
+  Ranker ranker{map};
+  const sim::DataRate bw =
+      ranker.path_bandwidth_estimate({0, 10, 11, 1}, ms(10));
+  EXPECT_NEAR(bw.mbps(), map.config().nominal_capacity.mbps(), 1e-9);
+}
+
+TEST(RankerTest, CongestedLinkCapsBandwidth) {
+  NetworkMap map = make_map(512, 0, 0);  // s10's egress saturated
+  Ranker ranker{map};
+  const sim::DataRate bw =
+      ranker.path_bandwidth_estimate({0, 10, 11, 1}, ms(10));
+  EXPECT_LT(bw.mbps(), 1.0);
+}
+
+TEST(RankerTest, RankByDelaySortsAscending) {
+  // Make host 2's branch congested: s12 has a deep queue.
+  NetworkMap map = make_map(0, 0, 40);
+  Ranker ranker{map};
+  // From host 1's view, rank hosts 0 and 2.
+  const auto ranked =
+      ranker.rank(1, {0, 2}, RankingMetric::kDelay, ms(10));
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].server, 0);
+  EXPECT_EQ(ranked[1].server, 2);
+  EXPECT_LT(ranked[0].delay_estimate, ranked[1].delay_estimate);
+}
+
+TEST(RankerTest, RankByBandwidthSortsDescending) {
+  NetworkMap map = make_map(0, 0, 40);
+  Ranker ranker{map};
+  const auto ranked =
+      ranker.rank(1, {0, 2}, RankingMetric::kBandwidth, ms(10));
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].server, 0);
+  EXPECT_GT(ranked[0].bandwidth_estimate.bps(),
+            ranked[1].bandwidth_estimate.bps());
+}
+
+TEST(RankerTest, BothEstimatesAlwaysFilled) {
+  NetworkMap map = make_map(1, 2, 3);
+  Ranker ranker{map};
+  for (const auto& r : ranker.rank(0, {1, 2}, RankingMetric::kDelay, ms(10))) {
+    EXPECT_GT(r.delay_estimate, sim::SimTime::zero());
+    EXPECT_GT(r.bandwidth_estimate.bps(), 0.0);
+  }
+}
+
+TEST(RankerTest, UnreachableCandidateRanksLast) {
+  NetworkMap map = make_map(0, 0, 0);
+  Ranker ranker{map};
+  const auto ranked =
+      ranker.rank(0, {1, 99}, RankingMetric::kDelay, ms(10));
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].server, 1);
+  EXPECT_EQ(ranked[1].server, 99);
+  EXPECT_EQ(ranked[1].delay_estimate, sim::SimTime::max());
+  EXPECT_DOUBLE_EQ(ranked[1].bandwidth_estimate.bps(), 0.0);
+}
+
+TEST(RankerTest, EqualDelayTieBreaksById) {
+  NetworkMap map = make_map(0, 0, 0);
+  Ranker ranker{map};
+  // Hosts 0 and... construct: rank from host 1 where both reachable with
+  // equal metrics is hard in this topology; instead verify determinism by
+  // ranking twice.
+  const auto a = ranker.rank(1, {0, 2}, RankingMetric::kDelay, ms(10));
+  const auto b = ranker.rank(1, {0, 2}, RankingMetric::kDelay, ms(10));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].server, b[i].server);
+  }
+}
+
+TEST(RankerTest, StaleCongestionForgotten) {
+  NetworkMapConfig map_cfg;
+  map_cfg.queue_window = ms(150);
+  NetworkMap map{map_cfg};
+  telemetry::ProbeReport r;
+  r.src = 0;
+  r.dst = 1;
+  r.entries = {entry(10, 0, 1, 50, ms(10)), entry(11, 0, 1, 0, ms(10))};
+  r.final_link_latency = ms(10);
+  map.ingest(r, ms(0));
+  Ranker ranker{map};
+  const sim::SimTime congested =
+      ranker.path_delay_estimate({0, 10, 11, 1}, ms(50));
+  const sim::SimTime later =
+      ranker.path_delay_estimate({0, 10, 11, 1}, ms(500));
+  EXPECT_GT(congested, later);
+  EXPECT_EQ(later, ms(30));
+}
+
+TEST(RankingMetricTest, Names) {
+  EXPECT_STREQ(to_string(RankingMetric::kDelay), "delay");
+  EXPECT_STREQ(to_string(RankingMetric::kBandwidth), "bandwidth");
+}
+
+}  // namespace
+}  // namespace intsched::core
+
+// -- k-factor auto-calibration (paper §III-C future work) --
+
+namespace intsched::core {
+namespace {
+
+TEST(KCalibrationTest, RecoversLinearRelation) {
+  std::vector<KCalibrationSample> samples;
+  for (int q = 0; q <= 30; q += 3) {
+    samples.push_back({static_cast<double>(q), 2.5 * q});  // k = 2.5 ms
+  }
+  const sim::SimTime k = estimate_k_factor(samples);
+  EXPECT_NEAR(k.to_milliseconds(), 2.5, 0.01);
+}
+
+TEST(KCalibrationTest, NoisyDataStillClose) {
+  std::vector<KCalibrationSample> samples;
+  sim::Rng rng{5};
+  for (int i = 0; i < 200; ++i) {
+    const double q = rng.uniform_real(0.0, 50.0);
+    const double noise = rng.uniform_real(-3.0, 3.0);
+    samples.push_back({q, 4.0 * q + noise});
+  }
+  EXPECT_NEAR(estimate_k_factor(samples).to_milliseconds(), 4.0, 0.2);
+}
+
+TEST(KCalibrationTest, DegenerateDataFallsBackToPaperDefault) {
+  EXPECT_EQ(estimate_k_factor({}), sim::SimTime::milliseconds(20));
+  EXPECT_EQ(estimate_k_factor({{0.0, 0.0}, {0.0, 5.0}}),
+            sim::SimTime::milliseconds(20));
+  // All-negative correlation: no positive signal either.
+  EXPECT_EQ(estimate_k_factor({{10.0, -5.0}, {20.0, -9.0}}),
+            sim::SimTime::milliseconds(20));
+}
+
+TEST(KCalibrationTest, EndToEndFromMeasuredCurve) {
+  // Feed it the shape of our own Fig.-3 reproduction (queue, RTT-40ms):
+  // the fit should land in the same order of magnitude as the queueing
+  // delay per packet (~0.6 ms service), far below the paper's k = 20 ms
+  // detector weight.
+  const std::vector<KCalibrationSample> measured = {
+      {0.5, 0.3}, {2.6, 1.3}, {4.3, 1.0},  {6.6, 1.7},
+      {10.2, 3.1}, {16.8, 6.5}, {187.4, 114.4}, {494.8, 324.2}};
+  const double k_ms = estimate_k_factor(measured).to_milliseconds();
+  EXPECT_GT(k_ms, 0.3);
+  EXPECT_LT(k_ms, 2.0);
+}
+
+}  // namespace
+}  // namespace intsched::core
+
+// -- Measured-hop-latency ranking statistic --
+
+namespace intsched::core {
+namespace {
+
+TEST(MeasuredHopLatencyTest, UsedDirectlyWithoutK) {
+  NetworkMap map;
+  telemetry::ProbeReport r;
+  r.src = 0;
+  r.dst = 1;
+  net::IntStackEntry e;
+  e.device = 10;
+  e.ingress_port = 0;
+  e.egress_port = 1;
+  e.device_max_queue_pkts = 50;  // would cost 1 s at k = 20 ms
+  e.max_hop_latency = sim::SimTime::milliseconds(7);
+  e.ingress_link_latency = sim::SimTime::milliseconds(10);
+  r.entries = {e};
+  r.final_link_latency = sim::SimTime::milliseconds(10);
+  map.ingest(r, sim::SimTime::zero());
+
+  RankerConfig cfg;
+  cfg.queue_statistic = QueueStatistic::kMeasuredHopLatency;
+  Ranker ranker{map, cfg};
+  // 20 ms links + 7 ms measured dwell, independent of k.
+  EXPECT_EQ(ranker.path_delay_estimate({0, 10, 1}, sim::SimTime::zero()),
+            sim::SimTime::milliseconds(27));
+  cfg.queue_statistic = QueueStatistic::kMaximum;
+  Ranker paper{map, cfg};
+  EXPECT_EQ(paper.path_delay_estimate({0, 10, 1}, sim::SimTime::zero()),
+            sim::SimTime::milliseconds(20) + sim::SimTime::seconds(1));
+}
+
+TEST(MeasuredHopLatencyTest, UnreportedDeviceContributesZero) {
+  NetworkMap map;
+  EXPECT_EQ(map.device_hop_latency(99, sim::SimTime::zero()),
+            sim::SimTime::zero());
+}
+
+}  // namespace
+}  // namespace intsched::core

@@ -1,0 +1,319 @@
+// FaultPlan unit tests: config semantics, deterministic fault draws,
+// link-state bookkeeping, topology arming (flaps, kills, skews), and the
+// probe agent's drop/duplicate/delay hooks.
+#include "intsched/net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "intsched/net/topology.hpp"
+#include "intsched/p4/switch.hpp"
+#include "intsched/telemetry/collector.hpp"
+#include "intsched/telemetry/int_program.hpp"
+#include "intsched/telemetry/probe_agent.hpp"
+#include "intsched/transport/host_stack.hpp"
+
+namespace intsched::net {
+namespace {
+
+sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+
+TEST(FaultPlanConfigTest, DefaultIsDisabled) {
+  EXPECT_FALSE(FaultPlanConfig{}.enabled());
+}
+
+TEST(FaultPlanConfigTest, AnyKnobEnables) {
+  FaultPlanConfig drop;
+  drop.probe.drop_probability = 0.1;
+  EXPECT_TRUE(drop.enabled());
+  FaultPlanConfig dup;
+  dup.probe.duplicate_probability = 0.1;
+  EXPECT_TRUE(dup.enabled());
+  FaultPlanConfig delay;
+  delay.probe.delay_probability = 0.1;
+  EXPECT_TRUE(delay.enabled());
+  FaultPlanConfig flap;
+  flap.link_flaps.push_back(LinkFlapSpec{0, 1, ms(1), ms(2)});
+  EXPECT_TRUE(flap.enabled());
+  FaultPlanConfig kill;
+  kill.switch_kills.push_back(SwitchKillSpec{0, ms(1), ms(2)});
+  EXPECT_TRUE(kill.enabled());
+  FaultPlanConfig skew;
+  skew.clock_skews.push_back(ClockSkewSpec{0, ms(1)});
+  EXPECT_TRUE(skew.enabled());
+}
+
+TEST(FaultPlanTest, DropDrawsAreDeterministicPerSeed) {
+  FaultPlanConfig cfg;
+  cfg.seed = 7;
+  cfg.probe.drop_probability = 0.3;
+  FaultPlan a{cfg};
+  FaultPlan b{cfg};
+  std::int64_t dropped = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const bool da = a.should_drop_probe();
+    EXPECT_EQ(da, b.should_drop_probe());
+    if (da) ++dropped;
+  }
+  EXPECT_EQ(a.counters().probes_dropped, dropped);
+  // Law of large numbers sanity: within a loose band of 30%.
+  EXPECT_GT(dropped, 2000 * 0.2);
+  EXPECT_LT(dropped, 2000 * 0.4);
+}
+
+TEST(FaultPlanTest, FaultKindsDrawFromIndependentStreams) {
+  // Enabling duplication must not change which probes get dropped: the
+  // kinds draw from separately derived Rng streams.
+  FaultPlanConfig just_drop;
+  just_drop.probe.drop_probability = 0.25;
+  FaultPlanConfig both = just_drop;
+  both.probe.duplicate_probability = 0.5;
+  FaultPlan a{just_drop};
+  FaultPlan b{both};
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.should_drop_probe(), b.should_drop_probe());
+    (void)b.should_duplicate_probe();
+  }
+}
+
+TEST(FaultPlanTest, ProbeDelayWithinConfiguredRange) {
+  FaultPlanConfig cfg;
+  cfg.probe.delay_probability = 1.0;
+  cfg.probe.delay_min = ms(50);
+  cfg.probe.delay_max = ms(500);
+  FaultPlan plan{cfg};
+  for (int i = 0; i < 200; ++i) {
+    const auto d = plan.probe_delay();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_GE(*d, ms(50));
+    EXPECT_LE(*d, ms(500));
+  }
+  EXPECT_EQ(plan.counters().probes_delayed, 200);
+}
+
+TEST(FaultPlanTest, DisabledProbabilitiesNeverFire) {
+  FaultPlan plan{FaultPlanConfig{}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(plan.should_drop_probe());
+    EXPECT_FALSE(plan.should_duplicate_probe());
+    EXPECT_FALSE(plan.probe_delay().has_value());
+  }
+  EXPECT_EQ(plan.counters().probes_dropped, 0);
+  EXPECT_EQ(plan.counters().probes_duplicated, 0);
+  EXPECT_EQ(plan.counters().probes_delayed, 0);
+}
+
+TEST(FaultPlanTest, LinkStateIsUndirectedAndCounted) {
+  FaultPlan plan{FaultPlanConfig{}};
+  EXPECT_TRUE(plan.link_up(1, 2));
+  plan.set_link_state(1, 2, false);
+  EXPECT_FALSE(plan.link_up(1, 2));
+  EXPECT_FALSE(plan.link_up(2, 1));  // normalized key
+  plan.set_link_state(2, 1, false);  // idempotent: no double count
+  EXPECT_EQ(plan.counters().link_down_events, 1);
+  plan.set_link_state(2, 1, true);
+  EXPECT_TRUE(plan.link_up(1, 2));
+  EXPECT_EQ(plan.counters().link_up_events, 1);
+  plan.set_link_state(1, 2, true);  // already up: no count
+  EXPECT_EQ(plan.counters().link_up_events, 1);
+}
+
+/// host0 -- sw -- host1, probes host0 -> host1 every 50 ms.
+struct WiredFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Topology topo{sim};
+  net::Host* src = nullptr;
+  net::Host* dst = nullptr;
+  p4::P4Switch* sw = nullptr;
+  std::unique_ptr<transport::HostStack> dst_stack;
+  std::unique_ptr<telemetry::IntCollector> collector;
+
+  void SetUp() override {
+    src = &topo.add_node<net::Host>("src");
+    dst = &topo.add_node<net::Host>("dst");
+    p4::SwitchConfig cfg;
+    cfg.stall_probability = 0.0;
+    sw = &topo.add_node<p4::P4Switch>("sw", cfg);
+    topo.connect(*src, *sw, LinkConfig{});
+    topo.connect(*dst, *sw, LinkConfig{});
+    topo.install_routes();
+    sw->load_program(std::make_unique<telemetry::IntTelemetryProgram>());
+    dst_stack = std::make_unique<transport::HostStack>(*dst);
+    collector = std::make_unique<telemetry::IntCollector>(*dst);
+    dst_stack->bind_udp(kProbePort, [this](const Packet& p) {
+      collector->handle_packet(p);
+    });
+  }
+
+  telemetry::ProbeAgent make_agent(FaultPlan* plan) {
+    telemetry::ProbeConfig pc;
+    pc.interval = ms(50);
+    pc.faults = plan;
+    return telemetry::ProbeAgent{*src, dst->id(), pc};
+  }
+};
+
+TEST_F(WiredFixture, LinkFlapLosesPacketsWhileDownThenRecovers) {
+  FaultPlanConfig cfg;
+  cfg.link_flaps.push_back(
+      LinkFlapSpec{src->id(), sw->id(), ms(100), ms(300)});
+  FaultPlan plan{cfg};
+  plan.arm(topo);
+
+  auto agent = make_agent(nullptr);
+  agent.start();
+  sim.run_until(sim::SimTime::seconds(1));
+  agent.stop();
+  sim.run_until(sim::SimTime::seconds(2));
+
+  EXPECT_GT(plan.counters().packets_lost_link_down, 0);
+  EXPECT_EQ(plan.counters().link_down_events, 1);
+  EXPECT_EQ(plan.counters().link_up_events, 1);
+  // Everything the wire did not eat arrived.
+  EXPECT_EQ(collector->probes_received(),
+            agent.probes_sent() - plan.counters().packets_lost_link_down);
+  // Probes after the link came back did get through.
+  EXPECT_GT(collector->probes_received(), 10);
+}
+
+TEST_F(WiredFixture, FlapWithoutUpTimeStaysDown) {
+  FaultPlanConfig cfg;
+  cfg.link_flaps.push_back(LinkFlapSpec{src->id(), sw->id(), ms(100),
+                                        sim::SimTime::zero()});
+  FaultPlan plan{cfg};
+  plan.arm(topo);
+
+  auto agent = make_agent(nullptr);
+  agent.start();
+  sim.run_until(sim::SimTime::seconds(1));
+  EXPECT_FALSE(plan.link_up(src->id(), sw->id()));
+  EXPECT_EQ(plan.counters().link_up_events, 0);
+  // Only the probes sent before 100 ms made it: t = 0, 50 (the 100 ms
+  // probe reaches the wire after the flap event at the same timestamp).
+  EXPECT_LE(collector->probes_received(), 3);
+}
+
+TEST_F(WiredFixture, SwitchKillDropsArrivalsAndClearsRegisters) {
+  FaultPlanConfig cfg;
+  cfg.switch_kills.push_back(SwitchKillSpec{sw->id(), ms(100), ms(400)});
+  FaultPlan plan{cfg};
+  plan.arm(topo);
+
+  // Seed a register so the restart wipe is observable.
+  sw->register_array("scratch", 4).write(2, 99);
+
+  auto agent = make_agent(nullptr);
+  agent.start();
+  sim.run_until(sim::SimTime::seconds(1));
+
+  EXPECT_EQ(plan.counters().switch_kills, 1);
+  EXPECT_EQ(plan.counters().switch_restarts, 1);
+  EXPECT_GT(sw->rx_dropped_offline(), 0);
+  EXPECT_TRUE(sw->online());
+  // Crash-restart lost the register state.
+  EXPECT_EQ(sw->find_register_array("scratch")->read(2), 0);
+  // Probes flowed again after the restart.
+  EXPECT_GT(collector->probes_received(), 10);
+}
+
+TEST_F(WiredFixture, ClockSkewAppliedOnArm) {
+  FaultPlanConfig cfg;
+  cfg.clock_skews.push_back(ClockSkewSpec{sw->id(), ms(7)});
+  FaultPlan plan{cfg};
+  plan.arm(topo);
+  EXPECT_EQ(sw->clock_skew(), ms(7));
+  EXPECT_EQ(sw->local_time(), sim.now() + ms(7));
+}
+
+TEST_F(WiredFixture, ArmMidRunClampsPastEventTimes) {
+  sim.run_until(ms(500));
+  FaultPlanConfig cfg;
+  cfg.link_flaps.push_back(
+      LinkFlapSpec{src->id(), sw->id(), ms(100), sim::SimTime::zero()});
+  FaultPlan plan{cfg};
+  EXPECT_NO_THROW(plan.arm(topo));  // down_at is already in the past
+  sim.run_until(ms(600));
+  EXPECT_FALSE(plan.link_up(src->id(), sw->id()));
+}
+
+// -- probe agent hooks --
+
+TEST_F(WiredFixture, AgentSuppressesDroppedProbes) {
+  FaultPlanConfig cfg;
+  cfg.probe.drop_probability = 1.0;
+  FaultPlan plan{cfg};
+  plan.arm(topo);
+  auto agent = make_agent(&plan);
+  agent.start();
+  sim.run_until(sim::SimTime::seconds(1));
+  EXPECT_EQ(agent.probes_sent(), 0);
+  EXPECT_GT(agent.probes_suppressed(), 15);
+  EXPECT_EQ(agent.probes_suppressed(), plan.counters().probes_dropped);
+  EXPECT_EQ(collector->probes_received(), 0);
+}
+
+TEST_F(WiredFixture, AgentDuplicatesProbes) {
+  FaultPlanConfig cfg;
+  cfg.probe.duplicate_probability = 1.0;
+  FaultPlan plan{cfg};
+  plan.arm(topo);
+  auto agent = make_agent(&plan);
+  agent.start();
+  sim.run_until(ms(501));
+  agent.stop();
+  sim.run_until(sim::SimTime::seconds(2));
+  // 11 timer fires (0..500 ms), each emitting the probe twice.
+  EXPECT_EQ(agent.probes_sent(), 22);
+  EXPECT_EQ(plan.counters().probes_duplicated, 11);
+  EXPECT_EQ(collector->probes_received(), 22);
+}
+
+TEST_F(WiredFixture, AgentDelaysProbesButDeliversThemAll) {
+  FaultPlanConfig cfg;
+  cfg.probe.delay_probability = 1.0;
+  cfg.probe.delay_min = ms(10);
+  cfg.probe.delay_max = ms(40);
+  FaultPlan plan{cfg};
+  plan.arm(topo);
+  auto agent = make_agent(&plan);
+  agent.start();
+  sim.run_until(ms(501));
+  agent.stop();  // cancels probes still sitting in the delay stage
+  sim.run_until(sim::SimTime::seconds(2));
+  EXPECT_EQ(plan.counters().probes_delayed, 11);
+  // Every probe that was emitted arrived; none emitted after stop().
+  EXPECT_EQ(collector->probes_received(), agent.probes_sent());
+  EXPECT_GE(agent.probes_sent(), 10);
+  EXPECT_LE(agent.probes_sent(), 11);
+}
+
+TEST_F(WiredFixture, StopCancelsDelayedProbes) {
+  FaultPlanConfig cfg;
+  cfg.probe.delay_probability = 1.0;
+  cfg.probe.delay_min = ms(200);
+  cfg.probe.delay_max = ms(400);
+  FaultPlan plan{cfg};
+  plan.arm(topo);
+  auto agent = make_agent(&plan);
+  agent.start();
+  sim.run_until(ms(101));  // 3 timer fires, all still in the delay stage
+  agent.stop();
+  sim.run_until(sim::SimTime::seconds(2));
+  EXPECT_EQ(agent.probes_sent(), 0);
+  EXPECT_EQ(collector->probes_received(), 0);
+}
+
+TEST_F(WiredFixture, NullPlanIsZeroCost) {
+  // The exact probe count of the fault-free path: nothing consumed any
+  // fault Rng stream and nothing was suppressed.
+  auto agent = make_agent(nullptr);
+  agent.start();
+  sim.run_until(sim::SimTime::seconds(1));
+  agent.stop();
+  sim.run_until(sim::SimTime::seconds(2));  // drain the in-flight probe
+  EXPECT_EQ(agent.probes_sent(), 21);
+  EXPECT_EQ(agent.probes_suppressed(), 0);
+  EXPECT_EQ(collector->probes_received(), 21);
+}
+
+}  // namespace
+}  // namespace intsched::net

@@ -117,6 +117,53 @@ TEST_F(ProbeFixture, RepeatedDeviceInStackRejected) {
   EXPECT_EQ(collector->malformed(), 1);
 }
 
+TEST_F(ProbeFixture, EmptyIntStackIsValidButUseless) {
+  // A probe whose INT stack was stripped (or that crossed no telemetry
+  // switches) still parses: it proves liveness even with no hop data.
+  net::Packet probe;
+  probe.src = server->id();
+  probe.dst = sched->id();
+  probe.geneve = net::GeneveOption{.type = net::kIntProbeOptionType};
+  EXPECT_TRUE(collector->handle_packet(probe));
+  EXPECT_EQ(collector->probes_received(), 1);
+  EXPECT_EQ(collector->malformed(), 0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].entries.empty());
+}
+
+TEST_F(ProbeFixture, TruncatedStackStillParses) {
+  // A stack that lost its tail mid-flight: remaining entries are usable.
+  net::Packet probe;
+  probe.src = server->id();
+  probe.dst = sched->id();
+  probe.geneve = net::GeneveOption{.type = net::kIntProbeOptionType};
+  net::IntStackEntry e;
+  e.device = sw->id();
+  probe.int_stack = {e};  // path actually had more hops
+  EXPECT_TRUE(collector->handle_packet(probe));
+  EXPECT_EQ(collector->malformed(), 0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].entries.size(), 1u);
+}
+
+TEST_F(ProbeFixture, NonConsecutiveRepeatAccepted) {
+  // [7, 8, 7] is a legal (if odd) forwarding loop; only back-to-back
+  // repeats are physically impossible and rejected.
+  net::Packet probe;
+  probe.src = server->id();
+  probe.dst = sched->id();
+  probe.geneve = net::GeneveOption{.type = net::kIntProbeOptionType};
+  net::IntStackEntry a, b, c;
+  a.device = 7;
+  b.device = 8;
+  c.device = 7;
+  probe.int_stack = {a, b, c};
+  EXPECT_TRUE(collector->handle_packet(probe));
+  EXPECT_EQ(collector->malformed(), 0);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].entries.size(), 3u);
+}
+
 TEST_F(ProbeFixture, SetIntervalRestartsTimer) {
   ProbeConfig cfg;
   cfg.interval = sim::SimTime::milliseconds(100);
