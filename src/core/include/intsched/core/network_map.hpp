@@ -2,11 +2,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "intsched/net/routing.hpp"
+#include "intsched/sim/audit.hpp"
 #include "intsched/sim/units.hpp"
 #include "intsched/telemetry/collector.hpp"
 
@@ -157,6 +159,14 @@ class NetworkMap {
 
   void learn_edge(net::NodeId from, net::NodeId to, std::int32_t out_port,
                   sim::SimTime delay_sample, sim::SimTime now);
+  /// Full-structure consistency walk, compiled in only under
+  /// INTSCHED_AUDIT (called after every ingest): every learned link
+  /// references nodes present in the inferred graph, and no freshness
+  /// stamp or telemetry sample postdates the newest ingest time seen.
+  /// `high_water` is that newest time — ingest() accepts out-of-order
+  /// timestamps (late stragglers), so the current call's `now` alone
+  /// would be too strict a bound.
+  void audit_invariants(sim::SimTime high_water) const;
   void record_queue(QueueSeries& series, sim::SimTime now,
                     std::int64_t value);
   [[nodiscard]] static std::int64_t max_in_window(const QueueSeries& series,
@@ -189,6 +199,11 @@ class NetworkMap {
   std::unordered_map<net::NodeId, QueueSeries> device_hop_latency_;  // ns
   std::int64_t reports_ = 0;
   std::int64_t rejected_ = 0;
+#if INTSCHED_AUDIT_ENABLED
+  /// Newest `now` ever passed to ingest(); audit bookkeeping only.
+  sim::SimTime audit_ingest_hw_ = sim::SimTime::nanoseconds(
+      std::numeric_limits<std::int64_t>::min());
+#endif
 };
 
 }  // namespace intsched::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "intsched/sim/audit.hpp"
+
 namespace intsched::core {
 
 sim::SimTime NetworkMap::window_cutoff(sim::SimTime now, sim::SimTime window) {
@@ -128,7 +130,60 @@ void NetworkMap::ingest(const telemetry::ProbeReport& report,
                report.final_link_latency, now);
     learn_edge(report.dst, upstream, 0, sim::SimTime::nanoseconds(-1), now);
   }
+
+#if INTSCHED_AUDIT_ENABLED
+  audit_ingest_hw_ = std::max(audit_ingest_hw_, now);
+  audit_invariants(audit_ingest_hw_);
+#endif
 }
+
+#if INTSCHED_AUDIT_ENABLED
+void NetworkMap::audit_invariants(sim::SimTime high_water) const {
+  // Order-insensitive walk: every check is per-entry, so hash order is
+  // immaterial here. intsched-lint: allow(unordered-iter)
+  for (const auto& [key, est] : link_delay_) {
+    INTSCHED_AUDIT_ASSERT(
+        key.from != net::kInvalidNode && key.to != net::kInvalidNode,
+        "NetworkMap learned a link with an invalid endpoint");
+    INTSCHED_AUDIT_ASSERT(key.from != key.to,
+                          "NetworkMap learned a self-loop link");
+    INTSCHED_AUDIT_ASSERT(
+        graph_.has_node(key.from) && graph_.has_node(key.to),
+        "link_delay_ references a node missing from the inferred graph");
+    INTSCHED_AUDIT_ASSERT(
+        !est.measured || est.measured_at <= high_water,
+        "link freshness stamp postdates every ingest seen");
+    INTSCHED_AUDIT_ASSERT(est.jitter >= sim::SimTime::zero(),
+                          "negative jitter estimate");
+  }
+  // intsched-lint: allow(unordered-iter)
+  for (const auto& [key, port] : link_port_) {
+    INTSCHED_AUDIT_ASSERT(port >= 0, "learned egress port is negative");
+    INTSCHED_AUDIT_ASSERT(
+        link_delay_.contains(key),
+        "link_port_ entry without a matching delay estimate");
+  }
+  // Samples are appended in *arrival* order, and ingest() accepts late
+  // stragglers, so the series need not be time-sorted; what must hold is
+  // that no sample postdates the newest ingest and values are sane.
+  const auto audit_series = [high_water](const QueueSeries& series) {
+    for (const auto& [t, v] : series.samples) {
+      INTSCHED_AUDIT_ASSERT(
+          t <= high_water,
+          "telemetry sample postdates every ingest seen");
+      INTSCHED_AUDIT_ASSERT(v >= 0, "negative queue-occupancy sample");
+    }
+  };
+  // intsched-lint: allow(unordered-iter)
+  for (const auto& [key, series] : port_queue_) audit_series(series);
+  // intsched-lint: allow(unordered-iter)
+  for (const auto& [key, series] : device_queue_) audit_series(series);
+  // intsched-lint: allow(unordered-iter)
+  for (const auto& [key, series] : device_avg_queue_) audit_series(series);
+  // intsched-lint: allow(unordered-iter)
+  for (const auto& [key, series] : device_hop_latency_) audit_series(series);
+}
+#endif
 
 bool NetworkMap::link_stale(net::NodeId from, net::NodeId to,
                             sim::SimTime now) const {
@@ -168,8 +223,19 @@ sim::SimTime NetworkMap::link_jitter(net::NodeId from,
 }
 
 net::Graph NetworkMap::delay_graph() const {
+  // The snapshot feeds Dijkstra and, through it, candidate rankings.
+  // Materialize the hash-map keys and sort so the emitted adjacency lists
+  // are identical across rehashes and insertion histories — hash order
+  // must never reach ranking or report output.
+  std::vector<LinkKey> keys;
+  keys.reserve(link_delay_.size());
+  // intsched-lint: allow(unordered-iter)
+  for (const auto& [key, _] : link_delay_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(), [](const LinkKey& a, const LinkKey& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
   net::Graph g;
-  for (const auto& [key, _] : link_delay_) {
+  for (const LinkKey& key : keys) {
     const auto port = link_port_.find(key);
     g.add_edge(key.from, key.to,
                port == link_port_.end() ? -1 : port->second,

@@ -168,6 +168,8 @@ SchedulerClient::SchedulerClient(transport::HostStack& stack,
 SchedulerClient::~SchedulerClient() {
   // Retry timers and the reply-port handler capture `this`; tear both
   // down so destroying a client with in-flight queries is safe.
+  // Each cancel targets an independent timer; order-insensitive.
+  // intsched-lint: allow(unordered-iter)
   for (auto& [id, pending] : pending_) {
     stack_.simulator().cancel(pending.retry_timer);
   }

@@ -1,8 +1,8 @@
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -63,8 +63,9 @@ class Fig4Network {
   /// Probe-route optimization (the paper's §III-A future work): greedily
   /// assigns each probing host at most one waypoint so the union of probe
   /// paths covers every directed switch-to-switch link. Returns waypoint
-  /// lists per host id (empty list = default shortest path).
-  [[nodiscard]] std::unordered_map<net::NodeId, std::vector<net::NodeId>>
+  /// lists per host id (empty list = default shortest path). Ordered map
+  /// so iterating the plan (probe scheduling, reports) is deterministic.
+  [[nodiscard]] std::map<net::NodeId, std::vector<net::NodeId>>
   plan_probe_routes() const;
 
   /// Full node sequence a probe from `host` takes through `waypoints` to

@@ -68,7 +68,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     const auto route_plan =
         config.optimize_probe_routes
             ? network.plan_probe_routes()
-            : std::unordered_map<net::NodeId, std::vector<net::NodeId>>{};
+            : std::map<net::NodeId, std::vector<net::NodeId>>{};
     std::int64_t idx = 0;
     const auto n =
         static_cast<std::int64_t>(network.hosts().size() - 1);

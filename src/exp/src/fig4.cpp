@@ -103,7 +103,7 @@ std::vector<net::NodeId> Fig4Network::probe_route(
   return full;
 }
 
-std::unordered_map<net::NodeId, std::vector<net::NodeId>>
+std::map<net::NodeId, std::vector<net::NodeId>>
 Fig4Network::plan_probe_routes() const {
   const net::NodeId sink = scheduler_host().id();
   std::set<std::pair<net::NodeId, net::NodeId>> uncovered = switch_links();
@@ -128,7 +128,7 @@ Fig4Network::plan_probe_routes() const {
         return gain;
       };
 
-  std::unordered_map<net::NodeId, std::vector<net::NodeId>> plan;
+  std::map<net::NodeId, std::vector<net::NodeId>> plan;
   // Greedy: per probing host, pick the waypoint list (none, one switch,
   // or an ordered pair — pairs allow hairpins like visiting the far side
   // of a ring and returning) that covers the most still-uncovered links.

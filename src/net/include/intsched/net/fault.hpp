@@ -122,6 +122,10 @@ class FaultPlan {
   [[nodiscard]] const FaultCounters& counters() const { return counters_; }
 
  private:
+  /// Ledger conservation checks (active only under INTSCHED_AUDIT):
+  /// counters never go negative, every restart had a prior kill, every
+  /// link-up had a prior link-down. Called after each counter mutation.
+  void audit_ledger() const;
   static std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
     return a < b ? std::pair{a, b} : std::pair{b, a};
   }

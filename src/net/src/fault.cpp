@@ -3,8 +3,31 @@
 #include <algorithm>
 
 #include "intsched/net/topology.hpp"
+#include "intsched/sim/audit.hpp"
 
 namespace intsched::net {
+
+#if INTSCHED_AUDIT_ENABLED
+void FaultPlan::audit_ledger() const {
+  const FaultCounters& c = counters_;
+  INTSCHED_AUDIT_ASSERT(
+      c.probes_dropped >= 0 && c.probes_delayed >= 0 &&
+          c.probes_duplicated >= 0 && c.packets_lost_link_down >= 0,
+      "fault ledger counter went negative");
+  INTSCHED_AUDIT_ASSERT(
+      c.switch_restarts <= c.switch_kills,
+      "fault ledger records a switch restart without a prior kill");
+  INTSCHED_AUDIT_ASSERT(
+      c.link_up_events <= c.link_down_events,
+      "fault ledger records a link-up without a prior link-down");
+  INTSCHED_AUDIT_ASSERT(
+      static_cast<std::int64_t>(down_links_.size()) ==
+          c.link_down_events - c.link_up_events,
+      "down-link set size disagrees with the flap ledger");
+}
+#else
+void FaultPlan::audit_ledger() const {}
+#endif
 
 FaultPlan::FaultPlan(FaultPlanConfig config)
     : cfg_{std::move(config)},
@@ -40,11 +63,13 @@ void FaultPlan::arm(Topology& topo) {
     sim.schedule_at(at_or_now(kill.kill_at), [this, &node] {
       node.set_online(false);
       ++counters_.switch_kills;
+      audit_ledger();
     });
     if (kill.restart_at > kill.kill_at) {
       sim.schedule_at(at_or_now(kill.restart_at), [this, &node] {
         node.set_online(true);
         ++counters_.switch_restarts;
+        audit_ledger();
       });
     }
   }
@@ -56,14 +81,20 @@ void FaultPlan::arm(Topology& topo) {
 bool FaultPlan::should_drop_probe() {
   if (cfg_.probe.drop_probability <= 0.0) return false;
   const bool drop = drop_rng_.chance(cfg_.probe.drop_probability);
-  if (drop) ++counters_.probes_dropped;
+  if (drop) {
+    ++counters_.probes_dropped;
+    audit_ledger();
+  }
   return drop;
 }
 
 bool FaultPlan::should_duplicate_probe() {
   if (cfg_.probe.duplicate_probability <= 0.0) return false;
   const bool dup = dup_rng_.chance(cfg_.probe.duplicate_probability);
-  if (dup) ++counters_.probes_duplicated;
+  if (dup) {
+    ++counters_.probes_duplicated;
+    audit_ledger();
+  }
   return dup;
 }
 
@@ -71,6 +102,7 @@ std::optional<sim::SimTime> FaultPlan::probe_delay() {
   if (cfg_.probe.delay_probability <= 0.0) return std::nullopt;
   if (!delay_rng_.chance(cfg_.probe.delay_probability)) return std::nullopt;
   ++counters_.probes_delayed;
+  audit_ledger();
   return sim::SimTime::nanoseconds(delay_rng_.uniform_int(
       cfg_.probe.delay_min.ns(), cfg_.probe.delay_max.ns()));
 }
@@ -87,6 +119,7 @@ void FaultPlan::set_link_state(NodeId a, NodeId b, bool up) {
       ++counters_.link_down_events;
     }
   }
+  audit_ledger();
 }
 
 }  // namespace intsched::net

@@ -14,6 +14,8 @@ void Graph::add_edge(NodeId from, NodeId to, std::int32_t out_port,
 std::vector<NodeId> Graph::nodes() const {
   std::vector<NodeId> out;
   out.reserve(adjacency.size());
+  // Sorted before return: hash order never escapes this function.
+  // intsched-lint: allow(unordered-iter)
   for (const auto& [n, _] : adjacency) out.push_back(n);
   std::sort(out.begin(), out.end());
   return out;

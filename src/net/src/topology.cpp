@@ -18,6 +18,9 @@ void Topology::install_routes() {
   paths_.clear();
   for (const auto& node : nodes_) {
     ShortestPaths sp = dijkstra(graph_, node->id());
+    // Each set_route writes an independent per-destination table slot;
+    // the final routing state is identical for any visit order.
+    // intsched-lint: allow(unordered-iter)
     for (const auto& [dst, port] : sp.first_hop_port) {
       node->set_route(dst, port);
     }

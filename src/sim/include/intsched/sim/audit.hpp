@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+/// INTSCHED_AUDIT compile-time mode.
+///
+/// When the build defines INTSCHED_AUDIT (the `audit` CMake preset),
+/// INTSCHED_AUDIT_ASSERT compiles to a checked invariant: on violation it
+/// prints the site and message to stderr and aborts, which both gtest
+/// death tests and sanitizers surface cleanly. In normal builds the macro
+/// compiles to nothing — the condition is NOT evaluated — so audit checks
+/// may be arbitrarily expensive (full-graph walks per ingest) without
+/// taxing release hot paths. Hoist any computation a check needs under
+/// `#if INTSCHED_AUDIT_ENABLED` so non-audit builds never pay for or warn
+/// about it.
+///
+/// Audited invariants (see DESIGN.md "Static analysis & invariants"):
+///   - event-queue/simulator time monotonicity,
+///   - NetworkMap graph consistency (edges reference known nodes,
+///     freshness stamps and queue samples never postdate the newest
+///     ingest),
+///   - INT-stack hop-order sanity at the collector,
+///   - fault-ledger conservation (restarts <= kills, ups <= downs, ...).
+#if defined(INTSCHED_AUDIT)
+#define INTSCHED_AUDIT_ENABLED 1
+#else
+#define INTSCHED_AUDIT_ENABLED 0
+#endif
+
+namespace intsched::sim::audit {
+
+/// Number of audit checks evaluated so far in this process; always 0 in
+/// non-audit builds. Lets tests prove the instrumentation is live.
+[[nodiscard]] std::int64_t checks_executed();
+
+namespace detail {
+void note_check();
+[[noreturn]] void fail(const char* file, int line, const char* expr,
+                       const char* message);
+}  // namespace detail
+
+}  // namespace intsched::sim::audit
+
+#if INTSCHED_AUDIT_ENABLED
+#define INTSCHED_AUDIT_ASSERT(cond, msg)                                    \
+  do {                                                                      \
+    ::intsched::sim::audit::detail::note_check();                           \
+    if (!(cond)) {                                                          \
+      ::intsched::sim::audit::detail::fail(__FILE__, __LINE__, #cond, msg); \
+    }                                                                       \
+  } while (false)
+#else
+#define INTSCHED_AUDIT_ASSERT(cond, msg) \
+  do {                                   \
+  } while (false)
+#endif

@@ -63,6 +63,9 @@ class EventQueue {
   std::unordered_map<std::uint64_t, Callback> callbacks_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
+  /// Time of the most recent pop; audit mode asserts pops never go
+  /// backwards (the queue-level half of simulator clock monotonicity).
+  SimTime last_popped_ = SimTime::zero();
 };
 
 }  // namespace intsched::sim

@@ -1,0 +1,33 @@
+#include "intsched/sim/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace intsched::sim::audit {
+
+namespace {
+// The simulator is single-threaded by design (see Simulator's class
+// comment), so a plain counter is sufficient.
+std::int64_t g_checks = 0;
+}  // namespace
+
+std::int64_t checks_executed() { return g_checks; }
+
+namespace detail {
+
+void note_check() { ++g_checks; }
+
+void fail(const char* file, int line, const char* expr,
+          const char* message) {
+  std::fprintf(stderr,
+               "\n[intsched-audit] invariant violated at %s:%d\n"
+               "  check:   %s\n"
+               "  meaning: %s\n",
+               file, line, expr, message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace intsched::sim::audit

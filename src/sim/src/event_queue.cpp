@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "intsched/sim/audit.hpp"
+
 namespace intsched::sim {
 
 EventId EventQueue::push(SimTime at, Callback cb) {
@@ -22,14 +24,22 @@ void EventQueue::drop_cancelled_front() const {
 SimTime EventQueue::next_time() const {
   drop_cancelled_front();
   assert(!heap_.empty() && "next_time() on empty queue");
+  INTSCHED_AUDIT_ASSERT(!heap_.empty(),
+                        "next_time() requires a pending event");
   return heap_.top().at;
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
   drop_cancelled_front();
   assert(!heap_.empty() && "pop() on empty queue");
+  INTSCHED_AUDIT_ASSERT(!heap_.empty(), "pop() requires a pending event");
   const Entry entry = heap_.top();
   heap_.pop();
+  INTSCHED_AUDIT_ASSERT(
+      entry.at >= last_popped_,
+      "event-queue time went backwards: a popped event predates an "
+      "already-executed one");
+  last_popped_ = entry.at;
   auto it = callbacks_.find(entry.id);
   Callback cb = std::move(it->second);
   callbacks_.erase(it);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "intsched/sim/audit.hpp"
 #include "intsched/sim/strfmt.hpp"
 
 namespace intsched::sim {
@@ -83,6 +84,8 @@ std::int64_t Simulator::run_until(SimTime deadline) {
     if (queue_.next_time() > deadline) break;
     auto [at, cb] = queue_.pop();
     assert(at >= now_ && "event queue went backwards");
+    INTSCHED_AUDIT_ASSERT(at >= now_,
+                          "simulator clock must advance monotonically");
     now_ = at;
     cb();
     ++executed;

@@ -1,5 +1,7 @@
 #include "intsched/telemetry/collector.hpp"
 
+#include "intsched/sim/audit.hpp"
+
 namespace intsched::telemetry {
 
 bool IntCollector::handle_packet(const net::Packet& p) {
@@ -32,6 +34,22 @@ bool IntCollector::handle_packet(const net::Packet& p) {
 
   ++received_;
   entries_ += static_cast<std::int64_t>(report.entries.size());
+
+#if INTSCHED_AUDIT_ENABLED
+  // INT-stack hop-order sanity: every report handed to the subscriber
+  // satisfies the traversal-order contract the NetworkMap builds on. The
+  // depth bound comes from the packet TTL: each switch decrements the TTL
+  // once per entry it appends, so a longer stack means a forwarding bug.
+  INTSCHED_AUDIT_ASSERT(report.entries.size() <= 64,
+                        "INT stack deeper than the TTL allows");
+  for (std::size_t i = 1; i < report.entries.size(); ++i) {
+    INTSCHED_AUDIT_ASSERT(
+        report.entries[i].device != report.entries[i - 1].device,
+        "INT stack has adjacent duplicate devices past the malformed "
+        "filter");
+  }
+#endif
+
   if (handler_) handler_(report);
   return true;
 }

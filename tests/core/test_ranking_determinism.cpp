@@ -1,0 +1,129 @@
+// Ranking tie-break determinism: equal-metric candidates must rank in the
+// documented stable order (ascending server id) no matter how the
+// NetworkMap's hash tables happened to be populated or rehashed, and no
+// matter the order the candidate list arrives in. This is the contract
+// that keeps same-seed experiment reports byte-identical.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "intsched/core/network_map.hpp"
+#include "intsched/core/ranking.hpp"
+
+namespace intsched::core {
+namespace {
+
+sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+
+net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
+                         std::int32_t out_port, std::int64_t q,
+                         sim::SimTime latency) {
+  net::IntStackEntry e;
+  e.device = device;
+  e.ingress_port = in_port;
+  e.egress_port = out_port;
+  e.max_queue_pkts = q;
+  e.device_max_queue_pkts = q;
+  e.ingress_link_latency = latency;
+  return e;
+}
+
+/// One probe teaching the map the path: host 0 -> switch 10 -> `server`.
+telemetry::ProbeReport star_probe(net::NodeId server, std::int64_t q) {
+  telemetry::ProbeReport r;
+  r.src = 0;
+  r.dst = server;
+  r.entries = {entry(10, 0, static_cast<std::int32_t>(server), q, ms(10))};
+  r.final_link_latency = ms(10);
+  return r;
+}
+
+/// Star topology with identical spokes: every server in `servers` sits one
+/// identical hop behind switch 10, so all delay and bandwidth estimates
+/// tie exactly. Probes are ingested in the order given, which controls the
+/// hash maps' insertion history.
+NetworkMap make_star(const std::vector<net::NodeId>& servers,
+                     std::int64_t q = 0) {
+  NetworkMap map;
+  for (const net::NodeId s : servers) map.ingest(star_probe(s, q), ms(0));
+  return map;
+}
+
+std::vector<net::NodeId> ranked_ids(const NetworkMap& map,
+                                    const std::vector<net::NodeId>& cands,
+                                    RankingMetric metric) {
+  Ranker ranker{map};
+  std::vector<net::NodeId> ids;
+  for (const ServerRank& r : ranker.rank(0, cands, metric, ms(10))) {
+    ids.push_back(r.server);
+  }
+  return ids;
+}
+
+TEST(RankingDeterminismTest, EqualDelayTiesBreakAscendingByServerId) {
+  const std::vector<net::NodeId> servers{5, 3, 4, 1, 2};
+  NetworkMap map = make_star(servers);
+  EXPECT_EQ(ranked_ids(map, servers, RankingMetric::kDelay),
+            (std::vector<net::NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST(RankingDeterminismTest, EqualBandwidthTiesBreakAscendingByServerId) {
+  const std::vector<net::NodeId> servers{4, 2, 5, 1, 3};
+  NetworkMap map = make_star(servers, 3);  // equal congestion everywhere
+  EXPECT_EQ(ranked_ids(map, servers, RankingMetric::kBandwidth),
+            (std::vector<net::NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST(RankingDeterminismTest, OrderIndependentOfCandidateListOrder) {
+  const std::vector<net::NodeId> servers{1, 2, 3, 4, 5};
+  NetworkMap map = make_star(servers);
+  const std::vector<net::NodeId> reference =
+      ranked_ids(map, servers, RankingMetric::kDelay);
+  // Every permutation of a 5-element candidate list must rank identically.
+  std::vector<net::NodeId> perm = servers;
+  do {
+    EXPECT_EQ(ranked_ids(map, perm, RankingMetric::kDelay), reference);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(RankingDeterminismTest, OrderIndependentOfIngestInsertionOrder) {
+  // Same topology taught in opposite probe orders: the hash maps end up
+  // with different bucket layouts, but ranking must not notice.
+  std::vector<net::NodeId> fwd{1, 2, 3, 4, 5};
+  std::vector<net::NodeId> rev{5, 4, 3, 2, 1};
+  NetworkMap a = make_star(fwd);
+  NetworkMap b = make_star(rev);
+  EXPECT_EQ(ranked_ids(a, fwd, RankingMetric::kDelay),
+            ranked_ids(b, fwd, RankingMetric::kDelay));
+  EXPECT_EQ(ranked_ids(a, fwd, RankingMetric::kBandwidth),
+            ranked_ids(b, fwd, RankingMetric::kBandwidth));
+}
+
+TEST(RankingDeterminismTest, OrderSurvivesRehash) {
+  const std::vector<net::NodeId> servers{5, 3, 4, 1, 2};
+  NetworkMap map = make_star(servers);
+  const std::vector<net::NodeId> before =
+      ranked_ids(map, servers, RankingMetric::kDelay);
+  // Flood the map with unrelated spokes so its unordered_maps grow well
+  // past their initial bucket counts and rehash; none of the new nodes is
+  // on a candidate path, so the ranking inputs are unchanged.
+  for (net::NodeId extra = 100; extra < 400; ++extra) {
+    map.ingest(star_probe(extra, 0), ms(0));
+  }
+  EXPECT_EQ(ranked_ids(map, servers, RankingMetric::kDelay), before);
+  EXPECT_EQ(before, (std::vector<net::NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST(RankingDeterminismTest, UnreachableCandidatesTieBreakToo) {
+  // Unreachable servers all tie at delay = max(); they must still appear
+  // in ascending-id order after the reachable ones.
+  NetworkMap map = make_star({1, 2});
+  const std::vector<net::NodeId> cands{9, 2, 8, 1, 7};
+  EXPECT_EQ(ranked_ids(map, cands, RankingMetric::kDelay),
+            (std::vector<net::NodeId>{1, 2, 7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace intsched::core

@@ -1,0 +1,26 @@
+// Corpus: order-sensitive floating-point accumulation over a hash map.
+// The loop itself is one finding; the += inside it is a second.
+#include <cstdint>
+#include <unordered_map>
+
+struct Stats {
+  std::unordered_map<std::int64_t, double> samples_;
+
+  [[nodiscard]] double total() const {
+    double sum = 0.0;
+    for (const auto& [id, v] : samples_) {  // expect(unordered-iter)
+      sum += v;  // expect(float-accum)
+    }
+    return sum;
+  }
+
+  [[nodiscard]] double mean() const {
+    double acc = 0.0;
+    std::int64_t n = 0;
+    for (const auto& kv : samples_) {  // expect(unordered-iter)
+      acc += kv.second;  // expect(float-accum)
+      ++n;  // integer counting is order-insensitive: no finding here
+    }
+    return n == 0 ? 0.0 : acc / static_cast<double>(n);
+  }
+};

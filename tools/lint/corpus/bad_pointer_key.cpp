@@ -1,0 +1,15 @@
+// Corpus: ordering keyed on raw pointer values — the order is whatever the
+// allocator handed out, which varies run to run (and under ASLR).
+#include <map>
+#include <set>
+
+struct Node {
+  int id = 0;
+};
+
+std::map<Node*, int> owners;  // expect(pointer-key)
+std::set<const Node*> live;  // expect(pointer-key)
+
+bool bad_less() {
+  return std::less<Node*>{}(nullptr, nullptr);  // expect(pointer-key)
+}

@@ -1,0 +1,45 @@
+// Corpus: hash-ordered iteration feeding ordered output. Every line marked
+// expect(<rule>) must be reported by detlint; nothing else may be.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Report {
+  void add_row(const std::string& s);
+};
+
+class Table {
+ public:
+  std::unordered_map<std::int64_t, double> cells_;
+  std::unordered_set<std::string> names_;
+  [[nodiscard]] std::unordered_map<std::int64_t, double> snapshot() const;
+};
+
+using LoadMap = std::unordered_map<std::int64_t, std::int64_t>;
+
+void print_cells(const Table& t, Report& out) {
+  for (const auto& [id, value] : t.cells_) {  // expect(unordered-iter)
+    out.add_row(std::to_string(id) + " " + std::to_string(value));
+  }
+}
+
+void print_names(const Table* t, Report& out) {
+  for (const std::string& n : t->names_) {  // expect(unordered-iter)
+    out.add_row(n);
+  }
+}
+
+void print_snapshot(const Table& t, Report& out) {
+  for (const auto& [id, value] : t.snapshot()) {  // expect(unordered-iter)
+    out.add_row(std::to_string(id));
+  }
+}
+
+void print_alias(const LoadMap& loads, Report& out) {
+  LoadMap local = loads;
+  for (const auto& kv : local) {  // expect(unordered-iter)
+    out.add_row(std::to_string(kv.first));
+  }
+}

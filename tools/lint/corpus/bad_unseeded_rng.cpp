@@ -1,0 +1,26 @@
+// Corpus: nondeterministic randomness. Every random draw must come from a
+// named sim::Rng stream derived from the experiment's master seed.
+#include <cstdlib>
+#include <random>
+
+int bad_c_rand() {
+  srand(42);  // expect(unseeded-rng)
+  return rand();  // expect(unseeded-rng)
+}
+
+int bad_random_device() {
+  std::random_device rd;  // expect(unseeded-rng)
+  return static_cast<int>(rd());
+}
+
+int bad_default_engines() {
+  std::mt19937 gen;  // expect(unseeded-rng)
+  std::mt19937_64 gen64;  // expect(unseeded-rng)
+  std::default_random_engine eng;  // expect(unseeded-rng)
+  return static_cast<int>(gen() + gen64() + eng());
+}
+
+int ok_seeded_engine(std::uint64_t seed) {
+  std::mt19937 gen{static_cast<std::uint32_t>(seed)};  // seeded: fine
+  return static_cast<int>(gen());
+}

@@ -1,0 +1,22 @@
+// Corpus: wall-clock reads. Simulation code must derive every timestamp
+// from sim::SimTime so paired experiment arms replay identically.
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+std::int64_t bad_chrono_now() {
+  const auto t =
+      std::chrono::steady_clock::now();  // expect(wall-clock)
+  const auto u =
+      std::chrono::system_clock::now();  // expect(wall-clock)
+  return t.time_since_epoch().count() + u.time_since_epoch().count();
+}
+
+std::int64_t bad_ctime() {
+  std::int64_t acc = 0;
+  acc += time(nullptr);  // expect(wall-clock)
+  acc += static_cast<std::int64_t>(clock());  // expect(wall-clock)
+  struct timespec ts {};
+  clock_gettime(0, &ts);  // expect(wall-clock)
+  return acc + ts.tv_sec;
+}

@@ -1,0 +1,57 @@
+// Corpus: patterns that must NOT be reported — ordered containers, sorted
+// snapshots of hash maps, seeded engines, and SimTime-style clocks.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Row {
+  std::int64_t id = 0;
+  double value = 0.0;
+};
+
+class CleanTable {
+ public:
+  // Iterating a std::map is deterministic: key order.
+  [[nodiscard]] double ordered_total() const {
+    double sum = 0.0;
+    for (const auto& [id, v] : ordered_) {
+      sum += v;
+    }
+    return sum;
+  }
+
+  // The deterministic way to report a hash map: materialize, sort, emit.
+  [[nodiscard]] std::vector<Row> sorted_rows() const {
+    std::vector<Row> rows;
+    rows.reserve(cells_.size());
+    // intsched-lint: allow(unordered-iter)
+    for (const auto& [id, v] : cells_) {
+      rows.push_back(Row{id, v});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.id < b.id; });
+    return rows;
+  }
+
+  // Point lookups into hash maps are always fine; only iteration order is
+  // hazardous.
+  [[nodiscard]] double lookup(std::int64_t id) const {
+    const auto it = cells_.find(id);
+    return it == cells_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::map<std::int64_t, double> ordered_;
+  std::unordered_map<std::int64_t, double> cells_;
+};
+
+// A local clock abstraction named like the C API must not trip wall-clock.
+struct FakeClock {
+  std::int64_t now_ns = 0;
+  [[nodiscard]] std::int64_t local_time() const { return now_ns; }
+};
+
+std::int64_t virtual_time(const FakeClock& c) { return c.local_time(); }

@@ -1,0 +1,26 @@
+// Corpus: suppression syntax. Both same-line and previous-line allow()
+// annotations must silence the finding; unrelated rules stay active.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Registry {
+  std::unordered_map<std::int64_t, std::int64_t> counters_;
+  std::unordered_set<std::int64_t> members_;
+
+  // Order-insensitive reset: every value is overwritten independently.
+  void reset_all() {
+    // intsched-lint: allow(unordered-iter)
+    for (auto& [id, value] : counters_) {
+      value = 0;
+    }
+  }
+
+  [[nodiscard]] std::int64_t cardinality_sum() const {
+    std::int64_t total = 0;  // integer sum: order-insensitive by design
+    for (const auto id : members_) {  // intsched-lint: allow(unordered-iter)
+      total += id;
+    }
+    return total;
+  }
+};

@@ -1,0 +1,518 @@
+#!/usr/bin/env python3
+"""intsched determinism linter.
+
+Flags C++ constructs that can silently break the repo's byte-identical
+same-seed reproducibility contract (see DESIGN.md "Static analysis &
+invariants"):
+
+  unordered-iter   range-for over a std::unordered_{map,set,...} variable.
+                   Hash-map iteration order depends on libstdc++ version,
+                   insertion history, and rehash points; any such loop that
+                   feeds rankings, reports, or serialization is a
+                   reproducibility bug.
+  float-accum      floating-point `+=` accumulation inside an unordered
+                   iteration: even with a deterministic final set, the
+                   *order* of FP additions changes the rounded result.
+  wall-clock       std::chrono::{system,steady,high_resolution}_clock::now,
+                   time(nullptr), clock(), gettimeofday, localtime/gmtime.
+                   Simulation code must use sim::SimTime exclusively.
+  unseeded-rng     rand()/srand(), std::random_device, default-constructed
+                   std::mt19937/std::default_random_engine. All randomness
+                   must flow through named, seeded sim::Rng streams.
+  pointer-key      std::map/std::set keyed (or ordered) by a raw pointer:
+                   the order is the allocator's, not the program's.
+
+Suppression: append `// intsched-lint: allow(<rule>[, <rule>...])` to the
+offending line or the line directly above it. Suppressions are deliberate
+review-visible annotations — use them only when the iteration order
+provably cannot reach any ordered output (and say why in a comment).
+
+Engines: `--engine clang` uses libclang (python3-clang) for type-accurate
+unordered-iter detection; `--engine regex` is a dependency-free fallback;
+`--engine auto` (default) picks clang when importable, regex otherwise.
+The text rules (wall-clock, unseeded-rng, pointer-key) are regex in both
+engines.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+RULES = (
+    "unordered-iter",
+    "float-accum",
+    "wall-clock",
+    "unseeded-rng",
+    "pointer-key",
+)
+
+CXX_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".ipp")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:multi)?(?:map|set)\s*<")
+# `using Name = std::unordered_map<...>` / `typedef ... Name;`
+ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*std::unordered_(?:multi)?(?:map|set)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+(\w+)\s*(?:=|;|\{)")
+ALLOW_RE = re.compile(r"//.*?\bintsched-lint:\s*allow\(([^)]*)\)")
+EXPECT_RE = re.compile(r"//.*?\bexpect\((\w[\w-]*)\)")
+
+TEXT_RULES: Sequence[Tuple[str, re.Pattern, str]] = (
+    ("wall-clock",
+     re.compile(r"std::chrono::(?:system|steady|high_resolution)_clock"
+                r"\s*::\s*now"),
+     "wall-clock read; simulation code must use sim::SimTime"),
+    ("wall-clock",
+     re.compile(r"(?<![\w.>:])time\s*\(\s*(?:NULL|nullptr|0|&)"),
+     "time() wall-clock read"),
+    ("wall-clock",
+     re.compile(r"(?<![\w.>:])(?:clock|clock_gettime|gettimeofday|"
+                r"localtime|localtime_r|gmtime|gmtime_r)\s*\("),
+     "C wall-clock API"),
+    ("unseeded-rng",
+     re.compile(r"(?<![\w.>:])s?rand\s*\("),
+     "rand()/srand(); use a named sim::Rng stream"),
+    ("unseeded-rng",
+     re.compile(r"std::random_device"),
+     "std::random_device is nondeterministic entropy"),
+    ("unseeded-rng",
+     re.compile(r"std::(?:mt19937(?:_64)?|default_random_engine|minstd_rand0?)"
+                r"\s+\w+\s*(?:;|\{\s*\})"),
+     "default-constructed std engine; seed it from the experiment seed "
+     "or use sim::Rng"),
+    ("pointer-key",
+     re.compile(r"std::(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?"
+                r"[\w:]+(?:\s*<[^<>]*>)?\s*\*"),
+     "ordered container keyed by raw pointer: ordering is the "
+     "allocator's, not the program's"),
+    ("pointer-key",
+     re.compile(r"std::less\s*<\s*(?:const\s+)?[\w:]+\s*\*\s*>"),
+     "std::less over raw pointers"),
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving offsets
+    (every replaced character becomes a space, newlines survive)."""
+    out = list(text)
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = i
+            while j < n and text[j] != "\n":
+                out[j] = " "
+                j += 1
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = i
+            while j < n - 1 and not (text[j] == "*" and text[j + 1] == "/"):
+                if text[j] != "\n":
+                    out[j] = " "
+                j += 1
+            if j < n - 1:
+                out[j] = out[j + 1] = " "
+                j += 2
+            i = j
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            for k in range(i, min(j + 1, n)):
+                if text[k] != "\n":
+                    out[k] = " "
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def match_angle_brackets(text: str, open_idx: int) -> int:
+    """Given index of '<', returns index just past its matching '>'.
+    Returns -1 when unbalanced (macro soup etc.)."""
+    depth = 0
+    i = open_idx
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return -1  # gave up: not a template argument list
+        i += 1
+    return -1
+
+
+IDENT_AFTER_TYPE_RE = re.compile(r"\s*[&*]*\s*([A-Za-z_]\w*)")
+
+
+def collect_unordered_names(stripped: str) -> Set[str]:
+    """Names of variables/members/functions declared with an unordered
+    container type (or an alias of one) in this translation unit."""
+    names: Set[str] = set()
+    aliases: Set[str] = set()
+    for m in ALIAS_RE.finditer(stripped):
+        aliases.add(m.group(1))
+
+    def harvest(type_end: int) -> None:
+        m = IDENT_AFTER_TYPE_RE.match(stripped, type_end)
+        if m:
+            names.add(m.group(1))
+
+    for m in UNORDERED_DECL_RE.finditer(stripped):
+        open_idx = stripped.index("<", m.start())
+        end = match_angle_brackets(stripped, open_idx)
+        if end > 0:
+            harvest(end)
+    for alias in aliases:
+        for m in re.finditer(rf"\b{alias}\s+", stripped):
+            # skip the alias definition itself
+            if stripped[max(0, m.start() - 8):m.start()].rstrip().endswith(
+                    "using"):
+                continue
+            harvest(m.end() - 1)
+    return names
+
+
+LAST_IDENT_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:\(\s*\))?\s*$")
+
+
+def range_expr_target(expr: str) -> Optional[str]:
+    """Final identifier of a range expression: `map_->link_delay_` ->
+    `link_delay_`, `obj.plan()` -> `plan`, `(*p).items` -> `items`."""
+    m = LAST_IDENT_RE.search(expr.strip())
+    return m.group(1) if m else None
+
+
+def find_matching_paren(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def loop_body_span(stripped: str, after_paren: int) -> Tuple[int, int]:
+    """(start, end) offsets of the loop body following `for (...)`."""
+    i = after_paren
+    n = len(stripped)
+    while i < n and stripped[i].isspace():
+        i += 1
+    if i < n and stripped[i] == "{":
+        depth = 0
+        for j in range(i, n):
+            if stripped[j] == "{":
+                depth += 1
+            elif stripped[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    return (i, j + 1)
+        return (i, n)
+    # single-statement body
+    j = stripped.find(";", i)
+    return (i, j + 1 if j >= 0 else n)
+
+
+def regex_file_findings(path: str, text: str,
+                        pool: Optional[Set[str]] = None) -> List[Finding]:
+    """`pool` is the cross-file set of names declared with unordered types
+    (members live in headers but are iterated in .cpp files); when None the
+    file is treated as self-contained (corpus mode)."""
+    stripped = strip_comments_and_strings(text)
+    findings: List[Finding] = []
+
+    for rule, pattern, msg in TEXT_RULES:
+        for m in pattern.finditer(stripped):
+            findings.append(Finding(path, line_of(stripped, m.start()),
+                                    rule, msg))
+
+    unordered = collect_unordered_names(stripped)
+    if pool is not None:
+        unordered = unordered | pool
+    float_vars = set(FLOAT_DECL_RE.findall(stripped))
+    for m in RANGE_FOR_RE.finditer(stripped):
+        open_paren = stripped.index("(", m.start())
+        close = find_matching_paren(stripped, open_paren)
+        if close < 0:
+            continue
+        header = stripped[open_paren + 1:close]
+        if ":" not in header:
+            continue  # classic for(;;)
+        # split on the first ':' not part of '::'
+        split = -1
+        k = 0
+        while k < len(header):
+            if header[k] == ":":
+                if k + 1 < len(header) and header[k + 1] == ":":
+                    k += 2
+                    continue
+                split = k
+                break
+            k += 1
+        if split < 0:
+            continue
+        target = range_expr_target(header[split + 1:])
+        if target is None or target not in unordered:
+            continue
+        ln = line_of(stripped, m.start())
+        findings.append(Finding(
+            path, ln, "unordered-iter",
+            f"range-for over unordered container '{target}': iteration "
+            "order is hash/rehash dependent; sort on output or justify "
+            "with an allow() annotation"))
+        body_start, body_end = loop_body_span(stripped, close + 1)
+        body = stripped[body_start:body_end]
+        for am in re.finditer(r"([A-Za-z_]\w*)\s*\+=", body):
+            if am.group(1) in float_vars:
+                findings.append(Finding(
+                    path, line_of(stripped, body_start + am.start()),
+                    "float-accum",
+                    f"floating-point accumulation into '{am.group(1)}' in "
+                    "hash-ordered loop: FP addition is not associative, the "
+                    "sum depends on iteration order"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang engine (type-accurate unordered-iter); falls back to the
+# regex engine per file on any failure so results never silently shrink.
+# ---------------------------------------------------------------------------
+
+def clang_file_findings(path: str, text: str) -> Optional[List[Finding]]:
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(path, args=["-std=c++20", "-fsyntax-only"])
+    except Exception:
+        return None
+
+    findings: List[Finding] = []
+    stripped = strip_comments_and_strings(text)
+    for rule, pattern, msg in TEXT_RULES:
+        for m in pattern.finditer(stripped):
+            findings.append(Finding(path, line_of(stripped, m.start()),
+                                    rule, msg))
+
+    def walk(cursor) -> None:
+        for child in cursor.get_children():
+            if child.location.file and child.location.file.name != path:
+                continue
+            if child.kind == cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                kids = list(child.get_children())
+                if kids:
+                    range_type = kids[-2].type.spelling if len(kids) >= 2 \
+                        else ""
+                    if "unordered_" in range_type:
+                        findings.append(Finding(
+                            path, child.location.line, "unordered-iter",
+                            f"range-for over '{range_type}': iteration "
+                            "order is hash/rehash dependent"))
+            walk(child)
+
+    try:
+        walk(tu.cursor)
+    except Exception:
+        return None
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def suppressed_rules(lines: Sequence[str], line_no: int) -> Set[str]:
+    """Rules allowed at 1-based line `line_no` (same line or the one above)."""
+    rules: Set[str] = set()
+    for ln in (line_no, line_no - 1):
+        if 1 <= ln <= len(lines):
+            m = ALLOW_RE.search(lines[ln - 1])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def lint_file(path: str, engine: str,
+              pool: Optional[Set[str]] = None
+              ) -> Tuple[List[Finding], List[str]]:
+    """Returns (active findings, warnings about unknown suppressions)."""
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    lines = text.splitlines()
+
+    findings: Optional[List[Finding]] = None
+    if engine in ("auto", "clang"):
+        findings = clang_file_findings(path, text)
+        if findings is None and engine == "clang":
+            print(f"detlint: libclang unavailable, regex fallback for {path}",
+                  file=sys.stderr)
+    if findings is None:
+        findings = regex_file_findings(path, text, pool)
+
+    warnings: List[str] = []
+    for i, raw in enumerate(lines, start=1):
+        m = ALLOW_RE.search(raw)
+        if m:
+            for r in (s.strip() for s in m.group(1).split(",")):
+                if r not in RULES:
+                    warnings.append(
+                        f"{path}:{i}: unknown rule '{r}' in allow()")
+
+    active = [f for f in findings
+              if f.rule not in suppressed_rules(lines, f.line)]
+    # stable report order regardless of rule-pass order
+    active.sort(key=lambda f: (f.path, f.line, f.rule))
+    return active, warnings
+
+
+def iter_cxx_files(paths: Iterable[str]) -> List[str]:
+    out: List[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+        else:
+            for root, dirs, files in os.walk(p):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in (".git", "build")
+                                 and not d.startswith("build-"))
+                for name in sorted(files):
+                    if name.endswith(CXX_EXTENSIONS):
+                        out.append(os.path.join(root, name))
+    return sorted(set(out))
+
+
+def collect_pool(files: Sequence[str]) -> Set[str]:
+    """Pass 1: every unordered-declared name across the whole scanned set,
+    so a member declared in a header is recognised when a .cpp iterates it."""
+    pool: Set[str] = set()
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            pool |= collect_unordered_names(
+                strip_comments_and_strings(f.read()))
+    return pool
+
+
+def run_lint(paths: Sequence[str], engine: str) -> int:
+    files = iter_cxx_files(paths)
+    if not files:
+        print("detlint: no C++ files under given paths", file=sys.stderr)
+        return 2
+    pool = collect_pool(files)
+    total = 0
+    for path in files:
+        findings, warnings = lint_file(path, engine, pool)
+        for w in warnings:
+            print(f"warning: {w}", file=sys.stderr)
+        for f in findings:
+            print(f.render())
+        total += len(findings)
+    if total:
+        print(f"detlint: {total} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_self_test(corpus_dir: str, engine: str) -> int:
+    """bad_*.cpp must produce exactly their expect() annotations; clean_*.cpp
+    must produce none. The corpus is the linter's regression suite."""
+    files = iter_cxx_files([corpus_dir])
+    if not files:
+        print(f"detlint: empty corpus at {corpus_dir}", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        expected: Set[Tuple[int, str]] = set()
+        for i, raw in enumerate(lines, start=1):
+            for m in EXPECT_RE.finditer(raw):
+                expected.add((i, m.group(1)))
+        findings, _ = lint_file(path, engine)
+        actual = {(f.line, f.rule) for f in findings}
+        base = os.path.basename(path)
+        if base.startswith("clean_") and expected:
+            print(f"SELFTEST BROKEN: {base} is clean_* but has expect()")
+            failures += 1
+            continue
+        missed = expected - actual
+        spurious = actual - expected
+        for line, rule in sorted(missed):
+            print(f"SELFTEST MISS: {base}:{line} expected [{rule}] "
+                  "not reported")
+            failures += 1
+        for line, rule in sorted(spurious):
+            print(f"SELFTEST SPURIOUS: {base}:{line} reported [{rule}] "
+                  "not expected")
+            failures += 1
+    if failures:
+        print(f"detlint self-test: FAIL ({failures} mismatch(es))")
+        return 1
+    print(f"detlint self-test: OK ({len(files)} corpus file(s))")
+    return 0
+
+
+def main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="detlint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument("--engine", choices=("auto", "regex", "clang"),
+                        default="auto")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run against the bundled corpus")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for r in RULES:
+            print(r)
+        return 0
+    if args.self_test:
+        corpus = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "corpus")
+        return run_self_test(corpus, args.engine)
+    if not args.paths:
+        parser.error("paths required unless --self-test/--list-rules")
+    return run_lint(args.paths, args.engine)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
