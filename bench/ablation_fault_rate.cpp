@@ -11,7 +11,7 @@
 // (50%+) pushes stale lookups and Nearest-style fallbacks up while the
 // workload still completes: degradation, not collapse.
 //
-// Flags: --full, --seed=N
+// Flags: --full, --seed=N, --jobs=N
 
 #include "bench_common.hpp"
 #include "intsched/exp/fault_sweep.hpp"
@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
                                          opts);
   cfg.base.policy = core::PolicyKind::kIntDelay;
   cfg.drop_rates = {0.0, 0.05, 0.2, 0.5, 0.9};
+  cfg.jobs = opts.jobs;
 
   std::cout << "Ablation: probe loss vs scheduling robustness (fault "
                "injection + staleness fallback)\n\n";

@@ -4,7 +4,7 @@
 // register but no tuning. How much scheduling quality does the heuristic
 // give up?
 //
-// Flags: --full, --seed=N, --reps=N
+// Flags: --full, --seed=N, --reps=N, --jobs=N
 
 #include "bench_common.hpp"
 
@@ -16,13 +16,10 @@ int main(int argc, char** argv) {
 
   exp::ExperimentConfig base =
       benchtool::make_base_config(edge::WorkloadKind::kServerless, opts);
-  std::vector<exp::ExperimentResult> nearest_runs;
-  for (std::int32_t rep = 0; rep < opts.reps; ++rep) {
-    exp::ExperimentConfig cfg = base;
-    cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
-    cfg.policy = core::PolicyKind::kNearest;
-    nearest_runs.push_back(exp::run_experiment(cfg));
-  }
+  exp::ExperimentConfig nearest_cfg = base;
+  nearest_cfg.policy = core::PolicyKind::kNearest;
+  const std::vector<exp::ExperimentResult> nearest_runs =
+      benchtool::run_reps(nearest_cfg, opts.reps, opts.jobs);
 
   exp::TextTable table{"completion-time gain vs nearest"};
   table.set_headers({"hop-latency source", "overall gain"});
@@ -33,14 +30,11 @@ int main(int argc, char** argv) {
   for (const Arm arm :
        {Arm{"k * max queue (paper)", core::QueueStatistic::kMaximum},
         Arm{"measured dwell time", core::QueueStatistic::kMeasuredHopLatency}}) {
-    std::vector<exp::ExperimentResult> runs;
-    for (std::int32_t rep = 0; rep < opts.reps; ++rep) {
-      exp::ExperimentConfig cfg = base;
-      cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
-      cfg.policy = core::PolicyKind::kIntDelay;
-      cfg.ranker.queue_statistic = arm.stat;
-      runs.push_back(exp::run_experiment(cfg));
-    }
+    exp::ExperimentConfig arm_cfg = base;
+    arm_cfg.policy = core::PolicyKind::kIntDelay;
+    arm_cfg.ranker.queue_statistic = arm.stat;
+    const std::vector<exp::ExperimentResult> runs =
+        benchtool::run_reps(arm_cfg, opts.reps, opts.jobs);
     double treat = 0.0;
     double baseline = 0.0;
     for (const edge::TaskClass cls : edge::kAllTaskClasses) {

@@ -3,7 +3,7 @@
 // tuning to future work; this sweep shows the gain-vs-nearest as k moves
 // from "ignore queues" (k ~ 0) to "panic at any queue" (k = 100 ms).
 //
-// Flags: --full, --seed=N, --reps=N
+// Flags: --full, --seed=N, --reps=N, --jobs=N
 
 #include "bench_common.hpp"
 
@@ -19,25 +19,19 @@ int main(int argc, char** argv) {
   // Baseline (nearest) once per rep; reused across the k sweep.
   exp::ExperimentConfig base =
       benchtool::make_base_config(edge::WorkloadKind::kServerless, opts);
-  std::vector<exp::ExperimentResult> nearest_runs;
-  for (std::int32_t rep = 0; rep < opts.reps; ++rep) {
-    exp::ExperimentConfig cfg = base;
-    cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
-    cfg.policy = core::PolicyKind::kNearest;
-    nearest_runs.push_back(exp::run_experiment(cfg));
-  }
+  exp::ExperimentConfig nearest_cfg = base;
+  nearest_cfg.policy = core::PolicyKind::kNearest;
+  const std::vector<exp::ExperimentResult> nearest_runs =
+      benchtool::run_reps(nearest_cfg, opts.reps, opts.jobs);
 
   exp::TextTable table{"completion-time gain vs nearest, by k"};
   table.set_headers({"k (ms)", "VS", "S", "M", "L", "overall"});
   for (const std::int64_t k_ms : {0, 5, 10, 20, 50, 100}) {
-    std::vector<exp::ExperimentResult> runs;
-    for (std::int32_t rep = 0; rep < opts.reps; ++rep) {
-      exp::ExperimentConfig cfg = base;
-      cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
-      cfg.policy = core::PolicyKind::kIntDelay;
-      cfg.ranker.k_factor = sim::SimTime::milliseconds(k_ms);
-      runs.push_back(exp::run_experiment(cfg));
-    }
+    exp::ExperimentConfig arm = base;
+    arm.policy = core::PolicyKind::kIntDelay;
+    arm.ranker.k_factor = sim::SimTime::milliseconds(k_ms);
+    const std::vector<exp::ExperimentResult> runs =
+        benchtool::run_reps(arm, opts.reps, opts.jobs);
     std::vector<std::string> row{std::to_string(k_ms)};
     sim::RunningStats treat_all;
     sim::RunningStats base_all;

@@ -8,7 +8,7 @@
 // detours around them and far-pod delay estimates are inflated. Source-
 // routed probes (greedy waypoint planner) cover every switch link.
 //
-// Flags: --full, --seed=N, --reps=N
+// Flags: --full, --seed=N, --reps=N, --jobs=N
 
 #include "bench_common.hpp"
 #include "intsched/core/scheduler_service.hpp"
@@ -75,7 +75,7 @@ double overall_gain(bool optimized, const benchtool::Options& opts) {
   cfg.optimize_probe_routes = optimized;
   const auto results = benchtool::run_suite(
       cfg, {core::PolicyKind::kIntDelay, core::PolicyKind::kNearest},
-      opts.reps);
+      opts.reps, opts.jobs);
   double treat = 0.0;
   double base = 0.0;
   for (const edge::TaskClass cls : edge::kAllTaskClasses) {

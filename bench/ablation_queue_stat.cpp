@@ -7,7 +7,7 @@
 // Part 1 re-runs the Fig.-3 calibration and prints both statistics per
 // utilization level. Part 2 compares scheduling gains with each statistic.
 //
-// Flags: --full, --seed=N, --reps=N
+// Flags: --full, --seed=N, --reps=N, --jobs=N
 
 #include "bench_common.hpp"
 #include "intsched/net/topology.hpp"
@@ -97,23 +97,17 @@ int main(int argc, char** argv) {
       benchtool::make_base_config(edge::WorkloadKind::kServerless, opts);
   exp::TextTable sched{"scheduling gain vs nearest, by statistic"};
   sched.set_headers({"statistic", "overall gain"});
-  std::vector<exp::ExperimentResult> nearest_runs;
-  for (std::int32_t rep = 0; rep < opts.reps; ++rep) {
-    exp::ExperimentConfig cfg = base;
-    cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
-    cfg.policy = core::PolicyKind::kNearest;
-    nearest_runs.push_back(exp::run_experiment(cfg));
-  }
+  exp::ExperimentConfig nearest_cfg = base;
+  nearest_cfg.policy = core::PolicyKind::kNearest;
+  const std::vector<exp::ExperimentResult> nearest_runs =
+      benchtool::run_reps(nearest_cfg, opts.reps, opts.jobs);
   for (const auto stat :
        {core::QueueStatistic::kMaximum, core::QueueStatistic::kAverage}) {
-    std::vector<exp::ExperimentResult> runs;
-    for (std::int32_t rep = 0; rep < opts.reps; ++rep) {
-      exp::ExperimentConfig cfg = base;
-      cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
-      cfg.policy = core::PolicyKind::kIntDelay;
-      cfg.ranker.queue_statistic = stat;
-      runs.push_back(exp::run_experiment(cfg));
-    }
+    exp::ExperimentConfig arm = base;
+    arm.policy = core::PolicyKind::kIntDelay;
+    arm.ranker.queue_statistic = stat;
+    const std::vector<exp::ExperimentResult> runs =
+        benchtool::run_reps(arm, opts.reps, opts.jobs);
     double treat = 0.0;
     double baseline = 0.0;
     for (const edge::TaskClass cls : edge::kAllTaskClasses) {

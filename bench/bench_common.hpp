@@ -9,6 +9,7 @@
 
 #include "intsched/exp/experiment.hpp"
 #include "intsched/exp/report.hpp"
+#include "intsched/exp/sweep_runner.hpp"
 #include "intsched/sim/stats.hpp"
 #include "intsched/sim/strfmt.hpp"
 
@@ -23,6 +24,9 @@ struct Options {
   /// Independent repetitions (seed, seed+1, ...) pooled into the reported
   /// statistics; per-class means from a single 200-task run are noisy.
   std::int32_t reps = 2;
+  /// --jobs=N: worker threads for independent trials (0 = hardware
+  /// concurrency, the default). Output is byte-identical for every value.
+  int jobs = 0;
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -34,6 +38,9 @@ inline Options parse_options(int argc, char** argv) {
     if (arg.rfind("--seed=", 0) == 0) opts.seed = std::stoull(arg.substr(7));
     if (arg.rfind("--reps=", 0) == 0) {
       opts.reps = std::stoi(arg.substr(7));
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      opts.jobs = std::stoi(arg.substr(7));
     }
   }
   return opts;
@@ -60,19 +67,50 @@ using SuiteResults =
 
 /// Runs `reps` repetitions (consecutive seeds) of every policy arm; each
 /// repetition's arms share a seed, so per-rep comparisons stay paired.
+/// Every (rep, arm) trial is an independent deterministic simulation, so
+/// they run concurrently on a SweepRunner; results are merged rep-major in
+/// arm order — the serial iteration order — so the suite is byte-identical
+/// for every jobs value.
 inline SuiteResults run_suite(const exp::ExperimentConfig& base,
                               const std::vector<core::PolicyKind>& arms,
-                              std::int32_t reps) {
-  SuiteResults all;
+                              std::int32_t reps, int jobs = 1) {
+  std::vector<exp::ExperimentConfig> trials;
+  trials.reserve(static_cast<std::size_t>(reps) * arms.size());
   for (std::int32_t rep = 0; rep < reps; ++rep) {
     exp::ExperimentConfig cfg = base;
     cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
     for (const core::PolicyKind policy : arms) {
       cfg.policy = policy;
-      all[policy].push_back(exp::run_experiment(cfg));
+      trials.push_back(cfg);
     }
   }
+
+  const exp::SweepRunner runner{jobs};
+  std::vector<exp::ExperimentResult> results =
+      runner.map<exp::ExperimentResult>(trials.size(), [&](std::size_t i) {
+        return exp::run_experiment(trials[i]);
+      });
+
+  SuiteResults all;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    all[trials[i].policy].push_back(std::move(results[i]));
+  }
   return all;
+}
+
+/// Runs `reps` repetitions (consecutive seeds, starting at `base.seed`) of
+/// one fully configured arm. The repetitions are independent trials, so
+/// they run concurrently; the returned vector is always in rep order, so
+/// downstream aggregation is byte-identical for every jobs value.
+inline std::vector<exp::ExperimentResult> run_reps(
+    const exp::ExperimentConfig& base, std::int32_t reps, int jobs = 1) {
+  const exp::SweepRunner runner{jobs};
+  return runner.map<exp::ExperimentResult>(
+      static_cast<std::size_t>(reps), [&base](std::size_t rep) {
+        exp::ExperimentConfig cfg = base;
+        cfg.seed = base.seed + static_cast<std::uint64_t>(rep);
+        return exp::run_experiment(cfg);
+      });
 }
 
 /// Task-level pooled mean of completion or transfer time for one class

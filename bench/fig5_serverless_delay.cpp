@@ -6,7 +6,7 @@
 // 17-31% in average task completion time, with the largest gain for the
 // very-small (VS) class and the smallest for large (L) tasks.
 //
-// Flags: --full (200 tasks, paper scale), --csv, --seed=N
+// Flags: --full (200 tasks, paper scale), --csv, --seed=N, --jobs=N
 
 #include "bench_common.hpp"
 
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
       cfg,
       {core::PolicyKind::kIntDelay, core::PolicyKind::kNearest,
        core::PolicyKind::kRandom},
-      opts.reps);
+      opts.reps, opts.jobs);
 
   benchtool::print_comparison(
       "Fig 5: avg task completion time, serverless / delay ranking",

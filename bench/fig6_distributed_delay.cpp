@@ -5,7 +5,7 @@
 // than the serverless case because three concurrent tasks must all find
 // uncongested paths.
 //
-// Flags: --full, --csv, --seed=N
+// Flags: --full, --csv, --seed=N, --jobs=N
 
 #include "bench_common.hpp"
 
@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       cfg,
       {core::PolicyKind::kIntDelay, core::PolicyKind::kNearest,
        core::PolicyKind::kRandom},
-      opts.reps);
+      opts.reps, opts.jobs);
 
   benchtool::print_comparison(
       "Fig 6: avg task completion time, distributed / delay ranking",

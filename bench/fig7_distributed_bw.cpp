@@ -7,7 +7,7 @@
 // substantially (~30%) because bandwidth ranking prefers uncongested
 // remote nodes over lightly congested nearby ones.
 //
-// Flags: --full, --csv, --seed=N
+// Flags: --full, --csv, --seed=N, --jobs=N
 
 #include "bench_common.hpp"
 
@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
       cfg,
       {core::PolicyKind::kIntBandwidth, core::PolicyKind::kNearest,
        core::PolicyKind::kRandom},
-      opts.reps);
+      opts.reps, opts.jobs);
 
   benchtool::print_comparison(
       "Fig 7: avg data transfer time, distributed / bandwidth ranking",

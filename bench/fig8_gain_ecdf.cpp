@@ -8,7 +8,7 @@
 // de-prioritizing nearest nodes under light congestion); >60% of
 // distributed/bandwidth tasks gain >=20%; 10-20% of tasks gain >=60%.
 //
-// Flags: --full, --csv, --seed=N
+// Flags: --full, --csv, --seed=N, --jobs=N
 
 #include "bench_common.hpp"
 #include "intsched/sim/stats.hpp"
@@ -27,7 +27,7 @@ Series run_series(const std::string& name, edge::WorkloadKind kind,
                   const benchtool::Options& opts) {
   exp::ExperimentConfig cfg = benchtool::make_base_config(kind, opts);
   const auto results = benchtool::run_suite(
-      cfg, {policy, core::PolicyKind::kNearest}, opts.reps);
+      cfg, {policy, core::PolicyKind::kNearest}, opts.reps, opts.jobs);
   Series s;
   s.name = name;
   s.ecdf.add_all(

@@ -38,6 +38,36 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop);
 
+/// Timer-heavy workloads (TCP retransmit timers, staleness timeouts) arm
+/// events that are almost always cancelled before firing; this measures
+/// the slab's tombstone path: push + cancel churn with a live heap.
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng{1};
+  std::int64_t t = 0;
+  std::vector<sim::EventId> armed;
+  for (auto _ : state) {
+    armed.clear();
+    for (int i = 0; i < 64; ++i) {
+      armed.push_back(q.push(
+          sim::SimTime::nanoseconds(t + 1 + rng.uniform_int(0, 1'000'000)),
+          [] {}));
+    }
+    // Cancel three quarters of them (the timer-churn pattern), fire the
+    // rest so the heap drains its tombstones.
+    for (std::size_t i = 0; i < armed.size(); ++i) {
+      if (i % 4 != 0) q.cancel(armed[i]);
+    }
+    for (int i = 0; i < 16; ++i) {
+      auto [at, cb] = q.pop();
+      t = at.ns();
+      benchmark::DoNotOptimize(cb);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
 void BM_RngU64(benchmark::State& state) {
   sim::Rng rng{1};
   for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
@@ -124,17 +154,51 @@ void BM_ProbeRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeRoundTrip);
 
+/// Ingest + window-max congestion queries against the monotonic
+/// max-deque, interleaved the way the scheduler sees them: a burst of
+/// probe reports per probing interval, many ranking queries in between.
+void BM_WindowMaxQuery(benchmark::State& state) {
+  core::NetworkMap map;
+  sim::Rng rng{1};
+  sim::SimTime now = sim::SimTime::zero();
+  const net::NodeId device = 3;
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    now += sim::SimTime::milliseconds(10);
+    telemetry::ProbeReport report;
+    report.src = 100;
+    report.dst = 101;
+    net::IntStackEntry entry;
+    entry.device = device;
+    entry.ingress_port = 0;
+    entry.egress_port = 1;
+    entry.max_queue_pkts = rng.uniform_int(0, 64);
+    entry.device_max_queue_pkts = entry.max_queue_pkts;
+    report.entries.push_back(entry);
+    map.ingest(report, now);
+    for (int i = 0; i < 32; ++i) {
+      acc += map.device_max_queue(device, now);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_WindowMaxQuery);
+
 /// Algorithm 1 over the inferred Fig. 4 map with live telemetry.
 void BM_RankSevenCandidates(benchmark::State& state) {
   sim::Simulator sim;
   exp::Fig4Network network{sim, exp::Fig4Config{}};
+  const net::NodeId scheduler_id = network.scheduler_host().id();
   std::vector<std::unique_ptr<transport::HostStack>> stacks;
+  transport::HostStack* scheduler_stack = nullptr;
   for (net::Host* h : network.hosts()) {
     stacks.push_back(std::make_unique<transport::HostStack>(*h));
+    if (h->id() == scheduler_id) scheduler_stack = stacks.back().get();
   }
   telemetry::IntCollector collector{network.scheduler_host()};
   core::NetworkMap map;
-  stacks[5]->bind_udp(net::kProbePort, [&](const net::Packet& p) {
+  scheduler_stack->bind_udp(net::kProbePort, [&](const net::Packet& p) {
     collector.handle_packet(p);
   });
   collector.set_handler([&](const telemetry::ProbeReport& r) {
@@ -142,8 +206,9 @@ void BM_RankSevenCandidates(benchmark::State& state) {
   });
   std::vector<std::unique_ptr<telemetry::ProbeAgent>> agents;
   for (net::Host* h : network.hosts()) {
-    if (h->id() == 5) continue;
-    agents.push_back(std::make_unique<telemetry::ProbeAgent>(*h, 5));
+    if (h->id() == scheduler_id) continue;
+    agents.push_back(
+        std::make_unique<telemetry::ProbeAgent>(*h, scheduler_id));
     agents.back()->start();
   }
   sim.run_until(sim::SimTime::seconds(1));

@@ -153,7 +153,11 @@ class NetworkMap {
 
  private:
   struct QueueSeries {
-    /// (report time, register value); pruned against the queue window.
+    /// (report time, register value) as a monotonic max-deque: times
+    /// ascend, values strictly descend, dominated samples (older and no
+    /// larger than a newer one) are discarded at ingest, and entries older
+    /// than the queue window are pruned. The window max is therefore the
+    /// first fresh entry — an O(1) front read instead of an O(W) scan.
     std::deque<std::pair<sim::SimTime, std::int64_t>> samples;
   };
 

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "intsched/core/network_map.hpp"
+#include "intsched/net/routing.hpp"
 #include "intsched/sim/units.hpp"
 
 namespace intsched::core {
@@ -118,9 +120,42 @@ class Ranker {
   [[nodiscard]] const RankerConfig& config() const { return cfg_; }
   void set_k_factor(sim::SimTime k) { cfg_.k_factor = k; }
 
+  // -- path-cache observability (tests + micro benches) --
+
+  /// Ingest epoch the cached delay-graph snapshot was built at (-1 before
+  /// the first rank).
+  [[nodiscard]] std::int64_t path_cache_epoch() const { return cache_.epoch; }
+  [[nodiscard]] std::int64_t path_cache_hits() const { return cache_.hits; }
+  [[nodiscard]] std::int64_t path_cache_misses() const {
+    return cache_.misses;
+  }
+
  private:
+  /// Epoch-invalidated snapshot of the map's delay graph plus memoized
+  /// per-origin Dijkstra runs. The link-delay estimates feeding
+  /// delay_graph() change only inside NetworkMap::ingest, and every ingest
+  /// bumps reports_ingested(), so that counter is the cache epoch: reuse
+  /// while it is unchanged, rebuild the moment it moves. Congestion terms
+  /// (queue windows) are *not* cached — they depend on the query's `now`
+  /// and are recomputed on every rank.
+  struct PathCache {
+    std::int64_t epoch = -1;
+    net::Graph graph;
+    std::map<net::NodeId, net::ShortestPaths> sp_by_origin;
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+  };
+
+  /// Shortest paths from `origin` over a delay-graph snapshot no older
+  /// than the map's current ingest epoch.
+  [[nodiscard]] const net::ShortestPaths& shortest_paths_from(
+      net::NodeId origin) const;
+
   const NetworkMap* map_;
   RankerConfig cfg_;
+  // rank() is const (callable from the scheduler's read path); the cache
+  // is a performance side-channel, hence mutable.
+  mutable PathCache cache_;
 };
 
 }  // namespace intsched::core

@@ -64,20 +64,40 @@ void NetworkMap::learn_edge(net::NodeId from, net::NodeId to,
 
 void NetworkMap::record_queue(QueueSeries& series, sim::SimTime now,
                               std::int64_t value) {
-  series.samples.emplace_back(now, value);
+  // The series is a monotonic max-deque: times ascend, values strictly
+  // descend, and every entry is the window max from its own timestamp
+  // until the next entry's. max_in_window is then a front read instead of
+  // a full scan; the invariant is maintained here, at ingest.
+  auto& d = series.samples;
   const sim::SimTime cutoff = window_cutoff(now, cfg_.queue_window);
-  while (!series.samples.empty() && series.samples.front().first < cutoff) {
-    series.samples.pop_front();
-  }
+  while (!d.empty() && d.front().first < cutoff) d.pop_front();
+
+  // Ingest accepts late stragglers, so find the time-ordered insertion
+  // point from the back (O(1) for in-order arrivals).
+  std::size_t insert_at = d.size();
+  while (insert_at > 0 && d[insert_at - 1].first > now) --insert_at;
+  // Entries at/after the insertion point are newer, and the first of them
+  // carries their largest value; if it already dominates the new sample
+  // (newer and at least as large), the sample can never be a window max.
+  if (insert_at < d.size() && d[insert_at].second >= value) return;
+  // Conversely, older entries no larger than the new sample expire first
+  // while never exceeding it — drop them.
+  std::size_t keep = insert_at;
+  while (keep > 0 && d[keep - 1].second <= value) --keep;
+  d.erase(d.begin() + static_cast<std::ptrdiff_t>(keep),
+          d.begin() + static_cast<std::ptrdiff_t>(insert_at));
+  d.insert(d.begin() + static_cast<std::ptrdiff_t>(keep), {now, value});
 }
 
 std::int64_t NetworkMap::max_in_window(const QueueSeries& series,
                                        sim::SimTime cutoff) {
-  std::int64_t best = 0;
+  // Values descend front-to-back, so the first fresh entry is the max.
+  // Expired fronts are skipped (not popped — this path must stay const
+  // for arbitrary query times) and reclaimed at the next ingest.
   for (const auto& [t, v] : series.samples) {
-    if (t >= cutoff) best = std::max(best, v);
+    if (t >= cutoff) return v;
   }
-  return best;
+  return 0;
 }
 
 void NetworkMap::ingest(const telemetry::ProbeReport& report,
@@ -163,15 +183,22 @@ void NetworkMap::audit_invariants(sim::SimTime high_water) const {
         link_delay_.contains(key),
         "link_port_ entry without a matching delay estimate");
   }
-  // Samples are appended in *arrival* order, and ingest() accepts late
-  // stragglers, so the series need not be time-sorted; what must hold is
-  // that no sample postdates the newest ingest and values are sane.
+  // Each series is a monotonic max-deque (see record_queue): times must
+  // ascend, values strictly descend, no sample postdates the newest
+  // ingest, and values are sane.
   const auto audit_series = [high_water](const QueueSeries& series) {
-    for (const auto& [t, v] : series.samples) {
+    for (std::size_t i = 0; i < series.samples.size(); ++i) {
+      const auto& [t, v] = series.samples[i];
       INTSCHED_AUDIT_ASSERT(
           t <= high_water,
           "telemetry sample postdates every ingest seen");
       INTSCHED_AUDIT_ASSERT(v >= 0, "negative queue-occupancy sample");
+      if (i > 0) {
+        INTSCHED_AUDIT_ASSERT(series.samples[i - 1].first <= t,
+                              "max-deque times must be non-decreasing");
+        INTSCHED_AUDIT_ASSERT(series.samples[i - 1].second > v,
+                              "max-deque values must strictly decrease");
+      }
     }
   };
   // intsched-lint: allow(unordered-iter)

@@ -124,11 +124,30 @@ sim::DataRate Ranker::path_bandwidth_estimate(
   return sim::DataRate::bits_per_second(min_bps);
 }
 
+const net::ShortestPaths& Ranker::shortest_paths_from(
+    net::NodeId origin) const {
+  const std::int64_t epoch = map_->reports_ingested();
+  if (cache_.epoch != epoch) {
+    // New telemetry arrived since the snapshot: every cached path may be
+    // stale. Rebuild the graph once and drop all memoized Dijkstra runs.
+    cache_.epoch = epoch;
+    cache_.graph = map_->delay_graph();
+    cache_.sp_by_origin.clear();
+  }
+  const auto [it, inserted] = cache_.sp_by_origin.try_emplace(origin);
+  if (inserted) {
+    ++cache_.misses;
+    it->second = net::dijkstra(cache_.graph, origin);
+  } else {
+    ++cache_.hits;
+  }
+  return it->second;
+}
+
 std::vector<ServerRank> Ranker::rank(
     net::NodeId origin, const std::vector<net::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
-  const net::Graph g = map_->delay_graph();
-  const net::ShortestPaths sp = net::dijkstra(g, origin);
+  const net::ShortestPaths& sp = shortest_paths_from(origin);
 
   std::vector<ServerRank> out;
   out.reserve(candidates.size());

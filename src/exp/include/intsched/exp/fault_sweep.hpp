@@ -20,6 +20,10 @@ struct FaultSweepConfig {
   /// Staleness window applied to every arm (including the baseline, so the
   /// arms differ only in injected loss). Zero = derive 5x probe interval.
   sim::SimTime staleness = sim::SimTime::zero();
+  /// Worker threads for the sweep (each drop rate is an independent
+  /// deterministic trial). 1 = serial; 0 = hardware concurrency. The row
+  /// order — and every byte of the result — is independent of this value.
+  int jobs = 1;
 };
 
 struct FaultSweepRow {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "intsched/core/scheduler_service.hpp"
 #include "intsched/edge/edge_device.hpp"
@@ -35,11 +36,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // everywhere).
   std::vector<std::unique_ptr<transport::HostStack>> stacks;
   std::vector<std::unique_ptr<transport::IperfUdpSink>> sinks;
+  transport::HostStack* scheduler_stack_ptr = nullptr;
   for (net::Host* h : network.hosts()) {
     stacks.push_back(std::make_unique<transport::HostStack>(*h));
     sinks.push_back(std::make_unique<transport::IperfUdpSink>(*stacks.back()));
+    if (h->id() == scheduler_id) scheduler_stack_ptr = stacks.back().get();
   }
-  transport::HostStack& scheduler_stack = *stacks[5];
+  if (scheduler_stack_ptr == nullptr) {
+    throw std::logic_error(
+        "Fig4Network: scheduler host missing from hosts()");
+  }
+  transport::HostStack& scheduler_stack = *scheduler_stack_ptr;
 
   // Fault injection: only instantiated when the plan actually does
   // something, so fault-free configs keep null fault pointers everywhere

@@ -1,5 +1,6 @@
 #include "intsched/exp/fault_sweep.hpp"
 
+#include "intsched/exp/sweep_runner.hpp"
 #include "intsched/sim/stats.hpp"
 #include "intsched/sim/strfmt.hpp"
 
@@ -22,16 +23,23 @@ FaultSweepResult run_fault_sweep(const FaultSweepConfig& config) {
           ? config.staleness
           : config.base.probe_interval * 5;
 
+  const SweepRunner runner{config.jobs};
+  std::vector<ExperimentResult> results = runner.map<ExperimentResult>(
+      config.drop_rates.size(), [&config, staleness](std::size_t i) {
+        ExperimentConfig cfg = config.base;
+        cfg.telemetry_staleness = staleness;
+        cfg.faults.seed = cfg.seed;
+        cfg.faults.probe.drop_probability = config.drop_rates[i];
+        return run_experiment(cfg);
+      });
+
+  // Fixed-order merge: rows follow drop_rates order, never completion
+  // order, so the report is byte-identical to the serial sweep.
   FaultSweepResult sweep;
-  for (const double rate : config.drop_rates) {
-    ExperimentConfig cfg = config.base;
-    cfg.telemetry_staleness = staleness;
-    cfg.faults.seed = cfg.seed;
-    cfg.faults.probe.drop_probability = rate;
-    FaultSweepRow row;
-    row.drop_rate = rate;
-    row.result = run_experiment(cfg);
-    sweep.rows.push_back(std::move(row));
+  sweep.rows.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    sweep.rows.push_back(
+        FaultSweepRow{config.drop_rates[i], std::move(results[i])});
   }
   return sweep;
 }

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <new>
 #include <queue>
-#include <unordered_map>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -11,7 +14,9 @@
 
 namespace intsched::sim {
 
-/// Opaque handle to a scheduled event; used to cancel it.
+/// Opaque handle to a scheduled event; used to cancel it. Encodes a slab
+/// slot plus a per-slot generation so handles of fired or cancelled events
+/// can never alias a later event that reuses the slot.
 struct EventId {
   std::uint64_t value = 0;
   friend constexpr auto operator<=>(EventId, EventId) = default;
@@ -21,11 +26,114 @@ struct EventId {
 /// the simulation is fully deterministic: two events scheduled for the same
 /// instant fire in the order they were scheduled.
 ///
-/// Cancellation is lazy: cancelled ids are dropped from the callback map and
-/// their heap entries are skipped when they surface.
+/// Hot-path design (this is the per-event cost of the whole simulator):
+///  - Callbacks live in a slab of reusable nodes; freed slots go on a free
+///    list, so steady-state push/pop performs no allocation at all.
+///  - Small callables are stored inline in the node (no std::function heap
+///    allocation); only oversized captures spill to the heap.
+///  - Cancellation is a tombstone: the node is disarmed and its slot
+///    recycled immediately, and the stale heap entry is skipped when it
+///    surfaces (generation mismatch). No per-event map find/erase anywhere.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Move-only callable with inline small-buffer storage. Replaces
+  /// std::function<void()> on the event hot path; implicitly constructible
+  /// from any void() callable, so call sites are unchanged.
+  class Callback {
+   public:
+    Callback() noexcept = default;
+
+    template <typename F>
+      requires(!std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+               std::is_invocable_v<std::decay_t<F>&>)
+    Callback(F&& f) {  // NOLINT(google-explicit-constructor)
+      using Fn = std::decay_t<F>;
+      if constexpr (sizeof(Fn) <= kInlineBytes &&
+                    alignof(Fn) <= alignof(std::max_align_t) &&
+                    std::is_nothrow_move_constructible_v<Fn>) {
+        ::new (static_cast<void*>(inline_)) Fn(std::forward<F>(f));
+        ops_ = &kInlineOps<Fn>;
+      } else {
+        heap_ = new Fn(std::forward<F>(f));
+        ops_ = &kHeapOps<Fn>;
+      }
+    }
+
+    Callback(Callback&& other) noexcept { move_from(other); }
+    Callback& operator=(Callback&& other) noexcept {
+      if (this != &other) {
+        reset();
+        move_from(other);
+      }
+      return *this;
+    }
+    Callback(const Callback&) = delete;
+    Callback& operator=(const Callback&) = delete;
+    ~Callback() { reset(); }
+
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return ops_ != nullptr;
+    }
+
+    void operator()() const {
+      assert(ops_ != nullptr && "invoking empty Callback");
+      ops_->invoke(storage());
+    }
+
+   private:
+    struct Ops {
+      void (*invoke)(void*);
+      /// Move-constructs dst from src and destroys src. Null for heap
+      /// payloads (their pointer is moved instead).
+      void (*relocate)(void* dst, void* src) noexcept;
+      /// Destroys (and for heap payloads frees) the callable.
+      void (*destroy)(void*) noexcept;
+    };
+
+    static constexpr std::size_t kInlineBytes = 48;
+
+    template <typename Fn>
+    static constexpr Ops kInlineOps{
+        [](void* p) { (*static_cast<Fn*>(p))(); },
+        [](void* dst, void* src) noexcept {
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+        },
+        [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }};
+
+    template <typename Fn>
+    static constexpr Ops kHeapOps{
+        [](void* p) { (*static_cast<Fn*>(p))(); }, nullptr,
+        [](void* p) noexcept { delete static_cast<Fn*>(p); }};
+
+    [[nodiscard]] void* storage() const noexcept {
+      return heap_ != nullptr
+                 ? heap_
+                 : const_cast<void*>(static_cast<const void*>(inline_));
+    }
+
+    void move_from(Callback& other) noexcept {
+      ops_ = other.ops_;
+      heap_ = other.heap_;
+      if (ops_ != nullptr && heap_ == nullptr) {
+        ops_->relocate(inline_, other.inline_);
+      }
+      other.ops_ = nullptr;
+      other.heap_ = nullptr;
+    }
+
+    void reset() noexcept {
+      if (ops_ != nullptr) {
+        ops_->destroy(storage());
+        ops_ = nullptr;
+        heap_ = nullptr;
+      }
+    }
+
+    alignas(std::max_align_t) unsigned char inline_[kInlineBytes];
+    void* heap_ = nullptr;
+    const Ops* ops_ = nullptr;
+  };
 
   /// Inserts an event at the given absolute time.
   EventId push(SimTime at, Callback cb);
@@ -34,8 +142,8 @@ class EventQueue {
   /// has already fired.
   bool cancel(EventId id);
 
-  [[nodiscard]] bool empty() const { return callbacks_.empty(); }
-  [[nodiscard]] std::size_t size() const { return callbacks_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest pending (non-cancelled) event. Requires !empty().
   [[nodiscard]] SimTime next_time() const;
@@ -44,25 +152,46 @@ class EventQueue {
   std::pair<SimTime, Callback> pop();
 
  private:
-  struct Entry {
+  /// One slab slot. `gen` is bumped on every (re)allocation; a heap entry
+  /// or EventId whose generation no longer matches is dead.
+  struct Node {
+    std::uint32_t gen = 0;
+    bool armed = false;
+    Callback cb;
+  };
+  struct HeapEntry {
     SimTime at;
     std::uint64_t seq = 0;
-    std::uint64_t id = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
-  /// Pops heap entries whose callbacks were cancelled.
-  void drop_cancelled_front() const;
+  [[nodiscard]] static EventId encode(std::uint32_t slot, std::uint32_t gen) {
+    return EventId{((static_cast<std::uint64_t>(slot) + 1) << 32) |
+                   static_cast<std::uint64_t>(gen)};
+  }
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  [[nodiscard]] bool entry_live(const HeapEntry& e) const {
+    const Node& n = slab_[e.slot];
+    return n.armed && n.gen == e.gen;
+  }
+
+  void release_slot(std::uint32_t slot);
+
+  /// Pops heap entries whose events were cancelled (tombstones).
+  void drop_dead_front() const;
+
+  mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  std::vector<Node> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   /// Time of the most recent pop; audit mode asserts pops never go
   /// backwards (the queue-level half of simulator clock monotonicity).
   SimTime last_popped_ = SimTime::zero();

@@ -7,22 +7,52 @@
 namespace intsched::sim {
 
 EventId EventQueue::push(SimTime at, Callback cb) {
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return EventId{id};
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Node& node = slab_[slot];
+  ++node.gen;
+  node.armed = true;
+  node.cb = std::move(cb);
+  heap_.push(HeapEntry{at, next_seq_++, slot, node.gen});
+  ++live_;
+  return encode(slot, node.gen);
 }
 
-bool EventQueue::cancel(EventId id) { return callbacks_.erase(id.value) > 0; }
+bool EventQueue::cancel(EventId id) {
+  const std::uint64_t slot_plus_one = id.value >> 32;
+  if (slot_plus_one == 0 || slot_plus_one > slab_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(slot_plus_one - 1);
+  const auto gen = static_cast<std::uint32_t>(id.value);
+  Node& node = slab_[slot];
+  if (!node.armed || node.gen != gen) return false;
+  // Tombstone: disarm and recycle now; the stale heap entry is skipped
+  // when it reaches the front (its generation no longer matches).
+  release_slot(slot);
+  return true;
+}
 
-void EventQueue::drop_cancelled_front() const {
-  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+void EventQueue::release_slot(std::uint32_t slot) {
+  Node& node = slab_[slot];
+  node.armed = false;
+  node.cb = Callback{};
+  free_slots_.push_back(slot);
+  --live_;
+}
+
+void EventQueue::drop_dead_front() const {
+  while (!heap_.empty() && !entry_live(heap_.top())) {
     heap_.pop();
   }
 }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled_front();
+  drop_dead_front();
   assert(!heap_.empty() && "next_time() on empty queue");
   INTSCHED_AUDIT_ASSERT(!heap_.empty(),
                         "next_time() requires a pending event");
@@ -30,19 +60,18 @@ SimTime EventQueue::next_time() const {
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
-  drop_cancelled_front();
+  drop_dead_front();
   assert(!heap_.empty() && "pop() on empty queue");
   INTSCHED_AUDIT_ASSERT(!heap_.empty(), "pop() requires a pending event");
-  const Entry entry = heap_.top();
+  const HeapEntry entry = heap_.top();
   heap_.pop();
   INTSCHED_AUDIT_ASSERT(
       entry.at >= last_popped_,
       "event-queue time went backwards: a popped event predates an "
       "already-executed one");
   last_popped_ = entry.at;
-  auto it = callbacks_.find(entry.id);
-  Callback cb = std::move(it->second);
-  callbacks_.erase(it);
+  Callback cb = std::move(slab_[entry.slot].cb);
+  release_slot(entry.slot);
   return {entry.at, std::move(cb)};
 }
 

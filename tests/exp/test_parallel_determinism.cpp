@@ -1,0 +1,127 @@
+// The parallel sweep engine's contract: the merged output of a sweep is
+// byte-identical to the serial run at the same seed, for every jobs value.
+// These tests serialize every field of every result — including the full
+// per-task timeline — and compare the strings, so any nondeterminism in
+// trial placement, merge order, or cross-thread state sharing fails loudly.
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "intsched/exp/experiment.hpp"
+#include "intsched/exp/fault_sweep.hpp"
+#include "intsched/exp/sweep_runner.hpp"
+
+namespace intsched::exp {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.seed = 7;
+  cfg.workload.total_tasks = 24;
+  cfg.background.mode = BackgroundMode::kRandomPairs;
+  return cfg;
+}
+
+void serialize(std::ostringstream& out, const ExperimentResult& r) {
+  out << r.tasks_total << '|' << r.tasks_completed << '|'
+      << r.sim_duration.ns() << '|' << r.events_executed << '|'
+      << r.probes_sent << '|' << r.probe_bytes_sent << '|' << r.probe_reports
+      << '|' << r.queries_served << '|' << r.switch_queue_drops << '|'
+      << r.background_flows << '|' << r.degradation.probes_dropped << '|'
+      << r.degradation.stale_lookups << '|'
+      << r.degradation.fallback_decisions << '\n';
+  for (const edge::TaskRecord* t : r.metrics.records()) {
+    out << t->job_id << ',' << t->task_index << ','
+        << static_cast<int>(t->cls) << ',' << t->device << ',' << t->server
+        << ',' << t->data_bytes << ',' << t->exec_time.ns() << ','
+        << t->submitted.ns() << ',' << t->scheduled.ns() << ','
+        << t->transfer_start.ns() << ',' << t->transfer_end.ns() << ','
+        << t->exec_end.ns() << ',' << t->completed.ns() << '\n';
+  }
+}
+
+std::string serialize_suite(
+    const std::map<core::PolicyKind, ExperimentResult>& results) {
+  std::ostringstream out;
+  for (const auto& [policy, result] : results) {
+    out << core::to_string(policy) << '\n';
+    serialize(out, result);
+  }
+  return out.str();
+}
+
+TEST(ParallelDeterminism, PolicySuiteIsByteIdenticalAcrossJobCounts) {
+  const ExperimentConfig base = small_config();
+  const std::vector<core::PolicyKind> arms{core::PolicyKind::kIntDelay,
+                                           core::PolicyKind::kNearest,
+                                           core::PolicyKind::kRandom};
+
+  const std::string serial =
+      serialize_suite(run_policy_suite(base, arms));
+  for (const int jobs : {1, 2, 8}) {
+    const std::string parallel =
+        serialize_suite(run_policy_suite_parallel(base, arms, jobs));
+    EXPECT_EQ(serial, parallel) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelDeterminism, SweepRunnerMapPreservesIndexOrder) {
+  for (const int jobs : {1, 2, 8}) {
+    const SweepRunner runner{jobs};
+    const std::vector<int> out =
+        runner.map<int>(100, [](std::size_t i) {
+          return static_cast<int>(i * i);
+        });
+    ASSERT_EQ(out.size(), 100u) << "jobs=" << jobs;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i * i)) << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, FaultSweepIsByteIdenticalAcrossJobCounts) {
+  FaultSweepConfig cfg;
+  cfg.base = small_config();
+  cfg.drop_rates = {0.0, 0.2, 0.5};
+
+  const auto render = [](const FaultSweepResult& sweep) {
+    std::ostringstream out;
+    for (const FaultSweepRow& row : sweep.rows) {
+      out << row.drop_rate << '\n';
+      serialize(out, row.result);
+    }
+    return out.str();
+  };
+
+  cfg.jobs = 1;
+  const std::string serial = render(run_fault_sweep(cfg));
+  for (const int jobs : {2, 8}) {
+    cfg.jobs = jobs;
+    EXPECT_EQ(serial, render(run_fault_sweep(cfg))) << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelDeterminism, ExceptionsPropagateAfterDrain) {
+  const SweepRunner runner{4};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.push_back([i] {
+      if (i == 5) throw std::runtime_error("trial failed");
+    });
+  }
+  EXPECT_THROW(runner.run(std::move(tasks)), std::runtime_error);
+}
+
+TEST(ParallelDeterminism, ResolveJobsHonoursExplicitRequest) {
+  EXPECT_EQ(resolve_jobs(3), 3);
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_GE(resolve_jobs(0), 1);
+  EXPECT_GE(resolve_jobs(-2), 1);
+}
+
+}  // namespace
+}  // namespace intsched::exp

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Bench harness: runs the micro benchmarks and a scaled figure suite,
+emits machine-readable JSON, and gates regressions against the committed
+baseline.
+
+Outputs (written to --out-dir, committed at tools/bench/):
+
+  BENCH_micro.json   google-benchmark JSON from bench/micro_core (per-op
+                     ns for the event queue, window-max queries, ranking,
+                     Dijkstra, switch pipeline, TCP).
+  BENCH_suite.json   wall-clock seconds of the scaled Fig.-5 suite at
+                     --jobs=1 and --jobs=N, plus a byte-identity check of
+                     the two reports (the parallel engine's contract).
+
+Modes:
+
+  run (default)      run everything, rewrite the JSON artifacts.
+  --check            run micro_core fresh and compare against the
+                     committed BENCH_micro.json; exit 1 when any shared
+                     benchmark regressed more than --threshold (default
+                     25%) in ns/op. New benchmarks (absent from the
+                     baseline) are reported but never fail the check.
+
+Wall-clock numbers are hardware-dependent: regenerate the baseline on the
+machine that will check against it (CI regenerates its own in the smoke
+job's first step when the artifact is missing).
+
+Exit status: 0 ok, 1 regression/identity failure, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional
+
+
+def run_micro(build_dir: str, out_path: str) -> Dict:
+    exe = os.path.join(build_dir, "bench", "micro_core")
+    if not os.path.exists(exe):
+        print(f"run_benches: missing {exe} (build the micro_core target)",
+              file=sys.stderr)
+        sys.exit(2)
+    cmd = [exe, "--benchmark_format=json", f"--benchmark_out={out_path}"]
+    print(f"run_benches: {' '.join(cmd)}")
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def run_suite(build_dir: str, jobs: int, reps: int) -> Dict:
+    """Scaled Fig.-5 run at --jobs=1 and --jobs=N: wall clock + output."""
+    exe = os.path.join(build_dir, "bench", "fig5_serverless_delay")
+    if not os.path.exists(exe):
+        print(f"run_benches: missing {exe} (build the bench targets)",
+              file=sys.stderr)
+        sys.exit(2)
+    result: Dict = {"bench": "fig5_serverless_delay", "reps": reps,
+                    "runs": []}
+    outputs: List[bytes] = []
+    for j in (1, jobs):
+        cmd = [exe, f"--reps={reps}", f"--jobs={j}"]
+        print(f"run_benches: {' '.join(cmd)}")
+        start = time.monotonic()
+        proc = subprocess.run(cmd, check=True, capture_output=True)
+        elapsed = time.monotonic() - start
+        outputs.append(proc.stdout)
+        result["runs"].append({"jobs": j,
+                               "wall_seconds": round(elapsed, 3)})
+    result["byte_identical"] = outputs[0] == outputs[-1]
+    if len(result["runs"]) == 2 and result["runs"][1]["wall_seconds"] > 0:
+        result["speedup"] = round(result["runs"][0]["wall_seconds"] /
+                                  result["runs"][1]["wall_seconds"], 2)
+    return result
+
+
+def check_micro(build_dir: str, baseline_path: str,
+                threshold: float) -> int:
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    fresh = run_micro(build_dir, "/tmp/BENCH_micro_check.json")
+
+    base = {b["name"]: b for b in baseline["benchmarks"]}
+    regressions = 0
+    for bench in fresh["benchmarks"]:
+        name = bench["name"]
+        if name not in base:
+            print(f"  NEW       {name}: {bench['real_time']:.1f} "
+                  f"{bench['time_unit']} (no baseline)")
+            continue
+        old = base[name]["real_time"]
+        new = bench["real_time"]
+        delta = (new - old) / old * 100.0
+        verdict = "OK"
+        if new > old * (1.0 + threshold):
+            verdict = "REGRESSION"
+            regressions += 1
+        print(f"  {verdict:<9} {name}: {old:.1f} -> {new:.1f} "
+              f"{bench['time_unit']} ({delta:+.1f}%)")
+    if regressions:
+        print(f"run_benches: {regressions} benchmark(s) regressed more "
+              f"than {threshold * 100:.0f}%", file=sys.stderr)
+        return 1
+    print("run_benches: no regressions beyond threshold")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="run_benches", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out-dir",
+                        default=os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument("--check", action="store_true",
+                        help="compare a fresh micro run to the committed "
+                             "baseline instead of rewriting artifacts")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline for --check (default: "
+                             "<out-dir>/BENCH_micro.json)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional ns/op regression (0.25 = "
+                             "25%%)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, os.cpu_count() or 1),
+                        help="parallel jobs for the suite run")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="repetitions for the suite run")
+    parser.add_argument("--skip-suite", action="store_true",
+                        help="only run/emit the micro benchmarks")
+    args = parser.parse_args(argv)
+
+    baseline = args.baseline or os.path.join(args.out_dir,
+                                             "BENCH_micro.json")
+    if args.check:
+        if not os.path.exists(baseline):
+            print(f"run_benches: no baseline at {baseline}; run without "
+                  "--check once and commit the artifact", file=sys.stderr)
+            return 2
+        return check_micro(args.build_dir, baseline, args.threshold)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    run_micro(args.build_dir, os.path.join(args.out_dir,
+                                           "BENCH_micro.json"))
+    if not args.skip_suite:
+        suite = run_suite(args.build_dir, args.jobs, args.reps)
+        suite_path = os.path.join(args.out_dir, "BENCH_suite.json")
+        with open(suite_path, "w", encoding="utf-8") as f:
+            json.dump(suite, f, indent=2)
+            f.write("\n")
+        print(f"run_benches: wrote {suite_path}")
+        if not suite["byte_identical"]:
+            print("run_benches: PARALLEL OUTPUT DIVERGED FROM SERIAL",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,30 @@
+// Corpus: threading primitives outside the sanctioned thread-pool
+// boundary. The simulator is single-threaded by contract; cross-thread
+// shared mutable state anywhere else silently breaks the byte-identical
+// same-seed reproducibility guarantee (results then depend on --jobs and
+// scheduling jitter, not just the seed).
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+
+std::atomic<std::int64_t> g_counter{0};  // expect(thread-share)
+thread_local std::int64_t t_scratch = 0;  // expect(thread-share)
+
+void bad_spawn() {
+  std::thread worker([] { g_counter += 1; });  // expect(thread-share)
+  worker.join();
+}
+
+std::int64_t bad_async() {
+  auto f = std::async([] { return t_scratch; });  // expect(thread-share)
+  return f.get();
+}
+
+struct BadShared {
+  std::mutex mutex_;  // expect(thread-share)
+  std::condition_variable cv_;  // expect(thread-share)
+  std::int64_t value_ = 0;
+};

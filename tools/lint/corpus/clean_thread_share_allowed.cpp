@@ -1,0 +1,23 @@
+// Corpus: allow-file() suppression. A file that *is* the sanctioned
+// thread-pool boundary declares so once, and every thread-share finding
+// in it is silenced — other rules stay active.
+// intsched-lint: allow-file(thread-share)
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// All of these would be thread-share findings without the file-level
+// annotation above.
+void pool_run(const std::vector<std::int64_t>& items) {
+  std::mutex sink_mutex;
+  std::int64_t sink = 0;
+  std::vector<std::thread> workers;
+  for (std::int64_t v : items) {
+    workers.emplace_back([&sink_mutex, &sink, v] {
+      const std::lock_guard<std::mutex> lock(sink_mutex);
+      sink += v;
+    });
+  }
+  for (std::thread& t : workers) t.join();
+}

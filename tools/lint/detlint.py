@@ -21,11 +21,22 @@ invariants"):
                    must flow through named, seeded sim::Rng streams.
   pointer-key      std::map/std::set keyed (or ordered) by a raw pointer:
                    the order is the allocator's, not the program's.
+  thread-share     threading primitives (std::thread/jthread/async, mutex,
+                   condition_variable, atomic, future/promise, latch,
+                   barrier, thread_local) outside the designated thread-pool
+                   boundary. The simulator is single-threaded by contract;
+                   cross-thread shared mutable state anywhere else is a
+                   nondeterminism hazard. The sanctioned boundary
+                   (exp::SweepRunner) carries a file-level suppression.
 
 Suppression: append `// intsched-lint: allow(<rule>[, <rule>...])` to the
-offending line or the line directly above it. Suppressions are deliberate
-review-visible annotations — use them only when the iteration order
-provably cannot reach any ordered output (and say why in a comment).
+offending line or the line directly above it. For a file that is *itself*
+a sanctioned boundary (e.g. the thread-pool implementation), a single
+`// intsched-lint: allow-file(<rule>[, <rule>...])` anywhere in the file
+suppresses those rules for the whole file. Suppressions are deliberate
+review-visible annotations — use them only when the iteration order (or
+thread confinement) provably cannot reach any ordered output (and say why
+in a comment).
 
 Engines: `--engine clang` uses libclang (python3-clang) for type-accurate
 unordered-iter detection; `--engine regex` is a dependency-free fallback;
@@ -51,6 +62,7 @@ RULES = (
     "wall-clock",
     "unseeded-rng",
     "pointer-key",
+    "thread-share",
 )
 
 CXX_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".ipp")
@@ -63,6 +75,7 @@ ALIAS_RE = re.compile(
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
 FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+(\w+)\s*(?:=|;|\{)")
 ALLOW_RE = re.compile(r"//.*?\bintsched-lint:\s*allow\(([^)]*)\)")
+ALLOW_FILE_RE = re.compile(r"//.*?\bintsched-lint:\s*allow-file\(([^)]*)\)")
 EXPECT_RE = re.compile(r"//.*?\bexpect\((\w[\w-]*)\)")
 
 TEXT_RULES: Sequence[Tuple[str, re.Pattern, str]] = (
@@ -96,6 +109,21 @@ TEXT_RULES: Sequence[Tuple[str, re.Pattern, str]] = (
     ("pointer-key",
      re.compile(r"std::less\s*<\s*(?:const\s+)?[\w:]+\s*\*\s*>"),
      "std::less over raw pointers"),
+    ("thread-share",
+     re.compile(r"std::(?:jthread|thread|async|mutex|recursive_mutex|"
+                r"shared_mutex|timed_mutex|condition_variable(?:_any)?|"
+                r"atomic(?:_flag)?\b|atomic\s*<|future|shared_future|"
+                r"promise|latch|barrier|stop_token|counting_semaphore|"
+                r"binary_semaphore)\b"),
+     "threading primitive outside the thread-pool boundary: the simulator "
+     "is single-threaded by contract; confine cross-thread state to "
+     "exp::SweepRunner or justify with allow-file(thread-share)"),
+    ("thread-share",
+     re.compile(r"\bthread_local\b"),
+     "thread_local state: per-thread copies diverge across --jobs values"),
+    ("thread-share",
+     re.compile(r"(?<![\w.>:])pthread_\w+\s*\("),
+     "raw pthread call outside the thread-pool boundary"),
 )
 
 
@@ -387,6 +415,7 @@ def lint_file(path: str, engine: str,
         findings = regex_file_findings(path, text, pool)
 
     warnings: List[str] = []
+    file_allowed: Set[str] = set()
     for i, raw in enumerate(lines, start=1):
         m = ALLOW_RE.search(raw)
         if m:
@@ -394,9 +423,18 @@ def lint_file(path: str, engine: str,
                 if r not in RULES:
                     warnings.append(
                         f"{path}:{i}: unknown rule '{r}' in allow()")
+        m = ALLOW_FILE_RE.search(raw)
+        if m:
+            for r in (s.strip() for s in m.group(1).split(",")):
+                if r in RULES:
+                    file_allowed.add(r)
+                else:
+                    warnings.append(
+                        f"{path}:{i}: unknown rule '{r}' in allow-file()")
 
     active = [f for f in findings
-              if f.rule not in suppressed_rules(lines, f.line)]
+              if f.rule not in file_allowed
+              and f.rule not in suppressed_rules(lines, f.line)]
     # stable report order regardless of rule-pass order
     active.sort(key=lambda f: (f.path, f.line, f.rule))
     return active, warnings
