@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "intsched/core/network_map.hpp"
+#include "intsched/core/ranking.hpp"
+#include "intsched/core/thread_annot.hpp"
+
+namespace intsched::core {
+
+/// Thread-safe facade over the scheduler's shared state: a NetworkMap fed
+/// by concurrent probe ingest and a Ranker answering concurrent candidate
+/// queries. This is the deployment shape of the paper's scheduler process
+/// (collector thread(s) ingesting INT reports while RPC threads rank), and
+/// the one place in the tree where NetworkMap/Ranker may be touched from
+/// more than one thread.
+///
+/// Locking model — one exclusive AnnotatedMutex over both objects:
+///  - NetworkMap::ingest mutates the graph, EWMAs, and queue windows.
+///  - Ranker::rank is const but NOT read-only: its epoch path-cache
+///    (delay-graph snapshot + per-origin Dijkstra memo) rebuilds lazily
+///    inside const rank() calls. Two unsynchronized rank() calls race on
+///    the cache even with no ingest in flight, so reads take the exclusive
+///    lock too — a reader/writer lock would be unsound here, not merely
+///    slower. The -Wthread-safety build enforces all of this statically;
+///    the tsan preset re-checks it dynamically.
+///
+/// The single-threaded simulation hot paths keep using NetworkMap/Ranker
+/// directly (zero locking); this facade is for genuinely concurrent
+/// servers and for the TSan concurrency tests.
+class ConcurrentNetworkMap {
+ public:
+  explicit ConcurrentNetworkMap(NetworkMapConfig map_config = {},
+                                RankerConfig ranker_config = {})
+      : map_{map_config}, ranker_{map_, std::move(ranker_config)} {}
+
+  ConcurrentNetworkMap(const ConcurrentNetworkMap&) = delete;
+  ConcurrentNetworkMap& operator=(const ConcurrentNetworkMap&) = delete;
+
+  /// Ingests one parsed probe report (collector side).
+  void ingest(const telemetry::ProbeReport& report, sim::SimTime now)
+      INTSCHED_EXCLUDES(mutex_);
+
+  /// Ranks `candidates` from `origin` at `now`, best first (query side).
+  [[nodiscard]] std::vector<ServerRank> rank(
+      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      RankingMetric metric, sim::SimTime now) const INTSCHED_EXCLUDES(mutex_);
+
+  /// Current link-delay estimate (falls back like NetworkMap::link_delay).
+  [[nodiscard]] sim::SimTime link_delay(net::NodeId from, net::NodeId to)
+      const INTSCHED_EXCLUDES(mutex_);
+
+  [[nodiscard]] bool knows_node(net::NodeId node) const
+      INTSCHED_EXCLUDES(mutex_);
+  [[nodiscard]] std::int64_t reports_ingested() const
+      INTSCHED_EXCLUDES(mutex_);
+  [[nodiscard]] std::int64_t rejected_entries() const
+      INTSCHED_EXCLUDES(mutex_);
+  [[nodiscard]] std::int64_t queries_served() const INTSCHED_EXCLUDES(mutex_);
+
+ private:
+  /// Shared ranking path, entered with the lock already held (also the
+  /// hook for future batched ingest-then-rank operations that must not
+  /// drop the lock between the two steps).
+  [[nodiscard]] std::vector<ServerRank> rank_locked(
+      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      RankingMetric metric, sim::SimTime now) const INTSCHED_REQUIRES(mutex_);
+
+  mutable AnnotatedMutex mutex_;
+  NetworkMap map_ INTSCHED_GUARDED_BY(mutex_);
+  Ranker ranker_ INTSCHED_GUARDED_BY(mutex_);
+  mutable std::int64_t queries_ INTSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace intsched::core

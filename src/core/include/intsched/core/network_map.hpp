@@ -69,6 +69,11 @@ struct NetworkMapConfig {
 /// reports (paper §III-B): adjacency from the order of INT stack entries,
 /// link delays from egress-timestamp differences, congestion from
 /// collect-and-reset max-queue registers.
+///
+/// Threading: thread-confined, no internal locking — ingest mutates every
+/// table. When probe ingest and ranking queries run on different threads
+/// (the deployment shape), wrap it in core::ConcurrentNetworkMap instead
+/// of sharing it directly (DESIGN.md Concurrency model).
 class NetworkMap {
  public:
   explicit NetworkMap(NetworkMapConfig config = {}) : cfg_{config} {}

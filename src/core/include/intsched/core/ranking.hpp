@@ -154,7 +154,11 @@ class Ranker {
   const NetworkMap* map_;
   RankerConfig cfg_;
   // rank() is const (callable from the scheduler's read path); the cache
-  // is a performance side-channel, hence mutable.
+  // is a performance side-channel, hence mutable. That also means const
+  // rank() is NOT a read-only operation: concurrent rank() calls on a
+  // shared Ranker race on this cache. Cross-thread use must go through
+  // core::ConcurrentNetworkMap, whose exclusive lock covers both ingest
+  // and rank (DESIGN.md Concurrency model).
   mutable PathCache cache_;
 };
 

@@ -1,0 +1,102 @@
+#pragma once
+
+// Clang thread-safety (capability) annotations for the few types in this
+// tree that are legitimately shared across threads. Under Clang with
+// -Wthread-safety (the `thread-safety` CMake preset / INTSCHED_THREAD_SAFETY
+// option) the compiler statically checks lock discipline: every access to an
+// INTSCHED_GUARDED_BY member must happen while the named capability is held,
+// INTSCHED_REQUIRES callees must be entered with it held, INTSCHED_EXCLUDES
+// entry points must not be. Under GCC (and Clang without the flag) every
+// macro expands to nothing, so the annotations are free documentation.
+//
+// The division of labour (DESIGN.md §9): these annotations catch
+// lock-discipline violations at compile time, the `tsan` preset catches the
+// dynamic races the static analysis cannot see, and detlint's concurrency
+// rules (mutex-no-guard, raw-thread, atomic-ordering) keep new code inside
+// this framework. Anything not annotated here is thread-confined by the
+// simulator's single-threaded contract (detlint rule `thread-share`).
+//
+// This header *is* the sanctioned wrapper around the raw primitives, so it
+// carries the lint suppressions every other file must not:
+// intsched-lint: allow-file(thread-share): annotated wrapper over std::mutex
+// intsched-lint: allow-file(mutex-no-guard): AnnotatedMutex IS the capability,
+//   it guards nothing itself
+
+#include <mutex>
+
+#if defined(__clang__)
+#define INTSCHED_THREAD_ANNOT(x) __attribute__((x))
+#else
+#define INTSCHED_THREAD_ANNOT(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a capability ("mutex" in diagnostics).
+#define INTSCHED_CAPABILITY(x) INTSCHED_THREAD_ANNOT(capability(x))
+/// Marks an RAII type that acquires in its ctor and releases in its dtor.
+#define INTSCHED_SCOPED_CAPABILITY INTSCHED_THREAD_ANNOT(scoped_lockable)
+/// Member may only be accessed while holding the named capability.
+#define INTSCHED_GUARDED_BY(x) INTSCHED_THREAD_ANNOT(guarded_by(x))
+/// Pointee may only be accessed while holding the named capability.
+#define INTSCHED_PT_GUARDED_BY(x) INTSCHED_THREAD_ANNOT(pt_guarded_by(x))
+/// Function must be called with the capability held (and does not release).
+#define INTSCHED_REQUIRES(...) \
+  INTSCHED_THREAD_ANNOT(requires_capability(__VA_ARGS__))
+#define INTSCHED_REQUIRES_SHARED(...) \
+  INTSCHED_THREAD_ANNOT(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability (held on return, not on entry).
+#define INTSCHED_ACQUIRE(...) \
+  INTSCHED_THREAD_ANNOT(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on return).
+#define INTSCHED_RELEASE(...) \
+  INTSCHED_THREAD_ANNOT(release_capability(__VA_ARGS__))
+/// Function acquires the capability only when returning `ret`.
+#define INTSCHED_TRY_ACQUIRE(ret, ...) \
+  INTSCHED_THREAD_ANNOT(try_acquire_capability(ret, __VA_ARGS__))
+/// Function must be called with the capability NOT held (deadlock guard on
+/// public entry points of types whose private helpers take the lock).
+#define INTSCHED_EXCLUDES(...) \
+  INTSCHED_THREAD_ANNOT(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define INTSCHED_RETURN_CAPABILITY(x) \
+  INTSCHED_THREAD_ANNOT(lock_returned(x))
+/// Escape hatch for code the analysis cannot model; every use must say why.
+#define INTSCHED_NO_THREAD_SAFETY_ANALYSIS \
+  INTSCHED_THREAD_ANNOT(no_thread_safety_analysis)
+
+namespace intsched::core {
+
+/// std::mutex with the capability attribute, so members can be declared
+/// INTSCHED_GUARDED_BY(mutex_) and methods INTSCHED_REQUIRES(mutex_).
+/// Same cost as a bare std::mutex; the annotations are compile-time only.
+class INTSCHED_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() INTSCHED_ACQUIRE() { mutex_.lock(); }
+  void unlock() INTSCHED_RELEASE() { mutex_.unlock(); }
+  bool try_lock() INTSCHED_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// std::lock_guard over AnnotatedMutex, visible to the analysis: the scope
+/// of a LockGuard is the scope in which guarded members may be touched.
+class INTSCHED_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(AnnotatedMutex& mutex) INTSCHED_ACQUIRE(mutex)
+      : mutex_{mutex} {
+    mutex_.lock();
+  }
+  ~LockGuard() INTSCHED_RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  AnnotatedMutex& mutex_;
+};
+
+}  // namespace intsched::core

@@ -1,0 +1,51 @@
+#include "intsched/core/concurrent_map.hpp"
+
+namespace intsched::core {
+
+void ConcurrentNetworkMap::ingest(const telemetry::ProbeReport& report,
+                                  sim::SimTime now) {
+  LockGuard lock{mutex_};
+  map_.ingest(report, now);
+}
+
+std::vector<ServerRank> ConcurrentNetworkMap::rank(
+    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    RankingMetric metric, sim::SimTime now) const {
+  LockGuard lock{mutex_};
+  return rank_locked(origin, candidates, metric, now);
+}
+
+std::vector<ServerRank> ConcurrentNetworkMap::rank_locked(
+    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    RankingMetric metric, sim::SimTime now) const {
+  ++queries_;
+  return ranker_.rank(origin, candidates, metric, now);
+}
+
+sim::SimTime ConcurrentNetworkMap::link_delay(net::NodeId from,
+                                              net::NodeId to) const {
+  LockGuard lock{mutex_};
+  return map_.link_delay(from, to);
+}
+
+bool ConcurrentNetworkMap::knows_node(net::NodeId node) const {
+  LockGuard lock{mutex_};
+  return map_.knows_node(node);
+}
+
+std::int64_t ConcurrentNetworkMap::reports_ingested() const {
+  LockGuard lock{mutex_};
+  return map_.reports_ingested();
+}
+
+std::int64_t ConcurrentNetworkMap::rejected_entries() const {
+  LockGuard lock{mutex_};
+  return map_.rejected_entries();
+}
+
+std::int64_t ConcurrentNetworkMap::queries_served() const {
+  LockGuard lock{mutex_};
+  return queries_;
+}
+
+}  // namespace intsched::core

@@ -37,10 +37,13 @@ class SweepRunner {
 
   [[nodiscard]] int jobs() const { return jobs_; }
 
-  /// Runs every task to completion and returns. Tasks must be mutually
-  /// independent (each may touch only its own state/result slot). The
-  /// first exception thrown by any task is rethrown here after all
-  /// workers have drained.
+  /// Runs the tasks and returns. Tasks must be mutually independent (each
+  /// touching only its own state/result slot) — or share state exclusively
+  /// through an explicitly thread-safe type (e.g. core::ConcurrentNetworkMap;
+  /// such runs trade the byte-identity guarantee for throughput). The first
+  /// exception thrown by any task is rethrown here after the workers join;
+  /// a stop flag abandons tasks not yet started, matching the serial path
+  /// where a throw skips everything after the failing task.
   void run(std::vector<std::function<void()>> tasks) const;
 
   /// Deterministic parallel map: out[i] = fn(i). The result order is the

@@ -10,7 +10,12 @@
 #include <utility>
 #include <vector>
 
+#include "intsched/sim/audit.hpp"
 #include "intsched/sim/time.hpp"
+
+#if INTSCHED_AUDIT_ENABLED
+#include <thread>
+#endif
 
 namespace intsched::sim {
 
@@ -34,6 +39,13 @@ struct EventId {
 ///  - Cancellation is a tombstone: the node is disarmed and its slot
 ///    recycled immediately, and the stale heap entry is skipped when it
 ///    surfaces (generation mismatch). No per-event map find/erase anywhere.
+///
+/// Threading: the slab, free list, and tombstone generations are *thread
+/// confined*, not shared — each trial's Simulator (and its queue) lives and
+/// dies on one thread (DESIGN.md §9), so the hot path carries no locks and
+/// no capability annotations. Audit builds enforce the confinement
+/// dynamically: the queue binds to the first thread that touches it and
+/// aborts if a second thread ever does.
 class EventQueue {
  public:
   /// Move-only callable with inline small-buffer storage. Replaces
@@ -195,6 +207,16 @@ class EventQueue {
   /// Time of the most recent pop; audit mode asserts pops never go
   /// backwards (the queue-level half of simulator clock monotonicity).
   SimTime last_popped_ = SimTime::zero();
+#if INTSCHED_AUDIT_ENABLED
+  /// Binds `audit_owner_` to the calling thread on first use and aborts
+  /// when any later operation arrives from a different thread. First-use
+  /// (not construction-time) binding keeps the legal pattern of building
+  /// a Simulator on one thread and handing it whole to a worker.
+  void audit_check_owner() const;
+  /// Default id() means "not yet bound"; a live thread never has it.
+  // intsched-lint: allow(thread-share): audit-only owner id, never shared
+  mutable std::thread::id audit_owner_{};
+#endif
 };
 
 }  // namespace intsched::sim

@@ -6,7 +6,27 @@
 
 namespace intsched::sim {
 
+#if INTSCHED_AUDIT_ENABLED
+void EventQueue::audit_check_owner() const {
+  // intsched-lint: allow(thread-share): audit-only owner id, never shared
+  const std::thread::id self = std::this_thread::get_id();
+  // intsched-lint: allow(thread-share): default id() compare, as above
+  if (audit_owner_ == std::thread::id{}) audit_owner_ = self;
+  INTSCHED_AUDIT_ASSERT(
+      audit_owner_ == self,
+      "EventQueue touched from a second thread: the simulator and its "
+      "queue are thread-confined (DESIGN.md Concurrency model); share "
+      "state across trials only via explicitly thread-safe types");
+}
+#define INTSCHED_EQ_CHECK_OWNER() audit_check_owner()
+#else
+#define INTSCHED_EQ_CHECK_OWNER() \
+  do {                            \
+  } while (false)
+#endif
+
 EventId EventQueue::push(SimTime at, Callback cb) {
+  INTSCHED_EQ_CHECK_OWNER();
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -25,6 +45,7 @@ EventId EventQueue::push(SimTime at, Callback cb) {
 }
 
 bool EventQueue::cancel(EventId id) {
+  INTSCHED_EQ_CHECK_OWNER();
   const std::uint64_t slot_plus_one = id.value >> 32;
   if (slot_plus_one == 0 || slot_plus_one > slab_.size()) return false;
   const auto slot = static_cast<std::uint32_t>(slot_plus_one - 1);
@@ -60,6 +81,7 @@ SimTime EventQueue::next_time() const {
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  INTSCHED_EQ_CHECK_OWNER();
   drop_dead_front();
   assert(!heap_.empty() && "pop() on empty queue");
   INTSCHED_AUDIT_ASSERT(!heap_.empty(), "pop() requires a pending event");

@@ -1,0 +1,131 @@
+// ConcurrentNetworkMap: the locked ingest-vs-rank facade. The concurrent
+// tests drive real parallelism through exp::SweepRunner (the sanctioned
+// pool) and assert only interleaving-insensitive facts — totals after the
+// join, and the final converged ranking — so they pass under any schedule
+// while giving ThreadSanitizer (the `tsan` preset) real cross-thread
+// traffic over every lock path.
+
+#include "intsched/core/concurrent_map.hpp"
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "intsched/exp/sweep_runner.hpp"
+
+namespace intsched::core {
+namespace {
+
+sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+
+net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
+                         std::int32_t out_port, std::int64_t queue,
+                         sim::SimTime link_latency) {
+  net::IntStackEntry e;
+  e.device = device;
+  e.ingress_port = in_port;
+  e.egress_port = out_port;
+  e.max_queue_pkts = queue;
+  e.device_max_queue_pkts = queue;
+  e.ingress_link_latency = link_latency;
+  return e;
+}
+
+/// host 0 -> s10 -> s11 -> host 1 (candidate server / collector).
+telemetry::ProbeReport simple_report(std::int64_t q10 = 0,
+                                     std::int64_t q11 = 0) {
+  telemetry::ProbeReport r;
+  r.src = 0;
+  r.dst = 1;
+  r.entries = {
+      entry(10, 0, 2, q10, ms(10)),
+      entry(11, 1, 3, q11, ms(12)),
+  };
+  r.final_link_latency = ms(9);
+  return r;
+}
+
+TEST(ConcurrentNetworkMapTest, SingleThreadedBehaviourMatchesNetworkMap) {
+  ConcurrentNetworkMap shared;
+  shared.ingest(simple_report(), ms(0));
+
+  NetworkMap plain;
+  plain.ingest(simple_report(), ms(0));
+
+  EXPECT_TRUE(shared.knows_node(10));
+  EXPECT_EQ(shared.reports_ingested(), 1);
+  EXPECT_EQ(shared.rejected_entries(), 0);
+  EXPECT_EQ(shared.link_delay(0, 10), plain.link_delay(0, 10));
+  EXPECT_EQ(shared.link_delay(10, 11), plain.link_delay(10, 11));
+}
+
+TEST(ConcurrentNetworkMapTest, RankMatchesDirectRankerAndCountsQueries) {
+  ConcurrentNetworkMap shared;
+  shared.ingest(simple_report(), ms(0));
+
+  NetworkMap plain;
+  plain.ingest(simple_report(), ms(0));
+  const Ranker ranker{plain};
+
+  const std::vector<net::NodeId> candidates{1};
+  const std::vector<ServerRank> got =
+      shared.rank(0, candidates, RankingMetric::kDelay, ms(1));
+  const std::vector<ServerRank> want =
+      ranker.rank(0, candidates, RankingMetric::kDelay, ms(1));
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].server, want[0].server);
+  EXPECT_EQ(got[0].delay_estimate, want[0].delay_estimate);
+  EXPECT_EQ(got[0].bandwidth_estimate.bps(), want[0].bandwidth_estimate.bps());
+  EXPECT_EQ(shared.queries_served(), 1);
+}
+
+TEST(ConcurrentNetworkMapTest, ConcurrentIngestAndRankKeepTotalsExact) {
+  constexpr int kIngestTasks = 4;
+  constexpr int kRankTasks = 4;
+  constexpr int kOpsPerTask = 50;
+
+  ConcurrentNetworkMap shared;
+  // Seed the topology so rank tasks have a graph from the first instant.
+  shared.ingest(simple_report(), ms(0));
+
+  const std::vector<net::NodeId> candidates{1, 99};
+  std::vector<std::function<void()>> tasks;
+  for (int t = 0; t < kIngestTasks; ++t) {
+    tasks.push_back([&shared, t] {
+      for (int i = 0; i < kOpsPerTask; ++i) {
+        // Distinct queue values and times per task: every ingest really
+        // mutates the EWMAs, windows, and the ranker's cache epoch.
+        shared.ingest(simple_report(i % 7, (i + t) % 5), ms(1 + i));
+      }
+    });
+  }
+  for (int t = 0; t < kRankTasks; ++t) {
+    tasks.push_back([&shared, &candidates] {
+      for (int i = 0; i < kOpsPerTask; ++i) {
+        const std::vector<ServerRank> ranked =
+            shared.rank(0, candidates, RankingMetric::kDelay, ms(1 + i));
+        // Interleaving-insensitive: shape and ordering policy only.
+        ASSERT_EQ(ranked.size(), candidates.size());
+        EXPECT_LE(ranked[0].delay_estimate, ranked[1].delay_estimate);
+      }
+    });
+  }
+
+  const exp::SweepRunner runner{4};
+  runner.run(std::move(tasks));
+
+  EXPECT_EQ(shared.reports_ingested(), 1 + kIngestTasks * kOpsPerTask);
+  EXPECT_EQ(shared.queries_served(), kRankTasks * kOpsPerTask);
+
+  // After the join the state has quiesced: ranking is deterministic again.
+  const std::vector<ServerRank> final_rank =
+      shared.rank(0, candidates, RankingMetric::kDelay, ms(kOpsPerTask));
+  ASSERT_EQ(final_rank.size(), 2u);
+  EXPECT_EQ(final_rank[0].server, 1);
+  EXPECT_EQ(final_rank[1].server, 99);  // never probed: unreachable, last
+}
+
+}  // namespace
+}  // namespace intsched::core

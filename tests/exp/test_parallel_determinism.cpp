@@ -116,6 +116,18 @@ TEST(ParallelDeterminism, ExceptionsPropagateAfterDrain) {
   EXPECT_THROW(runner.run(std::move(tasks)), std::runtime_error);
 }
 
+TEST(ParallelDeterminism, SerialPathAbandonsTasksAfterThrow) {
+  // The parallel stop flag mirrors this exactly: a failing trial means no
+  // usable sweep, so later tasks are skipped rather than run for nothing.
+  const SweepRunner runner{1};
+  bool later_ran = false;
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("trial failed"); });
+  tasks.push_back([&later_ran] { later_ran = true; });
+  EXPECT_THROW(runner.run(std::move(tasks)), std::runtime_error);
+  EXPECT_FALSE(later_ran);
+}
+
 TEST(ParallelDeterminism, ResolveJobsHonoursExplicitRequest) {
   EXPECT_EQ(resolve_jobs(3), 3);
   EXPECT_EQ(resolve_jobs(1), 1);

@@ -87,6 +87,82 @@ TEST(EventQueueTest, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 0u);
 }
 
+// -- generation-handle edge cases: a handle must only ever affect the exact
+// event it was issued for, across firing, cancellation, and slot reuse. --
+
+TEST(EventQueueTest, CancelAfterFireIsNoOpWhenSlotIsReused) {
+  EventQueue q;
+  const EventId old_id = q.push(SimTime::seconds(1), [] {});
+  q.pop().second();  // fires; slot goes back on the free list
+
+  // The replacement event recycles the same slab slot (gen bumped).
+  bool fired = false;
+  q.push(SimTime::seconds(2), [&] { fired = true; });
+  EXPECT_FALSE(q.cancel(old_id));  // stale handle: strict no-op
+  EXPECT_EQ(q.size(), 1u);         // the new event must survive
+  q.pop().second();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, HandleReuseAcrossGenerationsNeverCancelsWrongEvent) {
+  EventQueue q;
+  // Cycle one slot through many generations, keeping every stale handle.
+  std::vector<EventId> stale;
+  for (int gen = 0; gen < 64; ++gen) {
+    const EventId id = q.push(SimTime::seconds(1), [] {});
+    EXPECT_TRUE(q.cancel(id));
+    stale.push_back(id);
+  }
+  // The live event takes yet another generation of the same slot.
+  bool fired = false;
+  const EventId live = q.push(SimTime::seconds(1), [&] { fired = true; });
+  for (const EventId id : stale) {
+    EXPECT_FALSE(q.cancel(id)) << "stale handle cancelled a later event";
+  }
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().second();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(q.cancel(live));  // and the live handle died with the fire
+}
+
+TEST(EventQueueTest, CancellationUnderFullTombstoneSlab) {
+  EventQueue q;
+  // Fill the slab, then tombstone every slot: the heap now holds nothing
+  // but dead entries while the free list holds the whole slab.
+  constexpr int kSlab = 128;
+  std::vector<EventId> ids;
+  for (int i = 0; i < kSlab; ++i) {
+    ids.push_back(q.push(SimTime::milliseconds(i + 1), [] {}));
+  }
+  for (const EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  for (const EventId id : ids) EXPECT_FALSE(q.cancel(id));  // double cancel
+
+  // Refill through the recycled slots at *earlier* times than the
+  // tombstones: pops must yield only the new events, in time order.
+  std::vector<int> order;
+  for (int i = 0; i < kSlab; ++i) {
+    q.push(SimTime::microseconds(kSlab - i), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kSlab));
+  // Every pre-tombstone handle is still inert against the reused slots.
+  for (const EventId id : ids) EXPECT_FALSE(q.cancel(id));
+  SimTime last = SimTime::zero();
+  while (!q.empty()) {
+    const auto [at, cb] = q.pop();
+    EXPECT_GE(at, last);
+    last = at;
+    cb();
+  }
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kSlab));
+  // Later pushes had earlier times: expect exact reverse submission order.
+  for (int i = 0; i < kSlab; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], kSlab - 1 - i);
+  }
+}
+
 TEST(EventQueueTest, ManyInterleavedOperations) {
   EventQueue q;
   std::vector<EventId> ids;

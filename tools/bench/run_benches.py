@@ -20,6 +20,15 @@ Modes:
                      benchmark regressed more than --threshold (default
                      25%) in ns/op. New benchmarks (absent from the
                      baseline) are reported but never fail the check.
+                     Unless --skip-suite, also re-run the scaled suite
+                     and compare total wall clock against the committed
+                     BENCH_suite.json (same threshold; jobs/reps taken
+                     from the baseline) — a slower-than-threshold suite
+                     or a byte-identity break fails the check.
+  --self-test        exercise the comparison logic on synthetic data
+                     (clean, regressed, and identity-broken cases) with
+                     no build directory needed; used by the ctest `lint`
+                     label so the gate's non-zero exit path stays tested.
 
 Wall-clock numbers are hardware-dependent: regenerate the baseline on the
 machine that will check against it (CI regenerates its own in the smoke
@@ -36,7 +45,7 @@ import os
 import subprocess
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 def run_micro(build_dir: str, out_path: str) -> Dict:
@@ -78,19 +87,18 @@ def run_suite(build_dir: str, jobs: int, reps: int) -> Dict:
     return result
 
 
-def check_micro(build_dir: str, baseline_path: str,
-                threshold: float) -> int:
-    with open(baseline_path, encoding="utf-8") as f:
-        baseline = json.load(f)
-    fresh = run_micro(build_dir, "/tmp/BENCH_micro_check.json")
-
+def compare_micro(baseline: Dict, fresh: Dict,
+                  threshold: float) -> Tuple[List[str], int]:
+    """Pure comparison (no I/O): per-benchmark ns/op vs. baseline.
+    Returns (report lines, regression count)."""
     base = {b["name"]: b for b in baseline["benchmarks"]}
+    lines: List[str] = []
     regressions = 0
     for bench in fresh["benchmarks"]:
         name = bench["name"]
         if name not in base:
-            print(f"  NEW       {name}: {bench['real_time']:.1f} "
-                  f"{bench['time_unit']} (no baseline)")
+            lines.append(f"  NEW       {name}: {bench['real_time']:.1f} "
+                         f"{bench['time_unit']} (no baseline)")
             continue
         old = base[name]["real_time"]
         new = bench["real_time"]
@@ -99,13 +107,120 @@ def check_micro(build_dir: str, baseline_path: str,
         if new > old * (1.0 + threshold):
             verdict = "REGRESSION"
             regressions += 1
-        print(f"  {verdict:<9} {name}: {old:.1f} -> {new:.1f} "
-              f"{bench['time_unit']} ({delta:+.1f}%)")
+        lines.append(f"  {verdict:<9} {name}: {old:.1f} -> {new:.1f} "
+                     f"{bench['time_unit']} ({delta:+.1f}%)")
+    return lines, regressions
+
+
+def compare_suite(baseline: Dict, fresh: Dict,
+                  threshold: float) -> Tuple[List[str], int]:
+    """Pure comparison (no I/O): total suite wall clock vs. baseline plus
+    the serial/parallel byte-identity contract. Returns (lines, failures)."""
+    lines: List[str] = []
+    failures = 0
+    old = sum(r["wall_seconds"] for r in baseline["runs"])
+    new = sum(r["wall_seconds"] for r in fresh["runs"])
+    delta = (new - old) / old * 100.0 if old > 0 else 0.0
+    verdict = "OK"
+    if old > 0 and new > old * (1.0 + threshold):
+        verdict = "REGRESSION"
+        failures += 1
+    lines.append(f"  {verdict:<9} suite total: {old:.3f}s -> {new:.3f}s "
+                 f"({delta:+.1f}%)")
+    if not fresh.get("byte_identical", False):
+        lines.append("  IDENTITY  parallel output diverged from serial")
+        failures += 1
+    return lines, failures
+
+
+def check_micro(build_dir: str, baseline_path: str,
+                threshold: float) -> int:
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    fresh = run_micro(build_dir, "/tmp/BENCH_micro_check.json")
+    lines, regressions = compare_micro(baseline, fresh, threshold)
+    for line in lines:
+        print(line)
     if regressions:
         print(f"run_benches: {regressions} benchmark(s) regressed more "
               f"than {threshold * 100:.0f}%", file=sys.stderr)
         return 1
-    print("run_benches: no regressions beyond threshold")
+    print("run_benches: no micro regressions beyond threshold")
+    return 0
+
+
+def check_suite(build_dir: str, baseline_path: str,
+                threshold: float) -> int:
+    """Re-run the scaled suite at the baseline's jobs/reps and gate the
+    total wall clock (and byte identity) against the committed numbers."""
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    jobs = max(r["jobs"] for r in baseline["runs"])
+    reps = baseline.get("reps", 2)
+    fresh = run_suite(build_dir, jobs, reps)
+    lines, failures = compare_suite(baseline, fresh, threshold)
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"run_benches: suite check failed ({failures} failure(s), "
+              f"threshold {threshold * 100:.0f}%)", file=sys.stderr)
+        return 1
+    print("run_benches: suite within threshold, byte-identical")
+    return 0
+
+
+def run_self_test() -> int:
+    """Synthetic-data regression suite for the comparison logic: the gates
+    must fail on regressions/identity breaks and pass on clean runs."""
+    micro_base = {"benchmarks": [
+        {"name": "BM_EventQueue", "real_time": 100.0, "time_unit": "ns"},
+        {"name": "BM_Ranking", "real_time": 200.0, "time_unit": "ns"},
+    ]}
+    micro_clean = {"benchmarks": [
+        {"name": "BM_EventQueue", "real_time": 110.0, "time_unit": "ns"},
+        {"name": "BM_Ranking", "real_time": 190.0, "time_unit": "ns"},
+        {"name": "BM_Brand_New", "real_time": 50.0, "time_unit": "ns"},
+    ]}
+    micro_bad = {"benchmarks": [
+        {"name": "BM_EventQueue", "real_time": 130.0, "time_unit": "ns"},
+        {"name": "BM_Ranking", "real_time": 200.0, "time_unit": "ns"},
+    ]}
+    suite_base = {"runs": [{"jobs": 1, "wall_seconds": 10.0},
+                           {"jobs": 2, "wall_seconds": 6.0}],
+                  "byte_identical": True}
+    suite_clean = {"runs": [{"jobs": 1, "wall_seconds": 10.5},
+                            {"jobs": 2, "wall_seconds": 6.2}],
+                   "byte_identical": True}
+    suite_slow = {"runs": [{"jobs": 1, "wall_seconds": 15.0},
+                           {"jobs": 2, "wall_seconds": 9.0}],
+                  "byte_identical": True}
+    suite_diverged = {"runs": [{"jobs": 1, "wall_seconds": 10.0},
+                               {"jobs": 2, "wall_seconds": 6.0}],
+                      "byte_identical": False}
+
+    cases = (
+        ("micro clean run passes",
+         compare_micro(micro_base, micro_clean, 0.25)[1] == 0),
+        ("micro 30% regression fails",
+         compare_micro(micro_base, micro_bad, 0.25)[1] == 1),
+        ("micro new benchmark never fails",
+         compare_micro(micro_base, micro_clean, 0.0)[1] == 1),  # 10% > 0%
+        ("suite clean run passes",
+         compare_suite(suite_base, suite_clean, 0.25)[1] == 0),
+        ("suite 50% wall-clock regression fails",
+         compare_suite(suite_base, suite_slow, 0.25)[1] == 1),
+        ("suite byte-identity break fails",
+         compare_suite(suite_base, suite_diverged, 0.25)[1] == 1),
+    )
+    failures = 0
+    for name, ok in cases:
+        print(f"  {'PASS' if ok else 'FAIL'}  {name}")
+        failures += 0 if ok else 1
+    if failures:
+        print(f"run_benches self-test: FAIL ({failures} case(s))",
+              file=sys.stderr)
+        return 1
+    print(f"run_benches self-test: OK ({len(cases)} case(s))")
     return 0
 
 
@@ -131,8 +246,14 @@ def main(argv: List[str]) -> int:
     parser.add_argument("--reps", type=int, default=2,
                         help="repetitions for the suite run")
     parser.add_argument("--skip-suite", action="store_true",
-                        help="only run/emit the micro benchmarks")
+                        help="only run/emit/check the micro benchmarks")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the synthetic comparison-logic suite "
+                             "(no build directory required)")
     args = parser.parse_args(argv)
+
+    if args.self_test:
+        return run_self_test()
 
     baseline = args.baseline or os.path.join(args.out_dir,
                                              "BENCH_micro.json")
@@ -141,7 +262,17 @@ def main(argv: List[str]) -> int:
             print(f"run_benches: no baseline at {baseline}; run without "
                   "--check once and commit the artifact", file=sys.stderr)
             return 2
-        return check_micro(args.build_dir, baseline, args.threshold)
+        rc = check_micro(args.build_dir, baseline, args.threshold)
+        if not args.skip_suite:
+            suite_baseline = os.path.join(args.out_dir, "BENCH_suite.json")
+            if not os.path.exists(suite_baseline):
+                print(f"run_benches: no suite baseline at {suite_baseline}; "
+                      "run without --check once and commit the artifact",
+                      file=sys.stderr)
+                return 2
+            rc = max(rc, check_suite(args.build_dir, suite_baseline,
+                                     args.threshold))
+        return rc
 
     os.makedirs(args.out_dir, exist_ok=True)
     run_micro(args.build_dir, os.path.join(args.out_dir,

@@ -1,0 +1,28 @@
+// Corpus: memory_order_relaxed outside a counter bump. Relaxed accesses
+// establish no happens-before edge, so a relaxed flag or pointer read
+// can observe state from before the write that "published" it — the
+// classic latent race. Plain fetch_add/fetch_sub statistics counters are
+// the one sanctioned use. thread-share is suppressed file-wide so this
+// corpus exercises atomic-ordering in isolation.
+// intsched-lint: allow-file(thread-share)
+#include <atomic>
+#include <cstdint>
+
+std::atomic<bool> g_ready{false};
+std::atomic<std::int64_t> g_hits{0};
+
+void publish_wrong() {
+  g_ready.store(true, std::memory_order_relaxed);  // expect(atomic-ordering)
+}
+
+bool peek_wrong() {
+  return g_ready.load(std::memory_order_relaxed);  // expect(atomic-ordering)
+}
+
+// Clean: a pure statistics bump never orders anything.
+void count_hit() {
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Clean: the seq_cst default needs no justification.
+bool peek_right() { return g_ready.load(); }

@@ -1,0 +1,30 @@
+// Corpus: mutex members whose class declares no GUARDED_BY field. The
+// lock protects whatever the author had in mind, which -Wthread-safety
+// cannot check; annotating the guarded fields (thread_annot.hpp) turns
+// the discipline into a compile error. thread-share is suppressed
+// file-wide so this corpus exercises mutex-no-guard in isolation.
+// intsched-lint: allow-file(thread-share)
+#include <cstdint>
+#include <mutex>
+
+struct UnguardedCache {
+  std::mutex mutex_;  // expect(mutex-no-guard)
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+};
+
+class UnguardedRegistry {
+ public:
+  void bump();
+
+ private:
+  std::shared_mutex lock_;  // expect(mutex-no-guard)
+  std::int64_t entries_ = 0;
+};
+
+// Function-local locks are fine: lexical scope is their discipline.
+std::int64_t scoped_sum(std::int64_t a, std::int64_t b) {
+  std::mutex local_mutex;
+  const std::lock_guard<std::mutex> guard(local_mutex);
+  return a + b;
+}

@@ -1,0 +1,28 @@
+// Corpus: direct thread creation / detach outside the sanctioned pool
+// (exp::SweepRunner in sweep_runner.cpp). Keeping spawn policy in one
+// audited place is what makes the stop-flag and exception-funnel
+// semantics checkable. thread-share is suppressed file-wide so this
+// corpus exercises raw-thread in isolation.
+// intsched-lint: allow-file(thread-share)
+#include <cstdint>
+#include <thread>
+
+std::int64_t g_done = 0;
+
+void spawn_loose() {
+  std::thread worker([] { g_done = 1; });  // expect(raw-thread)
+  worker.join();
+}
+
+void spawn_and_abandon() {
+  std::jthread helper([] { g_done = 2; });  // expect(raw-thread)
+  helper.detach();  // expect(raw-thread)
+}
+
+// Member access on std::thread (no spawn) is deliberately not flagged:
+// ids and hardware_concurrency() are queries, not concurrency.
+unsigned query_only() {
+  const std::thread::id self = std::this_thread::get_id();
+  return self == std::thread::id{} ? 0u
+                                   : std::thread::hardware_concurrency();
+}

@@ -14,7 +14,8 @@ std::atomic<std::int64_t> g_counter{0};  // expect(thread-share)
 thread_local std::int64_t t_scratch = 0;  // expect(thread-share)
 
 void bad_spawn() {
-  std::thread worker([] { g_counter += 1; });  // expect(thread-share)
+  // A raw spawn is both shared state and an unsanctioned thread.
+  std::thread worker([] { g_counter += 1; });  // expect(thread-share) // expect(raw-thread)
   worker.join();
 }
 
@@ -24,7 +25,9 @@ std::int64_t bad_async() {
 }
 
 struct BadShared {
-  std::mutex mutex_;  // expect(thread-share)
+  // A mutex member with no GUARDED_BY field also trips mutex-no-guard:
+  // the lock names nothing it protects.
+  std::mutex mutex_;  // expect(thread-share) // expect(mutex-no-guard)
   std::condition_variable cv_;  // expect(thread-share)
   std::int64_t value_ = 0;
 };

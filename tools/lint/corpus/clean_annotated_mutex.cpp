@@ -1,0 +1,22 @@
+// Corpus: the sanctioned shape — a mutex member whose class names the
+// state it guards via GUARDED_BY annotations (thread_annot.hpp), so the
+// -Wthread-safety preset can verify every access holds the lock. Must
+// produce zero findings. thread-share is suppressed file-wide (this is
+// corpus code standing in for a sanctioned boundary file).
+// intsched-lint: allow-file(thread-share)
+#include <cstdint>
+#include <mutex>
+
+#define GUARDED_BY(x)  // stand-in for INTSCHED_GUARDED_BY in real code
+
+class GuardedCounter {
+ public:
+  void bump() {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    ++value_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::int64_t value_ GUARDED_BY(mutex_) = 0;
+};

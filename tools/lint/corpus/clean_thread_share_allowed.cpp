@@ -1,7 +1,7 @@
 // Corpus: allow-file() suppression. A file that *is* the sanctioned
-// thread-pool boundary declares so once, and every thread-share finding
-// in it is silenced — other rules stay active.
-// intsched-lint: allow-file(thread-share)
+// thread-pool boundary declares so once, and every thread-share and
+// raw-thread finding in it is silenced — other rules stay active.
+// intsched-lint: allow-file(thread-share, raw-thread)
 #include <cstdint>
 #include <mutex>
 #include <thread>

@@ -28,6 +28,23 @@ invariants"):
                    cross-thread shared mutable state anywhere else is a
                    nondeterminism hazard. The sanctioned boundary
                    (exp::SweepRunner) carries a file-level suppression.
+  mutex-no-guard   a mutex member (std::*mutex or core::AnnotatedMutex) in
+                   a class that declares no GUARDED_BY-annotated field. A
+                   lock that guards nothing *named* guards nothing at all:
+                   the -Wthread-safety preset can only check the lock
+                   discipline the annotations declare (thread_annot.hpp).
+  raw-thread       direct std::thread/std::jthread use or a .detach() call
+                   anywhere but sweep_runner.cpp. All parallelism flows
+                   through exp::SweepRunner so pool policy (stop flag,
+                   exception funnel, steal order) stays in one audited
+                   place. std::thread::id / hardware_concurrency (member
+                   access, no spawn) are deliberately not flagged.
+  atomic-ordering  memory_order_relaxed outside a fetch_add/fetch_sub
+                   counter bump. Relaxed accesses carry no happens-before
+                   edge; outside plain counters they are almost always a
+                   latent race or a stale-read bug. Use the seq_cst
+                   default, acquire/release, or justify the counter read
+                   with allow(atomic-ordering).
 
 Suppression: append `// intsched-lint: allow(<rule>[, <rule>...])` to the
 offending line or the line directly above it. For a file that is *itself*
@@ -63,7 +80,14 @@ RULES = (
     "unseeded-rng",
     "pointer-key",
     "thread-share",
+    "mutex-no-guard",
+    "raw-thread",
+    "atomic-ordering",
 )
+
+# The one file allowed to create threads (the pool implementation); the
+# raw-thread rule is suppressed there by construction, not by annotation.
+RAW_THREAD_BOUNDARY_BASENAMES = ("sweep_runner.cpp",)
 
 CXX_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".ipp")
 
@@ -124,7 +148,101 @@ TEXT_RULES: Sequence[Tuple[str, re.Pattern, str]] = (
     ("thread-share",
      re.compile(r"(?<![\w.>:])pthread_\w+\s*\("),
      "raw pthread call outside the thread-pool boundary"),
+    ("raw-thread",
+     re.compile(r"\bstd::j?thread\b(?!\s*::)"),
+     "direct thread creation outside the pool implementation: all "
+     "parallelism goes through exp::SweepRunner (sweep_runner.cpp)"),
+    ("raw-thread",
+     re.compile(r"\.\s*detach\s*\(\s*\)"),
+     "detached thread: orphaned concurrency can be neither joined nor "
+     "reasoned about; run the work on exp::SweepRunner instead"),
 )
+
+# -- concurrency structure rules (context-sensitive, shared by both
+#    engines: class-body attribution for mutex-no-guard, statement context
+#    for atomic-ordering) ------------------------------------------------
+
+MUTEX_MEMBER_RE = re.compile(
+    r"\b(?:std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex|"
+    r"AnnotatedMutex)\s+([A-Za-z_]\w*)\s*(?:;|\{|=)")
+CLASS_OPEN_RE = re.compile(r"\b(?:class|struct)\b[^;{}]*?\{")
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+COUNTER_OP_RE = re.compile(r"\bfetch_(?:add|sub)\s*\(")
+
+
+def class_body_spans(stripped: str) -> List[Tuple[int, int]]:
+    """(open-brace, end) offsets of every class/struct body."""
+    spans: List[Tuple[int, int]] = []
+    for m in CLASS_OPEN_RE.finditer(stripped):
+        open_idx = stripped.index("{", m.start())
+        depth = 0
+        for i in range(open_idx, len(stripped)):
+            if stripped[i] == "{":
+                depth += 1
+            elif stripped[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    spans.append((open_idx, i + 1))
+                    break
+        else:
+            spans.append((open_idx, len(stripped)))
+    return spans
+
+
+def enclosing_class(spans: Sequence[Tuple[int, int]],
+                    pos: int) -> Optional[Tuple[int, int]]:
+    """Innermost class body containing `pos` (None for free/local scope)."""
+    best: Optional[Tuple[int, int]] = None
+    for open_idx, end in spans:
+        if open_idx < pos < end and (best is None or open_idx > best[0]):
+            best = (open_idx, end)
+    return best
+
+
+def concurrency_findings(path: str, stripped: str) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # mutex-no-guard: every mutex *member* (declared at class-body depth,
+    # not inside a method) must live next to at least one GUARDED_BY field.
+    spans = class_body_spans(stripped)
+    for m in MUTEX_MEMBER_RE.finditer(stripped):
+        span = enclosing_class(spans, m.start())
+        if span is None:
+            continue  # function-local lock: scoping is its discipline
+        open_idx, end = span
+        depth = 1
+        for i in range(open_idx + 1, m.start()):
+            if stripped[i] == "{":
+                depth += 1
+            elif stripped[i] == "}":
+                depth -= 1
+        if depth != 1:
+            continue  # inside a member function body, not a member
+        if "GUARDED_BY" in stripped[open_idx:end]:
+            continue
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "mutex-no-guard",
+            f"mutex member '{m.group(1)}' in a class with no "
+            "GUARDED_BY-annotated field: declare what it protects "
+            "(intsched/core/thread_annot.hpp) so -Wthread-safety can "
+            "check the discipline, or justify with allow(mutex-no-guard)"))
+
+    # atomic-ordering: relaxed is for counter bumps (fetch_add/fetch_sub
+    # in the same statement); any other relaxed access needs a reason.
+    for m in RELAXED_RE.finditer(stripped):
+        stmt_start = max(stripped.rfind(c, 0, m.start())
+                         for c in (";", "{", "}"))
+        stmt = stripped[stmt_start + 1:m.end()]
+        if COUNTER_OP_RE.search(stmt):
+            continue
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "atomic-ordering",
+            "memory_order_relaxed outside a fetch_add/fetch_sub counter "
+            "bump: relaxed accesses publish nothing (no happens-before); "
+            "use the seq_cst default or acquire/release, or justify a "
+            "counter read with allow(atomic-ordering)"))
+
+    return findings
 
 
 @dataclass(frozen=True)
@@ -288,6 +406,7 @@ def regex_file_findings(path: str, text: str,
         for m in pattern.finditer(stripped):
             findings.append(Finding(path, line_of(stripped, m.start()),
                                     rule, msg))
+    findings.extend(concurrency_findings(path, stripped))
 
     unordered = collect_unordered_names(stripped)
     if pool is not None:
@@ -341,6 +460,26 @@ def regex_file_findings(path: str, text: str,
 # regex engine per file on any failure so results never silently shrink.
 # ---------------------------------------------------------------------------
 
+def libclang_available() -> bool:
+    try:
+        from clang import cindex  # type: ignore  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+_warned_no_libclang = False
+
+
+def warn_no_libclang_once() -> None:
+    global _warned_no_libclang
+    if not _warned_no_libclang:
+        print("detlint: libclang (python3-clang) not found; using the "
+              "regex engine (type-accurate unordered-iter checks degraded)",
+              file=sys.stderr)
+        _warned_no_libclang = True
+
+
 def clang_file_findings(path: str, text: str) -> Optional[List[Finding]]:
     try:
         from clang import cindex  # type: ignore
@@ -358,6 +497,7 @@ def clang_file_findings(path: str, text: str) -> Optional[List[Finding]]:
         for m in pattern.finditer(stripped):
             findings.append(Finding(path, line_of(stripped, m.start()),
                                     rule, msg))
+    findings.extend(concurrency_findings(path, stripped))
 
     def walk(cursor) -> None:
         for child in cursor.get_children():
@@ -431,6 +571,9 @@ def lint_file(path: str, engine: str,
                 else:
                     warnings.append(
                         f"{path}:{i}: unknown rule '{r}' in allow-file()")
+
+    if os.path.basename(path) in RAW_THREAD_BOUNDARY_BASENAMES:
+        file_allowed.add("raw-thread")
 
     active = [f for f in findings
               if f.rule not in file_allowed
@@ -534,6 +677,9 @@ def main(argv: Sequence[str]) -> int:
     parser.add_argument("paths", nargs="*", help="files or directories")
     parser.add_argument("--engine", choices=("auto", "regex", "clang"),
                         default="auto")
+    parser.add_argument("--require-libclang", action="store_true",
+                        help="exit 2 instead of degrading to the regex "
+                             "engine when libclang is unavailable (CI)")
     parser.add_argument("--self-test", action="store_true",
                         help="run against the bundled corpus")
     parser.add_argument("--list-rules", action="store_true")
@@ -543,6 +689,13 @@ def main(argv: Sequence[str]) -> int:
         for r in RULES:
             print(r)
         return 0
+    if not libclang_available():
+        if args.require_libclang:
+            print("detlint: --require-libclang set but libclang "
+                  "(python3-clang) is not importable", file=sys.stderr)
+            return 2
+        if args.engine == "auto":
+            warn_no_libclang_once()
     if args.self_test:
         corpus = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                               "corpus")
