@@ -1,51 +1,98 @@
 #pragma once
 
+// Thread-safe facade over the scheduler's shared state, in two selectable
+// shapes (DESIGN.md §9–§10). This header is a sanctioned concurrent
+// component: the atomics below are the published-snapshot pointer (the
+// RCU-style read path) and the contention-free query counter.
+// intsched-lint: allow-file(thread-share): concurrent facade by design;
+//   see DESIGN.md §10
+
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "intsched/core/network_map.hpp"
+#include "intsched/core/rank_snapshot.hpp"
 #include "intsched/core/ranking.hpp"
 #include "intsched/core/thread_annot.hpp"
 
 namespace intsched::core {
 
+/// How ConcurrentNetworkMap arbitrates ingest vs. rank (A/B selectable;
+/// both produce byte-identical rankings for the same ingest sequence).
+enum class ConcurrencyMode : std::uint8_t {
+  /// RCU-style: ingest builds an immutable RankSnapshot under the writer
+  /// lock and publishes it with an atomic store; rank() loads the current
+  /// snapshot and runs lock-free. Query throughput scales with reader
+  /// threads; ingest pays the snapshot copy (amortize with ingest_batch).
+  kSnapshot,
+  /// One exclusive mutex over everything — the original facade, kept for
+  /// A/B comparison and for write-dominant or memory-tight deployments.
+  /// Reads serialize behind ingest *and* each other (Ranker's mutable
+  /// epoch cache makes const rank() a write; see Ranker).
+  kLockedFacade,
+};
+
+[[nodiscard]] const char* to_string(ConcurrencyMode mode);
+
 /// Thread-safe facade over the scheduler's shared state: a NetworkMap fed
-/// by concurrent probe ingest and a Ranker answering concurrent candidate
-/// queries. This is the deployment shape of the paper's scheduler process
-/// (collector thread(s) ingesting INT reports while RPC threads rank), and
-/// the one place in the tree where NetworkMap/Ranker may be touched from
-/// more than one thread.
+/// by concurrent probe ingest and a ranking engine answering concurrent
+/// candidate queries. This is the deployment shape of the paper's
+/// scheduler process (collector thread(s) ingesting INT reports while RPC
+/// threads rank), and the one place in the tree where NetworkMap/Ranker
+/// may be touched from more than one thread.
 ///
-/// Locking model — one exclusive AnnotatedMutex over both objects:
-///  - NetworkMap::ingest mutates the graph, EWMAs, and queue windows.
-///  - Ranker::rank is const but NOT read-only: its epoch path-cache
-///    (delay-graph snapshot + per-origin Dijkstra memo) rebuilds lazily
-///    inside const rank() calls. Two unsynchronized rank() calls race on
-///    the cache even with no ingest in flight, so reads take the exclusive
-///    lock too — a reader/writer lock would be unsound here, not merely
-///    slower. The -Wthread-safety build enforces all of this statically;
-///    the tsan preset re-checks it dynamically.
-///
-/// The single-threaded simulation hot paths keep using NetworkMap/Ranker
-/// directly (zero locking); this facade is for genuinely concurrent
-/// servers and for the TSan concurrency tests.
+/// Locking model:
+///  - kSnapshot (default): `mutex_` is a writer lock only — it serializes
+///    ingest, snapshot publication, and the cold observability getters.
+///    rank() never takes it: the query path is an atomic shared_ptr load,
+///    a relaxed counter bump, and pure computation over the immutable
+///    snapshot (RankSnapshot's docs spell out why that is race-free).
+///  - kLockedFacade: every public method, including const readers, takes
+///    `mutex_` exclusively — the PR-4 behaviour, preserved for A/B.
+/// The -Wthread-safety build checks the lock discipline statically; the
+/// tsan preset re-checks it dynamically on both paths.
 class ConcurrentNetworkMap {
  public:
   explicit ConcurrentNetworkMap(NetworkMapConfig map_config = {},
-                                RankerConfig ranker_config = {})
-      : map_{map_config}, ranker_{map_, std::move(ranker_config)} {}
+                                RankerConfig ranker_config = {},
+                                ConcurrencyMode mode = ConcurrencyMode::kSnapshot);
 
   ConcurrentNetworkMap(const ConcurrentNetworkMap&) = delete;
   ConcurrentNetworkMap& operator=(const ConcurrentNetworkMap&) = delete;
 
-  /// Ingests one parsed probe report (collector side).
+  [[nodiscard]] ConcurrencyMode mode() const { return mode_; }
+
+  /// Ingests one parsed probe report (collector side). In snapshot mode
+  /// this publishes a fresh snapshot before returning — the freshness
+  /// contract rank() relies on.
   void ingest(const telemetry::ProbeReport& report, sim::SimTime now)
       INTSCHED_EXCLUDES(mutex_);
 
+  /// Coalesces a probe burst into one ingest critical section and (in
+  /// snapshot mode) a single snapshot publication instead of N — the
+  /// collector's probing-interval batch maps onto exactly one RCU epoch.
+  /// Equivalent to ingesting each report at `now` in vector order.
+  void ingest_batch(const std::vector<telemetry::ProbeReport>& reports,
+                    sim::SimTime now) INTSCHED_EXCLUDES(mutex_);
+
   /// Ranks `candidates` from `origin` at `now`, best first (query side).
+  /// Lock-free in snapshot mode; takes the exclusive lock in locked mode.
   [[nodiscard]] std::vector<ServerRank> rank(
       net::NodeId origin, const std::vector<net::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now) const INTSCHED_EXCLUDES(mutex_);
+
+  /// Changes Algorithm 1's k for subsequent rankings. In snapshot mode
+  /// this republishes immediately: without it, already-published
+  /// snapshots would keep serving the old k until the next ingest.
+  void set_k_factor(sim::SimTime k) INTSCHED_EXCLUDES(mutex_);
+
+  /// Currently published snapshot (snapshot mode; nullptr in locked
+  /// mode). Callers may rank against it directly — it never mutates.
+  [[nodiscard]] std::shared_ptr<const RankSnapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
 
   /// Current link-delay estimate (falls back like NetworkMap::link_delay).
   [[nodiscard]] sim::SimTime link_delay(net::NodeId from, net::NodeId to)
@@ -57,20 +104,32 @@ class ConcurrentNetworkMap {
       INTSCHED_EXCLUDES(mutex_);
   [[nodiscard]] std::int64_t rejected_entries() const
       INTSCHED_EXCLUDES(mutex_);
-  [[nodiscard]] std::int64_t queries_served() const INTSCHED_EXCLUDES(mutex_);
+  [[nodiscard]] std::int64_t queries_served() const {
+    return queries_.load();  // seq_cst: cold observability read
+  }
 
  private:
-  /// Shared ranking path, entered with the lock already held (also the
-  /// hook for future batched ingest-then-rank operations that must not
-  /// drop the lock between the two steps).
+  /// Shared ranking path for locked mode, entered with the lock held.
   [[nodiscard]] std::vector<ServerRank> rank_locked(
       net::NodeId origin, const std::vector<net::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now) const INTSCHED_REQUIRES(mutex_);
 
+  /// Builds a snapshot of the current map + ranker config and publishes
+  /// it (release store). No-op in locked mode.
+  void publish_locked() INTSCHED_REQUIRES(mutex_);
+
+  const ConcurrencyMode mode_;
   mutable AnnotatedMutex mutex_;
   NetworkMap map_ INTSCHED_GUARDED_BY(mutex_);
   Ranker ranker_ INTSCHED_GUARDED_BY(mutex_);
-  mutable std::int64_t queries_ INTSCHED_GUARDED_BY(mutex_) = 0;
+  /// Published snapshot: written under mutex_ (release), read lock-free
+  /// (acquire). Deliberately NOT GUARDED_BY — lock-free reads are the
+  /// point; the atomic itself provides the ordering.
+  std::atomic<std::shared_ptr<const RankSnapshot>> snapshot_;
+  /// Contention-free query counter: relaxed fetch_add on the hot path so
+  /// counting never serializes rankings (detlint atomic-ordering rule:
+  /// relaxed is for exactly this counter-bump shape).
+  mutable std::atomic<std::int64_t> queries_{0};
 };
 
 }  // namespace intsched::core

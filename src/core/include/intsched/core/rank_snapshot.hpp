@@ -1,0 +1,105 @@
+#pragma once
+
+// RCU-style immutable ranking snapshot: the lock-free read path of
+// core::ConcurrentNetworkMap (DESIGN.md §10). An ingest (or ingest batch)
+// builds one RankSnapshot under the writer lock and publishes it with an
+// atomic shared_ptr store; rank() callers load the current snapshot and
+// compute entirely over frozen state, so queries never contend with ingest
+// or with each other.
+//
+// This header is one of the sanctioned concurrent components (alongside
+// thread_annot.hpp and exp::SweepRunner), hence the file-wide suppression:
+// the atomic here is a memo-fill counter (relaxed fetch_add bump) and the
+// once_flags are the per-origin lazy-fill guards described below.
+// intsched-lint: allow-file(thread-share): immutable snapshot shared across
+//   reader threads by design; see DESIGN.md §10
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "intsched/core/network_map.hpp"
+#include "intsched/core/ranking.hpp"
+
+namespace intsched::core {
+
+/// Epoch-stamped immutable snapshot of everything rank() consumes: a deep
+/// copy of the NetworkMap (delay estimates, queue windows, staleness
+/// stamps), the RankerConfig it was published under, the materialized
+/// delay graph, and a per-origin shortest-path memo.
+///
+/// Thread-safety model — readable from any number of threads with zero
+/// locks:
+///  - The map copy and graph are frozen at construction and only ever
+///    read (NetworkMap's const queries are genuinely read-only; the
+///    Ranker's mutable cache is the reason the *locked* facade cannot
+///    share const calls, and that cache does not exist here).
+///  - The shortest-path memo fills lazily, guarded per origin by a
+///    std::once_flag: the first query from an origin runs Dijkstra inside
+///    call_once, every later query is a single synchronization-free read
+///    after the flag's acquire fast path. A mutex-per-query would
+///    re-serialize exactly the contention this type exists to remove; the
+///    once-only guard pays synchronization only on the first fill.
+///  - The slot *set* is fixed at construction (one slot per node known to
+///    the graph), so no reader ever mutates the map structure itself.
+///
+/// Determinism: rank() must return byte-identical ServerRank vectors to
+/// Ranker::rank() on the source map at the same epoch — both run the same
+/// rank_candidates() over the same delay graph and Dijkstra results
+/// (verified by tests/core/test_rank_snapshot.cpp).
+class RankSnapshot {
+ public:
+  /// Deep-copies `map` (the caller holds whatever lock makes that read
+  /// safe) and stamps the snapshot with the map's current ingest epoch.
+  RankSnapshot(const NetworkMap& map, RankerConfig config);
+
+  RankSnapshot(const RankSnapshot&) = delete;
+  RankSnapshot& operator=(const RankSnapshot&) = delete;
+
+  /// Pure ranking over the frozen state: no locks, no shared mutation
+  /// beyond the once-only memo fill. Identical semantics to Ranker::rank.
+  [[nodiscard]] std::vector<ServerRank> rank(
+      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      RankingMetric metric, sim::SimTime now) const;
+
+  /// Ingest epoch (NetworkMap::reports_ingested) the snapshot was built
+  /// at. The freshness contract: a rank() issued after ingest() of report
+  /// N returns observes a snapshot with epoch() >= N.
+  [[nodiscard]] std::int64_t epoch() const { return epoch_; }
+
+  [[nodiscard]] const NetworkMap& map() const { return map_; }
+  [[nodiscard]] const RankerConfig& config() const { return cfg_; }
+
+  /// Origins whose Dijkstra memo has been filled (observability for tests
+  /// and benches; relaxed counter, exact only after threads quiesce).
+  [[nodiscard]] std::int64_t memo_fills() const {
+    return memo_fills_.load(std::memory_order_relaxed);  // intsched-lint: allow(atomic-ordering): quiescent counter read
+  }
+
+ private:
+  /// One lazily-filled per-origin Dijkstra result. The members are
+  /// mutable because filling happens inside const rank() — call_once
+  /// provides the happens-before edge that makes the fill visible to
+  /// every subsequent reader.
+  struct SpSlot {
+    mutable std::once_flag once;
+    mutable net::ShortestPaths sp;
+  };
+
+  /// Memoized shortest paths for a known origin (nullptr when the origin
+  /// is absent from the graph — callers fall back to a local run).
+  [[nodiscard]] const net::ShortestPaths* memoized_paths(
+      net::NodeId origin) const;
+
+  NetworkMap map_;    ///< frozen deep copy; only const queries touch it
+  RankerConfig cfg_;  ///< config the snapshot was published under
+  std::int64_t epoch_ = -1;
+  net::Graph graph_;  ///< delay graph materialized once at construction
+  /// Slot per known node; ordered map for deterministic construction.
+  std::map<net::NodeId, SpSlot> sp_slots_;
+  mutable std::atomic<std::int64_t> memo_fills_{0};
+};
+
+}  // namespace intsched::core

@@ -92,6 +92,33 @@ struct KCalibrationSample {
 [[nodiscard]] sim::SimTime estimate_k_factor(
     const std::vector<KCalibrationSample>& samples);
 
+// -- pure ranking core (no hidden state) ------------------------------------
+//
+// Every input is explicit: the map, the config, and (for ranking) a
+// precomputed shortest-path result. Both Ranker (which layers its mutable
+// epoch cache on top) and RankSnapshot (the lock-free read path) call
+// these, so the two paths produce identical ServerRank vectors by
+// construction rather than by parallel maintenance.
+
+/// Algorithm 1 for a single path: sum of link-delay estimates plus
+/// k * maxQueue (per cfg.queue_statistic) for every intermediate device.
+[[nodiscard]] sim::SimTime estimate_path_delay(
+    const NetworkMap& map, const RankerConfig& cfg,
+    const std::vector<net::NodeId>& path, sim::SimTime now);
+
+/// §III-D: min over links of capacity * (1 - utilization(maxQueue)).
+[[nodiscard]] sim::DataRate estimate_path_bandwidth(
+    const NetworkMap& map, const RankerConfig& cfg,
+    const std::vector<net::NodeId>& path, sim::SimTime now);
+
+/// Ranks `candidates` over precomputed shortest paths from the origin,
+/// best first (ascending delay / descending bandwidth, server id as the
+/// deterministic tie-break). Unreachable candidates rank last.
+[[nodiscard]] std::vector<ServerRank> rank_candidates(
+    const NetworkMap& map, const RankerConfig& cfg,
+    const net::ShortestPaths& sp, const std::vector<net::NodeId>& candidates,
+    RankingMetric metric, sim::SimTime now);
+
 /// The paper's scheduler-side ranking engine. Given the live NetworkMap it
 /// computes, for an initiating edge node, the estimated end-to-end delay
 /// (Algorithm 1) and bottleneck bandwidth (§III-D) to every candidate
@@ -118,7 +145,19 @@ class Ranker {
       const std::vector<net::NodeId>& path, sim::SimTime now) const;
 
   [[nodiscard]] const RankerConfig& config() const { return cfg_; }
-  void set_k_factor(sim::SimTime k) { cfg_.k_factor = k; }
+
+  /// Changes Algorithm 1's k and invalidates the path cache: cached state
+  /// must never outlive the config it was computed under, so the next
+  /// rank() rebuilds from scratch instead of trusting an epoch match.
+  /// (Today's cache contents — delay graph + Dijkstra memo — happen not
+  /// to depend on k, but the invalidation contract is on the config as a
+  /// whole; concurrent deployments additionally republish their snapshot,
+  /// see ConcurrentNetworkMap::set_k_factor.)
+  void set_k_factor(sim::SimTime k) {
+    cfg_.k_factor = k;
+    cache_.epoch = -1;
+    cache_.sp_by_origin.clear();
+  }
 
   // -- path-cache observability (tests + micro benches) --
 

@@ -1,16 +1,66 @@
 #include "intsched/core/concurrent_map.hpp"
 
+// intsched-lint: allow-file(thread-share): sanctioned concurrent facade;
+//   see the header and DESIGN.md §10
+
 namespace intsched::core {
+
+const char* to_string(ConcurrencyMode mode) {
+  switch (mode) {
+    case ConcurrencyMode::kSnapshot: return "snapshot";
+    case ConcurrencyMode::kLockedFacade: return "locked";
+  }
+  return "?";
+}
+
+ConcurrentNetworkMap::ConcurrentNetworkMap(NetworkMapConfig map_config,
+                                           RankerConfig ranker_config,
+                                           ConcurrencyMode mode)
+    : mode_{mode}, map_{map_config}, ranker_{map_, std::move(ranker_config)} {
+  if (mode_ == ConcurrencyMode::kSnapshot) {
+    // Publish the empty-map epoch-0 snapshot so rank() never observes a
+    // null pointer — construction is single-threaded, no lock needed, but
+    // the annotation checker cannot see that; publish_locked is reused
+    // under a real lock to keep one code path.
+    LockGuard lock{mutex_};
+    publish_locked();
+  }
+}
+
+void ConcurrentNetworkMap::publish_locked() {
+  if (mode_ != ConcurrencyMode::kSnapshot) return;
+  snapshot_.store(std::make_shared<const RankSnapshot>(map_, ranker_.config()),
+                  std::memory_order_release);
+}
 
 void ConcurrentNetworkMap::ingest(const telemetry::ProbeReport& report,
                                   sim::SimTime now) {
   LockGuard lock{mutex_};
   map_.ingest(report, now);
+  publish_locked();
+}
+
+void ConcurrentNetworkMap::ingest_batch(
+    const std::vector<telemetry::ProbeReport>& reports, sim::SimTime now) {
+  if (reports.empty()) return;
+  LockGuard lock{mutex_};
+  for (const telemetry::ProbeReport& report : reports) {
+    map_.ingest(report, now);
+  }
+  publish_locked();
 }
 
 std::vector<ServerRank> ConcurrentNetworkMap::rank(
     net::NodeId origin, const std::vector<net::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (mode_ == ConcurrencyMode::kSnapshot) {
+    // Lock-free read path: the acquire load pairs with publish_locked's
+    // release store, so everything the snapshot was built from is visible.
+    const std::shared_ptr<const RankSnapshot> snap =
+        snapshot_.load(std::memory_order_acquire);
+    return snap->rank(origin, candidates, metric, now);
+  }
   LockGuard lock{mutex_};
   return rank_locked(origin, candidates, metric, now);
 }
@@ -18,8 +68,15 @@ std::vector<ServerRank> ConcurrentNetworkMap::rank(
 std::vector<ServerRank> ConcurrentNetworkMap::rank_locked(
     net::NodeId origin, const std::vector<net::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
-  ++queries_;
   return ranker_.rank(origin, candidates, metric, now);
+}
+
+void ConcurrentNetworkMap::set_k_factor(sim::SimTime k) {
+  LockGuard lock{mutex_};
+  ranker_.set_k_factor(k);
+  // Republish: a snapshot published under the old config must not keep
+  // serving rankings computed with the old k (regression-tested).
+  publish_locked();
 }
 
 sim::SimTime ConcurrentNetworkMap::link_delay(net::NodeId from,
@@ -41,11 +98,6 @@ std::int64_t ConcurrentNetworkMap::reports_ingested() const {
 std::int64_t ConcurrentNetworkMap::rejected_entries() const {
   LockGuard lock{mutex_};
   return map_.rejected_entries();
-}
-
-std::int64_t ConcurrentNetworkMap::queries_served() const {
-  LockGuard lock{mutex_};
-  return queries_;
 }
 
 }  // namespace intsched::core

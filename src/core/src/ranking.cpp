@@ -79,49 +79,107 @@ sim::SimTime estimate_k_factor(
   return sim::SimTime::from_seconds(qd / qq * 1e-3);
 }
 
-sim::SimTime Ranker::path_delay_estimate(const std::vector<net::NodeId>& path,
-                                         sim::SimTime now) const {
+sim::SimTime estimate_path_delay(const NetworkMap& map,
+                                 const RankerConfig& cfg,
+                                 const std::vector<net::NodeId>& path,
+                                 sim::SimTime now) {
   assert(path.size() >= 2);
   sim::SimTime total_link_delay = sim::SimTime::zero();
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    total_link_delay += map_->link_delay(path[i], path[i + 1]);
+    total_link_delay += map.link_delay(path[i], path[i + 1]);
   }
   // Hops are the intermediate devices (switches) on the path.
   sim::SimTime total_hop_delay = sim::SimTime::zero();
   for (std::size_t i = 1; i + 1 < path.size(); ++i) {
-    switch (cfg_.queue_statistic) {
+    switch (cfg.queue_statistic) {
       case QueueStatistic::kMaximum:
-        total_hop_delay +=
-            cfg_.k_factor * map_->device_max_queue(path[i], now);
+        total_hop_delay += cfg.k_factor * map.device_max_queue(path[i], now);
         break;
       case QueueStatistic::kAverage:
         total_hop_delay +=
             sim::SimTime::nanoseconds(static_cast<std::int64_t>(
-                static_cast<double>(cfg_.k_factor.ns()) *
-                map_->device_avg_queue(path[i], now)));
+                static_cast<double>(cfg.k_factor.ns()) *
+                map.device_avg_queue(path[i], now)));
         break;
       case QueueStatistic::kMeasuredHopLatency:
-        total_hop_delay += map_->device_hop_latency(path[i], now);
+        total_hop_delay += map.device_hop_latency(path[i], now);
         break;
     }
   }
   return total_link_delay + total_hop_delay;
 }
 
-sim::DataRate Ranker::path_bandwidth_estimate(
-    const std::vector<net::NodeId>& path, sim::SimTime now) const {
+sim::DataRate estimate_path_bandwidth(const NetworkMap& map,
+                                      const RankerConfig& cfg,
+                                      const std::vector<net::NodeId>& path,
+                                      sim::SimTime now) {
   assert(path.size() >= 2);
-  double min_bps = map_->config().nominal_capacity.bps();
+  double min_bps = map.config().nominal_capacity.bps();
   // The first link is the origin host's own uplink; hosts are not
   // pps-bound, so per-link availability is charged from the first switch
   // onward (each directed link's headroom is its upstream device's egress).
   for (std::size_t i = 1; i + 1 < path.size(); ++i) {
-    const std::int64_t q = map_->link_max_queue(path[i], path[i + 1], now);
-    const double util = cfg_.queue_to_utilization.utilization(q);
-    const double avail = map_->config().nominal_capacity.bps() * (1.0 - util);
+    const std::int64_t q = map.link_max_queue(path[i], path[i + 1], now);
+    const double util = cfg.queue_to_utilization.utilization(q);
+    const double avail = map.config().nominal_capacity.bps() * (1.0 - util);
     min_bps = std::min(min_bps, avail);
   }
   return sim::DataRate::bits_per_second(min_bps);
+}
+
+std::vector<ServerRank> rank_candidates(
+    const NetworkMap& map, const RankerConfig& cfg,
+    const net::ShortestPaths& sp, const std::vector<net::NodeId>& candidates,
+    RankingMetric metric, sim::SimTime now) {
+  std::vector<ServerRank> out;
+  out.reserve(candidates.size());
+  for (const net::NodeId server : candidates) {
+    ServerRank r;
+    r.server = server;
+    const std::vector<net::NodeId> path = sp.path_to(server);
+    if (path.size() < 2) {
+      r.delay_estimate = sim::SimTime::max();
+      r.bandwidth_estimate = sim::DataRate::bits_per_second(0.0);
+      r.baseline_delay = sim::SimTime::max();
+    } else {
+      r.delay_estimate = estimate_path_delay(map, cfg, path, now);
+      r.bandwidth_estimate = estimate_path_bandwidth(map, cfg, path, now);
+      const auto d = sp.distance.find(server);
+      r.baseline_delay =
+          d == sp.distance.end() ? sim::SimTime::max() : d->second;
+      r.stale = map.path_stale(path, now);
+    }
+    out.push_back(r);
+  }
+
+  const auto by_delay = [](const ServerRank& a, const ServerRank& b) {
+    if (a.delay_estimate != b.delay_estimate) {
+      return a.delay_estimate < b.delay_estimate;
+    }
+    return a.server < b.server;
+  };
+  const auto by_bandwidth = [](const ServerRank& a, const ServerRank& b) {
+    if (a.bandwidth_estimate != b.bandwidth_estimate) {
+      return a.bandwidth_estimate > b.bandwidth_estimate;
+    }
+    return a.server < b.server;
+  };
+  if (metric == RankingMetric::kDelay) {
+    std::sort(out.begin(), out.end(), by_delay);
+  } else {
+    std::sort(out.begin(), out.end(), by_bandwidth);
+  }
+  return out;
+}
+
+sim::SimTime Ranker::path_delay_estimate(const std::vector<net::NodeId>& path,
+                                         sim::SimTime now) const {
+  return estimate_path_delay(*map_, cfg_, path, now);
+}
+
+sim::DataRate Ranker::path_bandwidth_estimate(
+    const std::vector<net::NodeId>& path, sim::SimTime now) const {
+  return estimate_path_bandwidth(*map_, cfg_, path, now);
 }
 
 const net::ShortestPaths& Ranker::shortest_paths_from(
@@ -147,47 +205,8 @@ const net::ShortestPaths& Ranker::shortest_paths_from(
 std::vector<ServerRank> Ranker::rank(
     net::NodeId origin, const std::vector<net::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
-  const net::ShortestPaths& sp = shortest_paths_from(origin);
-
-  std::vector<ServerRank> out;
-  out.reserve(candidates.size());
-  for (const net::NodeId server : candidates) {
-    ServerRank r;
-    r.server = server;
-    const std::vector<net::NodeId> path = sp.path_to(server);
-    if (path.size() < 2) {
-      r.delay_estimate = sim::SimTime::max();
-      r.bandwidth_estimate = sim::DataRate::bits_per_second(0.0);
-      r.baseline_delay = sim::SimTime::max();
-    } else {
-      r.delay_estimate = path_delay_estimate(path, now);
-      r.bandwidth_estimate = path_bandwidth_estimate(path, now);
-      const auto d = sp.distance.find(server);
-      r.baseline_delay =
-          d == sp.distance.end() ? sim::SimTime::max() : d->second;
-      r.stale = map_->path_stale(path, now);
-    }
-    out.push_back(r);
-  }
-
-  const auto by_delay = [](const ServerRank& a, const ServerRank& b) {
-    if (a.delay_estimate != b.delay_estimate) {
-      return a.delay_estimate < b.delay_estimate;
-    }
-    return a.server < b.server;
-  };
-  const auto by_bandwidth = [](const ServerRank& a, const ServerRank& b) {
-    if (a.bandwidth_estimate != b.bandwidth_estimate) {
-      return a.bandwidth_estimate > b.bandwidth_estimate;
-    }
-    return a.server < b.server;
-  };
-  if (metric == RankingMetric::kDelay) {
-    std::sort(out.begin(), out.end(), by_delay);
-  } else {
-    std::sort(out.begin(), out.end(), by_bandwidth);
-  }
-  return out;
+  return rank_candidates(*map_, cfg_, shortest_paths_from(origin), candidates,
+                         metric, now);
 }
 
 }  // namespace intsched::core

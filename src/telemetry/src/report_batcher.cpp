@@ -1,0 +1,32 @@
+#include "intsched/telemetry/report_batcher.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace intsched::telemetry {
+
+ReportBatcher::ReportBatcher(BatchHandler handler, std::size_t max_batch)
+    : handler_{std::move(handler)}, max_batch_{max_batch} {
+  if (!handler_) {
+    throw std::invalid_argument("ReportBatcher: null batch handler");
+  }
+  if (max_batch_ == 0) {
+    throw std::invalid_argument("ReportBatcher: max_batch must be >= 1");
+  }
+  buffer_.reserve(max_batch_);
+}
+
+void ReportBatcher::add(const ProbeReport& report) {
+  buffer_.push_back(report);
+  ++reports_;
+  if (buffer_.size() >= max_batch_) flush();
+}
+
+void ReportBatcher::flush() {
+  if (buffer_.empty()) return;
+  ++batches_;
+  handler_(buffer_);
+  buffer_.clear();
+}
+
+}  // namespace intsched::telemetry

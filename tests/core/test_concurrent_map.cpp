@@ -1,9 +1,13 @@
-// ConcurrentNetworkMap: the locked ingest-vs-rank facade. The concurrent
-// tests drive real parallelism through exp::SweepRunner (the sanctioned
-// pool) and assert only interleaving-insensitive facts — totals after the
-// join, and the final converged ranking — so they pass under any schedule
-// while giving ThreadSanitizer (the `tsan` preset) real cross-thread
-// traffic over every lock path.
+// ConcurrentNetworkMap: the ingest-vs-rank facade in both of its modes —
+// kSnapshot (RCU-style published snapshots, lock-free reads) and
+// kLockedFacade (single exclusive mutex). The concurrent tests drive real
+// parallelism through exp::SweepRunner (the sanctioned pool) and assert
+// only interleaving-insensitive facts — totals after the join, and the
+// final converged ranking — so they pass under any schedule while giving
+// ThreadSanitizer (the `tsan` preset) real cross-thread traffic over both
+// the lock paths and the lock-free snapshot path. The two modes must be
+// behaviourally indistinguishable at quiescence: byte-identical ServerRank
+// vectors for the same ingest sequence (the A/B contract).
 
 #include "intsched/core/concurrent_map.hpp"
 
@@ -46,8 +50,36 @@ telemetry::ProbeReport simple_report(std::int64_t q10 = 0,
   return r;
 }
 
-TEST(ConcurrentNetworkMapTest, SingleThreadedBehaviourMatchesNetworkMap) {
-  ConcurrentNetworkMap shared;
+/// Field-exact ServerRank equality — the byte-identity contract between
+/// the snapshot path and the locked facade (and the direct Ranker).
+void expect_ranks_identical(const std::vector<ServerRank>& got,
+                            const std::vector<ServerRank>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].server, want[i].server) << "rank " << i;
+    EXPECT_EQ(got[i].delay_estimate, want[i].delay_estimate) << "rank " << i;
+    EXPECT_EQ(got[i].bandwidth_estimate.bps(),
+              want[i].bandwidth_estimate.bps())
+        << "rank " << i;
+    EXPECT_EQ(got[i].baseline_delay, want[i].baseline_delay) << "rank " << i;
+    EXPECT_EQ(got[i].outstanding_tasks, want[i].outstanding_tasks)
+        << "rank " << i;
+    EXPECT_EQ(got[i].stale, want[i].stale) << "rank " << i;
+  }
+}
+
+class ConcurrentMapModes : public ::testing::TestWithParam<ConcurrencyMode> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    BothModes, ConcurrentMapModes,
+    ::testing::Values(ConcurrencyMode::kSnapshot,
+                      ConcurrencyMode::kLockedFacade),
+    [](const ::testing::TestParamInfo<ConcurrencyMode>& param_info) {
+      return std::string{to_string(param_info.param)};
+    });
+
+TEST_P(ConcurrentMapModes, SingleThreadedBehaviourMatchesNetworkMap) {
+  ConcurrentNetworkMap shared{{}, {}, GetParam()};
   shared.ingest(simple_report(), ms(0));
 
   NetworkMap plain;
@@ -60,8 +92,8 @@ TEST(ConcurrentNetworkMapTest, SingleThreadedBehaviourMatchesNetworkMap) {
   EXPECT_EQ(shared.link_delay(10, 11), plain.link_delay(10, 11));
 }
 
-TEST(ConcurrentNetworkMapTest, RankMatchesDirectRankerAndCountsQueries) {
-  ConcurrentNetworkMap shared;
+TEST_P(ConcurrentMapModes, RankMatchesDirectRankerAndCountsQueries) {
+  ConcurrentNetworkMap shared{{}, {}, GetParam()};
   shared.ingest(simple_report(), ms(0));
 
   NetworkMap plain;
@@ -74,19 +106,95 @@ TEST(ConcurrentNetworkMapTest, RankMatchesDirectRankerAndCountsQueries) {
   const std::vector<ServerRank> want =
       ranker.rank(0, candidates, RankingMetric::kDelay, ms(1));
 
-  ASSERT_EQ(got.size(), 1u);
-  EXPECT_EQ(got[0].server, want[0].server);
-  EXPECT_EQ(got[0].delay_estimate, want[0].delay_estimate);
-  EXPECT_EQ(got[0].bandwidth_estimate.bps(), want[0].bandwidth_estimate.bps());
+  expect_ranks_identical(got, want);
   EXPECT_EQ(shared.queries_served(), 1);
 }
 
-TEST(ConcurrentNetworkMapTest, ConcurrentIngestAndRankKeepTotalsExact) {
+TEST_P(ConcurrentMapModes, IngestBatchMatchesSequentialIngests) {
+  ConcurrentNetworkMap batched{{}, {}, GetParam()};
+  ConcurrentNetworkMap sequential{{}, {}, GetParam()};
+
+  std::vector<telemetry::ProbeReport> burst;
+  for (int i = 0; i < 8; ++i) {
+    burst.push_back(simple_report(i % 5, (i * 3) % 7));
+  }
+  batched.ingest_batch(burst, ms(5));
+  for (const auto& r : burst) sequential.ingest(r, ms(5));
+
+  EXPECT_EQ(batched.reports_ingested(), sequential.reports_ingested());
+  const std::vector<net::NodeId> candidates{1, 99};
+  for (const auto metric :
+       {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
+    expect_ranks_identical(batched.rank(0, candidates, metric, ms(6)),
+                           sequential.rank(0, candidates, metric, ms(6)));
+  }
+}
+
+TEST_P(ConcurrentMapModes, EmptyBatchIsANoOp) {
+  ConcurrentNetworkMap shared{{}, {}, GetParam()};
+  shared.ingest_batch({}, ms(0));
+  EXPECT_EQ(shared.reports_ingested(), 0);
+}
+
+// Regression (satellite): a k-factor change between ingests must take
+// effect on the very next rank. On the snapshot path this requires
+// set_k_factor to republish — an already-published snapshot carries the
+// config it was built under, so without the republish the old k would be
+// served until the next ingest.
+TEST_P(ConcurrentMapModes, KFactorChangeAppliesWithoutNewIngest) {
+  ConcurrentNetworkMap shared{{}, {}, GetParam()};
+  shared.ingest(simple_report(6, 4), ms(0));
+
+  const std::vector<net::NodeId> candidates{1};
+  const std::vector<ServerRank> before =
+      shared.rank(0, candidates, RankingMetric::kDelay, ms(1));
+
+  shared.set_k_factor(ms(50));
+  const std::vector<ServerRank> after =
+      shared.rank(0, candidates, RankingMetric::kDelay, ms(1));
+
+  NetworkMap plain;
+  plain.ingest(simple_report(6, 4), ms(0));
+  RankerConfig cfg;
+  cfg.k_factor = ms(50);
+  const Ranker ranker{plain, cfg};
+  const std::vector<ServerRank> want =
+      ranker.rank(0, candidates, RankingMetric::kDelay, ms(1));
+
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_NE(before[0].delay_estimate, after[0].delay_estimate)
+      << "k change had no effect on the next rank";
+  expect_ranks_identical(after, want);
+}
+
+// The A/B contract: for the same ingest sequence the snapshot path and
+// the locked facade return byte-identical ServerRank vectors at every
+// step, for both metrics.
+TEST(ConcurrentNetworkMapTest, ModesAreByteIdenticalOverAnIngestSequence) {
+  ConcurrentNetworkMap snap{{}, {}, ConcurrencyMode::kSnapshot};
+  ConcurrentNetworkMap locked{{}, {}, ConcurrencyMode::kLockedFacade};
+
+  const std::vector<net::NodeId> candidates{1, 99};
+  for (int i = 0; i < 20; ++i) {
+    const telemetry::ProbeReport r = simple_report(i % 7, (i * 5) % 11);
+    snap.ingest(r, ms(i));
+    locked.ingest(r, ms(i));
+    for (const auto metric :
+         {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
+      expect_ranks_identical(snap.rank(0, candidates, metric, ms(i)),
+                             locked.rank(0, candidates, metric, ms(i)));
+    }
+  }
+  EXPECT_EQ(snap.reports_ingested(), locked.reports_ingested());
+  EXPECT_EQ(snap.queries_served(), locked.queries_served());
+}
+
+TEST_P(ConcurrentMapModes, ConcurrentIngestAndRankKeepTotalsExact) {
   constexpr int kIngestTasks = 4;
   constexpr int kRankTasks = 4;
   constexpr int kOpsPerTask = 50;
 
-  ConcurrentNetworkMap shared;
+  ConcurrentNetworkMap shared{{}, {}, GetParam()};
   // Seed the topology so rank tasks have a graph from the first instant.
   shared.ingest(simple_report(), ms(0));
 
@@ -96,7 +204,7 @@ TEST(ConcurrentNetworkMapTest, ConcurrentIngestAndRankKeepTotalsExact) {
     tasks.push_back([&shared, t] {
       for (int i = 0; i < kOpsPerTask; ++i) {
         // Distinct queue values and times per task: every ingest really
-        // mutates the EWMAs, windows, and the ranker's cache epoch.
+        // mutates the EWMAs, windows, and the published epoch.
         shared.ingest(simple_report(i % 7, (i + t) % 5), ms(1 + i));
       }
     });

@@ -1,0 +1,276 @@
+// RankSnapshot + the lock-free read path of ConcurrentNetworkMap:
+// immutability, lazy once-only Dijkstra memoization, the
+// freshness/linearizability property (a rank() issued after ingest() of
+// report N returns must observe a snapshot with epoch >= N), and an
+// 8-reader/1-writer torture run. All parallelism flows through
+// exp::SweepRunner (the sanctioned pool); worker tasks record into
+// index-addressed slots and the assertions run after the join, so the
+// tests are schedule-insensitive while giving ThreadSanitizer (the `tsan`
+// preset, ctest label `perf`) real traffic over the snapshot-publish /
+// snapshot-load edge and the call_once memo fill.
+//
+// The shared progress counter below is the test's own cross-thread state:
+// intsched-lint: allow-file(thread-share): freshness property needs a
+//   release/acquire progress counter between writer and readers
+
+#include "intsched/core/rank_snapshot.hpp"
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "intsched/core/concurrent_map.hpp"
+#include "intsched/exp/sweep_runner.hpp"
+
+namespace intsched::core {
+namespace {
+
+sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+
+net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
+                         std::int32_t out_port, std::int64_t queue,
+                         sim::SimTime link_latency) {
+  net::IntStackEntry e;
+  e.device = device;
+  e.ingress_port = in_port;
+  e.egress_port = out_port;
+  e.max_queue_pkts = queue;
+  e.device_max_queue_pkts = queue;
+  e.ingress_link_latency = link_latency;
+  return e;
+}
+
+/// host 0 -> s10 -> s11 -> host 1 (candidate server / collector).
+telemetry::ProbeReport simple_report(std::int64_t q10 = 0,
+                                     std::int64_t q11 = 0) {
+  telemetry::ProbeReport r;
+  r.src = 0;
+  r.dst = 1;
+  r.entries = {
+      entry(10, 0, 2, q10, ms(10)),
+      entry(11, 1, 3, q11, ms(12)),
+  };
+  r.final_link_latency = ms(9);
+  return r;
+}
+
+void expect_ranks_identical(const std::vector<ServerRank>& got,
+                            const std::vector<ServerRank>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].server, want[i].server) << "rank " << i;
+    EXPECT_EQ(got[i].delay_estimate, want[i].delay_estimate) << "rank " << i;
+    EXPECT_EQ(got[i].bandwidth_estimate.bps(),
+              want[i].bandwidth_estimate.bps())
+        << "rank " << i;
+    EXPECT_EQ(got[i].baseline_delay, want[i].baseline_delay) << "rank " << i;
+    EXPECT_EQ(got[i].outstanding_tasks, want[i].outstanding_tasks)
+        << "rank " << i;
+    EXPECT_EQ(got[i].stale, want[i].stale) << "rank " << i;
+  }
+}
+
+TEST(RankSnapshotTest, RankMatchesRankerOnTheSameMap) {
+  NetworkMap map;
+  map.ingest(simple_report(5, 3), ms(0));
+  map.ingest(simple_report(2, 7), ms(1));
+
+  const Ranker ranker{map};
+  const RankSnapshot snapshot{map, RankerConfig{}};
+  EXPECT_EQ(snapshot.epoch(), map.reports_ingested());
+
+  const std::vector<net::NodeId> candidates{1, 99};
+  for (const auto metric :
+       {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
+    expect_ranks_identical(snapshot.rank(0, candidates, metric, ms(2)),
+                           ranker.rank(0, candidates, metric, ms(2)));
+  }
+}
+
+TEST(RankSnapshotTest, SnapshotIsImmutableAcrossLaterIngest) {
+  ConcurrentNetworkMap shared;  // snapshot mode by default
+  shared.ingest(simple_report(4, 4), ms(0));
+
+  const std::shared_ptr<const RankSnapshot> old = shared.snapshot();
+  ASSERT_NE(old, nullptr);
+  const std::int64_t old_epoch = old->epoch();
+  const std::vector<net::NodeId> candidates{1};
+  const auto before = old->rank(0, candidates, RankingMetric::kDelay, ms(1));
+
+  // Heavier congestion arrives; the *old* snapshot must not move.
+  shared.ingest(simple_report(60, 60), ms(1));
+  EXPECT_EQ(old->epoch(), old_epoch);
+  expect_ranks_identical(
+      old->rank(0, candidates, RankingMetric::kDelay, ms(1)), before);
+
+  const std::shared_ptr<const RankSnapshot> fresh = shared.snapshot();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_GT(fresh->epoch(), old_epoch);
+  const auto after = fresh->rank(0, candidates, RankingMetric::kDelay, ms(1));
+  EXPECT_GT(after[0].delay_estimate, before[0].delay_estimate);
+}
+
+TEST(RankSnapshotTest, DijkstraMemoFillsOncePerOrigin) {
+  NetworkMap map;
+  map.ingest(simple_report(), ms(0));
+  const RankSnapshot snapshot{map, RankerConfig{}};
+
+  const std::vector<net::NodeId> candidates{1};
+  for (int i = 0; i < 5; ++i) {
+    (void)snapshot.rank(0, candidates, RankingMetric::kDelay, ms(1 + i));
+  }
+  EXPECT_EQ(snapshot.memo_fills(), 1);
+
+  (void)snapshot.rank(1, candidates, RankingMetric::kDelay, ms(10));
+  EXPECT_EQ(snapshot.memo_fills(), 2);
+
+  // Unknown origin: computed locally, never memoized.
+  (void)snapshot.rank(777, candidates, RankingMetric::kDelay, ms(11));
+  EXPECT_EQ(snapshot.memo_fills(), 2);
+}
+
+TEST(RankSnapshotTest, LockedFacadePublishesNoSnapshot) {
+  ConcurrentNetworkMap locked{{}, {}, ConcurrencyMode::kLockedFacade};
+  locked.ingest(simple_report(), ms(0));
+  EXPECT_EQ(locked.snapshot(), nullptr);
+}
+
+// Freshness/linearizability property: ingest() of report N publishes
+// before it returns, so any observation that starts after the return must
+// see epoch >= N. The writer advances a release-stored progress counter
+// only after each ingest returns; readers acquire-load the counter, then
+// load the snapshot — seeing an older epoch would be a publication-order
+// violation. Violations are counted per reader slot and asserted after
+// the join (gtest assertions are not thread-safe on worker threads).
+// Readers run a fixed observation count rather than polling a done flag:
+// on a single-core box the writer can finish before any reader is ever
+// scheduled, and the property must be checked under whatever overlap the
+// machine actually provides (including none).
+TEST(RankSnapshotTest, FreshnessPropertyUnderConcurrentIngest) {
+  constexpr int kReports = 400;
+  constexpr int kReaders = 4;
+  constexpr int kObservationsPerReader = 200;
+
+  ConcurrentNetworkMap shared;  // snapshot mode
+  shared.ingest(simple_report(), ms(0));
+
+  std::atomic<std::int64_t> progress{1};  // reports whose ingest returned
+  std::vector<std::int64_t> violations(kReaders, 0);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&shared, &progress] {
+    for (int i = 1; i <= kReports; ++i) {
+      shared.ingest(simple_report(i % 9, i % 6), ms(i));
+      progress.store(1 + i, std::memory_order_release);
+    }
+  });
+  for (int t = 0; t < kReaders; ++t) {
+    tasks.push_back([&shared, &progress, &violations, t] {
+      const std::vector<net::NodeId> candidates{1};
+      for (int i = 0; i < kObservationsPerReader; ++i) {
+        const std::int64_t seen = progress.load(std::memory_order_acquire);
+        const std::shared_ptr<const RankSnapshot> snap = shared.snapshot();
+        if (snap->epoch() < seen) ++violations[static_cast<std::size_t>(t)];
+        (void)shared.rank(0, candidates, RankingMetric::kDelay,
+                          ms(static_cast<int>(seen)));
+      }
+    });
+  }
+
+  const exp::SweepRunner runner{1 + kReaders};
+  runner.run(std::move(tasks));
+
+  for (int t = 0; t < kReaders; ++t) {
+    EXPECT_EQ(violations[static_cast<std::size_t>(t)], 0)
+        << "reader " << t << " observed a pre-ingest snapshot";
+  }
+  EXPECT_EQ(shared.reports_ingested(), 1 + kReports);
+  // At quiescence the published snapshot is the newest epoch.
+  EXPECT_EQ(shared.snapshot()->epoch(), 1 + kReports);
+}
+
+// Torture: 8 readers hammering the lock-free path against 1 writer mixing
+// single and batched ingest, ~10k ops total. Asserts exact totals after
+// the join and that the final state replays byte-identically on a locked
+// facade — while giving TSan maximal snapshot-churn traffic.
+TEST(RankSnapshotTest, TortureEightReadersOneWriter) {
+  constexpr int kReaders = 8;
+  constexpr int kRanksPerReader = 1000;   // 8k ranks
+  constexpr int kSingles = 1000;          // 1k single ingests
+  constexpr int kBatches = 250;           // 1k more reports, batched by 4
+  constexpr int kBatchSize = 4;
+
+  ConcurrentNetworkMap shared;  // snapshot mode
+  shared.ingest(simple_report(), ms(0));
+
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&shared] {
+    for (int i = 0; i < kSingles; ++i) {
+      shared.ingest(simple_report(i % 13, i % 8), ms(1 + i));
+    }
+    for (int b = 0; b < kBatches; ++b) {
+      std::vector<telemetry::ProbeReport> burst;
+      burst.reserve(kBatchSize);
+      for (int j = 0; j < kBatchSize; ++j) {
+        burst.push_back(simple_report((b + j) % 11, (b * j) % 7));
+      }
+      shared.ingest_batch(burst, ms(1 + kSingles + b));
+    }
+  });
+  std::vector<std::int64_t> bad_shapes(kReaders, 0);
+  for (int t = 0; t < kReaders; ++t) {
+    tasks.push_back([&shared, &bad_shapes, t] {
+      const std::vector<net::NodeId> candidates{1, 99};
+      for (int i = 0; i < kRanksPerReader; ++i) {
+        const auto metric = (i % 2 == 0) ? RankingMetric::kDelay
+                                         : RankingMetric::kBandwidth;
+        const std::vector<ServerRank> ranked =
+            shared.rank(t, candidates, metric, ms(i));
+        if (ranked.size() != candidates.size()) {
+          ++bad_shapes[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+
+  const exp::SweepRunner runner{1 + kReaders};
+  runner.run(std::move(tasks));
+
+  for (int t = 0; t < kReaders; ++t) {
+    EXPECT_EQ(bad_shapes[static_cast<std::size_t>(t)], 0) << "reader " << t;
+  }
+  const std::int64_t expected_reports =
+      1 + kSingles + static_cast<std::int64_t>(kBatches) * kBatchSize;
+  EXPECT_EQ(shared.reports_ingested(), expected_reports);
+  EXPECT_EQ(shared.queries_served(),
+            static_cast<std::int64_t>(kReaders) * kRanksPerReader);
+  EXPECT_EQ(shared.snapshot()->epoch(), expected_reports);
+
+  // Quiesced state replays byte-identically on the locked facade.
+  ConcurrentNetworkMap locked{{}, {}, ConcurrencyMode::kLockedFacade};
+  locked.ingest(simple_report(), ms(0));
+  for (int i = 0; i < kSingles; ++i) {
+    locked.ingest(simple_report(i % 13, i % 8), ms(1 + i));
+  }
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<telemetry::ProbeReport> burst;
+    for (int j = 0; j < kBatchSize; ++j) {
+      burst.push_back(simple_report((b + j) % 11, (b * j) % 7));
+    }
+    locked.ingest_batch(burst, ms(1 + kSingles + b));
+  }
+  const std::vector<net::NodeId> candidates{1, 99};
+  const int final_t = 1 + kSingles + kBatches;
+  for (const auto metric :
+       {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
+    expect_ranks_identical(
+        shared.rank(0, candidates, metric, ms(final_t)),
+        locked.rank(0, candidates, metric, ms(final_t)));
+  }
+}
+
+}  // namespace
+}  // namespace intsched::core

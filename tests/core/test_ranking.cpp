@@ -108,6 +108,25 @@ TEST(RankerTest, KFactorScalesHopPenalty) {
             ms(30) + ms(100));
 }
 
+// Regression: set_k_factor must invalidate the path cache. The cached
+// Dijkstra trees themselves are k-independent today, but the cache is
+// keyed by "config under which it was filled" as a contract — a future
+// k-aware edge weight would silently serve stale paths otherwise.
+TEST(RankerTest, SetKFactorInvalidatesPathCache) {
+  NetworkMap map = make_map(2, 0, 0);
+  Ranker ranker{map};
+  (void)ranker.rank(0, {1, 2}, RankingMetric::kDelay, ms(10));
+  EXPECT_GE(ranker.path_cache_epoch(), 0);
+
+  ranker.set_k_factor(ms(50));
+  EXPECT_EQ(ranker.path_cache_epoch(), -1);
+
+  // Next rank refills the cache and serves the new k.
+  (void)ranker.rank(0, {1, 2}, RankingMetric::kDelay, ms(10));
+  EXPECT_GE(ranker.path_cache_epoch(), 0);
+  EXPECT_EQ(ranker.config().k_factor, ms(50));
+}
+
 TEST(RankerTest, BandwidthIsMinOverLinks) {
   // Utilization table maps q=0 -> 0 so idle path = nominal capacity.
   NetworkMap map = make_map(0, 0, 0);

@@ -1,0 +1,102 @@
+// ReportBatcher: coalesces a per-interval probe burst into one batch so
+// the concurrent map pays one publish per burst instead of one per probe.
+// Contract under test: arrival order preserved, nothing dropped or
+// duplicated, auto-flush at max_batch, explicit flush for partial bursts.
+
+#include "intsched/telemetry/report_batcher.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace intsched::telemetry {
+namespace {
+
+ProbeReport report(net::NodeId src) {
+  ProbeReport r;
+  r.src = src;
+  r.dst = 1;
+  return r;
+}
+
+TEST(ReportBatcherTest, RejectsInvalidConstruction) {
+  EXPECT_THROW(ReportBatcher(nullptr), std::invalid_argument);
+  EXPECT_THROW(ReportBatcher([](const std::vector<ProbeReport>&) {}, 0),
+               std::invalid_argument);
+}
+
+TEST(ReportBatcherTest, BuffersUntilExplicitFlush) {
+  std::vector<std::vector<net::NodeId>> batches;
+  ReportBatcher batcher{[&batches](const std::vector<ProbeReport>& batch) {
+                          std::vector<net::NodeId> srcs;
+                          for (const auto& r : batch) srcs.push_back(r.src);
+                          batches.push_back(srcs);
+                        },
+                        8};
+
+  batcher.add(report(10));
+  batcher.add(report(11));
+  batcher.add(report(12));
+  EXPECT_TRUE(batches.empty());
+  EXPECT_EQ(batcher.pending(), 3u);
+
+  batcher.flush();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0], (std::vector<net::NodeId>{10, 11, 12}));
+  EXPECT_EQ(batcher.pending(), 0u);
+  EXPECT_EQ(batcher.reports_batched(), 3);
+  EXPECT_EQ(batcher.batches_emitted(), 1);
+}
+
+TEST(ReportBatcherTest, AutoFlushesAtMaxBatch) {
+  std::vector<std::size_t> batch_sizes;
+  ReportBatcher batcher{[&batch_sizes](const std::vector<ProbeReport>& batch) {
+                          batch_sizes.push_back(batch.size());
+                        },
+                        4};
+
+  for (int i = 0; i < 10; ++i) batcher.add(report(i));
+  // 10 adds with max_batch=4: two automatic flushes, 2 pending.
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{4, 4}));
+  EXPECT_EQ(batcher.pending(), 2u);
+
+  batcher.flush();
+  EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{4, 4, 2}));
+  EXPECT_EQ(batcher.reports_batched(), 10);
+  EXPECT_EQ(batcher.batches_emitted(), 3);
+}
+
+TEST(ReportBatcherTest, FlushOnEmptyBufferIsANoOp) {
+  int calls = 0;
+  ReportBatcher batcher{
+      [&calls](const std::vector<ProbeReport>&) { ++calls; }};
+  batcher.flush();
+  batcher.flush();
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(batcher.batches_emitted(), 0);
+}
+
+TEST(ReportBatcherTest, PreservesOrderAndCountAcrossManyBursts) {
+  std::vector<net::NodeId> delivered;
+  ReportBatcher batcher{[&delivered](const std::vector<ProbeReport>& batch) {
+                          for (const auto& r : batch)
+                            delivered.push_back(r.src);
+                        },
+                        5};
+
+  std::vector<net::NodeId> expected;
+  for (net::NodeId i = 0; i < 37; ++i) {
+    batcher.add(report(i));
+    expected.push_back(i);
+  }
+  batcher.flush();
+
+  EXPECT_EQ(delivered, expected);
+  EXPECT_EQ(batcher.reports_batched(), 37);
+  EXPECT_EQ(batcher.batches_emitted(), 8);  // 7 full + 1 partial
+}
+
+}  // namespace
+}  // namespace intsched::telemetry

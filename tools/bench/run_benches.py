@@ -5,9 +5,13 @@ baseline.
 
 Outputs (written to --out-dir, committed at tools/bench/):
 
-  BENCH_micro.json   google-benchmark JSON from bench/micro_core (per-op
-                     ns for the event queue, window-max queries, ranking,
-                     Dijkstra, switch pipeline, TCP).
+  BENCH_micro.json   merged google-benchmark JSON from bench/micro_core
+                     (per-op ns for the event queue, window-max queries,
+                     ranking, Dijkstra, switch pipeline, TCP) and
+                     bench/micro_concurrent (multi-threaded rank QPS in
+                     both concurrency modes, snapshot publish/batch
+                     cost); the "benchmarks" arrays are concatenated so
+                     one baseline gates every micro binary.
   BENCH_suite.json   wall-clock seconds of the scaled Fig.-5 suite at
                      --jobs=1 and --jobs=N, plus a byte-identity check of
                      the two reports (the parallel engine's contract).
@@ -48,17 +52,37 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 
+# Every micro binary feeding the shared BENCH_micro.json baseline; the
+# regression gate in --check covers all of them through one artifact.
+MICRO_BINARIES = ("micro_core", "micro_concurrent")
+
+
 def run_micro(build_dir: str, out_path: str) -> Dict:
-    exe = os.path.join(build_dir, "bench", "micro_core")
-    if not os.path.exists(exe):
-        print(f"run_benches: missing {exe} (build the micro_core target)",
-              file=sys.stderr)
-        sys.exit(2)
-    cmd = [exe, "--benchmark_format=json", f"--benchmark_out={out_path}"]
-    print(f"run_benches: {' '.join(cmd)}")
-    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
-    with open(out_path, encoding="utf-8") as f:
-        return json.load(f)
+    """Runs each micro binary and merges their google-benchmark JSON into
+    one artifact (context from the first, "benchmarks" concatenated)."""
+    merged: Optional[Dict] = None
+    for name in MICRO_BINARIES:
+        exe = os.path.join(build_dir, "bench", name)
+        if not os.path.exists(exe):
+            print(f"run_benches: missing {exe} (build the {name} target)",
+                  file=sys.stderr)
+            sys.exit(2)
+        part = f"{out_path}.{name}.part"
+        cmd = [exe, "--benchmark_format=json", f"--benchmark_out={part}"]
+        print(f"run_benches: {' '.join(cmd)}")
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        with open(part, encoding="utf-8") as f:
+            data = json.load(f)
+        os.remove(part)
+        if merged is None:
+            merged = data
+        else:
+            merged["benchmarks"].extend(data["benchmarks"])
+    assert merged is not None
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    return merged
 
 
 def run_suite(build_dir: str, jobs: int, reps: int) -> Dict:
@@ -185,6 +209,17 @@ def run_self_test() -> int:
         {"name": "BM_EventQueue", "real_time": 130.0, "time_unit": "ns"},
         {"name": "BM_Ranking", "real_time": 200.0, "time_unit": "ns"},
     ]}
+    # Threaded QPS rows gate exactly like any other benchmark: the merged
+    # baseline keys on the full google-benchmark name (threads suffix
+    # included), and slower real_time per rank = lower QPS.
+    qps_base = {"benchmarks": [
+        {"name": "BM_RankQpsSnapshot/real_time/threads:5",
+         "real_time": 500.0, "time_unit": "ns"},
+    ]}
+    qps_bad = {"benchmarks": [
+        {"name": "BM_RankQpsSnapshot/real_time/threads:5",
+         "real_time": 700.0, "time_unit": "ns"},
+    ]}
     suite_base = {"runs": [{"jobs": 1, "wall_seconds": 10.0},
                            {"jobs": 2, "wall_seconds": 6.0}],
                   "byte_identical": True}
@@ -205,6 +240,8 @@ def run_self_test() -> int:
          compare_micro(micro_base, micro_bad, 0.25)[1] == 1),
         ("micro new benchmark never fails",
          compare_micro(micro_base, micro_clean, 0.0)[1] == 1),  # 10% > 0%
+        ("threaded QPS regression fails",
+         compare_micro(qps_base, qps_bad, 0.25)[1] == 1),
         ("suite clean run passes",
          compare_suite(suite_base, suite_clean, 0.25)[1] == 0),
         ("suite 50% wall-clock regression fails",
