@@ -81,6 +81,34 @@ class NetworkMap {
   /// Ingests one parsed probe. `now` is the scheduler-local arrival time.
   void ingest(const telemetry::ProbeReport& report, sim::SimTime now);
 
+  // -- sharded ingest primitives --
+  //
+  // ingest() is built from these three steps. The region-sharded map
+  // (core::ShardedNetworkMap) replays the same walk over a probe report
+  // but routes each step to the owning shard (region map or cross-region
+  // summary map), so flat and sharded ingest stay behaviourally identical
+  // by construction rather than by parallel maintenance.
+
+  /// Learns/updates one directed link: adjacency, egress port (when
+  /// `out_port` >= 0), and the delay EWMA (a negative `delay_sample`
+  /// means "traversed but unmeasured" — adjacency only).
+  void learn_link(net::NodeId from, net::NodeId to, std::int32_t out_port,
+                  sim::SimTime delay_sample, sim::SimTime now);
+
+  /// Records one INT stack entry's congestion telemetry (per-port queue,
+  /// device max/avg queue, measured hop latency) for entry.device.
+  /// Precondition: entry.device >= 0 (callers reject damaged entries).
+  void record_entry_telemetry(const net::IntStackEntry& entry,
+                              sim::SimTime now);
+
+  /// Counts an entry discarded by a caller's sanity check.
+  void note_rejected_entry() { ++rejected_; }
+
+  /// Completes one report's ingest: bumps the epoch and (under
+  /// INTSCHED_AUDIT) runs the consistency audit on its amortized
+  /// schedule.
+  void finish_ingest(sim::SimTime now);
+
   // -- topology queries --
 
   /// Inferred graph; edge costs are current link-delay estimates. Suitable
@@ -127,6 +155,15 @@ class NetworkMap {
   [[nodiscard]] std::int64_t link_max_queue(net::NodeId from, net::NodeId to,
                                             sim::SimTime now) const;
 
+  /// Window max of the (device, egress port) queue series when the series
+  /// exists and its newest sample is still inside the freshness window;
+  /// nullopt otherwise. This is link_max_queue's port-level branch,
+  /// exposed so the two-level metro read path can consult the owning
+  /// shard for port telemetry while taking the port number from the
+  /// summary map.
+  [[nodiscard]] std::optional<std::int64_t> fresh_port_max_queue(
+      net::NodeId device, std::int32_t port, sim::SimTime now) const;
+
   /// Freshest mean occupancy (packets) reported for the device within the
   /// window — the alternative statistic the paper found inconclusive.
   [[nodiscard]] double device_avg_queue(net::NodeId device,
@@ -166,16 +203,23 @@ class NetworkMap {
     std::deque<std::pair<sim::SimTime, std::int64_t>> samples;
   };
 
-  void learn_edge(net::NodeId from, net::NodeId to, std::int32_t out_port,
-                  sim::SimTime delay_sample, sim::SimTime now);
   /// Full-structure consistency walk, compiled in only under
-  /// INTSCHED_AUDIT (called after every ingest): every learned link
-  /// references nodes present in the inferred graph, and no freshness
-  /// stamp or telemetry sample postdates the newest ingest time seen.
-  /// `high_water` is that newest time — ingest() accepts out-of-order
-  /// timestamps (late stragglers), so the current call's `now` alone
-  /// would be too strict a bound.
+  /// INTSCHED_AUDIT: every learned link references nodes present in the
+  /// inferred graph, and no freshness stamp or telemetry sample postdates
+  /// the newest ingest time seen. `high_water` is that newest time —
+  /// ingest() accepts out-of-order timestamps (late stragglers), so the
+  /// current call's `now` alone would be too strict a bound.
+  ///
+  /// The walk is O(links + telemetry series). At Fig.-4 scale that was
+  /// cheap enough to run after *every* ingest, but on TopologyGen-sized
+  /// maps (thousands of links) per-report walks make the audit preset
+  /// quadratic in the probe stream. finish_ingest therefore audits every
+  /// report only while the map is small (<= kAuditFullWalkMaxLinks) and
+  /// switches to a deterministic 1-in-kAuditSparsePeriod schedule beyond
+  /// that.
   void audit_invariants(sim::SimTime high_water) const;
+  static constexpr std::int64_t kAuditFullWalkMaxLinks = 256;
+  static constexpr std::int64_t kAuditSparsePeriod = 64;
   void record_queue(QueueSeries& series, sim::SimTime now,
                     std::int64_t value);
   [[nodiscard]] static std::int64_t max_in_window(const QueueSeries& series,

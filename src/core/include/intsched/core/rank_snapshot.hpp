@@ -72,6 +72,18 @@ class RankSnapshot {
   [[nodiscard]] const NetworkMap& map() const { return map_; }
   [[nodiscard]] const RankerConfig& config() const { return cfg_; }
 
+  /// The frozen delay graph rank() runs Dijkstra over. The metro view
+  /// (core::MetroView) augments a copy of its region snapshots' graphs, so
+  /// it needs read access to the materialized edges.
+  [[nodiscard]] const net::Graph& delay_graph() const { return graph_; }
+
+  /// Memoized shortest paths from `origin` over the frozen graph, filling
+  /// the slot on first use; nullptr when the origin is unknown to the
+  /// graph. Same lock-free once-only contract as rank().
+  [[nodiscard]] const net::ShortestPaths* paths_from(net::NodeId origin) const {
+    return memoized_paths(origin);
+  }
+
   /// Origins whose Dijkstra memo has been filled (observability for tests
   /// and benches; relaxed counter, exact only after threads quiesce).
   [[nodiscard]] std::int64_t memo_fills() const {

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "intsched/core/network_map.hpp"
@@ -95,21 +98,127 @@ struct KCalibrationSample {
 // -- pure ranking core (no hidden state) ------------------------------------
 //
 // Every input is explicit: the map, the config, and (for ranking) a
-// precomputed shortest-path result. Both Ranker (which layers its mutable
-// epoch cache on top) and RankSnapshot (the lock-free read path) call
-// these, so the two paths produce identical ServerRank vectors by
-// construction rather than by parallel maintenance.
+// precomputed shortest-path result. Ranker (which layers its mutable
+// epoch cache on top), RankSnapshot (the lock-free read path), and
+// MetroView (the two-level metro read path) all call these, so every
+// path produces identical ServerRank vectors by construction rather than
+// by parallel maintenance.
+//
+// The estimators are templates over a map-like type so the two-level
+// path can substitute a hierarchical lookup (region shard + summary map,
+// see sharded_map.hpp) while running the *same* arithmetic in the same
+// order — the flat-vs-sharded equivalence property tests depend on
+// bit-identical doubles, not just agreement in spirit. A MapLike
+// provides NetworkMap's query surface: link_delay, device_max_queue,
+// device_avg_queue, device_hop_latency, link_max_queue, path_stale, and
+// config().
 
 /// Algorithm 1 for a single path: sum of link-delay estimates plus
 /// k * maxQueue (per cfg.queue_statistic) for every intermediate device.
+template <typename MapLike>
 [[nodiscard]] sim::SimTime estimate_path_delay(
-    const NetworkMap& map, const RankerConfig& cfg,
-    const std::vector<net::NodeId>& path, sim::SimTime now);
+    const MapLike& map, const RankerConfig& cfg,
+    const std::vector<net::NodeId>& path, sim::SimTime now) {
+  assert(path.size() >= 2);
+  sim::SimTime total_link_delay = sim::SimTime::zero();
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    total_link_delay += map.link_delay(path[i], path[i + 1]);
+  }
+  // Hops are the intermediate devices (switches) on the path.
+  sim::SimTime total_hop_delay = sim::SimTime::zero();
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    switch (cfg.queue_statistic) {
+      case QueueStatistic::kMaximum:
+        total_hop_delay += cfg.k_factor * map.device_max_queue(path[i], now);
+        break;
+      case QueueStatistic::kAverage:
+        total_hop_delay +=
+            sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+                static_cast<double>(cfg.k_factor.ns()) *
+                map.device_avg_queue(path[i], now)));
+        break;
+      case QueueStatistic::kMeasuredHopLatency:
+        total_hop_delay += map.device_hop_latency(path[i], now);
+        break;
+    }
+  }
+  return total_link_delay + total_hop_delay;
+}
 
 /// §III-D: min over links of capacity * (1 - utilization(maxQueue)).
+template <typename MapLike>
 [[nodiscard]] sim::DataRate estimate_path_bandwidth(
-    const NetworkMap& map, const RankerConfig& cfg,
-    const std::vector<net::NodeId>& path, sim::SimTime now);
+    const MapLike& map, const RankerConfig& cfg,
+    const std::vector<net::NodeId>& path, sim::SimTime now) {
+  assert(path.size() >= 2);
+  double min_bps = map.config().nominal_capacity.bps();
+  // The first link is the origin host's own uplink; hosts are not
+  // pps-bound, so per-link availability is charged from the first switch
+  // onward (each directed link's headroom is its upstream device's egress).
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const std::int64_t q = map.link_max_queue(path[i], path[i + 1], now);
+    const double util = cfg.queue_to_utilization.utilization(q);
+    const double avail = map.config().nominal_capacity.bps() * (1.0 - util);
+    min_bps = std::min(min_bps, avail);
+  }
+  return sim::DataRate::bits_per_second(min_bps);
+}
+
+/// One candidate with its already-resolved path: what rank_paths scores.
+/// An empty path (or any with fewer than two nodes) means unreachable.
+struct CandidatePath {
+  net::NodeId server = net::kInvalidNode;
+  std::vector<net::NodeId> path{};
+  /// Pure link-delay distance of `path` (the Dijkstra distance).
+  sim::SimTime baseline_delay = sim::SimTime::max();
+};
+
+/// Scores and sorts pre-resolved candidate paths, best first (ascending
+/// delay / descending bandwidth, server id as the deterministic
+/// tie-break). Unreachable candidates rank last. This is the single
+/// scoring + ordering implementation behind every ranking entry point.
+template <typename MapLike>
+[[nodiscard]] std::vector<ServerRank> rank_paths(
+    const MapLike& map, const RankerConfig& cfg,
+    const std::vector<CandidatePath>& candidates, RankingMetric metric,
+    sim::SimTime now) {
+  std::vector<ServerRank> out;
+  out.reserve(candidates.size());
+  for (const CandidatePath& c : candidates) {
+    ServerRank r;
+    r.server = c.server;
+    if (c.path.size() < 2) {
+      r.delay_estimate = sim::SimTime::max();
+      r.bandwidth_estimate = sim::DataRate::bits_per_second(0.0);
+      r.baseline_delay = sim::SimTime::max();
+    } else {
+      r.delay_estimate = estimate_path_delay(map, cfg, c.path, now);
+      r.bandwidth_estimate = estimate_path_bandwidth(map, cfg, c.path, now);
+      r.baseline_delay = c.baseline_delay;
+      r.stale = map.path_stale(c.path, now);
+    }
+    out.push_back(r);
+  }
+
+  const auto by_delay = [](const ServerRank& a, const ServerRank& b) {
+    if (a.delay_estimate != b.delay_estimate) {
+      return a.delay_estimate < b.delay_estimate;
+    }
+    return a.server < b.server;
+  };
+  const auto by_bandwidth = [](const ServerRank& a, const ServerRank& b) {
+    if (a.bandwidth_estimate != b.bandwidth_estimate) {
+      return a.bandwidth_estimate > b.bandwidth_estimate;
+    }
+    return a.server < b.server;
+  };
+  if (metric == RankingMetric::kDelay) {
+    std::sort(out.begin(), out.end(), by_delay);
+  } else {
+    std::sort(out.begin(), out.end(), by_bandwidth);
+  }
+  return out;
+}
 
 /// Ranks `candidates` over precomputed shortest paths from the origin,
 /// best first (ascending delay / descending bandwidth, server id as the
@@ -157,6 +266,7 @@ class Ranker {
     cfg_.k_factor = k;
     cache_.epoch = -1;
     cache_.sp_by_origin.clear();
+    cache_.edge_index.clear();
   }
 
   // -- path-cache observability (tests + micro benches) --
@@ -168,22 +278,62 @@ class Ranker {
   [[nodiscard]] std::int64_t path_cache_misses() const {
     return cache_.misses;
   }
+  /// Epoch changes absorbed incrementally (per-origin invalidation) vs by
+  /// clearing the whole Dijkstra memo.
+  [[nodiscard]] std::int64_t delta_refreshes() const {
+    return cache_.delta_refreshes;
+  }
+  [[nodiscard]] std::int64_t full_rebuilds() const {
+    return cache_.full_rebuilds;
+  }
+  /// Cached origins carried across delta refreshes vs dropped by the
+  /// invalidation rule (cumulative over all refreshes).
+  [[nodiscard]] std::int64_t origins_kept() const {
+    return cache_.origins_kept;
+  }
+  [[nodiscard]] std::int64_t origins_dropped() const {
+    return cache_.origins_dropped;
+  }
 
  private:
   /// Epoch-invalidated snapshot of the map's delay graph plus memoized
   /// per-origin Dijkstra runs. The link-delay estimates feeding
   /// delay_graph() change only inside NetworkMap::ingest, and every ingest
   /// bumps reports_ingested(), so that counter is the cache epoch: reuse
-  /// while it is unchanged, rebuild the moment it moves. Congestion terms
+  /// while it is unchanged, refresh the moment it moves. Congestion terms
   /// (queue windows) are *not* cached — they depend on the query's `now`
   /// and are recomputed on every rank.
+  ///
+  /// A refresh is *incremental*: the previous graph's edges are kept in
+  /// `edge_index` (cost + egress port), the fresh delay graph is diffed
+  /// against it, and only origins whose shortest-path result could be
+  /// affected by a changed edge are dropped from the memo (see
+  /// refresh_cache in ranking.cpp for the invalidation rule). On
+  /// metro-scale maps where an ingest batch touches a handful of links,
+  /// most origins keep their Dijkstra results across the epoch bump.
   struct PathCache {
     std::int64_t epoch = -1;
     net::Graph graph;
     std::map<net::NodeId, net::ShortestPaths> sp_by_origin;
+    /// What we remember about each directed edge of `graph`, for diffing
+    /// against the next epoch's delay graph.
+    struct EdgeFacts {
+      sim::SimTime cost = sim::SimTime::zero();
+      std::int32_t port = -1;
+    };
+    std::unordered_map<LinkKey, EdgeFacts, LinkKeyHash> edge_index;
     std::int64_t hits = 0;
     std::int64_t misses = 0;
+    std::int64_t delta_refreshes = 0;
+    std::int64_t full_rebuilds = 0;
+    std::int64_t origins_kept = 0;
+    std::int64_t origins_dropped = 0;
   };
+
+  /// Brings the cache to the map's current ingest epoch: no-op when the
+  /// epoch is unchanged, otherwise an incremental (or, when the diff is
+  /// large, full) refresh of the graph snapshot and Dijkstra memo.
+  void refresh_cache() const;
 
   /// Shortest paths from `origin` over a delay-graph snapshot no older
   /// than the map's current ingest epoch.

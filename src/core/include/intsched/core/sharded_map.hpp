@@ -1,0 +1,371 @@
+#pragma once
+
+// Region-sharded scheduler state + two-level (metro) ranking — the
+// metro-scale big brother of core::ConcurrentNetworkMap (DESIGN.md §11).
+//
+// A metro deployment (net::TopologyGen::ring_of_pods) has thousands of
+// switches but strong locality: almost every link is intra-pod, and pods
+// are delay-isolated (ring latency dominates any intra-pod path). A
+// single flat NetworkMap makes every epoch's first rank() per origin pay
+// a metro-wide Dijkstra. ShardedNetworkMap instead keeps one NetworkMap
+// per region (pod) plus a small summary map holding only the
+// cross-region links, snapshots each region independently (only regions
+// whose telemetry actually moved are rebuilt — the others' RankSnapshots,
+// Dijkstra memos included, are reused by pointer), and answers queries
+// from an immutable MetroView in two levels: region-local shortest paths
+// plus a summary-graph traversal whose nodes are only the border
+// gateways.
+//
+// This header is a sanctioned concurrent component in the mold of
+// concurrent_map.hpp: the atomics below are the published-view pointer
+// (RCU-style read path) and the contention-free query counter.
+// intsched-lint: allow-file(thread-share): concurrent facade by design;
+//   see DESIGN.md §10-§11
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "intsched/core/network_map.hpp"
+#include "intsched/core/rank_snapshot.hpp"
+#include "intsched/core/ranking.hpp"
+#include "intsched/core/thread_annot.hpp"
+#include "intsched/net/topology_gen.hpp"
+
+namespace intsched::core {
+
+/// Executor hook for parallel region-snapshot rebuilds:
+/// `fn(count, body)` must invoke `body(i)` exactly once for every
+/// i in [0, count) — concurrently if it likes — and return only after all
+/// calls completed. Results are written to index-addressed slots, so any
+/// conforming executor (including plain serial) yields byte-identical
+/// published views; exp::make_parallel_for adapts exp::SweepRunner.
+/// Defined here (not in exp) so core does not depend upward.
+using ParallelFor =
+    std::function<void(std::size_t, const std::function<void(std::size_t)>&)>;
+
+/// Static node -> region mapping the shards are keyed by. In the paper's
+/// deployment shape this is provisioning data (which pod a device was
+/// installed in), not something inferred from telemetry, so it is fixed
+/// at construction.
+class RegionAssignment {
+ public:
+  RegionAssignment() = default;
+  RegionAssignment(std::vector<net::RegionId> by_node, net::RegionId count)
+      : by_node_{std::move(by_node)}, count_{count} {}
+
+  [[nodiscard]] static RegionAssignment from_topology(
+      const net::GenTopology& topo);
+
+  [[nodiscard]] net::RegionId region_of(net::NodeId n) const {
+    if (n < 0 || static_cast<std::size_t>(n) >= by_node_.size()) {
+      return net::kNoRegion;
+    }
+    return by_node_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] net::RegionId count() const { return count_; }
+
+ private:
+  std::vector<net::RegionId> by_node_;
+  net::RegionId count_ = 0;
+};
+
+struct ShardedMapConfig {
+  NetworkMapConfig map{};
+  RankerConfig ranker{};
+  /// Runs the per-region snapshot rebuilds at publish time. Null = serial.
+  ParallelFor rebuild_executor = nullptr;
+};
+
+/// Observability for MetroView::pick's region pruning.
+struct PickStats {
+  std::int64_t regions_considered = 0;
+  std::int64_t regions_pruned = 0;
+  std::int64_t candidates_scored = 0;
+};
+
+/// Immutable two-level ranking view over one publish epoch: per-region
+/// RankSnapshots, a frozen copy of the cross-region summary map, and the
+/// augmented summary graph (border links + per-region transit edges whose
+/// costs are region shortest-path distances).
+///
+/// Thread-safety model mirrors RankSnapshot: everything is frozen at
+/// construction except the per-origin query-context memo, which fills
+/// lazily under a per-slot std::once_flag (slot set fixed at
+/// construction). Region snapshots are shared with — and may outlive —
+/// the publishing ShardedNetworkMap.
+///
+/// Determinism / exactness: rank() scores candidates with the same
+/// rank_paths/estimator templates as the flat path, over paths assembled
+/// from region + summary shortest paths. When regions are delay-isolated
+/// and shortest paths are unique (TopologyGen's jitter regime), the
+/// assembled path IS the flat shortest path and rank() agrees with the
+/// flat ranking field-exactly; the general error bound is DESIGN.md §11.
+class MetroView {
+ public:
+  MetroView(std::shared_ptr<const RegionAssignment> regions,
+            std::vector<std::shared_ptr<const RankSnapshot>> region_snaps,
+            std::shared_ptr<const NetworkMap> summary_map,
+            std::vector<std::vector<net::NodeId>> borders_by_region,
+            RankerConfig config, std::int64_t epoch);
+
+  MetroView(const MetroView&) = delete;
+  MetroView& operator=(const MetroView&) = delete;
+
+  /// Two-level ranking, identical output contract to Ranker::rank /
+  /// RankSnapshot::rank (best first, server-id tie-break, unreachable
+  /// last with delay = max / bandwidth = 0).
+  [[nodiscard]] std::vector<ServerRank> rank(
+      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      RankingMetric metric, sim::SimTime now) const;
+
+  /// Best single candidate — exactly rank(...)[0] — but for the delay
+  /// metric whole regions are pruned by lower bound (a region whose
+  /// cheapest entry already costs more than the best full estimate seen
+  /// cannot win), so most regions are never scored. `stats`, when
+  /// non-null, reports how much work the pruning saved.
+  [[nodiscard]] std::optional<ServerRank> pick(
+      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      RankingMetric metric, sim::SimTime now,
+      PickStats* stats = nullptr) const;
+
+  /// Publish epoch: the owning map's reports_ingested() at publish time.
+  [[nodiscard]] std::int64_t epoch() const { return epoch_; }
+  [[nodiscard]] net::RegionId region_count() const {
+    return static_cast<net::RegionId>(region_snaps_.size());
+  }
+  /// Region snapshot (never null for a valid region id).
+  [[nodiscard]] const RankSnapshot& region_snapshot(net::RegionId r) const {
+    return *region_snaps_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] const NetworkMap& summary_map() const { return *summary_map_; }
+  [[nodiscard]] const std::vector<net::NodeId>& borders_of(
+      net::RegionId r) const {
+    return borders_by_region_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] const RankerConfig& config() const { return cfg_; }
+
+ private:
+  /// Everything the two-level query path derives, per origin, memoized
+  /// once: the origin's region, its region-local shortest paths (borrowed
+  /// from the region snapshot's memo), and a Dijkstra run over the
+  /// augmented summary graph with synthetic origin->border edges costed
+  /// by the region-local distances.
+  struct QueryContext {
+    bool valid = false;
+    net::RegionId region = net::kNoRegion;
+    const net::ShortestPaths* sp0 = nullptr;
+    net::ShortestPaths summary_sp;
+  };
+  struct CtxSlot {
+    mutable std::once_flag once;
+    mutable QueryContext ctx;
+  };
+
+  /// Adapter giving the rank_paths/estimate_* templates a NetworkMap-shaped
+  /// query surface over the sharded state: same-region lookups hit the
+  /// owning region snapshot's frozen map, cross-region link lookups hit
+  /// the summary map, and per-device telemetry always lives in the
+  /// device's region map (link_max_queue takes the egress port from the
+  /// summary but the port's queue series from the region — the exact
+  /// split flat ingest would have stored in one map).
+  struct HierMap {
+    const MetroView* view;
+    [[nodiscard]] const NetworkMapConfig& config() const {
+      return view->summary_map_->config();
+    }
+    [[nodiscard]] sim::SimTime link_delay(net::NodeId from,
+                                          net::NodeId to) const {
+      return view->link_map(from, to).link_delay(from, to);
+    }
+    [[nodiscard]] std::int64_t device_max_queue(net::NodeId device,
+                                                sim::SimTime now) const {
+      return view->device_map(device).device_max_queue(device, now);
+    }
+    [[nodiscard]] double device_avg_queue(net::NodeId device,
+                                          sim::SimTime now) const {
+      return view->device_map(device).device_avg_queue(device, now);
+    }
+    [[nodiscard]] sim::SimTime device_hop_latency(net::NodeId device,
+                                                  sim::SimTime now) const {
+      return view->device_map(device).device_hop_latency(device, now);
+    }
+    [[nodiscard]] std::int64_t link_max_queue(net::NodeId from, net::NodeId to,
+                                              sim::SimTime now) const {
+      return view->hier_link_max_queue(from, to, now);
+    }
+    [[nodiscard]] bool path_stale(const std::vector<net::NodeId>& path,
+                                  sim::SimTime now) const {
+      return view->hier_path_stale(path, now);
+    }
+  };
+
+  [[nodiscard]] bool valid_region(net::RegionId r) const {
+    return r >= 0 && static_cast<std::size_t>(r) < region_snaps_.size();
+  }
+  [[nodiscard]] const NetworkMap& region_map(net::RegionId r) const {
+    return region_snaps_[static_cast<std::size_t>(r)]->map();
+  }
+  /// Map owning the directed link (region when both ends share one,
+  /// summary otherwise).
+  [[nodiscard]] const NetworkMap& link_map(net::NodeId from,
+                                           net::NodeId to) const;
+  /// Map owning the device's telemetry (its region; summary for
+  /// region-less nodes).
+  [[nodiscard]] const NetworkMap& device_map(net::NodeId device) const;
+  [[nodiscard]] std::int64_t hier_link_max_queue(net::NodeId from,
+                                                 net::NodeId to,
+                                                 sim::SimTime now) const;
+  [[nodiscard]] bool hier_path_stale(const std::vector<net::NodeId>& path,
+                                     sim::SimTime now) const;
+
+  /// Memoized query context for `origin` (nullptr when the origin is
+  /// unknown to every region graph). Lock-free after the once-fill.
+  [[nodiscard]] const QueryContext* query_context(net::NodeId origin) const;
+  void build_context(net::NodeId origin, QueryContext& ctx) const;
+
+  /// Resolves one candidate to its concrete node path + baseline:
+  /// region-local for same-region servers, otherwise cheapest entry
+  /// border (summary distance + region distance, smallest border id on
+  /// ties) with the summary path expanded through region snapshots.
+  [[nodiscard]] CandidatePath candidate_path(const QueryContext& ctx,
+                                             net::NodeId origin,
+                                             net::NodeId server) const;
+  [[nodiscard]] std::vector<net::NodeId> expand_summary_path(
+      const QueryContext& ctx, net::NodeId origin, net::NodeId border) const;
+
+  std::shared_ptr<const RegionAssignment> regions_;
+  std::vector<std::shared_ptr<const RankSnapshot>> region_snaps_;
+  std::shared_ptr<const NetworkMap> summary_map_;
+  std::vector<std::vector<net::NodeId>> borders_by_region_;
+  RankerConfig cfg_;
+  std::int64_t epoch_ = -1;
+  /// Summary delay graph + per-region transit edges (border -> border
+  /// within a region, costed by region shortest-path distance).
+  net::Graph summary_graph_;
+  /// Which region a transit edge crosses, for path expansion. Ordered map:
+  /// built deterministically, read-only afterwards.
+  std::map<std::pair<net::NodeId, net::NodeId>, net::RegionId> transit_region_;
+  /// Slot per node known to any region graph; ordered for deterministic
+  /// construction, structure never mutated after it.
+  std::map<net::NodeId, CtxSlot> ctx_slots_;
+};
+
+/// Region-sharded ConcurrentNetworkMap: ingest routes every learned link
+/// and telemetry record to the owning shard under the writer lock, a
+/// publish rebuilds only the region snapshots whose shard actually moved,
+/// and rank()/pick() run lock-free over the published MetroView.
+///
+/// Equivalence contract (property-tested): for any report sequence,
+/// rank() agrees with a flat ConcurrentNetworkMap fed the same reports —
+/// field-exactly when regions are delay-isolated with unique shortest
+/// paths, within the DESIGN.md §11 bound otherwise — and is byte-stable
+/// across rebuild executors (serial, 2 threads, 8 threads).
+class ShardedNetworkMap {
+ public:
+  explicit ShardedNetworkMap(RegionAssignment regions,
+                             ShardedMapConfig config = {});
+
+  ShardedNetworkMap(const ShardedNetworkMap&) = delete;
+  ShardedNetworkMap& operator=(const ShardedNetworkMap&) = delete;
+
+  /// Ingests one probe report and publishes a fresh view (freshness
+  /// contract as ConcurrentNetworkMap::ingest).
+  void ingest(const telemetry::ProbeReport& report, sim::SimTime now)
+      INTSCHED_EXCLUDES(mutex_);
+
+  /// Coalesces a burst into one critical section + one publish.
+  void ingest_batch(const std::vector<telemetry::ProbeReport>& reports,
+                    sim::SimTime now) INTSCHED_EXCLUDES(mutex_);
+
+  /// Lock-free two-level ranking over the current view.
+  [[nodiscard]] std::vector<ServerRank> rank(
+      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      RankingMetric metric, sim::SimTime now) const INTSCHED_EXCLUDES(mutex_);
+
+  /// Lock-free best-candidate query with region pruning (MetroView::pick).
+  [[nodiscard]] std::optional<ServerRank> pick(
+      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      RankingMetric metric, sim::SimTime now,
+      PickStats* stats = nullptr) const INTSCHED_EXCLUDES(mutex_);
+
+  /// Changes Algorithm 1's k and republishes (all regions rebuilt: cached
+  /// state must never outlive the config it was computed under).
+  void set_k_factor(sim::SimTime k) INTSCHED_EXCLUDES(mutex_);
+
+  /// Currently published view; never null after construction.
+  [[nodiscard]] std::shared_ptr<const MetroView> view() const {
+    return view_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] net::RegionId region_count() const {
+    return regions_->count();
+  }
+  [[nodiscard]] std::int64_t reports_ingested() const
+      INTSCHED_EXCLUDES(mutex_);
+  [[nodiscard]] std::int64_t rejected_entries() const
+      INTSCHED_EXCLUDES(mutex_);
+  /// Region snapshots rebuilt over the map's lifetime — the sharding
+  /// win: bounded by touched regions per publish, not region count.
+  [[nodiscard]] std::int64_t region_snapshot_builds() const
+      INTSCHED_EXCLUDES(mutex_);
+  [[nodiscard]] std::int64_t view_publishes() const INTSCHED_EXCLUDES(mutex_);
+  [[nodiscard]] std::int64_t queries_served() const {
+    return queries_.load();  // seq_cst: cold observability read
+  }
+
+ private:
+  void apply_report_locked(const telemetry::ProbeReport& report,
+                           sim::SimTime now) INTSCHED_REQUIRES(mutex_);
+  /// Routes one directed link observation to its owning shard and tracks
+  /// border membership for cross-region links.
+  void learn_pair_locked(net::NodeId from, net::NodeId to,
+                         std::int32_t out_port, sim::SimTime delay_sample,
+                         sim::SimTime now) INTSCHED_REQUIRES(mutex_);
+  void publish_locked() INTSCHED_REQUIRES(mutex_);
+
+  /// Deep-snapshots one region shard. Called from rebuild-executor worker
+  /// threads while the publisher blocks holding mutex_: workers read
+  /// disjoint guarded shards and the publisher cannot proceed (or
+  /// mutate) until the executor returns, so the access is race-free but
+  /// outside what the static analysis can model.
+  [[nodiscard]] std::shared_ptr<const RankSnapshot> build_region_snapshot(
+      std::size_t r) const INTSCHED_NO_THREAD_SAFETY_ANALYSIS;
+
+  std::shared_ptr<const RegionAssignment> regions_;
+  ShardedMapConfig cfg_;
+  mutable AnnotatedMutex mutex_;
+  std::vector<NetworkMap> region_maps_ INTSCHED_GUARDED_BY(mutex_);
+  NetworkMap summary_map_ INTSCHED_GUARDED_BY(mutex_);
+  /// Sorted unique border nodes (endpoints of cross-region links) per
+  /// region, grown as links are learned.
+  std::vector<std::vector<net::NodeId>> borders_by_region_
+      INTSCHED_GUARDED_BY(mutex_);
+  /// Last published snapshot per region, reused while the shard's ingest
+  /// epoch is unchanged.
+  std::vector<std::shared_ptr<const RankSnapshot>> last_snaps_
+      INTSCHED_GUARDED_BY(mutex_);
+  std::shared_ptr<const NetworkMap> last_summary_ INTSCHED_GUARDED_BY(mutex_);
+  std::int64_t last_summary_epoch_ INTSCHED_GUARDED_BY(mutex_) = -1;
+  /// Per-report scratch: which shards the current report touched
+  /// (regions, then summary at index region_count()).
+  std::vector<char> touched_ INTSCHED_GUARDED_BY(mutex_);
+  std::int64_t reports_ INTSCHED_GUARDED_BY(mutex_) = 0;
+  std::int64_t rejected_ INTSCHED_GUARDED_BY(mutex_) = 0;
+  std::int64_t snapshot_builds_ INTSCHED_GUARDED_BY(mutex_) = 0;
+  std::int64_t publishes_ INTSCHED_GUARDED_BY(mutex_) = 0;
+  /// Published view: written under mutex_ (release), read lock-free
+  /// (acquire). Deliberately NOT GUARDED_BY — lock-free reads are the
+  /// point; the atomic itself provides the ordering.
+  std::atomic<std::shared_ptr<const MetroView>> view_;
+  /// Contention-free query counter (relaxed bump on the hot path).
+  mutable std::atomic<std::int64_t> queries_{0};
+};
+
+}  // namespace intsched::core

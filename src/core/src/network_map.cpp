@@ -18,7 +18,7 @@ sim::SimTime NetworkMap::window_cutoff(sim::SimTime now, sim::SimTime window) {
   return sim::SimTime::nanoseconds(n - w);
 }
 
-void NetworkMap::learn_edge(net::NodeId from, net::NodeId to,
+void NetworkMap::learn_link(net::NodeId from, net::NodeId to,
                             std::int32_t out_port,
                             sim::SimTime delay_sample, sim::SimTime now) {
   const LinkKey key{from, to};
@@ -100,9 +100,40 @@ std::int64_t NetworkMap::max_in_window(const QueueSeries& series,
   return 0;
 }
 
+void NetworkMap::record_entry_telemetry(const net::IntStackEntry& e,
+                                        sim::SimTime now) {
+  // Congestion state. Register values are occupancy counts; negative
+  // values can only come from corruption, clamp so the max logic and
+  // bandwidth estimator never see them.
+  record_queue(port_queue_[PortKey{e.device, e.egress_port}], now,
+               std::max<std::int64_t>(0, e.max_queue_pkts));
+  record_queue(device_queue_[e.device], now,
+               std::max<std::int64_t>(0, e.device_max_queue_pkts));
+  record_queue(device_avg_queue_[e.device], now,
+               std::max<std::int64_t>(0, e.device_avg_queue_x100));
+  record_queue(device_hop_latency_[e.device], now,
+               std::max<std::int64_t>(0, e.max_hop_latency.ns()));
+}
+
+void NetworkMap::finish_ingest(sim::SimTime now) {
+  ++reports_;
+#if INTSCHED_AUDIT_ENABLED
+  audit_ingest_hw_ = std::max(audit_ingest_hw_, now);
+  // Amortized schedule (see audit_invariants' docs): every report while
+  // the map is Fig.-4 sized, every kAuditSparsePeriod-th beyond that, so
+  // the audit preset stays usable on TopologyGen-scale maps.
+  if (static_cast<std::int64_t>(link_delay_.size()) <=
+          kAuditFullWalkMaxLinks ||
+      reports_ % kAuditSparsePeriod == 0) {
+    audit_invariants(audit_ingest_hw_);
+  }
+#else
+  (void)now;
+#endif
+}
+
 void NetworkMap::ingest(const telemetry::ProbeReport& report,
                         sim::SimTime now) {
-  ++reports_;
   const auto& entries = report.entries;
 
   // Track the previous *accepted* entry so a rejected one in the middle of
@@ -114,31 +145,21 @@ void NetworkMap::ingest(const telemetry::ProbeReport& report,
     // Sanity: a damaged stack entry (truncated / corrupted probe) must not
     // poison the topology with an invalid node. Skip it but keep the rest.
     if (e.device < 0) {
-      ++rejected_;
+      note_rejected_entry();
       continue;
     }
 
     // Adjacency + link delay. Entry i's ingress link comes from the
     // previous device in the stack (or the probing host for i == 0).
-    learn_edge(upstream, e.device, upstream_port, e.ingress_link_latency,
+    learn_link(upstream, e.device, upstream_port, e.ingress_link_latency,
                now);
     // The reverse direction's egress port is this entry's ingress port;
     // delay is assumed symmetric but we do not overwrite a measured value
     // with the sample (pass no sample).
-    learn_edge(e.device, upstream, e.ingress_port,
+    learn_link(e.device, upstream, e.ingress_port,
                sim::SimTime::nanoseconds(-1), now);
 
-    // Congestion state. Register values are occupancy counts; negative
-    // values can only come from corruption, clamp so the max logic and
-    // bandwidth estimator never see them.
-    record_queue(port_queue_[PortKey{e.device, e.egress_port}], now,
-                 std::max<std::int64_t>(0, e.max_queue_pkts));
-    record_queue(device_queue_[e.device], now,
-                 std::max<std::int64_t>(0, e.device_max_queue_pkts));
-    record_queue(device_avg_queue_[e.device], now,
-                 std::max<std::int64_t>(0, e.device_avg_queue_x100));
-    record_queue(device_hop_latency_[e.device], now,
-                 std::max<std::int64_t>(0, e.max_hop_latency.ns()));
+    record_entry_telemetry(e, now);
 
     upstream = e.device;
     upstream_port = e.egress_port;
@@ -146,15 +167,12 @@ void NetworkMap::ingest(const telemetry::ProbeReport& report,
 
   // Final hop: last accepted switch -> collector host.
   if (upstream != report.src) {
-    learn_edge(upstream, report.dst, upstream_port,
+    learn_link(upstream, report.dst, upstream_port,
                report.final_link_latency, now);
-    learn_edge(report.dst, upstream, 0, sim::SimTime::nanoseconds(-1), now);
+    learn_link(report.dst, upstream, 0, sim::SimTime::nanoseconds(-1), now);
   }
 
-#if INTSCHED_AUDIT_ENABLED
-  audit_ingest_hw_ = std::max(audit_ingest_hw_, now);
-  audit_invariants(audit_ingest_hw_);
-#endif
+  finish_ingest(now);
 }
 
 #if INTSCHED_AUDIT_ENABLED
@@ -313,15 +331,23 @@ sim::SimTime NetworkMap::device_hop_latency(net::NodeId device,
       max_in_window(it->second, window_cutoff(now, cfg_.queue_window)));
 }
 
+std::optional<std::int64_t> NetworkMap::fresh_port_max_queue(
+    net::NodeId device, std::int32_t port, sim::SimTime now) const {
+  const sim::SimTime cutoff = window_cutoff(now, cfg_.queue_window);
+  const auto q = port_queue_.find(PortKey{device, port});
+  if (q == port_queue_.end() || q->second.samples.empty() ||
+      q->second.samples.back().first < cutoff) {
+    return std::nullopt;
+  }
+  return max_in_window(q->second, cutoff);
+}
+
 std::int64_t NetworkMap::link_max_queue(net::NodeId from, net::NodeId to,
                                         sim::SimTime now) const {
-  const sim::SimTime cutoff = window_cutoff(now, cfg_.queue_window);
   const auto port_it = link_port_.find(LinkKey{from, to});
   if (port_it != link_port_.end()) {
-    const auto q = port_queue_.find(PortKey{from, port_it->second});
-    if (q != port_queue_.end() && !q->second.samples.empty() &&
-        q->second.samples.back().first >= cutoff) {
-      return max_in_window(q->second, cutoff);
+    if (const auto q = fresh_port_max_queue(from, port_it->second, now)) {
+      return *q;
     }
   }
   // Port never probed (or stale): fall back to the device-wide register,

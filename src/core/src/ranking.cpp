@@ -79,97 +79,23 @@ sim::SimTime estimate_k_factor(
   return sim::SimTime::from_seconds(qd / qq * 1e-3);
 }
 
-sim::SimTime estimate_path_delay(const NetworkMap& map,
-                                 const RankerConfig& cfg,
-                                 const std::vector<net::NodeId>& path,
-                                 sim::SimTime now) {
-  assert(path.size() >= 2);
-  sim::SimTime total_link_delay = sim::SimTime::zero();
-  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-    total_link_delay += map.link_delay(path[i], path[i + 1]);
-  }
-  // Hops are the intermediate devices (switches) on the path.
-  sim::SimTime total_hop_delay = sim::SimTime::zero();
-  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
-    switch (cfg.queue_statistic) {
-      case QueueStatistic::kMaximum:
-        total_hop_delay += cfg.k_factor * map.device_max_queue(path[i], now);
-        break;
-      case QueueStatistic::kAverage:
-        total_hop_delay +=
-            sim::SimTime::nanoseconds(static_cast<std::int64_t>(
-                static_cast<double>(cfg.k_factor.ns()) *
-                map.device_avg_queue(path[i], now)));
-        break;
-      case QueueStatistic::kMeasuredHopLatency:
-        total_hop_delay += map.device_hop_latency(path[i], now);
-        break;
-    }
-  }
-  return total_link_delay + total_hop_delay;
-}
-
-sim::DataRate estimate_path_bandwidth(const NetworkMap& map,
-                                      const RankerConfig& cfg,
-                                      const std::vector<net::NodeId>& path,
-                                      sim::SimTime now) {
-  assert(path.size() >= 2);
-  double min_bps = map.config().nominal_capacity.bps();
-  // The first link is the origin host's own uplink; hosts are not
-  // pps-bound, so per-link availability is charged from the first switch
-  // onward (each directed link's headroom is its upstream device's egress).
-  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
-    const std::int64_t q = map.link_max_queue(path[i], path[i + 1], now);
-    const double util = cfg.queue_to_utilization.utilization(q);
-    const double avail = map.config().nominal_capacity.bps() * (1.0 - util);
-    min_bps = std::min(min_bps, avail);
-  }
-  return sim::DataRate::bits_per_second(min_bps);
-}
-
 std::vector<ServerRank> rank_candidates(
     const NetworkMap& map, const RankerConfig& cfg,
     const net::ShortestPaths& sp, const std::vector<net::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) {
-  std::vector<ServerRank> out;
-  out.reserve(candidates.size());
+  std::vector<CandidatePath> paths;
+  paths.reserve(candidates.size());
   for (const net::NodeId server : candidates) {
-    ServerRank r;
-    r.server = server;
-    const std::vector<net::NodeId> path = sp.path_to(server);
-    if (path.size() < 2) {
-      r.delay_estimate = sim::SimTime::max();
-      r.bandwidth_estimate = sim::DataRate::bits_per_second(0.0);
-      r.baseline_delay = sim::SimTime::max();
-    } else {
-      r.delay_estimate = estimate_path_delay(map, cfg, path, now);
-      r.bandwidth_estimate = estimate_path_bandwidth(map, cfg, path, now);
-      const auto d = sp.distance.find(server);
-      r.baseline_delay =
-          d == sp.distance.end() ? sim::SimTime::max() : d->second;
-      r.stale = map.path_stale(path, now);
+    CandidatePath c;
+    c.server = server;
+    c.path = sp.path_to(server);
+    const auto d = sp.distance.find(server);
+    if (d != sp.distance.end()) {
+      c.baseline_delay = d->second;
     }
-    out.push_back(r);
+    paths.push_back(std::move(c));
   }
-
-  const auto by_delay = [](const ServerRank& a, const ServerRank& b) {
-    if (a.delay_estimate != b.delay_estimate) {
-      return a.delay_estimate < b.delay_estimate;
-    }
-    return a.server < b.server;
-  };
-  const auto by_bandwidth = [](const ServerRank& a, const ServerRank& b) {
-    if (a.bandwidth_estimate != b.bandwidth_estimate) {
-      return a.bandwidth_estimate > b.bandwidth_estimate;
-    }
-    return a.server < b.server;
-  };
-  if (metric == RankingMetric::kDelay) {
-    std::sort(out.begin(), out.end(), by_delay);
-  } else {
-    std::sort(out.begin(), out.end(), by_bandwidth);
-  }
-  return out;
+  return rank_paths(map, cfg, paths, metric, now);
 }
 
 sim::SimTime Ranker::path_delay_estimate(const std::vector<net::NodeId>& path,
@@ -182,16 +108,109 @@ sim::DataRate Ranker::path_bandwidth_estimate(
   return estimate_path_bandwidth(*map_, cfg_, path, now);
 }
 
+void Ranker::refresh_cache() const {
+  const std::int64_t epoch = map_->reports_ingested();
+  if (cache_.epoch == epoch) {
+    return;
+  }
+
+  net::Graph fresh = map_->delay_graph();
+
+  // Diff the fresh delay graph against the cached epoch's edge facts.
+  // Iteration order over the unordered adjacency is irrelevant here: the
+  // diff only *collects* the changed-edge set, and every decision below is
+  // an order-insensitive OR / count over it.
+  std::vector<std::pair<LinkKey, PathCache::EdgeFacts>> changed;
+  std::size_t fresh_edges = 0;
+  std::size_t matched = 0;
+  // intsched-lint: allow(unordered-iter)
+  for (const auto& [from, edges] : fresh.adjacency) {
+    for (const net::Graph::Edge& e : edges) {
+      ++fresh_edges;
+      const LinkKey key{from, e.to};
+      const PathCache::EdgeFacts facts{e.cost, e.out_port};
+      const auto it = cache_.edge_index.find(key);
+      if (it == cache_.edge_index.end()) {
+        changed.emplace_back(key, facts);
+      } else {
+        ++matched;
+        if (it->second.cost != facts.cost || it->second.port != facts.port) {
+          changed.emplace_back(key, facts);
+        }
+      }
+    }
+  }
+
+  // NetworkMap never forgets a learned link, so a cached edge missing from
+  // the fresh graph should be impossible — but if it ever happens the diff
+  // below would be unsound, so fall back to a full rebuild. Likewise when
+  // the memo is empty (nothing to save) or the diff touches so much of the
+  // graph that per-origin checks cost more than recomputing.
+  const bool edges_removed = matched != cache_.edge_index.size();
+  const bool churned = changed.size() * 4 > fresh_edges;
+  if (cache_.sp_by_origin.empty() || edges_removed || churned) {
+    cache_.sp_by_origin.clear();
+    ++cache_.full_rebuilds;
+  } else {
+    ++cache_.delta_refreshes;
+    // Keep an origin's memoized Dijkstra result unless some changed edge
+    // (u, v) can alter it:
+    //  (a) the edge is on the origin's shortest-path tree (pred[v] == u) —
+    //      any change, cost or egress port, invalidates paths through it;
+    //  (b) the origin reaches u and the new cost ties or beats v's old
+    //      distance (d(u) + cost <= d(v), or v was unreachable) — `<=`
+    //      because a new tie can flip the deterministic tie-break.
+    // Cascaded effects are covered: any path whose cost improves must
+    // cross a *first* changed edge whose prefix is unchanged, so that
+    // edge's tail distance is finite in the old result and (b) fires.
+    for (auto it = cache_.sp_by_origin.begin();
+         it != cache_.sp_by_origin.end();) {
+      const net::ShortestPaths& sp = it->second;
+      bool affected = false;
+      for (const auto& [key, facts] : changed) {
+        const auto pred = sp.predecessor.find(key.to);
+        if (pred != sp.predecessor.end() && pred->second == key.from) {
+          affected = true;
+          break;
+        }
+        const auto du = sp.distance.find(key.from);
+        if (du == sp.distance.end()) {
+          continue;  // origin never reaches the tail: edge cannot matter
+        }
+        const auto dv = sp.distance.find(key.to);
+        if (dv == sp.distance.end() ||
+            du->second + facts.cost <= dv->second) {
+          affected = true;
+          break;
+        }
+      }
+      if (affected) {
+        ++cache_.origins_dropped;
+        it = cache_.sp_by_origin.erase(it);
+      } else {
+        ++cache_.origins_kept;
+        ++it;
+      }
+    }
+  }
+
+  cache_.epoch = epoch;
+  cache_.graph = std::move(fresh);
+  cache_.edge_index.clear();
+  cache_.edge_index.reserve(fresh_edges);
+  // Building a keyed index is order-insensitive.
+  // intsched-lint: allow(unordered-iter)
+  for (const auto& [from, edges] : cache_.graph.adjacency) {
+    for (const net::Graph::Edge& e : edges) {
+      cache_.edge_index.emplace(LinkKey{from, e.to},
+                                PathCache::EdgeFacts{e.cost, e.out_port});
+    }
+  }
+}
+
 const net::ShortestPaths& Ranker::shortest_paths_from(
     net::NodeId origin) const {
-  const std::int64_t epoch = map_->reports_ingested();
-  if (cache_.epoch != epoch) {
-    // New telemetry arrived since the snapshot: every cached path may be
-    // stale. Rebuild the graph once and drop all memoized Dijkstra runs.
-    cache_.epoch = epoch;
-    cache_.graph = map_->delay_graph();
-    cache_.sp_by_origin.clear();
-  }
+  refresh_cache();
   const auto [it, inserted] = cache_.sp_by_origin.try_emplace(origin);
   if (inserted) {
     ++cache_.misses;

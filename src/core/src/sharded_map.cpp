@@ -1,0 +1,537 @@
+#include "intsched/core/sharded_map.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace intsched::core {
+
+RegionAssignment RegionAssignment::from_topology(
+    const net::GenTopology& topo) {
+  std::vector<net::RegionId> by_node;
+  by_node.reserve(topo.nodes.size());
+  for (const net::GenNode& node : topo.nodes) {
+    by_node.push_back(node.region);
+  }
+  return RegionAssignment{std::move(by_node), topo.regions};
+}
+
+// ---------------------------------------------------------------------------
+// MetroView
+
+MetroView::MetroView(
+    std::shared_ptr<const RegionAssignment> regions,
+    std::vector<std::shared_ptr<const RankSnapshot>> region_snaps,
+    std::shared_ptr<const NetworkMap> summary_map,
+    std::vector<std::vector<net::NodeId>> borders_by_region,
+    RankerConfig config, std::int64_t epoch)
+    : regions_{std::move(regions)},
+      region_snaps_{std::move(region_snaps)},
+      summary_map_{std::move(summary_map)},
+      borders_by_region_{std::move(borders_by_region)},
+      cfg_{std::move(config)},
+      epoch_{epoch} {
+  // Base summary graph: the cross-region links (deterministically sorted
+  // by delay_graph()).
+  summary_graph_ = summary_map_->delay_graph();
+
+  // Transit edges: for every region, border-to-border traversal at the
+  // region's shortest-path cost. Regions ascend and borders are sorted,
+  // so construction order — and therefore the graph — is deterministic.
+  for (std::size_t r = 0; r < region_snaps_.size(); ++r) {
+    const RankSnapshot& snap = *region_snaps_[r];
+    const std::vector<net::NodeId>& borders = borders_by_region_[r];
+    for (const net::NodeId b1 : borders) {
+      const net::ShortestPaths* sp = snap.paths_from(b1);
+      if (sp == nullptr) continue;
+      for (const net::NodeId b2 : borders) {
+        if (b2 == b1) continue;
+        const auto d = sp->distance.find(b2);
+        if (d == sp->distance.end()) continue;
+        summary_graph_.add_edge(b1, b2, -1, d->second);
+        transit_region_[{b1, b2}] = static_cast<net::RegionId>(r);
+      }
+    }
+  }
+
+  // Query-context slot per node known to any region graph (plus the
+  // summary's own nodes, so gateway-origin queries resolve too). The
+  // slot *set* is fixed here; readers only fill slot contents.
+  for (const std::shared_ptr<const RankSnapshot>& snap : region_snaps_) {
+    for (const net::NodeId n : snap->delay_graph().nodes()) {
+      ctx_slots_.try_emplace(n);
+    }
+  }
+  for (const net::NodeId n : summary_graph_.nodes()) {
+    ctx_slots_.try_emplace(n);
+  }
+}
+
+const NetworkMap& MetroView::link_map(net::NodeId from, net::NodeId to) const {
+  const net::RegionId ra = regions_->region_of(from);
+  const net::RegionId rb = regions_->region_of(to);
+  if (ra == rb && valid_region(ra)) return region_map(ra);
+  return *summary_map_;
+}
+
+const NetworkMap& MetroView::device_map(net::NodeId device) const {
+  const net::RegionId r = regions_->region_of(device);
+  if (valid_region(r)) return region_map(r);
+  return *summary_map_;
+}
+
+std::int64_t MetroView::hier_link_max_queue(net::NodeId from, net::NodeId to,
+                                            sim::SimTime now) const {
+  const net::RegionId ra = regions_->region_of(from);
+  const net::RegionId rb = regions_->region_of(to);
+  if (ra == rb && valid_region(ra)) {
+    return region_map(ra).link_max_queue(from, to, now);
+  }
+  // Cross-region link: the egress port was learned in the summary map,
+  // but the port's queue series (per-device telemetry) lives in `from`'s
+  // region map — consult both halves, then the flat fallback.
+  const std::int32_t port = summary_map_->egress_port(from, to);
+  const NetworkMap& dm = device_map(from);
+  if (port >= 0) {
+    if (const auto q = dm.fresh_port_max_queue(from, port, now)) return *q;
+  }
+  return dm.device_max_queue(from, now);
+}
+
+bool MetroView::hier_path_stale(const std::vector<net::NodeId>& path,
+                                sim::SimTime now) const {
+  if (summary_map_->config().link_staleness <= sim::SimTime::zero()) {
+    return false;
+  }
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    if (link_map(path[i - 1], path[i]).link_stale(path[i - 1], path[i], now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MetroView::build_context(net::NodeId origin, QueryContext& ctx) const {
+  ctx.region = regions_->region_of(origin);
+  if (!valid_region(ctx.region)) return;
+  ctx.sp0 = region_snaps_[static_cast<std::size_t>(ctx.region)]->paths_from(
+      origin);
+  if (ctx.sp0 == nullptr) return;
+
+  // Summary-level Dijkstra from the origin: copy the augmented summary
+  // graph and add synthetic origin->border edges costed by the
+  // region-local distances. The copy is small — the summary graph holds
+  // only border gateways, not the metro.
+  net::Graph g = summary_graph_;
+  for (const net::NodeId b :
+       borders_by_region_[static_cast<std::size_t>(ctx.region)]) {
+    const auto d = ctx.sp0->distance.find(b);
+    if (d == ctx.sp0->distance.end()) continue;
+    g.add_edge(origin, b, -1, d->second);
+  }
+  ctx.summary_sp = net::dijkstra(g, origin);
+  ctx.valid = true;
+}
+
+const MetroView::QueryContext* MetroView::query_context(
+    net::NodeId origin) const {
+  const auto it = ctx_slots_.find(origin);
+  if (it == ctx_slots_.end()) return nullptr;
+  const CtxSlot& slot = it->second;
+  std::call_once(slot.once,
+                 [this, origin, &slot] { build_context(origin, slot.ctx); });
+  return &slot.ctx;
+}
+
+std::vector<net::NodeId> MetroView::expand_summary_path(
+    const QueryContext& ctx, net::NodeId origin, net::NodeId border) const {
+  std::vector<net::NodeId> out;
+  const std::vector<net::NodeId> spine = ctx.summary_sp.path_to(border);
+  if (spine.empty()) return out;
+  out.push_back(origin);
+  for (std::size_t i = 1; i < spine.size(); ++i) {
+    const net::NodeId u = spine[i - 1];
+    const net::NodeId v = spine[i];
+    if (u == origin) {
+      // Synthetic first edge: splice the region-local path origin..v.
+      // (If the origin is itself a summary node, a real edge u->v has
+      // the same cost as this splice, so either interpretation is
+      // sound.)
+      const std::vector<net::NodeId> seg = ctx.sp0->path_to(v);
+      out.insert(out.end(), seg.begin() + 1, seg.end());
+      continue;
+    }
+    const auto t = transit_region_.find({u, v});
+    if (t != transit_region_.end()) {
+      // Transit edge: splice the owning region's path u..v.
+      const net::ShortestPaths* sp =
+          region_snaps_[static_cast<std::size_t>(t->second)]->paths_from(u);
+      assert(sp != nullptr);  // transit edges are built from these memos
+      const std::vector<net::NodeId> seg = sp->path_to(v);
+      out.insert(out.end(), seg.begin() + 1, seg.end());
+      continue;
+    }
+    out.push_back(v);  // real cross-region hop
+  }
+  return out;
+}
+
+CandidatePath MetroView::candidate_path(const QueryContext& ctx,
+                                        net::NodeId origin,
+                                        net::NodeId server) const {
+  CandidatePath c;
+  c.server = server;
+  const net::RegionId rs = regions_->region_of(server);
+  if (rs == ctx.region) {
+    c.path = ctx.sp0->path_to(server);
+    const auto d = ctx.sp0->distance.find(server);
+    if (d != ctx.sp0->distance.end()) c.baseline_delay = d->second;
+    return c;
+  }
+  if (!valid_region(rs)) return c;  // unknown region: unreachable
+
+  // Cheapest entry border of the server's region: summary distance to the
+  // border plus region distance border -> server. Borders are sorted, so
+  // "first minimum wins" is the deterministic smallest-id tie-break.
+  const RankSnapshot& snap = *region_snaps_[static_cast<std::size_t>(rs)];
+  net::NodeId best_border = net::kInvalidNode;
+  sim::SimTime best_total = sim::SimTime::max();
+  const net::ShortestPaths* best_tail = nullptr;
+  for (const net::NodeId b :
+       borders_by_region_[static_cast<std::size_t>(rs)]) {
+    const auto ds = ctx.summary_sp.distance.find(b);
+    if (ds == ctx.summary_sp.distance.end()) continue;
+    const net::ShortestPaths* tail = snap.paths_from(b);
+    if (tail == nullptr) continue;
+    const auto dt = tail->distance.find(server);
+    if (dt == tail->distance.end()) continue;
+    const sim::SimTime total = ds->second + dt->second;
+    if (best_border == net::kInvalidNode || total < best_total) {
+      best_border = b;
+      best_total = total;
+      best_tail = tail;
+    }
+  }
+  if (best_border == net::kInvalidNode) return c;
+
+  c.baseline_delay = best_total;
+  c.path = expand_summary_path(ctx, origin, best_border);
+  const std::vector<net::NodeId> tail_path = best_tail->path_to(server);
+  if (c.path.empty() || tail_path.empty()) {
+    c.path.clear();  // defensive: treat as unreachable
+    return c;
+  }
+  c.path.insert(c.path.end(), tail_path.begin() + 1, tail_path.end());
+  return c;
+}
+
+std::vector<ServerRank> MetroView::rank(
+    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    RankingMetric metric, sim::SimTime now) const {
+  std::vector<CandidatePath> paths;
+  paths.reserve(candidates.size());
+  const QueryContext* ctx = query_context(origin);
+  for (const net::NodeId server : candidates) {
+    if (ctx != nullptr && ctx->valid) {
+      paths.push_back(candidate_path(*ctx, origin, server));
+    } else {
+      CandidatePath c;  // unknown origin: every candidate unreachable
+      c.server = server;
+      paths.push_back(std::move(c));
+    }
+  }
+  return rank_paths(HierMap{this}, cfg_, paths, metric, now);
+}
+
+std::optional<ServerRank> MetroView::pick(
+    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    RankingMetric metric, sim::SimTime now, PickStats* stats) const {
+  if (candidates.empty()) return std::nullopt;
+  const QueryContext* ctx = query_context(origin);
+  if (ctx == nullptr || !ctx->valid || metric != RankingMetric::kDelay) {
+    // Bandwidth has no admissible region lower bound (a distant region
+    // can still win); unknown origins rank everything unreachable. Both
+    // fall back to the full ranking.
+    const std::vector<ServerRank> ranked = rank(origin, candidates, metric, now);
+    if (stats != nullptr) {
+      stats->regions_considered = 1;
+      stats->candidates_scored =
+          static_cast<std::int64_t>(candidates.size());
+    }
+    return ranked.front();
+  }
+
+  // Group candidates by region, keeping candidate order within a group.
+  std::map<net::RegionId, std::vector<net::NodeId>> by_region;
+  for (const net::NodeId server : candidates) {
+    by_region[regions_->region_of(server)].push_back(server);
+  }
+
+  // Admissible lower bound per region: every path into region r enters
+  // through a border, so no server there can beat the cheapest border
+  // arrival (queue terms only add). The origin's own region starts at 0.
+  struct RegionBound {
+    sim::SimTime bound = sim::SimTime::max();
+    net::RegionId region = net::kNoRegion;
+  };
+  std::vector<RegionBound> order;
+  order.reserve(by_region.size());
+  for (const auto& [r, group] : by_region) {
+    RegionBound rb;
+    rb.region = r;
+    if (r == ctx->region) {
+      rb.bound = sim::SimTime::zero();
+    } else if (valid_region(r)) {
+      for (const net::NodeId b :
+           borders_by_region_[static_cast<std::size_t>(r)]) {
+        const auto d = ctx->summary_sp.distance.find(b);
+        if (d != ctx->summary_sp.distance.end()) {
+          rb.bound = std::min(rb.bound, d->second);
+        }
+      }
+    }
+    order.push_back(rb);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const RegionBound& a, const RegionBound& b) {
+              if (a.bound != b.bound) return a.bound < b.bound;
+              return a.region < b.region;
+            });
+
+  const HierMap hier{this};
+  std::optional<ServerRank> best;
+  PickStats local{};
+  for (const RegionBound& rb : order) {
+    // Strict >: a region whose bound *ties* the best estimate can still
+    // hold the tie-breaking (smaller-id) winner, so only a strictly
+    // worse bound may be pruned.
+    if (best.has_value() && rb.bound > best->delay_estimate) {
+      ++local.regions_pruned;
+      continue;
+    }
+    ++local.regions_considered;
+    std::vector<CandidatePath> paths;
+    const std::vector<net::NodeId>& group = by_region.at(rb.region);
+    paths.reserve(group.size());
+    for (const net::NodeId server : group) {
+      paths.push_back(candidate_path(*ctx, origin, server));
+    }
+    local.candidates_scored += static_cast<std::int64_t>(paths.size());
+    const std::vector<ServerRank> ranked =
+        rank_paths(hier, cfg_, paths, metric, now);
+    if (ranked.empty()) continue;
+    const ServerRank& top = ranked.front();
+    if (!best.has_value() ||
+        top.delay_estimate < best->delay_estimate ||
+        (top.delay_estimate == best->delay_estimate &&
+         top.server < best->server)) {
+      best = top;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedNetworkMap
+
+ShardedNetworkMap::ShardedNetworkMap(RegionAssignment regions,
+                                     ShardedMapConfig config)
+    : regions_{std::make_shared<const RegionAssignment>(std::move(regions))},
+      cfg_{std::move(config)},
+      summary_map_{cfg_.map} {
+  const auto n = static_cast<std::size_t>(std::max<net::RegionId>(
+      0, regions_->count()));
+  region_maps_.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    region_maps_.emplace_back(cfg_.map);
+  }
+  borders_by_region_.resize(n);
+  last_snaps_.resize(n);
+  touched_.assign(n + 1, 0);
+  LockGuard lock{mutex_};
+  publish_locked();  // empty epoch-0 view so view() is never null
+}
+
+void ShardedNetworkMap::learn_pair_locked(net::NodeId from, net::NodeId to,
+                                          std::int32_t out_port,
+                                          sim::SimTime delay_sample,
+                                          sim::SimTime now) {
+  const net::RegionId ra = regions_->region_of(from);
+  const net::RegionId rb = regions_->region_of(to);
+  const auto n = region_maps_.size();
+  if (ra == rb && ra >= 0 && static_cast<std::size_t>(ra) < n) {
+    region_maps_[static_cast<std::size_t>(ra)].learn_link(
+        from, to, out_port, delay_sample, now);
+    touched_[static_cast<std::size_t>(ra)] = 1;
+    return;
+  }
+  summary_map_.learn_link(from, to, out_port, delay_sample, now);
+  touched_[n] = 1;
+  const auto note_border = [this, n](net::RegionId r, net::NodeId node) {
+    if (r < 0 || static_cast<std::size_t>(r) >= n) return;
+    std::vector<net::NodeId>& borders =
+        borders_by_region_[static_cast<std::size_t>(r)];
+    const auto it = std::lower_bound(borders.begin(), borders.end(), node);
+    if (it == borders.end() || *it != node) borders.insert(it, node);
+  };
+  note_border(ra, from);
+  note_border(rb, to);
+}
+
+void ShardedNetworkMap::apply_report_locked(
+    const telemetry::ProbeReport& report, sim::SimTime now) {
+  std::fill(touched_.begin(), touched_.end(), 0);
+
+  // Same walk as NetworkMap::ingest, with each step routed to the owning
+  // shard (see that function for the semantics of every step).
+  net::NodeId upstream = report.src;
+  std::int32_t upstream_port = 0;
+  for (const auto& e : report.entries) {
+    if (e.device < 0) {
+      ++rejected_;
+      continue;
+    }
+    learn_pair_locked(upstream, e.device, upstream_port,
+                      e.ingress_link_latency, now);
+    learn_pair_locked(e.device, upstream, e.ingress_port,
+                      sim::SimTime::nanoseconds(-1), now);
+    const net::RegionId rd = regions_->region_of(e.device);
+    if (rd >= 0 && static_cast<std::size_t>(rd) < region_maps_.size()) {
+      region_maps_[static_cast<std::size_t>(rd)].record_entry_telemetry(e,
+                                                                        now);
+      touched_[static_cast<std::size_t>(rd)] = 1;
+    } else {
+      summary_map_.record_entry_telemetry(e, now);
+      touched_[region_maps_.size()] = 1;
+    }
+    upstream = e.device;
+    upstream_port = e.egress_port;
+  }
+  if (upstream != report.src) {
+    learn_pair_locked(upstream, report.dst, upstream_port,
+                      report.final_link_latency, now);
+    learn_pair_locked(report.dst, upstream, 0, sim::SimTime::nanoseconds(-1),
+                      now);
+  }
+
+  for (std::size_t r = 0; r < region_maps_.size(); ++r) {
+    if (touched_[r] != 0) region_maps_[r].finish_ingest(now);
+  }
+  if (touched_[region_maps_.size()] != 0) summary_map_.finish_ingest(now);
+  ++reports_;
+}
+
+std::shared_ptr<const RankSnapshot> ShardedNetworkMap::build_region_snapshot(
+    std::size_t r) const {
+  return std::make_shared<const RankSnapshot>(region_maps_[r], cfg_.ranker);
+}
+
+void ShardedNetworkMap::publish_locked() {
+  // A region is dirty iff its shard ingested anything since its last
+  // snapshot (RankSnapshot's epoch is the shard's reports_ingested at
+  // build time). Clean regions keep their snapshot — Dijkstra memos and
+  // all — across the publish.
+  std::vector<std::size_t> dirty;
+  for (std::size_t r = 0; r < region_maps_.size(); ++r) {
+    if (last_snaps_[r] == nullptr ||
+        last_snaps_[r]->epoch() != region_maps_[r].reports_ingested()) {
+      dirty.push_back(r);
+    }
+  }
+  if (!dirty.empty()) {
+    if (cfg_.rebuild_executor != nullptr && dirty.size() > 1) {
+      // Workers write index-addressed slots, so the published vector is
+      // byte-identical no matter how the executor schedules them.
+      std::vector<std::shared_ptr<const RankSnapshot>> built(dirty.size());
+      cfg_.rebuild_executor(dirty.size(), [this, &dirty, &built](
+                                              std::size_t i) {
+        built[i] = build_region_snapshot(dirty[i]);
+      });
+      for (std::size_t i = 0; i < dirty.size(); ++i) {
+        last_snaps_[dirty[i]] = std::move(built[i]);
+      }
+    } else {
+      for (const std::size_t r : dirty) {
+        last_snaps_[r] = build_region_snapshot(r);
+      }
+    }
+    snapshot_builds_ += static_cast<std::int64_t>(dirty.size());
+  }
+  if (last_summary_ == nullptr ||
+      last_summary_epoch_ != summary_map_.reports_ingested()) {
+    last_summary_ = std::make_shared<const NetworkMap>(summary_map_);
+    last_summary_epoch_ = summary_map_.reports_ingested();
+  }
+
+  view_.store(std::make_shared<const MetroView>(
+                  regions_, last_snaps_, last_summary_, borders_by_region_,
+                  cfg_.ranker, reports_),
+              std::memory_order_release);
+  ++publishes_;
+}
+
+void ShardedNetworkMap::ingest(const telemetry::ProbeReport& report,
+                               sim::SimTime now) {
+  LockGuard lock{mutex_};
+  apply_report_locked(report, now);
+  publish_locked();
+}
+
+void ShardedNetworkMap::ingest_batch(
+    const std::vector<telemetry::ProbeReport>& reports, sim::SimTime now) {
+  LockGuard lock{mutex_};
+  for (const telemetry::ProbeReport& report : reports) {
+    apply_report_locked(report, now);
+  }
+  publish_locked();
+}
+
+std::vector<ServerRank> ShardedNetworkMap::rank(
+    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    RankingMetric metric, sim::SimTime now) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);  // intsched-lint: allow(atomic-ordering): counter bump
+  const std::shared_ptr<const MetroView> v =
+      view_.load(std::memory_order_acquire);
+  return v->rank(origin, candidates, metric, now);
+}
+
+std::optional<ServerRank> ShardedNetworkMap::pick(
+    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    RankingMetric metric, sim::SimTime now, PickStats* stats) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);  // intsched-lint: allow(atomic-ordering): counter bump
+  const std::shared_ptr<const MetroView> v =
+      view_.load(std::memory_order_acquire);
+  return v->pick(origin, candidates, metric, now, stats);
+}
+
+void ShardedNetworkMap::set_k_factor(sim::SimTime k) {
+  LockGuard lock{mutex_};
+  cfg_.ranker.k_factor = k;
+  // Cached state must never outlive the config it was computed under:
+  // drop every snapshot so publish rebuilds them under the new config.
+  std::fill(last_snaps_.begin(), last_snaps_.end(), nullptr);
+  last_summary_ = nullptr;
+  publish_locked();
+}
+
+std::int64_t ShardedNetworkMap::reports_ingested() const {
+  LockGuard lock{mutex_};
+  return reports_;
+}
+
+std::int64_t ShardedNetworkMap::rejected_entries() const {
+  LockGuard lock{mutex_};
+  return rejected_;
+}
+
+std::int64_t ShardedNetworkMap::region_snapshot_builds() const {
+  LockGuard lock{mutex_};
+  return snapshot_builds_;
+}
+
+std::int64_t ShardedNetworkMap::view_publishes() const {
+  LockGuard lock{mutex_};
+  return publishes_;
+}
+
+}  // namespace intsched::core

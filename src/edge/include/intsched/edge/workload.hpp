@@ -50,4 +50,28 @@ struct WorkloadConfig {
     const WorkloadConfig& config, const std::vector<net::NodeId>& submitters,
     sim::Rng& rng);
 
+/// O(1)-per-task streaming counterpart of generate_workload for
+/// metro-scale runs: a million-task sweep must not materialize a JobSpec
+/// vector. Submitters are drawn uniformly and classes cycle, matching
+/// generate_workload's fairness rule; two streams with equal seeds and
+/// submitter lists produce identical task sequences.
+class MetroTaskStream {
+ public:
+  struct Task {
+    std::int64_t task_id = 0;
+    net::NodeId submitter = net::kInvalidNode;
+    TaskClass cls = TaskClass::kVerySmall;
+  };
+
+  MetroTaskStream(std::uint64_t seed, std::vector<net::NodeId> submitters);
+
+  [[nodiscard]] Task next();
+  [[nodiscard]] std::int64_t emitted() const { return next_id_; }
+
+ private:
+  std::vector<net::NodeId> submitters_;
+  sim::Rng rng_;
+  std::int64_t next_id_ = 0;
+};
+
 }  // namespace intsched::edge

@@ -54,4 +54,21 @@ std::vector<JobSpec> generate_workload(
   return jobs;
 }
 
+MetroTaskStream::MetroTaskStream(std::uint64_t seed,
+                                 std::vector<net::NodeId> submitters)
+    : submitters_{std::move(submitters)},
+      rng_{sim::Rng::derive(seed, "metro.tasks")} {}
+
+MetroTaskStream::Task MetroTaskStream::next() {
+  Task t;
+  t.task_id = next_id_++;
+  if (!submitters_.empty()) {
+    t.submitter = submitters_[static_cast<std::size_t>(
+        rng_.index(static_cast<std::int64_t>(submitters_.size())))];
+  }
+  t.cls = kAllTaskClasses[static_cast<std::size_t>(t.task_id) %
+                          kAllTaskClasses.size()];
+  return t;
+}
+
 }  // namespace intsched::edge

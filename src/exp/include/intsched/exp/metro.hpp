@@ -1,0 +1,89 @@
+#pragma once
+
+// Synthetic INT telemetry for TopologyGen-scale metros. The packet-level
+// simulator (exp::Fig4Network) cannot push probes through a thousand
+// switches in bench time, so metro experiments synthesize the *reports*
+// instead — but with the same structure real probes produce: every report
+// is a host-to-host traversal whose INT stack entries carry the real
+// ingress/egress ports from the generated topology. That matters because
+// NetworkMap's port learning is last-write-wins: a fabricated
+// single-link report with a switch source would stamp port 0 onto
+// switch-to-switch links and poison link_max_queue's port lookup. Probes
+// anchored at hosts reproduce exactly what the collector would have
+// learned.
+//
+// Determinism: all draws (delay wobble, congestion registers, refresh
+// link choice) come from one named Rng stream in emission order. Generate
+// a report batch once and feed it to every arm under comparison.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "intsched/net/topology_gen.hpp"
+#include "intsched/sim/rng.hpp"
+#include "intsched/telemetry/collector.hpp"
+
+namespace intsched::exp {
+
+struct MetroTelemetryConfig {
+  std::uint64_t seed = 42;
+  /// Fraction of switches given a standing congestion level at
+  /// construction (the rest report empty queues).
+  double congested_frac = 0.15;
+  /// Congestion level range (window-max queue, packets) for congested
+  /// switches.
+  std::int64_t min_level = 2;
+  std::int64_t max_level = 40;
+  /// Per-sample multiplicative wobble on link-delay measurements.
+  double delay_wobble_frac = 0.02;
+  /// Chance that a refreshed link's endpoint devices redraw their
+  /// congestion level (telemetry churn between epochs).
+  double churn_chance = 0.3;
+};
+
+/// Generates probe reports over a generated metro topology: full sweeps
+/// (every link, both orientations — enough for the map to learn the whole
+/// topology) and incremental refreshes (a seeded subset of links, the
+/// steady-state probing an epoch delivers).
+class MetroTelemetryGen {
+ public:
+  MetroTelemetryGen(net::GenTopology topo, MetroTelemetryConfig config = {});
+
+  /// Two reports (one per orientation) for every link.
+  [[nodiscard]] std::vector<telemetry::ProbeReport> full_sweep();
+
+  /// Two reports each for `count` randomly drawn links, with congestion
+  /// churn on the touched devices.
+  [[nodiscard]] std::vector<telemetry::ProbeReport> refresh(
+      std::int64_t count);
+
+  [[nodiscard]] const net::GenTopology& topology() const { return topo_; }
+
+ private:
+  /// host(u)-anchored traversal: anchor(u) ++ reverse(anchor(v)), where
+  /// anchor(n) is the BFS-nearest host's path to n (deterministic
+  /// smallest-neighbour order). Crossing the (u, v) link mid-path is what
+  /// gets its delay measured.
+  [[nodiscard]] telemetry::ProbeReport probe_over_link(std::size_t link_index,
+                                                      bool forward);
+  [[nodiscard]] sim::SimTime link_base_delay(net::NodeId a,
+                                             net::NodeId b) const;
+
+  net::GenTopology topo_;
+  MetroTelemetryConfig cfg_;
+  sim::Rng rng_;
+  /// Sorted undirected adjacency (BFS determinism).
+  std::vector<std::vector<net::NodeId>> adj_;
+  /// Directed (from, to) -> egress port, mirroring GenTopology::graph().
+  std::map<std::pair<net::NodeId, net::NodeId>, std::int32_t> ports_;
+  /// Base delay per undirected pair (symmetric).
+  std::map<std::pair<net::NodeId, net::NodeId>, sim::SimTime> delays_;
+  /// anchor_[n]: node path nearest-host .. n (just [n] for hosts).
+  std::vector<std::vector<net::NodeId>> anchor_;
+  /// Standing congestion level per node (0 = uncongested).
+  std::vector<std::int64_t> congestion_;
+};
+
+}  // namespace intsched::exp

@@ -1,0 +1,173 @@
+#include "intsched/exp/metro.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace intsched::exp {
+
+MetroTelemetryGen::MetroTelemetryGen(net::GenTopology topo,
+                                     MetroTelemetryConfig config)
+    : topo_{std::move(topo)},
+      cfg_{config},
+      rng_{sim::Rng::derive(cfg_.seed, "metro.telemetry")} {
+  const std::size_t n = topo_.nodes.size();
+  adj_.resize(n);
+  std::vector<std::int32_t> next_port(n, 0);
+  for (const net::GenLink& l : topo_.links) {
+    const auto a = static_cast<std::size_t>(l.a);
+    const auto b = static_cast<std::size_t>(l.b);
+    adj_[a].push_back(l.b);
+    adj_[b].push_back(l.a);
+    // Same per-node sequential assignment as GenTopology::graph(), so the
+    // stack entries carry the ports the routing layers will learn.
+    ports_[{l.a, l.b}] = next_port[a]++;
+    ports_[{l.b, l.a}] = next_port[b]++;
+    delays_[std::minmax(l.a, l.b)] = l.delay;
+  }
+  for (std::vector<net::NodeId>& neigh : adj_) {
+    std::sort(neigh.begin(), neigh.end());
+  }
+
+  // Anchor chains: nearest host per node, BFS with sorted neighbours so
+  // the chain — and every probe path built from it — is deterministic.
+  anchor_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto start = static_cast<net::NodeId>(i);
+    if (topo_.nodes[i].kind == net::NodeKind::kHost) {
+      anchor_[i] = {start};
+      continue;
+    }
+    std::vector<net::NodeId> parent(n, net::kInvalidNode);
+    std::vector<char> seen(n, 0);
+    std::deque<net::NodeId> frontier{start};
+    seen[i] = 1;
+    net::NodeId found = net::kInvalidNode;
+    while (!frontier.empty() && found == net::kInvalidNode) {
+      const net::NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const net::NodeId nb : adj_[static_cast<std::size_t>(cur)]) {
+        if (seen[static_cast<std::size_t>(nb)] != 0) continue;
+        seen[static_cast<std::size_t>(nb)] = 1;
+        parent[static_cast<std::size_t>(nb)] = cur;
+        if (topo_.nodes[static_cast<std::size_t>(nb)].kind ==
+            net::NodeKind::kHost) {
+          found = nb;
+          break;
+        }
+        frontier.push_back(nb);
+      }
+    }
+    // parent[] points back toward `start`, so walking from the found host
+    // yields [host, ..., start] directly — host-first, as anchor_ wants.
+    std::vector<net::NodeId> chain;
+    for (net::NodeId c = found; c != net::kInvalidNode;
+         c = parent[static_cast<std::size_t>(c)]) {
+      chain.push_back(c);
+    }
+    anchor_[i] = std::move(chain);
+  }
+
+  // Standing congestion, drawn once in node order.
+  congestion_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (topo_.nodes[i].kind != net::NodeKind::kSwitch) continue;
+    if (rng_.chance(cfg_.congested_frac)) {
+      congestion_[i] = rng_.uniform_int(cfg_.min_level, cfg_.max_level);
+    }
+  }
+}
+
+sim::SimTime MetroTelemetryGen::link_base_delay(net::NodeId a,
+                                                net::NodeId b) const {
+  const auto it = delays_.find(std::minmax(a, b));
+  return it == delays_.end() ? sim::SimTime::milliseconds(1) : it->second;
+}
+
+telemetry::ProbeReport MetroTelemetryGen::probe_over_link(
+    std::size_t link_index, bool forward) {
+  const net::GenLink& l = topo_.links[link_index];
+  const net::NodeId u = forward ? l.a : l.b;
+  const net::NodeId v = forward ? l.b : l.a;
+
+  // Node path: nearest-host chain to u, across the link, then v's chain
+  // back down to its nearest host.
+  std::vector<net::NodeId> path = anchor_[static_cast<std::size_t>(u)];
+  const std::vector<net::NodeId>& back = anchor_[static_cast<std::size_t>(v)];
+  path.insert(path.end(), back.rbegin(), back.rend());
+
+  telemetry::ProbeReport report;
+  report.src = path.front();
+  report.dst = path.back();
+
+  const auto wobbled = [this](net::NodeId a, net::NodeId b) {
+    const sim::SimTime base = link_base_delay(a, b);
+    const double scale = rng_.uniform_real(1.0 - cfg_.delay_wobble_frac,
+                                           1.0 + cfg_.delay_wobble_frac);
+    return sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+        static_cast<double>(base.ns()) * scale));
+  };
+
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const net::NodeId device = path[i];
+    net::IntStackEntry entry;
+    entry.device = device;
+    entry.ingress_port = ports_.at({device, path[i - 1]});
+    entry.egress_port = ports_.at({device, path[i + 1]});
+    // First hop has no upstream switch timestamp — exactly like a real
+    // probe, the host access link stays unmeasured in this direction (it
+    // is measured as the final hop of the reverse orientation).
+    entry.ingress_link_latency = i == 1 ? sim::SimTime::nanoseconds(-1)
+                                        : wobbled(path[i - 1], device);
+    const std::int64_t level = congestion_[static_cast<std::size_t>(device)];
+    const std::int64_t q =
+        level == 0 ? 0
+                   : std::max<std::int64_t>(0,
+                                            level + rng_.uniform_int(-2, 2));
+    entry.max_queue_pkts = q;
+    entry.device_max_queue_pkts = q;
+    entry.device_avg_queue_x100 = q * 40;  // mean well under the max
+    entry.max_hop_latency = sim::SimTime::microseconds(30 * q);
+    report.entries.push_back(entry);
+  }
+  if (path.size() >= 2) {
+    report.final_link_latency =
+        wobbled(path[path.size() - 2], path.back());
+  }
+  return report;
+}
+
+std::vector<telemetry::ProbeReport> MetroTelemetryGen::full_sweep() {
+  std::vector<telemetry::ProbeReport> out;
+  out.reserve(topo_.links.size() * 2);
+  for (std::size_t li = 0; li < topo_.links.size(); ++li) {
+    out.push_back(probe_over_link(li, true));
+    out.push_back(probe_over_link(li, false));
+  }
+  return out;
+}
+
+std::vector<telemetry::ProbeReport> MetroTelemetryGen::refresh(
+    std::int64_t count) {
+  std::vector<telemetry::ProbeReport> out;
+  out.reserve(static_cast<std::size_t>(count) * 2);
+  for (std::int64_t i = 0; i < count; ++i) {
+    const auto li = static_cast<std::size_t>(
+        rng_.index(static_cast<std::int64_t>(topo_.links.size())));
+    const net::GenLink& l = topo_.links[li];
+    if (rng_.chance(cfg_.churn_chance)) {
+      for (const net::NodeId end : {l.a, l.b}) {
+        const auto e = static_cast<std::size_t>(end);
+        if (topo_.nodes[e].kind != net::NodeKind::kSwitch) continue;
+        congestion_[e] = rng_.chance(cfg_.congested_frac)
+                             ? rng_.uniform_int(cfg_.min_level,
+                                                cfg_.max_level)
+                             : 0;
+      }
+    }
+    out.push_back(probe_over_link(li, true));
+    out.push_back(probe_over_link(li, false));
+  }
+  return out;
+}
+
+}  // namespace intsched::exp

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+namespace intsched::sim {
+
+/// Incremental FNV-1a (64-bit): a tiny, dependency-free, machine-stable
+/// fingerprint for experiment results. Benches hash the sequence of
+/// integer decisions (chosen server ids, delay estimates in ns) so two
+/// runs — or two arms of the same run — can assert byte-identical
+/// behaviour with a single number instead of gigabytes of logs.
+///
+/// Only feed it integers. Hashing doubles directly would tie fingerprints
+/// to bit patterns that are stable in practice but harder to reason
+/// about; the delay metric's integer arithmetic (SimTime ns) is exact.
+class Fnv1a64 {
+ public:
+  void add(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xffU;
+      hash_ *= 1099511628211ULL;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ULL;
+};
+
+}  // namespace intsched::sim

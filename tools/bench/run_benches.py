@@ -15,6 +15,10 @@ Outputs (written to --out-dir, committed at tools/bench/):
   BENCH_suite.json   wall-clock seconds of the scaled Fig.-5 suite at
                      --jobs=1 and --jobs=N, plus a byte-identity check of
                      the two reports (the parallel engine's contract).
+  BENCH_metro.json   bench/metro_sweep JSON at the smoke scale: flat and
+                     two-level (sharded) arm wall clock, rank-latency
+                     percentiles, decision fingerprints, and the
+                     flat/sharded agreement fraction.
 
 Modes:
 
@@ -28,7 +32,13 @@ Modes:
                      and compare total wall clock against the committed
                      BENCH_suite.json (same threshold; jobs/reps taken
                      from the baseline) — a slower-than-threshold suite
-                     or a byte-identity break fails the check.
+                     or a byte-identity break fails the check. Unless
+                     --skip-metro, also re-run bench/metro_sweep at the
+                     committed BENCH_metro.json's shape and gate total
+                     wall clock, cross-arm fingerprint equality, 100%
+                     flat/sharded agreement, and fingerprint determinism
+                     against the baseline (fingerprints are seeded and
+                     hardware-independent, so they must match exactly).
   --self-test        exercise the comparison logic on synthetic data
                      (clean, regressed, and identity-broken cases) with
                      no build directory needed; used by the ctest `lint`
@@ -109,6 +119,80 @@ def run_suite(build_dir: str, jobs: int, reps: int) -> Dict:
         result["speedup"] = round(result["runs"][0]["wall_seconds"] /
                                   result["runs"][1]["wall_seconds"], 2)
     return result
+
+
+def run_metro(build_dir: str, pods: int, tasks: int, epochs: int,
+              seed: int, jobs: int) -> Dict:
+    """Runs bench/metro_sweep at the given shape and returns its JSON
+    report (flat vs two-level arms, fingerprints, agreement)."""
+    exe = os.path.join(build_dir, "bench", "metro_sweep")
+    if not os.path.exists(exe):
+        print(f"run_benches: missing {exe} (build the metro_sweep target)",
+              file=sys.stderr)
+        sys.exit(2)
+    out = "/tmp/BENCH_metro_fresh.json"
+    cmd = [exe, f"--pods={pods}", f"--tasks={tasks}", f"--epochs={epochs}",
+           f"--seed={seed}", f"--jobs={jobs}", f"--json={out}"]
+    print(f"run_benches: {' '.join(cmd)}")
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out, encoding="utf-8") as f:
+        data = json.load(f)
+    os.remove(out)
+    return data
+
+
+def compare_metro(baseline: Dict, fresh: Dict,
+                  threshold: float) -> Tuple[List[str], int]:
+    """Pure comparison (no I/O) for the metro sweep: total two-arm wall
+    clock vs. baseline, the flat==sharded fingerprint contract, 100%
+    agreement, and seeded-fingerprint determinism vs. the committed
+    baseline. Returns (report lines, failure count)."""
+    lines: List[str] = []
+    failures = 0
+    old = sum(a["wall_seconds"] for a in baseline["arms"])
+    new = sum(a["wall_seconds"] for a in fresh["arms"])
+    delta = (new - old) / old * 100.0 if old > 0 else 0.0
+    verdict = "OK"
+    if old > 0 and new > old * (1.0 + threshold):
+        verdict = "REGRESSION"
+        failures += 1
+    lines.append(f"  {verdict:<9} metro total: {old:.3f}s -> {new:.3f}s "
+                 f"({delta:+.1f}%)")
+    prints = {a["arm"]: a["fingerprint"] for a in fresh["arms"]}
+    if len(set(prints.values())) != 1:
+        lines.append(f"  IDENTITY  two-level decisions diverged from flat: "
+                     f"{prints}")
+        failures += 1
+    if fresh.get("agreement", 0.0) < 1.0:
+        lines.append(f"  AGREEMENT flat/sharded agreement "
+                     f"{fresh.get('agreement', 0.0):.4f} < 1.0")
+        failures += 1
+    base_prints = {a["arm"]: a["fingerprint"] for a in baseline["arms"]}
+    for arm, fp in base_prints.items():
+        if arm in prints and prints[arm] != fp:
+            lines.append(f"  DETERMINISM {arm} fingerprint drifted from "
+                         f"baseline: {fp} -> {prints[arm]}")
+            failures += 1
+    return lines, failures
+
+
+def check_metro(build_dir: str, baseline_path: str, threshold: float,
+                jobs: int) -> int:
+    """Re-run the metro sweep at the baseline's shape/seed and gate wall
+    clock, fingerprints, and agreement against the committed numbers."""
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    fresh = run_metro(build_dir, baseline["pods"], baseline["tasks"],
+                      baseline["epochs"], baseline["seed"], jobs)
+    lines, failures = compare_metro(baseline, fresh, threshold)
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"run_benches: metro check failed ({failures} failure(s), "
+              f"threshold {threshold * 100:.0f}%)", file=sys.stderr)
+        return 1
+    print("run_benches: metro within threshold, fingerprints exact")
+    return 0
 
 
 def compare_micro(baseline: Dict, fresh: Dict,
@@ -232,6 +316,26 @@ def run_self_test() -> int:
     suite_diverged = {"runs": [{"jobs": 1, "wall_seconds": 10.0},
                                {"jobs": 2, "wall_seconds": 6.0}],
                       "byte_identical": False}
+    metro_base = {"arms": [
+        {"arm": "flat", "wall_seconds": 8.0, "fingerprint": "0xaa"},
+        {"arm": "sharded", "wall_seconds": 2.0, "fingerprint": "0xaa"},
+    ], "agreement": 1.0}
+    metro_clean = {"arms": [
+        {"arm": "flat", "wall_seconds": 8.4, "fingerprint": "0xaa"},
+        {"arm": "sharded", "wall_seconds": 2.1, "fingerprint": "0xaa"},
+    ], "agreement": 1.0}
+    metro_slow = {"arms": [
+        {"arm": "flat", "wall_seconds": 12.0, "fingerprint": "0xaa"},
+        {"arm": "sharded", "wall_seconds": 3.5, "fingerprint": "0xaa"},
+    ], "agreement": 1.0}
+    metro_split = {"arms": [
+        {"arm": "flat", "wall_seconds": 8.0, "fingerprint": "0xaa"},
+        {"arm": "sharded", "wall_seconds": 2.0, "fingerprint": "0xbb"},
+    ], "agreement": 0.97}
+    metro_drift = {"arms": [
+        {"arm": "flat", "wall_seconds": 8.0, "fingerprint": "0xcc"},
+        {"arm": "sharded", "wall_seconds": 2.0, "fingerprint": "0xcc"},
+    ], "agreement": 1.0}
 
     cases = (
         ("micro clean run passes",
@@ -248,6 +352,14 @@ def run_self_test() -> int:
          compare_suite(suite_base, suite_slow, 0.25)[1] == 1),
         ("suite byte-identity break fails",
          compare_suite(suite_base, suite_diverged, 0.25)[1] == 1),
+        ("metro clean run passes",
+         compare_metro(metro_base, metro_clean, 0.25)[1] == 0),
+        ("metro 50% wall-clock regression fails",
+         compare_metro(metro_base, metro_slow, 0.25)[1] == 1),
+        ("metro arm fingerprint split + agreement drop fails",
+         compare_metro(metro_base, metro_split, 0.25)[1] >= 2),
+        ("metro seeded-fingerprint drift from baseline fails",
+         compare_metro(metro_base, metro_drift, 0.25)[1] == 2),
     )
     failures = 0
     for name, ok in cases:
@@ -283,7 +395,19 @@ def main(argv: List[str]) -> int:
     parser.add_argument("--reps", type=int, default=2,
                         help="repetitions for the suite run")
     parser.add_argument("--skip-suite", action="store_true",
-                        help="only run/emit/check the micro benchmarks")
+                        help="skip the scaled Fig.-5 suite run/check")
+    parser.add_argument("--skip-metro", action="store_true",
+                        help="skip the metro_sweep run/check")
+    parser.add_argument("--metro-only", action="store_true",
+                        help="run/check only the metro_sweep gate")
+    parser.add_argument("--metro-pods", type=int, default=4,
+                        help="metro pods when (re)generating the baseline")
+    parser.add_argument("--metro-tasks", type=int, default=200000,
+                        help="metro tasks when (re)generating the baseline")
+    parser.add_argument("--metro-epochs", type=int, default=40,
+                        help="metro epochs when (re)generating the baseline")
+    parser.add_argument("--metro-seed", type=int, default=42,
+                        help="metro seed when (re)generating the baseline")
     parser.add_argument("--self-test", action="store_true",
                         help="run the synthetic comparison-logic suite "
                              "(no build directory required)")
@@ -294,35 +418,61 @@ def main(argv: List[str]) -> int:
 
     baseline = args.baseline or os.path.join(args.out_dir,
                                              "BENCH_micro.json")
+    metro_baseline = os.path.join(args.out_dir, "BENCH_metro.json")
     if args.check:
-        if not os.path.exists(baseline):
-            print(f"run_benches: no baseline at {baseline}; run without "
-                  "--check once and commit the artifact", file=sys.stderr)
-            return 2
-        rc = check_micro(args.build_dir, baseline, args.threshold)
-        if not args.skip_suite:
-            suite_baseline = os.path.join(args.out_dir, "BENCH_suite.json")
-            if not os.path.exists(suite_baseline):
-                print(f"run_benches: no suite baseline at {suite_baseline}; "
+        rc = 0
+        if not args.metro_only:
+            if not os.path.exists(baseline):
+                print(f"run_benches: no baseline at {baseline}; run "
+                      "without --check once and commit the artifact",
+                      file=sys.stderr)
+                return 2
+            rc = check_micro(args.build_dir, baseline, args.threshold)
+            if not args.skip_suite:
+                suite_baseline = os.path.join(args.out_dir,
+                                              "BENCH_suite.json")
+                if not os.path.exists(suite_baseline):
+                    print(f"run_benches: no suite baseline at "
+                          f"{suite_baseline}; run without --check once and "
+                          "commit the artifact", file=sys.stderr)
+                    return 2
+                rc = max(rc, check_suite(args.build_dir, suite_baseline,
+                                         args.threshold))
+        if args.metro_only or not args.skip_metro:
+            if not os.path.exists(metro_baseline):
+                print(f"run_benches: no metro baseline at {metro_baseline}; "
                       "run without --check once and commit the artifact",
                       file=sys.stderr)
                 return 2
-            rc = max(rc, check_suite(args.build_dir, suite_baseline,
-                                     args.threshold))
+            rc = max(rc, check_metro(args.build_dir, metro_baseline,
+                                     args.threshold, args.jobs))
         return rc
 
     os.makedirs(args.out_dir, exist_ok=True)
-    run_micro(args.build_dir, os.path.join(args.out_dir,
-                                           "BENCH_micro.json"))
-    if not args.skip_suite:
-        suite = run_suite(args.build_dir, args.jobs, args.reps)
-        suite_path = os.path.join(args.out_dir, "BENCH_suite.json")
-        with open(suite_path, "w", encoding="utf-8") as f:
-            json.dump(suite, f, indent=2)
+    if not args.metro_only:
+        run_micro(args.build_dir, os.path.join(args.out_dir,
+                                               "BENCH_micro.json"))
+        if not args.skip_suite:
+            suite = run_suite(args.build_dir, args.jobs, args.reps)
+            suite_path = os.path.join(args.out_dir, "BENCH_suite.json")
+            with open(suite_path, "w", encoding="utf-8") as f:
+                json.dump(suite, f, indent=2)
+                f.write("\n")
+            print(f"run_benches: wrote {suite_path}")
+            if not suite["byte_identical"]:
+                print("run_benches: PARALLEL OUTPUT DIVERGED FROM SERIAL",
+                      file=sys.stderr)
+                return 1
+    if args.metro_only or not args.skip_metro:
+        metro = run_metro(args.build_dir, args.metro_pods, args.metro_tasks,
+                          args.metro_epochs, args.metro_seed, args.jobs)
+        with open(metro_baseline, "w", encoding="utf-8") as f:
+            json.dump(metro, f, indent=2)
             f.write("\n")
-        print(f"run_benches: wrote {suite_path}")
-        if not suite["byte_identical"]:
-            print("run_benches: PARALLEL OUTPUT DIVERGED FROM SERIAL",
+        print(f"run_benches: wrote {metro_baseline}")
+        arms = {a["arm"]: a["fingerprint"] for a in metro["arms"]}
+        if len(set(arms.values())) != 1 or metro.get("agreement") != 1.0:
+            print("run_benches: TWO-LEVEL DECISIONS DIVERGED FROM FLAT",
                   file=sys.stderr)
             return 1
     return 0
