@@ -23,7 +23,7 @@ double median_link_delay_error_ms(sim::SimTime max_skew,
   exp::Fig4Network network{sim, exp::Fig4Config{}};
   sim::Rng rng = sim::Rng::derive(seed, "clock-skew");
   for (p4::P4Switch* sw : network.switches()) {
-    sw->set_clock_skew(sim::SimTime::nanoseconds(
+    sw->set_clock_skew(sim::SimDuration::nanoseconds(
         rng.uniform_int(-max_skew.ns(), max_skew.ns())));
   }
   std::vector<std::unique_ptr<transport::HostStack>> stacks;

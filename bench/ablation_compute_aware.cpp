@@ -24,10 +24,10 @@ double run_arm(bool compute_aware, std::uint64_t seed) {
   }
   core::SchedulerConfig sched_cfg;
   sched_cfg.compute_aware = compute_aware;
-  sched_cfg.load_penalty = sim::SimTime::seconds(2);
+  sched_cfg.load_penalty = sim::SimDuration::seconds(2);
   core::SchedulerService service{*stacks[5], core::RankerConfig{},
                                  core::NetworkMapConfig{}, sched_cfg};
-  for (const net::NodeId id : network.host_ids()) {
+  for (const core::NodeId id : network.host_ids()) {
     service.register_edge_server(id);
   }
   std::vector<std::unique_ptr<telemetry::ProbeAgent>> agents;
@@ -46,7 +46,7 @@ double run_arm(bool compute_aware, std::uint64_t seed) {
     servers.push_back(
         std::make_unique<edge::EdgeServer>(*stack, metrics, server_cfg));
     servers.back()->enable_load_reports(network.scheduler_host().id(),
-                                        sim::SimTime::milliseconds(250));
+                                        sim::SimDuration::milliseconds(250));
   }
   core::DirectIntPolicy policy{service, core::RankingMetric::kDelay};
   edge::EdgeDevice device{*stacks[0], metrics, policy};
@@ -58,17 +58,17 @@ double run_arm(bool compute_aware, std::uint64_t seed) {
   for (int j = 0; j < 12; ++j) {
     edge::JobSpec job;
     job.job_id = j;
-    job.submitter = 0;
+    job.submitter = core::NodeId{0};
     edge::TaskSpec spec;
     spec.job_id = j;
     spec.task_index = 0;
     spec.cls = edge::TaskClass::kVerySmall;
     spec.data_bytes = 200 * sim::kKB;
-    spec.exec_time = sim::SimTime::seconds(4);
+    spec.exec_time = sim::SimDuration::seconds(4);
     job.tasks.push_back(spec);
     job.submit_at = sim::SimTime::seconds(2) +
-                    sim::SimTime::milliseconds(1500 * j) +
-                    sim::SimTime::milliseconds(rng.uniform_int(0, 200));
+                    sim::SimDuration::milliseconds(1500 * j) +
+                    sim::SimDuration::milliseconds(rng.uniform_int(0, 200));
     jobs.push_back(job);
   }
   for (const auto& job : jobs) {

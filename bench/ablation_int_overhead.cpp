@@ -20,7 +20,7 @@ namespace {
 
 /// Chain of `hops` switches between two hosts; CBR traffic; returns the
 /// telemetry bytes added as a fraction of delivered bytes.
-double embedding_overhead(int hops, sim::SimTime duration) {
+double embedding_overhead(int hops, sim::SimDuration duration) {
   sim::Simulator sim;
   net::Topology topo{sim};
   auto& a = topo.add_node<net::Host>("a");
@@ -54,7 +54,7 @@ double embedding_overhead(int hops, sim::SimTime duration) {
   flow.rate = sim::DataRate::megabits_per_second(10.0);
   transport::IperfUdpSender iperf{stack_a, b.id(), flow};
   iperf.start(duration);
-  sim.run_until(duration + sim::SimTime::seconds(1));
+  sim.run_until(sim::SimTime::at(duration) + sim::SimDuration::seconds(1));
 
   sim::Bytes telemetry = 0;
   for (const auto* p : programs) telemetry += p->telemetry_bytes_added();
@@ -66,8 +66,8 @@ double embedding_overhead(int hops, sim::SimTime duration) {
 
 int main(int argc, char** argv) {
   const auto opts = benchtool::parse_options(argc, argv);
-  const sim::SimTime duration =
-      opts.full ? sim::SimTime::seconds(60) : sim::SimTime::seconds(10);
+  const sim::SimDuration duration =
+      opts.full ? sim::SimDuration::seconds(60) : sim::SimDuration::seconds(10);
 
   std::cout << "Ablation: INT collection overhead (paper §III-A)\n\n";
 

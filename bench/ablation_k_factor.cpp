@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   for (const std::int64_t k_ms : {0, 5, 10, 20, 50, 100}) {
     exp::ExperimentConfig arm = base;
     arm.policy = core::PolicyKind::kIntDelay;
-    arm.ranker.k_factor = sim::SimTime::milliseconds(k_ms);
+    arm.ranker.k_factor = sim::SimDuration::milliseconds(k_ms);
     const std::vector<exp::ExperimentResult> runs =
         benchtool::run_reps(arm, opts.reps, opts.jobs);
     std::vector<std::string> row{std::to_string(k_ms)};

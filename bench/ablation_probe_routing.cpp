@@ -21,6 +21,7 @@ namespace {
 struct MapQuality {
   std::int64_t covered_switch_links = 0;
   std::int64_t total_switch_links = 0;
+  // intsched-lint: allow(raw-unit): display statistic, fractional ms
   double node7_delay_ms = 0.0;  ///< idle-network estimate from node1
 };
 
@@ -33,7 +34,7 @@ MapQuality measure_map(bool optimized) {
   }
   core::SchedulerService service{*stacks[5], core::RankerConfig{},
                                  core::NetworkMapConfig{}};
-  for (const net::NodeId id : network.host_ids()) {
+  for (const core::NodeId id : network.host_ids()) {
     service.register_edge_server(id);
   }
   const auto plan = network.plan_probe_routes();
@@ -58,13 +59,13 @@ MapQuality measure_map(bool optimized) {
     // A link is "covered" when its delay was actually measured (the
     // default estimate is exactly the configured 10 ms).
     if (service.network_map().link_delay(from, to) >
-        sim::SimTime::milliseconds(10)) {
+        sim::SimDuration::milliseconds(10)) {
       ++q.covered_switch_links;
     }
   }
-  const auto ranked = service.rank_for(0, core::RankingMetric::kDelay);
+  const auto ranked = service.rank_for(core::NodeId{0}, core::RankingMetric::kDelay);
   for (const auto& r : ranked) {
-    if (r.server == 6) q.node7_delay_ms = r.delay_estimate.to_milliseconds();
+    if (r.server == core::NodeId{6}) q.node7_delay_ms = r.delay_estimate.to_milliseconds();
   }
   return q;
 }

@@ -43,14 +43,14 @@ StatPoint run_calibration_point(double utilization, sim::SimTime duration) {
   transport::HostStack stack2{h2};
   transport::IperfUdpSink sink{stack2};
 
-  const sim::SimTime per_pkt =
+  const sim::SimDuration per_pkt =
       link.rate.transmission_time(1500) + sw_cfg.proc_delay_mean;
   transport::IperfUdpSender::Config flow;
   flow.rate = sim::DataRate::bits_per_second(1500.0 * 8.0 /
                                              per_pkt.to_seconds()) *
               utilization;
   transport::IperfUdpSender iperf{stack1, h2.id(), flow};
-  if (utilization > 0.0) iperf.start(duration);
+  if (utilization > 0.0) iperf.start((duration).since_epoch());
 
   telemetry::ProbeAgent agent{h1, h2.id()};
   telemetry::IntCollector collector{h2};

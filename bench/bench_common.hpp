@@ -55,8 +55,8 @@ inline exp::ExperimentConfig make_base_config(edge::WorkloadKind kind,
   cfg.workload.total_tasks = opts.full ? 200 : 120;
   // Same mean task arrival rate for both workload kinds.
   cfg.workload.job_interval = kind == edge::WorkloadKind::kServerless
-                                  ? sim::SimTime::seconds(2)
-                                  : sim::SimTime::seconds(6);
+                                  ? sim::SimDuration::seconds(2)
+                                  : sim::SimDuration::seconds(6);
   cfg.background.mode = exp::BackgroundMode::kRandomPairs;
   return cfg;
 }

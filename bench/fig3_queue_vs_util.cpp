@@ -33,7 +33,9 @@ struct PointResult {
   double offered_mbps = 0.0;
   double avg_max_queue = 0.0;  ///< mean of per-probe-interval maxima
   double p95_max_queue = 0.0;
+  // intsched-lint: allow(raw-unit): display statistics, fractional ms
   double avg_rtt_ms = 0.0;
+  // intsched-lint: allow(raw-unit): display statistic, fractional ms
   double max_rtt_ms = 0.0;
   double loss_percent = 0.0;
 };
@@ -61,7 +63,7 @@ PointResult run_point(double utilization, sim::SimTime duration,
   transport::IperfUdpSink sink{stack2};
 
   // The effective per-port capacity: serialization + mean processing.
-  const sim::SimTime per_pkt =
+  const sim::SimDuration per_pkt =
       link.rate.transmission_time(1500) + sw_cfg.proc_delay_mean;
   const auto capacity = sim::DataRate::bits_per_second(
       1500.0 * 8.0 / per_pkt.to_seconds());
@@ -70,7 +72,7 @@ PointResult run_point(double utilization, sim::SimTime duration,
   flow.rate = capacity * utilization;
   flow.packet_size = 1500;
   transport::IperfUdpSender iperf{stack1, h2.id(), flow};
-  if (utilization > 0.0) iperf.start(duration);
+  if (utilization > 0.0) iperf.start((duration).since_epoch());
 
   transport::PingApp ping{stack1, h2.id()};
   ping.start();

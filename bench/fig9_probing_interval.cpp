@@ -20,7 +20,7 @@ namespace {
 
 exp::ExperimentConfig make_point_config(exp::BackgroundMode mode,
                                         edge::TaskClass cls,
-                                        sim::SimTime probe_interval,
+                                        sim::SimDuration probe_interval,
                                         const benchtool::Options& opts) {
   exp::ExperimentConfig cfg =
       benchtool::make_base_config(edge::WorkloadKind::kDistributed, opts);
@@ -53,16 +53,16 @@ int main(int argc, char** argv) {
                "(paper: 0.1 s probing beats 30 s probing by >20%; both "
                "traffic patterns degrade as probes get stale)\n\n";
 
-  const sim::SimTime intervals[] = {
-      sim::SimTime::milliseconds(100), sim::SimTime::seconds(5),
-      sim::SimTime::seconds(10), sim::SimTime::seconds(20),
-      sim::SimTime::seconds(30)};
+  const sim::SimDuration intervals[] = {
+      sim::SimDuration::milliseconds(100), sim::SimDuration::seconds(5),
+      sim::SimDuration::seconds(10), sim::SimDuration::seconds(20),
+      sim::SimDuration::seconds(30)};
 
   // The whole sweep — (interval, traffic, rep) — is one flat trial batch,
   // so every simulation runs concurrently; rows are then aggregated in the
   // original interval-major order, byte-identical to the serial sweep.
   std::vector<exp::ExperimentConfig> points;
-  for (const sim::SimTime interval : intervals) {
+  for (const sim::SimDuration interval : intervals) {
     points.push_back(make_point_config(exp::BackgroundMode::kPattern1,
                                        edge::TaskClass::kMedium, interval,
                                        opts));

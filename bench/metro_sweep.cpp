@@ -111,7 +111,7 @@ struct ArmResult {
   std::string name;
   double wall_seconds = 0.0;
   intsched::sim::Ecdf rank_ns;
-  std::vector<intsched::net::NodeId> chosen;
+  std::vector<intsched::core::NodeId> chosen;
   std::uint64_t fingerprint = 0;
 };
 
@@ -122,7 +122,7 @@ template <typename IngestFn, typename DecideFn>
 ArmResult run_arm(
     std::string name, const MetroOptions& opts,
     const std::vector<std::vector<intsched::telemetry::ProbeReport>>& batches,
-    const std::vector<intsched::net::NodeId>& submitters, IngestFn ingest,
+    const std::vector<intsched::core::NodeId>& submitters, IngestFn ingest,
     DecideFn decide) {
   ArmResult out;
   out.name = std::move(name);
@@ -145,7 +145,7 @@ ArmResult run_arm(
       const auto task = stream.next();
       // intsched-lint: allow(wall-clock): measuring real decision latency
       const auto begin = std::chrono::steady_clock::now();
-      const intsched::net::NodeId server = decide(task.submitter, now);
+      const intsched::core::NodeId server = decide(task.submitter, now);
       // intsched-lint: allow(wall-clock): measuring real decision latency
       const auto end = std::chrono::steady_clock::now();
       out.rank_ns.add(static_cast<double>(
@@ -160,8 +160,8 @@ ArmResult run_arm(
       std::chrono::duration<double>(arm_end - arm_begin).count();
 
   intsched::sim::Fnv1a64 hash;
-  for (const intsched::net::NodeId n : out.chosen) {
-    hash.add(static_cast<std::uint64_t>(n));
+  for (const intsched::core::NodeId n : out.chosen) {
+    hash.add(static_cast<std::uint64_t>(n.value()));
   }
   out.fingerprint = hash.digest();
   return out;
@@ -224,8 +224,8 @@ int main(int argc, char** argv) {
     for (const std::string& p : problems) std::cerr << "  " << p << "\n";
     return 2;
   }
-  const std::vector<intsched::net::NodeId> servers = topo.edge_servers();
-  const std::vector<intsched::net::NodeId> hosts = topo.hosts();
+  const std::vector<intsched::core::NodeId> servers = topo.edge_servers();
+  const std::vector<intsched::core::NodeId> hosts = topo.hosts();
 
   std::cout << "metro_sweep: " << opts.pods << " pods, "
             << topo.switch_count() << " switches, " << hosts.size()
@@ -255,10 +255,10 @@ int main(int argc, char** argv) {
         "flat", opts, batches, hosts,
         [&](const std::vector<intsched::telemetry::ProbeReport>& b,
             intsched::sim::SimTime now) { flat.ingest_batch(b, now); },
-        [&](intsched::net::NodeId origin, intsched::sim::SimTime now) {
+        [&](intsched::core::NodeId origin, intsched::sim::SimTime now) {
           const std::vector<ServerRank> ranked =
               flat.rank(origin, servers, RankingMetric::kDelay, now);
-          return ranked.empty() ? intsched::net::kInvalidNode
+          return ranked.empty() ? intsched::core::kInvalidNode
                                 : ranked.front().server;
         }));
   }
@@ -273,14 +273,14 @@ int main(int argc, char** argv) {
         "sharded", opts, batches, hosts,
         [&](const std::vector<intsched::telemetry::ProbeReport>& b,
             intsched::sim::SimTime now) { sharded.ingest_batch(b, now); },
-        [&](intsched::net::NodeId origin, intsched::sim::SimTime now) {
+        [&](intsched::core::NodeId origin, intsched::sim::SimTime now) {
           PickStats one;
           const std::optional<ServerRank> best = sharded.pick(
               origin, servers, RankingMetric::kDelay, now, &one);
           pick_stats.regions_considered += one.regions_considered;
           pick_stats.regions_pruned += one.regions_pruned;
           pick_stats.candidates_scored += one.candidates_scored;
-          return best ? best->server : intsched::net::kInvalidNode;
+          return best ? best->server : intsched::core::kInvalidNode;
         }));
     sharded_builds = sharded.region_snapshot_builds();
   }

@@ -31,32 +31,33 @@ namespace {
 
 using namespace intsched;
 
-sim::SimTime ms(std::int64_t v) { return sim::SimTime::milliseconds(v); }
+sim::SimDuration ms(std::int64_t v) { return sim::SimDuration::milliseconds(v); }
+sim::SimTime at_ms(std::int64_t v) { return sim::SimTime::at(ms(v)); }
 
-constexpr net::NodeId kOrigin = 0;
+constexpr core::NodeId kOrigin{0};
 constexpr int kServers = 4;
 
 /// Probe origin -> switch (10+server) -> server, with a queue depth that
 /// varies per ingest so every report really moves the EWMAs and windows.
-telemetry::ProbeReport probe(net::NodeId server, std::int64_t queue) {
+telemetry::ProbeReport probe(core::NodeId server, std::int64_t queue) {
   telemetry::ProbeReport r;
   r.src = kOrigin;
   r.dst = server;
   net::IntStackEntry e;
-  e.device = 10 + server;
+  e.device = core::NodeId{10 + server.value()};
   e.ingress_port = 0;
   e.egress_port = 1;
   e.max_queue_pkts = queue;
   e.device_max_queue_pkts = queue;
-  e.ingress_link_latency = sim::SimTime::microseconds(200 + 10 * server);
+  e.ingress_link_latency = sim::SimDuration::microseconds(200 + 10 * server.value());
   r.entries.push_back(e);
-  r.final_link_latency = sim::SimTime::microseconds(150);
+  r.final_link_latency = sim::SimDuration::microseconds(150);
   return r;
 }
 
-std::vector<net::NodeId> candidate_servers() {
-  std::vector<net::NodeId> c;
-  for (net::NodeId s = 1; s <= kServers; ++s) c.push_back(s);
+std::vector<core::NodeId> candidate_servers() {
+  std::vector<core::NodeId> c;
+  for (core::NodeId s = core::NodeId{1}; s.value() <= kServers; ++s) c.push_back(s);
   return c;
 }
 
@@ -71,8 +72,8 @@ struct SharedState {
   explicit SharedState(core::ConcurrencyMode mode)
       : map{{}, {}, mode} {
     std::vector<telemetry::ProbeReport> seed;
-    for (net::NodeId s = 1; s <= kServers; ++s) seed.push_back(probe(s, 4));
-    map.ingest_batch(seed, ms(tick.fetch_add(1, std::memory_order_relaxed)));
+    for (core::NodeId s = core::NodeId{1}; s.value() <= kServers; ++s) seed.push_back(probe(s, 4));
+    map.ingest_batch(seed, at_ms(tick.fetch_add(1, std::memory_order_relaxed)));
   }
 };
 
@@ -129,11 +130,11 @@ class LatencyHistogram {
 /// items_per_second because only query threads report items.
 void run_rank_qps(benchmark::State& state, core::ConcurrentNetworkMap& map,
                   std::atomic<std::int64_t>& tick) {
-  const std::vector<net::NodeId> candidates = candidate_servers();
+  const std::vector<core::NodeId> candidates = candidate_servers();
   if (state.thread_index() == 0) {
     for (auto _ : state) {
       const std::int64_t t = tick.fetch_add(1, std::memory_order_relaxed);
-      map.ingest(probe(static_cast<net::NodeId>(1 + t % kServers), t % 23), ms(t));
+      map.ingest(probe(core::NodeId{static_cast<std::int32_t>(1 + t % kServers)}, t % 23), at_ms(t));
     }
     return;
   }
@@ -144,7 +145,7 @@ void run_rank_qps(benchmark::State& state, core::ConcurrentNetworkMap& map,
     // intsched-lint: allow(wall-clock): measuring real rank latency
     const auto begin = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(map.rank(kOrigin, candidates,
-                                      core::RankingMetric::kDelay, ms(now)));
+                                      core::RankingMetric::kDelay, at_ms(now)));
     // intsched-lint: allow(wall-clock): measuring real rank latency
     const auto end = std::chrono::steady_clock::now();
     hist.record(
@@ -191,7 +192,7 @@ void BM_SnapshotIngestPublish(benchmark::State& state) {
   for (auto _ : state) {
     const std::int64_t t =
         shared->tick.fetch_add(1, std::memory_order_relaxed);
-    shared->map.ingest(probe(static_cast<net::NodeId>(1 + t % kServers), t % 23), ms(t));
+    shared->map.ingest(probe(core::NodeId{static_cast<std::int32_t>(1 + t % kServers)}, t % 23), at_ms(t));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -205,7 +206,7 @@ void BM_SnapshotBurst32Sequential(benchmark::State& state) {
     const std::int64_t t =
         shared->tick.fetch_add(1, std::memory_order_relaxed);
     for (std::int64_t i = 0; i < 32; ++i) {
-      shared->map.ingest(probe(static_cast<net::NodeId>(1 + (t + i) % kServers), i % 23), ms(t));
+      shared->map.ingest(probe(core::NodeId{static_cast<std::int32_t>(1 + (t + i) % kServers)}, i % 23), at_ms(t));
     }
   }
   state.SetItemsProcessed(state.iterations() * 32);
@@ -223,9 +224,9 @@ void BM_SnapshotBurst32Batched(benchmark::State& state) {
         shared->tick.fetch_add(1, std::memory_order_relaxed);
     burst.clear();
     for (std::int64_t i = 0; i < 32; ++i) {
-      burst.push_back(probe(static_cast<net::NodeId>(1 + (t + i) % kServers), i % 23));
+      burst.push_back(probe(core::NodeId{static_cast<std::int32_t>(1 + (t + i) % kServers)}, i % 23));
     }
-    shared->map.ingest_batch(burst, ms(t));
+    shared->map.ingest_batch(burst, at_ms(t));
   }
   state.SetItemsProcessed(state.iterations() * 32);
 }

@@ -79,7 +79,7 @@ void BM_DijkstraFig4(benchmark::State& state) {
   exp::Fig4Network network{sim, exp::Fig4Config{}};
   const net::Graph& g = network.topology().graph();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(net::dijkstra(g, 0));
+    benchmark::DoNotOptimize(net::dijkstra(g, core::NodeId{0}));
   }
 }
 BENCHMARK(BM_DijkstraFig4);
@@ -92,11 +92,11 @@ void BM_SwitchPipelinePerPacket(benchmark::State& state) {
   auto& a = topo.add_node<net::Host>("a");
   auto& b = topo.add_node<net::Host>("b");
   p4::SwitchConfig cfg;
-  cfg.proc_delay_mean = sim::SimTime::microseconds(1);
+  cfg.proc_delay_mean = sim::SimDuration::microseconds(1);
   cfg.stall_probability = 0.0;
   auto& sw = topo.add_node<p4::P4Switch>("sw", cfg);
   net::LinkConfig link;
-  link.prop_delay = sim::SimTime::microseconds(1);
+  link.prop_delay = sim::SimDuration::microseconds(1);
   topo.connect(a, sw, link);
   topo.connect(b, sw, link);
   topo.install_routes();
@@ -124,14 +124,14 @@ void BM_ProbeRoundTrip(benchmark::State& state) {
   auto& a = topo.add_node<net::Host>("a");
   auto& b = topo.add_node<net::Host>("b");
   p4::SwitchConfig cfg;
-  cfg.proc_delay_mean = sim::SimTime::microseconds(1);
+  cfg.proc_delay_mean = sim::SimDuration::microseconds(1);
   cfg.stall_probability = 0.0;
   std::vector<p4::P4Switch*> switches;
   for (int i = 0; i < 3; ++i) {
     switches.push_back(&topo.add_node<p4::P4Switch>(sim::cat("s", i), cfg));
   }
   net::LinkConfig link;
-  link.prop_delay = sim::SimTime::microseconds(1);
+  link.prop_delay = sim::SimDuration::microseconds(1);
   topo.connect(a, *switches[0], link);
   topo.connect(*switches[0], *switches[1], link);
   topo.connect(*switches[1], *switches[2], link);
@@ -161,13 +161,13 @@ void BM_WindowMaxQuery(benchmark::State& state) {
   core::NetworkMap map;
   sim::Rng rng{1};
   sim::SimTime now = sim::SimTime::zero();
-  const net::NodeId device = 3;
+  const core::NodeId device{3};
   std::int64_t acc = 0;
   for (auto _ : state) {
-    now += sim::SimTime::milliseconds(10);
+    now += sim::SimDuration::milliseconds(10);
     telemetry::ProbeReport report;
-    report.src = 100;
-    report.dst = 101;
+    report.src = core::NodeId{100};
+    report.dst = core::NodeId{101};
     net::IntStackEntry entry;
     entry.device = device;
     entry.ingress_port = 0;
@@ -189,7 +189,7 @@ BENCHMARK(BM_WindowMaxQuery);
 void BM_RankSevenCandidates(benchmark::State& state) {
   sim::Simulator sim;
   exp::Fig4Network network{sim, exp::Fig4Config{}};
-  const net::NodeId scheduler_id = network.scheduler_host().id();
+  const core::NodeId scheduler_id = network.scheduler_host().id();
   std::vector<std::unique_ptr<transport::HostStack>> stacks;
   transport::HostStack* scheduler_stack = nullptr;
   for (net::Host* h : network.hosts()) {
@@ -213,10 +213,10 @@ void BM_RankSevenCandidates(benchmark::State& state) {
   }
   sim.run_until(sim::SimTime::seconds(1));
   core::Ranker ranker{map};
-  const std::vector<net::NodeId> candidates{1, 2, 3, 4, 5, 6, 7};
+  const std::vector<core::NodeId> candidates{core::NodeId{1}, core::NodeId{2}, core::NodeId{3}, core::NodeId{4}, core::NodeId{5}, core::NodeId{6}, core::NodeId{7}};
   for (auto _ : state) {
     benchmark::DoNotOptimize(ranker.rank(
-        0, candidates, core::RankingMetric::kDelay, sim.now()));
+        core::NodeId{0}, candidates, core::RankingMetric::kDelay, sim.now()));
   }
 }
 BENCHMARK(BM_RankSevenCandidates);
@@ -239,7 +239,7 @@ void BM_TcpTransferPerMB(benchmark::State& state) {
     transport::HostStack stack_b{b};
     transport::TcpListener listener{
         stack_b, net::kTaskPort,
-        [](net::NodeId, sim::Bytes, std::shared_ptr<const net::AppMessage>) {
+        [](core::NodeId, sim::Bytes, std::shared_ptr<const net::AppMessage>) {
         }};
     transport::TcpSender sender{stack_a, b.id(), net::kTaskPort,
                                 1 * sim::kMB};

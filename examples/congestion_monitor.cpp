@@ -50,7 +50,7 @@ int main() {
   transport::IperfUdpSender flood{*stacks[2], network.hosts()[3]->id(),
                                   burst};
   sim.schedule_at(sim::SimTime::seconds(4),
-                  [&] { flood.start(sim::SimTime::seconds(8)); });
+                  [&] { flood.start(sim::SimDuration::seconds(8)); });
 
   // INT-based monitor: sample the map every second. SNMP-style monitor:
   // sample a 30 s-old snapshot (reports nothing until t = 30).

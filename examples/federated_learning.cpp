@@ -27,7 +27,7 @@ std::uint64_t g_seed = 5;  // override with argv[1]; single-coordinator rounds a
 
 constexpr int kRounds = 6;
 constexpr sim::Bytes kShardBytes = 2 * sim::kMB;
-constexpr auto kLocalTrainTime = sim::SimTime::seconds(4);
+constexpr auto kLocalTrainTime = sim::SimDuration::seconds(4);
 
 struct Deployment {
   sim::Simulator sim;
@@ -53,10 +53,10 @@ struct Deployment {
     }
     scheduler = std::make_unique<core::SchedulerService>(
         *stacks[5], core::RankerConfig{}, core::NetworkMapConfig{});
-    for (const net::NodeId id : network.host_ids()) {
+    for (const core::NodeId id : network.host_ids()) {
       scheduler->register_edge_server(id);
       servers.push_back(std::make_unique<edge::EdgeServer>(
-          *stacks[static_cast<std::size_t>(id)], metrics));
+          *stacks[id.index()], metrics));
     }
     for (net::Host* h : network.hosts()) {
       if (h->id() == network.scheduler_host().id()) continue;
@@ -75,7 +75,7 @@ struct Deployment {
       struct Facade : core::SelectionPolicy {
         core::NearestPolicy& inner;
         explicit Facade(core::NearestPolicy& n) : inner{n} {}
-        void select(net::NodeId device, std::int32_t count,
+        void select(core::NodeId device, std::int32_t count,
                     const std::vector<std::string>& requirements,
                     SelectionHandler handler) override {
           inner.select(device, count, requirements, std::move(handler));
@@ -103,7 +103,7 @@ struct Deployment {
     job.job_id = round;
     job.kind = edge::WorkloadKind::kDistributed;
     job.cls = edge::TaskClass::kSmall;
-    job.submitter = 0;
+    job.submitter = core::NodeId{0};
     for (int t = 0; t < 3; ++t) {
       edge::TaskSpec spec;
       spec.job_id = round;

@@ -21,7 +21,7 @@ void print_ranking(const char* label,
                    const std::vector<core::ServerRank>& ranked) {
   std::cout << label << "\n";
   for (const core::ServerRank& r : ranked) {
-    std::cout << "  node" << r.server + 1
+    std::cout << "  node" << r.server.value() + 1
               << "  delay=" << sim::to_string(r.delay_estimate)
               << "  bandwidth=" << r.bandwidth_estimate.mbps() << " Mbps\n";
   }
@@ -43,7 +43,7 @@ int main() {
   }
   core::SchedulerService scheduler{*stacks[5], core::RankerConfig{},
                                    core::NetworkMapConfig{}};
-  for (const net::NodeId id : network.host_ids()) {
+  for (const core::NodeId id : network.host_ids()) {
     scheduler.register_edge_server(id);
   }
 
@@ -64,7 +64,7 @@ int main() {
             << scheduler.network_map().reports_ingested()
             << " probe reports\n\n";
   print_ranking("Ranking for node1 (idle network, delay metric):",
-                scheduler.rank_for(0, core::RankingMetric::kDelay));
+                scheduler.rank_for(core::NodeId{0}, core::RankingMetric::kDelay));
   std::cout << "(nodes 7/8 are truly one ring-hop closer than 5/6 yet rank "
                "behind them: the M0-M3 ring\n link lies on no probe path, "
                "so the inferred map detours around it — the paper's\n "
@@ -78,13 +78,13 @@ int main() {
   transport::IperfUdpSink sink{*stacks[1]};
   transport::IperfUdpSender iperf{*stacks[4], network.hosts()[1]->id(),
                                   flow};
-  iperf.start(sim::SimTime::seconds(10));
+  iperf.start(sim::SimDuration::seconds(10));
   sim.run_until(sim::SimTime::seconds(8));
 
   print_ranking("Ranking for node1 (node2 congested, delay metric):",
-                scheduler.rank_for(0, core::RankingMetric::kDelay));
+                scheduler.rank_for(core::NodeId{0}, core::RankingMetric::kDelay));
   print_ranking("Ranking for node1 (node2 congested, bandwidth metric):",
-                scheduler.rank_for(0, core::RankingMetric::kBandwidth));
+                scheduler.rank_for(core::NodeId{0}, core::RankingMetric::kBandwidth));
 
   std::cout << "Simulated " << sim.events_executed() << " events in "
             << sim::to_string(sim.now()) << " of virtual time\n";

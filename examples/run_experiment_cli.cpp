@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
         cfg.workload.kind = edge::WorkloadKind::kServerless;
       } else if (v == "distributed") {
         cfg.workload.kind = edge::WorkloadKind::kDistributed;
-        cfg.workload.job_interval = sim::SimTime::seconds(6);
+        cfg.workload.job_interval = sim::SimDuration::seconds(6);
       } else {
         usage(arg);
       }
@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--seed=", 0) == 0) {
       cfg.seed = std::stoull(value("--seed="));
     } else if (arg.rfind("--probe-interval-ms=", 0) == 0) {
-      cfg.probe_interval = sim::SimTime::milliseconds(
+      cfg.probe_interval = sim::SimDuration::milliseconds(
           std::stoll(value("--probe-interval-ms=")));
     } else if (arg.rfind("--background=", 0) == 0) {
       cfg.background.mode = parse_background(value("--background="));
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
       cfg.workload.classes = parse_classes(value("--classes="));
     } else if (arg.rfind("--k-ms=", 0) == 0) {
       cfg.ranker.k_factor =
-          sim::SimTime::milliseconds(std::stoll(value("--k-ms=")));
+          sim::SimDuration::milliseconds(std::stoll(value("--k-ms=")));
     } else if (arg == "--compute-aware") {
       cfg.scheduler.compute_aware = true;
     } else if (arg.rfind("--worker-slots=", 0) == 0) {
@@ -140,8 +140,8 @@ int main(int argc, char** argv) {
       exp::write_csv_row(
           std::cout,
           {std::to_string(r->job_id), std::to_string(r->task_index),
-           edge::short_name(r->cls), std::to_string(r->device),
-           std::to_string(r->server),
+           edge::short_name(r->cls), std::to_string(r->device.value()),
+           std::to_string(r->server.value()),
            exp::fmt_seconds(r->submitted.to_seconds()),
            exp::fmt_seconds(r->transfer_time().to_seconds()),
            exp::fmt_seconds(r->completion_time().to_seconds())});

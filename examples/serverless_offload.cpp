@@ -26,7 +26,7 @@ exp::ExperimentResult run_arm(core::PolicyKind policy) {
   cfg.workload.kind = edge::WorkloadKind::kServerless;
   cfg.workload.total_tasks = 24;
   cfg.workload.classes = {edge::TaskClass::kVerySmall};
-  cfg.workload.job_interval = sim::SimTime::seconds(2);
+  cfg.workload.job_interval = sim::SimDuration::seconds(2);
   cfg.background.mode = exp::BackgroundMode::kRandomPairs;
   return exp::run_experiment(cfg);
 }
@@ -53,10 +53,10 @@ int main(int argc, char** argv) {
     const double tn = n->completion_time().to_seconds();
     const double ta = a->completion_time().to_seconds();
     table.add_row(
-        {std::to_string(n->job_id), "node" + std::to_string(n->device + 1),
-         "node" + std::to_string(n->server + 1) + " / " +
+        {std::to_string(n->job_id), "node" + std::to_string(n->device.value() + 1),
+         "node" + std::to_string(n->server.value() + 1) + " / " +
              exp::fmt_seconds(tn),
-         "node" + std::to_string(a->server + 1) + " / " +
+         "node" + std::to_string(a->server.value() + 1) + " / " +
              exp::fmt_seconds(ta),
          exp::fmt_percent(exp::percent_gain(tn, ta))});
   }

@@ -80,13 +80,13 @@ class ConcurrentNetworkMap {
   /// Ranks `candidates` from `origin` at `now`, best first (query side).
   /// Lock-free in snapshot mode; takes the exclusive lock in locked mode.
   [[nodiscard]] std::vector<ServerRank> rank(
-      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now) const INTSCHED_EXCLUDES(mutex_);
 
   /// Changes Algorithm 1's k for subsequent rankings. In snapshot mode
   /// this republishes immediately: without it, already-published
   /// snapshots would keep serving the old k until the next ingest.
-  void set_k_factor(sim::SimTime k) INTSCHED_EXCLUDES(mutex_);
+  void set_k_factor(sim::SimDuration k) INTSCHED_EXCLUDES(mutex_);
 
   /// Currently published snapshot (snapshot mode; nullptr in locked
   /// mode). Callers may rank against it directly — it never mutates.
@@ -95,10 +95,10 @@ class ConcurrentNetworkMap {
   }
 
   /// Current link-delay estimate (falls back like NetworkMap::link_delay).
-  [[nodiscard]] sim::SimTime link_delay(net::NodeId from, net::NodeId to)
+  [[nodiscard]] sim::SimDuration link_delay(core::NodeId from, core::NodeId to)
       const INTSCHED_EXCLUDES(mutex_);
 
-  [[nodiscard]] bool knows_node(net::NodeId node) const
+  [[nodiscard]] bool knows_node(core::NodeId node) const
       INTSCHED_EXCLUDES(mutex_);
   [[nodiscard]] std::int64_t reports_ingested() const
       INTSCHED_EXCLUDES(mutex_);
@@ -111,7 +111,7 @@ class ConcurrentNetworkMap {
  private:
   /// Shared ranking path for locked mode, entered with the lock held.
   [[nodiscard]] std::vector<ServerRank> rank_locked(
-      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now) const INTSCHED_REQUIRES(mutex_);
 
   /// Builds a snapshot of the current map + ranker config and publishes

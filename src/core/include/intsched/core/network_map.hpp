@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "intsched/core/types.hpp"
 #include "intsched/net/routing.hpp"
 #include "intsched/sim/audit.hpp"
 #include "intsched/sim/units.hpp"
@@ -16,29 +17,30 @@ namespace intsched::core {
 
 /// Directed link key (learned from probe traversal order).
 struct LinkKey {
-  net::NodeId from = net::kInvalidNode;
-  net::NodeId to = net::kInvalidNode;
+  core::NodeId from = core::kInvalidNode;
+  core::NodeId to = core::kInvalidNode;
   friend constexpr bool operator==(const LinkKey&, const LinkKey&) = default;
 };
 struct LinkKeyHash {
   std::size_t operator()(const LinkKey& k) const {
     return std::hash<std::uint64_t>{}(
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.from))
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.from.value()))
          << 32) |
-        static_cast<std::uint32_t>(k.to));
+        static_cast<std::uint32_t>(k.to.value()));
   }
 };
 
 /// (device, egress port) key for per-port queue telemetry.
 struct PortKey {
-  net::NodeId device = net::kInvalidNode;
+  core::NodeId device = core::kInvalidNode;
   std::int32_t port = -1;
   friend constexpr bool operator==(const PortKey&, const PortKey&) = default;
 };
 struct PortKeyHash {
   std::size_t operator()(const PortKey& k) const {
     return std::hash<std::uint64_t>{}(
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.device))
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(k.device.value()))
          << 32) |
         static_cast<std::uint32_t>(k.port));
   }
@@ -51,18 +53,18 @@ struct NetworkMapConfig {
   /// Window over which max-queue reports are aggregated ("maximum observed
   /// queue size in the last probing interval"). Reports older than this
   /// are considered stale and ignored.
-  sim::SimTime queue_window = sim::SimTime::milliseconds(150);
+  sim::SimDuration queue_window = sim::SimDuration::millis(150);
   /// EWMA weight for new link-latency samples.
   double link_delay_alpha = 0.25;
   /// Used for links never measured (e.g. reverse direction of a host
   /// access link before symmetry kicks in).
-  sim::SimTime default_link_delay = sim::SimTime::milliseconds(10);
+  sim::SimDuration default_link_delay = sim::SimDuration::millis(10);
   /// A link whose latest measurement is older than this is *stale*: its
   /// delay estimate is still served (last known good) but link_stale /
   /// path_stale report it so rankers can deprioritize or fall back.
   /// Zero (the default) disables staleness tracking entirely — the seed's
   /// behaviour, where estimates never expire.
-  sim::SimTime link_staleness = sim::SimTime::zero();
+  sim::SimDuration link_staleness = sim::SimDuration::zero();
 };
 
 /// The scheduler's model of the network, built *exclusively* from INT probe
@@ -92,8 +94,8 @@ class NetworkMap {
   /// Learns/updates one directed link: adjacency, egress port (when
   /// `out_port` >= 0), and the delay EWMA (a negative `delay_sample`
   /// means "traversed but unmeasured" — adjacency only).
-  void learn_link(net::NodeId from, net::NodeId to, std::int32_t out_port,
-                  sim::SimTime delay_sample, sim::SimTime now);
+  void learn_link(core::NodeId from, core::NodeId to, std::int32_t out_port,
+                  sim::SimDuration delay_sample, sim::SimTime now);
 
   /// Records one INT stack entry's congestion telemetry (per-port queue,
   /// device max/avg queue, measured hop latency) for entry.device.
@@ -120,7 +122,7 @@ class NetworkMap {
   /// rankers run Dijkstra over.
   [[nodiscard]] net::Graph delay_graph() const;
 
-  [[nodiscard]] bool knows_node(net::NodeId n) const {
+  [[nodiscard]] bool knows_node(core::NodeId n) const {
     return graph_.has_node(n);
   }
   [[nodiscard]] std::int64_t known_link_count() const {
@@ -129,30 +131,30 @@ class NetworkMap {
 
   /// Estimated one-way delay of a directed link; falls back to the reverse
   /// direction (symmetry), then to the configured default.
-  [[nodiscard]] sim::SimTime link_delay(net::NodeId from,
-                                        net::NodeId to) const;
+  [[nodiscard]] sim::SimDuration link_delay(core::NodeId from,
+                                            core::NodeId to) const;
 
   /// Smoothed absolute deviation of the link-delay samples — the "jitter
   /// characteristics" the paper's probes capture (§III-A). Zero until two
   /// measurements exist.
-  [[nodiscard]] sim::SimTime link_jitter(net::NodeId from,
-                                         net::NodeId to) const;
+  [[nodiscard]] sim::SimDuration link_jitter(core::NodeId from,
+                                             core::NodeId to) const;
 
   /// Egress port of `from` facing `to`, if learned (-1 otherwise).
-  [[nodiscard]] std::int32_t egress_port(net::NodeId from,
-                                         net::NodeId to) const;
+  [[nodiscard]] std::int32_t egress_port(core::NodeId from,
+                                         core::NodeId to) const;
 
   // -- congestion queries --
 
   /// Max queue occupancy reported for the device within the freshness
   /// window ending at `now` (Algorithm 1's Q(h_i)). Zero when nothing
   /// fresh was reported — the paper's "assume uncongested" fallback.
-  [[nodiscard]] std::int64_t device_max_queue(net::NodeId device,
+  [[nodiscard]] std::int64_t device_max_queue(core::NodeId device,
                                               sim::SimTime now) const;
 
   /// Max queue for the directed link from->to: the per-port register if the
   /// port is known and fresh, otherwise the device-level value of `from`.
-  [[nodiscard]] std::int64_t link_max_queue(net::NodeId from, net::NodeId to,
+  [[nodiscard]] std::int64_t link_max_queue(core::NodeId from, core::NodeId to,
                                             sim::SimTime now) const;
 
   /// Window max of the (device, egress port) queue series when the series
@@ -162,33 +164,36 @@ class NetworkMap {
   /// shard for port telemetry while taking the port number from the
   /// summary map.
   [[nodiscard]] std::optional<std::int64_t> fresh_port_max_queue(
-      net::NodeId device, std::int32_t port, sim::SimTime now) const;
+      core::NodeId device, std::int32_t port, sim::SimTime now) const;
 
   /// Freshest mean occupancy (packets) reported for the device within the
   /// window — the alternative statistic the paper found inconclusive.
-  [[nodiscard]] double device_avg_queue(net::NodeId device,
+  [[nodiscard]] double device_avg_queue(core::NodeId device,
                                         sim::SimTime now) const;
 
   /// Max directly-measured in-device dwell time within the window — the
   /// hop latency a full INT deployment reports (ablation alternative to
   /// the paper's k * max_queue heuristic).
-  [[nodiscard]] sim::SimTime device_hop_latency(net::NodeId device,
-                                                sim::SimTime now) const;
+  [[nodiscard]] sim::SimDuration device_hop_latency(core::NodeId device,
+                                                    sim::SimTime now) const;
 
   // -- staleness queries (all no-ops unless config.link_staleness > 0) --
 
   /// True when the directed link's telemetry (or its symmetric reverse)
   /// has not been refreshed within the staleness window ending at `now`.
   /// Links that were never measured at all count as stale.
-  [[nodiscard]] bool link_stale(net::NodeId from, net::NodeId to,
+  [[nodiscard]] bool link_stale(core::NodeId from, core::NodeId to,
                                 sim::SimTime now) const;
 
   /// True when any hop of the node path is stale.
-  [[nodiscard]] bool path_stale(const std::vector<net::NodeId>& path,
+  [[nodiscard]] bool path_stale(const std::vector<core::NodeId>& path,
                                 sim::SimTime now) const;
 
   [[nodiscard]] const NetworkMapConfig& config() const { return cfg_; }
   [[nodiscard]] std::int64_t reports_ingested() const { return reports_; }
+  /// The map's ingest epoch: "state as of the Nth report". Equals
+  /// Epoch{reports_ingested()} — the stamp published snapshots carry.
+  [[nodiscard]] Epoch ingest_epoch() const { return Epoch{reports_}; }
   /// INT stack entries discarded by ingest sanity checks (invalid device
   /// ids); the report's remaining entries are still used.
   [[nodiscard]] std::int64_t rejected_entries() const { return rejected_; }
@@ -229,12 +234,12 @@ class NetworkMap {
   /// wider than the whole representable time range. All freshness
   /// comparisons go through this so they stay in SimTime space.
   [[nodiscard]] static sim::SimTime window_cutoff(sim::SimTime now,
-                                                  sim::SimTime window);
+                                                  sim::SimDuration window);
 
   struct DelayEstimate {
-    sim::SimTime value = sim::SimTime::zero();
+    sim::SimDuration value = sim::SimDuration::zero();
     /// EWMA of |sample - value| over measured samples.
-    sim::SimTime jitter = sim::SimTime::zero();
+    sim::SimDuration jitter = sim::SimDuration::zero();
     /// Ingest time of the newest real sample; meaningless until measured.
     sim::SimTime measured_at = sim::SimTime::zero();
     /// False while the estimate is only the configured default or a
@@ -247,9 +252,9 @@ class NetworkMap {
   std::unordered_map<LinkKey, DelayEstimate, LinkKeyHash> link_delay_;
   std::unordered_map<LinkKey, std::int32_t, LinkKeyHash> link_port_;
   std::unordered_map<PortKey, QueueSeries, PortKeyHash> port_queue_;
-  std::unordered_map<net::NodeId, QueueSeries> device_queue_;
-  std::unordered_map<net::NodeId, QueueSeries> device_avg_queue_;  // x100
-  std::unordered_map<net::NodeId, QueueSeries> device_hop_latency_;  // ns
+  std::unordered_map<core::NodeId, QueueSeries> device_queue_;
+  std::unordered_map<core::NodeId, QueueSeries> device_avg_queue_;  // x100
+  std::unordered_map<core::NodeId, QueueSeries> device_hop_latency_;  // ns
   std::int64_t reports_ = 0;
   std::int64_t rejected_ = 0;
 #if INTSCHED_AUDIT_ENABLED

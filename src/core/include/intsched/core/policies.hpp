@@ -30,17 +30,17 @@ enum class PolicyKind : std::uint8_t {
 /// round-trip to the scheduler.
 class SelectionPolicy {
  public:
-  using SelectionHandler = std::function<void(std::vector<net::NodeId>)>;
+  using SelectionHandler = std::function<void(std::vector<core::NodeId>)>;
 
   virtual ~SelectionPolicy() = default;
   /// Picks `count` servers for `device`. `requirements` lists capabilities
   /// the servers must offer (heterogeneous-server extension; usually
   /// empty).
-  virtual void select(net::NodeId device, std::int32_t count,
+  virtual void select(core::NodeId device, std::int32_t count,
                       const std::vector<std::string>& requirements,
                       SelectionHandler handler) = 0;
   /// Convenience overload for requirement-free jobs.
-  void select(net::NodeId device, std::int32_t count,
+  void select(core::NodeId device, std::int32_t count,
               SelectionHandler handler) {
     select(device, count, {}, std::move(handler));
   }
@@ -53,7 +53,7 @@ class IntPolicy : public SelectionPolicy {
   IntPolicy(SchedulerClient& client, RankingMetric metric)
       : client_{client}, metric_{metric} {}
 
-  void select(net::NodeId device, std::int32_t count,
+  void select(core::NodeId device, std::int32_t count,
               const std::vector<std::string>& requirements,
               SelectionHandler handler) override;
   using SelectionPolicy::select;
@@ -75,7 +75,7 @@ class DirectIntPolicy : public SelectionPolicy {
   DirectIntPolicy(SchedulerService& service, RankingMetric metric)
       : service_{service}, metric_{metric} {}
 
-  void select(net::NodeId device, std::int32_t count,
+  void select(core::NodeId device, std::int32_t count,
               const std::vector<std::string>& requirements,
               SelectionHandler handler) override;
   using SelectionPolicy::select;
@@ -98,11 +98,11 @@ class NearestPolicy : public SelectionPolicy {
   /// `capabilities` maps servers to what they offer (for the
   /// heterogeneous extension); omitted = every server satisfies anything.
   NearestPolicy(const net::Topology& topology,
-                std::vector<net::NodeId> servers,
-                std::unordered_map<net::NodeId, std::vector<std::string>>
+                std::vector<core::NodeId> servers,
+                std::unordered_map<core::NodeId, std::vector<std::string>>
                     capabilities = {});
 
-  void select(net::NodeId device, std::int32_t count,
+  void select(core::NodeId device, std::int32_t count,
               const std::vector<std::string>& requirements,
               SelectionHandler handler) override;
   using SelectionPolicy::select;
@@ -111,29 +111,29 @@ class NearestPolicy : public SelectionPolicy {
   }
 
   /// The precomputed preference order for a device (nearest first).
-  [[nodiscard]] const std::vector<net::NodeId>& order_for(
-      net::NodeId device) const;
+  [[nodiscard]] const std::vector<core::NodeId>& order_for(
+      core::NodeId device) const;
 
  private:
-  [[nodiscard]] bool satisfies(net::NodeId server,
+  [[nodiscard]] bool satisfies(core::NodeId server,
                                const std::vector<std::string>& reqs) const;
 
-  std::vector<net::NodeId> servers_;
-  std::unordered_map<net::NodeId, std::vector<net::NodeId>> order_;
-  std::unordered_map<net::NodeId, std::vector<std::string>> capabilities_;
+  std::vector<core::NodeId> servers_;
+  std::unordered_map<core::NodeId, std::vector<core::NodeId>> order_;
+  std::unordered_map<core::NodeId, std::vector<std::string>> capabilities_;
 };
 
 /// Uniformly random selection (the paper's load-balancing baseline).
 class RandomPolicy : public SelectionPolicy {
  public:
-  RandomPolicy(std::vector<net::NodeId> servers, sim::Rng rng,
-               std::unordered_map<net::NodeId, std::vector<std::string>>
+  RandomPolicy(std::vector<core::NodeId> servers, sim::Rng rng,
+               std::unordered_map<core::NodeId, std::vector<std::string>>
                    capabilities = {})
       : servers_{std::move(servers)},
         rng_{rng},
         capabilities_{std::move(capabilities)} {}
 
-  void select(net::NodeId device, std::int32_t count,
+  void select(core::NodeId device, std::int32_t count,
               const std::vector<std::string>& requirements,
               SelectionHandler handler) override;
   using SelectionPolicy::select;
@@ -142,9 +142,9 @@ class RandomPolicy : public SelectionPolicy {
   }
 
  private:
-  std::vector<net::NodeId> servers_;
+  std::vector<core::NodeId> servers_;
   sim::Rng rng_;
-  std::unordered_map<net::NodeId, std::vector<std::string>> capabilities_;
+  std::unordered_map<core::NodeId, std::vector<std::string>> capabilities_;
 };
 
 }  // namespace intsched::core

@@ -61,13 +61,13 @@ class RankSnapshot {
   /// Pure ranking over the frozen state: no locks, no shared mutation
   /// beyond the once-only memo fill. Identical semantics to Ranker::rank.
   [[nodiscard]] std::vector<ServerRank> rank(
-      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now) const;
 
-  /// Ingest epoch (NetworkMap::reports_ingested) the snapshot was built
+  /// Ingest epoch (NetworkMap::ingest_epoch) the snapshot was built
   /// at. The freshness contract: a rank() issued after ingest() of report
   /// N returns observes a snapshot with epoch() >= N.
-  [[nodiscard]] std::int64_t epoch() const { return epoch_; }
+  [[nodiscard]] Epoch epoch() const { return epoch_; }
 
   [[nodiscard]] const NetworkMap& map() const { return map_; }
   [[nodiscard]] const RankerConfig& config() const { return cfg_; }
@@ -80,7 +80,7 @@ class RankSnapshot {
   /// Memoized shortest paths from `origin` over the frozen graph, filling
   /// the slot on first use; nullptr when the origin is unknown to the
   /// graph. Same lock-free once-only contract as rank().
-  [[nodiscard]] const net::ShortestPaths* paths_from(net::NodeId origin) const {
+  [[nodiscard]] const net::ShortestPaths* paths_from(core::NodeId origin) const {
     return memoized_paths(origin);
   }
 
@@ -103,14 +103,14 @@ class RankSnapshot {
   /// Memoized shortest paths for a known origin (nullptr when the origin
   /// is absent from the graph — callers fall back to a local run).
   [[nodiscard]] const net::ShortestPaths* memoized_paths(
-      net::NodeId origin) const;
+      core::NodeId origin) const;
 
   NetworkMap map_;    ///< frozen deep copy; only const queries touch it
   RankerConfig cfg_;  ///< config the snapshot was published under
-  std::int64_t epoch_ = -1;
+  Epoch epoch_ = Epoch::none();
   net::Graph graph_;  ///< delay graph materialized once at construction
   /// Slot per known node; ordered map for deterministic construction.
-  std::map<net::NodeId, SpSlot> sp_slots_;
+  std::map<core::NodeId, SpSlot> sp_slots_;
   mutable std::atomic<std::int64_t> memo_fills_{0};
 };
 

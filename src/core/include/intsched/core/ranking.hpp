@@ -22,13 +22,13 @@ enum class RankingMetric : std::uint8_t { kDelay, kBandwidth };
 /// always filled so devices can run custom selection (the paper's "second
 /// option").
 struct ServerRank {
-  net::NodeId server = net::kInvalidNode;
-  sim::SimTime delay_estimate = sim::SimTime::zero();
+  core::NodeId server = core::kInvalidNode;
+  sim::SimDuration delay_estimate = sim::SimDuration::zero();
   sim::DataRate bandwidth_estimate = sim::DataRate::bits_per_second(0.0);
   /// Pure link-delay sum of the chosen path (no queue terms): the Dijkstra
   /// distance. Survives congestion-telemetry loss, so it is the fallback
   /// key when the path's queue telemetry is stale (Nearest-style ranking).
-  sim::SimTime baseline_delay = sim::SimTime::zero();
+  sim::SimDuration baseline_delay = sim::SimDuration::zero();
   /// Outstanding tasks the scheduler believes the server holds; only
   /// non-zero when the compute-aware extension is active.
   std::int32_t outstanding_tasks = 0;
@@ -76,7 +76,7 @@ struct RankerConfig {
   /// paper fixes k = 20 ms and notes it is a congestion-identification
   /// weight, deliberately large, rather than a calibrated per-packet
   /// queueing delay.
-  sim::SimTime k_factor = sim::SimTime::milliseconds(20);
+  sim::SimDuration k_factor = sim::SimDuration::millis(20);
   QueueStatistic queue_statistic = QueueStatistic::kMaximum;
   QueueToUtilization queue_to_utilization{};
 };
@@ -85,6 +85,7 @@ struct RankerConfig {
 /// delay inflation (over the idle baseline) seen at the same time.
 struct KCalibrationSample {
   double max_queue_pkts = 0.0;
+  // intsched-lint: allow(raw-unit): least-squares input, fractional ms
   double extra_delay_ms = 0.0;
 };
 
@@ -92,7 +93,7 @@ struct KCalibrationSample {
 /// a future work"): least-squares fit of extra_delay = k * max_queue
 /// through the origin, from Fig.-3-style calibration measurements.
 /// Returns the paper's default (20 ms) when the data carries no signal.
-[[nodiscard]] sim::SimTime estimate_k_factor(
+[[nodiscard]] sim::SimDuration estimate_k_factor(
     const std::vector<KCalibrationSample>& samples);
 
 // -- pure ranking core (no hidden state) ------------------------------------
@@ -116,16 +117,16 @@ struct KCalibrationSample {
 /// Algorithm 1 for a single path: sum of link-delay estimates plus
 /// k * maxQueue (per cfg.queue_statistic) for every intermediate device.
 template <typename MapLike>
-[[nodiscard]] sim::SimTime estimate_path_delay(
+[[nodiscard]] sim::SimDuration estimate_path_delay(
     const MapLike& map, const RankerConfig& cfg,
-    const std::vector<net::NodeId>& path, sim::SimTime now) {
+    const std::vector<core::NodeId>& path, sim::SimTime now) {
   assert(path.size() >= 2);
-  sim::SimTime total_link_delay = sim::SimTime::zero();
+  sim::SimDuration total_link_delay = sim::SimDuration::zero();
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     total_link_delay += map.link_delay(path[i], path[i + 1]);
   }
   // Hops are the intermediate devices (switches) on the path.
-  sim::SimTime total_hop_delay = sim::SimTime::zero();
+  sim::SimDuration total_hop_delay = sim::SimDuration::zero();
   for (std::size_t i = 1; i + 1 < path.size(); ++i) {
     switch (cfg.queue_statistic) {
       case QueueStatistic::kMaximum:
@@ -133,7 +134,7 @@ template <typename MapLike>
         break;
       case QueueStatistic::kAverage:
         total_hop_delay +=
-            sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+            sim::SimDuration::nanos(static_cast<std::int64_t>(
                 static_cast<double>(cfg.k_factor.ns()) *
                 map.device_avg_queue(path[i], now)));
         break;
@@ -149,7 +150,7 @@ template <typename MapLike>
 template <typename MapLike>
 [[nodiscard]] sim::DataRate estimate_path_bandwidth(
     const MapLike& map, const RankerConfig& cfg,
-    const std::vector<net::NodeId>& path, sim::SimTime now) {
+    const std::vector<core::NodeId>& path, sim::SimTime now) {
   assert(path.size() >= 2);
   double min_bps = map.config().nominal_capacity.bps();
   // The first link is the origin host's own uplink; hosts are not
@@ -167,10 +168,10 @@ template <typename MapLike>
 /// One candidate with its already-resolved path: what rank_paths scores.
 /// An empty path (or any with fewer than two nodes) means unreachable.
 struct CandidatePath {
-  net::NodeId server = net::kInvalidNode;
-  std::vector<net::NodeId> path{};
+  core::NodeId server = core::kInvalidNode;
+  std::vector<core::NodeId> path{};
   /// Pure link-delay distance of `path` (the Dijkstra distance).
-  sim::SimTime baseline_delay = sim::SimTime::max();
+  sim::SimDuration baseline_delay = sim::SimDuration::max();
 };
 
 /// Scores and sorts pre-resolved candidate paths, best first (ascending
@@ -188,9 +189,9 @@ template <typename MapLike>
     ServerRank r;
     r.server = c.server;
     if (c.path.size() < 2) {
-      r.delay_estimate = sim::SimTime::max();
+      r.delay_estimate = sim::SimDuration::max();
       r.bandwidth_estimate = sim::DataRate::bits_per_second(0.0);
-      r.baseline_delay = sim::SimTime::max();
+      r.baseline_delay = sim::SimDuration::max();
     } else {
       r.delay_estimate = estimate_path_delay(map, cfg, c.path, now);
       r.bandwidth_estimate = estimate_path_bandwidth(map, cfg, c.path, now);
@@ -225,7 +226,7 @@ template <typename MapLike>
 /// deterministic tie-break). Unreachable candidates rank last.
 [[nodiscard]] std::vector<ServerRank> rank_candidates(
     const NetworkMap& map, const RankerConfig& cfg,
-    const net::ShortestPaths& sp, const std::vector<net::NodeId>& candidates,
+    const net::ShortestPaths& sp, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now);
 
 /// The paper's scheduler-side ranking engine. Given the live NetworkMap it
@@ -239,19 +240,19 @@ class Ranker {
 
   /// Ranks `candidates` as seen from `origin` at time `now`, best first
   /// (ascending delay, or descending bandwidth). Unreachable candidates
-  /// rank last with delay = SimTime::max() / bandwidth = 0.
+  /// rank last with delay = SimDuration::max() / bandwidth = 0.
   [[nodiscard]] std::vector<ServerRank> rank(
-      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now) const;
 
   /// Algorithm 1 for a single path: sum of link-delay estimates plus
   /// k * maxQueue for every intermediate device.
-  [[nodiscard]] sim::SimTime path_delay_estimate(
-      const std::vector<net::NodeId>& path, sim::SimTime now) const;
+  [[nodiscard]] sim::SimDuration path_delay_estimate(
+      const std::vector<core::NodeId>& path, sim::SimTime now) const;
 
   /// §III-D: min over links of capacity * (1 - utilization(maxQueue)).
   [[nodiscard]] sim::DataRate path_bandwidth_estimate(
-      const std::vector<net::NodeId>& path, sim::SimTime now) const;
+      const std::vector<core::NodeId>& path, sim::SimTime now) const;
 
   [[nodiscard]] const RankerConfig& config() const { return cfg_; }
 
@@ -262,18 +263,18 @@ class Ranker {
   /// to depend on k, but the invalidation contract is on the config as a
   /// whole; concurrent deployments additionally republish their snapshot,
   /// see ConcurrentNetworkMap::set_k_factor.)
-  void set_k_factor(sim::SimTime k) {
+  void set_k_factor(sim::SimDuration k) {
     cfg_.k_factor = k;
-    cache_.epoch = -1;
+    cache_.epoch = Epoch::none();
     cache_.sp_by_origin.clear();
     cache_.edge_index.clear();
   }
 
   // -- path-cache observability (tests + micro benches) --
 
-  /// Ingest epoch the cached delay-graph snapshot was built at (-1 before
-  /// the first rank).
-  [[nodiscard]] std::int64_t path_cache_epoch() const { return cache_.epoch; }
+  /// Ingest epoch the cached delay-graph snapshot was built at
+  /// (Epoch::none() before the first rank).
+  [[nodiscard]] Epoch path_cache_epoch() const { return cache_.epoch; }
   [[nodiscard]] std::int64_t path_cache_hits() const { return cache_.hits; }
   [[nodiscard]] std::int64_t path_cache_misses() const {
     return cache_.misses;
@@ -312,13 +313,13 @@ class Ranker {
   /// metro-scale maps where an ingest batch touches a handful of links,
   /// most origins keep their Dijkstra results across the epoch bump.
   struct PathCache {
-    std::int64_t epoch = -1;
+    Epoch epoch = Epoch::none();
     net::Graph graph;
-    std::map<net::NodeId, net::ShortestPaths> sp_by_origin;
+    std::map<core::NodeId, net::ShortestPaths> sp_by_origin;
     /// What we remember about each directed edge of `graph`, for diffing
     /// against the next epoch's delay graph.
     struct EdgeFacts {
-      sim::SimTime cost = sim::SimTime::zero();
+      sim::SimDuration cost = sim::SimDuration::zero();
       std::int32_t port = -1;
     };
     std::unordered_map<LinkKey, EdgeFacts, LinkKeyHash> edge_index;
@@ -338,7 +339,7 @@ class Ranker {
   /// Shortest paths from `origin` over a delay-graph snapshot no older
   /// than the map's current ingest epoch.
   [[nodiscard]] const net::ShortestPaths& shortest_paths_from(
-      net::NodeId origin) const;
+      core::NodeId origin) const;
 
   const NetworkMap* map_;
   RankerConfig cfg_;

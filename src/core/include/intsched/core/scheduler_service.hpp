@@ -18,7 +18,7 @@ class ShardedNetworkMap;
 /// Edge-device query: "give me candidate edge servers ranked by <metric>".
 struct CandidateRequest : net::AppMessage {
   std::uint64_t query_id = 0;
-  net::NodeId device = net::kInvalidNode;
+  core::NodeId device = core::kInvalidNode;
   RankingMetric metric = RankingMetric::kDelay;
   net::PortNumber reply_port = 0;
   /// Capabilities the job's tasks require (heterogeneous-server
@@ -29,7 +29,7 @@ struct CandidateRequest : net::AppMessage {
 /// Periodic edge-server load report (compute-aware extension, paper §VI):
 /// how many tasks the server is running plus has queued.
 struct LoadReportMessage : net::AppMessage {
-  net::NodeId server = net::kInvalidNode;
+  core::NodeId server = core::kInvalidNode;
   std::int32_t outstanding_tasks = 0;
 };
 
@@ -46,9 +46,9 @@ struct SchedulerConfig {
   bool compute_aware = false;
   /// Added to a candidate's delay key per outstanding task; bandwidth
   /// ranking divides the estimate by (1 + outstanding) instead.
-  sim::SimTime load_penalty = sim::SimTime::milliseconds(500);
+  sim::SimDuration load_penalty = sim::SimDuration::millis(500);
   /// Load reports older than this are treated as "idle".
-  sim::SimTime load_staleness = sim::SimTime::seconds(3);
+  sim::SimDuration load_staleness = sim::SimDuration::secs(3);
 };
 
 /// The central scheduler process (paper Fig. 1): terminates INT probes into
@@ -63,15 +63,15 @@ class SchedulerService {
   /// Declares a node as a candidate edge server with the capabilities it
   /// offers. The service never returns the querying device itself as a
   /// candidate, nor servers missing a requested capability.
-  void register_edge_server(net::NodeId server,
+  void register_edge_server(core::NodeId server,
                             std::vector<std::string> capabilities = {});
-  [[nodiscard]] const std::vector<net::NodeId>& edge_servers() const {
+  [[nodiscard]] const std::vector<core::NodeId>& edge_servers() const {
     return servers_;
   }
 
   /// Current believed outstanding-task count for a server (0 when no
   /// fresh report exists).
-  [[nodiscard]] std::int32_t server_load(net::NodeId server) const;
+  [[nodiscard]] std::int32_t server_load(core::NodeId server) const;
 
   [[nodiscard]] NetworkMap& network_map() { return map_; }
   [[nodiscard]] const NetworkMap& network_map() const { return map_; }
@@ -101,7 +101,7 @@ class SchedulerService {
   /// Synchronous ranking entry point (also used by the UDP handler) —
   /// exposed for tests and for co-located schedulers.
   [[nodiscard]] std::vector<ServerRank> rank_for(
-      net::NodeId device, RankingMetric metric,
+      core::NodeId device, RankingMetric metric,
       const std::vector<std::string>& requirements = {}) const;
 
  private:
@@ -112,7 +112,7 @@ class SchedulerService {
 
   void on_request(const net::Packet& p);
   void on_load_report(const LoadReportMessage& report);
-  [[nodiscard]] bool satisfies(net::NodeId server,
+  [[nodiscard]] bool satisfies(core::NodeId server,
                                const std::vector<std::string>& reqs) const;
 
   transport::HostStack& stack_;
@@ -121,9 +121,9 @@ class SchedulerService {
   Ranker ranker_;
   ShardedNetworkMap* metro_ = nullptr;  ///< non-owning; see attach_metro
   SchedulerConfig cfg_;
-  std::vector<net::NodeId> servers_;
-  std::unordered_map<net::NodeId, std::vector<std::string>> capabilities_;
-  std::unordered_map<net::NodeId, LoadInfo> load_;
+  std::vector<core::NodeId> servers_;
+  std::unordered_map<core::NodeId, std::vector<std::string>> capabilities_;
+  std::unordered_map<core::NodeId, LoadInfo> load_;
   std::int64_t queries_ = 0;
   // rank_for is const (callable from co-located read paths); the counters
   // are observability side-channels, hence mutable.
@@ -138,7 +138,7 @@ class SchedulerClient {
  public:
   using ResponseHandler = std::function<void(const CandidateResponse&)>;
 
-  SchedulerClient(transport::HostStack& stack, net::NodeId scheduler);
+  SchedulerClient(transport::HostStack& stack, core::NodeId scheduler);
   ~SchedulerClient();
   SchedulerClient(const SchedulerClient&) = delete;
   SchedulerClient& operator=(const SchedulerClient&) = delete;
@@ -163,7 +163,7 @@ class SchedulerClient {
   void on_response(const net::Packet& p);
 
   transport::HostStack& stack_;
-  net::NodeId scheduler_;
+  core::NodeId scheduler_;
   net::PortNumber reply_port_;
   std::uint64_t next_id_ = 1;
   std::unordered_map<std::uint64_t, Pending> pending_;
@@ -171,7 +171,7 @@ class SchedulerClient {
   std::int64_t received_ = 0;
   std::int64_t retries_ = 0;
 
-  static constexpr sim::SimTime kRetryAfter = sim::SimTime::seconds(1);
+  static constexpr sim::SimDuration kRetryAfter = sim::SimDuration::secs(1);
 };
 
 }  // namespace intsched::core

@@ -57,23 +57,23 @@ using ParallelFor =
 class RegionAssignment {
  public:
   RegionAssignment() = default;
-  RegionAssignment(std::vector<net::RegionId> by_node, net::RegionId count)
+  RegionAssignment(std::vector<core::RegionId> by_node, core::RegionId count)
       : by_node_{std::move(by_node)}, count_{count} {}
 
   [[nodiscard]] static RegionAssignment from_topology(
       const net::GenTopology& topo);
 
-  [[nodiscard]] net::RegionId region_of(net::NodeId n) const {
-    if (n < 0 || static_cast<std::size_t>(n) >= by_node_.size()) {
-      return net::kNoRegion;
+  [[nodiscard]] core::RegionId region_of(core::NodeId n) const {
+    if (!n.valid() || n.index() >= by_node_.size()) {
+      return core::kNoRegion;
     }
-    return by_node_[static_cast<std::size_t>(n)];
+    return by_node_[n.index()];
   }
-  [[nodiscard]] net::RegionId count() const { return count_; }
+  [[nodiscard]] core::RegionId count() const { return count_; }
 
  private:
-  std::vector<net::RegionId> by_node_;
-  net::RegionId count_ = 0;
+  std::vector<core::RegionId> by_node_;
+  core::RegionId count_{0};
 };
 
 struct ShardedMapConfig {
@@ -112,8 +112,8 @@ class MetroView {
   MetroView(std::shared_ptr<const RegionAssignment> regions,
             std::vector<std::shared_ptr<const RankSnapshot>> region_snaps,
             std::shared_ptr<const NetworkMap> summary_map,
-            std::vector<std::vector<net::NodeId>> borders_by_region,
-            RankerConfig config, std::int64_t epoch);
+            std::vector<std::vector<core::NodeId>> borders_by_region,
+            RankerConfig config, Epoch epoch);
 
   MetroView(const MetroView&) = delete;
   MetroView& operator=(const MetroView&) = delete;
@@ -122,7 +122,7 @@ class MetroView {
   /// RankSnapshot::rank (best first, server-id tie-break, unreachable
   /// last with delay = max / bandwidth = 0).
   [[nodiscard]] std::vector<ServerRank> rank(
-      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now) const;
 
   /// Best single candidate — exactly rank(...)[0] — but for the delay
@@ -131,23 +131,23 @@ class MetroView {
   /// cannot win), so most regions are never scored. `stats`, when
   /// non-null, reports how much work the pruning saved.
   [[nodiscard]] std::optional<ServerRank> pick(
-      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now,
       PickStats* stats = nullptr) const;
 
-  /// Publish epoch: the owning map's reports_ingested() at publish time.
-  [[nodiscard]] std::int64_t epoch() const { return epoch_; }
-  [[nodiscard]] net::RegionId region_count() const {
-    return static_cast<net::RegionId>(region_snaps_.size());
+  /// Publish epoch: the owning map's ingest epoch at publish time.
+  [[nodiscard]] Epoch epoch() const { return epoch_; }
+  [[nodiscard]] core::RegionId region_count() const {
+    return core::RegionId{static_cast<std::int32_t>(region_snaps_.size())};
   }
   /// Region snapshot (never null for a valid region id).
-  [[nodiscard]] const RankSnapshot& region_snapshot(net::RegionId r) const {
-    return *region_snaps_[static_cast<std::size_t>(r)];
+  [[nodiscard]] const RankSnapshot& region_snapshot(core::RegionId r) const {
+    return *region_snaps_[r.index()];
   }
   [[nodiscard]] const NetworkMap& summary_map() const { return *summary_map_; }
-  [[nodiscard]] const std::vector<net::NodeId>& borders_of(
-      net::RegionId r) const {
-    return borders_by_region_[static_cast<std::size_t>(r)];
+  [[nodiscard]] const std::vector<core::NodeId>& borders_of(
+      core::RegionId r) const {
+    return borders_by_region_[r.index()];
   }
   [[nodiscard]] const RankerConfig& config() const { return cfg_; }
 
@@ -159,7 +159,7 @@ class MetroView {
   /// by the region-local distances.
   struct QueryContext {
     bool valid = false;
-    net::RegionId region = net::kNoRegion;
+    core::RegionId region = core::kNoRegion;
     const net::ShortestPaths* sp0 = nullptr;
     net::ShortestPaths summary_sp;
   };
@@ -180,81 +180,81 @@ class MetroView {
     [[nodiscard]] const NetworkMapConfig& config() const {
       return view->summary_map_->config();
     }
-    [[nodiscard]] sim::SimTime link_delay(net::NodeId from,
-                                          net::NodeId to) const {
+    [[nodiscard]] sim::SimDuration link_delay(core::NodeId from,
+                                              core::NodeId to) const {
       return view->link_map(from, to).link_delay(from, to);
     }
-    [[nodiscard]] std::int64_t device_max_queue(net::NodeId device,
+    [[nodiscard]] std::int64_t device_max_queue(core::NodeId device,
                                                 sim::SimTime now) const {
       return view->device_map(device).device_max_queue(device, now);
     }
-    [[nodiscard]] double device_avg_queue(net::NodeId device,
+    [[nodiscard]] double device_avg_queue(core::NodeId device,
                                           sim::SimTime now) const {
       return view->device_map(device).device_avg_queue(device, now);
     }
-    [[nodiscard]] sim::SimTime device_hop_latency(net::NodeId device,
-                                                  sim::SimTime now) const {
+    [[nodiscard]] sim::SimDuration device_hop_latency(
+        core::NodeId device, sim::SimTime now) const {
       return view->device_map(device).device_hop_latency(device, now);
     }
-    [[nodiscard]] std::int64_t link_max_queue(net::NodeId from, net::NodeId to,
+    [[nodiscard]] std::int64_t link_max_queue(core::NodeId from, core::NodeId to,
                                               sim::SimTime now) const {
       return view->hier_link_max_queue(from, to, now);
     }
-    [[nodiscard]] bool path_stale(const std::vector<net::NodeId>& path,
+    [[nodiscard]] bool path_stale(const std::vector<core::NodeId>& path,
                                   sim::SimTime now) const {
       return view->hier_path_stale(path, now);
     }
   };
 
-  [[nodiscard]] bool valid_region(net::RegionId r) const {
-    return r >= 0 && static_cast<std::size_t>(r) < region_snaps_.size();
+  [[nodiscard]] bool valid_region(core::RegionId r) const {
+    return r.valid() && r.index() < region_snaps_.size();
   }
-  [[nodiscard]] const NetworkMap& region_map(net::RegionId r) const {
-    return region_snaps_[static_cast<std::size_t>(r)]->map();
+  [[nodiscard]] const NetworkMap& region_map(core::RegionId r) const {
+    return region_snaps_[r.index()]->map();
   }
   /// Map owning the directed link (region when both ends share one,
   /// summary otherwise).
-  [[nodiscard]] const NetworkMap& link_map(net::NodeId from,
-                                           net::NodeId to) const;
+  [[nodiscard]] const NetworkMap& link_map(core::NodeId from,
+                                           core::NodeId to) const;
   /// Map owning the device's telemetry (its region; summary for
   /// region-less nodes).
-  [[nodiscard]] const NetworkMap& device_map(net::NodeId device) const;
-  [[nodiscard]] std::int64_t hier_link_max_queue(net::NodeId from,
-                                                 net::NodeId to,
+  [[nodiscard]] const NetworkMap& device_map(core::NodeId device) const;
+  [[nodiscard]] std::int64_t hier_link_max_queue(core::NodeId from,
+                                                 core::NodeId to,
                                                  sim::SimTime now) const;
-  [[nodiscard]] bool hier_path_stale(const std::vector<net::NodeId>& path,
+  [[nodiscard]] bool hier_path_stale(const std::vector<core::NodeId>& path,
                                      sim::SimTime now) const;
 
   /// Memoized query context for `origin` (nullptr when the origin is
   /// unknown to every region graph). Lock-free after the once-fill.
-  [[nodiscard]] const QueryContext* query_context(net::NodeId origin) const;
-  void build_context(net::NodeId origin, QueryContext& ctx) const;
+  [[nodiscard]] const QueryContext* query_context(core::NodeId origin) const;
+  void build_context(core::NodeId origin, QueryContext& ctx) const;
 
   /// Resolves one candidate to its concrete node path + baseline:
   /// region-local for same-region servers, otherwise cheapest entry
   /// border (summary distance + region distance, smallest border id on
   /// ties) with the summary path expanded through region snapshots.
   [[nodiscard]] CandidatePath candidate_path(const QueryContext& ctx,
-                                             net::NodeId origin,
-                                             net::NodeId server) const;
-  [[nodiscard]] std::vector<net::NodeId> expand_summary_path(
-      const QueryContext& ctx, net::NodeId origin, net::NodeId border) const;
+                                             core::NodeId origin,
+                                             core::NodeId server) const;
+  [[nodiscard]] std::vector<core::NodeId> expand_summary_path(
+      const QueryContext& ctx, core::NodeId origin, core::NodeId border) const;
 
   std::shared_ptr<const RegionAssignment> regions_;
   std::vector<std::shared_ptr<const RankSnapshot>> region_snaps_;
   std::shared_ptr<const NetworkMap> summary_map_;
-  std::vector<std::vector<net::NodeId>> borders_by_region_;
+  std::vector<std::vector<core::NodeId>> borders_by_region_;
   RankerConfig cfg_;
-  std::int64_t epoch_ = -1;
+  Epoch epoch_ = Epoch::none();
   /// Summary delay graph + per-region transit edges (border -> border
   /// within a region, costed by region shortest-path distance).
   net::Graph summary_graph_;
   /// Which region a transit edge crosses, for path expansion. Ordered map:
   /// built deterministically, read-only afterwards.
-  std::map<std::pair<net::NodeId, net::NodeId>, net::RegionId> transit_region_;
+  std::map<std::pair<core::NodeId, core::NodeId>, core::RegionId> transit_region_;
   /// Slot per node known to any region graph; ordered for deterministic
   /// construction, structure never mutated after it.
-  std::map<net::NodeId, CtxSlot> ctx_slots_;
+  std::map<core::NodeId, CtxSlot> ctx_slots_;
 };
 
 /// Region-sharded ConcurrentNetworkMap: ingest routes every learned link
@@ -286,25 +286,25 @@ class ShardedNetworkMap {
 
   /// Lock-free two-level ranking over the current view.
   [[nodiscard]] std::vector<ServerRank> rank(
-      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now) const INTSCHED_EXCLUDES(mutex_);
 
   /// Lock-free best-candidate query with region pruning (MetroView::pick).
   [[nodiscard]] std::optional<ServerRank> pick(
-      net::NodeId origin, const std::vector<net::NodeId>& candidates,
+      core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now,
       PickStats* stats = nullptr) const INTSCHED_EXCLUDES(mutex_);
 
   /// Changes Algorithm 1's k and republishes (all regions rebuilt: cached
   /// state must never outlive the config it was computed under).
-  void set_k_factor(sim::SimTime k) INTSCHED_EXCLUDES(mutex_);
+  void set_k_factor(sim::SimDuration k) INTSCHED_EXCLUDES(mutex_);
 
   /// Currently published view; never null after construction.
   [[nodiscard]] std::shared_ptr<const MetroView> view() const {
     return view_.load(std::memory_order_acquire);
   }
 
-  [[nodiscard]] net::RegionId region_count() const {
+  [[nodiscard]] core::RegionId region_count() const {
     return regions_->count();
   }
   [[nodiscard]] std::int64_t reports_ingested() const
@@ -325,8 +325,8 @@ class ShardedNetworkMap {
                            sim::SimTime now) INTSCHED_REQUIRES(mutex_);
   /// Routes one directed link observation to its owning shard and tracks
   /// border membership for cross-region links.
-  void learn_pair_locked(net::NodeId from, net::NodeId to,
-                         std::int32_t out_port, sim::SimTime delay_sample,
+  void learn_pair_locked(core::NodeId from, core::NodeId to,
+                         std::int32_t out_port, sim::SimDuration delay_sample,
                          sim::SimTime now) INTSCHED_REQUIRES(mutex_);
   void publish_locked() INTSCHED_REQUIRES(mutex_);
 
@@ -345,14 +345,14 @@ class ShardedNetworkMap {
   NetworkMap summary_map_ INTSCHED_GUARDED_BY(mutex_);
   /// Sorted unique border nodes (endpoints of cross-region links) per
   /// region, grown as links are learned.
-  std::vector<std::vector<net::NodeId>> borders_by_region_
+  std::vector<std::vector<core::NodeId>> borders_by_region_
       INTSCHED_GUARDED_BY(mutex_);
   /// Last published snapshot per region, reused while the shard's ingest
   /// epoch is unchanged.
   std::vector<std::shared_ptr<const RankSnapshot>> last_snaps_
       INTSCHED_GUARDED_BY(mutex_);
   std::shared_ptr<const NetworkMap> last_summary_ INTSCHED_GUARDED_BY(mutex_);
-  std::int64_t last_summary_epoch_ INTSCHED_GUARDED_BY(mutex_) = -1;
+  Epoch last_summary_epoch_ INTSCHED_GUARDED_BY(mutex_) = Epoch::none();
   /// Per-report scratch: which shards the current report touched
   /// (regions, then summary at index region_count()).
   std::vector<char> touched_ INTSCHED_GUARDED_BY(mutex_);

@@ -1,0 +1,159 @@
+#pragma once
+
+// Strong-typed identifiers and unit-exact time quantities — the "types as
+// the analyzer" layer (DESIGN.md §12). Every quantity the scheduler's
+// correctness rests on gets a distinct, zero-cost C++ type:
+//
+//   NodeId    a network address (hosts and switches)
+//   ServerId  a candidate edge server (always *also* a node; convert
+//             explicitly with node_of / server_at)
+//   RegionId  a metro region / pod (the sharding unit)
+//   Epoch     an ingest-epoch stamp (snapshot freshness ordering)
+//   sim::SimDuration / sim::SimTime  (intsched/sim/time.hpp)
+//
+// The types carry no behaviour beyond comparison, hashing, and explicit
+// access to the underlying representation: sizeof(NodeId) ==
+// sizeof(std::int32_t) and every accessor is constexpr-inline, so the
+// generated code is bit-identical to the raw-integer version (the
+// BENCH_metro fingerprint gate proves it). What changes is what *fails to
+// compile*: cross-tag conversion (a RegionId where a NodeId is due), raw
+// integers in ID positions, and instant/duration mixups are all build
+// errors now. This header is deliberately dependency-free apart from
+// sim/time.hpp so every layer (net included) can sit on it.
+
+#include <cstddef>
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "intsched/sim/time.hpp"
+
+namespace intsched::core {
+
+/// A tagged integer identifier. Distinct Tag types make distinct,
+/// mutually-inconvertible ID types out of the same representation;
+/// construction from the raw representation is explicit, and there is no
+/// implicit conversion back (use value() / index()).
+///
+/// Mirrors a raw integer exactly: value-initialization yields id 0,
+/// default-initialization leaves the value indeterminate, comparison and
+/// hashing are those of the representation. IDs deliberately have no
+/// arithmetic beyond ++ (dense id spaces are iterated; ids are never
+/// added or scaled — do index math on raw integers, then wrap once).
+template <typename Tag, typename Rep = std::int32_t>
+class TaggedId {
+ public:
+  using rep = Rep;
+
+  constexpr TaggedId() = default;
+  explicit constexpr TaggedId(Rep v) : v_{v} {}
+
+  /// The conventional "no such id" sentinel (-1).
+  [[nodiscard]] static constexpr TaggedId invalid() {
+    return TaggedId{Rep{-1}};
+  }
+
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+  /// The id as a container index. Callers guarantee non-negativity, same
+  /// as the raw static_cast this replaces.
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(v_);
+  }
+  [[nodiscard]] constexpr bool valid() const { return v_ >= Rep{0}; }
+
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+
+  /// Dense id spaces (node 0..n) are iterated; allow ++ but nothing else.
+  constexpr TaggedId& operator++() {
+    ++v_;
+    return *this;
+  }
+
+  /// An id renders as its raw value; logs and reports are unchanged by
+  /// the strong-type migration.
+  friend std::ostream& operator<<(std::ostream& os, TaggedId id) {
+    return os << id.v_;
+  }
+
+ private:
+  Rep v_;
+};
+
+/// Network address of a simulated node (host or switch). Doubles as the
+/// L3 address: the simulator does not model ARP/DHCP.
+using NodeId = TaggedId<struct NodeIdTag>;
+/// A candidate edge server, as ranked and picked by the scheduler. Every
+/// server is a node; the conversion is explicit (node_of / server_at) so
+/// "which server" and "which network address" stay distinct in APIs.
+using ServerId = TaggedId<struct ServerIdTag>;
+/// Metro region (pod) index — the unit ShardedNetworkMap shards by.
+using RegionId = TaggedId<struct RegionIdTag>;
+
+inline constexpr NodeId kInvalidNode = NodeId::invalid();
+inline constexpr ServerId kInvalidServer = ServerId::invalid();
+inline constexpr RegionId kNoRegion = RegionId::invalid();
+
+/// The network address a server answers at.
+[[nodiscard]] constexpr NodeId node_of(ServerId s) {
+  return NodeId{s.value()};
+}
+/// The server hosted at a node (callers assert the node is a server).
+[[nodiscard]] constexpr ServerId server_at(NodeId n) {
+  return ServerId{n.value()};
+}
+
+/// Ingest-epoch stamp: "state as of the Nth probe report". Epochs order
+/// snapshots for the freshness contract (DESIGN.md §10); they are not
+/// counts and carry no arithmetic. Default-constructed == none() (-1),
+/// the conventional "before any publish" value.
+class Epoch {
+ public:
+  constexpr Epoch() = default;
+  explicit constexpr Epoch(std::int64_t v) : v_{v} {}
+
+  /// The pre-first-publish sentinel (-1): compares less than any real
+  /// epoch, so "stale until proven fresh" falls out of ordering.
+  [[nodiscard]] static constexpr Epoch none() { return Epoch{-1}; }
+
+  [[nodiscard]] constexpr std::int64_t value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ >= 0; }
+
+  friend constexpr auto operator<=>(Epoch, Epoch) = default;
+
+ private:
+  std::int64_t v_ = -1;
+};
+
+[[nodiscard]] inline std::string to_string(Epoch e) {
+  return std::to_string(e.value());
+}
+
+inline std::ostream& operator<<(std::ostream& os, Epoch e) {
+  return os << e.value();
+}
+
+template <typename Tag, typename Rep>
+[[nodiscard]] std::string to_string(TaggedId<Tag, Rep> id) {
+  return std::to_string(id.value());
+}
+
+}  // namespace intsched::core
+
+// Hash support: same bucket distribution as the raw representation (the
+// identity on libstdc++), so swapping an int key for a TaggedId key
+// changes no unordered-container layout.
+template <typename Tag, typename Rep>
+struct std::hash<intsched::core::TaggedId<Tag, Rep>> {
+  std::size_t operator()(intsched::core::TaggedId<Tag, Rep> id) const {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<intsched::core::Epoch> {
+  std::size_t operator()(intsched::core::Epoch e) const {
+    return std::hash<std::int64_t>{}(e.value());
+  }
+};

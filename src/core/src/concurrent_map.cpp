@@ -1,7 +1,5 @@
 #include "intsched/core/concurrent_map.hpp"
 
-// intsched-lint: allow-file(thread-share): sanctioned concurrent facade;
-//   see the header and DESIGN.md §10
 
 namespace intsched::core {
 
@@ -51,7 +49,7 @@ void ConcurrentNetworkMap::ingest_batch(
 }
 
 std::vector<ServerRank> ConcurrentNetworkMap::rank(
-    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    core::NodeId origin, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (mode_ == ConcurrencyMode::kSnapshot) {
@@ -66,12 +64,12 @@ std::vector<ServerRank> ConcurrentNetworkMap::rank(
 }
 
 std::vector<ServerRank> ConcurrentNetworkMap::rank_locked(
-    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    core::NodeId origin, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
   return ranker_.rank(origin, candidates, metric, now);
 }
 
-void ConcurrentNetworkMap::set_k_factor(sim::SimTime k) {
+void ConcurrentNetworkMap::set_k_factor(sim::SimDuration k) {
   LockGuard lock{mutex_};
   ranker_.set_k_factor(k);
   // Republish: a snapshot published under the old config must not keep
@@ -79,13 +77,13 @@ void ConcurrentNetworkMap::set_k_factor(sim::SimTime k) {
   publish_locked();
 }
 
-sim::SimTime ConcurrentNetworkMap::link_delay(net::NodeId from,
-                                              net::NodeId to) const {
+sim::SimDuration ConcurrentNetworkMap::link_delay(core::NodeId from,
+                                              core::NodeId to) const {
   LockGuard lock{mutex_};
   return map_.link_delay(from, to);
 }
 
-bool ConcurrentNetworkMap::knows_node(net::NodeId node) const {
+bool ConcurrentNetworkMap::knows_node(core::NodeId node) const {
   LockGuard lock{mutex_};
   return map_.knows_node(node);
 }

@@ -7,7 +7,8 @@
 
 namespace intsched::core {
 
-sim::SimTime NetworkMap::window_cutoff(sim::SimTime now, sim::SimTime window) {
+sim::SimTime NetworkMap::window_cutoff(sim::SimTime now,
+                                       sim::SimDuration window) {
   constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
   const std::int64_t n = now.ns();
   const std::int64_t w = window.ns();
@@ -18,18 +19,18 @@ sim::SimTime NetworkMap::window_cutoff(sim::SimTime now, sim::SimTime window) {
   return sim::SimTime::nanoseconds(n - w);
 }
 
-void NetworkMap::learn_link(net::NodeId from, net::NodeId to,
+void NetworkMap::learn_link(core::NodeId from, core::NodeId to,
                             std::int32_t out_port,
-                            sim::SimTime delay_sample, sim::SimTime now) {
+                            sim::SimDuration delay_sample, sim::SimTime now) {
   const LinkKey key{from, to};
   const auto known = link_delay_.find(key);
-  const bool have_sample = delay_sample >= sim::SimTime::zero();
+  const bool have_sample = delay_sample >= sim::SimDuration::zero();
 
   if (known == link_delay_.end()) {
     link_delay_.emplace(
         key, DelayEstimate{
                  have_sample ? delay_sample : cfg_.default_link_delay,
-                 sim::SimTime::zero(), now, have_sample});
+                 sim::SimDuration::zero(), now, have_sample});
     if (out_port >= 0) link_port_[key] = out_port;
     // New edge: extend the inferred graph. Edge cost is refreshed at
     // query time via delay_graph(); the stored cost is the first estimate.
@@ -44,7 +45,7 @@ void NetworkMap::learn_link(net::NodeId from, net::NodeId to,
     est.measured_at = std::max(est.measured_at, now);
     if (!est.measured) {
       est.value = delay_sample;
-      est.jitter = sim::SimTime::zero();
+      est.jitter = sim::SimDuration::zero();
       est.measured = true;
       return;
     }
@@ -52,13 +53,13 @@ void NetworkMap::learn_link(net::NodeId from, net::NodeId to,
     const auto deviation = delay_sample > est.value
                                ? delay_sample - est.value
                                : est.value - delay_sample;
-    est.jitter = sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+    est.jitter = sim::SimDuration::nanos(static_cast<std::int64_t>(
         alpha * static_cast<double>(deviation.ns()) +
         (1.0 - alpha) * static_cast<double>(est.jitter.ns())));
     const double blended =
         alpha * static_cast<double>(delay_sample.ns()) +
         (1.0 - alpha) * static_cast<double>(est.value.ns());
-    est.value = sim::SimTime::nanoseconds(static_cast<std::int64_t>(blended));
+    est.value = sim::SimDuration::nanos(static_cast<std::int64_t>(blended));
   }
 }
 
@@ -138,13 +139,13 @@ void NetworkMap::ingest(const telemetry::ProbeReport& report,
 
   // Track the previous *accepted* entry so a rejected one in the middle of
   // the stack does not fabricate an edge across the gap from a bogus id.
-  net::NodeId upstream = report.src;
+  core::NodeId upstream = report.src;
   std::int32_t upstream_port = 0;
 
   for (const auto& e : entries) {
     // Sanity: a damaged stack entry (truncated / corrupted probe) must not
     // poison the topology with an invalid node. Skip it but keep the rest.
-    if (e.device < 0) {
+    if (!e.device.valid()) {
       note_rejected_entry();
       continue;
     }
@@ -157,7 +158,7 @@ void NetworkMap::ingest(const telemetry::ProbeReport& report,
     // delay is assumed symmetric but we do not overwrite a measured value
     // with the sample (pass no sample).
     learn_link(e.device, upstream, e.ingress_port,
-               sim::SimTime::nanoseconds(-1), now);
+               sim::SimDuration::nanos(-1), now);
 
     record_entry_telemetry(e, now);
 
@@ -169,7 +170,7 @@ void NetworkMap::ingest(const telemetry::ProbeReport& report,
   if (upstream != report.src) {
     learn_link(upstream, report.dst, upstream_port,
                report.final_link_latency, now);
-    learn_link(report.dst, upstream, 0, sim::SimTime::nanoseconds(-1), now);
+    learn_link(report.dst, upstream, 0, sim::SimDuration::nanos(-1), now);
   }
 
   finish_ingest(now);
@@ -181,7 +182,7 @@ void NetworkMap::audit_invariants(sim::SimTime high_water) const {
   // immaterial here. intsched-lint: allow(unordered-iter)
   for (const auto& [key, est] : link_delay_) {
     INTSCHED_AUDIT_ASSERT(
-        key.from != net::kInvalidNode && key.to != net::kInvalidNode,
+        key.from != core::kInvalidNode && key.to != core::kInvalidNode,
         "NetworkMap learned a link with an invalid endpoint");
     INTSCHED_AUDIT_ASSERT(key.from != key.to,
                           "NetworkMap learned a self-loop link");
@@ -191,7 +192,7 @@ void NetworkMap::audit_invariants(sim::SimTime high_water) const {
     INTSCHED_AUDIT_ASSERT(
         !est.measured || est.measured_at <= high_water,
         "link freshness stamp postdates every ingest seen");
-    INTSCHED_AUDIT_ASSERT(est.jitter >= sim::SimTime::zero(),
+    INTSCHED_AUDIT_ASSERT(est.jitter >= sim::SimDuration::zero(),
                           "negative jitter estimate");
   }
   // intsched-lint: allow(unordered-iter)
@@ -230,9 +231,9 @@ void NetworkMap::audit_invariants(sim::SimTime high_water) const {
 }
 #endif
 
-bool NetworkMap::link_stale(net::NodeId from, net::NodeId to,
+bool NetworkMap::link_stale(core::NodeId from, core::NodeId to,
                             sim::SimTime now) const {
-  if (cfg_.link_staleness <= sim::SimTime::zero()) return false;
+  if (cfg_.link_staleness <= sim::SimDuration::zero()) return false;
   const sim::SimTime cutoff = window_cutoff(now, cfg_.link_staleness);
   const auto it = link_delay_.find(LinkKey{from, to});
   if (it != link_delay_.end() && it->second.measured) {
@@ -245,17 +246,17 @@ bool NetworkMap::link_stale(net::NodeId from, net::NodeId to,
   return true;  // never measured in either direction
 }
 
-bool NetworkMap::path_stale(const std::vector<net::NodeId>& path,
+bool NetworkMap::path_stale(const std::vector<core::NodeId>& path,
                             sim::SimTime now) const {
-  if (cfg_.link_staleness <= sim::SimTime::zero()) return false;
+  if (cfg_.link_staleness <= sim::SimDuration::zero()) return false;
   for (std::size_t i = 1; i < path.size(); ++i) {
     if (link_stale(path[i - 1], path[i], now)) return true;
   }
   return false;
 }
 
-sim::SimTime NetworkMap::link_jitter(net::NodeId from,
-                                     net::NodeId to) const {
+sim::SimDuration NetworkMap::link_jitter(core::NodeId from,
+                                     core::NodeId to) const {
   const auto it = link_delay_.find(LinkKey{from, to});
   if (it != link_delay_.end() && it->second.measured) {
     return it->second.jitter;
@@ -264,7 +265,7 @@ sim::SimTime NetworkMap::link_jitter(net::NodeId from,
   if (rev != link_delay_.end() && rev->second.measured) {
     return rev->second.jitter;
   }
-  return sim::SimTime::zero();
+  return sim::SimDuration::zero();
 }
 
 net::Graph NetworkMap::delay_graph() const {
@@ -289,7 +290,7 @@ net::Graph NetworkMap::delay_graph() const {
   return g;
 }
 
-sim::SimTime NetworkMap::link_delay(net::NodeId from, net::NodeId to) const {
+sim::SimDuration NetworkMap::link_delay(core::NodeId from, core::NodeId to) const {
   const auto it = link_delay_.find(LinkKey{from, to});
   if (it != link_delay_.end() && it->second.measured) return it->second.value;
   // Never measured in this direction: assume symmetry with the reverse.
@@ -302,19 +303,19 @@ sim::SimTime NetworkMap::link_delay(net::NodeId from, net::NodeId to) const {
   return cfg_.default_link_delay;
 }
 
-std::int32_t NetworkMap::egress_port(net::NodeId from, net::NodeId to) const {
+std::int32_t NetworkMap::egress_port(core::NodeId from, core::NodeId to) const {
   const auto it = link_port_.find(LinkKey{from, to});
   return it == link_port_.end() ? -1 : it->second;
 }
 
-std::int64_t NetworkMap::device_max_queue(net::NodeId device,
+std::int64_t NetworkMap::device_max_queue(core::NodeId device,
                                           sim::SimTime now) const {
   const auto it = device_queue_.find(device);
   if (it == device_queue_.end()) return 0;
   return max_in_window(it->second, window_cutoff(now, cfg_.queue_window));
 }
 
-double NetworkMap::device_avg_queue(net::NodeId device,
+double NetworkMap::device_avg_queue(core::NodeId device,
                                     sim::SimTime now) const {
   const auto it = device_avg_queue_.find(device);
   if (it == device_avg_queue_.end()) return 0.0;
@@ -323,16 +324,16 @@ double NetworkMap::device_avg_queue(net::NodeId device,
          100.0;
 }
 
-sim::SimTime NetworkMap::device_hop_latency(net::NodeId device,
-                                            sim::SimTime now) const {
+sim::SimDuration NetworkMap::device_hop_latency(core::NodeId device,
+                                                sim::SimTime now) const {
   const auto it = device_hop_latency_.find(device);
-  if (it == device_hop_latency_.end()) return sim::SimTime::zero();
-  return sim::SimTime::nanoseconds(
+  if (it == device_hop_latency_.end()) return sim::SimDuration::zero();
+  return sim::SimDuration::nanos(
       max_in_window(it->second, window_cutoff(now, cfg_.queue_window)));
 }
 
 std::optional<std::int64_t> NetworkMap::fresh_port_max_queue(
-    net::NodeId device, std::int32_t port, sim::SimTime now) const {
+    core::NodeId device, std::int32_t port, sim::SimTime now) const {
   const sim::SimTime cutoff = window_cutoff(now, cfg_.queue_window);
   const auto q = port_queue_.find(PortKey{device, port});
   if (q == port_queue_.end() || q->second.samples.empty() ||
@@ -342,7 +343,7 @@ std::optional<std::int64_t> NetworkMap::fresh_port_max_queue(
   return max_in_window(q->second, cutoff);
 }
 
-std::int64_t NetworkMap::link_max_queue(net::NodeId from, net::NodeId to,
+std::int64_t NetworkMap::link_max_queue(core::NodeId from, core::NodeId to,
                                         sim::SimTime now) const {
   const auto port_it = link_port_.find(LinkKey{from, to});
   if (port_it != link_port_.end()) {

@@ -15,14 +15,14 @@ const char* to_string(PolicyKind kind) {
   return "?";
 }
 
-void IntPolicy::select(net::NodeId device, std::int32_t count,
+void IntPolicy::select(core::NodeId device, std::int32_t count,
                        const std::vector<std::string>& requirements,
                        SelectionHandler handler) {
   (void)device;  // the client stamps its own host id into the request
   client_.query(
       metric_,
       [count, handler = std::move(handler)](const CandidateResponse& resp) {
-        std::vector<net::NodeId> chosen;
+        std::vector<core::NodeId> chosen;
         chosen.reserve(static_cast<std::size_t>(count));
         for (const ServerRank& r : resp.ranked) {
           if (static_cast<std::int32_t>(chosen.size()) >= count) break;
@@ -41,12 +41,12 @@ void IntPolicy::select(net::NodeId device, std::int32_t count,
       requirements);
 }
 
-void DirectIntPolicy::select(net::NodeId device, std::int32_t count,
+void DirectIntPolicy::select(core::NodeId device, std::int32_t count,
                              const std::vector<std::string>& requirements,
                              SelectionHandler handler) {
   const std::vector<ServerRank> ranked =
       service_.rank_for(device, metric_, requirements);
-  std::vector<net::NodeId> chosen;
+  std::vector<core::NodeId> chosen;
   for (const ServerRank& r : ranked) {
     if (static_cast<std::int32_t>(chosen.size()) >= count) break;
     chosen.push_back(r.server);
@@ -60,20 +60,20 @@ void DirectIntPolicy::select(net::NodeId device, std::int32_t count,
 }
 
 NearestPolicy::NearestPolicy(
-    const net::Topology& topology, std::vector<net::NodeId> servers,
-    std::unordered_map<net::NodeId, std::vector<std::string>> capabilities)
+    const net::Topology& topology, std::vector<core::NodeId> servers,
+    std::unordered_map<core::NodeId, std::vector<std::string>> capabilities)
     : servers_{std::move(servers)}, capabilities_{std::move(capabilities)} {
   // Precompute, for every node in the topology, candidate servers sorted
   // by ground-truth path delay (ties by id). This is the "calculated ahead
   // of time" table the paper gives the baseline for free.
-  for (net::NodeId device = 0;
-       device < static_cast<net::NodeId>(topology.node_count()); ++device) {
-    std::vector<net::NodeId> order;
-    for (const net::NodeId s : servers_) {
+  for (std::int32_t d = 0; d < topology.node_count(); ++d) {
+    const core::NodeId device{d};
+    std::vector<core::NodeId> order;
+    for (const core::NodeId s : servers_) {
       if (s != device) order.push_back(s);
     }
     std::sort(order.begin(), order.end(),
-              [&](net::NodeId a, net::NodeId b) {
+              [&](core::NodeId a, core::NodeId b) {
                 const auto da = topology.path_delay(device, a);
                 const auto db = topology.path_delay(device, b);
                 if (da != db) return da < db;
@@ -83,8 +83,8 @@ NearestPolicy::NearestPolicy(
   }
 }
 
-const std::vector<net::NodeId>& NearestPolicy::order_for(
-    net::NodeId device) const {
+const std::vector<core::NodeId>& NearestPolicy::order_for(
+    core::NodeId device) const {
   const auto it = order_.find(device);
   if (it == order_.end()) {
     throw std::invalid_argument("NearestPolicy: unknown device");
@@ -92,7 +92,7 @@ const std::vector<net::NodeId>& NearestPolicy::order_for(
   return it->second;
 }
 
-bool NearestPolicy::satisfies(net::NodeId server,
+bool NearestPolicy::satisfies(core::NodeId server,
                               const std::vector<std::string>& reqs) const {
   if (reqs.empty()) return true;
   const auto it = capabilities_.find(server);
@@ -102,24 +102,24 @@ bool NearestPolicy::satisfies(net::NodeId server,
   });
 }
 
-void NearestPolicy::select(net::NodeId device, std::int32_t count,
+void NearestPolicy::select(core::NodeId device, std::int32_t count,
                            const std::vector<std::string>& requirements,
                            SelectionHandler handler) {
-  std::vector<net::NodeId> order;
-  for (const net::NodeId s : order_for(device)) {
+  std::vector<core::NodeId> order;
+  for (const core::NodeId s : order_for(device)) {
     if (satisfies(s, requirements)) order.push_back(s);
   }
-  std::vector<net::NodeId> chosen;
+  std::vector<core::NodeId> chosen;
   for (std::int32_t i = 0; i < count && !order.empty(); ++i) {
     chosen.push_back(order[static_cast<std::size_t>(i) % order.size()]);
   }
   handler(std::move(chosen));
 }
 
-void RandomPolicy::select(net::NodeId device, std::int32_t count,
+void RandomPolicy::select(core::NodeId device, std::int32_t count,
                           const std::vector<std::string>& requirements,
                           SelectionHandler handler) {
-  const auto qualifies = [&](net::NodeId s) {
+  const auto qualifies = [&](core::NodeId s) {
     if (s == device) return false;
     if (requirements.empty()) return true;
     const auto it = capabilities_.find(s);
@@ -128,11 +128,11 @@ void RandomPolicy::select(net::NodeId device, std::int32_t count,
       return std::ranges::find(it->second, req) != it->second.end();
     });
   };
-  std::vector<net::NodeId> pool;
-  for (const net::NodeId s : servers_) {
+  std::vector<core::NodeId> pool;
+  for (const core::NodeId s : servers_) {
     if (qualifies(s)) pool.push_back(s);
   }
-  std::vector<net::NodeId> chosen;
+  std::vector<core::NodeId> chosen;
   for (std::int32_t i = 0; i < count && !pool.empty(); ++i) {
     // Sample without replacement until the pool runs dry, then reuse.
     if (pool.empty()) break;
@@ -141,7 +141,7 @@ void RandomPolicy::select(net::NodeId device, std::int32_t count,
     chosen.push_back(pool[idx]);
     pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
     if (pool.empty() && static_cast<std::int32_t>(chosen.size()) < count) {
-      for (const net::NodeId s : servers_) {
+      for (const core::NodeId s : servers_) {
         if (qualifies(s)) pool.push_back(s);
       }
     }

@@ -1,24 +1,22 @@
 #include "intsched/core/rank_snapshot.hpp"
 
-// intsched-lint: allow-file(thread-share): sanctioned concurrent component;
-//   see the header and DESIGN.md §10
 
 namespace intsched::core {
 
 RankSnapshot::RankSnapshot(const NetworkMap& map, RankerConfig config)
     : map_{map},
       cfg_{std::move(config)},
-      epoch_{map_.reports_ingested()},
+      epoch_{map_.ingest_epoch()},
       graph_{map_.delay_graph()} {
   // Fix the slot set now, while the snapshot is still thread-private:
   // readers may fill slots concurrently but never add or remove them.
-  for (const net::NodeId n : graph_.nodes()) {
+  for (const core::NodeId n : graph_.nodes()) {
     sp_slots_[n];
   }
 }
 
 const net::ShortestPaths* RankSnapshot::memoized_paths(
-    net::NodeId origin) const {
+    core::NodeId origin) const {
   const auto it = sp_slots_.find(origin);
   if (it == sp_slots_.end()) return nullptr;
   const SpSlot& slot = it->second;
@@ -30,7 +28,7 @@ const net::ShortestPaths* RankSnapshot::memoized_paths(
 }
 
 std::vector<ServerRank> RankSnapshot::rank(
-    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    core::NodeId origin, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
   if (const net::ShortestPaths* sp = memoized_paths(origin)) {
     return rank_candidates(map_, cfg_, *sp, candidates, metric, now);

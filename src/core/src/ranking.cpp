@@ -65,7 +65,7 @@ double QueueToUtilization::utilization(std::int64_t max_queue_pkts) const {
   return points_.back().utilization;  // unreachable
 }
 
-sim::SimTime estimate_k_factor(
+sim::SimDuration estimate_k_factor(
     const std::vector<KCalibrationSample>& samples) {
   double qq = 0.0;
   double qd = 0.0;
@@ -74,18 +74,18 @@ sim::SimTime estimate_k_factor(
     qd += s.max_queue_pkts * s.extra_delay_ms;
   }
   if (qq <= 0.0 || qd <= 0.0) {
-    return sim::SimTime::milliseconds(20);  // paper default: no signal
+    return sim::SimDuration::millis(20);  // paper default: no signal
   }
-  return sim::SimTime::from_seconds(qd / qq * 1e-3);
+  return sim::SimDuration::from_seconds(qd / qq * 1e-3);
 }
 
 std::vector<ServerRank> rank_candidates(
     const NetworkMap& map, const RankerConfig& cfg,
-    const net::ShortestPaths& sp, const std::vector<net::NodeId>& candidates,
+    const net::ShortestPaths& sp, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) {
   std::vector<CandidatePath> paths;
   paths.reserve(candidates.size());
-  for (const net::NodeId server : candidates) {
+  for (const core::NodeId server : candidates) {
     CandidatePath c;
     c.server = server;
     c.path = sp.path_to(server);
@@ -98,18 +98,18 @@ std::vector<ServerRank> rank_candidates(
   return rank_paths(map, cfg, paths, metric, now);
 }
 
-sim::SimTime Ranker::path_delay_estimate(const std::vector<net::NodeId>& path,
+sim::SimDuration Ranker::path_delay_estimate(const std::vector<core::NodeId>& path,
                                          sim::SimTime now) const {
   return estimate_path_delay(*map_, cfg_, path, now);
 }
 
 sim::DataRate Ranker::path_bandwidth_estimate(
-    const std::vector<net::NodeId>& path, sim::SimTime now) const {
+    const std::vector<core::NodeId>& path, sim::SimTime now) const {
   return estimate_path_bandwidth(*map_, cfg_, path, now);
 }
 
 void Ranker::refresh_cache() const {
-  const std::int64_t epoch = map_->reports_ingested();
+  const Epoch epoch = map_->ingest_epoch();
   if (cache_.epoch == epoch) {
     return;
   }
@@ -209,7 +209,7 @@ void Ranker::refresh_cache() const {
 }
 
 const net::ShortestPaths& Ranker::shortest_paths_from(
-    net::NodeId origin) const {
+    core::NodeId origin) const {
   refresh_cache();
   const auto [it, inserted] = cache_.sp_by_origin.try_emplace(origin);
   if (inserted) {
@@ -222,7 +222,7 @@ const net::ShortestPaths& Ranker::shortest_paths_from(
 }
 
 std::vector<ServerRank> Ranker::rank(
-    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    core::NodeId origin, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
   return rank_candidates(*map_, cfg_, shortest_paths_from(origin), candidates,
                          metric, now);

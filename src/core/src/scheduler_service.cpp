@@ -48,7 +48,7 @@ SchedulerService::SchedulerService(transport::HostStack& stack,
 }
 
 void SchedulerService::register_edge_server(
-    net::NodeId server, std::vector<std::string> capabilities) {
+    core::NodeId server, std::vector<std::string> capabilities) {
   if (std::ranges::find(servers_, server) == servers_.end()) {
     servers_.push_back(server);
   }
@@ -60,7 +60,7 @@ void SchedulerService::on_load_report(const LoadReportMessage& report) {
                                   stack_.host().local_time()};
 }
 
-std::int32_t SchedulerService::server_load(net::NodeId server) const {
+std::int32_t SchedulerService::server_load(core::NodeId server) const {
   const auto it = load_.find(server);
   if (it == load_.end()) return 0;
   if (stack_.host().local_time() - it->second.reported_at >
@@ -71,7 +71,7 @@ std::int32_t SchedulerService::server_load(net::NodeId server) const {
 }
 
 bool SchedulerService::satisfies(
-    net::NodeId server, const std::vector<std::string>& reqs) const {
+    core::NodeId server, const std::vector<std::string>& reqs) const {
   if (reqs.empty()) return true;
   const auto it = capabilities_.find(server);
   if (it == capabilities_.end()) return false;
@@ -82,11 +82,11 @@ bool SchedulerService::satisfies(
 }
 
 std::vector<ServerRank> SchedulerService::rank_for(
-    net::NodeId device, RankingMetric metric,
+    core::NodeId device, RankingMetric metric,
     const std::vector<std::string>& requirements) const {
-  std::vector<net::NodeId> candidates;
+  std::vector<core::NodeId> candidates;
   candidates.reserve(servers_.size());
-  for (const net::NodeId s : servers_) {
+  for (const core::NodeId s : servers_) {
     if (s != device && satisfies(s, requirements)) candidates.push_back(s);
   }
   std::vector<ServerRank> ranked =
@@ -168,7 +168,7 @@ void SchedulerService::on_request(const net::Packet& p) {
 }
 
 SchedulerClient::SchedulerClient(transport::HostStack& stack,
-                                 net::NodeId scheduler)
+                                 core::NodeId scheduler)
     : stack_{stack}, scheduler_{scheduler} {
   reply_port_ = stack_.allocate_port();
   stack_.bind_udp(reply_port_,
@@ -216,9 +216,9 @@ void SchedulerClient::send_request(std::uint64_t id) {
 
   // Retry forever with exponential backoff (capped): a query lost to the
   // very congestion being measured must not strand the job.
-  const sim::SimTime delay = std::min(
+  const sim::SimDuration delay = std::min(
       kRetryAfter * (std::int64_t{1} << std::min(p.attempts - 1, 4)),
-      sim::SimTime::seconds(10));
+      sim::SimDuration::secs(10));
   p.retry_timer = stack_.simulator().schedule_after(
       delay, [this, id] { send_request(id); });
 }

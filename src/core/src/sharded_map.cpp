@@ -7,7 +7,7 @@ namespace intsched::core {
 
 RegionAssignment RegionAssignment::from_topology(
     const net::GenTopology& topo) {
-  std::vector<net::RegionId> by_node;
+  std::vector<core::RegionId> by_node;
   by_node.reserve(topo.nodes.size());
   for (const net::GenNode& node : topo.nodes) {
     by_node.push_back(node.region);
@@ -22,8 +22,8 @@ MetroView::MetroView(
     std::shared_ptr<const RegionAssignment> regions,
     std::vector<std::shared_ptr<const RankSnapshot>> region_snaps,
     std::shared_ptr<const NetworkMap> summary_map,
-    std::vector<std::vector<net::NodeId>> borders_by_region,
-    RankerConfig config, std::int64_t epoch)
+    std::vector<std::vector<core::NodeId>> borders_by_region,
+    RankerConfig config, Epoch epoch)
     : regions_{std::move(regions)},
       region_snaps_{std::move(region_snaps)},
       summary_map_{std::move(summary_map)},
@@ -39,16 +39,17 @@ MetroView::MetroView(
   // so construction order — and therefore the graph — is deterministic.
   for (std::size_t r = 0; r < region_snaps_.size(); ++r) {
     const RankSnapshot& snap = *region_snaps_[r];
-    const std::vector<net::NodeId>& borders = borders_by_region_[r];
-    for (const net::NodeId b1 : borders) {
+    const std::vector<core::NodeId>& borders = borders_by_region_[r];
+    for (const core::NodeId b1 : borders) {
       const net::ShortestPaths* sp = snap.paths_from(b1);
       if (sp == nullptr) continue;
-      for (const net::NodeId b2 : borders) {
+      for (const core::NodeId b2 : borders) {
         if (b2 == b1) continue;
         const auto d = sp->distance.find(b2);
         if (d == sp->distance.end()) continue;
         summary_graph_.add_edge(b1, b2, -1, d->second);
-        transit_region_[{b1, b2}] = static_cast<net::RegionId>(r);
+        transit_region_[{b1, b2}] =
+            core::RegionId{static_cast<std::int32_t>(r)};
       }
     }
   }
@@ -57,32 +58,32 @@ MetroView::MetroView(
   // summary's own nodes, so gateway-origin queries resolve too). The
   // slot *set* is fixed here; readers only fill slot contents.
   for (const std::shared_ptr<const RankSnapshot>& snap : region_snaps_) {
-    for (const net::NodeId n : snap->delay_graph().nodes()) {
+    for (const core::NodeId n : snap->delay_graph().nodes()) {
       ctx_slots_.try_emplace(n);
     }
   }
-  for (const net::NodeId n : summary_graph_.nodes()) {
+  for (const core::NodeId n : summary_graph_.nodes()) {
     ctx_slots_.try_emplace(n);
   }
 }
 
-const NetworkMap& MetroView::link_map(net::NodeId from, net::NodeId to) const {
-  const net::RegionId ra = regions_->region_of(from);
-  const net::RegionId rb = regions_->region_of(to);
+const NetworkMap& MetroView::link_map(core::NodeId from, core::NodeId to) const {
+  const core::RegionId ra = regions_->region_of(from);
+  const core::RegionId rb = regions_->region_of(to);
   if (ra == rb && valid_region(ra)) return region_map(ra);
   return *summary_map_;
 }
 
-const NetworkMap& MetroView::device_map(net::NodeId device) const {
-  const net::RegionId r = regions_->region_of(device);
+const NetworkMap& MetroView::device_map(core::NodeId device) const {
+  const core::RegionId r = regions_->region_of(device);
   if (valid_region(r)) return region_map(r);
   return *summary_map_;
 }
 
-std::int64_t MetroView::hier_link_max_queue(net::NodeId from, net::NodeId to,
+std::int64_t MetroView::hier_link_max_queue(core::NodeId from, core::NodeId to,
                                             sim::SimTime now) const {
-  const net::RegionId ra = regions_->region_of(from);
-  const net::RegionId rb = regions_->region_of(to);
+  const core::RegionId ra = regions_->region_of(from);
+  const core::RegionId rb = regions_->region_of(to);
   if (ra == rb && valid_region(ra)) {
     return region_map(ra).link_max_queue(from, to, now);
   }
@@ -97,9 +98,9 @@ std::int64_t MetroView::hier_link_max_queue(net::NodeId from, net::NodeId to,
   return dm.device_max_queue(from, now);
 }
 
-bool MetroView::hier_path_stale(const std::vector<net::NodeId>& path,
+bool MetroView::hier_path_stale(const std::vector<core::NodeId>& path,
                                 sim::SimTime now) const {
-  if (summary_map_->config().link_staleness <= sim::SimTime::zero()) {
+  if (summary_map_->config().link_staleness <= sim::SimDuration::zero()) {
     return false;
   }
   for (std::size_t i = 1; i < path.size(); ++i) {
@@ -110,11 +111,10 @@ bool MetroView::hier_path_stale(const std::vector<net::NodeId>& path,
   return false;
 }
 
-void MetroView::build_context(net::NodeId origin, QueryContext& ctx) const {
+void MetroView::build_context(core::NodeId origin, QueryContext& ctx) const {
   ctx.region = regions_->region_of(origin);
   if (!valid_region(ctx.region)) return;
-  ctx.sp0 = region_snaps_[static_cast<std::size_t>(ctx.region)]->paths_from(
-      origin);
+  ctx.sp0 = region_snaps_[ctx.region.index()]->paths_from(origin);
   if (ctx.sp0 == nullptr) return;
 
   // Summary-level Dijkstra from the origin: copy the augmented summary
@@ -122,8 +122,8 @@ void MetroView::build_context(net::NodeId origin, QueryContext& ctx) const {
   // region-local distances. The copy is small — the summary graph holds
   // only border gateways, not the metro.
   net::Graph g = summary_graph_;
-  for (const net::NodeId b :
-       borders_by_region_[static_cast<std::size_t>(ctx.region)]) {
+  for (const core::NodeId b :
+       borders_by_region_[ctx.region.index()]) {
     const auto d = ctx.sp0->distance.find(b);
     if (d == ctx.sp0->distance.end()) continue;
     g.add_edge(origin, b, -1, d->second);
@@ -133,7 +133,7 @@ void MetroView::build_context(net::NodeId origin, QueryContext& ctx) const {
 }
 
 const MetroView::QueryContext* MetroView::query_context(
-    net::NodeId origin) const {
+    core::NodeId origin) const {
   const auto it = ctx_slots_.find(origin);
   if (it == ctx_slots_.end()) return nullptr;
   const CtxSlot& slot = it->second;
@@ -142,21 +142,21 @@ const MetroView::QueryContext* MetroView::query_context(
   return &slot.ctx;
 }
 
-std::vector<net::NodeId> MetroView::expand_summary_path(
-    const QueryContext& ctx, net::NodeId origin, net::NodeId border) const {
-  std::vector<net::NodeId> out;
-  const std::vector<net::NodeId> spine = ctx.summary_sp.path_to(border);
+std::vector<core::NodeId> MetroView::expand_summary_path(
+    const QueryContext& ctx, core::NodeId origin, core::NodeId border) const {
+  std::vector<core::NodeId> out;
+  const std::vector<core::NodeId> spine = ctx.summary_sp.path_to(border);
   if (spine.empty()) return out;
   out.push_back(origin);
   for (std::size_t i = 1; i < spine.size(); ++i) {
-    const net::NodeId u = spine[i - 1];
-    const net::NodeId v = spine[i];
+    const core::NodeId u = spine[i - 1];
+    const core::NodeId v = spine[i];
     if (u == origin) {
       // Synthetic first edge: splice the region-local path origin..v.
       // (If the origin is itself a summary node, a real edge u->v has
       // the same cost as this splice, so either interpretation is
       // sound.)
-      const std::vector<net::NodeId> seg = ctx.sp0->path_to(v);
+      const std::vector<core::NodeId> seg = ctx.sp0->path_to(v);
       out.insert(out.end(), seg.begin() + 1, seg.end());
       continue;
     }
@@ -164,9 +164,9 @@ std::vector<net::NodeId> MetroView::expand_summary_path(
     if (t != transit_region_.end()) {
       // Transit edge: splice the owning region's path u..v.
       const net::ShortestPaths* sp =
-          region_snaps_[static_cast<std::size_t>(t->second)]->paths_from(u);
+          region_snaps_[t->second.index()]->paths_from(u);
       assert(sp != nullptr);  // transit edges are built from these memos
-      const std::vector<net::NodeId> seg = sp->path_to(v);
+      const std::vector<core::NodeId> seg = sp->path_to(v);
       out.insert(out.end(), seg.begin() + 1, seg.end());
       continue;
     }
@@ -176,11 +176,11 @@ std::vector<net::NodeId> MetroView::expand_summary_path(
 }
 
 CandidatePath MetroView::candidate_path(const QueryContext& ctx,
-                                        net::NodeId origin,
-                                        net::NodeId server) const {
+                                        core::NodeId origin,
+                                        core::NodeId server) const {
   CandidatePath c;
   c.server = server;
-  const net::RegionId rs = regions_->region_of(server);
+  const core::RegionId rs = regions_->region_of(server);
   if (rs == ctx.region) {
     c.path = ctx.sp0->path_to(server);
     const auto d = ctx.sp0->distance.find(server);
@@ -192,30 +192,29 @@ CandidatePath MetroView::candidate_path(const QueryContext& ctx,
   // Cheapest entry border of the server's region: summary distance to the
   // border plus region distance border -> server. Borders are sorted, so
   // "first minimum wins" is the deterministic smallest-id tie-break.
-  const RankSnapshot& snap = *region_snaps_[static_cast<std::size_t>(rs)];
-  net::NodeId best_border = net::kInvalidNode;
-  sim::SimTime best_total = sim::SimTime::max();
+  const RankSnapshot& snap = *region_snaps_[rs.index()];
+  core::NodeId best_border = core::kInvalidNode;
+  sim::SimDuration best_total = sim::SimDuration::max();
   const net::ShortestPaths* best_tail = nullptr;
-  for (const net::NodeId b :
-       borders_by_region_[static_cast<std::size_t>(rs)]) {
+  for (const core::NodeId b : borders_by_region_[rs.index()]) {
     const auto ds = ctx.summary_sp.distance.find(b);
     if (ds == ctx.summary_sp.distance.end()) continue;
     const net::ShortestPaths* tail = snap.paths_from(b);
     if (tail == nullptr) continue;
     const auto dt = tail->distance.find(server);
     if (dt == tail->distance.end()) continue;
-    const sim::SimTime total = ds->second + dt->second;
-    if (best_border == net::kInvalidNode || total < best_total) {
+    const sim::SimDuration total = ds->second + dt->second;
+    if (best_border == core::kInvalidNode || total < best_total) {
       best_border = b;
       best_total = total;
       best_tail = tail;
     }
   }
-  if (best_border == net::kInvalidNode) return c;
+  if (best_border == core::kInvalidNode) return c;
 
   c.baseline_delay = best_total;
   c.path = expand_summary_path(ctx, origin, best_border);
-  const std::vector<net::NodeId> tail_path = best_tail->path_to(server);
+  const std::vector<core::NodeId> tail_path = best_tail->path_to(server);
   if (c.path.empty() || tail_path.empty()) {
     c.path.clear();  // defensive: treat as unreachable
     return c;
@@ -225,12 +224,12 @@ CandidatePath MetroView::candidate_path(const QueryContext& ctx,
 }
 
 std::vector<ServerRank> MetroView::rank(
-    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    core::NodeId origin, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
   std::vector<CandidatePath> paths;
   paths.reserve(candidates.size());
   const QueryContext* ctx = query_context(origin);
-  for (const net::NodeId server : candidates) {
+  for (const core::NodeId server : candidates) {
     if (ctx != nullptr && ctx->valid) {
       paths.push_back(candidate_path(*ctx, origin, server));
     } else {
@@ -243,7 +242,7 @@ std::vector<ServerRank> MetroView::rank(
 }
 
 std::optional<ServerRank> MetroView::pick(
-    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    core::NodeId origin, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now, PickStats* stats) const {
   if (candidates.empty()) return std::nullopt;
   const QueryContext* ctx = query_context(origin);
@@ -261,8 +260,8 @@ std::optional<ServerRank> MetroView::pick(
   }
 
   // Group candidates by region, keeping candidate order within a group.
-  std::map<net::RegionId, std::vector<net::NodeId>> by_region;
-  for (const net::NodeId server : candidates) {
+  std::map<core::RegionId, std::vector<core::NodeId>> by_region;
+  for (const core::NodeId server : candidates) {
     by_region[regions_->region_of(server)].push_back(server);
   }
 
@@ -270,8 +269,8 @@ std::optional<ServerRank> MetroView::pick(
   // through a border, so no server there can beat the cheapest border
   // arrival (queue terms only add). The origin's own region starts at 0.
   struct RegionBound {
-    sim::SimTime bound = sim::SimTime::max();
-    net::RegionId region = net::kNoRegion;
+    sim::SimDuration bound = sim::SimDuration::max();
+    core::RegionId region = core::kNoRegion;
   };
   std::vector<RegionBound> order;
   order.reserve(by_region.size());
@@ -279,10 +278,9 @@ std::optional<ServerRank> MetroView::pick(
     RegionBound rb;
     rb.region = r;
     if (r == ctx->region) {
-      rb.bound = sim::SimTime::zero();
+      rb.bound = sim::SimDuration::zero();
     } else if (valid_region(r)) {
-      for (const net::NodeId b :
-           borders_by_region_[static_cast<std::size_t>(r)]) {
+      for (const core::NodeId b : borders_by_region_[r.index()]) {
         const auto d = ctx->summary_sp.distance.find(b);
         if (d != ctx->summary_sp.distance.end()) {
           rb.bound = std::min(rb.bound, d->second);
@@ -310,9 +308,9 @@ std::optional<ServerRank> MetroView::pick(
     }
     ++local.regions_considered;
     std::vector<CandidatePath> paths;
-    const std::vector<net::NodeId>& group = by_region.at(rb.region);
+    const std::vector<core::NodeId>& group = by_region.at(rb.region);
     paths.reserve(group.size());
-    for (const net::NodeId server : group) {
+    for (const core::NodeId server : group) {
       paths.push_back(candidate_path(*ctx, origin, server));
     }
     local.candidates_scored += static_cast<std::int64_t>(paths.size());
@@ -339,8 +337,8 @@ ShardedNetworkMap::ShardedNetworkMap(RegionAssignment regions,
     : regions_{std::make_shared<const RegionAssignment>(std::move(regions))},
       cfg_{std::move(config)},
       summary_map_{cfg_.map} {
-  const auto n = static_cast<std::size_t>(std::max<net::RegionId>(
-      0, regions_->count()));
+  const auto n = static_cast<std::size_t>(
+      std::max<std::int32_t>(0, regions_->count().value()));
   region_maps_.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
     region_maps_.emplace_back(cfg_.map);
@@ -352,25 +350,24 @@ ShardedNetworkMap::ShardedNetworkMap(RegionAssignment regions,
   publish_locked();  // empty epoch-0 view so view() is never null
 }
 
-void ShardedNetworkMap::learn_pair_locked(net::NodeId from, net::NodeId to,
+void ShardedNetworkMap::learn_pair_locked(core::NodeId from, core::NodeId to,
                                           std::int32_t out_port,
-                                          sim::SimTime delay_sample,
+                                          sim::SimDuration delay_sample,
                                           sim::SimTime now) {
-  const net::RegionId ra = regions_->region_of(from);
-  const net::RegionId rb = regions_->region_of(to);
+  const core::RegionId ra = regions_->region_of(from);
+  const core::RegionId rb = regions_->region_of(to);
   const auto n = region_maps_.size();
-  if (ra == rb && ra >= 0 && static_cast<std::size_t>(ra) < n) {
-    region_maps_[static_cast<std::size_t>(ra)].learn_link(
-        from, to, out_port, delay_sample, now);
-    touched_[static_cast<std::size_t>(ra)] = 1;
+  if (ra == rb && ra.valid() && ra.index() < n) {
+    region_maps_[ra.index()].learn_link(from, to, out_port, delay_sample,
+                                        now);
+    touched_[ra.index()] = 1;
     return;
   }
   summary_map_.learn_link(from, to, out_port, delay_sample, now);
   touched_[n] = 1;
-  const auto note_border = [this, n](net::RegionId r, net::NodeId node) {
-    if (r < 0 || static_cast<std::size_t>(r) >= n) return;
-    std::vector<net::NodeId>& borders =
-        borders_by_region_[static_cast<std::size_t>(r)];
+  const auto note_border = [this, n](core::RegionId r, core::NodeId node) {
+    if (!r.valid() || r.index() >= n) return;
+    std::vector<core::NodeId>& borders = borders_by_region_[r.index()];
     const auto it = std::lower_bound(borders.begin(), borders.end(), node);
     if (it == borders.end() || *it != node) borders.insert(it, node);
   };
@@ -384,22 +381,21 @@ void ShardedNetworkMap::apply_report_locked(
 
   // Same walk as NetworkMap::ingest, with each step routed to the owning
   // shard (see that function for the semantics of every step).
-  net::NodeId upstream = report.src;
+  core::NodeId upstream = report.src;
   std::int32_t upstream_port = 0;
   for (const auto& e : report.entries) {
-    if (e.device < 0) {
+    if (!e.device.valid()) {
       ++rejected_;
       continue;
     }
     learn_pair_locked(upstream, e.device, upstream_port,
                       e.ingress_link_latency, now);
     learn_pair_locked(e.device, upstream, e.ingress_port,
-                      sim::SimTime::nanoseconds(-1), now);
-    const net::RegionId rd = regions_->region_of(e.device);
-    if (rd >= 0 && static_cast<std::size_t>(rd) < region_maps_.size()) {
-      region_maps_[static_cast<std::size_t>(rd)].record_entry_telemetry(e,
-                                                                        now);
-      touched_[static_cast<std::size_t>(rd)] = 1;
+                      sim::SimDuration::nanos(-1), now);
+    const core::RegionId rd = regions_->region_of(e.device);
+    if (rd.valid() && rd.index() < region_maps_.size()) {
+      region_maps_[rd.index()].record_entry_telemetry(e, now);
+      touched_[rd.index()] = 1;
     } else {
       summary_map_.record_entry_telemetry(e, now);
       touched_[region_maps_.size()] = 1;
@@ -410,7 +406,7 @@ void ShardedNetworkMap::apply_report_locked(
   if (upstream != report.src) {
     learn_pair_locked(upstream, report.dst, upstream_port,
                       report.final_link_latency, now);
-    learn_pair_locked(report.dst, upstream, 0, sim::SimTime::nanoseconds(-1),
+    learn_pair_locked(report.dst, upstream, 0, sim::SimDuration::nanos(-1),
                       now);
   }
 
@@ -434,7 +430,7 @@ void ShardedNetworkMap::publish_locked() {
   std::vector<std::size_t> dirty;
   for (std::size_t r = 0; r < region_maps_.size(); ++r) {
     if (last_snaps_[r] == nullptr ||
-        last_snaps_[r]->epoch() != region_maps_[r].reports_ingested()) {
+        last_snaps_[r]->epoch() != region_maps_[r].ingest_epoch()) {
       dirty.push_back(r);
     }
   }
@@ -458,14 +454,14 @@ void ShardedNetworkMap::publish_locked() {
     snapshot_builds_ += static_cast<std::int64_t>(dirty.size());
   }
   if (last_summary_ == nullptr ||
-      last_summary_epoch_ != summary_map_.reports_ingested()) {
+      last_summary_epoch_ != summary_map_.ingest_epoch()) {
     last_summary_ = std::make_shared<const NetworkMap>(summary_map_);
-    last_summary_epoch_ = summary_map_.reports_ingested();
+    last_summary_epoch_ = summary_map_.ingest_epoch();
   }
 
   view_.store(std::make_shared<const MetroView>(
                   regions_, last_snaps_, last_summary_, borders_by_region_,
-                  cfg_.ranker, reports_),
+                  cfg_.ranker, Epoch{reports_}),
               std::memory_order_release);
   ++publishes_;
 }
@@ -487,24 +483,24 @@ void ShardedNetworkMap::ingest_batch(
 }
 
 std::vector<ServerRank> ShardedNetworkMap::rank(
-    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    core::NodeId origin, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);  // intsched-lint: allow(atomic-ordering): counter bump
+  queries_.fetch_add(1, std::memory_order_relaxed);
   const std::shared_ptr<const MetroView> v =
       view_.load(std::memory_order_acquire);
   return v->rank(origin, candidates, metric, now);
 }
 
 std::optional<ServerRank> ShardedNetworkMap::pick(
-    net::NodeId origin, const std::vector<net::NodeId>& candidates,
+    core::NodeId origin, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now, PickStats* stats) const {
-  queries_.fetch_add(1, std::memory_order_relaxed);  // intsched-lint: allow(atomic-ordering): counter bump
+  queries_.fetch_add(1, std::memory_order_relaxed);
   const std::shared_ptr<const MetroView> v =
       view_.load(std::memory_order_acquire);
   return v->pick(origin, candidates, metric, now, stats);
 }
 
-void ShardedNetworkMap::set_k_factor(sim::SimTime k) {
+void ShardedNetworkMap::set_k_factor(sim::SimDuration k) {
   LockGuard lock{mutex_};
   cfg_.ranker.k_factor = k;
   // Cached state must never outlive the config it was computed under:

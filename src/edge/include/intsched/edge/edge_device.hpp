@@ -25,7 +25,7 @@ class EdgeDevice {
   EdgeDevice(const EdgeDevice&) = delete;
   EdgeDevice& operator=(const EdgeDevice&) = delete;
 
-  [[nodiscard]] net::NodeId id() const { return stack_.host().id(); }
+  [[nodiscard]] core::NodeId id() const { return stack_.host().id(); }
 
   /// Submits a job (all of its tasks at once). The job's submitter must be
   /// this device.
@@ -43,8 +43,8 @@ class EdgeDevice {
   }
 
  private:
-  void dispatch(const JobSpec& job, std::vector<net::NodeId> servers);
-  void start_transfer(const TaskSpec& task, net::NodeId server);
+  void dispatch(const JobSpec& job, std::vector<core::NodeId> servers);
+  void start_transfer(const TaskSpec& task, core::NodeId server);
   void on_done_message(const net::Packet& p);
 
   transport::HostStack& stack_;

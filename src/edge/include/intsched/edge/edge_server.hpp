@@ -31,13 +31,13 @@ class EdgeServer {
   EdgeServer(const EdgeServer&) = delete;
   EdgeServer& operator=(const EdgeServer&) = delete;
 
-  [[nodiscard]] net::NodeId id() const { return stack_.host().id(); }
+  [[nodiscard]] core::NodeId id() const { return stack_.host().id(); }
 
   /// Compute-aware extension (paper §VI): periodically reports this
   /// server's outstanding task count to the scheduler.
   void enable_load_reports(
-      net::NodeId scheduler,
-      sim::SimTime interval = sim::SimTime::milliseconds(500));
+      core::NodeId scheduler,
+      sim::SimDuration interval = sim::SimDuration::millis(500));
   void disable_load_reports();
 
   /// Tasks currently running plus queued.
@@ -53,11 +53,11 @@ class EdgeServer {
  private:
   struct PendingTask {
     TaskSpec spec;
-    net::NodeId submitter = net::kInvalidNode;
+    core::NodeId submitter = core::kInvalidNode;
     net::PortNumber done_port = 0;
   };
 
-  void on_task_arrival(net::NodeId peer, sim::Bytes bytes,
+  void on_task_arrival(core::NodeId peer, sim::Bytes bytes,
                        const std::shared_ptr<const net::AppMessage>& msg);
   void maybe_start_next();
   void execute(PendingTask task);
@@ -72,7 +72,7 @@ class EdgeServer {
   /// deferred callback so destroying the server mid-simulation is safe.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   sim::PeriodicHandle load_report_timer_;
-  net::NodeId load_report_target_ = net::kInvalidNode;
+  core::NodeId load_report_target_ = core::kInvalidNode;
   std::unique_ptr<transport::TcpListener> listener_;
   std::deque<PendingTask> waiting_;
   /// Done notifications awaiting device acknowledgement.

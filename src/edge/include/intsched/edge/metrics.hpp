@@ -48,11 +48,11 @@ struct TaskRecord {
   std::int64_t job_id = 0;
   std::int32_t task_index = 0;
   TaskClass cls = TaskClass::kVerySmall;
-  net::NodeId device = net::kInvalidNode;
-  net::NodeId server = net::kInvalidNode;
+  core::NodeId device = core::kInvalidNode;
+  core::NodeId server = core::kInvalidNode;
 
   sim::Bytes data_bytes = 0;
-  sim::SimTime exec_time = sim::SimTime::zero();
+  sim::SimDuration exec_time = sim::SimDuration::zero();
 
   sim::SimTime submitted = sim::SimTime::nanoseconds(-1);
   sim::SimTime scheduled = sim::SimTime::nanoseconds(-1);
@@ -65,11 +65,11 @@ struct TaskRecord {
     return completed >= sim::SimTime::zero();
   }
   /// End-device to edge-server data movement time (Fig. 7's metric).
-  [[nodiscard]] sim::SimTime transfer_time() const {
+  [[nodiscard]] sim::SimDuration transfer_time() const {
     return transfer_end - transfer_start;
   }
   /// Submit-to-notification turnaround (Figs. 5/6 metric).
-  [[nodiscard]] sim::SimTime completion_time() const {
+  [[nodiscard]] sim::SimDuration completion_time() const {
     return completed - submitted;
   }
 };
@@ -79,7 +79,7 @@ struct TaskRecord {
 class MetricsCollector {
  public:
   /// Registers a task at submission. Asserts the key is fresh.
-  TaskRecord& open(const TaskSpec& spec, net::NodeId device);
+  TaskRecord& open(const TaskSpec& spec, core::NodeId device);
 
   [[nodiscard]] TaskRecord& at(std::int64_t job_id, std::int32_t task_index);
   [[nodiscard]] const TaskRecord* find(std::int64_t job_id,

@@ -25,8 +25,8 @@ inline constexpr std::array<TaskClass, 4> kAllTaskClasses = {
 struct TaskClassSpec {
   sim::Bytes data_min = 0;
   sim::Bytes data_max = 0;
-  sim::SimTime exec_min = sim::SimTime::zero();
-  sim::SimTime exec_max = sim::SimTime::zero();
+  sim::SimDuration exec_min = sim::SimDuration::zero();
+  sim::SimDuration exec_max = sim::SimDuration::zero();
 };
 
 /// Table I, verbatim: VS 0-1000 KB / 0-2000 ms, S 1500-2500 KB /
@@ -42,7 +42,7 @@ struct TaskSpec {
   std::int32_t task_index = 0;
   TaskClass cls = TaskClass::kVerySmall;
   sim::Bytes data_bytes = 0;
-  sim::SimTime exec_time = sim::SimTime::zero();
+  sim::SimDuration exec_time = sim::SimDuration::zero();
   /// Hardware/software the executing server must provide (paper §VI
   /// future work: "tasks may have certain hardware (e.g., GPU) or software
   /// (e.g., Keras) requirements"). Empty = any server qualifies.
@@ -57,7 +57,7 @@ struct TaskSpec {
 /// so the edge server knows what to execute and whom to notify.
 struct TaskDescriptor : net::AppMessage {
   TaskSpec spec;
-  net::NodeId submitter = net::kInvalidNode;
+  core::NodeId submitter = core::kInvalidNode;
   net::PortNumber done_port = 0;  ///< where the completion message goes
 };
 
@@ -67,7 +67,7 @@ struct TaskDescriptor : net::AppMessage {
 struct TaskDoneMessage : net::AppMessage {
   std::int64_t job_id = 0;
   std::int32_t task_index = 0;
-  net::NodeId server = net::kInvalidNode;
+  core::NodeId server = core::kInvalidNode;
 };
 
 /// Device -> edge server acknowledgement of a TaskDoneMessage.

@@ -21,7 +21,7 @@ struct JobSpec {
   std::int64_t job_id = 0;
   WorkloadKind kind = WorkloadKind::kServerless;
   TaskClass cls = TaskClass::kVerySmall;
-  net::NodeId submitter = net::kInvalidNode;
+  core::NodeId submitter = core::kInvalidNode;
   sim::SimTime submit_at = sim::SimTime::zero();
   std::vector<TaskSpec> tasks;
 };
@@ -34,7 +34,7 @@ struct WorkloadConfig {
   std::int32_t total_tasks = 200;
   /// Jobs are submitted this far apart (uniform jitter of +-25% applied so
   /// arrivals do not beat against probe timers).
-  sim::SimTime job_interval = sim::SimTime::seconds(2);
+  sim::SimDuration job_interval = sim::SimDuration::secs(2);
   sim::SimTime first_submit = sim::SimTime::seconds(5);
   /// Restrict to one class, or cycle through all four when empty.
   std::vector<TaskClass> classes = {kAllTaskClasses.begin(),
@@ -47,7 +47,7 @@ struct WorkloadConfig {
 /// per-class averages from one mixed run). Two generators with equal seeds
 /// produce identical schedules — the fairness rule for comparing policies.
 [[nodiscard]] std::vector<JobSpec> generate_workload(
-    const WorkloadConfig& config, const std::vector<net::NodeId>& submitters,
+    const WorkloadConfig& config, const std::vector<core::NodeId>& submitters,
     sim::Rng& rng);
 
 /// O(1)-per-task streaming counterpart of generate_workload for
@@ -59,17 +59,17 @@ class MetroTaskStream {
  public:
   struct Task {
     std::int64_t task_id = 0;
-    net::NodeId submitter = net::kInvalidNode;
+    core::NodeId submitter = core::kInvalidNode;
     TaskClass cls = TaskClass::kVerySmall;
   };
 
-  MetroTaskStream(std::uint64_t seed, std::vector<net::NodeId> submitters);
+  MetroTaskStream(std::uint64_t seed, std::vector<core::NodeId> submitters);
 
   [[nodiscard]] Task next();
   [[nodiscard]] std::int64_t emitted() const { return next_id_; }
 
  private:
-  std::vector<net::NodeId> submitters_;
+  std::vector<core::NodeId> submitters_;
   sim::Rng rng_;
   std::int64_t next_id_ = 0;
 };

@@ -26,13 +26,13 @@ void EdgeDevice::submit(const JobSpec& job) {
   }
   policy_.select(id(), static_cast<std::int32_t>(job.tasks.size()),
                  job.tasks.front().requirements,
-                 [this, job](std::vector<net::NodeId> servers) {
+                 [this, job](std::vector<core::NodeId> servers) {
                    dispatch(job, std::move(servers));
                  });
 }
 
 void EdgeDevice::dispatch(const JobSpec& job,
-                          std::vector<net::NodeId> servers) {
+                          std::vector<core::NodeId> servers) {
   const sim::SimTime now = stack_.simulator().now();
   if (servers.empty()) {
     sim::Log::log(sim::LogLevel::kWarn, now, "edge-device",
@@ -41,7 +41,7 @@ void EdgeDevice::dispatch(const JobSpec& job,
   }
   for (std::size_t i = 0; i < job.tasks.size(); ++i) {
     const TaskSpec& task = job.tasks[i];
-    const net::NodeId server = servers[i % servers.size()];
+    const core::NodeId server = servers[i % servers.size()];
     TaskRecord& r = metrics_.at(task.job_id, task.task_index);
     r.scheduled = now;
     r.server = server;
@@ -49,7 +49,7 @@ void EdgeDevice::dispatch(const JobSpec& job,
   }
 }
 
-void EdgeDevice::start_transfer(const TaskSpec& task, net::NodeId server) {
+void EdgeDevice::start_transfer(const TaskSpec& task, core::NodeId server) {
   auto desc = std::make_shared<TaskDescriptor>();
   desc->spec = task;
   desc->submitter = id();
@@ -60,7 +60,7 @@ void EdgeDevice::start_transfer(const TaskSpec& task, net::NodeId server) {
   const auto key = std::make_pair(task.job_id, task.task_index);
   sender->set_completion_handler([this, key](transport::TcpSender&) {
     // Deferred erase: the sender is mid-callback; destroy it next event.
-    stack_.simulator().schedule_after(sim::SimTime::zero(),
+    stack_.simulator().schedule_after(sim::SimDuration::zero(),
                                       [this, key] { senders_.erase(key); });
   });
 

@@ -11,7 +11,7 @@ EdgeServer::EdgeServer(transport::HostStack& stack,
     : stack_{stack}, metrics_{metrics}, cfg_{config} {
   listener_ = std::make_unique<transport::TcpListener>(
       stack_, net::kTaskPort,
-      [this](net::NodeId peer, sim::Bytes bytes,
+      [this](core::NodeId peer, sim::Bytes bytes,
              std::shared_ptr<const net::AppMessage> msg) {
         on_task_arrival(peer, bytes, msg);
       });
@@ -25,12 +25,12 @@ EdgeServer::~EdgeServer() {
   stack_.unbind_udp(net::kTaskPort);
 }
 
-void EdgeServer::enable_load_reports(net::NodeId scheduler,
-                                     sim::SimTime interval) {
+void EdgeServer::enable_load_reports(core::NodeId scheduler,
+                                     sim::SimDuration interval) {
   disable_load_reports();
   load_report_target_ = scheduler;
   load_report_timer_ = stack_.simulator().schedule_periodic(
-      sim::SimTime::zero(), interval, [this] {
+      sim::SimDuration::zero(), interval, [this] {
         auto report = std::make_shared<core::LoadReportMessage>();
         report->server = id();
         report->outstanding_tasks = outstanding_tasks();
@@ -49,7 +49,7 @@ void EdgeServer::on_done_ack(const net::Packet& p) {
 }
 
 void EdgeServer::on_task_arrival(
-    net::NodeId peer, sim::Bytes bytes,
+    core::NodeId peer, sim::Bytes bytes,
     const std::shared_ptr<const net::AppMessage>& msg) {
   (void)bytes;
   const auto* desc = dynamic_cast<const TaskDescriptor*>(msg.get());
@@ -77,7 +77,7 @@ void EdgeServer::maybe_start_next() {
 void EdgeServer::execute(PendingTask task) {
   ++running_;
   high_water_ = std::max<std::int64_t>(high_water_, running_);
-  const sim::SimTime exec_time = task.spec.exec_time;
+  const sim::SimDuration exec_time = task.spec.exec_time;
   stack_.simulator().schedule_after(
       exec_time, [this, alive = alive_, task = std::move(task)] {
         if (!*alive) return;
@@ -108,9 +108,9 @@ void EdgeServer::send_done(const PendingTask& task, std::int32_t attempt) {
   // Unbounded retransmission with exponential backoff (capped at 10 s):
   // congestion hotspots move, so delivery eventually succeeds, and a task
   // must never be lost to a dropped notification.
-  const sim::SimTime delay =
-      std::min(sim::SimTime::seconds(1) * (std::int64_t{1} << std::min(attempt, 4)),
-               sim::SimTime::seconds(10));
+  const sim::SimDuration delay = std::min(
+      sim::SimDuration::secs(1) * (std::int64_t{1} << std::min(attempt, 4)),
+      sim::SimDuration::secs(10));
   stack_.simulator().schedule_after(
       delay, [this, alive = alive_, task, attempt] {
         if (!*alive) return;

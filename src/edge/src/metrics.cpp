@@ -19,7 +19,7 @@ std::string to_string(const DegradationCounters& c) {
                   " fallbacks=", c.fallback_decisions);
 }
 
-TaskRecord& MetricsCollector::open(const TaskSpec& spec, net::NodeId device) {
+TaskRecord& MetricsCollector::open(const TaskSpec& spec, core::NodeId device) {
   const auto key = std::make_pair(spec.job_id, spec.task_index);
   const auto [it, inserted] = records_.try_emplace(key);
   if (!inserted) {

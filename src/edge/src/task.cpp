@@ -25,17 +25,17 @@ const char* short_name(TaskClass cls) {
 const TaskClassSpec& task_class_spec(TaskClass cls) {
   static const TaskClassSpec specs[] = {
       // VS: 0-1000 KB, 0-2000 ms (1 KB floor so transfers are non-empty).
-      {1 * sim::kKB, 1000 * sim::kKB, sim::SimTime::zero(),
-       sim::SimTime::milliseconds(2000)},
+      {1 * sim::kKB, 1000 * sim::kKB, sim::SimDuration::zero(),
+       sim::SimDuration::millis(2000)},
       // S: 1500-2500 KB, 2500-4500 ms.
-      {1500 * sim::kKB, 2500 * sim::kKB, sim::SimTime::milliseconds(2500),
-       sim::SimTime::milliseconds(4500)},
+      {1500 * sim::kKB, 2500 * sim::kKB, sim::SimDuration::millis(2500),
+       sim::SimDuration::millis(4500)},
       // M: 3000-4000 KB, 5000-7000 ms.
-      {3000 * sim::kKB, 4000 * sim::kKB, sim::SimTime::milliseconds(5000),
-       sim::SimTime::milliseconds(7000)},
+      {3000 * sim::kKB, 4000 * sim::kKB, sim::SimDuration::millis(5000),
+       sim::SimDuration::millis(7000)},
       // L: 4500-5500 KB, 7500-9500 ms.
-      {4500 * sim::kKB, 5500 * sim::kKB, sim::SimTime::milliseconds(7500),
-       sim::SimTime::milliseconds(9500)},
+      {4500 * sim::kKB, 5500 * sim::kKB, sim::SimDuration::millis(7500),
+       sim::SimDuration::millis(9500)},
   };
   return specs[static_cast<std::size_t>(cls)];
 }
@@ -48,7 +48,7 @@ TaskSpec sample_task(TaskClass cls, std::int64_t job_id,
   task.task_index = task_index;
   task.cls = cls;
   task.data_bytes = rng.uniform_int(spec.data_min, spec.data_max);
-  task.exec_time = sim::SimTime::nanoseconds(
+  task.exec_time = sim::SimDuration::nanos(
       rng.uniform_int(spec.exec_min.ns(), spec.exec_max.ns()));
   return task;
 }

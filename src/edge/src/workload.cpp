@@ -18,7 +18,7 @@ std::int32_t tasks_per_job(WorkloadKind kind) {
 }
 
 std::vector<JobSpec> generate_workload(
-    const WorkloadConfig& config, const std::vector<net::NodeId>& submitters,
+    const WorkloadConfig& config, const std::vector<core::NodeId>& submitters,
     sim::Rng& rng) {
   if (submitters.empty()) {
     throw std::invalid_argument("generate_workload: no submitters");
@@ -48,14 +48,14 @@ std::vector<JobSpec> generate_workload(
     jobs.push_back(std::move(job));
 
     const double jitter = rng.uniform_real(0.75, 1.25);
-    at += sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+    at += sim::SimDuration::nanos(static_cast<std::int64_t>(
         static_cast<double>(config.job_interval.ns()) * jitter));
   }
   return jobs;
 }
 
 MetroTaskStream::MetroTaskStream(std::uint64_t seed,
-                                 std::vector<net::NodeId> submitters)
+                                 std::vector<core::NodeId> submitters)
     : submitters_{std::move(submitters)},
       rng_{sim::Rng::derive(seed, "metro.tasks")} {}
 

@@ -61,9 +61,9 @@ class BackgroundTraffic {
     bool stopped = false;
   };
 
-  void schedule_cycle(std::size_t slot, sim::SimTime at);
-  void begin_flow(std::size_t slot, sim::SimTime on_duration,
-                  sim::SimTime off_duration);
+  void schedule_cycle(std::size_t slot, sim::SimDuration at);
+  void begin_flow(std::size_t slot, sim::SimDuration on_duration,
+                  sim::SimDuration off_duration);
 
   sim::Simulator& sim_;
   std::vector<transport::HostStack*> hosts_;

@@ -20,7 +20,7 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   core::PolicyKind policy = core::PolicyKind::kIntDelay;
   edge::WorkloadConfig workload{};
-  sim::SimTime probe_interval = sim::SimTime::milliseconds(100);
+  sim::SimDuration probe_interval = sim::SimDuration::millis(100);
   /// Probe-route optimization (the paper's future work): source-route
   /// probes so every switch-to-switch link is measured. Off = the paper's
   /// shortest-path probing.
@@ -33,7 +33,7 @@ struct ExperimentConfig {
   /// every edge server also streams load reports to the scheduler.
   core::SchedulerConfig scheduler{};
   /// Hard stop even if tasks are still pending (lost-completion safety).
-  sim::SimTime max_duration = sim::SimTime::seconds(3600);
+  sim::SimDuration max_duration = sim::SimDuration::secs(3600);
   /// Fault injection (off by default). When enabled() the run gets a
   /// FaultPlan armed on the Fig.-4 topology; disabled configs take the
   /// exact seed code paths and produce byte-identical results.
@@ -41,14 +41,14 @@ struct ExperimentConfig {
   /// Link-telemetry staleness window for the scheduler's map. Zero keeps
   /// the seed behaviour (estimates never expire); fault runs typically set
   /// a few probe intervals so dead paths are detected.
-  sim::SimTime telemetry_staleness = sim::SimTime::zero();
+  sim::SimDuration telemetry_staleness = sim::SimDuration::zero();
 };
 
 struct ExperimentResult {
   edge::MetricsCollector metrics;
   std::int64_t tasks_total = 0;
   std::int64_t tasks_completed = 0;
-  sim::SimTime sim_duration = sim::SimTime::zero();
+  sim::SimDuration sim_duration = sim::SimDuration::zero();
   std::int64_t events_executed = 0;
 
   // Infrastructure counters for overhead analysis / sanity checks.

@@ -19,7 +19,7 @@ struct FaultSweepConfig {
   std::vector<double> drop_rates{0.0, 0.05, 0.2, 0.5};
   /// Staleness window applied to every arm (including the baseline, so the
   /// arms differ only in injected loss). Zero = derive 5x probe interval.
-  sim::SimTime staleness = sim::SimTime::zero();
+  sim::SimDuration staleness = sim::SimDuration::zero();
   /// Worker threads for the sweep (each drop rate is an independent
   /// deterministic trial). 1 = serial; 0 = hardware concurrency. The row
   /// order — and every byte of the result — is independent of this value.

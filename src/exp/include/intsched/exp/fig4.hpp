@@ -47,17 +47,17 @@ class Fig4Network {
   /// Node 6 (index 5) per the paper.
   [[nodiscard]] net::Host& scheduler_host() const { return *hosts_[5]; }
 
-  [[nodiscard]] std::vector<net::NodeId> host_ids() const;
+  [[nodiscard]] std::vector<core::NodeId> host_ids() const;
 
   /// Directed switch-to-switch and switch-to-host links traversed by at
   /// least one host->scheduler probe path — what INT can actually observe
   /// under the paper's probing pattern.
-  [[nodiscard]] std::set<std::pair<net::NodeId, net::NodeId>>
+  [[nodiscard]] std::set<std::pair<core::NodeId, core::NodeId>>
   probe_covered_links() const;
 
   /// All directed switch-to-switch links (the coverage target for probe
   /// routing; host downlinks cannot be covered by scheduler-bound probes).
-  [[nodiscard]] std::set<std::pair<net::NodeId, net::NodeId>>
+  [[nodiscard]] std::set<std::pair<core::NodeId, core::NodeId>>
   switch_links() const;
 
   /// Probe-route optimization (the paper's §III-A future work): greedily
@@ -65,13 +65,13 @@ class Fig4Network {
   /// paths covers every directed switch-to-switch link. Returns waypoint
   /// lists per host id (empty list = default shortest path). Ordered map
   /// so iterating the plan (probe scheduling, reports) is deterministic.
-  [[nodiscard]] std::map<net::NodeId, std::vector<net::NodeId>>
+  [[nodiscard]] std::map<core::NodeId, std::vector<core::NodeId>>
   plan_probe_routes() const;
 
   /// Full node sequence a probe from `host` takes through `waypoints` to
   /// the scheduler (ground-truth routing).
-  [[nodiscard]] std::vector<net::NodeId> probe_route(
-      net::NodeId host, const std::vector<net::NodeId>& waypoints) const;
+  [[nodiscard]] std::vector<core::NodeId> probe_route(
+      core::NodeId host, const std::vector<core::NodeId>& waypoints) const;
 
  private:
   net::Topology topology_;

@@ -18,16 +18,16 @@ class FlowMonitor {
  public:
   struct Sample {
     sim::SimTime at;
-    net::NodeId node = net::kInvalidNode;
+    core::NodeId node = core::kInvalidNode;
     std::int32_t port = -1;
-    net::NodeId peer = net::kInvalidNode;
+    core::NodeId peer = core::kInvalidNode;
     double utilization = 0.0;  ///< busy fraction within the interval
     std::int64_t tx_packets = 0;
     std::int64_t drops = 0;
     std::int64_t queue_depth = 0;
   };
 
-  FlowMonitor(net::Topology& topology, sim::SimTime interval);
+  FlowMonitor(net::Topology& topology, sim::SimDuration interval);
   ~FlowMonitor() { stop(); }
   FlowMonitor(const FlowMonitor&) = delete;
   FlowMonitor& operator=(const FlowMonitor&) = delete;
@@ -40,7 +40,7 @@ class FlowMonitor {
   }
 
   /// Peak utilization seen on any port of the node across all samples.
-  [[nodiscard]] double peak_utilization(net::NodeId node) const;
+  [[nodiscard]] double peak_utilization(core::NodeId node) const;
 
   /// Writes "time_s,node,port,peer,utilization,tx_packets,drops,queue".
   void write_csv(std::ostream& os) const;
@@ -49,7 +49,7 @@ class FlowMonitor {
   struct PortState {
     net::Node* node = nullptr;
     std::int32_t port = -1;
-    sim::SimTime last_busy = sim::SimTime::zero();
+    sim::SimDuration last_busy = sim::SimDuration::zero();
     std::int64_t last_tx = 0;
     std::int64_t last_drops = 0;
   };
@@ -57,7 +57,7 @@ class FlowMonitor {
   void sample_all();
 
   net::Topology& topology_;
-  sim::SimTime interval_;
+  sim::SimDuration interval_;
   sim::PeriodicHandle timer_;
   std::vector<PortState> ports_;
   std::vector<Sample> samples_;

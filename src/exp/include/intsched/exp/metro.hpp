@@ -68,20 +68,20 @@ class MetroTelemetryGen {
   /// gets its delay measured.
   [[nodiscard]] telemetry::ProbeReport probe_over_link(std::size_t link_index,
                                                       bool forward);
-  [[nodiscard]] sim::SimTime link_base_delay(net::NodeId a,
-                                             net::NodeId b) const;
+  [[nodiscard]] sim::SimDuration link_base_delay(core::NodeId a,
+                                             core::NodeId b) const;
 
   net::GenTopology topo_;
   MetroTelemetryConfig cfg_;
   sim::Rng rng_;
   /// Sorted undirected adjacency (BFS determinism).
-  std::vector<std::vector<net::NodeId>> adj_;
+  std::vector<std::vector<core::NodeId>> adj_;
   /// Directed (from, to) -> egress port, mirroring GenTopology::graph().
-  std::map<std::pair<net::NodeId, net::NodeId>, std::int32_t> ports_;
+  std::map<std::pair<core::NodeId, core::NodeId>, std::int32_t> ports_;
   /// Base delay per undirected pair (symmetric).
-  std::map<std::pair<net::NodeId, net::NodeId>, sim::SimTime> delays_;
+  std::map<std::pair<core::NodeId, core::NodeId>, sim::SimDuration> delays_;
   /// anchor_[n]: node path nearest-host .. n (just [n] for hosts).
-  std::vector<std::vector<net::NodeId>> anchor_;
+  std::vector<std::vector<core::NodeId>> anchor_;
   /// Standing congestion level per node (0 = uncongested).
   std::vector<std::int64_t> congestion_;
 };

@@ -12,7 +12,6 @@
 //
 // Threading primitives are deliberately confined to sweep_runner.{hpp,cpp};
 // detlint's thread-share rule flags them anywhere else in the tree.
-// intsched-lint: allow-file(thread-share): this IS the thread-pool boundary
 
 #include <cstddef>
 #include <functional>

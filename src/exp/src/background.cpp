@@ -38,19 +38,19 @@ void BackgroundTraffic::start() {
       // Slot 0 runs back-to-back flows; slot 1 alternates flow/idle, so
       // 1-2 flows are live at any instant.
       slots_.resize(2);
-      schedule_cycle(0, sim::SimTime::zero());
-      schedule_cycle(1, sim::SimTime::zero());
+      schedule_cycle(0, sim::SimDuration::zero());
+      schedule_cycle(1, sim::SimDuration::zero());
       break;
     case BackgroundMode::kPattern1:
       slots_.resize(3);
       for (std::size_t s = 0; s < 3; ++s) {
-        schedule_cycle(s, sim::SimTime::seconds(10 * static_cast<int>(s)));
+        schedule_cycle(s, sim::SimDuration::secs(10 * static_cast<int>(s)));
       }
       break;
     case BackgroundMode::kPattern2:
       slots_.resize(3);
       for (std::size_t s = 0; s < 3; ++s) {
-        schedule_cycle(s, sim::SimTime::seconds(3 * static_cast<int>(s)));
+        schedule_cycle(s, sim::SimDuration::secs(3 * static_cast<int>(s)));
       }
       break;
   }
@@ -64,33 +64,36 @@ void BackgroundTraffic::stop() {
   }
 }
 
-void BackgroundTraffic::schedule_cycle(std::size_t slot, sim::SimTime at) {
+void BackgroundTraffic::schedule_cycle(std::size_t slot,
+                                       sim::SimDuration at) {
   sim_.schedule_after(at, [this, slot] {
     if (!running_ || slots_[slot].stopped) return;
     switch (cfg_.mode) {
       case BackgroundMode::kNone:
         return;
       case BackgroundMode::kRandomPairs: {
-        const sim::SimTime on =
-            rng_.chance(0.5) ? sim::SimTime::seconds(30)
-                             : sim::SimTime::seconds(60);
+        const sim::SimDuration on =
+            rng_.chance(0.5) ? sim::SimDuration::secs(30)
+                             : sim::SimDuration::secs(60);
         // Slot 0: continuous; slot 1: idle as long as it ran.
-        const sim::SimTime off = slot == 0 ? sim::SimTime::zero() : on;
+        const sim::SimDuration off =
+            slot == 0 ? sim::SimDuration::zero() : on;
         begin_flow(slot, on, off);
         return;
       }
       case BackgroundMode::kPattern1:
-        begin_flow(slot, sim::SimTime::seconds(30), sim::SimTime::seconds(30));
+        begin_flow(slot, sim::SimDuration::secs(30), sim::SimDuration::secs(30));
         return;
       case BackgroundMode::kPattern2:
-        begin_flow(slot, sim::SimTime::seconds(5), sim::SimTime::seconds(5));
+        begin_flow(slot, sim::SimDuration::secs(5), sim::SimDuration::secs(5));
         return;
     }
   });
 }
 
-void BackgroundTraffic::begin_flow(std::size_t slot, sim::SimTime on_duration,
-                                   sim::SimTime off_duration) {
+void BackgroundTraffic::begin_flow(std::size_t slot,
+                                   sim::SimDuration on_duration,
+                                   sim::SimDuration off_duration) {
   const auto n = static_cast<std::int64_t>(hosts_.size());
   const auto src = rng_.index(n);
   auto dst = rng_.index(n - 1);

@@ -29,8 +29,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   Fig4Config net_cfg = config.network;
   net_cfg.seed = config.seed;
   Fig4Network network{sim, net_cfg};
-  const std::vector<net::NodeId> host_ids = network.host_ids();
-  const net::NodeId scheduler_id = network.scheduler_host().id();
+  const std::vector<core::NodeId> host_ids = network.host_ids();
+  const core::NodeId scheduler_id = network.scheduler_host().id();
 
   // Host stacks + iperf sinks (background traffic needs a receiver
   // everywhere).
@@ -61,12 +61,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // "maximum observed queue size in the last probing interval".
   core::NetworkMapConfig map_cfg;
   map_cfg.nominal_capacity = config.background.nominal_capacity;
-  map_cfg.queue_window = std::max(sim::SimTime::milliseconds(150),
+  map_cfg.queue_window = std::max(sim::SimDuration::millis(150),
                                   (config.probe_interval * 3) / 2);
   map_cfg.link_staleness = config.telemetry_staleness;
   core::SchedulerService service{scheduler_stack, config.ranker, map_cfg,
                                  config.scheduler};
-  for (const net::NodeId id : host_ids) service.register_edge_server(id);
+  for (const core::NodeId id : host_ids) service.register_edge_server(id);
 
   // Probe agents on every edge server (all non-scheduler hosts), staggered
   // across the interval so probe arrivals interleave.
@@ -75,7 +75,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     const auto route_plan =
         config.optimize_probe_routes
             ? network.plan_probe_routes()
-            : std::map<net::NodeId, std::vector<net::NodeId>>{};
+            : std::map<core::NodeId, std::vector<core::NodeId>>{};
     std::int64_t idx = 0;
     const auto n =
         static_cast<std::int64_t>(network.hosts().size() - 1);
@@ -122,7 +122,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
          public:
           explicit NearestFacade(core::NearestPolicy& inner)
               : inner_{inner} {}
-          void select(net::NodeId device, std::int32_t count,
+          void select(core::NodeId device, std::int32_t count,
                       const std::vector<std::string>& requirements,
                       SelectionHandler handler) override {
             inner_.select(device, count, requirements, std::move(handler));
@@ -175,7 +175,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   for (const edge::JobSpec& job : jobs) {
     total_tasks += static_cast<std::int64_t>(job.tasks.size());
     sim.schedule_at(job.submit_at, [&devices, &job] {
-      devices[static_cast<std::size_t>(job.submitter)]->submit(job);
+      devices[job.submitter.index()]->submit(job);
     });
   }
 
@@ -187,12 +187,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         });
   }
 
-  sim.run_until(config.max_duration);
+  sim.run_until(sim::SimTime::at(config.max_duration));
 
   ExperimentResult result;
   result.tasks_total = total_tasks;
   result.tasks_completed = metrics.completed();
-  result.sim_duration = sim.now();
+  result.sim_duration = sim.now().since_epoch();
   result.events_executed = sim.events_executed();
   for (const auto& agent : agents) {
     result.probes_sent += agent->probes_sent();

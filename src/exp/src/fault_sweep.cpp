@@ -18,8 +18,8 @@ double overall_mean_completion_s(const edge::MetricsCollector& metrics) {
 }  // namespace
 
 FaultSweepResult run_fault_sweep(const FaultSweepConfig& config) {
-  const sim::SimTime staleness =
-      config.staleness > sim::SimTime::zero()
+  const sim::SimDuration staleness =
+      config.staleness > sim::SimDuration::zero()
           ? config.staleness
           : config.base.probe_interval * 5;
 

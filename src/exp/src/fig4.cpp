@@ -54,17 +54,17 @@ Fig4Network::Fig4Network(sim::Simulator& sim, const Fig4Config& config)
   }
 }
 
-std::vector<net::NodeId> Fig4Network::host_ids() const {
-  std::vector<net::NodeId> ids;
+std::vector<core::NodeId> Fig4Network::host_ids() const {
+  std::vector<core::NodeId> ids;
   ids.reserve(hosts_.size());
   for (const net::Host* h : hosts_) ids.push_back(h->id());
   return ids;
 }
 
-std::set<std::pair<net::NodeId, net::NodeId>>
+std::set<std::pair<core::NodeId, core::NodeId>>
 Fig4Network::probe_covered_links() const {
-  std::set<std::pair<net::NodeId, net::NodeId>> covered;
-  const net::NodeId sink = scheduler_host().id();
+  std::set<std::pair<core::NodeId, core::NodeId>> covered;
+  const core::NodeId sink = scheduler_host().id();
   for (const net::Host* h : hosts_) {
     if (h->id() == sink) continue;
     const auto path = topology_.path(h->id(), sink);
@@ -75,9 +75,9 @@ Fig4Network::probe_covered_links() const {
   return covered;
 }
 
-std::set<std::pair<net::NodeId, net::NodeId>> Fig4Network::switch_links()
+std::set<std::pair<core::NodeId, core::NodeId>> Fig4Network::switch_links()
     const {
-  std::set<std::pair<net::NodeId, net::NodeId>> out;
+  std::set<std::pair<core::NodeId, core::NodeId>> out;
   for (const p4::P4Switch* sw : switches_) {
     for (const auto& edge : topology_.graph().adjacency.at(sw->id())) {
       if (topology_.node(edge.to).kind() == net::NodeKind::kSwitch) {
@@ -88,12 +88,12 @@ std::set<std::pair<net::NodeId, net::NodeId>> Fig4Network::switch_links()
   return out;
 }
 
-std::vector<net::NodeId> Fig4Network::probe_route(
-    net::NodeId host, const std::vector<net::NodeId>& waypoints) const {
-  const net::NodeId sink = scheduler_host().id();
-  std::vector<net::NodeId> full{host};
-  net::NodeId at = host;
-  for (const net::NodeId w : waypoints) {
+std::vector<core::NodeId> Fig4Network::probe_route(
+    core::NodeId host, const std::vector<core::NodeId>& waypoints) const {
+  const core::NodeId sink = scheduler_host().id();
+  std::vector<core::NodeId> full{host};
+  core::NodeId at = host;
+  for (const core::NodeId w : waypoints) {
     const auto leg = topology_.path(at, w);
     full.insert(full.end(), leg.begin() + 1, leg.end());
     at = w;
@@ -103,24 +103,24 @@ std::vector<net::NodeId> Fig4Network::probe_route(
   return full;
 }
 
-std::map<net::NodeId, std::vector<net::NodeId>>
+std::map<core::NodeId, std::vector<core::NodeId>>
 Fig4Network::plan_probe_routes() const {
-  const net::NodeId sink = scheduler_host().id();
-  std::set<std::pair<net::NodeId, net::NodeId>> uncovered = switch_links();
+  const core::NodeId sink = scheduler_host().id();
+  std::set<std::pair<core::NodeId, core::NodeId>> uncovered = switch_links();
 
-  const auto path_links = [&](const std::vector<net::NodeId>& path) {
-    std::vector<std::pair<net::NodeId, net::NodeId>> links;
+  const auto path_links = [&](const std::vector<core::NodeId>& path) {
+    std::vector<std::pair<core::NodeId, core::NodeId>> links;
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
       links.emplace_back(path[i], path[i + 1]);
     }
     return links;
   };
-  const auto route_links = [&](net::NodeId host,
-                               const std::vector<net::NodeId>& waypoints) {
+  const auto route_links = [&](core::NodeId host,
+                               const std::vector<core::NodeId>& waypoints) {
     return path_links(probe_route(host, waypoints));
   };
   const auto gain_of =
-      [&](const std::vector<std::pair<net::NodeId, net::NodeId>>& links) {
+      [&](const std::vector<std::pair<core::NodeId, core::NodeId>>& links) {
         std::int64_t gain = 0;
         for (const auto& link : links) {
           if (uncovered.contains(link)) ++gain;
@@ -128,17 +128,17 @@ Fig4Network::plan_probe_routes() const {
         return gain;
       };
 
-  std::map<net::NodeId, std::vector<net::NodeId>> plan;
+  std::map<core::NodeId, std::vector<core::NodeId>> plan;
   // Greedy: per probing host, pick the waypoint list (none, one switch,
   // or an ordered pair — pairs allow hairpins like visiting the far side
   // of a ring and returning) that covers the most still-uncovered links.
   for (const net::Host* h : hosts_) {
     if (h->id() == sink) continue;
-    std::vector<net::NodeId> best_waypoints;
+    std::vector<core::NodeId> best_waypoints;
     auto best_links = route_links(h->id(), {});
     std::int64_t best_gain = gain_of(best_links);
     for (const p4::P4Switch* a : switches_) {
-      const std::vector<net::NodeId> single{a->id()};
+      const std::vector<core::NodeId> single{a->id()};
       auto links = route_links(h->id(), single);
       std::int64_t gain = gain_of(links);
       if (gain > best_gain) {
@@ -148,7 +148,7 @@ Fig4Network::plan_probe_routes() const {
       }
       for (const p4::P4Switch* b : switches_) {
         if (b == a) continue;
-        const std::vector<net::NodeId> pair{a->id(), b->id()};
+        const std::vector<core::NodeId> pair{a->id(), b->id()};
         auto pair_links = route_links(h->id(), pair);
         const std::int64_t pair_gain = gain_of(pair_links);
         // Prefer shorter routes on ties: only switch to a pair when it

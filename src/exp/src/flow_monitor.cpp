@@ -7,13 +7,13 @@
 
 namespace intsched::exp {
 
-FlowMonitor::FlowMonitor(net::Topology& topology, sim::SimTime interval)
+FlowMonitor::FlowMonitor(net::Topology& topology,
+                         sim::SimDuration interval)
     : topology_{topology}, interval_{interval} {
-  for (net::NodeId id = 0;
-       id < static_cast<net::NodeId>(topology_.node_count()); ++id) {
-    net::Node& node = topology_.node(id);
+  for (std::int32_t i = 0; i < topology_.node_count(); ++i) {
+    net::Node& node = topology_.node(core::NodeId{i});
     for (std::int32_t p = 0; p < node.port_count(); ++p) {
-      ports_.push_back(PortState{&node, p, sim::SimTime::zero(), 0, 0});
+      ports_.push_back(PortState{&node, p, sim::SimDuration::zero(), 0, 0});
     }
   }
 }
@@ -34,7 +34,7 @@ void FlowMonitor::sample_all() {
     s.at = now;
     s.node = state.node->id();
     s.port = state.port;
-    s.peer = port.peer() != nullptr ? port.peer()->id() : net::kInvalidNode;
+    s.peer = port.peer() != nullptr ? port.peer()->id() : core::kInvalidNode;
     s.utilization = (port.busy_time() - state.last_busy) / interval_;
     s.tx_packets = port.tx_packets() - state.last_tx;
     s.drops = port.queue().dropped() - state.last_drops;
@@ -47,7 +47,7 @@ void FlowMonitor::sample_all() {
   }
 }
 
-double FlowMonitor::peak_utilization(net::NodeId node) const {
+double FlowMonitor::peak_utilization(core::NodeId node) const {
   double peak = 0.0;
   for (const Sample& s : samples_) {
     if (s.node == node) peak = std::max(peak, s.utilization);
@@ -59,8 +59,8 @@ void FlowMonitor::write_csv(std::ostream& os) const {
   os << "time_s,node,port,peer,utilization,tx_packets,drops,queue\n";
   for (const Sample& s : samples_) {
     write_csv_row(os, {fmt_seconds(s.at.to_seconds()),
-                       std::to_string(s.node), std::to_string(s.port),
-                       std::to_string(s.peer), fmt_seconds(s.utilization),
+                       core::to_string(s.node), std::to_string(s.port),
+                       core::to_string(s.peer), fmt_seconds(s.utilization),
                        std::to_string(s.tx_packets),
                        std::to_string(s.drops),
                        std::to_string(s.queue_depth)});

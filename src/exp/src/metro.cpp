@@ -14,8 +14,8 @@ MetroTelemetryGen::MetroTelemetryGen(net::GenTopology topo,
   adj_.resize(n);
   std::vector<std::int32_t> next_port(n, 0);
   for (const net::GenLink& l : topo_.links) {
-    const auto a = static_cast<std::size_t>(l.a);
-    const auto b = static_cast<std::size_t>(l.b);
+    const auto a = l.a.index();
+    const auto b = l.b.index();
     adj_[a].push_back(l.b);
     adj_[b].push_back(l.a);
     // Same per-node sequential assignment as GenTopology::graph(), so the
@@ -24,7 +24,7 @@ MetroTelemetryGen::MetroTelemetryGen(net::GenTopology topo,
     ports_[{l.b, l.a}] = next_port[b]++;
     delays_[std::minmax(l.a, l.b)] = l.delay;
   }
-  for (std::vector<net::NodeId>& neigh : adj_) {
+  for (std::vector<core::NodeId>& neigh : adj_) {
     std::sort(neigh.begin(), neigh.end());
   }
 
@@ -32,24 +32,24 @@ MetroTelemetryGen::MetroTelemetryGen(net::GenTopology topo,
   // the chain — and every probe path built from it — is deterministic.
   anchor_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto start = static_cast<net::NodeId>(i);
+    const core::NodeId start{static_cast<std::int32_t>(i)};
     if (topo_.nodes[i].kind == net::NodeKind::kHost) {
       anchor_[i] = {start};
       continue;
     }
-    std::vector<net::NodeId> parent(n, net::kInvalidNode);
+    std::vector<core::NodeId> parent(n, core::kInvalidNode);
     std::vector<char> seen(n, 0);
-    std::deque<net::NodeId> frontier{start};
+    std::deque<core::NodeId> frontier{start};
     seen[i] = 1;
-    net::NodeId found = net::kInvalidNode;
-    while (!frontier.empty() && found == net::kInvalidNode) {
-      const net::NodeId cur = frontier.front();
+    core::NodeId found = core::kInvalidNode;
+    while (!frontier.empty() && found == core::kInvalidNode) {
+      const core::NodeId cur = frontier.front();
       frontier.pop_front();
-      for (const net::NodeId nb : adj_[static_cast<std::size_t>(cur)]) {
-        if (seen[static_cast<std::size_t>(nb)] != 0) continue;
-        seen[static_cast<std::size_t>(nb)] = 1;
-        parent[static_cast<std::size_t>(nb)] = cur;
-        if (topo_.nodes[static_cast<std::size_t>(nb)].kind ==
+      for (const core::NodeId nb : adj_[cur.index()]) {
+        if (seen[nb.index()] != 0) continue;
+        seen[nb.index()] = 1;
+        parent[nb.index()] = cur;
+        if (topo_.nodes[nb.index()].kind ==
             net::NodeKind::kHost) {
           found = nb;
           break;
@@ -59,9 +59,9 @@ MetroTelemetryGen::MetroTelemetryGen(net::GenTopology topo,
     }
     // parent[] points back toward `start`, so walking from the found host
     // yields [host, ..., start] directly — host-first, as anchor_ wants.
-    std::vector<net::NodeId> chain;
-    for (net::NodeId c = found; c != net::kInvalidNode;
-         c = parent[static_cast<std::size_t>(c)]) {
+    std::vector<core::NodeId> chain;
+    for (core::NodeId c = found; c != core::kInvalidNode;
+         c = parent[c.index()]) {
       chain.push_back(c);
     }
     anchor_[i] = std::move(chain);
@@ -77,38 +77,38 @@ MetroTelemetryGen::MetroTelemetryGen(net::GenTopology topo,
   }
 }
 
-sim::SimTime MetroTelemetryGen::link_base_delay(net::NodeId a,
-                                                net::NodeId b) const {
+sim::SimDuration MetroTelemetryGen::link_base_delay(core::NodeId a,
+                                                core::NodeId b) const {
   const auto it = delays_.find(std::minmax(a, b));
-  return it == delays_.end() ? sim::SimTime::milliseconds(1) : it->second;
+  return it == delays_.end() ? sim::SimDuration::millis(1) : it->second;
 }
 
 telemetry::ProbeReport MetroTelemetryGen::probe_over_link(
     std::size_t link_index, bool forward) {
   const net::GenLink& l = topo_.links[link_index];
-  const net::NodeId u = forward ? l.a : l.b;
-  const net::NodeId v = forward ? l.b : l.a;
+  const core::NodeId u = forward ? l.a : l.b;
+  const core::NodeId v = forward ? l.b : l.a;
 
   // Node path: nearest-host chain to u, across the link, then v's chain
   // back down to its nearest host.
-  std::vector<net::NodeId> path = anchor_[static_cast<std::size_t>(u)];
-  const std::vector<net::NodeId>& back = anchor_[static_cast<std::size_t>(v)];
+  std::vector<core::NodeId> path = anchor_[u.index()];
+  const std::vector<core::NodeId>& back = anchor_[v.index()];
   path.insert(path.end(), back.rbegin(), back.rend());
 
   telemetry::ProbeReport report;
   report.src = path.front();
   report.dst = path.back();
 
-  const auto wobbled = [this](net::NodeId a, net::NodeId b) {
-    const sim::SimTime base = link_base_delay(a, b);
+  const auto wobbled = [this](core::NodeId a, core::NodeId b) {
+    const sim::SimDuration base = link_base_delay(a, b);
     const double scale = rng_.uniform_real(1.0 - cfg_.delay_wobble_frac,
                                            1.0 + cfg_.delay_wobble_frac);
-    return sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+    return sim::SimDuration::nanos(static_cast<std::int64_t>(
         static_cast<double>(base.ns()) * scale));
   };
 
   for (std::size_t i = 1; i + 1 < path.size(); ++i) {
-    const net::NodeId device = path[i];
+    const core::NodeId device = path[i];
     net::IntStackEntry entry;
     entry.device = device;
     entry.ingress_port = ports_.at({device, path[i - 1]});
@@ -116,9 +116,9 @@ telemetry::ProbeReport MetroTelemetryGen::probe_over_link(
     // First hop has no upstream switch timestamp — exactly like a real
     // probe, the host access link stays unmeasured in this direction (it
     // is measured as the final hop of the reverse orientation).
-    entry.ingress_link_latency = i == 1 ? sim::SimTime::nanoseconds(-1)
+    entry.ingress_link_latency = i == 1 ? sim::SimDuration::nanos(-1)
                                         : wobbled(path[i - 1], device);
-    const std::int64_t level = congestion_[static_cast<std::size_t>(device)];
+    const std::int64_t level = congestion_[device.index()];
     const std::int64_t q =
         level == 0 ? 0
                    : std::max<std::int64_t>(0,
@@ -126,7 +126,7 @@ telemetry::ProbeReport MetroTelemetryGen::probe_over_link(
     entry.max_queue_pkts = q;
     entry.device_max_queue_pkts = q;
     entry.device_avg_queue_x100 = q * 40;  // mean well under the max
-    entry.max_hop_latency = sim::SimTime::microseconds(30 * q);
+    entry.max_hop_latency = sim::SimDuration::micros(30 * q);
     report.entries.push_back(entry);
   }
   if (path.size() >= 2) {
@@ -155,8 +155,8 @@ std::vector<telemetry::ProbeReport> MetroTelemetryGen::refresh(
         rng_.index(static_cast<std::int64_t>(topo_.links.size())));
     const net::GenLink& l = topo_.links[li];
     if (rng_.chance(cfg_.churn_chance)) {
-      for (const net::NodeId end : {l.a, l.b}) {
-        const auto e = static_cast<std::size_t>(end);
+      for (const core::NodeId end : {l.a, l.b}) {
+        const auto e = end.index();
         if (topo_.nodes[e].kind != net::NodeKind::kSwitch) continue;
         congestion_[e] = rng_.chance(cfg_.congested_frac)
                              ? rng_.uniform_int(cfg_.min_level,

@@ -27,15 +27,15 @@ struct ProbeFaultConfig {
   /// Fraction of probes held back for a uniform delay in
   /// [delay_min, delay_max] before being sent (stale/out-of-order arrival).
   double delay_probability = 0.0;
-  sim::SimTime delay_min = sim::SimTime::milliseconds(50);
-  sim::SimTime delay_max = sim::SimTime::milliseconds(500);
+  sim::SimDuration delay_min = sim::SimDuration::millis(50);
+  sim::SimDuration delay_max = sim::SimDuration::millis(500);
 };
 
 /// One scheduled down/up cycle of the undirected link a<->b. While down,
 /// packets entering either direction of the wire are lost.
 struct LinkFlapSpec {
-  NodeId a = kInvalidNode;
-  NodeId b = kInvalidNode;
+  core::NodeId a = core::kInvalidNode;
+  core::NodeId b = core::kInvalidNode;
   sim::SimTime down_at = sim::SimTime::zero();
   sim::SimTime up_at = sim::SimTime::zero();  ///< <= down_at: stays down
 };
@@ -44,7 +44,7 @@ struct LinkFlapSpec {
 /// arriving packet; a restarting P4 switch additionally loses all INT
 /// register state (cleared to initial values).
 struct SwitchKillSpec {
-  NodeId node = kInvalidNode;
+  core::NodeId node = core::kInvalidNode;
   sim::SimTime kill_at = sim::SimTime::zero();
   sim::SimTime restart_at = sim::SimTime::zero();  ///< <= kill_at: stays dead
 };
@@ -52,8 +52,8 @@ struct SwitchKillSpec {
 /// Constant per-node timestamp skew applied when the plan is armed —
 /// models the NTP-sync assumption (paper footnote 1) being violated.
 struct ClockSkewSpec {
-  NodeId node = kInvalidNode;
-  sim::SimTime skew = sim::SimTime::zero();
+  core::NodeId node = core::kInvalidNode;
+  sim::SimDuration skew = sim::SimDuration::zero();
 };
 
 /// Full description of the faults injected into one run. Default-constructed
@@ -111,12 +111,12 @@ class FaultPlan {
   /// Draws the per-probe duplication decision (counts when true).
   [[nodiscard]] bool should_duplicate_probe();
   /// Draws the per-probe delay decision; nullopt = send immediately.
-  [[nodiscard]] std::optional<sim::SimTime> probe_delay();
+  [[nodiscard]] std::optional<sim::SimDuration> probe_delay();
 
   // -- link state (consulted by net::Port at transmit time) --
 
-  [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
-  void set_link_state(NodeId a, NodeId b, bool up);
+  [[nodiscard]] bool link_up(core::NodeId a, core::NodeId b) const;
+  void set_link_state(core::NodeId a, core::NodeId b, bool up);
   void note_packet_lost_link_down() { ++counters_.packets_lost_link_down; }
 
   [[nodiscard]] const FaultCounters& counters() const { return counters_; }
@@ -126,7 +126,7 @@ class FaultPlan {
   /// counters never go negative, every restart had a prior kill, every
   /// link-up had a prior link-down. Called after each counter mutation.
   void audit_ledger() const;
-  static std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
+  static std::pair<core::NodeId, core::NodeId> link_key(core::NodeId a, core::NodeId b) {
     return a < b ? std::pair{a, b} : std::pair{b, a};
   }
 
@@ -134,7 +134,7 @@ class FaultPlan {
   sim::Rng drop_rng_;
   sim::Rng dup_rng_;
   sim::Rng delay_rng_;
-  std::set<std::pair<NodeId, NodeId>> down_links_;
+  std::set<std::pair<core::NodeId, core::NodeId>> down_links_;
   FaultCounters counters_;
 };
 

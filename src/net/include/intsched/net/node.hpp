@@ -22,10 +22,10 @@ class Node;
 /// on each endpoint, both using the same config (full-duplex, symmetric).
 struct LinkConfig {
   sim::DataRate rate = sim::DataRate::megabits_per_second(100.0);
-  sim::SimTime prop_delay = sim::SimTime::milliseconds(10);
+  sim::SimDuration prop_delay = sim::SimDuration::millis(10);
   /// Uniform extra propagation jitter in [0, jitter]; arrivals stay
   /// monotonic per channel (no reordering on a link).
-  sim::SimTime jitter = sim::SimTime::zero();
+  sim::SimDuration jitter = sim::SimDuration::zero();
   std::int64_t queue_capacity_pkts = 512;
 };
 
@@ -56,7 +56,7 @@ class Port {
 
   /// Busy fraction accumulator: total time the transmitter was serving
   /// packets. utilization = busy_time / elapsed.
-  [[nodiscard]] sim::SimTime busy_time() const { return busy_time_; }
+  [[nodiscard]] sim::SimDuration busy_time() const { return busy_time_; }
 
   /// Opts this port into fault injection: the transmitter consults the
   /// plan's link state before putting bits on the wire. Null (the default)
@@ -77,7 +77,7 @@ class Port {
   sim::SimTime last_arrival_ = sim::SimTime::zero();
   std::int64_t tx_packets_ = 0;
   sim::Bytes tx_bytes_ = 0;
-  sim::SimTime busy_time_ = sim::SimTime::zero();
+  sim::SimDuration busy_time_ = sim::SimDuration::zero();
 };
 
 enum class NodeKind { kHost, kSwitch };
@@ -89,12 +89,12 @@ enum class NodeKind { kHost, kSwitch };
 /// processing bottleneck is modelled.
 class Node {
  public:
-  Node(sim::Simulator& sim, NodeId id, std::string name, NodeKind kind);
+  Node(sim::Simulator& sim, core::NodeId id, std::string name, NodeKind kind);
   virtual ~Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] core::NodeId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] NodeKind kind() const { return kind_; }
   [[nodiscard]] sim::Simulator& simulator() const { return sim_; }
@@ -117,16 +117,16 @@ class Node {
   /// Extra per-packet service time charged by this node's data plane on the
   /// given egress port (0 for plain hosts; BMv2-like processing delay for
   /// P4 switches).
-  [[nodiscard]] virtual sim::SimTime egress_service_delay(const Packet& p,
-                                                          const Port& out) {
+  [[nodiscard]] virtual sim::SimDuration egress_service_delay(const Packet& p,
+                                                              const Port& out) {
     (void)p; (void)out;
-    return sim::SimTime::zero();
+    return sim::SimDuration::zero();
   }
 
   /// Routing hook: remembers which port reaches `dst`. The base class
   /// stores the mapping; subclasses decide whether to consult it.
-  virtual void set_route(NodeId dst, std::int32_t port_index);
-  [[nodiscard]] std::int32_t route_to(NodeId dst) const;
+  virtual void set_route(core::NodeId dst, std::int32_t port_index);
+  [[nodiscard]] std::int32_t route_to(core::NodeId dst) const;
 
   /// Crash-fault state. An offline node loses every packet that arrives
   /// (counted in rx_dropped_offline); subclasses hook on_online_changed to
@@ -147,8 +147,8 @@ class Node {
   [[nodiscard]] sim::SimTime local_time() const {
     return sim_.now() + clock_skew_;
   }
-  void set_clock_skew(sim::SimTime skew) { clock_skew_ = skew; }
-  [[nodiscard]] sim::SimTime clock_skew() const { return clock_skew_; }
+  void set_clock_skew(sim::SimDuration skew) { clock_skew_ = skew; }
+  [[nodiscard]] sim::SimDuration clock_skew() const { return clock_skew_; }
 
   [[nodiscard]] std::int64_t rx_packets() const { return rx_packets_; }
   [[nodiscard]] sim::Bytes rx_bytes() const { return rx_bytes_; }
@@ -166,12 +166,12 @@ class Node {
 
  private:
   sim::Simulator& sim_;
-  NodeId id_;
+  core::NodeId id_;
   std::string name_;
   NodeKind kind_;
   std::vector<std::unique_ptr<Port>> ports_;
-  std::unordered_map<NodeId, std::int32_t> routes_;
-  sim::SimTime clock_skew_ = sim::SimTime::zero();
+  std::unordered_map<core::NodeId, std::int32_t> routes_;
+  sim::SimDuration clock_skew_ = sim::SimDuration::zero();
   bool online_ = true;
   std::int64_t rx_packets_ = 0;
   sim::Bytes rx_bytes_ = 0;
@@ -185,7 +185,7 @@ class Host : public Node {
  public:
   using Receiver = std::function<void(Packet&&)>;
 
-  Host(sim::Simulator& sim, NodeId id, std::string name)
+  Host(sim::Simulator& sim, core::NodeId id, std::string name)
       : Node(sim, id, std::move(name), NodeKind::kHost) {}
 
   void set_receiver(Receiver r) { receiver_ = std::move(r); }

@@ -7,15 +7,26 @@
 #include <variant>
 #include <vector>
 
+#include "intsched/core/types.hpp"
 #include "intsched/sim/time.hpp"
 #include "intsched/sim/units.hpp"
 
 namespace intsched::net {
 
-/// Node identifier, doubling as the network address (the simulator does not
-/// model ARP/DHCP; a node's id is its IP for forwarding purposes).
-using NodeId = std::int32_t;
-inline constexpr NodeId kInvalidNode = -1;
+// The node identifier moved to intsched/core/types.hpp (core::NodeId): a
+// network address is not a packet concern, and the old home forced packet
+// includes everywhere an id was named. These compatibility aliases last
+// exactly one PR; the analyzer preset (INTSCHED_STRICT_TYPES) already
+// rejects them so no new in-tree use can appear.
+#if defined(INTSCHED_STRICT_TYPES)
+using NodeId [[deprecated("use core::NodeId (intsched/core/types.hpp)")]] =
+    core::NodeId;
+[[deprecated("use core::kInvalidNode (intsched/core/types.hpp)")]]
+inline constexpr core::NodeId kInvalidNode = core::kInvalidNode;
+#else
+using NodeId = core::NodeId;
+inline constexpr core::NodeId kInvalidNode = core::kInvalidNode;
+#endif
 
 /// Transport port number for application demultiplexing on hosts.
 using PortNumber = std::uint16_t;
@@ -72,7 +83,7 @@ inline constexpr std::uint8_t kIntProbeOptionType = 0x42;
 /// plane program. Entries appear in traversal order, which is what lets the
 /// scheduler reconstruct the topology (paper §III-B).
 struct IntStackEntry {
-  NodeId device = kInvalidNode;       ///< switch that appended this entry
+  core::NodeId device = core::kInvalidNode;       ///< switch that appended this entry
   std::int32_t ingress_port = -1;     ///< port the probe arrived on
   std::int32_t egress_port = -1;      ///< port the probe left through
   /// Max egress-queue occupancy (packets) observed on the probe's egress
@@ -88,7 +99,7 @@ struct IntStackEntry {
   /// Link latency of the hop the probe arrived over, measured by egress
   /// timestamping at the upstream device and ingress extraction here
   /// (kInvalid for the first hop, which has no upstream switch timestamp).
-  sim::SimTime ingress_link_latency = sim::SimTime::nanoseconds(-1);
+  sim::SimDuration ingress_link_latency = sim::SimDuration::nanos(-1);
   /// Device-local time when the probe left this device (egress stage).
   sim::SimTime egress_timestamp = sim::SimTime::zero();
   /// Maximum in-device dwell time (queueing) measured directly by the
@@ -96,7 +107,7 @@ struct IntStackEntry {
   /// reports as "hop latency". The paper approximates this with
   /// k * max_queue because its registers only store occupancy; the
   /// direct measurement feeds the kMeasuredHopLatency ranking ablation.
-  sim::SimTime max_hop_latency = sim::SimTime::zero();
+  sim::SimDuration max_hop_latency = sim::SimDuration::zero();
 };
 inline constexpr sim::Bytes kIntStackEntryWireBytes = 32;
 
@@ -112,8 +123,8 @@ struct AppMessage {
 /// links and queues charge for.
 struct Packet {
   // -- L3 --
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
+  core::NodeId src = core::kInvalidNode;
+  core::NodeId dst = core::kInvalidNode;
   IpProtocol protocol = IpProtocol::kUdp;
   std::int32_t ttl = 64;
 
@@ -126,7 +137,7 @@ struct Packet {
   /// Loose source route for probe packets (probe-route optimization, the
   /// paper's §III-A future work): remaining waypoint node ids, visited in
   /// order before heading to dst. Empty for normal traffic.
-  std::vector<NodeId> source_route;
+  std::vector<core::NodeId> source_route;
   /// Scratch field used by the INT program's link-latency measurement: the
   /// upstream device's egress timestamp, overwritten at every hop.
   sim::SimTime last_egress_timestamp = sim::SimTime::nanoseconds(-1);
@@ -134,7 +145,7 @@ struct Packet {
   /// the device currently holding the packet: the port it arrived on and
   /// the link latency its ingress stage measured (probe packets only).
   std::int32_t meta_ingress_port = -1;
-  sim::SimTime meta_link_latency = sim::SimTime::nanoseconds(-1);
+  sim::SimDuration meta_link_latency = sim::SimDuration::nanos(-1);
   /// P4 standard_metadata.ingress_global_timestamp: when this device's
   /// ingress stage saw the packet (device-local clock).
   sim::SimTime meta_ingress_timestamp = sim::SimTime::nanoseconds(-1);

@@ -14,39 +14,39 @@ namespace intsched::net {
 /// topology adds both directions.
 struct Graph {
   struct Edge {
-    NodeId to = kInvalidNode;
+    core::NodeId to = core::kInvalidNode;
     std::int32_t out_port = -1;   ///< egress port on the source node
-    sim::SimTime cost = sim::SimTime::zero();
+    sim::SimDuration cost = sim::SimDuration::zero();
   };
 
   /// adjacency[node] -> outgoing edges, in insertion order.
-  std::unordered_map<NodeId, std::vector<Edge>> adjacency;
+  std::unordered_map<core::NodeId, std::vector<Edge>> adjacency;
 
-  void add_edge(NodeId from, NodeId to, std::int32_t out_port,
-                sim::SimTime cost);
-  [[nodiscard]] bool has_node(NodeId n) const {
+  void add_edge(core::NodeId from, core::NodeId to, std::int32_t out_port,
+                sim::SimDuration cost);
+  [[nodiscard]] bool has_node(core::NodeId n) const {
     return adjacency.contains(n);
   }
-  [[nodiscard]] std::vector<NodeId> nodes() const;
+  [[nodiscard]] std::vector<core::NodeId> nodes() const;
 };
 
 /// Result of a single-source shortest-path run.
 struct ShortestPaths {
-  NodeId source = kInvalidNode;
+  core::NodeId source = core::kInvalidNode;
   /// Distance from source; missing key = unreachable.
-  std::unordered_map<NodeId, sim::SimTime> distance;
+  std::unordered_map<core::NodeId, sim::SimDuration> distance;
   /// Predecessor on the chosen shortest path (deterministic tie-break:
   /// smallest predecessor id wins).
-  std::unordered_map<NodeId, NodeId> predecessor;
+  std::unordered_map<core::NodeId, core::NodeId> predecessor;
   /// First-hop egress port at the source toward each destination.
-  std::unordered_map<NodeId, std::int32_t> first_hop_port;
+  std::unordered_map<core::NodeId, std::int32_t> first_hop_port;
 
   /// Node sequence source..dst inclusive; empty if unreachable.
-  [[nodiscard]] std::vector<NodeId> path_to(NodeId dst) const;
+  [[nodiscard]] std::vector<core::NodeId> path_to(core::NodeId dst) const;
 };
 
 /// Dijkstra with deterministic tie-breaking (by distance, then node id) so
 /// route tables — and therefore every experiment — are reproducible.
-[[nodiscard]] ShortestPaths dijkstra(const Graph& g, NodeId source);
+[[nodiscard]] ShortestPaths dijkstra(const Graph& g, core::NodeId source);
 
 }  // namespace intsched::net

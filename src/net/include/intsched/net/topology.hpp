@@ -22,7 +22,7 @@ class Topology {
   /// sequentially and doubles as the node's address.
   template <std::derived_from<Node> T, typename... Args>
   T& add_node(std::string name, Args&&... args) {
-    const NodeId id = static_cast<NodeId>(nodes_.size());
+    const core::NodeId id{static_cast<std::int32_t>(nodes_.size())};
     auto node = std::make_unique<T>(sim_, id, std::move(name),
                                     std::forward<Args>(args)...);
     T& ref = *node;
@@ -46,13 +46,13 @@ class Topology {
 
   /// Ground-truth node sequence a..b inclusive along installed routes.
   /// Requires install_routes() to have run.
-  [[nodiscard]] std::vector<NodeId> path(NodeId a, NodeId b) const;
+  [[nodiscard]] std::vector<core::NodeId> path(core::NodeId a, core::NodeId b) const;
 
   /// Ground-truth path delay (sum of link propagation delays), the
   /// uncongested baseline the paper's Delay() formula estimates.
-  [[nodiscard]] sim::SimTime path_delay(NodeId a, NodeId b) const;
+  [[nodiscard]] sim::SimDuration path_delay(core::NodeId a, core::NodeId b) const;
 
-  [[nodiscard]] Node& node(NodeId id) const;
+  [[nodiscard]] Node& node(core::NodeId id) const;
   [[nodiscard]] std::vector<Node*> nodes_of_kind(NodeKind kind) const;
   [[nodiscard]] std::int64_t node_count() const {
     return static_cast<std::int64_t>(nodes_.size());
@@ -62,9 +62,9 @@ class Topology {
  private:
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::unordered_map<NodeId, Node*> by_id_;
+  std::unordered_map<core::NodeId, Node*> by_id_;
   Graph graph_;
-  std::unordered_map<NodeId, ShortestPaths> paths_;  // per source
+  std::unordered_map<core::NodeId, ShortestPaths> paths_;  // per source
 };
 
 }  // namespace intsched::net

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "intsched/core/types.hpp"
 #include "intsched/net/node.hpp"
 #include "intsched/net/routing.hpp"
 #include "intsched/sim/rng.hpp"
@@ -25,23 +26,31 @@
 
 namespace intsched::net {
 
-/// Region (pod) index. kNoRegion marks nodes outside any region.
-using RegionId = std::int32_t;
-inline constexpr RegionId kNoRegion = -1;
+// The region index moved to intsched/core/types.hpp (core::RegionId);
+// compatibility aliases, kept one PR like net::NodeId (see packet.hpp).
+#if defined(INTSCHED_STRICT_TYPES)
+using RegionId [[deprecated("use core::RegionId (intsched/core/types.hpp)")]] =
+    core::RegionId;
+[[deprecated("use core::kNoRegion (intsched/core/types.hpp)")]]
+inline constexpr core::RegionId kNoRegion = core::kNoRegion;
+#else
+using RegionId = core::RegionId;
+inline constexpr core::RegionId kNoRegion = core::kNoRegion;
+#endif
 
 struct GenNode {
-  NodeId id = kInvalidNode;  ///< == index into GenTopology::nodes
+  core::NodeId id = core::kInvalidNode;  ///< == index into GenTopology::nodes
   NodeKind kind = NodeKind::kSwitch;
-  RegionId region = kNoRegion;
+  core::RegionId region = core::kNoRegion;
   bool edge_server = false;  ///< hosts only
   std::string name;
 };
 
 /// Undirected link with its base one-way delay (assumed symmetric).
 struct GenLink {
-  NodeId a = kInvalidNode;
-  NodeId b = kInvalidNode;
-  sim::SimTime delay = sim::SimTime::zero();
+  core::NodeId a = core::kInvalidNode;
+  core::NodeId b = core::kInvalidNode;
+  sim::SimDuration delay = sim::SimDuration::zero();
 };
 
 /// One pod: `leaves` x `spines` full-bipartite Clos fabric with
@@ -52,8 +61,8 @@ struct PodShape {
   std::int32_t leaves = 4;
   std::int32_t hosts_per_leaf = 2;
   std::int32_t edge_servers_per_pod = 2;
-  sim::SimTime host_link_delay = sim::SimTime::milliseconds(2);
-  sim::SimTime fabric_link_delay = sim::SimTime::milliseconds(5);
+  sim::SimDuration host_link_delay = sim::SimDuration::millis(2);
+  sim::SimDuration fabric_link_delay = sim::SimDuration::millis(5);
 };
 
 /// Ring-of-pods metro: `pods` identical Clos pods whose first
@@ -66,7 +75,7 @@ struct MetroConfig {
   std::int32_t pods = 2;
   PodShape pod{};
   std::int32_t gateways_per_pod = 1;
-  sim::SimTime ring_link_delay = sim::SimTime::milliseconds(20);
+  sim::SimDuration ring_link_delay = sim::SimDuration::millis(20);
   /// Extra gateway links from pod i to the pod halfway around the ring
   /// (requires >= 4 pods); shortens metro diameter without breaking
   /// delay isolation.
@@ -82,18 +91,18 @@ struct MetroConfig {
 struct GenTopology {
   std::vector<GenNode> nodes;
   std::vector<GenLink> links;
-  RegionId regions = 0;
+  core::RegionId regions{0};
 
-  [[nodiscard]] RegionId region_of(NodeId n) const {
-    if (n < 0 || static_cast<std::size_t>(n) >= nodes.size()) {
-      return kNoRegion;
+  [[nodiscard]] core::RegionId region_of(core::NodeId n) const {
+    if (!n.valid() || n.index() >= nodes.size()) {
+      return core::kNoRegion;
     }
-    return nodes[static_cast<std::size_t>(n)].region;
+    return nodes[n.index()].region;
   }
 
   [[nodiscard]] std::int64_t switch_count() const;
-  [[nodiscard]] std::vector<NodeId> hosts() const;
-  [[nodiscard]] std::vector<NodeId> edge_servers() const;
+  [[nodiscard]] std::vector<core::NodeId> hosts() const;
+  [[nodiscard]] std::vector<core::NodeId> edge_servers() const;
   /// Links whose endpoints lie in different regions (the ring/chord
   /// links) — the summary graph's edge set.
   [[nodiscard]] std::vector<GenLink> border_links() const;

@@ -38,8 +38,8 @@ FaultPlan::FaultPlan(FaultPlanConfig config)
 void FaultPlan::arm(Topology& topo) {
   sim::Simulator& sim = topo.simulator();
   // Every port consults the plan before putting bits on the wire.
-  for (NodeId id = 0; id < topo.node_count(); ++id) {
-    Node& node = topo.node(id);
+  for (std::int32_t n = 0; n < topo.node_count(); ++n) {
+    Node& node = topo.node(core::NodeId{n});
     for (std::int32_t i = 0; i < node.port_count(); ++i) {
       node.port(i).set_fault_plan(this);
     }
@@ -98,20 +98,20 @@ bool FaultPlan::should_duplicate_probe() {
   return dup;
 }
 
-std::optional<sim::SimTime> FaultPlan::probe_delay() {
+std::optional<sim::SimDuration> FaultPlan::probe_delay() {
   if (cfg_.probe.delay_probability <= 0.0) return std::nullopt;
   if (!delay_rng_.chance(cfg_.probe.delay_probability)) return std::nullopt;
   ++counters_.probes_delayed;
   audit_ledger();
-  return sim::SimTime::nanoseconds(delay_rng_.uniform_int(
+  return sim::SimDuration::nanos(delay_rng_.uniform_int(
       cfg_.probe.delay_min.ns(), cfg_.probe.delay_max.ns()));
 }
 
-bool FaultPlan::link_up(NodeId a, NodeId b) const {
+bool FaultPlan::link_up(core::NodeId a, core::NodeId b) const {
   return !down_links_.contains(link_key(a, b));
 }
 
-void FaultPlan::set_link_state(NodeId a, NodeId b, bool up) {
+void FaultPlan::set_link_state(core::NodeId a, core::NodeId b, bool up) {
   if (up) {
     if (down_links_.erase(link_key(a, b)) > 0) ++counters_.link_up_events;
   } else {

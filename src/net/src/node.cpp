@@ -38,7 +38,7 @@ void Port::try_transmit() {
   owner_.on_egress(p, *this);
 
   auto& sim = owner_.simulator();
-  const sim::SimTime service = cfg_.rate.transmission_time(p.wire_size) +
+  const sim::SimDuration service = cfg_.rate.transmission_time(p.wire_size) +
                                owner_.egress_service_delay(p, *this);
   transmitting_ = true;
   busy_time_ += service;
@@ -49,14 +49,14 @@ void Port::try_transmit() {
   // prop_delay (+ jitter). Arrivals on one channel never reorder: a later
   // packet cannot arrive before an earlier one even if it draws less jitter.
   sim::SimTime arrival = sim.now() + service + cfg_.prop_delay;
-  if (cfg_.jitter > sim::SimTime::zero()) {
+  if (cfg_.jitter > sim::SimDuration::zero()) {
     // Deterministic per-port pseudo-jitter would need an Rng; links default
     // to zero jitter and tests inject it explicitly via config. We derive
     // jitter from the packet uid so results stay reproducible without
     // threading an Rng through every port.
     const auto seed = p.uid * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL;
     const auto frac = static_cast<double>(seed >> 11) * 0x1.0p-53;
-    arrival += sim::SimTime::nanoseconds(
+    arrival += sim::SimDuration::nanos(
         static_cast<std::int64_t>(frac * static_cast<double>(cfg_.jitter.ns())));
   }
   if (arrival < last_arrival_) arrival = last_arrival_;
@@ -85,7 +85,7 @@ void Port::try_transmit() {
   });
 }
 
-Node::Node(sim::Simulator& sim, NodeId id, std::string name, NodeKind kind)
+Node::Node(sim::Simulator& sim, core::NodeId id, std::string name, NodeKind kind)
     : sim_{sim}, id_{id}, name_{std::move(name)}, kind_{kind} {}
 
 Port& Node::add_port(LinkConfig cfg) {
@@ -104,11 +104,11 @@ const Port& Node::port(std::int32_t index) const {
   return *ports_[static_cast<std::size_t>(index)];
 }
 
-void Node::set_route(NodeId dst, std::int32_t port_index) {
+void Node::set_route(core::NodeId dst, std::int32_t port_index) {
   routes_[dst] = port_index;
 }
 
-std::int32_t Node::route_to(NodeId dst) const {
+std::int32_t Node::route_to(core::NodeId dst) const {
   const auto it = routes_.find(dst);
   return it == routes_.end() ? -1 : it->second;
 }
@@ -124,7 +124,8 @@ bool Host::send(Packet&& p) {
     throw std::logic_error(
         sim::cat("host ", name(), " sends with no port attached"));
   }
-  p.uid = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id()))
+  p.uid = (static_cast<std::uint64_t>(
+               static_cast<std::uint32_t>(id().value()))
            << 40) |
           next_uid_++;
   return port(0).send(std::move(p));

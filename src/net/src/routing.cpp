@@ -5,14 +5,14 @@
 
 namespace intsched::net {
 
-void Graph::add_edge(NodeId from, NodeId to, std::int32_t out_port,
-                     sim::SimTime cost) {
+void Graph::add_edge(core::NodeId from, core::NodeId to, std::int32_t out_port,
+                     sim::SimDuration cost) {
   adjacency[from].push_back(Edge{to, out_port, cost});
   adjacency.try_emplace(to);  // ensure isolated sinks are known nodes
 }
 
-std::vector<NodeId> Graph::nodes() const {
-  std::vector<NodeId> out;
+std::vector<core::NodeId> Graph::nodes() const {
+  std::vector<core::NodeId> out;
   out.reserve(adjacency.size());
   // Sorted before return: hash order never escapes this function.
   // intsched-lint: allow(unordered-iter)
@@ -21,10 +21,10 @@ std::vector<NodeId> Graph::nodes() const {
   return out;
 }
 
-std::vector<NodeId> ShortestPaths::path_to(NodeId dst) const {
-  std::vector<NodeId> path;
+std::vector<core::NodeId> ShortestPaths::path_to(core::NodeId dst) const {
+  std::vector<core::NodeId> path;
   if (!distance.contains(dst)) return path;
-  for (NodeId cur = dst; cur != source;) {
+  for (core::NodeId cur = dst; cur != source;) {
     path.push_back(cur);
     const auto it = predecessor.find(cur);
     if (it == predecessor.end()) return {};  // defensive: broken chain
@@ -35,13 +35,13 @@ std::vector<NodeId> ShortestPaths::path_to(NodeId dst) const {
   return path;
 }
 
-ShortestPaths dijkstra(const Graph& g, NodeId source) {
+ShortestPaths dijkstra(const Graph& g, core::NodeId source) {
   ShortestPaths result;
   result.source = source;
 
   struct QueueEntry {
-    sim::SimTime dist;
-    NodeId node;
+    sim::SimDuration dist;
+    core::NodeId node;
     bool operator>(const QueueEntry& o) const {
       if (dist != o.dist) return dist > o.dist;
       return node > o.node;
@@ -51,8 +51,8 @@ ShortestPaths dijkstra(const Graph& g, NodeId source) {
                       std::greater<QueueEntry>>
       frontier;
 
-  result.distance[source] = sim::SimTime::zero();
-  frontier.push({sim::SimTime::zero(), source});
+  result.distance[source] = sim::SimDuration::zero();
+  frontier.push({sim::SimDuration::zero(), source});
 
   while (!frontier.empty()) {
     const auto [dist, node] = frontier.top();
@@ -63,7 +63,7 @@ ShortestPaths dijkstra(const Graph& g, NodeId source) {
     const auto adj = g.adjacency.find(node);
     if (adj == g.adjacency.end()) continue;
     for (const auto& edge : adj->second) {
-      const sim::SimTime next_dist = dist + edge.cost;
+      const sim::SimDuration next_dist = dist + edge.cost;
       const auto cur = result.distance.find(edge.to);
       const bool improves = cur == result.distance.end() ||
                             next_dist < cur->second;

@@ -28,7 +28,7 @@ void Topology::install_routes() {
   }
 }
 
-std::vector<NodeId> Topology::path(NodeId a, NodeId b) const {
+std::vector<core::NodeId> Topology::path(core::NodeId a, core::NodeId b) const {
   const auto it = paths_.find(a);
   if (it == paths_.end()) {
     throw std::logic_error("Topology::path before install_routes()");
@@ -36,7 +36,7 @@ std::vector<NodeId> Topology::path(NodeId a, NodeId b) const {
   return it->second.path_to(b);
 }
 
-sim::SimTime Topology::path_delay(NodeId a, NodeId b) const {
+sim::SimDuration Topology::path_delay(core::NodeId a, core::NodeId b) const {
   const auto it = paths_.find(a);
   if (it == paths_.end()) {
     throw std::logic_error("Topology::path_delay before install_routes()");
@@ -49,7 +49,7 @@ sim::SimTime Topology::path_delay(NodeId a, NodeId b) const {
   return d->second;
 }
 
-Node& Topology::node(NodeId id) const {
+Node& Topology::node(core::NodeId id) const {
   const auto it = by_id_.find(id);
   if (it == by_id_.end()) {
     throw std::invalid_argument(sim::cat("unknown node id ", id));

@@ -12,10 +12,10 @@ namespace {
 
 /// Jittered copy of a base delay: base * (1 +- frac), quantized to whole
 /// nanoseconds (SimTime's resolution) so fingerprints are exact.
-sim::SimTime jittered(sim::SimTime base, double frac, sim::Rng& rng) {
+sim::SimDuration jittered(sim::SimDuration base, double frac, sim::Rng& rng) {
   if (frac <= 0.0) return base;
   const double scale = rng.uniform_real(1.0 - frac, 1.0 + frac);
-  return sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+  return sim::SimDuration::nanos(static_cast<std::int64_t>(
       static_cast<double>(base.ns()) * scale));
 }
 
@@ -27,36 +27,36 @@ struct Builder {
   Builder(std::uint64_t seed, double jitter)
       : rng{sim::Rng::derive(seed, "topogen.link")}, jitter_frac{jitter} {}
 
-  NodeId add_node(NodeKind kind, RegionId region, bool edge_server,
+  core::NodeId add_node(NodeKind kind, core::RegionId region, bool edge_server,
                   std::string name) {
-    const NodeId id = static_cast<NodeId>(topo.nodes.size());
+    const core::NodeId id{static_cast<std::int32_t>(topo.nodes.size())};
     topo.nodes.push_back(GenNode{id, kind, region, edge_server,
                                  std::move(name)});
     return id;
   }
 
-  void link(NodeId a, NodeId b, sim::SimTime base_delay) {
+  void link(core::NodeId a, core::NodeId b, sim::SimDuration base_delay) {
     topo.links.push_back(GenLink{a, b, jittered(base_delay, jitter_frac,
                                                 rng)});
   }
 
   /// Appends one Clos pod; returns the pod's spine node ids (the first
   /// gateways_per_pod of them carry the ring links).
-  std::vector<NodeId> add_pod(const PodShape& shape, RegionId region) {
-    std::vector<NodeId> spines;
+  std::vector<core::NodeId> add_pod(const PodShape& shape, core::RegionId region) {
+    std::vector<core::NodeId> spines;
     spines.reserve(static_cast<std::size_t>(shape.spines));
     for (std::int32_t s = 0; s < shape.spines; ++s) {
       spines.push_back(add_node(NodeKind::kSwitch, region, false,
                                 sim::cat("p", region, ".spine", s)));
     }
-    std::vector<NodeId> leaves;
+    std::vector<core::NodeId> leaves;
     leaves.reserve(static_cast<std::size_t>(shape.leaves));
     for (std::int32_t l = 0; l < shape.leaves; ++l) {
       leaves.push_back(add_node(NodeKind::kSwitch, region, false,
                                 sim::cat("p", region, ".leaf", l)));
     }
     std::int32_t host_index = 0;
-    std::vector<NodeId> hosts;
+    std::vector<core::NodeId> hosts;
     for (std::int32_t l = 0; l < shape.leaves; ++l) {
       for (std::int32_t h = 0; h < shape.hosts_per_leaf; ++h) {
         const bool server = host_index < shape.edge_servers_per_pod;
@@ -95,16 +95,16 @@ std::int64_t GenTopology::switch_count() const {
   return n;
 }
 
-std::vector<NodeId> GenTopology::hosts() const {
-  std::vector<NodeId> out;
+std::vector<core::NodeId> GenTopology::hosts() const {
+  std::vector<core::NodeId> out;
   for (const GenNode& node : nodes) {
     if (node.kind == NodeKind::kHost) out.push_back(node.id);
   }
   return out;
 }
 
-std::vector<NodeId> GenTopology::edge_servers() const {
-  std::vector<NodeId> out;
+std::vector<core::NodeId> GenTopology::edge_servers() const {
+  std::vector<core::NodeId> out;
   for (const GenNode& node : nodes) {
     if (node.edge_server) out.push_back(node.id);
   }
@@ -123,8 +123,8 @@ Graph GenTopology::graph() const {
   Graph g;
   std::vector<std::int32_t> next_port(nodes.size(), 0);
   for (const GenLink& l : links) {
-    const std::int32_t port_a = next_port[static_cast<std::size_t>(l.a)]++;
-    const std::int32_t port_b = next_port[static_cast<std::size_t>(l.b)]++;
+    const std::int32_t port_a = next_port[l.a.index()]++;
+    const std::int32_t port_b = next_port[l.b.index()]++;
     g.add_edge(l.a, l.b, port_a, l.delay);
     g.add_edge(l.b, l.a, port_b, l.delay);
   }
@@ -134,13 +134,13 @@ Graph GenTopology::graph() const {
 std::vector<std::string> GenTopology::validate(
     std::int32_t max_switch_degree) const {
   std::vector<std::string> bad;
-  const auto n = static_cast<NodeId>(nodes.size());
-  for (NodeId i = 0; i < n; ++i) {
-    const GenNode& node = nodes[static_cast<std::size_t>(i)];
+  const core::NodeId n{static_cast<std::int32_t>(nodes.size())};
+  for (core::NodeId i{0}; i < n; ++i) {
+    const GenNode& node = nodes[i.index()];
     if (node.id != i) {
       bad.push_back(sim::cat("node at index ", i, " has id ", node.id));
     }
-    if (node.region < 0 || node.region >= regions) {
+    if (!node.region.valid() || node.region >= regions) {
       bad.push_back(sim::cat("node ", i, " region ", node.region,
                              " outside [0, ", regions, ")"));
     }
@@ -150,10 +150,10 @@ std::vector<std::string> GenTopology::validate(
   }
 
   std::vector<std::int64_t> degree(nodes.size(), 0);
-  std::set<std::pair<NodeId, NodeId>> seen;
+  std::set<std::pair<core::NodeId, core::NodeId>> seen;
   for (std::size_t li = 0; li < links.size(); ++li) {
     const GenLink& l = links[li];
-    if (l.a < 0 || l.a >= n || l.b < 0 || l.b >= n) {
+    if (!l.a.valid() || l.a >= n || !l.b.valid() || l.b >= n) {
       bad.push_back(sim::cat("link ", li, " endpoint out of range"));
       continue;
     }
@@ -161,20 +161,20 @@ std::vector<std::string> GenTopology::validate(
       bad.push_back(sim::cat("link ", li, " is a self-loop at ", l.a));
       continue;
     }
-    if (l.delay <= sim::SimTime::zero()) {
+    if (l.delay <= sim::SimDuration::zero()) {
       bad.push_back(sim::cat("link ", li, " has non-positive delay"));
     }
     const auto key = std::minmax(l.a, l.b);
     if (!seen.insert(key).second) {
       bad.push_back(sim::cat("duplicate link ", key.first, "-", key.second));
     }
-    ++degree[static_cast<std::size_t>(l.a)];
-    ++degree[static_cast<std::size_t>(l.b)];
+    ++degree[l.a.index()];
+    ++degree[l.b.index()];
   }
 
-  for (NodeId i = 0; i < n; ++i) {
-    const GenNode& node = nodes[static_cast<std::size_t>(i)];
-    const std::int64_t d = degree[static_cast<std::size_t>(i)];
+  for (core::NodeId i{0}; i < n; ++i) {
+    const GenNode& node = nodes[i.index()];
+    const std::int64_t d = degree[i.index()];
     if (node.kind == NodeKind::kHost && d != 1) {
       bad.push_back(sim::cat("host ", i, " has degree ", d, ", want 1"));
     }
@@ -190,22 +190,22 @@ std::vector<std::string> GenTopology::validate(
 
   // Connectivity: BFS over the undirected adjacency from node 0.
   if (!nodes.empty()) {
-    std::vector<std::vector<NodeId>> adj(nodes.size());
+    std::vector<std::vector<core::NodeId>> adj(nodes.size());
     for (const GenLink& l : links) {
-      if (l.a < 0 || l.a >= n || l.b < 0 || l.b >= n || l.a == l.b) continue;
-      adj[static_cast<std::size_t>(l.a)].push_back(l.b);
-      adj[static_cast<std::size_t>(l.b)].push_back(l.a);
+      if (!l.a.valid() || l.a >= n || !l.b.valid() || l.b >= n || l.a == l.b) continue;
+      adj[l.a.index()].push_back(l.b);
+      adj[l.b.index()].push_back(l.a);
     }
     std::vector<char> visited(nodes.size(), 0);
-    std::vector<NodeId> frontier{0};
+    std::vector<core::NodeId> frontier{core::NodeId{0}};
     visited[0] = 1;
     std::int64_t reached = 1;
     while (!frontier.empty()) {
-      const NodeId cur = frontier.back();
+      const core::NodeId cur = frontier.back();
       frontier.pop_back();
-      for (const NodeId next : adj[static_cast<std::size_t>(cur)]) {
-        if (visited[static_cast<std::size_t>(next)] == 0) {
-          visited[static_cast<std::size_t>(next)] = 1;
+      for (const core::NodeId next : adj[cur.index()]) {
+        if (visited[next.index()] == 0) {
+          visited[next.index()] = 1;
           ++reached;
           frontier.push_back(next);
         }
@@ -235,19 +235,19 @@ std::string GenTopology::fingerprint() const {
 GenTopology TopologyGen::clos_pod(const PodShape& shape, std::uint64_t seed,
                                   double delay_jitter_frac) {
   Builder b{seed, delay_jitter_frac};
-  b.topo.regions = 1;
-  (void)b.add_pod(shape, 0);
+  b.topo.regions = core::RegionId{1};
+  (void)b.add_pod(shape, core::RegionId{0});
   return std::move(b.topo);
 }
 
 GenTopology TopologyGen::ring_of_pods(const MetroConfig& cfg) {
   Builder b{cfg.seed, cfg.delay_jitter_frac};
-  b.topo.regions = cfg.pods;
+  b.topo.regions = core::RegionId{cfg.pods};
 
-  std::vector<std::vector<NodeId>> spines;
+  std::vector<std::vector<core::NodeId>> spines;
   spines.reserve(static_cast<std::size_t>(cfg.pods));
   for (std::int32_t p = 0; p < cfg.pods; ++p) {
-    spines.push_back(b.add_pod(cfg.pod, p));
+    spines.push_back(b.add_pod(cfg.pod, core::RegionId{p}));
   }
 
   const std::int32_t gateways =
@@ -270,7 +270,7 @@ GenTopology TopologyGen::ring_of_pods(const MetroConfig& cfg) {
   // pairs the ring already connects (pods < 4 make every "chord" a ring
   // edge).
   if (cfg.pods >= 4) {
-    std::set<std::pair<NodeId, NodeId>> existing;
+    std::set<std::pair<core::NodeId, core::NodeId>> existing;
     for (const GenLink& l : b.topo.links) {
       existing.insert(std::minmax(l.a, l.b));
     }
@@ -278,8 +278,8 @@ GenTopology TopologyGen::ring_of_pods(const MetroConfig& cfg) {
       const std::int32_t p = c % cfg.pods;
       const std::int32_t q = (p + cfg.pods / 2) % cfg.pods;
       if (p == q) continue;
-      const NodeId a = spines[static_cast<std::size_t>(p)][0];
-      const NodeId bb = spines[static_cast<std::size_t>(q)][0];
+      const core::NodeId a = spines[static_cast<std::size_t>(p)][0];
+      const core::NodeId bb = spines[static_cast<std::size_t>(q)][0];
       if (!existing.insert(std::minmax(a, bb)).second) continue;
       b.link(a, bb, cfg.ring_link_delay);
     }

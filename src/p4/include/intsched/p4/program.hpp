@@ -57,7 +57,7 @@ class ForwardingProgram : public P4Program {
  protected:
   /// Sets ctx.egress_port toward `target` via the match-action table;
   /// marks the packet for drop when no entry exists.
-  static void forward_toward(PipelineContext& ctx, net::NodeId target);
+  static void forward_toward(PipelineContext& ctx, core::NodeId target);
 };
 
 }  // namespace intsched::p4

@@ -21,7 +21,7 @@ namespace intsched::p4 {
 struct SwitchConfig {
   /// 480 us + ~120 us serialization at 100 Mbps gives ~1670 pkt/s for
   /// 1.5 KB packets — the paper's observed ~20 Mbps effective capacity.
-  sim::SimTime proc_delay_mean = sim::SimTime::microseconds(480);
+  sim::SimDuration proc_delay_mean = sim::SimDuration::micros(480);
   /// Service time is uniform in mean * [1-f, 1+f]. Software switches are
   /// highly variable; the large default is what produces the paper's
   /// Fig.-3 queue build-up already at moderate utilization.
@@ -29,8 +29,8 @@ struct SwitchConfig {
   /// Occasional long stalls (OS scheduling of the BMv2 process): each
   /// packet stalls with this probability for stall_min..stall_max extra.
   double stall_probability = 0.004;
-  sim::SimTime stall_min = sim::SimTime::milliseconds(5);
-  sim::SimTime stall_max = sim::SimTime::milliseconds(25);
+  sim::SimDuration stall_min = sim::SimDuration::millis(5);
+  sim::SimDuration stall_max = sim::SimDuration::millis(25);
   std::uint64_t seed = 1;
 };
 
@@ -39,7 +39,7 @@ struct SwitchConfig {
 /// port, and run egress + deparser as they leave the queue.
 class P4Switch : public net::Node {
  public:
-  P4Switch(sim::Simulator& sim, net::NodeId id, std::string name,
+  P4Switch(sim::Simulator& sim, core::NodeId id, std::string name,
            const SwitchConfig& config = {});
 
   /// Loads a data-plane program. Must be called after all ports exist
@@ -49,7 +49,7 @@ class P4Switch : public net::Node {
 
   /// The L3 forwarding match-action table (dst node -> egress port).
   /// Populated automatically from route installation.
-  [[nodiscard]] ExactMatchTable<net::NodeId, std::int32_t>&
+  [[nodiscard]] ExactMatchTable<core::NodeId, std::int32_t>&
   forwarding_table() {
     return forwarding_table_;
   }
@@ -61,9 +61,9 @@ class P4Switch : public net::Node {
   // -- Node interface --
   void receive(net::Packet&& p, std::int32_t ingress_port) override;
   void on_egress(net::Packet& p, net::Port& out) override;
-  [[nodiscard]] sim::SimTime egress_service_delay(
+  [[nodiscard]] sim::SimDuration egress_service_delay(
       const net::Packet& p, const net::Port& out) override;
-  void set_route(net::NodeId dst, std::int32_t port_index) override;
+  void set_route(core::NodeId dst, std::int32_t port_index) override;
 
   [[nodiscard]] std::int64_t processed_packets() const { return processed_; }
   [[nodiscard]] std::int64_t pipeline_drops() const { return pipeline_drops_; }
@@ -79,7 +79,7 @@ class P4Switch : public net::Node {
   SwitchConfig config_;
   sim::Rng rng_;
   std::unique_ptr<P4Program> program_;
-  ExactMatchTable<net::NodeId, std::int32_t> forwarding_table_;
+  ExactMatchTable<core::NodeId, std::int32_t> forwarding_table_;
   std::unordered_map<std::string, std::unique_ptr<RegisterArray>> registers_;
   std::int64_t processed_ = 0;
   std::int64_t pipeline_drops_ = 0;

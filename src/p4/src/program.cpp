@@ -5,7 +5,7 @@
 namespace intsched::p4 {
 
 void ForwardingProgram::forward_toward(PipelineContext& ctx,
-                                       net::NodeId target) {
+                                       core::NodeId target) {
   const auto port = ctx.device.forwarding_table().lookup(target);
   if (!port.has_value() || *port < 0) {
     ctx.drop = true;

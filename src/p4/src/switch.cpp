@@ -6,7 +6,7 @@
 
 namespace intsched::p4 {
 
-P4Switch::P4Switch(sim::Simulator& sim, net::NodeId id, std::string name,
+P4Switch::P4Switch(sim::Simulator& sim, core::NodeId id, std::string name,
                    const SwitchConfig& config)
     : net::Node(sim, id, std::move(name), net::NodeKind::kSwitch),
       config_{config},
@@ -45,7 +45,7 @@ void P4Switch::on_online_changed() {
   for (auto& entry : registers_) entry.second->reset_all();
 }
 
-void P4Switch::set_route(net::NodeId dst, std::int32_t port_index) {
+void P4Switch::set_route(core::NodeId dst, std::int32_t port_index) {
   net::Node::set_route(dst, port_index);
   forwarding_table_.insert(dst, port_index);
 }
@@ -59,7 +59,7 @@ void P4Switch::receive(net::Packet&& p, std::int32_t ingress_port) {
     return;
   }
   p.meta_ingress_port = ingress_port;
-  p.meta_link_latency = sim::SimTime::nanoseconds(-1);
+  p.meta_link_latency = sim::SimDuration::nanos(-1);
 
   PipelineContext ctx{.packet = p,
                       .device = *this,
@@ -90,17 +90,17 @@ void P4Switch::on_egress(net::Packet& p, net::Port& out) {
   program_->deparse(ctx);
 }
 
-sim::SimTime P4Switch::egress_service_delay(const net::Packet& p,
+sim::SimDuration P4Switch::egress_service_delay(const net::Packet& p,
                                             const net::Port& out) {
   (void)p;
   (void)out;
   const double jitter =
       rng_.uniform_real(-config_.proc_jitter_frac, config_.proc_jitter_frac);
-  auto service = sim::SimTime::nanoseconds(static_cast<std::int64_t>(
+  auto service = sim::SimDuration::nanos(static_cast<std::int64_t>(
       static_cast<double>(config_.proc_delay_mean.ns()) * (1.0 + jitter)));
   if (config_.stall_probability > 0.0 &&
       rng_.chance(config_.stall_probability)) {
-    service += sim::SimTime::nanoseconds(
+    service += sim::SimDuration::nanos(
         rng_.uniform_int(config_.stall_min.ns(), config_.stall_max.ns()));
   }
   return service;

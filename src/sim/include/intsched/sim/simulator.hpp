@@ -47,14 +47,15 @@ class Simulator {
   EventId schedule_at(SimTime at, EventQueue::Callback cb);
 
   /// Schedules `cb` after the given delay (>= 0) from now.
-  EventId schedule_after(SimTime delay, EventQueue::Callback cb);
+  EventId schedule_after(SimDuration delay, EventQueue::Callback cb);
 
   /// Cancels a pending one-shot event.
   bool cancel(EventId id);
 
   /// Fires `cb` every `period` starting at now + `initial_delay`, until the
   /// returned handle is cancelled or the simulation ends.
-  PeriodicHandle schedule_periodic(SimTime initial_delay, SimTime period,
+  PeriodicHandle schedule_periodic(SimDuration initial_delay,
+                                   SimDuration period,
                                    std::function<void()> cb);
 
   /// Runs until the event queue drains or the clock passes `deadline`.

@@ -7,12 +7,110 @@
 
 namespace intsched::sim {
 
-/// Simulated time. A strong wrapper over a signed 64-bit nanosecond count so
-/// that durations and instants cannot be confused with plain integers.
+/// A span of simulated time. Signed 64-bit nanosecond count with explicit
+/// unit constructors; the duration half of the chrono-like
+/// SimDuration/SimTime pair (DESIGN.md "types as the analyzer").
 ///
-/// The simulation epoch is SimTime::zero(); all event timestamps are
-/// non-negative in practice, but arithmetic (differences) may produce
-/// negative values, which is why the representation is signed
+/// Durations and instants are distinct types on purpose: link delays,
+/// queue windows, probing intervals, and k-factors are durations; event
+/// timestamps are instants. Adding two instants, or passing a raw ns
+/// count where a duration is expected, no longer compiles.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  [[nodiscard]] static constexpr SimDuration zero() { return SimDuration{0}; }
+  [[nodiscard]] static constexpr SimDuration max() {
+    return SimDuration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] static constexpr SimDuration nanos(std::int64_t ns) {
+    return SimDuration{ns};
+  }
+  [[nodiscard]] static constexpr SimDuration micros(std::int64_t us) {
+    return SimDuration{us * 1'000};
+  }
+  [[nodiscard]] static constexpr SimDuration millis(std::int64_t ms) {
+    return SimDuration{ms * 1'000'000};
+  }
+  [[nodiscard]] static constexpr SimDuration secs(std::int64_t s) {
+    return SimDuration{s * 1'000'000'000};
+  }
+  // Long-form spellings, for symmetry with SimTime's factories.
+  [[nodiscard]] static constexpr SimDuration nanoseconds(std::int64_t ns) {
+    return nanos(ns);
+  }
+  [[nodiscard]] static constexpr SimDuration microseconds(std::int64_t us) {
+    return micros(us);
+  }
+  [[nodiscard]] static constexpr SimDuration milliseconds(std::int64_t ms) {
+    return millis(ms);
+  }
+  [[nodiscard]] static constexpr SimDuration seconds(std::int64_t s) {
+    return secs(s);
+  }
+  /// Converts a floating-point second count, e.g. from a rate computation.
+  [[nodiscard]] static constexpr SimDuration from_seconds(double s) {
+    return SimDuration{static_cast<std::int64_t>(s * 1e9)};
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double to_milliseconds() const {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+  [[nodiscard]] constexpr double to_microseconds() const {
+    return static_cast<double>(ns_) * 1e-3;
+  }
+
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration{a.ns_ + b.ns_};
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration{a.ns_ - b.ns_};
+  }
+  constexpr SimDuration operator-() const { return SimDuration{-ns_}; }
+  constexpr SimDuration& operator+=(SimDuration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  friend constexpr SimDuration operator*(SimDuration a, std::int64_t m) {
+    return SimDuration{a.ns_ * m};
+  }
+  friend constexpr SimDuration operator*(std::int64_t m, SimDuration a) {
+    return a * m;
+  }
+  friend constexpr SimDuration operator/(SimDuration a, std::int64_t d) {
+    return SimDuration{a.ns_ / d};
+  }
+  /// Ratio of two durations (e.g. elapsed / interval).
+  friend constexpr double operator/(SimDuration a, SimDuration b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+ private:
+  explicit constexpr SimDuration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of simulated time: a point on the simulation clock, measured
+/// as a signed 64-bit nanosecond offset from the epoch SimTime::zero().
+///
+/// The algebra is chrono-like and deliberately closed:
+///   instant - instant  -> SimDuration
+///   instant +- duration -> instant
+/// Instants cannot be added, scaled, or divided — those operations only
+/// make sense on durations, and requesting them is a unit bug the compiler
+/// now rejects. Event timestamps are non-negative in practice, but
+/// differences may be negative, which is why the representation is signed
 /// (Core Guidelines ES.102).
 class SimTime {
  public:
@@ -22,7 +120,11 @@ class SimTime {
   [[nodiscard]] static constexpr SimTime max() {
     return SimTime{std::numeric_limits<std::int64_t>::max()};
   }
+  [[nodiscard]] static constexpr SimTime min() {
+    return SimTime{std::numeric_limits<std::int64_t>::min()};
+  }
 
+  // Absolute-instant factories: "N units after the simulation epoch".
   [[nodiscard]] static constexpr SimTime nanoseconds(std::int64_t ns) {
     return SimTime{ns};
   }
@@ -39,8 +141,16 @@ class SimTime {
   [[nodiscard]] static constexpr SimTime from_seconds(double s) {
     return SimTime{static_cast<std::int64_t>(s * 1e9)};
   }
+  /// The instant `d` after the simulation epoch.
+  [[nodiscard]] static constexpr SimTime at(SimDuration d) {
+    return SimTime{d.ns()};
+  }
 
   [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  /// Offset from the simulation epoch, as a duration.
+  [[nodiscard]] constexpr SimDuration since_epoch() const {
+    return SimDuration::nanos(ns_);
+  }
   [[nodiscard]] constexpr double to_seconds() const {
     return static_cast<double>(ns_) * 1e-9;
   }
@@ -53,30 +163,25 @@ class SimTime {
 
   friend constexpr auto operator<=>(SimTime, SimTime) = default;
 
-  friend constexpr SimTime operator+(SimTime a, SimTime b) {
-    return SimTime{a.ns_ + b.ns_};
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return SimDuration::nanos(a.ns_ - b.ns_);
   }
-  friend constexpr SimTime operator-(SimTime a, SimTime b) {
-    return SimTime{a.ns_ - b.ns_};
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) {
+    return SimTime{t.ns_ + d.ns()};
   }
-  constexpr SimTime& operator+=(SimTime other) {
-    ns_ += other.ns_;
+  friend constexpr SimTime operator+(SimDuration d, SimTime t) {
+    return t + d;
+  }
+  friend constexpr SimTime operator-(SimTime t, SimDuration d) {
+    return SimTime{t.ns_ - d.ns()};
+  }
+  constexpr SimTime& operator+=(SimDuration d) {
+    ns_ += d.ns();
     return *this;
   }
-  constexpr SimTime& operator-=(SimTime other) {
-    ns_ -= other.ns_;
+  constexpr SimTime& operator-=(SimDuration d) {
+    ns_ -= d.ns();
     return *this;
-  }
-  friend constexpr SimTime operator*(SimTime a, std::int64_t m) {
-    return SimTime{a.ns_ * m};
-  }
-  friend constexpr SimTime operator*(std::int64_t m, SimTime a) { return a * m; }
-  friend constexpr SimTime operator/(SimTime a, std::int64_t d) {
-    return SimTime{a.ns_ / d};
-  }
-  /// Ratio of two durations (e.g. elapsed / interval).
-  friend constexpr double operator/(SimTime a, SimTime b) {
-    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
   }
 
  private:
@@ -86,5 +191,6 @@ class SimTime {
 
 /// Human-readable rendering with an auto-selected unit, e.g. "12.5ms".
 [[nodiscard]] std::string to_string(SimTime t);
+[[nodiscard]] std::string to_string(SimDuration d);
 
 }  // namespace intsched::sim

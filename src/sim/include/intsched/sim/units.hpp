@@ -36,12 +36,12 @@ class DataRate {
   [[nodiscard]] constexpr double mbps() const { return bits_per_sec_ * 1e-6; }
 
   /// Time to serialize `size` bytes onto a medium at this rate.
-  [[nodiscard]] constexpr SimTime transmission_time(Bytes size) const {
-    return SimTime::from_seconds(static_cast<double>(size) * 8.0 /
-                                 bits_per_sec_);
+  [[nodiscard]] constexpr SimDuration transmission_time(Bytes size) const {
+    return SimDuration::from_seconds(static_cast<double>(size) * 8.0 /
+                                     bits_per_sec_);
   }
   /// Bytes transferable in `window` at this rate.
-  [[nodiscard]] constexpr Bytes bytes_in(SimTime window) const {
+  [[nodiscard]] constexpr Bytes bytes_in(SimDuration window) const {
     return static_cast<Bytes>(bits_per_sec_ * window.to_seconds() / 8.0);
   }
 

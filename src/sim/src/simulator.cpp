@@ -18,9 +18,15 @@ std::string to_string(SimTime t) {
   return cat(t.ns(), "ns");
 }
 
+std::string to_string(SimDuration d) {
+  // A duration renders exactly like the instant at the same offset; the
+  // types differ so arithmetic is checked, not so the formatting is.
+  return to_string(SimTime::at(d));
+}
+
 struct PeriodicHandle::State {
   Simulator* sim = nullptr;
-  SimTime period;
+  SimDuration period;
   std::function<void()> cb;
   EventId pending;
   bool cancelled = false;
@@ -41,8 +47,9 @@ EventId Simulator::schedule_at(SimTime at, EventQueue::Callback cb) {
   return queue_.push(at, std::move(cb));
 }
 
-EventId Simulator::schedule_after(SimTime delay, EventQueue::Callback cb) {
-  if (delay < SimTime::zero()) {
+EventId Simulator::schedule_after(SimDuration delay,
+                                  EventQueue::Callback cb) {
+  if (delay < SimDuration::zero()) {
     throw std::invalid_argument("schedule_after: negative delay");
   }
   return queue_.push(now_ + delay, std::move(cb));
@@ -59,10 +66,10 @@ void Simulator::arm_periodic(
   });
 }
 
-PeriodicHandle Simulator::schedule_periodic(SimTime initial_delay,
-                                            SimTime period,
+PeriodicHandle Simulator::schedule_periodic(SimDuration initial_delay,
+                                            SimDuration period,
                                             std::function<void()> cb) {
-  if (period <= SimTime::zero()) {
+  if (period <= SimDuration::zero()) {
     throw std::invalid_argument("schedule_periodic: period must be positive");
   }
   auto state = std::make_shared<PeriodicHandle::State>();

@@ -12,13 +12,13 @@ namespace intsched::telemetry {
 /// One parsed probe packet, in scheduler-side terms. Entries are in
 /// traversal order — the property the network-mapping step relies on.
 struct ProbeReport {
-  net::NodeId src = net::kInvalidNode;  ///< probing edge server
-  net::NodeId dst = net::kInvalidNode;  ///< the collector host
+  core::NodeId src = core::kInvalidNode;  ///< probing edge server
+  core::NodeId dst = core::kInvalidNode;  ///< the collector host
   sim::SimTime arrival = sim::SimTime::zero();
   std::vector<net::IntStackEntry> entries;
   /// Latency of the final hop (last switch -> collector host), measured by
   /// the collector from the last switch's egress timestamp.
-  sim::SimTime final_link_latency = sim::SimTime::nanoseconds(-1);
+  sim::SimDuration final_link_latency = sim::SimDuration::nanos(-1);
 };
 
 /// Scheduler-side INT termination point: validates and parses probe

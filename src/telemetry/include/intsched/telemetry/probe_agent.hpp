@@ -15,17 +15,17 @@ namespace intsched::telemetry {
 
 struct ProbeConfig {
   /// Paper default: a probe from every edge server each 100 ms.
-  sim::SimTime interval = sim::SimTime::milliseconds(100);
+  sim::SimDuration interval = sim::SimDuration::millis(100);
   /// First probe fires after this offset; stagger agents so the collector
   /// is not hit by synchronized bursts.
-  sim::SimTime start_offset = sim::SimTime::zero();
+  sim::SimDuration start_offset = sim::SimDuration::zero();
   /// Paper sizes probes at ~1.5 KB (10 pkt/s * 1.5 KB = 120 Kbps per
   /// server). The INT stack grows this by 32 B per hop on top.
   sim::Bytes base_size = 1400;
   /// Loose source route: switches to visit (in order) before reaching the
   /// collector — the paper's probe-route-optimization future work. Empty
   /// = shortest path, the paper's default behaviour.
-  std::vector<net::NodeId> waypoints;
+  std::vector<core::NodeId> waypoints;
   /// Fault-injection opt-in: when set, every probe consults the plan for
   /// drop/delay/duplicate decisions before entering the network. Null (the
   /// default) skips all fault checks — the seed's zero-cost behaviour.
@@ -37,7 +37,7 @@ struct ProbeConfig {
 /// first switch can measure the access-link latency too.
 class ProbeAgent {
  public:
-  ProbeAgent(net::Host& host, net::NodeId collector, ProbeConfig config = {});
+  ProbeAgent(net::Host& host, core::NodeId collector, ProbeConfig config = {});
   ~ProbeAgent() { stop(); }
   ProbeAgent(const ProbeAgent&) = delete;
   ProbeAgent& operator=(const ProbeAgent&) = delete;
@@ -46,8 +46,8 @@ class ProbeAgent {
   void stop();
   [[nodiscard]] bool running() const { return timer_.active(); }
 
-  void set_interval(sim::SimTime interval);
-  [[nodiscard]] sim::SimTime interval() const { return config_.interval; }
+  void set_interval(sim::SimDuration interval);
+  [[nodiscard]] sim::SimDuration interval() const { return config_.interval; }
 
   [[nodiscard]] std::int64_t probes_sent() const { return sent_; }
   [[nodiscard]] sim::Bytes bytes_sent() const { return bytes_sent_; }
@@ -63,7 +63,7 @@ class ProbeAgent {
   void emit_probe();
 
   net::Host& host_;
-  net::NodeId collector_;
+  core::NodeId collector_;
   ProbeConfig config_;
   sim::PeriodicHandle timer_;
   std::vector<sim::EventId> delayed_probes_;

@@ -79,7 +79,7 @@ void IntTelemetryProgram::egress(p4::PipelineContext& ctx) {
   const std::int64_t cnt = device_cnt_queue_->collect(0);
   entry.device_avg_queue_x100 = cnt > 0 ? sum * 100 / cnt : 0;
   entry.max_hop_latency =
-      sim::SimTime::nanoseconds(device_max_hop_latency_->collect(0));
+      sim::SimDuration::nanos(device_max_hop_latency_->collect(0));
   entry.ingress_link_latency = ctx.packet.meta_link_latency;
   entry.egress_timestamp = ctx.now;
   ctx.packet.int_stack.push_back(entry);

@@ -4,7 +4,7 @@
 
 namespace intsched::telemetry {
 
-ProbeAgent::ProbeAgent(net::Host& host, net::NodeId collector,
+ProbeAgent::ProbeAgent(net::Host& host, core::NodeId collector,
                        ProbeConfig config)
     : host_{host}, collector_{collector}, config_{config} {}
 
@@ -22,7 +22,7 @@ void ProbeAgent::stop() {
   delayed_probes_.clear();
 }
 
-void ProbeAgent::set_interval(sim::SimTime interval) {
+void ProbeAgent::set_interval(sim::SimDuration interval) {
   config_.interval = interval;
   if (timer_.active()) {
     stop();

@@ -14,7 +14,7 @@ class TcpEndpoint;
 
 /// Key identifying one TCP connection from the local host's point of view.
 struct ConnKey {
-  net::NodeId peer = net::kInvalidNode;
+  core::NodeId peer = core::kInvalidNode;
   net::PortNumber local_port = 0;
   net::PortNumber remote_port = 0;
   friend constexpr bool operator==(const ConnKey&, const ConnKey&) = default;
@@ -23,7 +23,7 @@ struct ConnKey {
 struct ConnKeyHash {
   std::size_t operator()(const ConnKey& k) const {
     const auto a = static_cast<std::uint64_t>(
-        static_cast<std::uint32_t>(k.peer));
+        static_cast<std::uint32_t>(k.peer.value()));
     return std::hash<std::uint64_t>{}(
         (a << 32) | (static_cast<std::uint64_t>(k.local_port) << 16) |
         k.remote_port);
@@ -55,7 +55,7 @@ class HostStack {
 
   /// Sends a UDP datagram. `size` is the wire size including headers (use
   /// datagram_size() to build it from a payload size).
-  bool send_datagram(net::NodeId dst, net::PortNumber src_port,
+  bool send_datagram(core::NodeId dst, net::PortNumber src_port,
                      net::PortNumber dst_port, sim::Bytes size,
                      std::shared_ptr<const net::AppMessage> app = nullptr);
 

@@ -19,13 +19,13 @@ class IperfUdpSender {
     net::PortNumber dst_port = net::kIperfPort;
   };
 
-  IperfUdpSender(HostStack& stack, net::NodeId dst, Config config);
+  IperfUdpSender(HostStack& stack, core::NodeId dst, Config config);
   ~IperfUdpSender() { stop(); }
   IperfUdpSender(const IperfUdpSender&) = delete;
   IperfUdpSender& operator=(const IperfUdpSender&) = delete;
 
   /// Starts sending; if `duration` > 0 the sender stops by itself.
-  void start(sim::SimTime duration = sim::SimTime::zero());
+  void start(sim::SimDuration duration = sim::SimDuration::zero());
   void stop();
   [[nodiscard]] bool running() const { return timer_.active(); }
 
@@ -36,7 +36,7 @@ class IperfUdpSender {
   void send_one();
 
   HostStack& stack_;
-  net::NodeId dst_;
+  core::NodeId dst_;
   Config cfg_;
   net::PortNumber src_port_ = 0;
   sim::PeriodicHandle timer_;
@@ -70,13 +70,13 @@ class IperfUdpSink {
 /// TcpSender and reports the achieved throughput.
 class IperfTcpSender {
  public:
-  IperfTcpSender(HostStack& stack, net::NodeId dst, sim::Bytes bytes,
+  IperfTcpSender(HostStack& stack, core::NodeId dst, sim::Bytes bytes,
                  net::PortNumber dst_port = net::kIperfPort,
                  TcpConfig config = {});
 
   void start();
   [[nodiscard]] bool complete() const;
-  [[nodiscard]] sim::SimTime elapsed() const;
+  [[nodiscard]] sim::SimDuration elapsed() const;
   [[nodiscard]] sim::DataRate throughput() const;
   [[nodiscard]] TcpSender& sender() { return *sender_; }
 

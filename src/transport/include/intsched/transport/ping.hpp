@@ -30,7 +30,7 @@ class PingResponder {
 /// Parameters for PingApp. Defined outside the class because GCC rejects
 /// brace-default arguments of nested aggregates with member initializers.
 struct PingConfig {
-  sim::SimTime interval = sim::SimTime::seconds(1);
+  sim::SimDuration interval = sim::SimDuration::secs(1);
   sim::Bytes packet_size = 64 + net::kHeaderBytes;
 };
 
@@ -41,7 +41,7 @@ class PingApp {
  public:
   using Config = PingConfig;
 
-  PingApp(HostStack& stack, net::NodeId dst, Config config = {});
+  PingApp(HostStack& stack, core::NodeId dst, Config config = {});
   ~PingApp() { stop(); }
   PingApp(const PingApp&) = delete;
   PingApp& operator=(const PingApp&) = delete;
@@ -60,7 +60,7 @@ class PingApp {
   void send_request();
 
   HostStack& stack_;
-  net::NodeId dst_;
+  core::NodeId dst_;
   Config cfg_;
   net::PortNumber src_port_ = 0;
   sim::PeriodicHandle timer_;

@@ -16,9 +16,9 @@ struct TcpConfig {
   std::int64_t initial_window_segments = 10;
   /// Receive-window cap on the congestion window.
   sim::Bytes max_window = 256 * sim::kKiB;
-  sim::SimTime initial_rto = sim::SimTime::seconds(1);
-  sim::SimTime min_rto = sim::SimTime::milliseconds(200);
-  sim::SimTime max_rto = sim::SimTime::seconds(60);
+  sim::SimDuration initial_rto = sim::SimDuration::secs(1);
+  sim::SimDuration min_rto = sim::SimDuration::millis(200);
+  sim::SimDuration max_rto = sim::SimDuration::secs(60);
 };
 
 /// Message framing for a one-shot transfer: total size plus an optional
@@ -37,7 +37,7 @@ class TcpSender : public TcpEndpoint {
  public:
   using CompletionHandler = std::function<void(TcpSender&)>;
 
-  TcpSender(HostStack& stack, net::NodeId dst, net::PortNumber dst_port,
+  TcpSender(HostStack& stack, core::NodeId dst, net::PortNumber dst_port,
             sim::Bytes payload_bytes,
             std::shared_ptr<const net::AppMessage> message = nullptr,
             TcpConfig config = {});
@@ -61,7 +61,7 @@ class TcpSender : public TcpEndpoint {
   [[nodiscard]] std::int64_t retransmissions() const { return retransmits_; }
   [[nodiscard]] std::int64_t timeouts() const { return timeouts_; }
   [[nodiscard]] double cwnd_bytes() const { return cwnd_; }
-  [[nodiscard]] sim::SimTime smoothed_rtt() const { return srtt_; }
+  [[nodiscard]] sim::SimDuration smoothed_rtt() const { return srtt_; }
 
  private:
   void send_syn();
@@ -71,11 +71,11 @@ class TcpSender : public TcpEndpoint {
   void enter_fast_retransmit();
   void arm_rto();
   void on_rto();
-  void update_rtt(sim::SimTime sample);
+  void update_rtt(sim::SimDuration sample);
   void finish();
 
   HostStack& stack_;
-  net::NodeId dst_;
+  core::NodeId dst_;
   net::PortNumber dst_port_;
   net::PortNumber src_port_;
   sim::Bytes total_;
@@ -94,9 +94,9 @@ class TcpSender : public TcpEndpoint {
 
   // RTT estimation (RFC 6298) with Karn's rule: only segments sent exactly
   // once are sampled, one at a time.
-  sim::SimTime srtt_ = sim::SimTime::zero();
-  sim::SimTime rttvar_ = sim::SimTime::zero();
-  sim::SimTime rto_;
+  sim::SimDuration srtt_ = sim::SimDuration::zero();
+  sim::SimDuration rttvar_ = sim::SimDuration::zero();
+  sim::SimDuration rto_;
   std::int64_t rtt_seq_ = -1;
   sim::SimTime rtt_sent_at_ = sim::SimTime::zero();
 
@@ -116,7 +116,7 @@ class TcpReceiver : public TcpEndpoint {
   using CompletionHandler =
       std::function<void(TcpReceiver&, std::shared_ptr<const net::AppMessage>)>;
 
-  TcpReceiver(HostStack& stack, net::NodeId peer, net::PortNumber peer_port,
+  TcpReceiver(HostStack& stack, core::NodeId peer, net::PortNumber peer_port,
               net::PortNumber local_port, CompletionHandler on_complete,
               TcpConfig config = {});
   ~TcpReceiver() override;
@@ -125,7 +125,7 @@ class TcpReceiver : public TcpEndpoint {
 
   void on_segment(const net::Packet& p) override;
 
-  [[nodiscard]] net::NodeId peer() const { return peer_; }
+  [[nodiscard]] core::NodeId peer() const { return peer_; }
   [[nodiscard]] bool complete() const { return complete_; }
   [[nodiscard]] sim::Bytes bytes_received() const { return rcv_nxt_; }
   [[nodiscard]] sim::SimTime first_segment_time() const { return first_rx_; }
@@ -136,7 +136,7 @@ class TcpReceiver : public TcpEndpoint {
   void merge_range(std::int64_t begin, std::int64_t end);
 
   HostStack& stack_;
-  net::NodeId peer_;
+  core::NodeId peer_;
   net::PortNumber peer_port_;
   net::PortNumber local_port_;
   CompletionHandler on_complete_;
@@ -158,7 +158,7 @@ class TcpListener {
   /// on_transfer(peer, bytes, message, receiver) fires when a transfer
   /// completes.
   using TransferHandler = std::function<void(
-      net::NodeId, sim::Bytes, std::shared_ptr<const net::AppMessage>)>;
+      core::NodeId, sim::Bytes, std::shared_ptr<const net::AppMessage>)>;
 
   TcpListener(HostStack& stack, net::PortNumber port,
               TransferHandler on_transfer, TcpConfig config = {});

@@ -14,7 +14,7 @@ void HostStack::unbind_udp(net::PortNumber port) {
   udp_handlers_.erase(port);
 }
 
-bool HostStack::send_datagram(net::NodeId dst, net::PortNumber src_port,
+bool HostStack::send_datagram(core::NodeId dst, net::PortNumber src_port,
                               net::PortNumber dst_port, sim::Bytes size,
                               std::shared_ptr<const net::AppMessage> app) {
   net::Packet p;

@@ -2,17 +2,19 @@
 
 namespace intsched::transport {
 
-IperfUdpSender::IperfUdpSender(HostStack& stack, net::NodeId dst,
+IperfUdpSender::IperfUdpSender(HostStack& stack, core::NodeId dst,
                                Config config)
     : stack_{stack}, dst_{dst}, cfg_{config} {}
 
-void IperfUdpSender::start(sim::SimTime duration) {
+void IperfUdpSender::start(sim::SimDuration duration) {
   if (timer_.active()) return;
   src_port_ = stack_.allocate_port();
-  const sim::SimTime spacing = cfg_.rate.transmission_time(cfg_.packet_size);
-  timer_ = stack_.simulator().schedule_periodic(sim::SimTime::zero(), spacing,
+  const sim::SimDuration spacing =
+      cfg_.rate.transmission_time(cfg_.packet_size);
+  timer_ = stack_.simulator().schedule_periodic(sim::SimDuration::zero(),
+                                                spacing,
                                                 [this] { send_one(); });
-  if (duration > sim::SimTime::zero()) {
+  if (duration > sim::SimDuration::zero()) {
     stop_event_ = stack_.simulator().schedule_after(duration, [this] {
       stop_armed_ = false;
       stop();
@@ -48,15 +50,15 @@ IperfUdpSink::IperfUdpSink(HostStack& stack, net::PortNumber port) {
 }
 
 sim::DataRate IperfUdpSink::goodput() const {
-  const sim::SimTime span = last_ - first_;
-  if (span <= sim::SimTime::zero()) {
+  const sim::SimDuration span = last_ - first_;
+  if (span <= sim::SimDuration::zero()) {
     return sim::DataRate::bits_per_second(0.0);
   }
   return sim::DataRate::bits_per_second(static_cast<double>(bytes_) * 8.0 /
                                         span.to_seconds());
 }
 
-IperfTcpSender::IperfTcpSender(HostStack& stack, net::NodeId dst,
+IperfTcpSender::IperfTcpSender(HostStack& stack, core::NodeId dst,
                                sim::Bytes bytes, net::PortNumber dst_port,
                                TcpConfig config)
     : sender_{std::make_unique<TcpSender>(stack, dst, dst_port, bytes,
@@ -67,13 +69,13 @@ void IperfTcpSender::start() { sender_->start(); }
 
 bool IperfTcpSender::complete() const { return sender_->complete(); }
 
-sim::SimTime IperfTcpSender::elapsed() const {
+sim::SimDuration IperfTcpSender::elapsed() const {
   return sender_->completion_time() - sender_->start_time();
 }
 
 sim::DataRate IperfTcpSender::throughput() const {
-  const sim::SimTime span = elapsed();
-  if (!complete() || span <= sim::SimTime::zero()) {
+  const sim::SimDuration span = elapsed();
+  if (!complete() || span <= sim::SimDuration::zero()) {
     return sim::DataRate::bits_per_second(0.0);
   }
   return sim::DataRate::bits_per_second(static_cast<double>(bytes_) * 8.0 /
@@ -83,7 +85,7 @@ sim::DataRate IperfTcpSender::throughput() const {
 IperfTcpServer::IperfTcpServer(HostStack& stack, net::PortNumber port)
     : listener_{std::make_unique<TcpListener>(
           stack, port,
-          [](net::NodeId, sim::Bytes,
+          [](core::NodeId, sim::Bytes,
              std::shared_ptr<const net::AppMessage>) {})} {}
 
 }  // namespace intsched::transport

@@ -13,13 +13,14 @@ PingResponder::PingResponder(HostStack& stack) {
   });
 }
 
-PingApp::PingApp(HostStack& stack, net::NodeId dst, Config config)
+PingApp::PingApp(HostStack& stack, core::NodeId dst, Config config)
     : stack_{stack}, dst_{dst}, cfg_{config} {
   src_port_ = stack_.allocate_port();
   stack_.bind_udp(src_port_, [this](const net::Packet& p) {
     const auto* echo = dynamic_cast<const EchoMessage*>(p.app.get());
     if (echo == nullptr) return;
     ++received_;
+    // intsched-lint: allow(raw-unit): stats accumulator, fractional ms
     const double rtt_ms =
         (stack_.simulator().now() - echo->sent_at).to_milliseconds();
     rtt_ms_.add(rtt_ms);
@@ -30,7 +31,7 @@ PingApp::PingApp(HostStack& stack, net::NodeId dst, Config config)
 void PingApp::start() {
   if (timer_.active()) return;
   timer_ = stack_.simulator().schedule_periodic(
-      sim::SimTime::zero(), cfg_.interval, [this] { send_request(); });
+      sim::SimDuration::zero(), cfg_.interval, [this] { send_request(); });
 }
 
 void PingApp::stop() { timer_.cancel(); }

@@ -6,7 +6,7 @@
 namespace intsched::transport {
 namespace {
 
-net::Packet make_tcp_packet(net::NodeId src, net::NodeId dst,
+net::Packet make_tcp_packet(core::NodeId src, core::NodeId dst,
                             net::PortNumber src_port,
                             net::PortNumber dst_port, std::int64_t seq,
                             std::int64_t ack, net::TcpFlag flags,
@@ -28,7 +28,7 @@ net::Packet make_tcp_packet(net::NodeId src, net::NodeId dst,
 
 // ---------------------------------------------------------------- sender
 
-TcpSender::TcpSender(HostStack& stack, net::NodeId dst,
+TcpSender::TcpSender(HostStack& stack, core::NodeId dst,
                      net::PortNumber dst_port, sim::Bytes payload_bytes,
                      std::shared_ptr<const net::AppMessage> message,
                      TcpConfig config)
@@ -190,12 +190,13 @@ void TcpSender::on_rto() {
   arm_rto();
 }
 
-void TcpSender::update_rtt(sim::SimTime sample) {
-  if (srtt_ == sim::SimTime::zero()) {
+void TcpSender::update_rtt(sim::SimDuration sample) {
+  if (srtt_ == sim::SimDuration::zero()) {
     srtt_ = sample;
     rttvar_ = sample / 2;
   } else {
-    const sim::SimTime err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+    const sim::SimDuration err =
+        sample > srtt_ ? sample - srtt_ : srtt_ - sample;
     rttvar_ = (rttvar_ * 3) / 4 + err / 4;
     srtt_ = (srtt_ * 7) / 8 + sample / 8;
   }
@@ -220,7 +221,7 @@ void TcpSender::finish() {
 
 // -------------------------------------------------------------- receiver
 
-TcpReceiver::TcpReceiver(HostStack& stack, net::NodeId peer,
+TcpReceiver::TcpReceiver(HostStack& stack, core::NodeId peer,
                          net::PortNumber peer_port,
                          net::PortNumber local_port,
                          CompletionHandler on_complete, TcpConfig config)

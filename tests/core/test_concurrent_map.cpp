@@ -21,11 +21,12 @@
 namespace intsched::core {
 namespace {
 
-sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+sim::SimDuration ms(int v) { return sim::SimDuration::milliseconds(v); }
+sim::SimTime at_ms(int v) { return sim::SimTime::at(ms(v)); }
 
-net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
+net::IntStackEntry entry(core::NodeId device, std::int32_t in_port,
                          std::int32_t out_port, std::int64_t queue,
-                         sim::SimTime link_latency) {
+                         sim::SimDuration link_latency) {
   net::IntStackEntry e;
   e.device = device;
   e.ingress_port = in_port;
@@ -40,11 +41,11 @@ net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
 telemetry::ProbeReport simple_report(std::int64_t q10 = 0,
                                      std::int64_t q11 = 0) {
   telemetry::ProbeReport r;
-  r.src = 0;
-  r.dst = 1;
+  r.src = core::NodeId{0};
+  r.dst = core::NodeId{1};
   r.entries = {
-      entry(10, 0, 2, q10, ms(10)),
-      entry(11, 1, 3, q11, ms(12)),
+      entry(core::NodeId{10}, 0, 2, q10, ms(10)),
+      entry(core::NodeId{11}, 1, 3, q11, ms(12)),
   };
   r.final_link_latency = ms(9);
   return r;
@@ -80,31 +81,31 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST_P(ConcurrentMapModes, SingleThreadedBehaviourMatchesNetworkMap) {
   ConcurrentNetworkMap shared{{}, {}, GetParam()};
-  shared.ingest(simple_report(), ms(0));
+  shared.ingest(simple_report(), at_ms(0));
 
   NetworkMap plain;
-  plain.ingest(simple_report(), ms(0));
+  plain.ingest(simple_report(), at_ms(0));
 
-  EXPECT_TRUE(shared.knows_node(10));
+  EXPECT_TRUE(shared.knows_node(core::NodeId{10}));
   EXPECT_EQ(shared.reports_ingested(), 1);
   EXPECT_EQ(shared.rejected_entries(), 0);
-  EXPECT_EQ(shared.link_delay(0, 10), plain.link_delay(0, 10));
-  EXPECT_EQ(shared.link_delay(10, 11), plain.link_delay(10, 11));
+  EXPECT_EQ(shared.link_delay(core::NodeId{0}, core::NodeId{10}), plain.link_delay(core::NodeId{0}, core::NodeId{10}));
+  EXPECT_EQ(shared.link_delay(core::NodeId{10}, core::NodeId{11}), plain.link_delay(core::NodeId{10}, core::NodeId{11}));
 }
 
 TEST_P(ConcurrentMapModes, RankMatchesDirectRankerAndCountsQueries) {
   ConcurrentNetworkMap shared{{}, {}, GetParam()};
-  shared.ingest(simple_report(), ms(0));
+  shared.ingest(simple_report(), at_ms(0));
 
   NetworkMap plain;
-  plain.ingest(simple_report(), ms(0));
+  plain.ingest(simple_report(), at_ms(0));
   const Ranker ranker{plain};
 
-  const std::vector<net::NodeId> candidates{1};
+  const std::vector<core::NodeId> candidates{core::NodeId{1}};
   const std::vector<ServerRank> got =
-      shared.rank(0, candidates, RankingMetric::kDelay, ms(1));
+      shared.rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(1));
   const std::vector<ServerRank> want =
-      ranker.rank(0, candidates, RankingMetric::kDelay, ms(1));
+      ranker.rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(1));
 
   expect_ranks_identical(got, want);
   EXPECT_EQ(shared.queries_served(), 1);
@@ -118,21 +119,21 @@ TEST_P(ConcurrentMapModes, IngestBatchMatchesSequentialIngests) {
   for (int i = 0; i < 8; ++i) {
     burst.push_back(simple_report(i % 5, (i * 3) % 7));
   }
-  batched.ingest_batch(burst, ms(5));
-  for (const auto& r : burst) sequential.ingest(r, ms(5));
+  batched.ingest_batch(burst, at_ms(5));
+  for (const auto& r : burst) sequential.ingest(r, at_ms(5));
 
   EXPECT_EQ(batched.reports_ingested(), sequential.reports_ingested());
-  const std::vector<net::NodeId> candidates{1, 99};
+  const std::vector<core::NodeId> candidates{core::NodeId{1}, core::NodeId{99}};
   for (const auto metric :
        {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
-    expect_ranks_identical(batched.rank(0, candidates, metric, ms(6)),
-                           sequential.rank(0, candidates, metric, ms(6)));
+    expect_ranks_identical(batched.rank(core::NodeId{0}, candidates, metric, at_ms(6)),
+                           sequential.rank(core::NodeId{0}, candidates, metric, at_ms(6)));
   }
 }
 
 TEST_P(ConcurrentMapModes, EmptyBatchIsANoOp) {
   ConcurrentNetworkMap shared{{}, {}, GetParam()};
-  shared.ingest_batch({}, ms(0));
+  shared.ingest_batch({}, at_ms(0));
   EXPECT_EQ(shared.reports_ingested(), 0);
 }
 
@@ -143,23 +144,23 @@ TEST_P(ConcurrentMapModes, EmptyBatchIsANoOp) {
 // served until the next ingest.
 TEST_P(ConcurrentMapModes, KFactorChangeAppliesWithoutNewIngest) {
   ConcurrentNetworkMap shared{{}, {}, GetParam()};
-  shared.ingest(simple_report(6, 4), ms(0));
+  shared.ingest(simple_report(6, 4), at_ms(0));
 
-  const std::vector<net::NodeId> candidates{1};
+  const std::vector<core::NodeId> candidates{core::NodeId{1}};
   const std::vector<ServerRank> before =
-      shared.rank(0, candidates, RankingMetric::kDelay, ms(1));
+      shared.rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(1));
 
   shared.set_k_factor(ms(50));
   const std::vector<ServerRank> after =
-      shared.rank(0, candidates, RankingMetric::kDelay, ms(1));
+      shared.rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(1));
 
   NetworkMap plain;
-  plain.ingest(simple_report(6, 4), ms(0));
+  plain.ingest(simple_report(6, 4), at_ms(0));
   RankerConfig cfg;
   cfg.k_factor = ms(50);
   const Ranker ranker{plain, cfg};
   const std::vector<ServerRank> want =
-      ranker.rank(0, candidates, RankingMetric::kDelay, ms(1));
+      ranker.rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(1));
 
   ASSERT_EQ(before.size(), 1u);
   EXPECT_NE(before[0].delay_estimate, after[0].delay_estimate)
@@ -174,15 +175,15 @@ TEST(ConcurrentNetworkMapTest, ModesAreByteIdenticalOverAnIngestSequence) {
   ConcurrentNetworkMap snap{{}, {}, ConcurrencyMode::kSnapshot};
   ConcurrentNetworkMap locked{{}, {}, ConcurrencyMode::kLockedFacade};
 
-  const std::vector<net::NodeId> candidates{1, 99};
+  const std::vector<core::NodeId> candidates{core::NodeId{1}, core::NodeId{99}};
   for (int i = 0; i < 20; ++i) {
     const telemetry::ProbeReport r = simple_report(i % 7, (i * 5) % 11);
-    snap.ingest(r, ms(i));
-    locked.ingest(r, ms(i));
+    snap.ingest(r, at_ms(i));
+    locked.ingest(r, at_ms(i));
     for (const auto metric :
          {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
-      expect_ranks_identical(snap.rank(0, candidates, metric, ms(i)),
-                             locked.rank(0, candidates, metric, ms(i)));
+      expect_ranks_identical(snap.rank(core::NodeId{0}, candidates, metric, at_ms(i)),
+                             locked.rank(core::NodeId{0}, candidates, metric, at_ms(i)));
     }
   }
   EXPECT_EQ(snap.reports_ingested(), locked.reports_ingested());
@@ -196,16 +197,16 @@ TEST_P(ConcurrentMapModes, ConcurrentIngestAndRankKeepTotalsExact) {
 
   ConcurrentNetworkMap shared{{}, {}, GetParam()};
   // Seed the topology so rank tasks have a graph from the first instant.
-  shared.ingest(simple_report(), ms(0));
+  shared.ingest(simple_report(), at_ms(0));
 
-  const std::vector<net::NodeId> candidates{1, 99};
+  const std::vector<core::NodeId> candidates{core::NodeId{1}, core::NodeId{99}};
   std::vector<std::function<void()>> tasks;
   for (int t = 0; t < kIngestTasks; ++t) {
     tasks.push_back([&shared, t] {
       for (int i = 0; i < kOpsPerTask; ++i) {
         // Distinct queue values and times per task: every ingest really
         // mutates the EWMAs, windows, and the published epoch.
-        shared.ingest(simple_report(i % 7, (i + t) % 5), ms(1 + i));
+        shared.ingest(simple_report(i % 7, (i + t) % 5), at_ms(1 + i));
       }
     });
   }
@@ -213,7 +214,7 @@ TEST_P(ConcurrentMapModes, ConcurrentIngestAndRankKeepTotalsExact) {
     tasks.push_back([&shared, &candidates] {
       for (int i = 0; i < kOpsPerTask; ++i) {
         const std::vector<ServerRank> ranked =
-            shared.rank(0, candidates, RankingMetric::kDelay, ms(1 + i));
+            shared.rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(1 + i));
         // Interleaving-insensitive: shape and ordering policy only.
         ASSERT_EQ(ranked.size(), candidates.size());
         EXPECT_LE(ranked[0].delay_estimate, ranked[1].delay_estimate);
@@ -229,10 +230,10 @@ TEST_P(ConcurrentMapModes, ConcurrentIngestAndRankKeepTotalsExact) {
 
   // After the join the state has quiesced: ranking is deterministic again.
   const std::vector<ServerRank> final_rank =
-      shared.rank(0, candidates, RankingMetric::kDelay, ms(kOpsPerTask));
+      shared.rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(kOpsPerTask));
   ASSERT_EQ(final_rank.size(), 2u);
-  EXPECT_EQ(final_rank[0].server, 1);
-  EXPECT_EQ(final_rank[1].server, 99);  // never probed: unreachable, last
+  EXPECT_EQ(final_rank[0].server, core::NodeId{1});
+  EXPECT_EQ(final_rank[1].server, core::NodeId{99});  // never probed: unreachable, last
 }
 
 }  // namespace

@@ -34,34 +34,34 @@ struct ExtensionFixture : ::testing::Test {
 
 TEST_F(ExtensionFixture, CapabilityFilterExcludesUnqualified) {
   make_service();
-  service->register_edge_server(1, {"gpu"});
-  service->register_edge_server(2, {"gpu", "keras"});
-  service->register_edge_server(3, {});
+  service->register_edge_server(core::NodeId{1}, {"gpu"});
+  service->register_edge_server(core::NodeId{2}, {"gpu", "keras"});
+  service->register_edge_server(core::NodeId{3}, {});
   sim.run_until(sim::SimTime::seconds(1));
 
-  const auto any = service->rank_for(0, RankingMetric::kDelay);
+  const auto any = service->rank_for(core::NodeId{0}, RankingMetric::kDelay);
   EXPECT_EQ(any.size(), 3u);
 
-  const auto gpu = service->rank_for(0, RankingMetric::kDelay, {"gpu"});
+  const auto gpu = service->rank_for(core::NodeId{0}, RankingMetric::kDelay, {"gpu"});
   ASSERT_EQ(gpu.size(), 2u);
-  for (const auto& r : gpu) EXPECT_NE(r.server, 3);
+  for (const auto& r : gpu) EXPECT_NE(r.server, core::NodeId{3});
 
   const auto both =
-      service->rank_for(0, RankingMetric::kDelay, {"gpu", "keras"});
+      service->rank_for(core::NodeId{0}, RankingMetric::kDelay, {"gpu", "keras"});
   ASSERT_EQ(both.size(), 1u);
-  EXPECT_EQ(both[0].server, 2);
+  EXPECT_EQ(both[0].server, core::NodeId{2});
 
   EXPECT_TRUE(
-      service->rank_for(0, RankingMetric::kDelay, {"tpu"}).empty());
+      service->rank_for(core::NodeId{0}, RankingMetric::kDelay, {"tpu"}).empty());
 }
 
 TEST_F(ExtensionFixture, ReRegisteringUpdatesCapabilities) {
   make_service();
-  service->register_edge_server(1, {});
-  service->register_edge_server(1, {"gpu"});
+  service->register_edge_server(core::NodeId{1}, {});
+  service->register_edge_server(core::NodeId{1}, {"gpu"});
   EXPECT_EQ(service->edge_servers().size(), 1u);
   sim.run_until(sim::SimTime::seconds(1));
-  EXPECT_EQ(service->rank_for(0, RankingMetric::kDelay, {"gpu"}).size(),
+  EXPECT_EQ(service->rank_for(core::NodeId{0}, RankingMetric::kDelay, {"gpu"}).size(),
             1u);
 }
 
@@ -69,56 +69,56 @@ TEST_F(ExtensionFixture, LoadReportsTracked) {
   SchedulerConfig cfg;
   cfg.compute_aware = true;
   make_service(cfg);
-  for (const net::NodeId id : network.host_ids()) {
+  for (const core::NodeId id : network.host_ids()) {
     service->register_edge_server(id);
   }
   edge::MetricsCollector metrics;
   edge::EdgeServer server{*stacks[1], metrics};
   server.enable_load_reports(network.scheduler_host().id());
   sim.run_until(sim::SimTime::seconds(1));
-  EXPECT_EQ(service->server_load(1), 0);  // idle server reports zero
+  EXPECT_EQ(service->server_load(core::NodeId{1}), 0);  // idle server reports zero
 }
 
 TEST_F(ExtensionFixture, StaleLoadReportsExpire) {
   SchedulerConfig cfg;
   cfg.compute_aware = true;
-  cfg.load_staleness = sim::SimTime::seconds(3);
+  cfg.load_staleness = sim::SimDuration::seconds(3);
   make_service(cfg);
-  service->register_edge_server(1);
+  service->register_edge_server(core::NodeId{1});
   edge::MetricsCollector metrics;
   edge::EdgeServer server{*stacks[1], metrics};
   server.enable_load_reports(network.scheduler_host().id(),
-                             sim::SimTime::milliseconds(500));
+                             sim::SimDuration::milliseconds(500));
   sim.run_until(sim::SimTime::seconds(1));
   server.disable_load_reports();
   sim.run_until(sim::SimTime::seconds(10));
-  EXPECT_EQ(service->server_load(1), 0);
+  EXPECT_EQ(service->server_load(core::NodeId{1}), 0);
 }
 
 TEST_F(ExtensionFixture, ComputeAwareDemotesLoadedServer) {
   SchedulerConfig cfg;
   cfg.compute_aware = true;
-  cfg.load_penalty = sim::SimTime::milliseconds(500);
+  cfg.load_penalty = sim::SimDuration::milliseconds(500);
   make_service(cfg);
-  for (const net::NodeId id : network.host_ids()) {
+  for (const core::NodeId id : network.host_ids()) {
     service->register_edge_server(id);
   }
   sim.run_until(sim::SimTime::seconds(1));
 
   // Inject a heavy load report for node2 (node1's nearest).
   LoadReportMessage report;
-  report.server = 1;
+  report.server = core::NodeId{1};
   report.outstanding_tasks = 10;
   auto msg = std::make_shared<LoadReportMessage>(report);
   stacks[1]->send_datagram(network.scheduler_host().id(), net::kTaskPort,
                            net::kSchedulerPort, 62, std::move(msg));
-  sim.run_until(sim.now() + sim::SimTime::milliseconds(200));
+  sim.run_until(sim.now() + sim::SimDuration::milliseconds(200));
 
-  const auto ranked = service->rank_for(0, RankingMetric::kDelay);
+  const auto ranked = service->rank_for(core::NodeId{0}, RankingMetric::kDelay);
   ASSERT_FALSE(ranked.empty());
-  EXPECT_NE(ranked[0].server, 1);  // 10 x 500 ms penalty demotes node2
+  EXPECT_NE(ranked[0].server, core::NodeId{1});  // 10 x 500 ms penalty demotes node2
   for (const auto& r : ranked) {
-    if (r.server == 1) {
+    if (r.server == core::NodeId{1}) {
       EXPECT_EQ(r.outstanding_tasks, 10);
     }
   }
@@ -126,19 +126,19 @@ TEST_F(ExtensionFixture, ComputeAwareDemotesLoadedServer) {
 
 TEST_F(ExtensionFixture, ComputeAwareOffIgnoresLoad) {
   make_service();  // compute_aware = false
-  for (const net::NodeId id : network.host_ids()) {
+  for (const core::NodeId id : network.host_ids()) {
     service->register_edge_server(id);
   }
   sim.run_until(sim::SimTime::seconds(1));
   LoadReportMessage report;
-  report.server = 1;
+  report.server = core::NodeId{1};
   report.outstanding_tasks = 50;
   auto msg = std::make_shared<LoadReportMessage>(report);
   stacks[1]->send_datagram(network.scheduler_host().id(), net::kTaskPort,
                            net::kSchedulerPort, 62, std::move(msg));
-  sim.run_until(sim.now() + sim::SimTime::milliseconds(200));
-  const auto ranked = service->rank_for(0, RankingMetric::kDelay);
-  EXPECT_EQ(ranked[0].server, 1);  // load is reported but not acted on
+  sim.run_until(sim.now() + sim::SimDuration::milliseconds(200));
+  const auto ranked = service->rank_for(core::NodeId{0}, RankingMetric::kDelay);
+  EXPECT_EQ(ranked[0].server, core::NodeId{1});  // load is reported but not acted on
   EXPECT_EQ(ranked[0].outstanding_tasks, 50);
 }
 
@@ -146,57 +146,57 @@ TEST_F(ExtensionFixture, ComputeAwareBandwidthSharesCapacity) {
   SchedulerConfig cfg;
   cfg.compute_aware = true;
   make_service(cfg);
-  for (const net::NodeId id : network.host_ids()) {
+  for (const core::NodeId id : network.host_ids()) {
     service->register_edge_server(id);
   }
   sim.run_until(sim::SimTime::seconds(1));
   LoadReportMessage report;
-  report.server = 1;
+  report.server = core::NodeId{1};
   report.outstanding_tasks = 4;
   auto msg = std::make_shared<LoadReportMessage>(report);
   stacks[1]->send_datagram(network.scheduler_host().id(), net::kTaskPort,
                            net::kSchedulerPort, 62, std::move(msg));
-  sim.run_until(sim.now() + sim::SimTime::milliseconds(200));
-  const auto ranked = service->rank_for(0, RankingMetric::kBandwidth);
+  sim.run_until(sim.now() + sim::SimDuration::milliseconds(200));
+  const auto ranked = service->rank_for(core::NodeId{0}, RankingMetric::kBandwidth);
   // node2 divides its ~20 Mbps by 5; everyone else keeps theirs.
-  EXPECT_NE(ranked[0].server, 1);
+  EXPECT_NE(ranked[0].server, core::NodeId{1});
 }
 
 TEST_F(ExtensionFixture, PoliciesRespectRequirements) {
   make_service();
-  std::unordered_map<net::NodeId, std::vector<std::string>> caps;
-  caps[2] = {"gpu"};
-  caps[6] = {"gpu"};
+  std::unordered_map<core::NodeId, std::vector<std::string>> caps;
+  caps[core::NodeId{2}] = {"gpu"};
+  caps[core::NodeId{6}] = {"gpu"};
   NearestPolicy nearest{network.topology(), network.host_ids(), caps};
-  std::vector<net::NodeId> chosen;
-  nearest.select(0, 2, {"gpu"},
-                 [&](std::vector<net::NodeId> s) { chosen = s; });
+  std::vector<core::NodeId> chosen;
+  nearest.select(core::NodeId{0}, 2, {"gpu"},
+                 [&](std::vector<core::NodeId> s) { chosen = s; });
   ASSERT_EQ(chosen.size(), 2u);
-  EXPECT_EQ(chosen[0], 2);  // nearest gpu-capable
-  EXPECT_EQ(chosen[1], 6);
+  EXPECT_EQ(chosen[0], core::NodeId{2});  // nearest gpu-capable
+  EXPECT_EQ(chosen[1], core::NodeId{6});
 
   RandomPolicy random{network.host_ids(), sim::Rng{3}, caps};
   for (int trial = 0; trial < 30; ++trial) {
-    random.select(0, 1, {"gpu"}, [&](std::vector<net::NodeId> s) {
+    random.select(core::NodeId{0}, 1, {"gpu"}, [&](std::vector<core::NodeId> s) {
       ASSERT_EQ(s.size(), 1u);
-      EXPECT_TRUE(s[0] == 2 || s[0] == 6);
+      EXPECT_TRUE(s[0] == core::NodeId{2} || s[0] == core::NodeId{6});
     });
   }
 }
 
 TEST_F(ExtensionFixture, RequirementsTravelOverUdpQueries) {
   make_service();
-  service->register_edge_server(1, {"gpu"});
-  service->register_edge_server(2, {});
+  service->register_edge_server(core::NodeId{1}, {"gpu"});
+  service->register_edge_server(core::NodeId{2}, {});
   sim.run_until(sim::SimTime::seconds(1));
   SchedulerClient client{*stacks[0], network.scheduler_host().id()};
   std::vector<ServerRank> response;
   client.query(
       RankingMetric::kDelay,
       [&](const CandidateResponse& r) { response = r.ranked; }, {"gpu"});
-  sim.run_until(sim.now() + sim::SimTime::seconds(1));
+  sim.run_until(sim.now() + sim::SimDuration::seconds(1));
   ASSERT_EQ(response.size(), 1u);
-  EXPECT_EQ(response[0].server, 1);
+  EXPECT_EQ(response[0].server, core::NodeId{1});
 }
 
 }  // namespace

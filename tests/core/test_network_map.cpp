@@ -7,11 +7,12 @@
 namespace intsched::core {
 namespace {
 
-sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+sim::SimDuration ms(int v) { return sim::SimDuration::milliseconds(v); }
+sim::SimTime at_ms(int v) { return sim::SimTime::at(ms(v)); }
 
-net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
+net::IntStackEntry entry(core::NodeId device, std::int32_t in_port,
                          std::int32_t out_port, std::int64_t port_q,
-                         std::int64_t dev_q, sim::SimTime link_latency) {
+                         std::int64_t dev_q, sim::SimDuration link_latency) {
   net::IntStackEntry e;
   e.device = device;
   e.ingress_port = in_port;
@@ -26,11 +27,11 @@ net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
 telemetry::ProbeReport simple_report(std::int64_t q10 = 0,
                                      std::int64_t q11 = 0) {
   telemetry::ProbeReport r;
-  r.src = 0;
-  r.dst = 1;
+  r.src = core::NodeId{0};
+  r.dst = core::NodeId{1};
   r.entries = {
-      entry(10, 0, 2, q10, q10, ms(10)),
-      entry(11, 1, 3, q11, q11, ms(12)),
+      entry(core::NodeId{10}, 0, 2, q10, q10, ms(10)),
+      entry(core::NodeId{11}, 1, 3, q11, q11, ms(12)),
   };
   r.final_link_latency = ms(9);
   return r;
@@ -38,80 +39,80 @@ telemetry::ProbeReport simple_report(std::int64_t q10 = 0,
 
 TEST(NetworkMapTest, LearnsAdjacencyFromEntryOrder) {
   NetworkMap map;
-  map.ingest(simple_report(), ms(0));
-  EXPECT_TRUE(map.knows_node(0));
-  EXPECT_TRUE(map.knows_node(10));
-  EXPECT_TRUE(map.knows_node(11));
-  EXPECT_TRUE(map.knows_node(1));
+  map.ingest(simple_report(), at_ms(0));
+  EXPECT_TRUE(map.knows_node(core::NodeId{0}));
+  EXPECT_TRUE(map.knows_node(core::NodeId{10}));
+  EXPECT_TRUE(map.knows_node(core::NodeId{11}));
+  EXPECT_TRUE(map.knows_node(core::NodeId{1}));
   // Both directions of every traversed link.
   EXPECT_EQ(map.known_link_count(), 6);
 }
 
 TEST(NetworkMapTest, LearnsEgressPortsBothDirections) {
   NetworkMap map;
-  map.ingest(simple_report(), ms(0));
-  EXPECT_EQ(map.egress_port(10, 11), 2);  // forward: s10's egress
-  EXPECT_EQ(map.egress_port(11, 10), 1);  // reverse: s11's ingress port
-  EXPECT_EQ(map.egress_port(11, 1), 3);   // toward the collector
+  map.ingest(simple_report(), at_ms(0));
+  EXPECT_EQ(map.egress_port(core::NodeId{10}, core::NodeId{11}), 2);  // forward: s10's egress
+  EXPECT_EQ(map.egress_port(core::NodeId{11}, core::NodeId{10}), 1);  // reverse: s11's ingress port
+  EXPECT_EQ(map.egress_port(core::NodeId{11}, core::NodeId{1}), 3);   // toward the collector
 }
 
 TEST(NetworkMapTest, LinkDelaysFromMeasurements) {
   NetworkMap map;
-  map.ingest(simple_report(), ms(0));
-  EXPECT_EQ(map.link_delay(0, 10), ms(10));
-  EXPECT_EQ(map.link_delay(10, 11), ms(12));
-  EXPECT_EQ(map.link_delay(11, 1), ms(9));
+  map.ingest(simple_report(), at_ms(0));
+  EXPECT_EQ(map.link_delay(core::NodeId{0}, core::NodeId{10}), ms(10));
+  EXPECT_EQ(map.link_delay(core::NodeId{10}, core::NodeId{11}), ms(12));
+  EXPECT_EQ(map.link_delay(core::NodeId{11}, core::NodeId{1}), ms(9));
 }
 
 TEST(NetworkMapTest, ReverseDirectionAssumedSymmetric) {
   NetworkMap map;
-  map.ingest(simple_report(), ms(0));
-  EXPECT_EQ(map.link_delay(11, 10), ms(12));
-  EXPECT_EQ(map.link_delay(1, 11), ms(9));
+  map.ingest(simple_report(), at_ms(0));
+  EXPECT_EQ(map.link_delay(core::NodeId{11}, core::NodeId{10}), ms(12));
+  EXPECT_EQ(map.link_delay(core::NodeId{1}, core::NodeId{11}), ms(9));
 }
 
 TEST(NetworkMapTest, UnknownLinkUsesDefault) {
   NetworkMapConfig cfg;
   cfg.default_link_delay = ms(33);
   NetworkMap map{cfg};
-  EXPECT_EQ(map.link_delay(5, 6), ms(33));
+  EXPECT_EQ(map.link_delay(core::NodeId{5}, core::NodeId{6}), ms(33));
 }
 
 TEST(NetworkMapTest, EwmaSmoothsLinkDelay) {
   NetworkMapConfig cfg;
   cfg.link_delay_alpha = 0.5;
   NetworkMap map{cfg};
-  map.ingest(simple_report(), ms(0));  // s10->s11 = 12 ms
+  map.ingest(simple_report(), at_ms(0));  // s10->s11 = 12 ms
   telemetry::ProbeReport r2 = simple_report();
   r2.entries[1].ingress_link_latency = ms(20);
-  map.ingest(r2, ms(100));
-  EXPECT_EQ(map.link_delay(10, 11), ms(16));  // 0.5*20 + 0.5*12
+  map.ingest(r2, at_ms(100));
+  EXPECT_EQ(map.link_delay(core::NodeId{10}, core::NodeId{11}), ms(16));  // 0.5*20 + 0.5*12
 }
 
 TEST(NetworkMapTest, DeviceMaxQueueWithinWindow) {
   NetworkMapConfig cfg;
   cfg.queue_window = ms(150);
   NetworkMap map{cfg};
-  map.ingest(simple_report(7, 0), ms(0));
-  EXPECT_EQ(map.device_max_queue(10, ms(100)), 7);
+  map.ingest(simple_report(7, 0), at_ms(0));
+  EXPECT_EQ(map.device_max_queue(core::NodeId{10}, at_ms(100)), 7);
 }
 
 TEST(NetworkMapTest, StaleReportsExpire) {
   NetworkMapConfig cfg;
   cfg.queue_window = ms(150);
   NetworkMap map{cfg};
-  map.ingest(simple_report(7, 0), ms(0));
-  EXPECT_EQ(map.device_max_queue(10, ms(400)), 0);
+  map.ingest(simple_report(7, 0), at_ms(0));
+  EXPECT_EQ(map.device_max_queue(core::NodeId{10}, at_ms(400)), 0);
 }
 
 TEST(NetworkMapTest, WindowKeepsMaxOfMultipleReports) {
   NetworkMapConfig cfg;
   cfg.queue_window = ms(150);
   NetworkMap map{cfg};
-  map.ingest(simple_report(3, 0), ms(0));
-  map.ingest(simple_report(9, 0), ms(50));
-  map.ingest(simple_report(2, 0), ms(100));
-  EXPECT_EQ(map.device_max_queue(10, ms(120)), 9);
+  map.ingest(simple_report(3, 0), at_ms(0));
+  map.ingest(simple_report(9, 0), at_ms(50));
+  map.ingest(simple_report(2, 0), at_ms(100));
+  EXPECT_EQ(map.device_max_queue(core::NodeId{10}, at_ms(120)), 9);
 }
 
 TEST(NetworkMapTest, LinkMaxQueueUsesPortRegister) {
@@ -119,38 +120,38 @@ TEST(NetworkMapTest, LinkMaxQueueUsesPortRegister) {
   telemetry::ProbeReport r = simple_report();
   r.entries[0].max_queue_pkts = 4;        // port 2 (toward s11)
   r.entries[0].device_max_queue_pkts = 9; // some other port was busier
-  map.ingest(r, ms(0));
-  EXPECT_EQ(map.link_max_queue(10, 11, ms(10)), 4);
-  EXPECT_EQ(map.device_max_queue(10, ms(10)), 9);
+  map.ingest(r, at_ms(0));
+  EXPECT_EQ(map.link_max_queue(core::NodeId{10}, core::NodeId{11}, at_ms(10)), 4);
+  EXPECT_EQ(map.device_max_queue(core::NodeId{10}, at_ms(10)), 9);
 }
 
 TEST(NetworkMapTest, LinkMaxQueueFallsBackToDevice) {
   NetworkMap map;
-  map.ingest(simple_report(6, 0), ms(0));
+  map.ingest(simple_report(6, 0), at_ms(0));
   // Link s10 -> host 0 (reverse direction) was never probed per-port;
   // the device-wide register of s10 is the conservative answer.
-  EXPECT_EQ(map.link_max_queue(10, 0, ms(10)), 6);
+  EXPECT_EQ(map.link_max_queue(core::NodeId{10}, core::NodeId{0}, at_ms(10)), 6);
 }
 
 TEST(NetworkMapTest, UnknownDeviceQueueIsZero) {
   NetworkMap map;
-  EXPECT_EQ(map.device_max_queue(99, ms(0)), 0);
-  EXPECT_EQ(map.link_max_queue(99, 98, ms(0)), 0);
+  EXPECT_EQ(map.device_max_queue(core::NodeId{99}, at_ms(0)), 0);
+  EXPECT_EQ(map.link_max_queue(core::NodeId{99}, core::NodeId{98}, at_ms(0)), 0);
 }
 
 TEST(NetworkMapTest, DelayGraphUsesCurrentEstimates) {
   NetworkMapConfig cfg;
   cfg.link_delay_alpha = 1.0;  // adopt newest sample outright
   NetworkMap map{cfg};
-  map.ingest(simple_report(), ms(0));
+  map.ingest(simple_report(), at_ms(0));
   telemetry::ProbeReport r2 = simple_report();
   r2.entries[1].ingress_link_latency = ms(50);
-  map.ingest(r2, ms(100));
+  map.ingest(r2, at_ms(100));
 
   const net::Graph g = map.delay_graph();
   bool found = false;
-  for (const auto& edge : g.adjacency.at(10)) {
-    if (edge.to == 11) {
+  for (const auto& edge : g.adjacency.at(core::NodeId{10})) {
+    if (edge.to == core::NodeId{11}) {
       EXPECT_EQ(edge.cost, ms(50));
       found = true;
     }
@@ -160,18 +161,18 @@ TEST(NetworkMapTest, DelayGraphUsesCurrentEstimates) {
 
 TEST(NetworkMapTest, ReportsCounted) {
   NetworkMap map;
-  map.ingest(simple_report(), ms(0));
-  map.ingest(simple_report(), ms(100));
+  map.ingest(simple_report(), at_ms(0));
+  map.ingest(simple_report(), at_ms(100));
   EXPECT_EQ(map.reports_ingested(), 2);
 }
 
 TEST(NetworkMapTest, NegativeLatencySampleIgnored) {
   NetworkMap map;
   telemetry::ProbeReport r = simple_report();
-  r.entries[0].ingress_link_latency = sim::SimTime::nanoseconds(-1);
-  map.ingest(r, ms(0));
+  r.entries[0].ingress_link_latency = sim::SimDuration::nanoseconds(-1);
+  map.ingest(r, at_ms(0));
   // Falls back to the default estimate instead of adopting garbage.
-  EXPECT_EQ(map.link_delay(0, 10), map.config().default_link_delay);
+  EXPECT_EQ(map.link_delay(core::NodeId{0}, core::NodeId{10}), map.config().default_link_delay);
 }
 
 TEST(NetworkMapTest, NegativeQueueValuesClampedToZero) {
@@ -179,22 +180,22 @@ TEST(NetworkMapTest, NegativeQueueValuesClampedToZero) {
   telemetry::ProbeReport r = simple_report();
   r.entries[0].max_queue_pkts = -5;
   r.entries[0].device_max_queue_pkts = -9;
-  map.ingest(r, ms(0));
-  EXPECT_EQ(map.device_max_queue(10, ms(10)), 0);
-  EXPECT_EQ(map.link_max_queue(10, 11, ms(10)), 0);
+  map.ingest(r, at_ms(0));
+  EXPECT_EQ(map.device_max_queue(core::NodeId{10}, at_ms(10)), 0);
+  EXPECT_EQ(map.link_max_queue(core::NodeId{10}, core::NodeId{11}, at_ms(10)), 0);
 }
 
 TEST(NetworkMapTest, InvalidDeviceEntryRejectedNotLearned) {
   NetworkMap map;
   telemetry::ProbeReport r = simple_report();
   r.entries.insert(r.entries.begin() + 1,
-                   entry(net::kInvalidNode, 0, 0, 0, 0, ms(5)));
-  map.ingest(r, ms(0));
+                   entry(core::kInvalidNode, 0, 0, 0, 0, ms(5)));
+  map.ingest(r, at_ms(0));
   EXPECT_EQ(map.rejected_entries(), 1);
-  EXPECT_FALSE(map.knows_node(net::kInvalidNode));
+  EXPECT_FALSE(map.knows_node(core::kInvalidNode));
   // The surviving entries still stitch the path together correctly.
-  EXPECT_TRUE(map.knows_node(10));
-  EXPECT_TRUE(map.knows_node(11));
+  EXPECT_TRUE(map.knows_node(core::NodeId{10}));
+  EXPECT_TRUE(map.knows_node(core::NodeId{11}));
 }
 
 TEST(NetworkMapTest, OutOfOrderIngestIsSafe) {
@@ -203,10 +204,10 @@ TEST(NetworkMapTest, OutOfOrderIngestIsSafe) {
   NetworkMapConfig cfg;
   cfg.link_staleness = ms(200);
   NetworkMap map{cfg};
-  map.ingest(simple_report(), ms(500));
-  map.ingest(simple_report(), ms(100));  // late straggler
-  EXPECT_FALSE(map.link_stale(0, 10, ms(600)));
-  EXPECT_TRUE(map.link_stale(0, 10, ms(800)));
+  map.ingest(simple_report(), at_ms(500));
+  map.ingest(simple_report(), at_ms(100));  // late straggler
+  EXPECT_FALSE(map.link_stale(core::NodeId{0}, core::NodeId{10}, at_ms(600)));
+  EXPECT_TRUE(map.link_stale(core::NodeId{0}, core::NodeId{10}, at_ms(800)));
 }
 
 }  // namespace
@@ -217,54 +218,55 @@ TEST(NetworkMapTest, OutOfOrderIngestIsSafe) {
 namespace intsched::core {
 namespace {
 
-telemetry::ProbeReport one_hop_report(sim::SimTime latency) {
+telemetry::ProbeReport one_hop_report(sim::SimDuration latency) {
   telemetry::ProbeReport r;
-  r.src = 0;
-  r.dst = 1;
+  r.src = core::NodeId{0};
+  r.dst = core::NodeId{1};
   net::IntStackEntry e;
-  e.device = 10;
+  e.device = core::NodeId{10};
   e.ingress_port = 0;
   e.egress_port = 1;
   e.ingress_link_latency = latency;
   r.entries = {e};
-  r.final_link_latency = sim::SimTime::milliseconds(10);
+  r.final_link_latency = sim::SimDuration::milliseconds(10);
   return r;
 }
 
 TEST(NetworkMapJitterTest, StableLinkHasZeroJitter) {
   NetworkMap map;
   for (int i = 0; i < 10; ++i) {
-    map.ingest(one_hop_report(sim::SimTime::milliseconds(10)),
+    map.ingest(one_hop_report(sim::SimDuration::milliseconds(10)),
                sim::SimTime::milliseconds(100 * i));
   }
-  EXPECT_EQ(map.link_jitter(0, 10), sim::SimTime::zero());
+  EXPECT_EQ(map.link_jitter(core::NodeId{0}, core::NodeId{10}), sim::SimDuration::zero());
 }
 
 TEST(NetworkMapJitterTest, VariableLinkAccumulatesJitter) {
   NetworkMap map;
   for (int i = 0; i < 20; ++i) {
-    const auto latency = sim::SimTime::milliseconds(i % 2 == 0 ? 8 : 12);
+    const auto latency = sim::SimDuration::milliseconds(i % 2 == 0 ? 8 : 12);
     map.ingest(one_hop_report(latency), sim::SimTime::milliseconds(100 * i));
   }
   // Samples alternate +-2 ms around the mean: jitter settles near 2 ms.
-  const double jitter_ms = map.link_jitter(0, 10).to_milliseconds();
+  // intsched-lint: allow(raw-unit): fractional-ms bound check
+  const double jitter_ms = map.link_jitter(core::NodeId{0}, core::NodeId{10}).to_milliseconds();
   EXPECT_GT(jitter_ms, 1.0);
   EXPECT_LT(jitter_ms, 3.0);
 }
 
 TEST(NetworkMapJitterTest, UnknownLinkReportsZero) {
   NetworkMap map;
-  EXPECT_EQ(map.link_jitter(5, 6), sim::SimTime::zero());
+  EXPECT_EQ(map.link_jitter(core::NodeId{5}, core::NodeId{6}), sim::SimDuration::zero());
 }
 
 TEST(NetworkMapJitterTest, ReverseDirectionFallsBack) {
   NetworkMap map;
   for (int i = 0; i < 20; ++i) {
-    const auto latency = sim::SimTime::milliseconds(i % 2 == 0 ? 5 : 15);
+    const auto latency = sim::SimDuration::milliseconds(i % 2 == 0 ? 5 : 15);
     map.ingest(one_hop_report(latency), sim::SimTime::milliseconds(100 * i));
   }
-  EXPECT_GT(map.link_jitter(10, 0), sim::SimTime::zero());
-  EXPECT_EQ(map.link_jitter(10, 0), map.link_jitter(0, 10));
+  EXPECT_GT(map.link_jitter(core::NodeId{10}, core::NodeId{0}), sim::SimDuration::zero());
+  EXPECT_EQ(map.link_jitter(core::NodeId{10}, core::NodeId{0}), map.link_jitter(core::NodeId{0}, core::NodeId{10}));
 }
 
 }  // namespace
@@ -276,66 +278,67 @@ namespace intsched::core {
 namespace {
 
 sim::SimTime sms(int v) { return sim::SimTime::milliseconds(v); }
+sim::SimDuration dms(int v) { return sim::SimDuration::milliseconds(v); }
 
 telemetry::ProbeReport stale_report() {
   telemetry::ProbeReport r;
-  r.src = 0;
-  r.dst = 1;
+  r.src = core::NodeId{0};
+  r.dst = core::NodeId{1};
   net::IntStackEntry e;
-  e.device = 10;
+  e.device = core::NodeId{10};
   e.ingress_port = 0;
   e.egress_port = 1;
-  e.ingress_link_latency = sms(10);
+  e.ingress_link_latency = dms(10);
   r.entries = {e};
-  r.final_link_latency = sms(9);
+  r.final_link_latency = dms(9);
   return r;
 }
 
 TEST(NetworkMapStalenessTest, FreshWithinWindowStaleBeyondIt) {
   NetworkMapConfig cfg;
-  cfg.link_staleness = sms(200);
+  cfg.link_staleness = dms(200);
   NetworkMap map{cfg};
   map.ingest(stale_report(), sms(100));
-  EXPECT_FALSE(map.link_stale(0, 10, sms(250)));
-  EXPECT_TRUE(map.link_stale(0, 10, sms(301)));
+  EXPECT_FALSE(map.link_stale(core::NodeId{0}, core::NodeId{10}, sms(250)));
+  EXPECT_TRUE(map.link_stale(core::NodeId{0}, core::NodeId{10}, sms(301)));
 }
 
 TEST(NetworkMapStalenessTest, ReverseMeasurementRefreshesLink) {
   // Only the 0->10 direction is ever measured; queries about 10->0 use
   // the symmetric estimate and inherit its freshness.
   NetworkMapConfig cfg;
-  cfg.link_staleness = sms(200);
+  cfg.link_staleness = dms(200);
   NetworkMap map{cfg};
   map.ingest(stale_report(), sms(100));
-  EXPECT_FALSE(map.link_stale(10, 0, sms(250)));
-  EXPECT_TRUE(map.link_stale(10, 0, sms(301)));
+  EXPECT_FALSE(map.link_stale(core::NodeId{10}, core::NodeId{0}, sms(250)));
+  EXPECT_TRUE(map.link_stale(core::NodeId{10}, core::NodeId{0}, sms(301)));
 }
 
 TEST(NetworkMapStalenessTest, NeverMeasuredLinkIsStale) {
   NetworkMapConfig cfg;
-  cfg.link_staleness = sms(200);
+  cfg.link_staleness = dms(200);
   NetworkMap map{cfg};
-  EXPECT_TRUE(map.link_stale(4, 5, sms(0)));
+  EXPECT_TRUE(map.link_stale(core::NodeId{4}, core::NodeId{5}, sms(0)));
 }
 
 TEST(NetworkMapStalenessTest, DisabledWindowNeverExpires) {
   NetworkMap map;  // link_staleness defaults to zero = disabled
-  EXPECT_FALSE(map.link_stale(4, 5, sms(0)));
+  EXPECT_FALSE(map.link_stale(core::NodeId{4}, core::NodeId{5}, sms(0)));
   map.ingest(stale_report(), sms(0));
-  EXPECT_FALSE(map.link_stale(0, 10, sim::SimTime::seconds(3600)));
+  EXPECT_FALSE(map.link_stale(core::NodeId{0}, core::NodeId{10}, sim::SimTime::seconds(3600)));
 }
 
 TEST(NetworkMapStalenessTest, PathStaleIfAnyHopIsStale) {
   NetworkMapConfig cfg;
-  cfg.link_staleness = sms(200);
+  cfg.link_staleness = dms(200);
   NetworkMap map{cfg};
   map.ingest(stale_report(), sms(100));
   map.ingest(stale_report(), sms(400));  // refresh 0->10 only
   // Path 0 -> 10 -> 99: second hop never measured.
-  EXPECT_TRUE(map.path_stale({0, 10, 99}, sms(450)));
-  EXPECT_FALSE(map.path_stale({0, 10}, sms(450)));
+  EXPECT_TRUE(map.path_stale({core::NodeId{0}, core::NodeId{10}, core::NodeId{99}}, sms(450)));
+  EXPECT_FALSE(map.path_stale({core::NodeId{0}, core::NodeId{10}}, sms(450)));
   // Degenerate paths can't be judged and are never stale.
-  EXPECT_FALSE(map.path_stale({0}, sms(450)));
+  EXPECT_FALSE(map.path_stale({core::NodeId{0}}, sms(450)));
   EXPECT_FALSE(map.path_stale({}, sms(450)));
 }
 
@@ -344,24 +347,24 @@ TEST(NetworkMapStalenessTest, HugeWindowDoesNotUnderflow) {
   // expire", even queried at t=0. (Pinned: this is SimTime arithmetic on
   // the raw ns value, where naive subtraction would be signed overflow.)
   NetworkMapConfig cfg;
-  cfg.link_staleness = sim::SimTime::max();
-  cfg.queue_window = sim::SimTime::max();
+  cfg.link_staleness = sim::SimDuration::max();
+  cfg.queue_window = sim::SimDuration::max();
   NetworkMap map{cfg};
   map.ingest(stale_report(), sms(0));
-  EXPECT_FALSE(map.link_stale(0, 10, sms(0)));
-  EXPECT_FALSE(map.link_stale(0, 10, sim::SimTime::seconds(100000)));
-  EXPECT_EQ(map.device_max_queue(10, sim::SimTime::seconds(100000)),
-            map.device_max_queue(10, sms(1)));
+  EXPECT_FALSE(map.link_stale(core::NodeId{0}, core::NodeId{10}, sms(0)));
+  EXPECT_FALSE(map.link_stale(core::NodeId{0}, core::NodeId{10}, sim::SimTime::seconds(100000)));
+  EXPECT_EQ(map.device_max_queue(core::NodeId{10}, sim::SimTime::seconds(100000)),
+            map.device_max_queue(core::NodeId{10}, sms(1)));
 }
 
 TEST(NetworkMapStalenessTest, QueriesAreTranslationInvariant) {
   // The same report ingested at t and t+X must answer window queries
   // identically at now and now+X: all comparisons live in SimTime, no
   // absolute epoch leaks in.
-  const sim::SimTime shift = sim::SimTime::seconds(7200);
+  const sim::SimDuration shift = sim::SimDuration::seconds(7200);
   NetworkMapConfig cfg;
-  cfg.link_staleness = sms(200);
-  cfg.queue_window = sms(150);
+  cfg.link_staleness = dms(200);
+  cfg.queue_window = dms(150);
   NetworkMap a{cfg};
   NetworkMap b{cfg};
   telemetry::ProbeReport r = stale_report();
@@ -370,11 +373,11 @@ TEST(NetworkMapStalenessTest, QueriesAreTranslationInvariant) {
   a.ingest(r, sms(100));
   b.ingest(r, sms(100) + shift);
   for (const int probe_ms : {120, 240, 290, 310, 500}) {
-    EXPECT_EQ(a.link_stale(0, 10, sms(probe_ms)),
-              b.link_stale(0, 10, sms(probe_ms) + shift))
+    EXPECT_EQ(a.link_stale(core::NodeId{0}, core::NodeId{10}, sms(probe_ms)),
+              b.link_stale(core::NodeId{0}, core::NodeId{10}, sms(probe_ms) + shift))
         << probe_ms;
-    EXPECT_EQ(a.device_max_queue(10, sms(probe_ms)),
-              b.device_max_queue(10, sms(probe_ms) + shift))
+    EXPECT_EQ(a.device_max_queue(core::NodeId{10}, sms(probe_ms)),
+              b.device_max_queue(core::NodeId{10}, sms(probe_ms) + shift))
         << probe_ms;
   }
 }

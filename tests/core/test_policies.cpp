@@ -12,66 +12,66 @@ namespace {
 struct PoliciesFixture : ::testing::Test {
   sim::Simulator sim;
   exp::Fig4Network network{sim, exp::Fig4Config{}};
-  std::vector<net::NodeId> servers = network.host_ids();
+  std::vector<core::NodeId> servers = network.host_ids();
 };
 
 TEST_F(PoliciesFixture, NearestPrefersPodSibling) {
   NearestPolicy nearest{network.topology(), servers};
   // Paper: node 7 and node 8 (ids 6, 7) are each other's nearest.
-  EXPECT_EQ(nearest.order_for(6).front(), 7);
-  EXPECT_EQ(nearest.order_for(7).front(), 6);
-  EXPECT_EQ(nearest.order_for(0).front(), 1);
-  EXPECT_EQ(nearest.order_for(1).front(), 0);
+  EXPECT_EQ(nearest.order_for(core::NodeId{6}).front(), core::NodeId{7});
+  EXPECT_EQ(nearest.order_for(core::NodeId{7}).front(), core::NodeId{6});
+  EXPECT_EQ(nearest.order_for(core::NodeId{0}).front(), core::NodeId{1});
+  EXPECT_EQ(nearest.order_for(core::NodeId{1}).front(), core::NodeId{0});
 }
 
 TEST_F(PoliciesFixture, NearestOrderExcludesSelf) {
   NearestPolicy nearest{network.topology(), servers};
-  for (net::NodeId device = 0; device < 8; ++device) {
+  for (core::NodeId device = core::NodeId{0}; device < core::NodeId{8}; ++device) {
     const auto& order = nearest.order_for(device);
     EXPECT_EQ(order.size(), 7u);
-    for (const net::NodeId s : order) EXPECT_NE(s, device);
+    for (const core::NodeId s : order) EXPECT_NE(s, device);
   }
 }
 
 TEST_F(PoliciesFixture, NearestOrderSortedByGroundTruthDelay) {
   NearestPolicy nearest{network.topology(), servers};
-  const auto& order = nearest.order_for(0);
+  const auto& order = nearest.order_for(core::NodeId{0});
   for (std::size_t i = 1; i < order.size(); ++i) {
-    EXPECT_LE(network.topology().path_delay(0, order[i - 1]),
-              network.topology().path_delay(0, order[i]));
+    EXPECT_LE(network.topology().path_delay(core::NodeId{0}, order[i - 1]),
+              network.topology().path_delay(core::NodeId{0}, order[i]));
   }
 }
 
 TEST_F(PoliciesFixture, NearestSelectReturnsTopN) {
   NearestPolicy nearest{network.topology(), servers};
-  std::vector<net::NodeId> chosen;
-  nearest.select(6, 3, [&](std::vector<net::NodeId> s) { chosen = s; });
+  std::vector<core::NodeId> chosen;
+  nearest.select(core::NodeId{6}, 3, [&](std::vector<core::NodeId> s) { chosen = s; });
   ASSERT_EQ(chosen.size(), 3u);
-  EXPECT_EQ(chosen[0], 7);  // pod sibling first
+  EXPECT_EQ(chosen[0], core::NodeId{7});  // pod sibling first
 }
 
 TEST_F(PoliciesFixture, NearestUnknownDeviceThrows) {
   NearestPolicy nearest{network.topology(), servers};
-  EXPECT_THROW(static_cast<void>(nearest.order_for(99)),
+  EXPECT_THROW(static_cast<void>(nearest.order_for(core::NodeId{99})),
                std::invalid_argument);
 }
 
 TEST_F(PoliciesFixture, RandomSelectsDistinctServers) {
   RandomPolicy random{servers, sim::Rng{7}};
-  std::vector<net::NodeId> chosen;
-  random.select(3, 3, [&](std::vector<net::NodeId> s) { chosen = s; });
+  std::vector<core::NodeId> chosen;
+  random.select(core::NodeId{3}, 3, [&](std::vector<core::NodeId> s) { chosen = s; });
   ASSERT_EQ(chosen.size(), 3u);
-  const std::set<net::NodeId> uniq(chosen.begin(), chosen.end());
+  const std::set<core::NodeId> uniq(chosen.begin(), chosen.end());
   EXPECT_EQ(uniq.size(), 3u);
-  for (const net::NodeId s : chosen) EXPECT_NE(s, 3);
+  for (const core::NodeId s : chosen) EXPECT_NE(s, core::NodeId{3});
 }
 
 TEST_F(PoliciesFixture, RandomNeverPicksSelf) {
   RandomPolicy random{servers, sim::Rng{7}};
   for (int trial = 0; trial < 50; ++trial) {
-    random.select(0, 1, [&](std::vector<net::NodeId> s) {
+    random.select(core::NodeId{0}, 1, [&](std::vector<core::NodeId> s) {
       ASSERT_EQ(s.size(), 1u);
-      EXPECT_NE(s[0], 0);
+      EXPECT_NE(s[0], core::NodeId{0});
     });
   }
 }
@@ -80,19 +80,19 @@ TEST_F(PoliciesFixture, RandomIsDeterministicPerSeed) {
   RandomPolicy r1{servers, sim::Rng{5}};
   RandomPolicy r2{servers, sim::Rng{5}};
   for (int trial = 0; trial < 20; ++trial) {
-    std::vector<net::NodeId> a;
-    std::vector<net::NodeId> b;
-    r1.select(0, 3, [&](std::vector<net::NodeId> s) { a = s; });
-    r2.select(0, 3, [&](std::vector<net::NodeId> s) { b = s; });
+    std::vector<core::NodeId> a;
+    std::vector<core::NodeId> b;
+    r1.select(core::NodeId{0}, 3, [&](std::vector<core::NodeId> s) { a = s; });
+    r2.select(core::NodeId{0}, 3, [&](std::vector<core::NodeId> s) { b = s; });
     EXPECT_EQ(a, b);
   }
 }
 
 TEST_F(PoliciesFixture, RandomCoversAllServersEventually) {
   RandomPolicy random{servers, sim::Rng{11}};
-  std::set<net::NodeId> seen;
+  std::set<core::NodeId> seen;
   for (int trial = 0; trial < 200; ++trial) {
-    random.select(0, 1, [&](std::vector<net::NodeId> s) {
+    random.select(core::NodeId{0}, 1, [&](std::vector<core::NodeId> s) {
       seen.insert(s[0]);
     });
   }

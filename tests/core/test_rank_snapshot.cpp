@@ -28,11 +28,12 @@
 namespace intsched::core {
 namespace {
 
-sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+sim::SimDuration ms(int v) { return sim::SimDuration::milliseconds(v); }
+sim::SimTime at_ms(int v) { return sim::SimTime::at(ms(v)); }
 
-net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
+net::IntStackEntry entry(core::NodeId device, std::int32_t in_port,
                          std::int32_t out_port, std::int64_t queue,
-                         sim::SimTime link_latency) {
+                         sim::SimDuration link_latency) {
   net::IntStackEntry e;
   e.device = device;
   e.ingress_port = in_port;
@@ -47,11 +48,11 @@ net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
 telemetry::ProbeReport simple_report(std::int64_t q10 = 0,
                                      std::int64_t q11 = 0) {
   telemetry::ProbeReport r;
-  r.src = 0;
-  r.dst = 1;
+  r.src = core::NodeId{0};
+  r.dst = core::NodeId{1};
   r.entries = {
-      entry(10, 0, 2, q10, ms(10)),
-      entry(11, 1, 3, q11, ms(12)),
+      entry(core::NodeId{10}, 0, 2, q10, ms(10)),
+      entry(core::NodeId{11}, 1, 3, q11, ms(12)),
   };
   r.final_link_latency = ms(9);
   return r;
@@ -75,66 +76,66 @@ void expect_ranks_identical(const std::vector<ServerRank>& got,
 
 TEST(RankSnapshotTest, RankMatchesRankerOnTheSameMap) {
   NetworkMap map;
-  map.ingest(simple_report(5, 3), ms(0));
-  map.ingest(simple_report(2, 7), ms(1));
+  map.ingest(simple_report(5, 3), at_ms(0));
+  map.ingest(simple_report(2, 7), at_ms(1));
 
   const Ranker ranker{map};
   const RankSnapshot snapshot{map, RankerConfig{}};
-  EXPECT_EQ(snapshot.epoch(), map.reports_ingested());
+  EXPECT_EQ(snapshot.epoch(), map.ingest_epoch());
 
-  const std::vector<net::NodeId> candidates{1, 99};
+  const std::vector<core::NodeId> candidates{core::NodeId{1}, core::NodeId{99}};
   for (const auto metric :
        {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
-    expect_ranks_identical(snapshot.rank(0, candidates, metric, ms(2)),
-                           ranker.rank(0, candidates, metric, ms(2)));
+    expect_ranks_identical(snapshot.rank(core::NodeId{0}, candidates, metric, at_ms(2)),
+                           ranker.rank(core::NodeId{0}, candidates, metric, at_ms(2)));
   }
 }
 
 TEST(RankSnapshotTest, SnapshotIsImmutableAcrossLaterIngest) {
   ConcurrentNetworkMap shared;  // snapshot mode by default
-  shared.ingest(simple_report(4, 4), ms(0));
+  shared.ingest(simple_report(4, 4), at_ms(0));
 
   const std::shared_ptr<const RankSnapshot> old = shared.snapshot();
   ASSERT_NE(old, nullptr);
-  const std::int64_t old_epoch = old->epoch();
-  const std::vector<net::NodeId> candidates{1};
-  const auto before = old->rank(0, candidates, RankingMetric::kDelay, ms(1));
+  const Epoch old_epoch = old->epoch();
+  const std::vector<core::NodeId> candidates{core::NodeId{1}};
+  const auto before = old->rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(1));
 
   // Heavier congestion arrives; the *old* snapshot must not move.
-  shared.ingest(simple_report(60, 60), ms(1));
+  shared.ingest(simple_report(60, 60), at_ms(1));
   EXPECT_EQ(old->epoch(), old_epoch);
   expect_ranks_identical(
-      old->rank(0, candidates, RankingMetric::kDelay, ms(1)), before);
+      old->rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(1)), before);
 
   const std::shared_ptr<const RankSnapshot> fresh = shared.snapshot();
   ASSERT_NE(fresh, nullptr);
   EXPECT_GT(fresh->epoch(), old_epoch);
-  const auto after = fresh->rank(0, candidates, RankingMetric::kDelay, ms(1));
+  const auto after = fresh->rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(1));
   EXPECT_GT(after[0].delay_estimate, before[0].delay_estimate);
 }
 
 TEST(RankSnapshotTest, DijkstraMemoFillsOncePerOrigin) {
   NetworkMap map;
-  map.ingest(simple_report(), ms(0));
+  map.ingest(simple_report(), at_ms(0));
   const RankSnapshot snapshot{map, RankerConfig{}};
 
-  const std::vector<net::NodeId> candidates{1};
+  const std::vector<core::NodeId> candidates{core::NodeId{1}};
   for (int i = 0; i < 5; ++i) {
-    (void)snapshot.rank(0, candidates, RankingMetric::kDelay, ms(1 + i));
+    (void)snapshot.rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(1 + i));
   }
   EXPECT_EQ(snapshot.memo_fills(), 1);
 
-  (void)snapshot.rank(1, candidates, RankingMetric::kDelay, ms(10));
+  (void)snapshot.rank(core::NodeId{1}, candidates, RankingMetric::kDelay, at_ms(10));
   EXPECT_EQ(snapshot.memo_fills(), 2);
 
   // Unknown origin: computed locally, never memoized.
-  (void)snapshot.rank(777, candidates, RankingMetric::kDelay, ms(11));
+  (void)snapshot.rank(core::NodeId{777}, candidates, RankingMetric::kDelay, at_ms(11));
   EXPECT_EQ(snapshot.memo_fills(), 2);
 }
 
 TEST(RankSnapshotTest, LockedFacadePublishesNoSnapshot) {
   ConcurrentNetworkMap locked{{}, {}, ConcurrencyMode::kLockedFacade};
-  locked.ingest(simple_report(), ms(0));
+  locked.ingest(simple_report(), at_ms(0));
   EXPECT_EQ(locked.snapshot(), nullptr);
 }
 
@@ -155,7 +156,7 @@ TEST(RankSnapshotTest, FreshnessPropertyUnderConcurrentIngest) {
   constexpr int kObservationsPerReader = 200;
 
   ConcurrentNetworkMap shared;  // snapshot mode
-  shared.ingest(simple_report(), ms(0));
+  shared.ingest(simple_report(), at_ms(0));
 
   std::atomic<std::int64_t> progress{1};  // reports whose ingest returned
   std::vector<std::int64_t> violations(kReaders, 0);
@@ -163,19 +164,18 @@ TEST(RankSnapshotTest, FreshnessPropertyUnderConcurrentIngest) {
   std::vector<std::function<void()>> tasks;
   tasks.push_back([&shared, &progress] {
     for (int i = 1; i <= kReports; ++i) {
-      shared.ingest(simple_report(i % 9, i % 6), ms(i));
+      shared.ingest(simple_report(i % 9, i % 6), at_ms(i));
       progress.store(1 + i, std::memory_order_release);
     }
   });
   for (int t = 0; t < kReaders; ++t) {
     tasks.push_back([&shared, &progress, &violations, t] {
-      const std::vector<net::NodeId> candidates{1};
+      const std::vector<core::NodeId> candidates{core::NodeId{1}};
       for (int i = 0; i < kObservationsPerReader; ++i) {
         const std::int64_t seen = progress.load(std::memory_order_acquire);
         const std::shared_ptr<const RankSnapshot> snap = shared.snapshot();
-        if (snap->epoch() < seen) ++violations[static_cast<std::size_t>(t)];
-        (void)shared.rank(0, candidates, RankingMetric::kDelay,
-                          ms(static_cast<int>(seen)));
+        if (snap->epoch() < Epoch{seen}) ++violations[static_cast<std::size_t>(t)];
+        (void)shared.rank(core::NodeId{0}, candidates, RankingMetric::kDelay, at_ms(static_cast<int>(seen)));
       }
     });
   }
@@ -189,7 +189,7 @@ TEST(RankSnapshotTest, FreshnessPropertyUnderConcurrentIngest) {
   }
   EXPECT_EQ(shared.reports_ingested(), 1 + kReports);
   // At quiescence the published snapshot is the newest epoch.
-  EXPECT_EQ(shared.snapshot()->epoch(), 1 + kReports);
+  EXPECT_EQ(shared.snapshot()->epoch(), Epoch{1 + kReports});
 }
 
 // Torture: 8 readers hammering the lock-free path against 1 writer mixing
@@ -204,12 +204,12 @@ TEST(RankSnapshotTest, TortureEightReadersOneWriter) {
   constexpr int kBatchSize = 4;
 
   ConcurrentNetworkMap shared;  // snapshot mode
-  shared.ingest(simple_report(), ms(0));
+  shared.ingest(simple_report(), at_ms(0));
 
   std::vector<std::function<void()>> tasks;
   tasks.push_back([&shared] {
     for (int i = 0; i < kSingles; ++i) {
-      shared.ingest(simple_report(i % 13, i % 8), ms(1 + i));
+      shared.ingest(simple_report(i % 13, i % 8), at_ms(1 + i));
     }
     for (int b = 0; b < kBatches; ++b) {
       std::vector<telemetry::ProbeReport> burst;
@@ -217,18 +217,18 @@ TEST(RankSnapshotTest, TortureEightReadersOneWriter) {
       for (int j = 0; j < kBatchSize; ++j) {
         burst.push_back(simple_report((b + j) % 11, (b * j) % 7));
       }
-      shared.ingest_batch(burst, ms(1 + kSingles + b));
+      shared.ingest_batch(burst, at_ms(1 + kSingles + b));
     }
   });
   std::vector<std::int64_t> bad_shapes(kReaders, 0);
   for (int t = 0; t < kReaders; ++t) {
     tasks.push_back([&shared, &bad_shapes, t] {
-      const std::vector<net::NodeId> candidates{1, 99};
+      const std::vector<core::NodeId> candidates{core::NodeId{1}, core::NodeId{99}};
       for (int i = 0; i < kRanksPerReader; ++i) {
         const auto metric = (i % 2 == 0) ? RankingMetric::kDelay
                                          : RankingMetric::kBandwidth;
         const std::vector<ServerRank> ranked =
-            shared.rank(t, candidates, metric, ms(i));
+            shared.rank(core::NodeId{t}, candidates, metric, at_ms(i));
         if (ranked.size() != candidates.size()) {
           ++bad_shapes[static_cast<std::size_t>(t)];
         }
@@ -247,28 +247,28 @@ TEST(RankSnapshotTest, TortureEightReadersOneWriter) {
   EXPECT_EQ(shared.reports_ingested(), expected_reports);
   EXPECT_EQ(shared.queries_served(),
             static_cast<std::int64_t>(kReaders) * kRanksPerReader);
-  EXPECT_EQ(shared.snapshot()->epoch(), expected_reports);
+  EXPECT_EQ(shared.snapshot()->epoch(), Epoch{expected_reports});
 
   // Quiesced state replays byte-identically on the locked facade.
   ConcurrentNetworkMap locked{{}, {}, ConcurrencyMode::kLockedFacade};
-  locked.ingest(simple_report(), ms(0));
+  locked.ingest(simple_report(), at_ms(0));
   for (int i = 0; i < kSingles; ++i) {
-    locked.ingest(simple_report(i % 13, i % 8), ms(1 + i));
+    locked.ingest(simple_report(i % 13, i % 8), at_ms(1 + i));
   }
   for (int b = 0; b < kBatches; ++b) {
     std::vector<telemetry::ProbeReport> burst;
     for (int j = 0; j < kBatchSize; ++j) {
       burst.push_back(simple_report((b + j) % 11, (b * j) % 7));
     }
-    locked.ingest_batch(burst, ms(1 + kSingles + b));
+    locked.ingest_batch(burst, at_ms(1 + kSingles + b));
   }
-  const std::vector<net::NodeId> candidates{1, 99};
+  const std::vector<core::NodeId> candidates{core::NodeId{1}, core::NodeId{99}};
   const int final_t = 1 + kSingles + kBatches;
   for (const auto metric :
        {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
     expect_ranks_identical(
-        shared.rank(0, candidates, metric, ms(final_t)),
-        locked.rank(0, candidates, metric, ms(final_t)));
+        shared.rank(core::NodeId{0}, candidates, metric, at_ms(final_t)),
+        locked.rank(core::NodeId{0}, candidates, metric, at_ms(final_t)));
   }
 }
 

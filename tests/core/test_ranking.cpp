@@ -6,11 +6,12 @@
 namespace intsched::core {
 namespace {
 
-sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+sim::SimDuration ms(int v) { return sim::SimDuration::milliseconds(v); }
+sim::SimTime at_ms(int v) { return sim::SimTime::at(ms(v)); }
 
-net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
+net::IntStackEntry entry(core::NodeId device, std::int32_t in_port,
                          std::int32_t out_port, std::int64_t q,
-                         sim::SimTime latency) {
+                         sim::SimDuration latency) {
   net::IntStackEntry e;
   e.device = device;
   e.ingress_port = in_port;
@@ -28,21 +29,21 @@ net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
 NetworkMap make_map(std::int64_t q10, std::int64_t q11, std::int64_t q12) {
   NetworkMap map;
   telemetry::ProbeReport from0;
-  from0.src = 0;
-  from0.dst = 1;
-  from0.entries = {entry(10, 0, 1, q10, ms(10)),
-                   entry(11, 0, 1, q11, ms(10))};
+  from0.src = core::NodeId{0};
+  from0.dst = core::NodeId{1};
+  from0.entries = {entry(core::NodeId{10}, 0, 1, q10, ms(10)),
+                   entry(core::NodeId{11}, 0, 1, q11, ms(10))};
   from0.final_link_latency = ms(10);
-  map.ingest(from0, ms(0));
+  map.ingest(from0, at_ms(0));
 
   telemetry::ProbeReport from2;
-  from2.src = 2;
-  from2.dst = 1;
-  from2.entries = {entry(12, 0, 1, q12, ms(10)),
-                   entry(10, 2, 1, q10, ms(10)),
-                   entry(11, 0, 1, q11, ms(10))};
+  from2.src = core::NodeId{2};
+  from2.dst = core::NodeId{1};
+  from2.entries = {entry(core::NodeId{12}, 0, 1, q12, ms(10)),
+                   entry(core::NodeId{10}, 2, 1, q10, ms(10)),
+                   entry(core::NodeId{11}, 0, 1, q11, ms(10))};
   from2.final_link_latency = ms(10);
-  map.ingest(from2, ms(0));
+  map.ingest(from2, at_ms(0));
   return map;
 }
 
@@ -85,15 +86,15 @@ TEST(RankerTest, Algorithm1FormulaExact) {
   cfg.k_factor = ms(20);
   Ranker ranker{map, cfg};
   // Path 0 -> s10 -> s11 -> 1: links 10+10+10, hops 3 and 5.
-  const sim::SimTime d =
-      ranker.path_delay_estimate({0, 10, 11, 1}, ms(10));
+  const sim::SimDuration d =
+      ranker.path_delay_estimate({core::NodeId{0}, core::NodeId{10}, core::NodeId{11}, core::NodeId{1}}, at_ms(10));
   EXPECT_EQ(d, ms(30) + ms(20) * 8);
 }
 
 TEST(RankerTest, ZeroQueuesGivePureLinkDelay) {
   NetworkMap map = make_map(0, 0, 0);
   Ranker ranker{map};
-  EXPECT_EQ(ranker.path_delay_estimate({0, 10, 11, 1}, ms(10)), ms(30));
+  EXPECT_EQ(ranker.path_delay_estimate({core::NodeId{0}, core::NodeId{10}, core::NodeId{11}, core::NodeId{1}}, at_ms(10)), ms(30));
 }
 
 TEST(RankerTest, KFactorScalesHopPenalty) {
@@ -101,10 +102,10 @@ TEST(RankerTest, KFactorScalesHopPenalty) {
   RankerConfig cfg;
   cfg.k_factor = ms(5);
   Ranker ranker{map, cfg};
-  EXPECT_EQ(ranker.path_delay_estimate({0, 10, 11, 1}, ms(10)),
+  EXPECT_EQ(ranker.path_delay_estimate({core::NodeId{0}, core::NodeId{10}, core::NodeId{11}, core::NodeId{1}}, at_ms(10)),
             ms(30) + ms(10));
   ranker.set_k_factor(ms(50));
-  EXPECT_EQ(ranker.path_delay_estimate({0, 10, 11, 1}, ms(10)),
+  EXPECT_EQ(ranker.path_delay_estimate({core::NodeId{0}, core::NodeId{10}, core::NodeId{11}, core::NodeId{1}}, at_ms(10)),
             ms(30) + ms(100));
 }
 
@@ -115,15 +116,15 @@ TEST(RankerTest, KFactorScalesHopPenalty) {
 TEST(RankerTest, SetKFactorInvalidatesPathCache) {
   NetworkMap map = make_map(2, 0, 0);
   Ranker ranker{map};
-  (void)ranker.rank(0, {1, 2}, RankingMetric::kDelay, ms(10));
-  EXPECT_GE(ranker.path_cache_epoch(), 0);
+  (void)ranker.rank(core::NodeId{0}, {core::NodeId{1}, core::NodeId{2}}, RankingMetric::kDelay, at_ms(10));
+  EXPECT_GE(ranker.path_cache_epoch(), core::Epoch{0});
 
   ranker.set_k_factor(ms(50));
-  EXPECT_EQ(ranker.path_cache_epoch(), -1);
+  EXPECT_EQ(ranker.path_cache_epoch(), core::Epoch::none());
 
   // Next rank refills the cache and serves the new k.
-  (void)ranker.rank(0, {1, 2}, RankingMetric::kDelay, ms(10));
-  EXPECT_GE(ranker.path_cache_epoch(), 0);
+  (void)ranker.rank(core::NodeId{0}, {core::NodeId{1}, core::NodeId{2}}, RankingMetric::kDelay, at_ms(10));
+  EXPECT_GE(ranker.path_cache_epoch(), core::Epoch{0});
   EXPECT_EQ(ranker.config().k_factor, ms(50));
 }
 
@@ -132,7 +133,7 @@ TEST(RankerTest, BandwidthIsMinOverLinks) {
   NetworkMap map = make_map(0, 0, 0);
   Ranker ranker{map};
   const sim::DataRate bw =
-      ranker.path_bandwidth_estimate({0, 10, 11, 1}, ms(10));
+      ranker.path_bandwidth_estimate({core::NodeId{0}, core::NodeId{10}, core::NodeId{11}, core::NodeId{1}}, at_ms(10));
   EXPECT_NEAR(bw.mbps(), map.config().nominal_capacity.mbps(), 1e-9);
 }
 
@@ -140,7 +141,7 @@ TEST(RankerTest, CongestedLinkCapsBandwidth) {
   NetworkMap map = make_map(512, 0, 0);  // s10's egress saturated
   Ranker ranker{map};
   const sim::DataRate bw =
-      ranker.path_bandwidth_estimate({0, 10, 11, 1}, ms(10));
+      ranker.path_bandwidth_estimate({core::NodeId{0}, core::NodeId{10}, core::NodeId{11}, core::NodeId{1}}, at_ms(10));
   EXPECT_LT(bw.mbps(), 1.0);
 }
 
@@ -150,10 +151,10 @@ TEST(RankerTest, RankByDelaySortsAscending) {
   Ranker ranker{map};
   // From host 1's view, rank hosts 0 and 2.
   const auto ranked =
-      ranker.rank(1, {0, 2}, RankingMetric::kDelay, ms(10));
+      ranker.rank(core::NodeId{1}, {core::NodeId{0}, core::NodeId{2}}, RankingMetric::kDelay, at_ms(10));
   ASSERT_EQ(ranked.size(), 2u);
-  EXPECT_EQ(ranked[0].server, 0);
-  EXPECT_EQ(ranked[1].server, 2);
+  EXPECT_EQ(ranked[0].server, core::NodeId{0});
+  EXPECT_EQ(ranked[1].server, core::NodeId{2});
   EXPECT_LT(ranked[0].delay_estimate, ranked[1].delay_estimate);
 }
 
@@ -161,9 +162,9 @@ TEST(RankerTest, RankByBandwidthSortsDescending) {
   NetworkMap map = make_map(0, 0, 40);
   Ranker ranker{map};
   const auto ranked =
-      ranker.rank(1, {0, 2}, RankingMetric::kBandwidth, ms(10));
+      ranker.rank(core::NodeId{1}, {core::NodeId{0}, core::NodeId{2}}, RankingMetric::kBandwidth, at_ms(10));
   ASSERT_EQ(ranked.size(), 2u);
-  EXPECT_EQ(ranked[0].server, 0);
+  EXPECT_EQ(ranked[0].server, core::NodeId{0});
   EXPECT_GT(ranked[0].bandwidth_estimate.bps(),
             ranked[1].bandwidth_estimate.bps());
 }
@@ -171,8 +172,8 @@ TEST(RankerTest, RankByBandwidthSortsDescending) {
 TEST(RankerTest, BothEstimatesAlwaysFilled) {
   NetworkMap map = make_map(1, 2, 3);
   Ranker ranker{map};
-  for (const auto& r : ranker.rank(0, {1, 2}, RankingMetric::kDelay, ms(10))) {
-    EXPECT_GT(r.delay_estimate, sim::SimTime::zero());
+  for (const auto& r : ranker.rank(core::NodeId{0}, {core::NodeId{1}, core::NodeId{2}}, RankingMetric::kDelay, at_ms(10))) {
+    EXPECT_GT(r.delay_estimate, sim::SimDuration::zero());
     EXPECT_GT(r.bandwidth_estimate.bps(), 0.0);
   }
 }
@@ -181,11 +182,11 @@ TEST(RankerTest, UnreachableCandidateRanksLast) {
   NetworkMap map = make_map(0, 0, 0);
   Ranker ranker{map};
   const auto ranked =
-      ranker.rank(0, {1, 99}, RankingMetric::kDelay, ms(10));
+      ranker.rank(core::NodeId{0}, {core::NodeId{1}, core::NodeId{99}}, RankingMetric::kDelay, at_ms(10));
   ASSERT_EQ(ranked.size(), 2u);
-  EXPECT_EQ(ranked[0].server, 1);
-  EXPECT_EQ(ranked[1].server, 99);
-  EXPECT_EQ(ranked[1].delay_estimate, sim::SimTime::max());
+  EXPECT_EQ(ranked[0].server, core::NodeId{1});
+  EXPECT_EQ(ranked[1].server, core::NodeId{99});
+  EXPECT_EQ(ranked[1].delay_estimate, sim::SimDuration::max());
   EXPECT_DOUBLE_EQ(ranked[1].bandwidth_estimate.bps(), 0.0);
 }
 
@@ -195,8 +196,8 @@ TEST(RankerTest, EqualDelayTieBreaksById) {
   // Hosts 0 and... construct: rank from host 1 where both reachable with
   // equal metrics is hard in this topology; instead verify determinism by
   // ranking twice.
-  const auto a = ranker.rank(1, {0, 2}, RankingMetric::kDelay, ms(10));
-  const auto b = ranker.rank(1, {0, 2}, RankingMetric::kDelay, ms(10));
+  const auto a = ranker.rank(core::NodeId{1}, {core::NodeId{0}, core::NodeId{2}}, RankingMetric::kDelay, at_ms(10));
+  const auto b = ranker.rank(core::NodeId{1}, {core::NodeId{0}, core::NodeId{2}}, RankingMetric::kDelay, at_ms(10));
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].server, b[i].server);
@@ -208,16 +209,16 @@ TEST(RankerTest, StaleCongestionForgotten) {
   map_cfg.queue_window = ms(150);
   NetworkMap map{map_cfg};
   telemetry::ProbeReport r;
-  r.src = 0;
-  r.dst = 1;
-  r.entries = {entry(10, 0, 1, 50, ms(10)), entry(11, 0, 1, 0, ms(10))};
+  r.src = core::NodeId{0};
+  r.dst = core::NodeId{1};
+  r.entries = {entry(core::NodeId{10}, 0, 1, 50, ms(10)), entry(core::NodeId{11}, 0, 1, 0, ms(10))};
   r.final_link_latency = ms(10);
-  map.ingest(r, ms(0));
+  map.ingest(r, at_ms(0));
   Ranker ranker{map};
-  const sim::SimTime congested =
-      ranker.path_delay_estimate({0, 10, 11, 1}, ms(50));
-  const sim::SimTime later =
-      ranker.path_delay_estimate({0, 10, 11, 1}, ms(500));
+  const sim::SimDuration congested =
+      ranker.path_delay_estimate({core::NodeId{0}, core::NodeId{10}, core::NodeId{11}, core::NodeId{1}}, at_ms(50));
+  const sim::SimDuration later =
+      ranker.path_delay_estimate({core::NodeId{0}, core::NodeId{10}, core::NodeId{11}, core::NodeId{1}}, at_ms(500));
   EXPECT_GT(congested, later);
   EXPECT_EQ(later, ms(30));
 }
@@ -240,7 +241,7 @@ TEST(KCalibrationTest, RecoversLinearRelation) {
   for (int q = 0; q <= 30; q += 3) {
     samples.push_back({static_cast<double>(q), 2.5 * q});  // k = 2.5 ms
   }
-  const sim::SimTime k = estimate_k_factor(samples);
+  const sim::SimDuration k = estimate_k_factor(samples);
   EXPECT_NEAR(k.to_milliseconds(), 2.5, 0.01);
 }
 
@@ -256,12 +257,12 @@ TEST(KCalibrationTest, NoisyDataStillClose) {
 }
 
 TEST(KCalibrationTest, DegenerateDataFallsBackToPaperDefault) {
-  EXPECT_EQ(estimate_k_factor({}), sim::SimTime::milliseconds(20));
+  EXPECT_EQ(estimate_k_factor({}), sim::SimDuration::milliseconds(20));
   EXPECT_EQ(estimate_k_factor({{0.0, 0.0}, {0.0, 5.0}}),
-            sim::SimTime::milliseconds(20));
+            sim::SimDuration::milliseconds(20));
   // All-negative correlation: no positive signal either.
   EXPECT_EQ(estimate_k_factor({{10.0, -5.0}, {20.0, -9.0}}),
-            sim::SimTime::milliseconds(20));
+            sim::SimDuration::milliseconds(20));
 }
 
 TEST(KCalibrationTest, EndToEndFromMeasuredCurve) {
@@ -272,6 +273,7 @@ TEST(KCalibrationTest, EndToEndFromMeasuredCurve) {
   const std::vector<KCalibrationSample> measured = {
       {0.5, 0.3}, {2.6, 1.3}, {4.3, 1.0},  {6.6, 1.7},
       {10.2, 3.1}, {16.8, 6.5}, {187.4, 114.4}, {494.8, 324.2}};
+  // intsched-lint: allow(raw-unit): fractional-ms bound check
   const double k_ms = estimate_k_factor(measured).to_milliseconds();
   EXPECT_GT(k_ms, 0.3);
   EXPECT_LT(k_ms, 2.0);
@@ -288,35 +290,35 @@ namespace {
 TEST(MeasuredHopLatencyTest, UsedDirectlyWithoutK) {
   NetworkMap map;
   telemetry::ProbeReport r;
-  r.src = 0;
-  r.dst = 1;
+  r.src = core::NodeId{0};
+  r.dst = core::NodeId{1};
   net::IntStackEntry e;
-  e.device = 10;
+  e.device = core::NodeId{10};
   e.ingress_port = 0;
   e.egress_port = 1;
   e.device_max_queue_pkts = 50;  // would cost 1 s at k = 20 ms
-  e.max_hop_latency = sim::SimTime::milliseconds(7);
-  e.ingress_link_latency = sim::SimTime::milliseconds(10);
+  e.max_hop_latency = sim::SimDuration::milliseconds(7);
+  e.ingress_link_latency = sim::SimDuration::milliseconds(10);
   r.entries = {e};
-  r.final_link_latency = sim::SimTime::milliseconds(10);
+  r.final_link_latency = sim::SimDuration::milliseconds(10);
   map.ingest(r, sim::SimTime::zero());
 
   RankerConfig cfg;
   cfg.queue_statistic = QueueStatistic::kMeasuredHopLatency;
   Ranker ranker{map, cfg};
   // 20 ms links + 7 ms measured dwell, independent of k.
-  EXPECT_EQ(ranker.path_delay_estimate({0, 10, 1}, sim::SimTime::zero()),
-            sim::SimTime::milliseconds(27));
+  EXPECT_EQ(ranker.path_delay_estimate({core::NodeId{0}, core::NodeId{10}, core::NodeId{1}}, sim::SimTime::zero()),
+            sim::SimDuration::milliseconds(27));
   cfg.queue_statistic = QueueStatistic::kMaximum;
   Ranker paper{map, cfg};
-  EXPECT_EQ(paper.path_delay_estimate({0, 10, 1}, sim::SimTime::zero()),
-            sim::SimTime::milliseconds(20) + sim::SimTime::seconds(1));
+  EXPECT_EQ(paper.path_delay_estimate({core::NodeId{0}, core::NodeId{10}, core::NodeId{1}}, sim::SimTime::zero()),
+            sim::SimDuration::milliseconds(20) + sim::SimDuration::seconds(1));
 }
 
 TEST(MeasuredHopLatencyTest, UnreportedDeviceContributesZero) {
   NetworkMap map;
-  EXPECT_EQ(map.device_hop_latency(99, sim::SimTime::zero()),
-            sim::SimTime::zero());
+  EXPECT_EQ(map.device_hop_latency(core::NodeId{99}, sim::SimTime::zero()),
+            sim::SimDuration::zero());
 }
 
 }  // namespace

@@ -25,7 +25,7 @@ struct ServiceFixture : ::testing::Test {
     }
     service = std::make_unique<SchedulerService>(
         *stacks[5], RankerConfig{}, NetworkMapConfig{});
-    for (const net::NodeId id : network.host_ids()) {
+    for (const core::NodeId id : network.host_ids()) {
       service->register_edge_server(id);
     }
     for (net::Host* h : network.hosts()) {
@@ -39,7 +39,7 @@ struct ServiceFixture : ::testing::Test {
 
 TEST_F(ServiceFixture, ProbesBuildFullHostMap) {
   sim.run_until(sim::SimTime::seconds(1));
-  for (const net::NodeId id : network.host_ids()) {
+  for (const core::NodeId id : network.host_ids()) {
     EXPECT_TRUE(service->network_map().knows_node(id)) << "host " << id;
   }
   // All 12 switches observed.
@@ -51,16 +51,16 @@ TEST_F(ServiceFixture, ProbesBuildFullHostMap) {
 
 TEST_F(ServiceFixture, RankForExcludesRequester) {
   sim.run_until(sim::SimTime::seconds(1));
-  const auto ranked = service->rank_for(0, RankingMetric::kDelay);
+  const auto ranked = service->rank_for(core::NodeId{0}, RankingMetric::kDelay);
   EXPECT_EQ(ranked.size(), 7u);
-  for (const auto& r : ranked) EXPECT_NE(r.server, 0);
+  for (const auto& r : ranked) EXPECT_NE(r.server, core::NodeId{0});
 }
 
 TEST_F(ServiceFixture, IdleNetworkRanksPodSiblingFirst) {
   sim.run_until(sim::SimTime::seconds(2));
-  const auto ranked = service->rank_for(0, RankingMetric::kDelay);
+  const auto ranked = service->rank_for(core::NodeId{0}, RankingMetric::kDelay);
   ASSERT_FALSE(ranked.empty());
-  EXPECT_EQ(ranked[0].server, 1);  // node2: intra-pod sibling
+  EXPECT_EQ(ranked[0].server, core::NodeId{1});  // node2: intra-pod sibling
 }
 
 TEST_F(ServiceFixture, QueryOverUdpGetsResponse) {
@@ -73,7 +73,7 @@ TEST_F(ServiceFixture, QueryOverUdpGetsResponse) {
   ASSERT_EQ(response.size(), 7u);
   EXPECT_EQ(client.responses_received(), 1);
   EXPECT_EQ(service->queries_served(), 1);
-  EXPECT_EQ(response[0].server, 1);
+  EXPECT_EQ(response[0].server, core::NodeId{1});
 }
 
 TEST_F(ServiceFixture, QueryLatencyIsNetworkRoundTrip) {
@@ -85,13 +85,13 @@ TEST_F(ServiceFixture, QueryLatencyIsNetworkRoundTrip) {
                [&](const CandidateResponse&) { answered = sim.now(); });
   sim.run_until(sim::SimTime::seconds(2));
   // node1 <-> node6: 5 links each way = >=100 ms RTT.
-  EXPECT_GT(answered - asked, sim::SimTime::milliseconds(90));
-  EXPECT_LT(answered - asked, sim::SimTime::milliseconds(300));
+  EXPECT_GT(answered - asked, sim::SimDuration::milliseconds(90));
+  EXPECT_LT(answered - asked, sim::SimDuration::milliseconds(300));
 }
 
 TEST_F(ServiceFixture, RegisterEdgeServerIdempotent) {
-  service->register_edge_server(0);
-  service->register_edge_server(0);
+  service->register_edge_server(core::NodeId{0});
+  service->register_edge_server(core::NodeId{0});
   EXPECT_EQ(service->edge_servers().size(), 8u);
 }
 
@@ -112,8 +112,8 @@ TEST_F(ServiceFixture, BandwidthQueryReturnsEstimates) {
 TEST_F(ServiceFixture, DirectPolicySelectsImmediately) {
   sim.run_until(sim::SimTime::seconds(1));
   DirectIntPolicy policy{*service, RankingMetric::kDelay};
-  std::vector<net::NodeId> chosen;
-  policy.select(5, 3, [&](std::vector<net::NodeId> s) { chosen = s; });
+  std::vector<core::NodeId> chosen;
+  policy.select(core::NodeId{5}, 3, [&](std::vector<core::NodeId> s) { chosen = s; });
   ASSERT_EQ(chosen.size(), 3u);  // synchronous: no sim stepping needed
   EXPECT_EQ(policy.kind(), PolicyKind::kIntDelay);
 }
@@ -123,8 +123,8 @@ TEST_F(ServiceFixture, IntPolicyWrapsClientQuery) {
   IntPolicy policy{client, RankingMetric::kBandwidth};
   EXPECT_EQ(policy.kind(), PolicyKind::kIntBandwidth);
   sim.run_until(sim::SimTime::seconds(1));
-  std::vector<net::NodeId> chosen;
-  policy.select(0, 2, [&](std::vector<net::NodeId> s) { chosen = s; });
+  std::vector<core::NodeId> chosen;
+  policy.select(core::NodeId{0}, 2, [&](std::vector<core::NodeId> s) { chosen = s; });
   sim.run_until(sim::SimTime::seconds(2));
   EXPECT_EQ(chosen.size(), 2u);
 }
@@ -153,10 +153,10 @@ struct DegradedServiceFixture : ::testing::Test {
       stacks.push_back(std::make_unique<transport::HostStack>(*h));
     }
     NetworkMapConfig map_cfg;
-    map_cfg.link_staleness = sim::SimTime::milliseconds(400);
+    map_cfg.link_staleness = sim::SimDuration::milliseconds(400);
     service = std::make_unique<SchedulerService>(
         *stacks[5], RankerConfig{}, map_cfg);
-    for (const net::NodeId id : network.host_ids()) {
+    for (const core::NodeId id : network.host_ids()) {
       service->register_edge_server(id);
     }
     for (net::Host* h : network.hosts()) {
@@ -173,15 +173,15 @@ TEST_F(DegradedServiceFixture, StalePathIsDeprioritizedNotDropped) {
   // goes stale while everyone else stays fresh.
   net::FaultPlanConfig cfg;
   cfg.link_flaps.push_back(net::LinkFlapSpec{
-      0, 8, sim::SimTime::seconds(2), sim::SimTime::zero()});
+      core::NodeId{0}, core::NodeId{8}, sim::SimTime::seconds(2), sim::SimTime::zero()});
   net::FaultPlan plan{cfg};
   plan.arm(network.topology());
   sim.run_until(sim::SimTime::seconds(4));
 
   // Query from host 2 (unaffected): all 7 candidates still present.
-  const auto ranked = service->rank_for(2, RankingMetric::kDelay);
+  const auto ranked = service->rank_for(core::NodeId{2}, RankingMetric::kDelay);
   ASSERT_EQ(ranked.size(), 7u);
-  EXPECT_EQ(ranked.back().server, 0);
+  EXPECT_EQ(ranked.back().server, core::NodeId{0});
   EXPECT_TRUE(ranked.back().stale);
   for (std::size_t i = 0; i + 1 < ranked.size(); ++i) {
     EXPECT_FALSE(ranked[i].stale) << "server " << ranked[i].server;
@@ -195,11 +195,11 @@ TEST_F(DegradedServiceFixture, AllStaleFallsBackToNearestOrdering) {
   for (auto& a : agents) a->stop();  // total telemetry blackout
   sim.run_until(sim::SimTime::seconds(4));  // well past the 400 ms window
 
-  const auto ranked = service->rank_for(0, RankingMetric::kDelay);
+  const auto ranked = service->rank_for(core::NodeId{0}, RankingMetric::kDelay);
   ASSERT_EQ(ranked.size(), 7u);
   for (const auto& r : ranked) EXPECT_TRUE(r.stale);
   // Nearest-style fallback: intra-pod sibling first, by topology alone.
-  EXPECT_EQ(ranked[0].server, 1);
+  EXPECT_EQ(ranked[0].server, core::NodeId{1});
   for (std::size_t i = 1; i < ranked.size(); ++i) {
     EXPECT_GE(ranked[i].baseline_delay, ranked[i - 1].baseline_delay);
   }
@@ -216,17 +216,17 @@ TEST_F(DegradedServiceFixture, QueryDuringBlackoutStillWellFormed) {
                [&](const CandidateResponse& r) { response = r.ranked; });
   sim.run_until(sim::SimTime::seconds(5));
   ASSERT_EQ(response.size(), 7u);
-  EXPECT_EQ(response[0].server, 1);
+  EXPECT_EQ(response[0].server, core::NodeId{1});
   EXPECT_EQ(client.responses_received(), 1);
 }
 
 TEST_F(DegradedServiceFixture, FreshTelemetryMeansNoFallbacks) {
   sim.run_until(sim::SimTime::seconds(3));
-  const auto ranked = service->rank_for(0, RankingMetric::kDelay);
+  const auto ranked = service->rank_for(core::NodeId{0}, RankingMetric::kDelay);
   ASSERT_EQ(ranked.size(), 7u);
   for (const auto& r : ranked) EXPECT_FALSE(r.stale);
   EXPECT_EQ(service->fallback_decisions(), 0);
-  EXPECT_EQ(ranked[0].server, 1);
+  EXPECT_EQ(ranked[0].server, core::NodeId{1});
 }
 
 }  // namespace

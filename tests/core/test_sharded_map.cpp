@@ -7,7 +7,6 @@
 // ctest label `perf`, so the tsan preset hammers the same paths).
 //
 // The torture test's cross-thread state is the maps themselves:
-// intsched-lint: allow-file(thread-share): concurrency suite by design
 #include "intsched/core/sharded_map.hpp"
 
 #include <functional>
@@ -81,15 +80,15 @@ TEST(ShardedMapTest, MatchesFlatFieldExactEveryEpoch) {
   MetroFixture m{3, 8};
   ShardedNetworkMap sharded{RegionAssignment::from_topology(m.topo)};
   ConcurrentNetworkMap flat;  // snapshot mode
-  EXPECT_EQ(sharded.region_count(), 3);
+  EXPECT_EQ(sharded.region_count(), core::RegionId{3});
 
-  const std::vector<net::NodeId> origins = m.topo.hosts();
-  const std::vector<net::NodeId> candidates = m.topo.edge_servers();
+  const std::vector<core::NodeId> origins = m.topo.hosts();
+  const std::vector<core::NodeId> candidates = m.topo.edge_servers();
   for (std::size_t e = 0; e < m.batches.size(); ++e) {
     const sim::SimTime now = MetroFixture::epoch_time(e);
     sharded.ingest_batch(m.batches[e], now);
     flat.ingest_batch(m.batches[e], now);
-    for (const net::NodeId origin : origins) {
+    for (const core::NodeId origin : origins) {
       for (const auto metric :
            {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
         const auto want = flat.rank(origin, candidates, metric, now);
@@ -126,7 +125,7 @@ TEST(ShardedMapTest, OnlyTouchedRegionsAreRebuilt) {
   EXPECT_LE(sharded.region_snapshot_builds(), 8 + 8 + 9 * 2);
   EXPECT_LT(sharded.region_snapshot_builds(),
             sharded.view_publishes() *
-                static_cast<std::int64_t>(sharded.region_count()));
+                static_cast<std::int64_t>(sharded.region_count().value()));
 }
 
 TEST(ShardedMapTest, PickPrunesRegionsAndAgreesWithRank) {
@@ -136,10 +135,10 @@ TEST(ShardedMapTest, PickPrunesRegionsAndAgreesWithRank) {
     sharded.ingest_batch(m.batches[e], MetroFixture::epoch_time(e));
   }
   const sim::SimTime now = MetroFixture::epoch_time(m.batches.size());
-  const std::vector<net::NodeId> candidates = m.topo.edge_servers();
+  const std::vector<core::NodeId> candidates = m.topo.edge_servers();
 
   PickStats total;
-  for (const net::NodeId origin : m.topo.hosts()) {
+  for (const core::NodeId origin : m.topo.hosts()) {
     PickStats stats;
     const auto best = sharded.pick(origin, candidates,
                                    RankingMetric::kDelay, now, &stats);
@@ -180,8 +179,8 @@ TEST(ShardedMapTest, ByteIdenticalAcrossRebuildExecutorWidths) {
   }
 
   const sim::SimTime now = MetroFixture::epoch_time(m.batches.size());
-  const std::vector<net::NodeId> candidates = m.topo.edge_servers();
-  for (const net::NodeId origin : m.topo.hosts()) {
+  const std::vector<core::NodeId> candidates = m.topo.edge_servers();
+  for (const core::NodeId origin : m.topo.hosts()) {
     for (const auto metric :
          {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
       const auto want = maps[0]->rank(origin, candidates, metric, now);
@@ -204,16 +203,16 @@ TEST(ShardedMapTest, SetKFactorRepublishesEverything) {
   sharded.ingest_batch(m.batches[0], MetroFixture::epoch_time(0));
   const auto before = sharded.view();
 
-  sharded.set_k_factor(sim::SimTime::milliseconds(40));
+  sharded.set_k_factor(sim::SimDuration::milliseconds(40));
   const auto after = sharded.view();
   EXPECT_NE(before.get(), after.get());
-  EXPECT_EQ(after->config().k_factor, sim::SimTime::milliseconds(40));
+  EXPECT_EQ(after->config().k_factor, sim::SimDuration::milliseconds(40));
 
   // The new k flows into delay estimates (flat map as the oracle).
   ConcurrentNetworkMap flat{{}, RankerConfig{.k_factor =
-                                                 sim::SimTime::milliseconds(40)}};
+                                                 sim::SimDuration::milliseconds(40)}};
   flat.ingest_batch(m.batches[0], MetroFixture::epoch_time(0));
-  const std::vector<net::NodeId> candidates = m.topo.edge_servers();
+  const std::vector<core::NodeId> candidates = m.topo.edge_servers();
   const sim::SimTime now = MetroFixture::epoch_time(1);
   expect_ranks_identical(
       sharded.rank(m.topo.hosts()[0], candidates, RankingMetric::kDelay, now),
@@ -234,8 +233,8 @@ TEST(ShardedMapTest, TortureEightReadersOneWriter) {
   ShardedNetworkMap shared{RegionAssignment::from_topology(m.topo)};
   shared.ingest_batch(m.batches[0], MetroFixture::epoch_time(0));
 
-  const std::vector<net::NodeId> origins = m.topo.hosts();
-  const std::vector<net::NodeId> candidates = m.topo.edge_servers();
+  const std::vector<core::NodeId> origins = m.topo.hosts();
+  const std::vector<core::NodeId> candidates = m.topo.edge_servers();
 
   std::vector<std::function<void()>> tasks;
   tasks.push_back([&shared, &m] {
@@ -247,7 +246,7 @@ TEST(ShardedMapTest, TortureEightReadersOneWriter) {
   for (int t = 0; t < kReaders; ++t) {
     tasks.push_back([&shared, &origins, &candidates, &bad, t] {
       for (int i = 0; i < kOpsPerReader; ++i) {
-        const net::NodeId origin =
+        const core::NodeId origin =
             origins[static_cast<std::size_t>(t * 31 + i) % origins.size()];
         const auto metric = (i % 2 == 0) ? RankingMetric::kDelay
                                          : RankingMetric::kBandwidth;
@@ -280,7 +279,7 @@ TEST(ShardedMapTest, TortureEightReadersOneWriter) {
   // Only the wrapper rank() bumps the counter (view-level calls don't).
   EXPECT_EQ(shared.queries_served(),
             static_cast<std::int64_t>(kReaders) * kOpsPerReader);
-  EXPECT_EQ(shared.view()->epoch(), expected_reports);
+  EXPECT_EQ(shared.view()->epoch(), core::Epoch{expected_reports});
 
   // Quiesced state replays field-identically against the flat oracle.
   ConcurrentNetworkMap flat;
@@ -288,7 +287,7 @@ TEST(ShardedMapTest, TortureEightReadersOneWriter) {
     flat.ingest_batch(m.batches[e], MetroFixture::epoch_time(e));
   }
   const sim::SimTime now = MetroFixture::epoch_time(m.batches.size());
-  for (const net::NodeId origin : {origins[0], origins[5]}) {
+  for (const core::NodeId origin : {origins[0], origins[5]}) {
     for (const auto metric :
          {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
       expect_ranks_identical(shared.rank(origin, candidates, metric, now),
@@ -311,7 +310,7 @@ TEST(ShardedMapTest, SchedulerServiceRoutesThroughAttachedMetro) {
     }
     SchedulerService service{*stacks[5], RankerConfig{}, NetworkMapConfig{}};
     if (metro != nullptr) service.attach_metro(metro);
-    for (const net::NodeId id : network.host_ids()) {
+    for (const core::NodeId id : network.host_ids()) {
       service.register_edge_server(id);
     }
     std::vector<std::unique_ptr<telemetry::ProbeAgent>> agents;
@@ -322,12 +321,12 @@ TEST(ShardedMapTest, SchedulerServiceRoutesThroughAttachedMetro) {
       agents.back()->start();
     }
     sim.run_until(sim::SimTime::seconds(2));
-    return service.rank_for(0, RankingMetric::kDelay);
+    return service.rank_for(core::NodeId{0}, RankingMetric::kDelay);
   };
 
   // Fig. 4's node-id space (hosts + switches) mapped onto one region.
   ShardedNetworkMap metro{
-      RegionAssignment{std::vector<net::RegionId>(32, 0), 1}};
+      RegionAssignment{std::vector<core::RegionId>(32, core::RegionId{0}), core::RegionId{1}}};
   const std::vector<ServerRank> with_metro = run_service(&metro);
   const std::vector<ServerRank> flat = run_service(nullptr);
 

@@ -1,0 +1,180 @@
+// The strong-type layer itself (intsched/core/types.hpp): what fails to
+// compile (cross-tag and raw-integer conversion — checked with
+// static_asserts, the only way to test "does not compile" in-process),
+// the arithmetic identities the migration relies on, and the stability
+// contracts (ordering, hashing, stream rendering) that keep the layer
+// bit-identical to the raw-integer code it replaced.
+#include "intsched/core/types.hpp"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace intsched::core {
+namespace {
+
+// --- what must NOT compile -------------------------------------------
+
+// No implicit construction from the raw representation, no implicit
+// conversion back: an id is not an integer.
+static_assert(!std::is_convertible_v<std::int32_t, NodeId>);
+static_assert(!std::is_convertible_v<NodeId, std::int32_t>);
+static_assert(std::is_constructible_v<NodeId, std::int32_t>);  // explicit
+
+// No cross-tag conversion in either direction, explicit or implicit: a
+// RegionId where a NodeId is due is a build error, not a reinterpreted
+// index.
+static_assert(!std::is_convertible_v<RegionId, NodeId>);
+static_assert(!std::is_constructible_v<NodeId, RegionId>);
+static_assert(!std::is_constructible_v<ServerId, NodeId>);
+static_assert(!std::is_constructible_v<RegionId, ServerId>);
+
+// Epoch mirrors the same discipline against its representation.
+static_assert(!std::is_convertible_v<std::int64_t, Epoch>);
+static_assert(!std::is_convertible_v<Epoch, std::int64_t>);
+static_assert(!std::is_constructible_v<Epoch, NodeId>);
+
+// No cross-tag comparison: the spaceship is defaulted per type, so
+// NodeId{1} == ServerId{1} must not even be a valid expression.
+template <typename A, typename B, typename = void>
+struct comparable : std::false_type {};
+template <typename A, typename B>
+struct comparable<A, B,
+                  std::void_t<decltype(std::declval<A>() ==
+                                       std::declval<B>())>>
+    : std::true_type {};
+static_assert(comparable<NodeId, NodeId>::value);
+static_assert(!comparable<NodeId, ServerId>::value);
+static_assert(!comparable<NodeId, int>::value);
+static_assert(!comparable<Epoch, std::int64_t>::value);
+
+// --- zero-cost layout ------------------------------------------------
+
+static_assert(sizeof(NodeId) == sizeof(std::int32_t));
+static_assert(sizeof(Epoch) == sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<NodeId>);
+static_assert(std::is_trivially_copyable_v<Epoch>);
+
+// --- arithmetic identities -------------------------------------------
+
+TEST(TaggedIdTest, ValueRoundTripsAndIndexMatchesCast) {
+  constexpr NodeId n{42};
+  static_assert(n.value() == 42);
+  static_assert(n.index() == 42u);
+  EXPECT_EQ(NodeId{n.value()}, n);
+}
+
+TEST(TaggedIdTest, IncrementWalksTheDenseIdSpace) {
+  NodeId n{0};
+  std::int32_t raw = 0;
+  for (; n.value() < 5; ++n, ++raw) {
+    EXPECT_EQ(n.value(), raw);
+  }
+  EXPECT_EQ(n, NodeId{5});
+}
+
+TEST(TaggedIdTest, InvalidSentinelMatchesRawConvention) {
+  static_assert(NodeId::invalid().value() == -1);
+  static_assert(!NodeId::invalid().valid());
+  static_assert(NodeId{0}.valid());
+  EXPECT_EQ(kInvalidNode, NodeId::invalid());
+  EXPECT_LT(NodeId::invalid(), NodeId{0});  // sorts before every real id
+}
+
+TEST(TaggedIdTest, ServerNodeConvertersAreExplicitInverses) {
+  constexpr ServerId s{7};
+  static_assert(node_of(s).value() == 7);
+  static_assert(server_at(node_of(s)) == s);
+  constexpr NodeId n{3};
+  static_assert(node_of(server_at(n)) == n);
+}
+
+TEST(EpochTest, NoneIsDefaultAndPrecedesEveryRealEpoch) {
+  static_assert(Epoch{} == Epoch::none());
+  static_assert(Epoch::none().value() == -1);
+  static_assert(!Epoch::none().valid());
+  static_assert(Epoch::none() < Epoch{0});
+  EXPECT_LT(Epoch{0}, Epoch{1});  // freshness follows ingest order
+}
+
+// --- ordering and hashing stability ----------------------------------
+
+// The migration must not reorder any container: TaggedId ordering is the
+// representation's ordering, including negatives.
+TEST(TaggedIdTest, OrderingMatchesRawRepresentation) {
+  const std::set<NodeId> ids{NodeId{3}, NodeId{-1}, NodeId{0}, NodeId{7}};
+  std::vector<std::int32_t> raw;
+  for (const NodeId id : ids) raw.push_back(id.value());
+  EXPECT_EQ(raw, (std::vector<std::int32_t>{-1, 0, 3, 7}));
+
+  const std::map<std::pair<NodeId, NodeId>, int> links{
+      {{NodeId{1}, NodeId{2}}, 0}, {{NodeId{0}, NodeId{9}}, 1}};
+  EXPECT_EQ(links.begin()->second, 1);  // (0,9) < (1,2), as with raw ints
+}
+
+// std::hash<TaggedId> delegates to the representation's hash, so bucket
+// placement (and therefore unordered-container iteration order, which
+// detlint already polices separately) is unchanged by the migration.
+TEST(TaggedIdTest, HashEqualsRepresentationHash) {
+  for (const std::int32_t v : {-1, 0, 1, 42, 1 << 20}) {
+    EXPECT_EQ(std::hash<NodeId>{}(NodeId{v}),
+              std::hash<std::int32_t>{}(v));
+  }
+  for (const std::int64_t v : {-1LL, 0LL, 7LL, 1LL << 40}) {
+    EXPECT_EQ(std::hash<Epoch>{}(Epoch{v}), std::hash<std::int64_t>{}(v));
+  }
+}
+
+TEST(TaggedIdTest, UnorderedContainersWorkAcrossTags) {
+  std::unordered_set<NodeId> id_set{NodeId{1}, NodeId{2}, NodeId{1}};
+  EXPECT_EQ(id_set.size(), 2u);
+  std::unordered_map<RegionId, int> regions;
+  regions[RegionId{0}] = 10;
+  regions[RegionId{1}] = 20;
+  EXPECT_EQ(regions.at(RegionId{1}), 20);
+}
+
+// --- rendering --------------------------------------------------------
+
+TEST(TaggedIdTest, StreamsAndToStringRenderTheRawValue) {
+  std::ostringstream os;
+  os << NodeId{12} << ' ' << Epoch{3} << ' ' << RegionId::invalid();
+  EXPECT_EQ(os.str(), "12 3 -1");
+  EXPECT_EQ(to_string(NodeId{12}), "12");
+  EXPECT_EQ(to_string(Epoch::none()), "-1");
+}
+
+// --- the duration/instant split --------------------------------------
+
+// The same no-mixing discipline for time: instants and spans are closed
+// under exactly the algebra DESIGN.md §12 tabulates, nothing more.
+template <typename A, typename B, typename = void>
+struct addable : std::false_type {};
+template <typename A, typename B>
+struct addable<A, B,
+               std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+static_assert(addable<sim::SimTime, sim::SimDuration>::value);
+static_assert(addable<sim::SimDuration, sim::SimDuration>::value);
+static_assert(!addable<sim::SimTime, sim::SimTime>::value);
+static_assert(!comparable<sim::SimTime, sim::SimDuration>::value);
+static_assert(!std::is_convertible_v<sim::SimTime, sim::SimDuration>);
+static_assert(!std::is_convertible_v<sim::SimDuration, sim::SimTime>);
+
+TEST(TimeSplitTest, InstantDurationAlgebraIdentities) {
+  const sim::SimDuration d = sim::SimDuration::milliseconds(250);
+  const sim::SimTime t = sim::SimTime::at(d);
+  EXPECT_EQ(t.ns(), d.ns());
+  EXPECT_EQ((t + d) - t, d);            // (instant + span) - instant
+  EXPECT_EQ(t - d, sim::SimTime::zero());
+  EXPECT_EQ(sim::SimTime::zero() + d, t);
+}
+
+}  // namespace
+}  // namespace intsched::core

@@ -14,12 +14,12 @@ namespace {
 /// Fixed-choice policy for tests.
 class FixedPolicy : public core::SelectionPolicy {
  public:
-  explicit FixedPolicy(std::vector<net::NodeId> servers)
+  explicit FixedPolicy(std::vector<core::NodeId> servers)
       : servers_{std::move(servers)} {}
-  void select(net::NodeId, std::int32_t count,
+  void select(core::NodeId, std::int32_t count,
               const std::vector<std::string>&,
               SelectionHandler handler) override {
-    std::vector<net::NodeId> chosen;
+    std::vector<core::NodeId> chosen;
     for (std::int32_t i = 0; i < count; ++i) {
       chosen.push_back(servers_[static_cast<std::size_t>(i) %
                                 servers_.size()]);
@@ -32,12 +32,12 @@ class FixedPolicy : public core::SelectionPolicy {
   }
 
  private:
-  std::vector<net::NodeId> servers_;
+  std::vector<core::NodeId> servers_;
 };
 
-JobSpec make_job(std::int64_t id, net::NodeId submitter, int tasks,
+JobSpec make_job(std::int64_t id, core::NodeId submitter, int tasks,
                  sim::Bytes data = 100'000,
-                 sim::SimTime exec = sim::SimTime::seconds(1)) {
+                 sim::SimDuration exec = sim::SimDuration::seconds(1)) {
   JobSpec job;
   job.job_id = id;
   job.kind = tasks == 1 ? WorkloadKind::kServerless
@@ -72,13 +72,13 @@ struct EdgeFixture : ::testing::Test {
     server_host1 = &topo.add_node<net::Host>("server1");
     server_host2 = &topo.add_node<net::Host>("server2");
     p4::SwitchConfig cfg;
-    cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+    cfg.proc_delay_mean = sim::SimDuration::microseconds(100);
     cfg.proc_jitter_frac = 0.0;
     cfg.stall_probability = 0.0;
     auto& sw = topo.add_node<p4::P4Switch>("sw", cfg);
     for (net::Host* h : {device_host, server_host1, server_host2}) {
       net::LinkConfig link;
-      link.prop_delay = sim::SimTime::milliseconds(5);
+      link.prop_delay = sim::SimDuration::milliseconds(5);
       topo.connect(*h, sw, link);
     }
     topo.install_routes();
@@ -86,7 +86,7 @@ struct EdgeFixture : ::testing::Test {
     for (net::Host* h : {device_host, server_host1, server_host2}) {
       stacks.push_back(std::make_unique<transport::HostStack>(*h));
     }
-    policy = std::make_unique<FixedPolicy>(std::vector<net::NodeId>{
+    policy = std::make_unique<FixedPolicy>(std::vector<core::NodeId>{
         server_host1->id(), server_host2->id()});
     device = std::make_unique<EdgeDevice>(*stacks[0], metrics, *policy);
     servers.push_back(
@@ -123,10 +123,10 @@ TEST_F(EdgeFixture, TimestampsOrdered) {
 TEST_F(EdgeFixture, ExecutionTimeRespected) {
   wire();
   device->submit(make_job(0, device_host->id(), 1, 50'000,
-                          sim::SimTime::seconds(3)));
+                          sim::SimDuration::seconds(3)));
   sim.run();
   const TaskRecord& r = metrics.at(0, 0);
-  EXPECT_EQ(r.exec_end - r.transfer_end, sim::SimTime::seconds(3));
+  EXPECT_EQ(r.exec_end - r.transfer_end, sim::SimDuration::seconds(3));
 }
 
 TEST_F(EdgeFixture, DistributedJobSpreadsTasks) {
@@ -143,7 +143,7 @@ TEST_F(EdgeFixture, DistributedJobSpreadsTasks) {
 TEST_F(EdgeFixture, UnlimitedSlotsRunConcurrently) {
   wire();  // worker_slots = 0 (unlimited)
   device->submit(make_job(0, device_host->id(), 3, 50'000,
-                          sim::SimTime::seconds(5)));
+                          sim::SimDuration::seconds(5)));
   sim.run();
   EXPECT_EQ(servers[0]->max_concurrent(), 2);  // tasks 0 and 2 overlap
 }
@@ -153,13 +153,13 @@ TEST_F(EdgeFixture, SingleSlotSerializesExecution) {
   cfg.worker_slots = 1;
   wire(cfg);
   device->submit(make_job(0, device_host->id(), 3, 50'000,
-                          sim::SimTime::seconds(5)));
+                          sim::SimDuration::seconds(5)));
   sim.run();
   EXPECT_EQ(servers[0]->max_concurrent(), 1);
   // Both tasks at server1 executed, 5 s apart.
-  const sim::SimTime gap =
+  const sim::SimDuration gap =
       metrics.at(0, 2).exec_end - metrics.at(0, 0).exec_end;
-  EXPECT_EQ(gap, sim::SimTime::seconds(5));
+  EXPECT_EQ(gap, sim::SimDuration::seconds(5));
 }
 
 TEST_F(EdgeFixture, MultipleJobsAllComplete) {
@@ -193,8 +193,8 @@ TEST_F(EdgeFixture, TransferBytesMatchTaskSize) {
   const TaskRecord& r = metrics.at(0, 0);
   EXPECT_EQ(r.data_bytes, 250'000);
   // Transfer of 250 KB at ~52 Mbps effective takes tens of ms.
-  EXPECT_GT(r.transfer_time(), sim::SimTime::milliseconds(20));
-  EXPECT_LT(r.transfer_time(), sim::SimTime::seconds(2));
+  EXPECT_GT(r.transfer_time(), sim::SimDuration::milliseconds(20));
+  EXPECT_LT(r.transfer_time(), sim::SimDuration::seconds(2));
 }
 
 TEST_F(EdgeFixture, NoSendersLeakAfterCompletion) {

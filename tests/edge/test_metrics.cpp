@@ -5,7 +5,8 @@
 namespace intsched::edge {
 namespace {
 
-sim::SimTime s(int v) { return sim::SimTime::seconds(v); }
+sim::SimDuration s(int v) { return sim::SimDuration::seconds(v); }
+sim::SimTime ts(int v) { return sim::SimTime::seconds(v); }
 
 TaskSpec spec(std::int64_t job, std::int32_t idx,
               TaskClass cls = TaskClass::kSmall) {
@@ -20,22 +21,22 @@ TaskSpec spec(std::int64_t job, std::int32_t idx,
 
 TEST(MetricsTest, OpenInitializesRecord) {
   MetricsCollector m;
-  TaskRecord& r = m.open(spec(1, 0), 4);
+  TaskRecord& r = m.open(spec(1, 0), core::NodeId{4});
   EXPECT_EQ(r.job_id, 1);
-  EXPECT_EQ(r.device, 4);
+  EXPECT_EQ(r.device, core::NodeId{4});
   EXPECT_FALSE(r.is_complete());
   EXPECT_EQ(m.total(), 1);
 }
 
 TEST(MetricsTest, DoubleOpenThrows) {
   MetricsCollector m;
-  m.open(spec(1, 0), 4);
-  EXPECT_THROW(m.open(spec(1, 0), 4), std::logic_error);
+  m.open(spec(1, 0), core::NodeId{4});
+  EXPECT_THROW(m.open(spec(1, 0), core::NodeId{4}), std::logic_error);
 }
 
 TEST(MetricsTest, AtFindsOrThrows) {
   MetricsCollector m;
-  m.open(spec(1, 2), 4);
+  m.open(spec(1, 2), core::NodeId{4});
   EXPECT_NO_THROW(static_cast<void>(m.at(1, 2)));
   EXPECT_THROW(static_cast<void>(m.at(9, 9)), std::logic_error);
   EXPECT_EQ(m.find(9, 9), nullptr);
@@ -44,11 +45,11 @@ TEST(MetricsTest, AtFindsOrThrows) {
 
 TEST(MetricsTest, DurationsComputed) {
   MetricsCollector m;
-  TaskRecord& r = m.open(spec(1, 0), 4);
-  r.submitted = s(10);
-  r.transfer_start = s(11);
-  r.transfer_end = s(13);
-  r.completed = s(20);
+  TaskRecord& r = m.open(spec(1, 0), core::NodeId{4});
+  r.submitted = ts(10);
+  r.transfer_start = ts(11);
+  r.transfer_end = ts(13);
+  r.completed = ts(20);
   EXPECT_EQ(r.transfer_time(), s(2));
   EXPECT_EQ(r.completion_time(), s(10));
   EXPECT_TRUE(r.is_complete());
@@ -57,16 +58,16 @@ TEST(MetricsTest, DurationsComputed) {
 TEST(MetricsTest, PerClassMeans) {
   MetricsCollector m;
   for (int i = 0; i < 3; ++i) {
-    TaskRecord& r = m.open(spec(i, 0, TaskClass::kMedium), 1);
-    r.submitted = s(0);
-    r.completed = s(10 + i);  // 10, 11, 12
-    r.transfer_start = s(0);
-    r.transfer_end = s(2);
+    TaskRecord& r = m.open(spec(i, 0, TaskClass::kMedium), core::NodeId{1});
+    r.submitted = ts(0);
+    r.completed = ts(10 + i);  // 10, 11, 12
+    r.transfer_start = ts(0);
+    r.transfer_end = ts(2);
     m.note_completed();
   }
-  TaskRecord& other = m.open(spec(10, 0, TaskClass::kLarge), 1);
-  other.submitted = s(0);
-  other.completed = s(100);
+  TaskRecord& other = m.open(spec(10, 0, TaskClass::kLarge), core::NodeId{1});
+  other.submitted = ts(0);
+  other.completed = ts(100);
   m.note_completed();
 
   EXPECT_DOUBLE_EQ(*m.mean_completion_s(TaskClass::kMedium), 11.0);
@@ -78,18 +79,18 @@ TEST(MetricsTest, PerClassMeans) {
 
 TEST(MetricsTest, IncompleteTasksExcludedFromMeans) {
   MetricsCollector m;
-  TaskRecord& done = m.open(spec(1, 0), 1);
-  done.submitted = s(0);
-  done.completed = s(5);
-  m.open(spec(2, 0), 1).submitted = s(0);  // never completes
+  TaskRecord& done = m.open(spec(1, 0), core::NodeId{1});
+  done.submitted = ts(0);
+  done.completed = ts(5);
+  m.open(spec(2, 0), core::NodeId{1}).submitted = ts(0);  // never completes
   EXPECT_DOUBLE_EQ(*m.mean_completion_s(TaskClass::kSmall), 5.0);
 }
 
 TEST(MetricsTest, RecordsOrderedByKey) {
   MetricsCollector m;
-  m.open(spec(2, 0), 1);
-  m.open(spec(1, 1), 1);
-  m.open(spec(1, 0), 1);
+  m.open(spec(2, 0), core::NodeId{1});
+  m.open(spec(1, 1), core::NodeId{1});
+  m.open(spec(1, 0), core::NodeId{1});
   const auto records = m.records();
   ASSERT_EQ(records.size(), 3u);
   EXPECT_EQ(records[0]->job_id, 1);
@@ -102,12 +103,12 @@ TEST(PairedGainsTest, ComputesRelativeGain) {
   MetricsCollector base;
   MetricsCollector treat;
   for (int i = 0; i < 2; ++i) {
-    TaskRecord& b = base.open(spec(i, 0), 1);
-    b.submitted = s(0);
-    b.completed = s(10);
-    TaskRecord& t = treat.open(spec(i, 0), 1);
-    t.submitted = s(0);
-    t.completed = s(i == 0 ? 5 : 20);  // +50% and -100%
+    TaskRecord& b = base.open(spec(i, 0), core::NodeId{1});
+    b.submitted = ts(0);
+    b.completed = ts(10);
+    TaskRecord& t = treat.open(spec(i, 0), core::NodeId{1});
+    t.submitted = ts(0);
+    t.completed = ts(i == 0 ? 5 : 20);  // +50% and -100%
   }
   const auto gains = paired_gains(treat, base);
   ASSERT_EQ(gains.size(), 2u);
@@ -118,30 +119,30 @@ TEST(PairedGainsTest, ComputesRelativeGain) {
 TEST(PairedGainsTest, SkipsUnmatchedOrIncomplete) {
   MetricsCollector base;
   MetricsCollector treat;
-  TaskRecord& t1 = treat.open(spec(1, 0), 1);
-  t1.submitted = s(0);
-  t1.completed = s(5);
+  TaskRecord& t1 = treat.open(spec(1, 0), core::NodeId{1});
+  t1.submitted = ts(0);
+  t1.completed = ts(5);
   // No matching record in base.
   EXPECT_TRUE(paired_gains(treat, base).empty());
 
-  TaskRecord& b1 = base.open(spec(1, 0), 1);
-  b1.submitted = s(0);  // incomplete in base
+  TaskRecord& b1 = base.open(spec(1, 0), core::NodeId{1});
+  b1.submitted = ts(0);  // incomplete in base
   EXPECT_TRUE(paired_gains(treat, base).empty());
 }
 
 TEST(PairedGainsTest, TransferTimeVariant) {
   MetricsCollector base;
   MetricsCollector treat;
-  TaskRecord& b = base.open(spec(1, 0), 1);
-  b.submitted = s(0);
-  b.completed = s(30);
-  b.transfer_start = s(0);
-  b.transfer_end = s(4);
-  TaskRecord& t = treat.open(spec(1, 0), 1);
-  t.submitted = s(0);
-  t.completed = s(30);
-  t.transfer_start = s(0);
-  t.transfer_end = s(1);
+  TaskRecord& b = base.open(spec(1, 0), core::NodeId{1});
+  b.submitted = ts(0);
+  b.completed = ts(30);
+  b.transfer_start = ts(0);
+  b.transfer_end = ts(4);
+  TaskRecord& t = treat.open(spec(1, 0), core::NodeId{1});
+  t.submitted = ts(0);
+  t.completed = ts(30);
+  t.transfer_start = ts(0);
+  t.transfer_end = ts(1);
   const auto gains = paired_gains(treat, base, /*use_transfer_time=*/true);
   ASSERT_EQ(gains.size(), 1u);
   EXPECT_DOUBLE_EQ(gains[0], 0.75);

@@ -18,12 +18,12 @@ TEST(TaskClassTest, Names) {
 TEST(TaskClassTest, TableOneRanges) {
   const auto& vs = task_class_spec(TaskClass::kVerySmall);
   EXPECT_EQ(vs.data_max, 1000 * sim::kKB);
-  EXPECT_EQ(vs.exec_max, sim::SimTime::milliseconds(2000));
+  EXPECT_EQ(vs.exec_max, sim::SimDuration::milliseconds(2000));
   const auto& l = task_class_spec(TaskClass::kLarge);
   EXPECT_EQ(l.data_min, 4500 * sim::kKB);
   EXPECT_EQ(l.data_max, 5500 * sim::kKB);
-  EXPECT_EQ(l.exec_min, sim::SimTime::milliseconds(7500));
-  EXPECT_EQ(l.exec_max, sim::SimTime::milliseconds(9500));
+  EXPECT_EQ(l.exec_min, sim::SimDuration::milliseconds(7500));
+  EXPECT_EQ(l.exec_max, sim::SimDuration::milliseconds(9500));
 }
 
 TEST(TaskClassTest, ClassesAreDisjointAndOrdered) {
@@ -69,7 +69,7 @@ TEST(WorkloadGenTest, ServerlessJobCountMatchesTasks) {
   cfg.kind = WorkloadKind::kServerless;
   cfg.total_tasks = 200;
   sim::Rng rng{1};
-  const auto jobs = generate_workload(cfg, {0, 1, 2}, rng);
+  const auto jobs = generate_workload(cfg, {core::NodeId{0}, core::NodeId{1}, core::NodeId{2}}, rng);
   EXPECT_EQ(jobs.size(), 200u);
   for (const JobSpec& j : jobs) EXPECT_EQ(j.tasks.size(), 1u);
 }
@@ -79,7 +79,7 @@ TEST(WorkloadGenTest, DistributedRoundsUp) {
   cfg.kind = WorkloadKind::kDistributed;
   cfg.total_tasks = 200;
   sim::Rng rng{1};
-  const auto jobs = generate_workload(cfg, {0, 1}, rng);
+  const auto jobs = generate_workload(cfg, {core::NodeId{0}, core::NodeId{1}}, rng);
   EXPECT_EQ(jobs.size(), 67u);  // ceil(200/3)
   for (const JobSpec& j : jobs) EXPECT_EQ(j.tasks.size(), 3u);
 }
@@ -88,7 +88,7 @@ TEST(WorkloadGenTest, ClassesCycleEvenly) {
   WorkloadConfig cfg;
   cfg.total_tasks = 80;
   sim::Rng rng{1};
-  const auto jobs = generate_workload(cfg, {0}, rng);
+  const auto jobs = generate_workload(cfg, {core::NodeId{0}}, rng);
   std::map<TaskClass, int> counts;
   for (const JobSpec& j : jobs) ++counts[j.cls];
   for (const TaskClass cls : kAllTaskClasses) EXPECT_EQ(counts[cls], 20);
@@ -99,7 +99,7 @@ TEST(WorkloadGenTest, SingleClassRestriction) {
   cfg.total_tasks = 10;
   cfg.classes = {TaskClass::kMedium};
   sim::Rng rng{1};
-  for (const JobSpec& j : generate_workload(cfg, {0}, rng)) {
+  for (const JobSpec& j : generate_workload(cfg, {core::NodeId{0}}, rng)) {
     EXPECT_EQ(j.cls, TaskClass::kMedium);
   }
 }
@@ -107,13 +107,13 @@ TEST(WorkloadGenTest, SingleClassRestriction) {
 TEST(WorkloadGenTest, SubmitTimesMonotoneWithJitter) {
   WorkloadConfig cfg;
   cfg.total_tasks = 50;
-  cfg.job_interval = sim::SimTime::seconds(2);
+  cfg.job_interval = sim::SimDuration::seconds(2);
   sim::Rng rng{1};
-  const auto jobs = generate_workload(cfg, {0}, rng);
+  const auto jobs = generate_workload(cfg, {core::NodeId{0}}, rng);
   for (std::size_t i = 1; i < jobs.size(); ++i) {
-    const sim::SimTime gap = jobs[i].submit_at - jobs[i - 1].submit_at;
-    EXPECT_GE(gap, sim::SimTime::milliseconds(1500));
-    EXPECT_LE(gap, sim::SimTime::milliseconds(2500));
+    const sim::SimDuration gap = jobs[i].submit_at - jobs[i - 1].submit_at;
+    EXPECT_GE(gap, sim::SimDuration::milliseconds(1500));
+    EXPECT_LE(gap, sim::SimDuration::milliseconds(2500));
   }
   EXPECT_EQ(jobs[0].submit_at, cfg.first_submit);
 }
@@ -123,8 +123,8 @@ TEST(WorkloadGenTest, DeterministicForSeed) {
   cfg.total_tasks = 40;
   sim::Rng r1{9};
   sim::Rng r2{9};
-  const auto a = generate_workload(cfg, {0, 1, 2, 3}, r1);
-  const auto b = generate_workload(cfg, {0, 1, 2, 3}, r2);
+  const auto a = generate_workload(cfg, {core::NodeId{0}, core::NodeId{1}, core::NodeId{2}, core::NodeId{3}}, r1);
+  const auto b = generate_workload(cfg, {core::NodeId{0}, core::NodeId{1}, core::NodeId{2}, core::NodeId{3}}, r2);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].submitter, b[i].submitter);
@@ -140,12 +140,12 @@ TEST(WorkloadGenTest, SubmittersDrawnFromPool) {
   WorkloadConfig cfg;
   cfg.total_tasks = 100;
   sim::Rng rng{2};
-  std::set<net::NodeId> seen;
-  for (const JobSpec& j : generate_workload(cfg, {4, 5, 6}, rng)) {
+  std::set<core::NodeId> seen;
+  for (const JobSpec& j : generate_workload(cfg, {core::NodeId{4}, core::NodeId{5}, core::NodeId{6}}, rng)) {
     seen.insert(j.submitter);
   }
-  for (const net::NodeId s : seen) {
-    EXPECT_TRUE(s == 4 || s == 5 || s == 6);
+  for (const core::NodeId s : seen) {
+    EXPECT_TRUE(s == core::NodeId{4} || s == core::NodeId{5} || s == core::NodeId{6});
   }
   EXPECT_EQ(seen.size(), 3u);
 }
@@ -156,7 +156,7 @@ TEST(WorkloadGenTest, EmptyInputsThrow) {
   EXPECT_THROW(static_cast<void>(generate_workload(cfg, {}, rng)),
                std::invalid_argument);
   cfg.classes.clear();
-  EXPECT_THROW(static_cast<void>(generate_workload(cfg, {0}, rng)),
+  EXPECT_THROW(static_cast<void>(generate_workload(cfg, {core::NodeId{0}}, rng)),
                std::invalid_argument);
 }
 

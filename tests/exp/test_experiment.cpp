@@ -12,7 +12,7 @@ ExperimentConfig small_config(core::PolicyKind policy,
   cfg.seed = 5;
   cfg.policy = policy;
   cfg.workload.total_tasks = tasks;
-  cfg.workload.job_interval = sim::SimTime::seconds(2);
+  cfg.workload.job_interval = sim::SimDuration::seconds(2);
   cfg.background.mode = BackgroundMode::kNone;
   return cfg;
 }
@@ -22,7 +22,7 @@ TEST(ExperimentTest, AllTasksCompleteOnQuietNetwork) {
       run_experiment(small_config(core::PolicyKind::kNearest));
   EXPECT_EQ(r.tasks_total, 12);
   EXPECT_EQ(r.tasks_completed, 12);
-  EXPECT_LT(r.sim_duration, sim::SimTime::seconds(120));
+  EXPECT_LT(r.sim_duration, sim::SimDuration::seconds(120));
 }
 
 TEST(ExperimentTest, IntPolicyAlsoCompletes) {
@@ -109,10 +109,10 @@ TEST(ExperimentTest, CompletionTimesIncludeExecution) {
 
 TEST(ExperimentTest, MaxDurationSafetyStop) {
   ExperimentConfig cfg = small_config(core::PolicyKind::kNearest);
-  cfg.max_duration = sim::SimTime::seconds(6);  // too short to finish
+  cfg.max_duration = sim::SimDuration::seconds(6);  // too short to finish
   const ExperimentResult r = run_experiment(cfg);
   EXPECT_LT(r.tasks_completed, r.tasks_total);
-  EXPECT_EQ(r.sim_duration, sim::SimTime::seconds(6));
+  EXPECT_EQ(r.sim_duration, sim::SimDuration::seconds(6));
 }
 
 TEST(ExperimentTest, BackgroundCongestionSlowsTasks) {
@@ -155,7 +155,7 @@ TEST(ExperimentExtensionTest, ComputeAwareSpreadsLoadUnderOverload) {
   ExperimentConfig cfg;
   cfg.seed = 6;
   cfg.workload.total_tasks = 24;
-  cfg.workload.job_interval = sim::SimTime::milliseconds(700);
+  cfg.workload.job_interval = sim::SimDuration::milliseconds(700);
   cfg.workload.classes = {edge::TaskClass::kMedium};  // 5-7 s execution
   cfg.background.mode = BackgroundMode::kNone;
   cfg.policy = core::PolicyKind::kIntDelay;
@@ -163,7 +163,7 @@ TEST(ExperimentExtensionTest, ComputeAwareSpreadsLoadUnderOverload) {
 
   const ExperimentResult plain = run_experiment(cfg);
   cfg.scheduler.compute_aware = true;
-  cfg.scheduler.load_penalty = sim::SimTime::seconds(2);
+  cfg.scheduler.load_penalty = sim::SimDuration::seconds(2);
   const ExperimentResult aware = run_experiment(cfg);
 
   ASSERT_EQ(plain.tasks_completed, 24);

@@ -22,7 +22,7 @@ TEST_F(Fig4Fixture, PaperScale) {
 
 TEST_F(Fig4Fixture, HostNamesAndIds) {
   for (int i = 0; i < 8; ++i) {
-    EXPECT_EQ(network.hosts()[static_cast<std::size_t>(i)]->id(), i);
+    EXPECT_EQ(network.hosts()[static_cast<std::size_t>(i)]->id(), core::NodeId{i});
     EXPECT_EQ(network.hosts()[static_cast<std::size_t>(i)]->name(),
               "node" + std::to_string(i + 1));
   }
@@ -30,27 +30,27 @@ TEST_F(Fig4Fixture, HostNamesAndIds) {
 
 TEST_F(Fig4Fixture, SchedulerIsNodeSix) {
   EXPECT_EQ(network.scheduler_host().name(), "node6");
-  EXPECT_EQ(network.scheduler_host().id(), 5);
+  EXPECT_EQ(network.scheduler_host().id(), core::NodeId{5});
 }
 
 TEST_F(Fig4Fixture, NearestPairsAreThreeSwitchHops) {
   // Intra-pod pairs traverse exactly 3 switches (paper: "nodes that are
   // located three hops away are the nearest node for each other").
   for (const auto& [a, b] : {std::pair{0, 1}, {2, 3}, {4, 5}, {6, 7}}) {
-    const auto path = network.topology().path(a, b);
+    const auto path = network.topology().path(core::NodeId{a}, core::NodeId{b});
     EXPECT_EQ(path.size(), 5u) << a << "->" << b;  // h + 3 switches + h
   }
 }
 
 TEST_F(Fig4Fixture, CrossPodPathsAreLonger) {
-  const auto near = network.topology().path_delay(6, 7);
-  const auto far = network.topology().path_delay(0, 6);
+  const auto near = network.topology().path_delay(core::NodeId{6}, core::NodeId{7});
+  const auto far = network.topology().path_delay(core::NodeId{0}, core::NodeId{6});
   EXPECT_LT(near, far);
 }
 
 TEST_F(Fig4Fixture, AllHostPairsReachable) {
-  for (net::NodeId a = 0; a < 8; ++a) {
-    for (net::NodeId b = 0; b < 8; ++b) {
+  for (core::NodeId a = core::NodeId{0}; a < core::NodeId{8}; ++a) {
+    for (core::NodeId b = core::NodeId{0}; b < core::NodeId{8}; ++b) {
       if (a == b) continue;
       EXPECT_FALSE(network.topology().path(a, b).empty());
     }
@@ -59,8 +59,8 @@ TEST_F(Fig4Fixture, AllHostPairsReachable) {
 
 TEST_F(Fig4Fixture, UniformTenMillisecondLinks) {
   // Nearest pair: 4 links of 10 ms each.
-  EXPECT_EQ(network.topology().path_delay(6, 7),
-            sim::SimTime::milliseconds(40));
+  EXPECT_EQ(network.topology().path_delay(core::NodeId{6}, core::NodeId{7}),
+            sim::SimDuration::milliseconds(40));
 }
 
 TEST_F(Fig4Fixture, IntProgramLoadedEverywhere) {
@@ -86,7 +86,7 @@ TEST_F(Fig4Fixture, ForwardingOnlyWhenIntDisabled) {
 
 TEST_F(Fig4Fixture, ProbeCoverageTouchesEverySwitch) {
   const auto covered = network.probe_covered_links();
-  std::set<net::NodeId> covered_devices;
+  std::set<core::NodeId> covered_devices;
   for (const auto& [from, to] : covered) {
     covered_devices.insert(from);
     covered_devices.insert(to);
@@ -100,7 +100,7 @@ TEST_F(Fig4Fixture, ProbeCoverageTouchesEverySwitch) {
 TEST_F(Fig4Fixture, HostIdsHelper) {
   const auto ids = network.host_ids();
   ASSERT_EQ(ids.size(), 8u);
-  for (int i = 0; i < 8; ++i) EXPECT_EQ(ids[static_cast<std::size_t>(i)], i);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(ids[static_cast<std::size_t>(i)], core::NodeId{i});
 }
 
 }  // namespace
@@ -125,10 +125,10 @@ TEST_F(ProbeRoutingFixture, DefaultProbingMissesRingLink) {
 
 TEST_F(ProbeRoutingFixture, PlanCoversEverySwitchLink) {
   const auto plan = network.plan_probe_routes();
-  const net::NodeId sink = network.scheduler_host().id();
+  const core::NodeId sink = network.scheduler_host().id();
 
   (void)sink;
-  std::set<std::pair<net::NodeId, net::NodeId>> covered;
+  std::set<std::pair<core::NodeId, core::NodeId>> covered;
   for (const auto& [host, waypoints] : plan) {
     const auto full = network.probe_route(host, waypoints);
     for (std::size_t i = 0; i + 1 < full.size(); ++i) {
@@ -156,17 +156,17 @@ TEST_F(ProbeRoutingFixture, SourceRoutedProbeVisitsWaypoint) {
   for (net::Host* h : network.hosts()) {
     stacks.push_back(std::make_unique<transport::HostStack>(*h));
   }
-  std::vector<net::NodeId> seen_devices;
+  std::vector<core::NodeId> seen_devices;
   stacks[5]->bind_udp(net::kProbePort, [&](const net::Packet& p) {
     for (const auto& e : p.int_stack) seen_devices.push_back(e.device);
   });
   telemetry::ProbeConfig pc;
-  pc.waypoints = {19};
+  pc.waypoints = {core::NodeId{19}};
   telemetry::ProbeAgent agent{*network.hosts()[0],
                               network.scheduler_host().id(), pc};
   agent.send_probe();
   sim.run();
-  EXPECT_NE(std::find(seen_devices.begin(), seen_devices.end(), 19),
+  EXPECT_NE(std::find(seen_devices.begin(), seen_devices.end(), core::NodeId{19}),
             seen_devices.end());
 }
 
@@ -195,14 +195,14 @@ TEST_F(ProbeRoutingFixture, OptimizedRoutesLearnTheRingLink) {
   // estimate is exactly 10 ms; measured values include service time).
   for (const auto& [from, to] : network.switch_links()) {
     EXPECT_GT(service.network_map().link_delay(from, to),
-              sim::SimTime::milliseconds(10))
+              sim::SimDuration::milliseconds(10))
         << from << "->" << to;
   }
   // And the far pod's delay estimate collapses to its true 5-link value.
-  const auto ranked = service.rank_for(0, core::RankingMetric::kDelay);
+  const auto ranked = service.rank_for(core::NodeId{0}, core::RankingMetric::kDelay);
   for (const auto& r : ranked) {
-    if (r.server == 6 || r.server == 7) {
-      EXPECT_LT(r.delay_estimate, sim::SimTime::milliseconds(80));
+    if (r.server == core::NodeId{6} || r.server == core::NodeId{7}) {
+      EXPECT_LT(r.delay_estimate, sim::SimDuration::milliseconds(80));
     }
   }
 }

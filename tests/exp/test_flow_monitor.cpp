@@ -26,7 +26,7 @@ struct FlowMonitorFixture : ::testing::Test {
 };
 
 TEST_F(FlowMonitorFixture, IdleNetworkShowsZeroUtilization) {
-  FlowMonitor monitor{network.topology(), sim::SimTime::seconds(1)};
+  FlowMonitor monitor{network.topology(), sim::SimDuration::seconds(1)};
   monitor.start();
   sim.run_until(sim::SimTime::seconds(5));
   ASSERT_FALSE(monitor.samples().empty());
@@ -41,29 +41,29 @@ TEST_F(FlowMonitorFixture, DetectsSaturatedPort) {
   cfg.rate = sim::DataRate::megabits_per_second(25.0);  // > capacity
   transport::IperfUdpSender flood{*stacks[0], network.hosts()[1]->id(),
                                   cfg};
-  flood.start(sim::SimTime::seconds(10));
-  FlowMonitor monitor{network.topology(), sim::SimTime::seconds(1)};
+  flood.start(sim::SimDuration::seconds(10));
+  FlowMonitor monitor{network.topology(), sim::SimDuration::seconds(1)};
   monitor.start();
   sim.run_until(sim::SimTime::seconds(10));
   // node1's leaf switch (id 8) must show a saturated egress port.
-  EXPECT_GT(monitor.peak_utilization(8), 0.95);
+  EXPECT_GT(monitor.peak_utilization(core::NodeId{8}), 0.95);
   // An untouched pod-3 switch stays idle.
-  EXPECT_LT(monitor.peak_utilization(17), 0.05);
+  EXPECT_LT(monitor.peak_utilization(core::NodeId{17}), 0.05);
 }
 
 TEST_F(FlowMonitorFixture, SamplesCarryIntervalDeltas) {
   transport::IperfUdpSender::Config cfg;
   cfg.rate = sim::DataRate::megabits_per_second(10.0);
   transport::IperfUdpSender flow{*stacks[0], network.hosts()[1]->id(), cfg};
-  flow.start(sim::SimTime::seconds(4));
-  FlowMonitor monitor{network.topology(), sim::SimTime::seconds(1)};
+  flow.start(sim::SimDuration::seconds(4));
+  FlowMonitor monitor{network.topology(), sim::SimDuration::seconds(1)};
   monitor.start();
   sim.run_until(sim::SimTime::seconds(6));
   // 10 Mbps of 1500 B packets ~ 833 pkt/s per 1 s interval on the host
   // uplink while the flow runs.
   std::int64_t max_interval_pkts = 0;
   for (const auto& s : monitor.samples()) {
-    if (s.node == 0) {
+    if (s.node == core::NodeId{0}) {
       max_interval_pkts = std::max(max_interval_pkts, s.tx_packets);
     }
   }
@@ -71,7 +71,7 @@ TEST_F(FlowMonitorFixture, SamplesCarryIntervalDeltas) {
 }
 
 TEST_F(FlowMonitorFixture, CsvHasHeaderAndRows) {
-  FlowMonitor monitor{network.topology(), sim::SimTime::seconds(1)};
+  FlowMonitor monitor{network.topology(), sim::SimDuration::seconds(1)};
   monitor.start();
   sim.run_until(sim::SimTime::seconds(2));
   std::ostringstream os;
@@ -82,7 +82,7 @@ TEST_F(FlowMonitorFixture, CsvHasHeaderAndRows) {
 }
 
 TEST_F(FlowMonitorFixture, StopFreezesSamples) {
-  FlowMonitor monitor{network.topology(), sim::SimTime::seconds(1)};
+  FlowMonitor monitor{network.topology(), sim::SimDuration::seconds(1)};
   monitor.start();
   sim.run_until(sim::SimTime::seconds(3));
   monitor.stop();

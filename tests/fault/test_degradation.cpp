@@ -15,7 +15,7 @@ exp::ExperimentConfig small_config() {
   exp::ExperimentConfig cfg;
   cfg.seed = 42;
   cfg.workload.total_tasks = 30;
-  cfg.workload.job_interval = sim::SimTime::seconds(2);
+  cfg.workload.job_interval = sim::SimDuration::seconds(2);
   return cfg;
 }
 
@@ -32,7 +32,7 @@ TEST(DegradationTest, TwentyPercentProbeLossDegradesGracefully) {
   exp::ExperimentConfig cfg = small_config();
   cfg.faults.seed = cfg.seed;
   cfg.faults.probe.drop_probability = 0.2;
-  cfg.telemetry_staleness = sim::SimTime::milliseconds(300);
+  cfg.telemetry_staleness = sim::SimDuration::milliseconds(300);
   const exp::ExperimentResult r = exp::run_experiment(cfg);
 
   EXPECT_EQ(r.tasks_completed, r.tasks_total);
@@ -53,8 +53,8 @@ TEST(DegradationTest, LinkFlapLossesAreCountedAndSurvived) {
   exp::ExperimentConfig cfg = small_config();
   cfg.faults.seed = cfg.seed;
   cfg.faults.link_flaps.push_back(net::LinkFlapSpec{
-      0, 8, sim::SimTime::seconds(3), sim::SimTime::seconds(8)});
-  cfg.telemetry_staleness = sim::SimTime::milliseconds(500);
+      core::NodeId{0}, core::NodeId{8}, sim::SimTime::seconds(3), sim::SimTime::seconds(8)});
+  cfg.telemetry_staleness = sim::SimDuration::milliseconds(500);
   const exp::ExperimentResult r = exp::run_experiment(cfg);
 
   EXPECT_EQ(r.tasks_completed, r.tasks_total);
@@ -67,8 +67,8 @@ TEST(DegradationTest, SwitchKillRestartIsCountedAndSurvived) {
   cfg.faults.seed = cfg.seed;
   // Kill pod-0's mid switch for five seconds mid-run.
   cfg.faults.switch_kills.push_back(net::SwitchKillSpec{
-      10, sim::SimTime::seconds(4), sim::SimTime::seconds(9)});
-  cfg.telemetry_staleness = sim::SimTime::milliseconds(500);
+      core::NodeId{10}, sim::SimTime::seconds(4), sim::SimTime::seconds(9)});
+  cfg.telemetry_staleness = sim::SimDuration::milliseconds(500);
   const exp::ExperimentResult r = exp::run_experiment(cfg);
 
   EXPECT_EQ(r.tasks_completed, r.tasks_total);
@@ -105,7 +105,7 @@ TEST(DegradationTest, FaultSweepCompletesWithMonotoneLoss) {
 std::string timeline(const exp::ExperimentResult& r) {
   std::string out;
   for (const edge::TaskRecord* t : r.metrics.records()) {
-    out += std::to_string(t->job_id) + ':' + std::to_string(t->server) +
+    out += std::to_string(t->job_id) + ':' + std::to_string(t->server.value()) +
            ':' + std::to_string(t->completed.ns()) + '\n';
   }
   return out;
@@ -119,7 +119,7 @@ TEST(DegradationTest, StalenessWindowAloneDoesNotPerturbHealthyRuns) {
   // there, so the two runs stay event-for-event identical.
   exp::ExperimentConfig cfg = small_config();
   const exp::ExperimentResult plain = exp::run_experiment(cfg);
-  cfg.telemetry_staleness = sim::SimTime::seconds(1);
+  cfg.telemetry_staleness = sim::SimDuration::seconds(1);
   const exp::ExperimentResult windowed = exp::run_experiment(cfg);
 
   EXPECT_EQ(plain.tasks_completed, windowed.tasks_completed);

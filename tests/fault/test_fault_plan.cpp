@@ -15,7 +15,8 @@
 namespace intsched::net {
 namespace {
 
-sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+sim::SimDuration ms(int v) { return sim::SimDuration::milliseconds(v); }
+sim::SimTime at_ms(int v) { return sim::SimTime::at(ms(v)); }
 
 TEST(FaultPlanConfigTest, DefaultIsDisabled) {
   EXPECT_FALSE(FaultPlanConfig{}.enabled());
@@ -32,13 +33,13 @@ TEST(FaultPlanConfigTest, AnyKnobEnables) {
   delay.probe.delay_probability = 0.1;
   EXPECT_TRUE(delay.enabled());
   FaultPlanConfig flap;
-  flap.link_flaps.push_back(LinkFlapSpec{0, 1, ms(1), ms(2)});
+  flap.link_flaps.push_back(LinkFlapSpec{core::NodeId{0}, core::NodeId{1}, at_ms(1), at_ms(2)});
   EXPECT_TRUE(flap.enabled());
   FaultPlanConfig kill;
-  kill.switch_kills.push_back(SwitchKillSpec{0, ms(1), ms(2)});
+  kill.switch_kills.push_back(SwitchKillSpec{core::NodeId{0}, at_ms(1), at_ms(2)});
   EXPECT_TRUE(kill.enabled());
   FaultPlanConfig skew;
-  skew.clock_skews.push_back(ClockSkewSpec{0, ms(1)});
+  skew.clock_skews.push_back(ClockSkewSpec{core::NodeId{0}, ms(1)});
   EXPECT_TRUE(skew.enabled());
 }
 
@@ -104,16 +105,16 @@ TEST(FaultPlanTest, DisabledProbabilitiesNeverFire) {
 
 TEST(FaultPlanTest, LinkStateIsUndirectedAndCounted) {
   FaultPlan plan{FaultPlanConfig{}};
-  EXPECT_TRUE(plan.link_up(1, 2));
-  plan.set_link_state(1, 2, false);
-  EXPECT_FALSE(plan.link_up(1, 2));
-  EXPECT_FALSE(plan.link_up(2, 1));  // normalized key
-  plan.set_link_state(2, 1, false);  // idempotent: no double count
+  EXPECT_TRUE(plan.link_up(core::NodeId{1}, core::NodeId{2}));
+  plan.set_link_state(core::NodeId{1}, core::NodeId{2}, false);
+  EXPECT_FALSE(plan.link_up(core::NodeId{1}, core::NodeId{2}));
+  EXPECT_FALSE(plan.link_up(core::NodeId{2}, core::NodeId{1}));  // normalized key
+  plan.set_link_state(core::NodeId{2}, core::NodeId{1}, false);  // idempotent: no double count
   EXPECT_EQ(plan.counters().link_down_events, 1);
-  plan.set_link_state(2, 1, true);
-  EXPECT_TRUE(plan.link_up(1, 2));
+  plan.set_link_state(core::NodeId{2}, core::NodeId{1}, true);
+  EXPECT_TRUE(plan.link_up(core::NodeId{1}, core::NodeId{2}));
   EXPECT_EQ(plan.counters().link_up_events, 1);
-  plan.set_link_state(1, 2, true);  // already up: no count
+  plan.set_link_state(core::NodeId{1}, core::NodeId{2}, true);  // already up: no count
   EXPECT_EQ(plan.counters().link_up_events, 1);
 }
 
@@ -155,7 +156,7 @@ struct WiredFixture : ::testing::Test {
 TEST_F(WiredFixture, LinkFlapLosesPacketsWhileDownThenRecovers) {
   FaultPlanConfig cfg;
   cfg.link_flaps.push_back(
-      LinkFlapSpec{src->id(), sw->id(), ms(100), ms(300)});
+      LinkFlapSpec{src->id(), sw->id(), at_ms(100), at_ms(300)});
   FaultPlan plan{cfg};
   plan.arm(topo);
 
@@ -177,7 +178,7 @@ TEST_F(WiredFixture, LinkFlapLosesPacketsWhileDownThenRecovers) {
 
 TEST_F(WiredFixture, FlapWithoutUpTimeStaysDown) {
   FaultPlanConfig cfg;
-  cfg.link_flaps.push_back(LinkFlapSpec{src->id(), sw->id(), ms(100),
+  cfg.link_flaps.push_back(LinkFlapSpec{src->id(), sw->id(), at_ms(100),
                                         sim::SimTime::zero()});
   FaultPlan plan{cfg};
   plan.arm(topo);
@@ -194,7 +195,7 @@ TEST_F(WiredFixture, FlapWithoutUpTimeStaysDown) {
 
 TEST_F(WiredFixture, SwitchKillDropsArrivalsAndClearsRegisters) {
   FaultPlanConfig cfg;
-  cfg.switch_kills.push_back(SwitchKillSpec{sw->id(), ms(100), ms(400)});
+  cfg.switch_kills.push_back(SwitchKillSpec{sw->id(), at_ms(100), at_ms(400)});
   FaultPlan plan{cfg};
   plan.arm(topo);
 
@@ -225,13 +226,13 @@ TEST_F(WiredFixture, ClockSkewAppliedOnArm) {
 }
 
 TEST_F(WiredFixture, ArmMidRunClampsPastEventTimes) {
-  sim.run_until(ms(500));
+  sim.run_until(at_ms(500));
   FaultPlanConfig cfg;
   cfg.link_flaps.push_back(
-      LinkFlapSpec{src->id(), sw->id(), ms(100), sim::SimTime::zero()});
+      LinkFlapSpec{src->id(), sw->id(), at_ms(100), sim::SimTime::zero()});
   FaultPlan plan{cfg};
   EXPECT_NO_THROW(plan.arm(topo));  // down_at is already in the past
-  sim.run_until(ms(600));
+  sim.run_until(at_ms(600));
   EXPECT_FALSE(plan.link_up(src->id(), sw->id()));
 }
 
@@ -258,7 +259,7 @@ TEST_F(WiredFixture, AgentDuplicatesProbes) {
   plan.arm(topo);
   auto agent = make_agent(&plan);
   agent.start();
-  sim.run_until(ms(501));
+  sim.run_until(at_ms(501));
   agent.stop();
   sim.run_until(sim::SimTime::seconds(2));
   // 11 timer fires (0..500 ms), each emitting the probe twice.
@@ -276,7 +277,7 @@ TEST_F(WiredFixture, AgentDelaysProbesButDeliversThemAll) {
   plan.arm(topo);
   auto agent = make_agent(&plan);
   agent.start();
-  sim.run_until(ms(501));
+  sim.run_until(at_ms(501));
   agent.stop();  // cancels probes still sitting in the delay stage
   sim.run_until(sim::SimTime::seconds(2));
   EXPECT_EQ(plan.counters().probes_delayed, 11);
@@ -295,7 +296,7 @@ TEST_F(WiredFixture, StopCancelsDelayedProbes) {
   plan.arm(topo);
   auto agent = make_agent(&plan);
   agent.start();
-  sim.run_until(ms(101));  // 3 timer fires, all still in the delay stage
+  sim.run_until(at_ms(101));  // 3 timer fires, all still in the delay stage
   agent.stop();
   sim.run_until(sim::SimTime::seconds(2));
   EXPECT_EQ(agent.probes_sent(), 0);

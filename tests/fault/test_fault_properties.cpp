@@ -20,7 +20,8 @@
 namespace intsched {
 namespace {
 
-sim::SimTime ms(int v) { return sim::SimTime::milliseconds(v); }
+sim::SimDuration ms(int v) { return sim::SimDuration::milliseconds(v); }
+sim::SimTime at_ms(int v) { return sim::SimTime::at(ms(v)); }
 
 /// One probe-only run on the Fig. 4 network under the given plan; returns
 /// every number the conservation ledger needs.
@@ -83,7 +84,7 @@ LedgerResult run_probe_only(const net::FaultPlanConfig& plan_cfg) {
   r.received = collector.probes_received();
   r.malformed = collector.malformed();
   r.lost_link_down = plan.counters().packets_lost_link_down;
-  for (net::NodeId id = 0; id < network.topology().node_count(); ++id) {
+  for (core::NodeId id = core::NodeId{0}; id.value() < network.topology().node_count(); ++id) {
     r.offline_drops += network.topology().node(id).rx_dropped_offline();
   }
   for (const p4::P4Switch* sw : network.switches()) {
@@ -105,13 +106,13 @@ net::FaultPlanConfig plan_for_seed(std::uint64_t seed) {
   cfg.probe.delay_probability = 0.15 * static_cast<double>(seed % 2);
   // Flap a host access link and a switch-to-switch link.
   cfg.link_flaps.push_back(net::LinkFlapSpec{
-      0, 8, ms(500 + 100 * static_cast<int>(seed % 5)), ms(2000)});
-  cfg.link_flaps.push_back(net::LinkFlapSpec{10, 13, ms(1500), ms(1600)});
+      core::NodeId{0}, core::NodeId{8}, at_ms(500 + 100 * static_cast<int>(seed % 5)), at_ms(2000)});
+  cfg.link_flaps.push_back(net::LinkFlapSpec{core::NodeId{10}, core::NodeId{13}, at_ms(1500), at_ms(1600)});
   // Kill a mid switch; odd seeds never restart it.
   cfg.switch_kills.push_back(net::SwitchKillSpec{
-      16, ms(1000), seed % 2 == 0 ? ms(3000) : sim::SimTime::zero()});
+      core::NodeId{16}, at_ms(1000), seed % 2 == 0 ? at_ms(3000) : sim::SimTime::zero()});
   cfg.clock_skews.push_back(
-      net::ClockSkewSpec{9, sim::SimTime::microseconds(
+      net::ClockSkewSpec{core::NodeId{9}, sim::SimDuration::microseconds(
                                 static_cast<std::int64_t>(seed) * 100)});
   return cfg;
 }
@@ -176,12 +177,12 @@ exp::ExperimentConfig small_faulty_config() {
   exp::ExperimentConfig cfg;
   cfg.seed = 99;
   cfg.workload.total_tasks = 24;
-  cfg.workload.job_interval = sim::SimTime::seconds(2);
+  cfg.workload.job_interval = sim::SimDuration::seconds(2);
   cfg.faults.seed = 99;
   cfg.faults.probe.drop_probability = 0.2;
   cfg.faults.probe.delay_probability = 0.1;
   cfg.faults.link_flaps.push_back(
-      net::LinkFlapSpec{0, 8, sim::SimTime::seconds(5),
+      net::LinkFlapSpec{core::NodeId{0}, core::NodeId{8}, sim::SimTime::seconds(5),
                         sim::SimTime::seconds(12)});
   cfg.telemetry_staleness = ms(300);
   return cfg;

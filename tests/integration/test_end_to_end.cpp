@@ -34,7 +34,7 @@ struct ForcedCongestionFixture : ::testing::Test {
     }
     service = std::make_unique<core::SchedulerService>(
         *stacks[5], core::RankerConfig{}, core::NetworkMapConfig{});
-    for (const net::NodeId id : network.host_ids()) {
+    for (const core::NodeId id : network.host_ids()) {
       service->register_edge_server(id);
     }
     for (net::Host* h : network.hosts()) {
@@ -55,7 +55,7 @@ struct ForcedCongestionFixture : ::testing::Test {
 };
 
 std::size_t rank_of(const std::vector<core::ServerRank>& ranked,
-                    net::NodeId server) {
+                    core::NodeId server) {
   for (std::size_t i = 0; i < ranked.size(); ++i) {
     if (ranked[i].server == server) return i;
   }
@@ -63,47 +63,47 @@ std::size_t rank_of(const std::vector<core::ServerRank>& ranked,
 }
 
 TEST_F(ForcedCongestionFixture, DelayRankingDemotesCongestedPod) {
-  const auto ranked = service->rank_for(0, core::RankingMetric::kDelay);
+  const auto ranked = service->rank_for(core::NodeId{0}, core::RankingMetric::kDelay);
   ASSERT_EQ(ranked.size(), 7u);
   // Clean pod 1 (nodes 3, 4 = ids 2, 3) must beat congested pod 3
   // (nodes 7, 8 = ids 6, 7) at equal distance.
-  EXPECT_LT(rank_of(ranked, 2), rank_of(ranked, 6));
-  EXPECT_LT(rank_of(ranked, 2), rank_of(ranked, 7));
-  EXPECT_LT(rank_of(ranked, 3), rank_of(ranked, 6));
-  EXPECT_LT(rank_of(ranked, 3), rank_of(ranked, 7));
+  EXPECT_LT(rank_of(ranked, core::NodeId{2}), rank_of(ranked, core::NodeId{6}));
+  EXPECT_LT(rank_of(ranked, core::NodeId{2}), rank_of(ranked, core::NodeId{7}));
+  EXPECT_LT(rank_of(ranked, core::NodeId{3}), rank_of(ranked, core::NodeId{6}));
+  EXPECT_LT(rank_of(ranked, core::NodeId{3}), rank_of(ranked, core::NodeId{7}));
   // node1's own pod is clean: its sibling still ranks first.
-  EXPECT_EQ(ranked[0].server, 1);
+  EXPECT_EQ(ranked[0].server, core::NodeId{1});
 }
 
 TEST_F(ForcedCongestionFixture, BandwidthRankingDemotesCongestedPod) {
-  const auto ranked = service->rank_for(0, core::RankingMetric::kBandwidth);
+  const auto ranked = service->rank_for(core::NodeId{0}, core::RankingMetric::kBandwidth);
   ASSERT_EQ(ranked.size(), 7u);
-  EXPECT_LT(rank_of(ranked, 2), rank_of(ranked, 7));
-  EXPECT_LT(rank_of(ranked, 3), rank_of(ranked, 7));
+  EXPECT_LT(rank_of(ranked, core::NodeId{2}), rank_of(ranked, core::NodeId{7}));
+  EXPECT_LT(rank_of(ranked, core::NodeId{3}), rank_of(ranked, core::NodeId{7}));
   // The flooded node8's estimate collapses far below nominal.
   for (const auto& r : ranked) {
-    if (r.server == 7) {
+    if (r.server == core::NodeId{7}) {
       EXPECT_LT(r.bandwidth_estimate.mbps(), 10.0);
     }
   }
 }
 
 TEST_F(ForcedCongestionFixture, CongestionClearsAfterFlowStops) {
-  const auto during = service->rank_for(0, core::RankingMetric::kDelay);
-  const auto d7_during = during[rank_of(during, 6)].delay_estimate;
+  const auto during = service->rank_for(core::NodeId{0}, core::RankingMetric::kDelay);
+  const auto d7_during = during[rank_of(during, core::NodeId{6})].delay_estimate;
 
   flood->stop();
-  sim.run_until(sim.now() + sim::SimTime::seconds(3));
-  const auto after = service->rank_for(0, core::RankingMetric::kDelay);
-  const auto d7_after = after[rank_of(after, 6)].delay_estimate;
+  sim.run_until(sim.now() + sim::SimDuration::seconds(3));
+  const auto after = service->rank_for(core::NodeId{0}, core::RankingMetric::kDelay);
+  const auto d7_after = after[rank_of(after, core::NodeId{6})].delay_estimate;
   // Registers drained and freshness windows expired: the congested pod's
   // estimate collapses back toward its structural baseline. (The baseline
   // itself is higher than pod 1's because the M0-M3 ring link lies on no
   // probe path — the probe-coverage limitation the paper defers to future
   // work — so we assert recovery, not equality with pod 1.)
   EXPECT_LT(d7_after, d7_during / 2);
-  EXPECT_LT(d7_after, sim::SimTime::milliseconds(200));
-  EXPECT_EQ(after[0].server, 1);
+  EXPECT_LT(d7_after, sim::SimDuration::milliseconds(200));
+  EXPECT_EQ(after[0].server, core::NodeId{1});
 }
 
 TEST_F(ForcedCongestionFixture, UnprobedRingLinkStaysUnknown) {
@@ -111,9 +111,9 @@ TEST_F(ForcedCongestionFixture, UnprobedRingLinkStaysUnknown) {
   // host-to-scheduler probe traverses that link, so the inferred map must
   // route around it. This documents the paper's coverage assumption.
   const auto covered = network.probe_covered_links();
-  EXPECT_FALSE(covered.contains({10, 19}));
-  EXPECT_FALSE(covered.contains({19, 10}));
-  EXPECT_EQ(service->network_map().egress_port(10, 19), -1);
+  EXPECT_FALSE(covered.contains({core::NodeId{10}, core::NodeId{19}}));
+  EXPECT_FALSE(covered.contains({core::NodeId{19}, core::NodeId{10}}));
+  EXPECT_EQ(service->network_map().egress_port(core::NodeId{10}, core::NodeId{19}), -1);
 }
 
 TEST_F(ForcedCongestionFixture, MapTracksAllLinksDespiteCongestion) {
@@ -133,7 +133,7 @@ TEST(FullSystemTest, IntBeatsNearestUnderConstructedHotspot) {
     exp::ExperimentConfig cfg;
     cfg.seed = seed;
     cfg.workload.total_tasks = 60;
-    cfg.workload.job_interval = sim::SimTime::seconds(2);
+    cfg.workload.job_interval = sim::SimDuration::seconds(2);
     cfg.background.mode = exp::BackgroundMode::kRandomPairs;
     const auto results = exp::run_policy_suite(
         cfg, {core::PolicyKind::kIntDelay, core::PolicyKind::kNearest});
@@ -180,7 +180,7 @@ TEST(FullSystemTest, SchedulerQueriesCostOneRoundTripEach) {
   for (const edge::TaskRecord* r : result.metrics.records()) {
     EXPECT_GE(r->scheduled, r->submitted);
     // Query latency below a second even on the 5-link diameter.
-    EXPECT_LT(r->scheduled - r->submitted, sim::SimTime::seconds(1));
+    EXPECT_LT(r->scheduled - r->submitted, sim::SimDuration::seconds(1));
   }
 }
 
@@ -217,14 +217,14 @@ TEST(CalibrationShapeTest, QueueTelemetryMonotoneInUtilization) {
     transport::HostStack stack1{h1};
     transport::HostStack stack2{h2};
     transport::IperfUdpSink sink{stack2};
-    const sim::SimTime per_pkt =
+    const sim::SimDuration per_pkt =
         link.rate.transmission_time(1500) + cfg.proc_delay_mean;
     transport::IperfUdpSender::Config flow;
     flow.rate = sim::DataRate::bits_per_second(
                     1500.0 * 8.0 / per_pkt.to_seconds()) *
                 utilization;
     transport::IperfUdpSender iperf{stack1, h2.id(), flow};
-    iperf.start(sim::SimTime::seconds(20));
+    iperf.start(sim::SimDuration::seconds(20));
 
     telemetry::ProbeAgent agent{h1, h2.id()};
     telemetry::IntCollector collector{h2};

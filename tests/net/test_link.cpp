@@ -33,7 +33,7 @@ struct LinkFixture : ::testing::Test {
 TEST_F(LinkFixture, DeliveryTimeIsSerializationPlusPropagation) {
   LinkConfig cfg;
   cfg.rate = sim::DataRate::megabits_per_second(8.0);  // 1 ms per 1000 B
-  cfg.prop_delay = sim::SimTime::milliseconds(10);
+  cfg.prop_delay = sim::SimDuration::milliseconds(10);
   wire(cfg);
 
   Packet p = sized_packet(1000);
@@ -47,7 +47,7 @@ TEST_F(LinkFixture, DeliveryTimeIsSerializationPlusPropagation) {
 TEST_F(LinkFixture, BackToBackPacketsSerialize) {
   LinkConfig cfg;
   cfg.rate = sim::DataRate::megabits_per_second(8.0);
-  cfg.prop_delay = sim::SimTime::milliseconds(10);
+  cfg.prop_delay = sim::SimDuration::milliseconds(10);
   wire(cfg);
 
   for (int i = 0; i < 3; ++i) {
@@ -66,8 +66,8 @@ TEST_F(LinkFixture, BackToBackPacketsSerialize) {
 TEST_F(LinkFixture, JitterNeverReordersAChannel) {
   LinkConfig cfg;
   cfg.rate = sim::DataRate::megabits_per_second(100.0);
-  cfg.prop_delay = sim::SimTime::milliseconds(5);
-  cfg.jitter = sim::SimTime::milliseconds(4);
+  cfg.prop_delay = sim::SimDuration::milliseconds(5);
+  cfg.jitter = sim::SimDuration::milliseconds(4);
   wire(cfg);
 
   std::vector<std::uint64_t> uids;
@@ -111,14 +111,14 @@ TEST_F(LinkFixture, BusyTimeAccumulates) {
   p.dst = b->id();
   a->send(std::move(p));
   sim.run();
-  EXPECT_EQ(a->port(0).busy_time(), sim::SimTime::milliseconds(1));
+  EXPECT_EQ(a->port(0).busy_time(), sim::SimDuration::milliseconds(1));
 }
 
 TEST_F(LinkFixture, HostDropsForeignPackets) {
   LinkConfig cfg;
   wire(cfg);
   Packet p = sized_packet(100);
-  p.dst = 999;  // not b
+  p.dst = core::NodeId{999};  // not b
   a->port(0).send(std::move(p));
   sim.run();
   EXPECT_TRUE(arrivals.empty());
@@ -145,7 +145,7 @@ TEST(LinkErrorTest, SendWithoutPortThrows) {
   net::Topology topo{sim};
   auto& lonely = topo.add_node<Host>("lonely");
   Packet p;
-  p.dst = 0;
+  p.dst = core::NodeId{0};
   EXPECT_THROW(lonely.send(std::move(p)), std::logic_error);
 }
 
@@ -155,7 +155,7 @@ TEST(LinkErrorTest, UnconnectedPortThrowsOnTransmit) {
   auto& h = topo.add_node<Host>("h");
   h.add_port(LinkConfig{});
   Packet p;
-  p.dst = 5;
+  p.dst = core::NodeId{5};
   p.wire_size = 10;
   EXPECT_THROW(h.port(0).send(std::move(p)), std::logic_error);
 }
@@ -164,11 +164,11 @@ TEST(NodeClockTest, SkewShiftsLocalTime) {
   sim::Simulator sim;
   net::Topology topo{sim};
   auto& h = topo.add_node<Host>("h");
-  h.set_clock_skew(sim::SimTime::microseconds(250));
+  h.set_clock_skew(sim::SimDuration::micros(250));
   sim.schedule_at(sim::SimTime::seconds(1), [] {});
   sim.run();
   EXPECT_EQ(h.local_time(),
-            sim::SimTime::seconds(1) + sim::SimTime::microseconds(250));
+            sim::SimTime::seconds(1) + sim::SimDuration::micros(250));
 }
 
 }  // namespace

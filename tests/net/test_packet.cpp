@@ -19,8 +19,8 @@ TEST(TcpFlagTest, NoneHasNoFlags) {
 
 TEST(PacketTest, DefaultsAreInvalid) {
   const Packet p;
-  EXPECT_EQ(p.src, kInvalidNode);
-  EXPECT_EQ(p.dst, kInvalidNode);
+  EXPECT_EQ(p.src, core::kInvalidNode);
+  EXPECT_EQ(p.dst, core::kInvalidNode);
   EXPECT_FALSE(p.is_int_probe());
   EXPECT_TRUE(p.int_stack.empty());
   EXPECT_LT(p.last_egress_timestamp, sim::SimTime::zero());
@@ -50,8 +50,8 @@ TEST(PacketTest, ProbeRequiresGeneveOptionType) {
 
 TEST(PacketTest, ToStringMentionsKeyFields) {
   Packet p;
-  p.src = 1;
-  p.dst = 2;
+  p.src = core::NodeId{1};
+  p.dst = core::NodeId{2};
   p.uid = 77;
   p.wire_size = 1500;
   p.protocol = IpProtocol::kTcp;

@@ -15,10 +15,10 @@ struct TopoFixture : ::testing::Test {
 TEST_F(TopoFixture, SequentialIdsDoubleAsAddresses) {
   auto& a = topo.add_node<Host>("a");
   auto& b = topo.add_node<Host>("b");
-  EXPECT_EQ(a.id(), 0);
-  EXPECT_EQ(b.id(), 1);
-  EXPECT_EQ(&topo.node(0), &a);
-  EXPECT_EQ(&topo.node(1), &b);
+  EXPECT_EQ(a.id(), core::NodeId{0});
+  EXPECT_EQ(b.id(), core::NodeId{1});
+  EXPECT_EQ(&topo.node(core::NodeId{0}), &a);
+  EXPECT_EQ(&topo.node(core::NodeId{1}), &b);
 }
 
 TEST_F(TopoFixture, ConnectCreatesPortsBothSides) {
@@ -54,13 +54,13 @@ TEST_F(TopoFixture, PathAndDelayThroughSwitch) {
   auto& b = topo.add_node<Host>("b");
   auto& sw = topo.add_node<p4::P4Switch>("s");
   LinkConfig cfg;
-  cfg.prop_delay = sim::SimTime::milliseconds(10);
+  cfg.prop_delay = sim::SimDuration::milliseconds(10);
   topo.connect(a, sw, cfg);
   topo.connect(b, sw, cfg);
   topo.install_routes();
   EXPECT_EQ(topo.path(a.id(), b.id()),
-            (std::vector<NodeId>{a.id(), sw.id(), b.id()}));
-  EXPECT_EQ(topo.path_delay(a.id(), b.id()), sim::SimTime::milliseconds(20));
+            (std::vector<core::NodeId>{a.id(), sw.id(), b.id()}));
+  EXPECT_EQ(topo.path_delay(a.id(), b.id()), sim::SimDuration::milliseconds(20));
 }
 
 TEST_F(TopoFixture, RoutesInstalledIntoForwardingTables) {
@@ -76,7 +76,7 @@ TEST_F(TopoFixture, RoutesInstalledIntoForwardingTables) {
 }
 
 TEST_F(TopoFixture, UnknownNodeThrows) {
-  EXPECT_THROW(static_cast<void>(topo.node(12)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(topo.node(core::NodeId{12})), std::invalid_argument);
 }
 
 TEST_F(TopoFixture, UnreachableDelayThrows) {
@@ -84,7 +84,7 @@ TEST_F(TopoFixture, UnreachableDelayThrows) {
   topo.add_node<Host>("isolated");
   topo.connect(a, topo.add_node<Host>("c"), LinkConfig{});
   topo.install_routes();
-  EXPECT_THROW(static_cast<void>(topo.path_delay(a.id(), 1)),
+  EXPECT_THROW(static_cast<void>(topo.path_delay(a.id(), core::NodeId{1})),
                std::invalid_argument);
 }
 
@@ -100,7 +100,7 @@ TEST_F(TopoFixture, NodesOfKindFilters) {
 
 TEST_F(TopoFixture, RouteToUnknownDestinationIsNegative) {
   auto& a = topo.add_node<Host>("a");
-  EXPECT_EQ(a.route_to(99), -1);
+  EXPECT_EQ(a.route_to(core::NodeId{99}), -1);
 }
 
 }  // namespace

@@ -20,7 +20,7 @@ TEST(TopologyGenTest, ClosPodCountsAndRoles) {
   PodShape shape;  // 2 spines, 4 leaves, 2 hosts/leaf, 2 edge servers
   const GenTopology topo = TopologyGen::clos_pod(shape, 7);
 
-  EXPECT_EQ(topo.regions, 1);
+  EXPECT_EQ(topo.regions, core::RegionId{1});
   EXPECT_EQ(topo.switch_count(), shape.spines + shape.leaves);
   EXPECT_EQ(topo.hosts().size(),
             static_cast<std::size_t>(shape.leaves * shape.hosts_per_leaf));
@@ -30,7 +30,7 @@ TEST(TopologyGenTest, ClosPodCountsAndRoles) {
   EXPECT_EQ(topo.links.size(),
             static_cast<std::size_t>(shape.spines * shape.leaves +
                                      shape.leaves * shape.hosts_per_leaf));
-  for (const GenNode& n : topo.nodes) EXPECT_EQ(n.region, 0) << n.name;
+  for (const GenNode& n : topo.nodes) EXPECT_EQ(n.region, core::RegionId{0}) << n.name;
   EXPECT_TRUE(topo.border_links().empty());
 }
 
@@ -54,7 +54,7 @@ TEST(TopologyGenTest, RingOfPodsCountsBordersAndRegions) {
   const GenTopology topo = TopologyGen::ring_of_pods(cfg);
 
   EXPECT_TRUE(topo.validate().empty());
-  EXPECT_EQ(topo.regions, 4);
+  EXPECT_EQ(topo.regions, core::RegionId{4});
   EXPECT_EQ(topo.switch_count(),
             4 * (cfg.pod.spines + cfg.pod.leaves));
   // 4 ring trunks + chords 0<->2 and 1<->3 (both new pairs).
@@ -64,7 +64,7 @@ TEST(TopologyGenTest, RingOfPodsCountsBordersAndRegions) {
   }
   // Every node carries its pod's region label.
   for (const GenNode& n : topo.nodes) {
-    EXPECT_GE(n.region, 0);
+    EXPECT_GE(n.region, core::RegionId{0});
     EXPECT_LT(n.region, topo.regions);
   }
 }
@@ -143,12 +143,12 @@ TEST(TopologyGenTest, RandomizedConfigFamilyIsWellFormedAndDeterministic) {
 
     // No self-loops / duplicate undirected links (validate checks this
     // too; re-check directly so the property is visible in the test).
-    std::set<std::pair<NodeId, NodeId>> seen;
+    std::set<std::pair<core::NodeId, core::NodeId>> seen;
     for (const GenLink& l : topo.links) {
       EXPECT_NE(l.a, l.b);
       EXPECT_TRUE(seen.insert(std::minmax(l.a, l.b)).second)
           << "duplicate link " << l.a << "-" << l.b;
-      EXPECT_GT(l.delay, sim::SimTime::zero());
+      EXPECT_GT(l.delay, sim::SimDuration::zero());
     }
   }
 }

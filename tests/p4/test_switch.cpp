@@ -8,7 +8,7 @@
 namespace intsched::p4 {
 namespace {
 
-net::Packet packet_to(net::NodeId dst, sim::Bytes size = 500) {
+net::Packet packet_to(core::NodeId dst, sim::Bytes size = 500) {
   net::Packet p;
   p.dst = dst;
   p.wire_size = size;
@@ -48,7 +48,7 @@ TEST_F(SwitchFixture, ForwardsViaMatchActionTable) {
 
 TEST_F(SwitchFixture, UnknownDestinationDropsInPipeline) {
   wire();
-  a->send(packet_to(77));
+  a->send(packet_to(core::NodeId{77}));
   sim.run();
   EXPECT_TRUE(delivered.empty());
   EXPECT_EQ(sw->pipeline_drops(), 1);
@@ -86,41 +86,41 @@ TEST_F(SwitchFixture, NoProgramThrows) {
 
 TEST_F(SwitchFixture, ServiceDelayWithinConfiguredRange) {
   SwitchConfig cfg;
-  cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+  cfg.proc_delay_mean = sim::SimDuration::microseconds(100);
   cfg.proc_jitter_frac = 0.5;
   cfg.stall_probability = 0.0;
   wire(cfg);
   for (int i = 0; i < 200; ++i) {
-    const sim::SimTime d =
+    const sim::SimDuration d =
         sw->egress_service_delay(packet_to(b->id()), sw->port(0));
-    EXPECT_GE(d, sim::SimTime::microseconds(50));
-    EXPECT_LE(d, sim::SimTime::microseconds(150));
+    EXPECT_GE(d, sim::SimDuration::microseconds(50));
+    EXPECT_LE(d, sim::SimDuration::microseconds(150));
   }
 }
 
 TEST_F(SwitchFixture, StallsAddLargeDelays) {
   SwitchConfig cfg;
-  cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+  cfg.proc_delay_mean = sim::SimDuration::microseconds(100);
   cfg.proc_jitter_frac = 0.0;
   cfg.stall_probability = 1.0;  // every packet stalls
-  cfg.stall_min = sim::SimTime::milliseconds(5);
-  cfg.stall_max = sim::SimTime::milliseconds(6);
+  cfg.stall_min = sim::SimDuration::milliseconds(5);
+  cfg.stall_max = sim::SimDuration::milliseconds(6);
   wire(cfg);
-  const sim::SimTime d =
+  const sim::SimDuration d =
       sw->egress_service_delay(packet_to(b->id()), sw->port(0));
-  EXPECT_GE(d, sim::SimTime::milliseconds(5));
-  EXPECT_LE(d, sim::SimTime::microseconds(6100));
+  EXPECT_GE(d, sim::SimDuration::milliseconds(5));
+  EXPECT_LE(d, sim::SimDuration::microseconds(6100));
 }
 
 TEST_F(SwitchFixture, ZeroStallProbabilityNeverStalls) {
   SwitchConfig cfg;
-  cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+  cfg.proc_delay_mean = sim::SimDuration::microseconds(100);
   cfg.proc_jitter_frac = 0.0;
   cfg.stall_probability = 0.0;
   wire(cfg);
   for (int i = 0; i < 100; ++i) {
     EXPECT_EQ(sw->egress_service_delay(packet_to(b->id()), sw->port(0)),
-              sim::SimTime::microseconds(100));
+              sim::SimDuration::microseconds(100));
   }
 }
 
@@ -154,7 +154,7 @@ TEST_F(SwitchFixture, DeterministicServiceForSameSeed) {
   auto& s2 = topo2.add_node<P4Switch>("s1", cfg);
   s1.add_port(net::LinkConfig{});
   s2.add_port(net::LinkConfig{});
-  net::Packet p = packet_to(0);
+  net::Packet p = packet_to(core::NodeId{0});
   for (int i = 0; i < 20; ++i) {
     EXPECT_EQ(s1.egress_service_delay(p, s1.port(0)),
               s2.egress_service_delay(p, s2.port(0)));

@@ -41,11 +41,11 @@ void expect_ranks_identical(const std::vector<ServerRank>& got,
 
 /// Persistent-vs-fresh comparison over every (origin, metric) pair.
 void compare_all(const Ranker& persistent, const NetworkMap& map,
-                 const std::vector<net::NodeId>& origins,
-                 const std::vector<net::NodeId>& candidates,
+                 const std::vector<core::NodeId>& origins,
+                 const std::vector<core::NodeId>& candidates,
                  sim::SimTime now, const char* what) {
   const Ranker fresh{map, persistent.config()};
-  for (const net::NodeId origin : origins) {
+  for (const core::NodeId origin : origins) {
     for (const auto metric :
          {RankingMetric::kDelay, RankingMetric::kBandwidth}) {
       expect_ranks_identical(
@@ -71,8 +71,8 @@ void run_metro_case(const MetroCase& mc) {
 
   NetworkMap map;
   const Ranker persistent{map};
-  const std::vector<net::NodeId> origins = topo.hosts();
-  const std::vector<net::NodeId> candidates = topo.edge_servers();
+  const std::vector<core::NodeId> origins = topo.hosts();
+  const std::vector<core::NodeId> candidates = topo.edge_servers();
 
   auto now = sim::SimTime::seconds(1);
   for (const auto& r : gen.full_sweep()) map.ingest(r, now);
@@ -120,8 +120,8 @@ TEST(DeltaDijkstraProperty, HeavyChurnStillMatchesFullRecompute) {
 
   NetworkMap map;
   const Ranker persistent{map};
-  const std::vector<net::NodeId> origins = topo.hosts();
-  const std::vector<net::NodeId> candidates = topo.edge_servers();
+  const std::vector<core::NodeId> origins = topo.hosts();
+  const std::vector<core::NodeId> candidates = topo.edge_servers();
 
   auto now = sim::SimTime::seconds(1);
   for (const auto& r : gen.full_sweep()) map.ingest(r, now);
@@ -138,9 +138,9 @@ TEST(DeltaDijkstraProperty, HeavyChurnStillMatchesFullRecompute) {
   EXPECT_GT(persistent.origins_dropped(), 0);
 }
 
-net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
+net::IntStackEntry entry(core::NodeId device, std::int32_t in_port,
                          std::int32_t out_port,
-                         sim::SimTime ingress_latency) {
+                         sim::SimDuration ingress_latency) {
   net::IntStackEntry e;
   e.device = device;
   e.ingress_port = in_port;
@@ -149,9 +149,9 @@ net::IntStackEntry entry(net::NodeId device, std::int32_t in_port,
   return e;
 }
 
-telemetry::ProbeReport report(net::NodeId src, net::NodeId dst,
+telemetry::ProbeReport report(core::NodeId src, core::NodeId dst,
                               std::vector<net::IntStackEntry> entries,
-                              sim::SimTime final_latency) {
+                              sim::SimDuration final_latency) {
   telemetry::ProbeReport r;
   r.src = src;
   r.dst = dst;
@@ -168,38 +168,41 @@ telemetry::ProbeReport report(net::NodeId src, net::NodeId dst,
 // neither be a tree edge nor an improvement — must keep its memo. Both
 // outcomes must leave the persistent ranker equal to a full recompute.
 TEST(DeltaDijkstraProperty, PartialInvalidationKeepsUnaffectedOrigins) {
-  const auto ms = [](int v) { return sim::SimTime::milliseconds(v); };
-  const auto unmeasured = sim::SimTime::nanoseconds(-1);
+  const auto ms = [](int v) { return sim::SimDuration::milliseconds(v); };
+  const auto at_ms = [](int v) {
+    return sim::SimTime::at(sim::SimDuration::milliseconds(v));
+  };
+  const auto unmeasured = sim::SimDuration::nanoseconds(-1);
   NetworkMap map;
-  const auto learn_all = [&](sim::SimTime now, sim::SimTime bc) {
+  const auto learn_all = [&](sim::SimTime now, sim::SimDuration bc) {
     // Ports: on each switch, 0 faces its host; 1/2 face the other two
     // switches in id order.
-    map.ingest(report(0, 1, {entry(10, 0, 1, unmeasured),
-                             entry(11, 1, 0, ms(5))}, ms(2)), now);
-    map.ingest(report(1, 0, {entry(11, 0, 1, unmeasured),
-                             entry(10, 1, 0, ms(5))}, ms(2)), now);
-    map.ingest(report(0, 2, {entry(10, 0, 2, unmeasured),
-                             entry(12, 1, 0, ms(5))}, ms(2)), now);
-    map.ingest(report(2, 0, {entry(12, 0, 1, unmeasured),
-                             entry(10, 2, 0, ms(5))}, ms(2)), now);
-    map.ingest(report(1, 2, {entry(11, 0, 2, unmeasured),
-                             entry(12, 2, 0, bc)}, ms(2)), now);
-    map.ingest(report(2, 1, {entry(12, 0, 2, unmeasured),
-                             entry(11, 2, 0, bc)}, ms(2)), now);
+    map.ingest(report(core::NodeId{0}, core::NodeId{1}, {entry(core::NodeId{10}, 0, 1, unmeasured),
+                             entry(core::NodeId{11}, 1, 0, ms(5))}, ms(2)), now);
+    map.ingest(report(core::NodeId{1}, core::NodeId{0}, {entry(core::NodeId{11}, 0, 1, unmeasured),
+                             entry(core::NodeId{10}, 1, 0, ms(5))}, ms(2)), now);
+    map.ingest(report(core::NodeId{0}, core::NodeId{2}, {entry(core::NodeId{10}, 0, 2, unmeasured),
+                             entry(core::NodeId{12}, 1, 0, ms(5))}, ms(2)), now);
+    map.ingest(report(core::NodeId{2}, core::NodeId{0}, {entry(core::NodeId{12}, 0, 1, unmeasured),
+                             entry(core::NodeId{10}, 2, 0, ms(5))}, ms(2)), now);
+    map.ingest(report(core::NodeId{1}, core::NodeId{2}, {entry(core::NodeId{11}, 0, 2, unmeasured),
+                             entry(core::NodeId{12}, 2, 0, bc)}, ms(2)), now);
+    map.ingest(report(core::NodeId{2}, core::NodeId{1}, {entry(core::NodeId{12}, 0, 2, unmeasured),
+                             entry(core::NodeId{11}, 2, 0, bc)}, ms(2)), now);
   };
-  learn_all(ms(0), ms(8));
+  learn_all(at_ms(0), ms(8));
 
   const Ranker persistent{map};
-  const std::vector<net::NodeId> origins{0, 1, 2};
-  const std::vector<net::NodeId> candidates{0, 1, 2};
-  compare_all(persistent, map, origins, candidates, ms(1), "warmup");
+  const std::vector<core::NodeId> origins{core::NodeId{0}, core::NodeId{1}, core::NodeId{2}};
+  const std::vector<core::NodeId> candidates{core::NodeId{0}, core::NodeId{1}, core::NodeId{2}};
+  compare_all(persistent, map, origins, candidates, at_ms(1), "warmup");
   EXPECT_EQ(persistent.full_rebuilds(), 1);
 
   // B-C jumps to 24 ms; the EWMA (alpha 0.25) lands on 12 ms. Every
   // other sample replays its converged estimate, so the changed edge set
   // is exactly {B->C, C->B}.
-  learn_all(ms(10), ms(24));
-  compare_all(persistent, map, origins, candidates, ms(11), "after bump");
+  learn_all(at_ms(10), ms(24));
+  compare_all(persistent, map, origins, candidates, at_ms(11), "after bump");
 
   EXPECT_EQ(persistent.delta_refreshes(), 1);
   EXPECT_EQ(persistent.full_rebuilds(), 1);
@@ -231,15 +234,15 @@ TEST(DeltaDijkstraProperty, Fig4LinkFlapsMatchFullRecompute) {
   net::FaultPlanConfig fault_cfg;
   fault_cfg.seed = 42;
   fault_cfg.link_flaps.push_back(net::LinkFlapSpec{
-      0, 8, sim::SimTime::seconds(2), sim::SimTime::seconds(5)});
+      core::NodeId{0}, core::NodeId{8}, sim::SimTime::seconds(2), sim::SimTime::seconds(5)});
   fault_cfg.link_flaps.push_back(net::LinkFlapSpec{
-      4, 10, sim::SimTime::seconds(3), sim::SimTime::seconds(7)});
+      core::NodeId{4}, core::NodeId{10}, sim::SimTime::seconds(3), sim::SimTime::seconds(7)});
   net::FaultPlan plan{fault_cfg};
   plan.arm(network.topology());
 
-  const std::vector<net::NodeId> origins{0, 2, 4, 6};
-  std::vector<net::NodeId> candidates;
-  for (const net::NodeId id : network.host_ids()) {
+  const std::vector<core::NodeId> origins{core::NodeId{0}, core::NodeId{2}, core::NodeId{4}, core::NodeId{6}};
+  std::vector<core::NodeId> candidates;
+  for (const core::NodeId id : network.host_ids()) {
     if (id != network.scheduler_host().id()) candidates.push_back(id);
   }
 

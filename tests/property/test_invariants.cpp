@@ -37,11 +37,11 @@ TEST_P(TcpConservation, AllBytesDeliveredOnce) {
   auto& a = topo.add_node<net::Host>("a");
   auto& b = topo.add_node<net::Host>("b");
   p4::SwitchConfig sw_cfg;
-  sw_cfg.proc_delay_mean = sim::SimTime::microseconds(200);
+  sw_cfg.proc_delay_mean = sim::SimDuration::microseconds(200);
   sw_cfg.stall_probability = 0.0;
   auto& sw = topo.add_node<p4::P4Switch>("sw", sw_cfg);
   net::LinkConfig link;
-  link.prop_delay = sim::SimTime::milliseconds(5);
+  link.prop_delay = sim::SimDuration::milliseconds(5);
   link.queue_capacity_pkts = param.queue_capacity;
   topo.connect(a, sw, link);
   topo.connect(b, sw, link);
@@ -53,7 +53,7 @@ TEST_P(TcpConservation, AllBytesDeliveredOnce) {
   sim::Bytes delivered = -1;
   transport::TcpListener listener{
       stack_b, net::kTaskPort,
-      [&](net::NodeId, sim::Bytes bytes,
+      [&](core::NodeId, sim::Bytes bytes,
           std::shared_ptr<const net::AppMessage>) { delivered = bytes; }};
   transport::TcpSender sender{stack_a, b.id(), net::kTaskPort,
                               param.transfer_size};
@@ -81,38 +81,38 @@ TEST_P(RankerProperty, EstimateMatchesBruteForce) {
   const std::int64_t hops = rng.uniform_int(1, 6);
   core::NetworkMap map;
   telemetry::ProbeReport report;
-  report.src = 0;
-  report.dst = 1;
+  report.src = core::NodeId{0};
+  report.dst = core::NodeId{1};
   std::vector<std::int64_t> queues;
-  std::vector<sim::SimTime> delays;
+  std::vector<sim::SimDuration> delays;
   for (std::int64_t h = 0; h < hops; ++h) {
     net::IntStackEntry e;
-    e.device = static_cast<net::NodeId>(100 + h);
+    e.device = core::NodeId{static_cast<std::int32_t>(100 + h)};
     e.ingress_port = 0;
     e.egress_port = 1;
     e.max_queue_pkts = rng.uniform_int(0, 60);
     e.device_max_queue_pkts = e.max_queue_pkts;
     e.ingress_link_latency =
-        sim::SimTime::microseconds(rng.uniform_int(5'000, 20'000));
+        sim::SimDuration::microseconds(rng.uniform_int(5'000, 20'000));
     report.entries.push_back(e);
     queues.push_back(e.max_queue_pkts);
     delays.push_back(e.ingress_link_latency);
   }
   report.final_link_latency =
-      sim::SimTime::microseconds(rng.uniform_int(5'000, 20'000));
+      sim::SimDuration::microseconds(rng.uniform_int(5'000, 20'000));
   map.ingest(report, sim::SimTime::zero());
 
   core::RankerConfig cfg;
-  cfg.k_factor = sim::SimTime::milliseconds(rng.uniform_int(1, 40));
+  cfg.k_factor = sim::SimDuration::milliseconds(rng.uniform_int(1, 40));
   core::Ranker ranker{map, cfg};
 
-  std::vector<net::NodeId> path{0};
+  std::vector<core::NodeId> path{core::NodeId{0}};
   for (std::int64_t h = 0; h < hops; ++h) {
-    path.push_back(static_cast<net::NodeId>(100 + h));
+    path.push_back(core::NodeId{static_cast<std::int32_t>(100 + h)});
   }
-  path.push_back(1);
+  path.push_back(core::NodeId{1});
 
-  sim::SimTime expected = report.final_link_latency;
+  sim::SimDuration expected = report.final_link_latency;
   for (std::int64_t h = 0; h < hops; ++h) {
     expected += delays[static_cast<std::size_t>(h)];
     expected += cfg.k_factor * queues[static_cast<std::size_t>(h)];
@@ -126,41 +126,41 @@ TEST_P(RankerProperty, RankingOrderConsistentWithEstimates) {
   core::NetworkMap map;
   // Star: collector host 1 at the hub switch 100; candidates 10..14 each
   // behind their own leaf switch.
-  for (net::NodeId c = 10; c < 15; ++c) {
+  for (core::NodeId c = core::NodeId{10}; c < core::NodeId{15}; ++c) {
     telemetry::ProbeReport r;
     r.src = c;
-    r.dst = 1;
+    r.dst = core::NodeId{1};
     net::IntStackEntry leaf;
-    leaf.device = 100 + c;
+    leaf.device = core::NodeId{100 + c.value()};
     leaf.ingress_port = 0;
     leaf.egress_port = 1;
     leaf.max_queue_pkts = rng.uniform_int(0, 80);
     leaf.device_max_queue_pkts = leaf.max_queue_pkts;
     leaf.ingress_link_latency =
-        sim::SimTime::microseconds(rng.uniform_int(2'000, 30'000));
+        sim::SimDuration::microseconds(rng.uniform_int(2'000, 30'000));
     net::IntStackEntry hub;
-    hub.device = 100;
-    hub.ingress_port = static_cast<std::int32_t>(c);
+    hub.device = core::NodeId{100};
+    hub.ingress_port = c.value();
     hub.egress_port = 0;
     hub.max_queue_pkts = rng.uniform_int(0, 10);
     hub.device_max_queue_pkts = hub.max_queue_pkts;
     hub.ingress_link_latency =
-        sim::SimTime::microseconds(rng.uniform_int(2'000, 30'000));
+        sim::SimDuration::microseconds(rng.uniform_int(2'000, 30'000));
     r.entries = {leaf, hub};
-    r.final_link_latency = sim::SimTime::milliseconds(5);
+    r.final_link_latency = sim::SimDuration::milliseconds(5);
     map.ingest(r, sim::SimTime::zero());
   }
   core::Ranker ranker{map};
-  const std::vector<net::NodeId> candidates{10, 11, 12, 13, 14};
+  const std::vector<core::NodeId> candidates{core::NodeId{10}, core::NodeId{11}, core::NodeId{12}, core::NodeId{13}, core::NodeId{14}};
   const auto by_delay =
-      ranker.rank(1, candidates, core::RankingMetric::kDelay,
+      ranker.rank(core::NodeId{1}, candidates, core::RankingMetric::kDelay,
                   sim::SimTime::zero());
   ASSERT_EQ(by_delay.size(), candidates.size());
   for (std::size_t i = 1; i < by_delay.size(); ++i) {
     EXPECT_LE(by_delay[i - 1].delay_estimate, by_delay[i].delay_estimate);
   }
   const auto by_bw =
-      ranker.rank(1, candidates, core::RankingMetric::kBandwidth,
+      ranker.rank(core::NodeId{1}, candidates, core::RankingMetric::kBandwidth,
                   sim::SimTime::zero());
   for (std::size_t i = 1; i < by_bw.size(); ++i) {
     EXPECT_GE(by_bw[i - 1].bandwidth_estimate.bps(),
@@ -172,26 +172,26 @@ TEST_P(RankerProperty, RankingInvariantToCandidateOrder) {
   sim::Rng rng{GetParam() ^ 0x1234};
   core::NetworkMap map;
   telemetry::ProbeReport r;
-  r.src = 10;
-  r.dst = 1;
+  r.src = core::NodeId{10};
+  r.dst = core::NodeId{1};
   net::IntStackEntry e;
-  e.device = 100;
+  e.device = core::NodeId{100};
   e.ingress_port = 0;
   e.egress_port = 1;
   e.max_queue_pkts = rng.uniform_int(0, 50);
   e.device_max_queue_pkts = e.max_queue_pkts;
-  e.ingress_link_latency = sim::SimTime::milliseconds(10);
+  e.ingress_link_latency = sim::SimDuration::milliseconds(10);
   r.entries = {e};
-  r.final_link_latency = sim::SimTime::milliseconds(10);
+  r.final_link_latency = sim::SimDuration::milliseconds(10);
   map.ingest(r, sim::SimTime::zero());
 
   core::Ranker ranker{map};
-  std::vector<net::NodeId> candidates{10, 1, 99, 100};
+  std::vector<core::NodeId> candidates{core::NodeId{10}, core::NodeId{1}, core::NodeId{99}, core::NodeId{100}};
   const auto sorted_once = ranker.rank(
-      10, candidates, core::RankingMetric::kDelay, sim::SimTime::zero());
+      core::NodeId{10}, candidates, core::RankingMetric::kDelay, sim::SimTime::zero());
   std::reverse(candidates.begin(), candidates.end());
   const auto sorted_again = ranker.rank(
-      10, candidates, core::RankingMetric::kDelay, sim::SimTime::zero());
+      core::NodeId{10}, candidates, core::RankingMetric::kDelay, sim::SimTime::zero());
   ASSERT_EQ(sorted_once.size(), sorted_again.size());
   for (std::size_t i = 0; i < sorted_once.size(); ++i) {
     EXPECT_EQ(sorted_once[i].server, sorted_again[i].server);
@@ -263,12 +263,12 @@ TEST_P(InferenceProperty, RandomTreeRecovered) {
   for (std::size_t i = 1; i < hosts.size(); ++i) {
     const auto path = topo.path(hosts[i]->id(), collector_host->id());
     for (std::size_t j = 0; j + 1 < path.size(); ++j) {
-      const net::NodeId from = path[j];
-      const net::NodeId to = path[j + 1];
+      const core::NodeId from = path[j];
+      const core::NodeId to = path[j + 1];
       EXPECT_TRUE(map.knows_node(from));
-      const sim::SimTime d = map.link_delay(from, to);
-      EXPECT_GE(d, sim::SimTime::milliseconds(9)) << from << "->" << to;
-      EXPECT_LE(d, sim::SimTime::milliseconds(12)) << from << "->" << to;
+      const sim::SimDuration d = map.link_delay(from, to);
+      EXPECT_GE(d, sim::SimDuration::milliseconds(9)) << from << "->" << to;
+      EXPECT_LE(d, sim::SimDuration::milliseconds(12)) << from << "->" << to;
       if (j > 0) {  // switch egress ports are learnable
         const std::int32_t port = map.egress_port(from, to);
         EXPECT_EQ(port, topo.node(from).route_to(to)) << from << "->" << to;
@@ -321,13 +321,13 @@ TEST_P(ShortestPathProperty, MatchesFloydWarshall) {
   sim::Rng rng{GetParam()};
   const std::int64_t n = rng.uniform_int(3, 10);
   net::Graph g;
-  std::map<std::pair<net::NodeId, net::NodeId>, std::int64_t> w;
-  for (net::NodeId i = 0; i < n; ++i) {
-    for (net::NodeId j = 0; j < n; ++j) {
+  std::map<std::pair<core::NodeId, core::NodeId>, std::int64_t> w;
+  for (core::NodeId i = core::NodeId{0}; i.value() < n; ++i) {
+    for (core::NodeId j = core::NodeId{0}; j.value() < n; ++j) {
       if (i == j) continue;
       if (rng.chance(0.4)) {
         const std::int64_t cost = rng.uniform_int(1, 50);
-        g.add_edge(i, j, 0, sim::SimTime::milliseconds(cost));
+        g.add_edge(i, j, 0, sim::SimDuration::milliseconds(cost));
         w[{i, j}] = cost;
       }
     }
@@ -337,15 +337,12 @@ TEST_P(ShortestPathProperty, MatchesFloydWarshall) {
   std::vector<std::vector<std::int64_t>> dist(
       static_cast<std::size_t>(n),
       std::vector<std::int64_t>(static_cast<std::size_t>(n), kInf));
-  for (net::NodeId i = 0; i < n; ++i) {
-    dist[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0;
+  for (core::NodeId i = core::NodeId{0}; i.value() < n; ++i) {
+    dist[i.index()][i.index()] = 0;
   }
   for (const auto& [key, cost] : w) {
-    dist[static_cast<std::size_t>(key.first)]
-        [static_cast<std::size_t>(key.second)] = std::min(
-            dist[static_cast<std::size_t>(key.first)]
-                [static_cast<std::size_t>(key.second)],
-            cost);
+    dist[key.first.index()][key.second.index()] =
+        std::min(dist[key.first.index()][key.second.index()], cost);
   }
   for (std::int64_t k = 0; k < n; ++k) {
     for (std::int64_t i = 0; i < n; ++i) {
@@ -360,17 +357,16 @@ TEST_P(ShortestPathProperty, MatchesFloydWarshall) {
       }
     }
   }
-  for (net::NodeId src = 0; src < n; ++src) {
+  for (core::NodeId src = core::NodeId{0}; src.value() < n; ++src) {
     const net::ShortestPaths sp = net::dijkstra(g, src);
-    for (net::NodeId dst = 0; dst < n; ++dst) {
-      const auto expected = dist[static_cast<std::size_t>(src)]
-                                [static_cast<std::size_t>(dst)];
+    for (core::NodeId dst = core::NodeId{0}; dst.value() < n; ++dst) {
+      const auto expected = dist[src.index()][dst.index()];
       if (expected >= kInf) {
         EXPECT_FALSE(sp.distance.contains(dst));
       } else {
         ASSERT_TRUE(sp.distance.contains(dst)) << src << "->" << dst;
         EXPECT_EQ(sp.distance.at(dst),
-                  sim::SimTime::milliseconds(expected));
+                  sim::SimDuration::milliseconds(expected));
       }
     }
   }
@@ -435,7 +431,7 @@ TEST_P(ExperimentMatrix, CompletesWithOrderedTimelines) {
   cfg.policy = param.policy;
   cfg.workload.kind = param.workload;
   cfg.workload.total_tasks = 12;
-  cfg.workload.job_interval = sim::SimTime::seconds(3);
+  cfg.workload.job_interval = sim::SimDuration::seconds(3);
   cfg.background.mode = exp::BackgroundMode::kRandomPairs;
   const exp::ExperimentResult result = exp::run_experiment(cfg);
 
@@ -443,8 +439,8 @@ TEST_P(ExperimentMatrix, CompletesWithOrderedTimelines) {
   for (const edge::TaskRecord* r : result.metrics.records()) {
     ASSERT_TRUE(r->is_complete());
     // Valid assignment: a host other than the submitting device.
-    EXPECT_GE(r->server, 0);
-    EXPECT_LT(r->server, 8);
+    EXPECT_GE(r->server, core::NodeId{0});
+    EXPECT_LT(r->server, core::NodeId{8});
     EXPECT_NE(r->server, r->device);
     // Ordered timeline.
     EXPECT_GE(r->scheduled, r->submitted);
@@ -453,7 +449,7 @@ TEST_P(ExperimentMatrix, CompletesWithOrderedTimelines) {
     EXPECT_GE(r->exec_end, r->transfer_end + r->exec_time);
     EXPECT_GT(r->completed, r->exec_end);
     // Transfer cannot beat the speed of light through 3+ switches.
-    EXPECT_GT(r->transfer_time(), sim::SimTime::milliseconds(30));
+    EXPECT_GT(r->transfer_time(), sim::SimDuration::milliseconds(30));
   }
 }
 

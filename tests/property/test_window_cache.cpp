@@ -25,12 +25,12 @@ namespace {
 // Monotonic max-deque vs the naive reference model.
 
 /// Single-device probe report carrying one set of register values.
-telemetry::ProbeReport queue_report(net::NodeId device, std::int64_t max_q,
+telemetry::ProbeReport queue_report(core::NodeId device, std::int64_t max_q,
                                     std::int64_t avg_q_x100,
-                                    sim::SimTime hop_latency) {
+                                    sim::SimDuration hop_latency) {
   telemetry::ProbeReport report;
-  report.src = 100;
-  report.dst = 101;
+  report.src = core::NodeId{100};
+  report.dst = core::NodeId{101};
   net::IntStackEntry entry;
   entry.device = device;
   entry.ingress_port = 0;
@@ -60,10 +60,10 @@ TEST(WindowMaxProperty, MatchesNaiveScanOverRandomizedSequences) {
   for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
     sim::Rng rng{seed};
     core::NetworkMapConfig cfg;
-    cfg.queue_window = sim::SimTime::milliseconds(
+    cfg.queue_window = sim::SimDuration::milliseconds(
         rng.uniform_int(50, 400));
     core::NetworkMap map{cfg};
-    const net::NodeId device = 7;
+    const core::NodeId device{7};
 
     NaiveSeries naive_max;
     NaiveSeries naive_avg;
@@ -71,7 +71,7 @@ TEST(WindowMaxProperty, MatchesNaiveScanOverRandomizedSequences) {
 
     sim::SimTime now = sim::SimTime::zero();
     for (int step = 0; step < 400; ++step) {
-      now += sim::SimTime::microseconds(rng.uniform_int(0, 40'000));
+      now += sim::SimDuration::microseconds(rng.uniform_int(0, 40'000));
       // ~10% of ingests are late stragglers: an older report arriving
       // after newer ones (reordered probe delivery).
       sim::SimTime at = now;
@@ -84,7 +84,7 @@ TEST(WindowMaxProperty, MatchesNaiveScanOverRandomizedSequences) {
       const std::int64_t max_q = rng.uniform_int(0, 64);
       const std::int64_t avg_q = rng.uniform_int(0, 4'000);
       map.ingest(queue_report(device, max_q, avg_q,
-                              sim::SimTime::microseconds(max_q)),
+                              sim::SimDuration::microseconds(max_q)),
                  at);
       naive_max.samples.push_back({at, max_q});
       naive_avg.samples.push_back({at, avg_q});
@@ -95,7 +95,7 @@ TEST(WindowMaxProperty, MatchesNaiveScanOverRandomizedSequences) {
       for (const std::int64_t ahead_us : {std::int64_t{0},
                                           rng.uniform_int(0, 500'000)}) {
         const sim::SimTime q_now =
-            high_water + sim::SimTime::microseconds(ahead_us);
+            high_water + sim::SimDuration::microseconds(ahead_us);
         const sim::SimTime cutoff = q_now - cfg.queue_window;
         ASSERT_EQ(map.device_max_queue(device, q_now),
                   naive_max.max_from(cutoff))
@@ -110,21 +110,21 @@ TEST(WindowMaxProperty, MatchesNaiveScanOverRandomizedSequences) {
 
 TEST(WindowMaxProperty, EmptyAndExpiredWindowsReadZero) {
   core::NetworkMapConfig cfg;
-  cfg.queue_window = sim::SimTime::milliseconds(100);
+  cfg.queue_window = sim::SimDuration::milliseconds(100);
   core::NetworkMap map{cfg};
 
   // Unknown device: the paper's "assume uncongested" fallback.
-  EXPECT_EQ(map.device_max_queue(3, sim::SimTime::seconds(1)), 0);
+  EXPECT_EQ(map.device_max_queue(core::NodeId{3}, sim::SimTime::seconds(1)), 0);
 
-  map.ingest(queue_report(3, 40, 1000, sim::SimTime::zero()),
+  map.ingest(queue_report(core::NodeId{3}, 40, 1000, sim::SimDuration::zero()),
              sim::SimTime::seconds(1));
-  EXPECT_EQ(map.device_max_queue(3, sim::SimTime::seconds(1)), 40);
+  EXPECT_EQ(map.device_max_queue(core::NodeId{3}, sim::SimTime::seconds(1)), 40);
   // Every sample older than the window: back to zero, without mutation.
-  EXPECT_EQ(map.device_max_queue(3, sim::SimTime::seconds(10)), 0);
+  EXPECT_EQ(map.device_max_queue(core::NodeId{3}, sim::SimTime::seconds(10)), 0);
   // The sample is still there for a query window that covers it.
-  EXPECT_EQ(map.device_max_queue(3,
+  EXPECT_EQ(map.device_max_queue(core::NodeId{3},
                                  sim::SimTime::seconds(1) +
-                                     sim::SimTime::milliseconds(50)),
+                                     sim::SimDuration::milliseconds(50)),
             40);
 }
 
@@ -144,9 +144,9 @@ std::string render_ranks(const std::vector<core::ServerRank>& ranks) {
 
 /// A probe report that walks a two-switch chain src -> s1 -> s2 -> dst,
 /// teaching the map the chain topology with the given per-hop delays.
-telemetry::ProbeReport chain_report(net::NodeId src, net::NodeId s1,
-                                    net::NodeId s2, net::NodeId dst,
-                                    sim::SimTime hop_delay,
+telemetry::ProbeReport chain_report(core::NodeId src, core::NodeId s1,
+                                    core::NodeId s2, core::NodeId dst,
+                                    sim::SimDuration hop_delay,
                                     std::int64_t max_q) {
   telemetry::ProbeReport report;
   report.src = src;
@@ -169,19 +169,19 @@ TEST(PathCacheProperty, NeverServesPreIngestRankings) {
   sim::Rng rng{99};
   core::NetworkMap map;
   const core::Ranker cached{map};
-  const std::vector<net::NodeId> candidates{20, 21};
+  const std::vector<core::NodeId> candidates{core::NodeId{20}, core::NodeId{21}};
 
   sim::SimTime now = sim::SimTime::zero();
   for (int round = 0; round < 30; ++round) {
-    now += sim::SimTime::milliseconds(rng.uniform_int(1, 50));
+    now += sim::SimDuration::milliseconds(rng.uniform_int(1, 50));
     // Mutate the map: fresh delays (EWMA moves) and queue registers on
     // two chains reaching the two candidate servers.
     const auto delay =
-        sim::SimTime::microseconds(rng.uniform_int(500, 20'000));
-    map.ingest(chain_report(10, 11, 12, 20, delay,
+        sim::SimDuration::microseconds(rng.uniform_int(500, 20'000));
+    map.ingest(chain_report(core::NodeId{10}, core::NodeId{11}, core::NodeId{12}, core::NodeId{20}, delay,
                             rng.uniform_int(0, 32)),
                now);
-    map.ingest(chain_report(10, 11, 13, 21, delay * 2,
+    map.ingest(chain_report(core::NodeId{10}, core::NodeId{11}, core::NodeId{13}, core::NodeId{21}, delay * 2,
                             rng.uniform_int(0, 32)),
                now);
 
@@ -190,13 +190,13 @@ TEST(PathCacheProperty, NeverServesPreIngestRankings) {
     const core::Ranker cold{map};
     for (const auto metric :
          {core::RankingMetric::kDelay, core::RankingMetric::kBandwidth}) {
-      ASSERT_EQ(render_ranks(cached.rank(10, candidates, metric, now)),
-                render_ranks(cold.rank(10, candidates, metric, now)))
+      ASSERT_EQ(render_ranks(cached.rank(core::NodeId{10}, candidates, metric, now)),
+                render_ranks(cold.rank(core::NodeId{10}, candidates, metric, now)))
           << "round=" << round;
     }
     // The cache tracked the map's epoch (it may not have needed a rebuild
     // this round only if nothing was ingested — impossible here).
-    EXPECT_EQ(cached.path_cache_epoch(), map.reports_ingested());
+    EXPECT_EQ(cached.path_cache_epoch(), core::Epoch{map.reports_ingested()});
   }
   // The cache actually cached: with two rank calls per round sharing one
   // origin and epoch, at least half of the lookups were hits.
@@ -208,29 +208,29 @@ TEST(PathCacheProperty, NeverServesPreIngestRankings) {
 
 TEST(PathCacheProperty, CountersSeparateHitsFromRebuilds) {
   core::NetworkMap map;
-  map.ingest(chain_report(10, 11, 12, 20, sim::SimTime::milliseconds(1), 0),
+  map.ingest(chain_report(core::NodeId{10}, core::NodeId{11}, core::NodeId{12}, core::NodeId{20}, sim::SimDuration::milliseconds(1), 0),
              sim::SimTime::milliseconds(1));
   const core::Ranker ranker{map};
-  const std::vector<net::NodeId> candidates{20};
+  const std::vector<core::NodeId> candidates{core::NodeId{20}};
   const sim::SimTime t1 = sim::SimTime::milliseconds(2);
 
-  EXPECT_EQ(ranker.path_cache_epoch(), -1);
-  (void)ranker.rank(10, candidates, core::RankingMetric::kDelay, t1);
+  EXPECT_EQ(ranker.path_cache_epoch(), core::Epoch::none());
+  (void)ranker.rank(core::NodeId{10}, candidates, core::RankingMetric::kDelay, t1);
   EXPECT_EQ(ranker.path_cache_misses(), 1);
-  EXPECT_EQ(ranker.path_cache_epoch(), map.reports_ingested());
+  EXPECT_EQ(ranker.path_cache_epoch(), core::Epoch{map.reports_ingested()});
 
   // Same epoch, same origin: pure hit.
-  (void)ranker.rank(10, candidates, core::RankingMetric::kDelay, t1);
+  (void)ranker.rank(core::NodeId{10}, candidates, core::RankingMetric::kDelay, t1);
   EXPECT_EQ(ranker.path_cache_misses(), 1);
   EXPECT_EQ(ranker.path_cache_hits(), 1);
 
   // New ingest bumps the epoch: the next rank must rebuild.
-  map.ingest(chain_report(10, 11, 12, 20, sim::SimTime::milliseconds(5), 0),
+  map.ingest(chain_report(core::NodeId{10}, core::NodeId{11}, core::NodeId{12}, core::NodeId{20}, sim::SimDuration::milliseconds(5), 0),
              sim::SimTime::milliseconds(3));
-  (void)ranker.rank(10, candidates, core::RankingMetric::kDelay,
+  (void)ranker.rank(core::NodeId{10}, candidates, core::RankingMetric::kDelay,
                     sim::SimTime::milliseconds(4));
   EXPECT_EQ(ranker.path_cache_misses(), 2);
-  EXPECT_EQ(ranker.path_cache_epoch(), map.reports_ingested());
+  EXPECT_EQ(ranker.path_cache_epoch(), core::Epoch{map.reports_ingested()});
 }
 
 }  // namespace

@@ -15,7 +15,7 @@ namespace sim = intsched::sim;
 TEST(AuditMode, ChecksAreLiveDuringSimulation) {
   const std::int64_t before = sim::audit::checks_executed();
   sim::Simulator s;
-  s.schedule_after(sim::SimTime::milliseconds(1), [] {});
+  s.schedule_after(sim::SimDuration::millis(1), [] {});
   s.schedule_after(sim::SimTime::milliseconds(2), [] {});
   s.run();
   EXPECT_GT(sim::audit::checks_executed(), before)
@@ -46,7 +46,7 @@ TEST(AuditModeDeathTest, ViolationReportNamesTheCheck) {
 
 TEST(AuditMode, DisabledBuildEvaluatesNothing) {
   sim::Simulator s;
-  s.schedule_after(sim::SimTime::milliseconds(1), [] {});
+  s.schedule_after(sim::SimDuration::millis(1), [] {});
   s.run();
   EXPECT_EQ(sim::audit::checks_executed(), 0)
       << "non-audit builds must not pay for invariant checks";

@@ -26,7 +26,7 @@ TEST(SimulatorTest, ScheduleAfterIsRelative) {
   Simulator sim;
   std::vector<SimTime> fires;
   sim.schedule_at(SimTime::seconds(2), [&] {
-    sim.schedule_after(SimTime::seconds(3),
+    sim.schedule_after(SimDuration::seconds(3),
                        [&] { fires.push_back(sim.now()); });
   });
   sim.run();
@@ -40,7 +40,7 @@ TEST(SimulatorTest, ScheduleInPastThrows) {
   sim.run();
   EXPECT_THROW(sim.schedule_at(SimTime::seconds(1), [] {}),
                std::invalid_argument);
-  EXPECT_THROW(sim.schedule_after(SimTime::nanoseconds(-1), [] {}),
+  EXPECT_THROW(sim.schedule_after(SimDuration::nanoseconds(-1), [] {}),
                std::invalid_argument);
 }
 
@@ -113,7 +113,7 @@ TEST(SimulatorTest, EventsExecutedCounter) {
 TEST(SimulatorPeriodicTest, FiresAtFixedIntervals) {
   Simulator sim;
   std::vector<SimTime> fires;
-  auto handle = sim.schedule_periodic(SimTime::zero(), SimTime::seconds(2),
+  auto handle = sim.schedule_periodic(SimDuration::zero(), SimDuration::seconds(2),
                                       [&] { fires.push_back(sim.now()); });
   sim.run_until(SimTime::seconds(7));
   handle.cancel();
@@ -125,7 +125,7 @@ TEST(SimulatorPeriodicTest, FiresAtFixedIntervals) {
 TEST(SimulatorPeriodicTest, InitialDelayShiftsPhase) {
   Simulator sim;
   std::vector<SimTime> fires;
-  sim.schedule_periodic(SimTime::seconds(1), SimTime::seconds(2),
+  sim.schedule_periodic(SimDuration::seconds(1), SimDuration::seconds(2),
                         [&] { fires.push_back(sim.now()); });
   sim.run_until(SimTime::seconds(6));
   ASSERT_GE(fires.size(), 3u);
@@ -137,7 +137,7 @@ TEST(SimulatorPeriodicTest, InitialDelayShiftsPhase) {
 TEST(SimulatorPeriodicTest, CancelStopsFiring) {
   Simulator sim;
   int fires = 0;
-  auto handle = sim.schedule_periodic(SimTime::zero(), SimTime::seconds(1),
+  auto handle = sim.schedule_periodic(SimDuration::zero(), SimDuration::seconds(1),
                                       [&] { ++fires; });
   sim.run_until(SimTime::milliseconds(2500));
   handle.cancel();
@@ -150,7 +150,7 @@ TEST(SimulatorPeriodicTest, CancelFromWithinCallback) {
   Simulator sim;
   int fires = 0;
   PeriodicHandle handle;
-  handle = sim.schedule_periodic(SimTime::zero(), SimTime::seconds(1), [&] {
+  handle = sim.schedule_periodic(SimDuration::zero(), SimDuration::seconds(1), [&] {
     if (++fires == 2) handle.cancel();
   });
   sim.run_until(SimTime::seconds(10));
@@ -159,7 +159,7 @@ TEST(SimulatorPeriodicTest, CancelFromWithinCallback) {
 
 TEST(SimulatorPeriodicTest, ZeroPeriodThrows) {
   Simulator sim;
-  EXPECT_THROW(sim.schedule_periodic(SimTime::zero(), SimTime::zero(), [] {}),
+  EXPECT_THROW(sim.schedule_periodic(SimDuration::zero(), SimDuration::zero(), [] {}),
                std::invalid_argument);
 }
 

@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 namespace intsched::sim {
 namespace {
 
 TEST(SimTimeTest, DefaultIsZero) {
   EXPECT_EQ(SimTime{}.ns(), 0);
   EXPECT_EQ(SimTime{}, SimTime::zero());
+  EXPECT_EQ(SimDuration{}.ns(), 0);
+  EXPECT_EQ(SimDuration{}, SimDuration::zero());
 }
 
 TEST(SimTimeTest, UnitConstructors) {
@@ -17,10 +21,24 @@ TEST(SimTimeTest, UnitConstructors) {
   EXPECT_EQ(SimTime::seconds(7).ns(), 7'000'000'000);
 }
 
+TEST(SimDurationTest, UnitConstructors) {
+  EXPECT_EQ(SimDuration::nanos(7).ns(), 7);
+  EXPECT_EQ(SimDuration::micros(7).ns(), 7'000);
+  EXPECT_EQ(SimDuration::millis(7).ns(), 7'000'000);
+  EXPECT_EQ(SimDuration::secs(7).ns(), 7'000'000'000);
+  // Long-form spellings are the same factories.
+  EXPECT_EQ(SimDuration::nanoseconds(7), SimDuration::nanos(7));
+  EXPECT_EQ(SimDuration::microseconds(7), SimDuration::micros(7));
+  EXPECT_EQ(SimDuration::milliseconds(7), SimDuration::millis(7));
+  EXPECT_EQ(SimDuration::seconds(7), SimDuration::secs(7));
+}
+
 TEST(SimTimeTest, FromSecondsRoundsTowardZero) {
   EXPECT_EQ(SimTime::from_seconds(1.5).ns(), 1'500'000'000);
   EXPECT_EQ(SimTime::from_seconds(0.0).ns(), 0);
   EXPECT_EQ(SimTime::from_seconds(1e-9).ns(), 1);
+  EXPECT_EQ(SimDuration::from_seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(SimDuration::from_seconds(1e-9).ns(), 1);
 }
 
 TEST(SimTimeTest, Conversions) {
@@ -28,6 +46,10 @@ TEST(SimTimeTest, Conversions) {
   EXPECT_DOUBLE_EQ(t.to_seconds(), 1.5);
   EXPECT_DOUBLE_EQ(t.to_milliseconds(), 1500.0);
   EXPECT_DOUBLE_EQ(t.to_microseconds(), 1'500'000.0);
+  const SimDuration d = SimDuration::millis(1500);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(d.to_milliseconds(), 1500.0);
+  EXPECT_DOUBLE_EQ(d.to_microseconds(), 1'500'000.0);
 }
 
 TEST(SimTimeTest, Comparisons) {
@@ -36,39 +58,68 @@ TEST(SimTimeTest, Comparisons) {
   EXPECT_GT(SimTime::seconds(3), SimTime::seconds(2));
   EXPECT_EQ(SimTime::milliseconds(1000), SimTime::seconds(1));
   EXPECT_NE(SimTime::milliseconds(1001), SimTime::seconds(1));
+  EXPECT_LT(SimDuration::secs(1), SimDuration::secs(2));
+  EXPECT_EQ(SimDuration::millis(1000), SimDuration::secs(1));
 }
 
-TEST(SimTimeTest, AdditionSubtraction) {
+TEST(SimTimeTest, InstantDurationAlgebra) {
   const SimTime a = SimTime::seconds(2);
-  const SimTime b = SimTime::milliseconds(500);
+  const SimDuration b = SimDuration::millis(500);
   EXPECT_EQ((a + b).ns(), 2'500'000'000);
+  EXPECT_EQ((b + a).ns(), 2'500'000'000);
   EXPECT_EQ((a - b).ns(), 1'500'000'000);
   SimTime c = a;
   c += b;
   EXPECT_EQ(c, SimTime::milliseconds(2500));
+  c -= b;
+  EXPECT_EQ(c, a);
+  // instant - instant is a duration.
+  EXPECT_EQ(c - a, SimDuration::zero());
+  EXPECT_EQ(SimTime::at(b), SimTime::milliseconds(500));
+  EXPECT_EQ(SimTime::milliseconds(500).since_epoch(), b);
+}
+
+TEST(SimDurationTest, AdditionSubtraction) {
+  const SimDuration a = SimDuration::secs(2);
+  const SimDuration b = SimDuration::millis(500);
+  EXPECT_EQ((a + b).ns(), 2'500'000'000);
+  EXPECT_EQ((a - b).ns(), 1'500'000'000);
+  SimDuration c = a;
+  c += b;
+  EXPECT_EQ(c, SimDuration::millis(2500));
   c -= a;
   EXPECT_EQ(c, b);
+  EXPECT_EQ((-b).ns(), -500'000'000);
 }
 
 TEST(SimTimeTest, DifferencesMayBeNegative) {
-  const SimTime d = SimTime::seconds(1) - SimTime::seconds(3);
+  const SimDuration d = SimTime::seconds(1) - SimTime::seconds(3);
   EXPECT_EQ(d.ns(), -2'000'000'000);
-  EXPECT_LT(d, SimTime::zero());
+  EXPECT_LT(d, SimDuration::zero());
 }
 
-TEST(SimTimeTest, ScalarMultiplyDivide) {
-  EXPECT_EQ(SimTime::seconds(2) * 3, SimTime::seconds(6));
-  EXPECT_EQ(3 * SimTime::seconds(2), SimTime::seconds(6));
-  EXPECT_EQ(SimTime::seconds(6) / 3, SimTime::seconds(2));
+TEST(SimDurationTest, ScalarMultiplyDivide) {
+  EXPECT_EQ(SimDuration::secs(2) * 3, SimDuration::secs(6));
+  EXPECT_EQ(3 * SimDuration::secs(2), SimDuration::secs(6));
+  EXPECT_EQ(SimDuration::secs(6) / 3, SimDuration::secs(2));
 }
 
-TEST(SimTimeTest, DurationRatio) {
-  EXPECT_DOUBLE_EQ(SimTime::seconds(3) / SimTime::seconds(2), 1.5);
+TEST(SimDurationTest, DurationRatio) {
+  EXPECT_DOUBLE_EQ(SimDuration::secs(3) / SimDuration::secs(2), 1.5);
 }
 
 TEST(SimTimeTest, MaxIsHuge) {
   EXPECT_GT(SimTime::max(), SimTime::seconds(1'000'000'000));
+  EXPECT_GT(SimDuration::max(), SimDuration::secs(1'000'000'000));
+  EXPECT_LT(SimTime::min(), SimTime::zero());
 }
+
+// The algebra is closed: operations that only make sense on durations do
+// not exist on instants, and the two types do not implicitly convert.
+static_assert(!std::is_convertible_v<SimTime, SimDuration>);
+static_assert(!std::is_convertible_v<SimDuration, SimTime>);
+static_assert(!std::is_convertible_v<std::int64_t, SimTime>);
+static_assert(!std::is_convertible_v<std::int64_t, SimDuration>);
 
 TEST(SimTimeToStringTest, PicksUnits) {
   EXPECT_EQ(to_string(SimTime::seconds(3)), "3s");
@@ -77,6 +128,8 @@ TEST(SimTimeToStringTest, PicksUnits) {
   EXPECT_EQ(to_string(SimTime::microseconds(7)), "7.000us");
   EXPECT_EQ(to_string(SimTime::nanoseconds(42)), "42ns");
   EXPECT_EQ(to_string(SimTime::zero()), "0s");
+  EXPECT_EQ(to_string(SimDuration::millis(12)), "12.000ms");
+  EXPECT_EQ(to_string(SimDuration::zero()), "0s");
 }
 
 }  // namespace

@@ -15,26 +15,26 @@ TEST(DataRateTest, UnitConstructors) {
 TEST(DataRateTest, TransmissionTime) {
   // 1500 B at 12 Mbps = 1 ms.
   const DataRate rate = DataRate::megabits_per_second(12.0);
-  EXPECT_EQ(rate.transmission_time(1500), SimTime::milliseconds(1));
+  EXPECT_EQ(rate.transmission_time(1500), SimDuration::millis(1));
 }
 
 TEST(DataRateTest, TransmissionTimeScalesLinearly) {
   const DataRate rate = DataRate::megabits_per_second(8.0);
-  const SimTime one = rate.transmission_time(1000);
-  const SimTime two = rate.transmission_time(2000);
+  const SimDuration one = rate.transmission_time(1000);
+  const SimDuration two = rate.transmission_time(2000);
   EXPECT_EQ(two.ns(), 2 * one.ns());
 }
 
 TEST(DataRateTest, BytesInWindow) {
   const DataRate rate = DataRate::megabits_per_second(8.0);  // 1 MB/s
-  EXPECT_EQ(rate.bytes_in(SimTime::seconds(1)), 1'000'000);
-  EXPECT_EQ(rate.bytes_in(SimTime::milliseconds(1)), 1'000);
+  EXPECT_EQ(rate.bytes_in(SimDuration::secs(1)), 1'000'000);
+  EXPECT_EQ(rate.bytes_in(SimDuration::millis(1)), 1'000);
 }
 
 TEST(DataRateTest, RoundTripTransmissionBytes) {
   const DataRate rate = DataRate::megabits_per_second(20.0);
   const Bytes size = 123'456;
-  const SimTime t = rate.transmission_time(size);
+  const SimDuration t = rate.transmission_time(size);
   EXPECT_NEAR(static_cast<double>(rate.bytes_in(t)),
               static_cast<double>(size), 2.0);
 }

@@ -10,7 +10,7 @@
 namespace intsched::telemetry {
 namespace {
 
-net::Packet make_probe(net::NodeId src, net::NodeId dst) {
+net::Packet make_probe(core::NodeId src, core::NodeId dst) {
   net::Packet p;
   p.src = src;
   p.dst = dst;
@@ -22,7 +22,7 @@ net::Packet make_probe(net::NodeId src, net::NodeId dst) {
   return p;
 }
 
-net::Packet make_data(net::NodeId dst) {
+net::Packet make_data(core::NodeId dst) {
   net::Packet p;
   p.dst = dst;
   p.wire_size = 1500;
@@ -43,13 +43,13 @@ struct IntFixture : ::testing::Test {
     a = &topo.add_node<net::Host>("a");
     b = &topo.add_node<net::Host>("b");
     p4::SwitchConfig cfg;
-    cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+    cfg.proc_delay_mean = sim::SimDuration::microseconds(100);
     cfg.proc_jitter_frac = 0.0;
     cfg.stall_probability = 0.0;
     s1 = &topo.add_node<p4::P4Switch>("s1", cfg);
     s2 = &topo.add_node<p4::P4Switch>("s2", cfg);
     net::LinkConfig link;
-    link.prop_delay = sim::SimTime::milliseconds(10);
+    link.prop_delay = sim::SimDuration::milliseconds(10);
     topo.connect(*a, *s1, link);
     topo.connect(*s1, *s2, link);
     topo.connect(*s2, *b, link);
@@ -146,12 +146,12 @@ TEST_F(IntFixture, LinkLatencyInvalidWithoutUpstreamStamp) {
   a->send(make_probe(a->id(), b->id()));  // no host NIC stamp
   sim.run();
   ASSERT_EQ(at_b.size(), 1u);
-  EXPECT_LT(at_b[0].int_stack[0].ingress_link_latency, sim::SimTime::zero());
-  EXPECT_GE(at_b[0].int_stack[1].ingress_link_latency, sim::SimTime::zero());
+  EXPECT_LT(at_b[0].int_stack[0].ingress_link_latency, sim::SimDuration::zero());
+  EXPECT_GE(at_b[0].int_stack[1].ingress_link_latency, sim::SimDuration::zero());
 }
 
 TEST_F(IntFixture, ClockSkewBiasesLinkLatency) {
-  s2->set_clock_skew(sim::SimTime::milliseconds(2));
+  s2->set_clock_skew(sim::SimDuration::milliseconds(2));
   a->send(make_probe(a->id(), b->id()));
   sim.run();
   ASSERT_EQ(at_b.size(), 1u);
@@ -208,7 +208,7 @@ struct IntExtensionFixture : ::testing::Test {
     a = &topo.add_node<net::Host>("a");
     b = &topo.add_node<net::Host>("b");
     p4::SwitchConfig cfg;
-    cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+    cfg.proc_delay_mean = sim::SimDuration::microseconds(100);
     cfg.proc_jitter_frac = 0.0;
     cfg.stall_probability = 0.0;
     sw = &topo.add_node<p4::P4Switch>("sw", cfg);
@@ -313,8 +313,8 @@ TEST_F(HopLatencyFixture, MeasuresDwellTimeOfBurst) {
   a->send(probe());
   sim.run();
   const auto& entry = at_b.back().int_stack.at(0);
-  EXPECT_GT(entry.max_hop_latency, sim::SimTime::microseconds(500));
-  EXPECT_LT(entry.max_hop_latency, sim::SimTime::milliseconds(10));
+  EXPECT_GT(entry.max_hop_latency, sim::SimDuration::microseconds(500));
+  EXPECT_LT(entry.max_hop_latency, sim::SimDuration::milliseconds(10));
 }
 
 TEST_F(HopLatencyFixture, IdleSwitchShowsOnlyProcessing) {
@@ -327,7 +327,7 @@ TEST_F(HopLatencyFixture, IdleSwitchShowsOnlyProcessing) {
   // No queueing: the packet is dequeued the instant it arrives (the
   // egress timestamp is taken before serialization/processing), so the
   // measured dwell is exactly zero on an idle switch.
-  EXPECT_EQ(entry.max_hop_latency, sim::SimTime::zero());
+  EXPECT_EQ(entry.max_hop_latency, sim::SimDuration::zero());
 }
 
 TEST_F(HopLatencyFixture, RegisterResetsAfterCollection) {
@@ -340,7 +340,7 @@ TEST_F(HopLatencyFixture, RegisterResetsAfterCollection) {
   sim.run();
   // Quiet window: only the probe's own dwell remains.
   EXPECT_LT(at_b.back().int_stack.at(0).max_hop_latency,
-            sim::SimTime::microseconds(400));
+            sim::SimDuration::microseconds(400));
 }
 
 }  // namespace

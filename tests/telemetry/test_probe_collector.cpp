@@ -42,7 +42,7 @@ struct ProbeFixture : ::testing::Test {
 
 TEST_F(ProbeFixture, AgentSendsAtConfiguredInterval) {
   ProbeConfig cfg;
-  cfg.interval = sim::SimTime::milliseconds(100);
+  cfg.interval = sim::SimDuration::milliseconds(100);
   ProbeAgent agent{*server, sched->id(), cfg};
   agent.start();
   sim.run_until(sim::SimTime::seconds(1));
@@ -54,8 +54,8 @@ TEST_F(ProbeFixture, AgentSendsAtConfiguredInterval) {
 
 TEST_F(ProbeFixture, StartOffsetDelaysFirstProbe) {
   ProbeConfig cfg;
-  cfg.interval = sim::SimTime::milliseconds(100);
-  cfg.start_offset = sim::SimTime::milliseconds(550);
+  cfg.interval = sim::SimDuration::milliseconds(100);
+  cfg.start_offset = sim::SimDuration::milliseconds(550);
   ProbeAgent agent{*server, sched->id(), cfg};
   agent.start();
   sim.run_until(sim::SimTime::seconds(1));
@@ -82,8 +82,8 @@ TEST_F(ProbeFixture, FinalLinkLatencyMeasured) {
   sim.run_until(sim::SimTime::milliseconds(150));
   ASSERT_FALSE(reports.empty());
   // Switch -> scheduler host: 10 ms prop + serialization + no queueing.
-  EXPECT_GT(reports[0].final_link_latency, sim::SimTime::milliseconds(9));
-  EXPECT_LT(reports[0].final_link_latency, sim::SimTime::milliseconds(12));
+  EXPECT_GT(reports[0].final_link_latency, sim::SimDuration::milliseconds(9));
+  EXPECT_LT(reports[0].final_link_latency, sim::SimDuration::milliseconds(12));
 }
 
 TEST_F(ProbeFixture, NonProbePacketsIgnored) {
@@ -99,7 +99,7 @@ TEST_F(ProbeFixture, NonProbePacketsIgnored) {
 TEST_F(ProbeFixture, MisaddressedProbeCountsMalformed) {
   net::Packet probe;
   probe.src = server->id();
-  probe.dst = 42;  // not the collector's host
+  probe.dst = core::NodeId{42};  // not the collector's host
   probe.geneve = net::GeneveOption{.type = net::kIntProbeOptionType};
   EXPECT_FALSE(collector->handle_packet(probe));
   EXPECT_EQ(collector->malformed(), 1);
@@ -111,7 +111,7 @@ TEST_F(ProbeFixture, RepeatedDeviceInStackRejected) {
   probe.dst = sched->id();
   probe.geneve = net::GeneveOption{.type = net::kIntProbeOptionType};
   net::IntStackEntry e;
-  e.device = 7;
+  e.device = core::NodeId{7};
   probe.int_stack = {e, e};  // impossible: a device repeated back-to-back
   EXPECT_FALSE(collector->handle_packet(probe));
   EXPECT_EQ(collector->malformed(), 1);
@@ -154,9 +154,9 @@ TEST_F(ProbeFixture, NonConsecutiveRepeatAccepted) {
   probe.dst = sched->id();
   probe.geneve = net::GeneveOption{.type = net::kIntProbeOptionType};
   net::IntStackEntry a, b, c;
-  a.device = 7;
-  b.device = 8;
-  c.device = 7;
+  a.device = core::NodeId{7};
+  b.device = core::NodeId{8};
+  c.device = core::NodeId{7};
   probe.int_stack = {a, b, c};
   EXPECT_TRUE(collector->handle_packet(probe));
   EXPECT_EQ(collector->malformed(), 0);
@@ -166,12 +166,12 @@ TEST_F(ProbeFixture, NonConsecutiveRepeatAccepted) {
 
 TEST_F(ProbeFixture, SetIntervalRestartsTimer) {
   ProbeConfig cfg;
-  cfg.interval = sim::SimTime::milliseconds(100);
+  cfg.interval = sim::SimDuration::milliseconds(100);
   ProbeAgent agent{*server, sched->id(), cfg};
   agent.start();
   sim.run_until(sim::SimTime::milliseconds(250));  // 3 probes: 0,100,200
-  agent.set_interval(sim::SimTime::seconds(1));
-  EXPECT_EQ(agent.interval(), sim::SimTime::seconds(1));
+  agent.set_interval(sim::SimDuration::seconds(1));
+  EXPECT_EQ(agent.interval(), sim::SimDuration::seconds(1));
   sim.run_until(sim::SimTime::milliseconds(1500));
   // Restart sends immediately at 250 ms (offset 0) then at 1250 ms.
   EXPECT_EQ(agent.probes_sent(), 5);

@@ -14,10 +14,10 @@
 namespace intsched::telemetry {
 namespace {
 
-ProbeReport report(net::NodeId src) {
+ProbeReport report(core::NodeId src) {
   ProbeReport r;
   r.src = src;
-  r.dst = 1;
+  r.dst = core::NodeId{1};
   return r;
 }
 
@@ -28,23 +28,23 @@ TEST(ReportBatcherTest, RejectsInvalidConstruction) {
 }
 
 TEST(ReportBatcherTest, BuffersUntilExplicitFlush) {
-  std::vector<std::vector<net::NodeId>> batches;
+  std::vector<std::vector<core::NodeId>> batches;
   ReportBatcher batcher{[&batches](const std::vector<ProbeReport>& batch) {
-                          std::vector<net::NodeId> srcs;
+                          std::vector<core::NodeId> srcs;
                           for (const auto& r : batch) srcs.push_back(r.src);
                           batches.push_back(srcs);
                         },
                         8};
 
-  batcher.add(report(10));
-  batcher.add(report(11));
-  batcher.add(report(12));
+  batcher.add(report(core::NodeId{10}));
+  batcher.add(report(core::NodeId{11}));
+  batcher.add(report(core::NodeId{12}));
   EXPECT_TRUE(batches.empty());
   EXPECT_EQ(batcher.pending(), 3u);
 
   batcher.flush();
   ASSERT_EQ(batches.size(), 1u);
-  EXPECT_EQ(batches[0], (std::vector<net::NodeId>{10, 11, 12}));
+  EXPECT_EQ(batches[0], (std::vector<core::NodeId>{core::NodeId{10}, core::NodeId{11}, core::NodeId{12}}));
   EXPECT_EQ(batcher.pending(), 0u);
   EXPECT_EQ(batcher.reports_batched(), 3);
   EXPECT_EQ(batcher.batches_emitted(), 1);
@@ -57,7 +57,7 @@ TEST(ReportBatcherTest, AutoFlushesAtMaxBatch) {
                         },
                         4};
 
-  for (int i = 0; i < 10; ++i) batcher.add(report(i));
+  for (int i = 0; i < 10; ++i) batcher.add(report(core::NodeId{i}));
   // 10 adds with max_batch=4: two automatic flushes, 2 pending.
   EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{4, 4}));
   EXPECT_EQ(batcher.pending(), 2u);
@@ -79,15 +79,15 @@ TEST(ReportBatcherTest, FlushOnEmptyBufferIsANoOp) {
 }
 
 TEST(ReportBatcherTest, PreservesOrderAndCountAcrossManyBursts) {
-  std::vector<net::NodeId> delivered;
+  std::vector<core::NodeId> delivered;
   ReportBatcher batcher{[&delivered](const std::vector<ProbeReport>& batch) {
                           for (const auto& r : batch)
                             delivered.push_back(r.src);
                         },
                         5};
 
-  std::vector<net::NodeId> expected;
-  for (net::NodeId i = 0; i < 37; ++i) {
+  std::vector<core::NodeId> expected;
+  for (core::NodeId i = core::NodeId{0}; i < core::NodeId{37}; ++i) {
     batcher.add(report(i));
     expected.push_back(i);
   }

@@ -20,12 +20,12 @@ struct AppsFixture : ::testing::Test {
     a = &topo.add_node<net::Host>("a");
     b = &topo.add_node<net::Host>("b");
     p4::SwitchConfig cfg;
-    cfg.proc_delay_mean = sim::SimTime::microseconds(50);
+    cfg.proc_delay_mean = sim::SimDuration::microseconds(50);
     cfg.proc_jitter_frac = 0.0;
     cfg.stall_probability = 0.0;
     auto& sw = topo.add_node<p4::P4Switch>("sw", cfg);
     net::LinkConfig link;
-    link.prop_delay = sim::SimTime::milliseconds(10);
+    link.prop_delay = sim::SimDuration::milliseconds(10);
     topo.connect(*a, sw, link);
     topo.connect(*b, sw, link);
     topo.install_routes();
@@ -41,7 +41,7 @@ TEST_F(AppsFixture, CbrSendsAtConfiguredRate) {
   cfg.packet_size = 1500;  // 1 ms spacing
   IperfUdpSink sink{*stack_b};
   IperfUdpSender sender{*stack_a, b->id(), cfg};
-  sender.start(sim::SimTime::seconds(1));
+  sender.start(sim::SimDuration::seconds(1));
   sim.run();
   // 1 packet per ms for 1 s (t=0 inclusive, stop at t=1s).
   EXPECT_NEAR(static_cast<double>(sender.packets_sent()), 1000.0, 2.0);
@@ -53,7 +53,7 @@ TEST_F(AppsFixture, SinkGoodputMatchesRate) {
   cfg.rate = sim::DataRate::megabits_per_second(10.0);
   IperfUdpSink sink{*stack_b};
   IperfUdpSender sender{*stack_a, b->id(), cfg};
-  sender.start(sim::SimTime::seconds(5));
+  sender.start(sim::SimDuration::seconds(5));
   sim.run();
   EXPECT_NEAR(sink.goodput().mbps(), 10.0, 0.5);
 }
@@ -85,7 +85,7 @@ TEST_F(AppsFixture, TcpBulkTransferReportsThroughput) {
   EXPECT_TRUE(sender.complete());
   EXPECT_EQ(server.transfers_completed(), 1);
   EXPECT_GT(sender.throughput().mbps(), 10.0);
-  EXPECT_GT(sender.elapsed(), sim::SimTime::zero());
+  EXPECT_GT(sender.elapsed(), sim::SimDuration::zero());
 }
 
 TEST_F(AppsFixture, PingMeasuresBaselineRtt) {
@@ -127,7 +127,7 @@ TEST_F(AppsFixture, PingRttInflatesUnderCongestion) {
   IperfUdpSender::Config cfg;
   cfg.rate = sim::DataRate::megabits_per_second(90.0);
   IperfUdpSender flood{*stack_a, b->id(), cfg};
-  flood.start(sim::SimTime::seconds(5));
+  flood.start(sim::SimDuration::seconds(5));
   PingApp loaded{*stack_a, b->id()};
   loaded.start();
   sim.run_until(sim::SimTime::seconds(8));

@@ -28,12 +28,12 @@ struct TcpFixture : ::testing::Test {
     a = &topo.add_node<net::Host>("a");
     b = &topo.add_node<net::Host>("b");
     p4::SwitchConfig cfg;
-    cfg.proc_delay_mean = sim::SimTime::microseconds(100);
+    cfg.proc_delay_mean = sim::SimDuration::microseconds(100);
     cfg.proc_jitter_frac = 0.0;
     cfg.stall_probability = 0.0;
     sw = &topo.add_node<p4::P4Switch>("sw", cfg);
     net::LinkConfig link;
-    link.prop_delay = sim::SimTime::milliseconds(5);
+    link.prop_delay = sim::SimDuration::milliseconds(5);
     link.queue_capacity_pkts = switch_queue_capacity;
     topo.connect(*a, *sw, link);
     topo.connect(*b, *sw, link);
@@ -43,7 +43,7 @@ struct TcpFixture : ::testing::Test {
     stack_b = std::make_unique<HostStack>(*b);
     listener = std::make_unique<TcpListener>(
         *stack_b, net::kTaskPort,
-        [this](net::NodeId, sim::Bytes bytes,
+        [this](core::NodeId, sim::Bytes bytes,
                std::shared_ptr<const net::AppMessage> msg) {
           received_bytes = bytes;
           received_msg = std::move(msg);
@@ -109,10 +109,10 @@ TEST_F(TcpFixture, TransferTimeBoundedByHandshakePlusSerialization) {
   sender.start();
   sim.run();
   // >= 2 RTT-ish (handshake + data); one-way is ~10.2 ms.
-  const sim::SimTime elapsed =
+  const sim::SimDuration elapsed =
       sender.completion_time() - sender.start_time();
-  EXPECT_GT(elapsed, sim::SimTime::milliseconds(40));
-  EXPECT_LT(elapsed, sim::SimTime::milliseconds(120));
+  EXPECT_GT(elapsed, sim::SimDuration::milliseconds(40));
+  EXPECT_LT(elapsed, sim::SimDuration::milliseconds(120));
 }
 
 TEST_F(TcpFixture, RecoversFromHeavyLoss) {
@@ -143,8 +143,8 @@ TEST_F(TcpFixture, RttEstimateTracksPath) {
   sim.run();
   // Path RTT ~20.5 ms (2x 5 ms prop each way + service); srtt should be
   // in a sane band even with queueing.
-  EXPECT_GT(sender.smoothed_rtt(), sim::SimTime::milliseconds(15));
-  EXPECT_LT(sender.smoothed_rtt(), sim::SimTime::milliseconds(120));
+  EXPECT_GT(sender.smoothed_rtt(), sim::SimDuration::milliseconds(15));
+  EXPECT_LT(sender.smoothed_rtt(), sim::SimDuration::milliseconds(120));
 }
 
 TEST_F(TcpFixture, ParallelTransfersBothComplete) {
@@ -241,7 +241,7 @@ TEST_F(TcpFixture, BidirectionalTransfersShareThePath) {
   // Reverse-direction listener on a.
   sim::Bytes reverse_bytes = 0;
   TcpListener reverse{*stack_a, net::kTaskPort,
-                      [&](net::NodeId, sim::Bytes bytes,
+                      [&](core::NodeId, sim::Bytes bytes,
                           std::shared_ptr<const net::AppMessage>) {
                         reverse_bytes = bytes;
                       }};

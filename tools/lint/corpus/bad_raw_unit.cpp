@@ -1,0 +1,18 @@
+// Corpus: raw arithmetic declarations whose names encode units. Each one
+// is a latent unit-mixing bug the strong-type layer (sim::SimDuration,
+// sim::SimTime, core::Epoch) exists to make uncompilable.
+#include <cstdint>
+
+struct ProbeConfig {
+  std::int64_t interval_ns = 0;  // expect(raw-unit)
+  double timeout_ms = 0.0;  // expect(raw-unit)
+  std::int64_t queue_window = 0;  // expect(raw-unit)
+};
+
+struct LinkState {
+  std::int64_t link_delay = 0;  // expect(raw-unit)
+  double hop_latency = 0.0;  // expect(raw-unit)
+  std::int64_t epoch = 0;  // expect(raw-unit)
+};
+
+std::int64_t smooth(std::int64_t last_rtt, double srtt_ms);  // expect(raw-unit) expect(raw-unit)

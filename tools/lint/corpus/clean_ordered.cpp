@@ -50,6 +50,8 @@ class CleanTable {
 
 // A local clock abstraction named like the C API must not trip wall-clock.
 struct FakeClock {
+  // Corpus fixture models a raw tick count on purpose (the real code
+  // would use sim::SimTime).  // intsched-lint: allow(raw-unit)
   std::int64_t now_ns = 0;
   [[nodiscard]] std::int64_t local_time() const { return now_ns; }
 };

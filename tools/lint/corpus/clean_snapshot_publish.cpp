@@ -16,6 +16,8 @@
 #define GUARDED_BY(x)  // stand-in for INTSCHED_GUARDED_BY in real code
 
 struct Snapshot {
+  // Fixture keeps the raw epoch to stay dependency-free; real code uses
+  // core::Epoch (types.hpp).  // intsched-lint: allow(raw-unit)
   std::int64_t epoch = 0;
 };
 

@@ -1,0 +1,46 @@
+// Corpus: correct snapshot usage — handles stay within their frame, or
+// cross into deferred work by value (the handle is a cheap shared_ptr
+// copy that legitimately extends the pinned snapshot's lifetime).
+#include <functional>
+#include <memory>
+
+struct Rank {
+  int server = 0;
+};
+
+struct Snapshot {
+  Rank best;
+};
+
+struct Map {
+  std::shared_ptr<const Snapshot> rank_snapshot() const { return snap_; }
+  std::shared_ptr<const Snapshot> snap_;
+};
+
+struct Scheduler {
+  void schedule_after(long ticks, std::function<void()> cb);
+};
+
+struct Service {
+  Map map;
+  Scheduler sched;
+
+  int read_in_frame() {
+    auto snap = map.rank_snapshot();
+    return snap->best.server;  // value copied out, handle dies here
+  }
+
+  void defer_by_value() {
+    auto snap = map.rank_snapshot();
+    // By-value capture: the lambda owns its own handle, pinning the
+    // snapshot until the callback retires. No dangling reference.
+    sched.schedule_after(10, [snap] { (void)snap->best.server; });
+  }
+
+  void reacquire_inside() {
+    sched.schedule_after(10, [this] {
+      auto fresh = map.rank_snapshot();
+      (void)fresh->best.server;
+    });
+  }
+};

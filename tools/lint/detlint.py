@@ -45,6 +45,26 @@ invariants"):
                    latent race or a stale-read bug. Use the seq_cst
                    default, acquire/release, or justify the counter read
                    with allow(atomic-ordering).
+  snapshot-escape  a reference into an RCU-style snapshot outliving the
+                   snapshot handle: taking `&snap...` in a return statement
+                   or storing it into a member, or capturing a snapshot
+                   local by reference in a lambda handed to the event
+                   scheduler. Published snapshots are immutable but their
+                   *handles* pin the memory; an escaped reference reads
+                   freed or superseded state after the next publish.
+  hotpath-alloc    heap allocation (new/make_unique/make_shared/malloc or
+                   construction of an allocating std:: container) inside a
+                   scheduler hot-path function (HOT_PATH_FUNCTIONS, plus
+                   any function marked `// intsched-lint: hot-path` on the
+                   line above). The lock-free read path budget is zero
+                   allocations per decision (DESIGN.md §10); hoist the
+                   buffer to the caller or a member scratch area.
+  raw-unit         a raw arithmetic parameter/field whose name encodes a
+                   unit or time-like quantity (`*_ns`, `*_ms`, `*delay*`,
+                   `*latency*`, `*epoch*`, ...). Raw int64/double unit
+                   values are exactly the bug class the strong-type layer
+                   (sim::SimDuration/SimTime, core::Epoch) removes; declare
+                   the typed quantity instead of the raw count.
 
 Suppression: append `// intsched-lint: allow(<rule>[, <rule>...])` to the
 offending line or the line directly above it. For a file that is *itself*
@@ -54,6 +74,12 @@ suppresses those rules for the whole file. Suppressions are deliberate
 review-visible annotations — use them only when the iteration order (or
 thread confinement) provably cannot reach any ordered output (and say why
 in a comment).
+
+Suppression hygiene is itself checked: an allow()/allow-file() naming a
+rule this linter does not define is an error (exit 1 — typos silently
+disable nothing), and a suppression that matches no finding is reported
+as unused (an error under --strict-suppressions) so stale annotations
+don't accumulate as the code they excused moves away.
 
 Engines: `--engine clang` uses libclang (python3-clang) for type-accurate
 unordered-iter detection; `--engine regex` is a dependency-free fallback;
@@ -83,6 +109,9 @@ RULES = (
     "mutex-no-guard",
     "raw-thread",
     "atomic-ordering",
+    "snapshot-escape",
+    "hotpath-alloc",
+    "raw-unit",
 )
 
 # The one file allowed to create threads (the pool implementation); the
@@ -101,6 +130,8 @@ FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+(\w+)\s*(?:=|;|\{)")
 ALLOW_RE = re.compile(r"//.*?\bintsched-lint:\s*allow\(([^)]*)\)")
 ALLOW_FILE_RE = re.compile(r"//.*?\bintsched-lint:\s*allow-file\(([^)]*)\)")
 EXPECT_RE = re.compile(r"//.*?\bexpect\((\w[\w-]*)\)")
+EXPECT_ERROR_RE = re.compile(r"//.*?\bexpect-error\(([^)]+)\)")
+EXPECT_WARNING_RE = re.compile(r"//.*?\bexpect-warning\(([^)]+)\)")
 
 TEXT_RULES: Sequence[Tuple[str, re.Pattern, str]] = (
     ("wall-clock",
@@ -241,6 +272,176 @@ def concurrency_findings(path: str, stripped: str) -> List[Finding]:
             "bump: relaxed accesses publish nothing (no happens-before); "
             "use the seq_cst default or acquire/release, or justify a "
             "counter read with allow(atomic-ordering)"))
+
+    return findings
+
+
+# -- v2 rule families: snapshot-escape, hotpath-alloc, raw-unit ----------
+#
+# All three are structure-sensitive: they reason about declaration scopes,
+# function bodies, and statement boundaries recovered from the stripped
+# source (a lightweight syntax tree), not about single lines.
+
+# Locals bound to an RCU-style snapshot handle: `auto snap = x.snapshot();`
+# `const MetroView& v = map.metro_snapshot();` `... = service.acquire();`
+SNAPSHOT_BIND_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*=\s*[\w.\->:]*\b(?:\w*snapshot\w*|acquire)\s*\(")
+# Event-scheduler entry points whose callbacks outlive the caller's frame.
+DEFERRED_CALL_RE = re.compile(
+    r"\b(?:schedule_at|schedule_after|schedule_periodic|submit|post|defer)"
+    r"\s*\(")
+
+# The scheduler's lock-free decision path: zero allocations per call
+# (DESIGN.md §10). Extend locally with `// intsched-lint: hot-path` on the
+# line above a function definition.
+HOT_PATH_FUNCTIONS = frozenset((
+    "pick_server",
+    "rank_servers",
+    "best_region",
+    "estimate_path_delay",
+    "path_delay_estimate",
+    "estimate_k_factor",
+    "egress_service_delay",
+    "try_transmit",
+    "device_hop_latency",
+    "link_delay",
+))
+HOT_PATH_MARK_RE = re.compile(r"//.*?\bintsched-lint:\s*hot-path\b")
+
+HOT_ALLOC_RES: Sequence[Tuple[re.Pattern, str]] = (
+    (re.compile(r"(?<![\w:])new\b(?!\s*\()"), "raw `new`"),
+    (re.compile(r"\bstd::make_(?:unique|shared)\s*<"),
+     "std::make_unique/make_shared"),
+    (re.compile(r"(?<![\w.>:])(?:std\s*::\s*)?(?:malloc|calloc|realloc)"
+                r"\s*\("),
+     "C heap allocation"),
+    (re.compile(r"\bstd::(?:vector|deque|list|(?:unordered_)?(?:multi)?"
+                r"(?:map|set)|basic_string)\s*<[^;{}()]*>\s+[A-Za-z_]\w*"
+                r"\s*[;({=]"),
+     "allocating container constructed locally"),
+    (re.compile(r"\bstd::string\s+[A-Za-z_]\w*\s*[;({=]"),
+     "std::string constructed locally"),
+)
+
+# Raw arithmetic declarations whose *name* encodes a unit or time-like
+# quantity. Fractions/ratios/counters are legitimately raw; exclude them.
+RAW_UNIT_RE = re.compile(
+    r"\b(?:std::)?(?:u?int(?:8|16|32|64)_t|long\s+long|long|int|double|"
+    r"float)\s+"
+    r"([A-Za-z_]\w*(?:_ns|_us|_ms|_sec|_secs)|"
+    r"[A-Za-z_]*(?:delay|latency|interval|window|timeout|staleness|rtt|"
+    r"epoch)_?)\s*(?=[,)=;{\[])")
+RAW_UNIT_EXEMPT_RE = re.compile(
+    r"(?:_frac|_fraction|_ratio|_factor|_scale|_count|_chance|_pkts|"
+    r"_bytes|_idx|_index)\w*$|(?:^|_)per_")
+
+
+def function_body_spans(stripped: str,
+                        hot_lines: Set[int]) -> List[Tuple[str, int, int]]:
+    """(name, body_start, body_end) for every definition of a hot-path
+    function: named in HOT_PATH_FUNCTIONS or marked hot on the previous
+    line."""
+    spans: List[Tuple[str, int, int]] = []
+    for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", stripped):
+        name = m.group(1)
+        line = line_of(stripped, m.start())
+        marked = (line - 1) in hot_lines or line in hot_lines
+        if name not in HOT_PATH_FUNCTIONS and not marked:
+            continue
+        close = find_matching_paren(stripped, m.end() - 1)
+        if close < 0:
+            continue
+        # Definition, not declaration/call: scan past qualifiers
+        # (const/noexcept/override/trailing return/ctor-inits) to `{`;
+        # a `;` or operator first means it wasn't a definition.
+        i = close + 1
+        n = len(stripped)
+        body_open = -1
+        while i < n:
+            c = stripped[i]
+            if c == "{":
+                body_open = i
+                break
+            if c in ";=}" or (c == ")" or c == "("):
+                break
+            i += 1
+        if body_open < 0:
+            continue
+        depth = 0
+        for j in range(body_open, n):
+            if stripped[j] == "{":
+                depth += 1
+            elif stripped[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    spans.append((name, body_open, j + 1))
+                    break
+        else:
+            spans.append((name, body_open, n))
+    return spans
+
+
+def v2_findings(path: str, text: str, stripped: str) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # --- snapshot-escape -------------------------------------------------
+    snap_locals = {m.group(1) for m in SNAPSHOT_BIND_RE.finditer(stripped)}
+    for name in sorted(snap_locals):
+        # Escape 1: address-of the handle (or data reached through it)
+        # returned or persisted into a member (trailing-underscore LHS).
+        for m in re.finditer(
+                rf"(?:\breturn\s+|[A-Za-z_]\w*_\s*=\s*)&\s*{name}\b",
+                stripped):
+            findings.append(Finding(
+                path, line_of(stripped, m.start()), "snapshot-escape",
+                f"address of snapshot handle '{name}' escapes its frame: "
+                "the pointee is reclaimed after the next publish; copy the "
+                "value or re-acquire the snapshot at use"))
+        # Escape 2: reference-capturing lambda over the handle given to the
+        # event scheduler — the callback runs after the frame is gone.
+        for m in DEFERRED_CALL_RE.finditer(stripped):
+            open_paren = stripped.index("(", m.start())
+            close = find_matching_paren(stripped, open_paren)
+            if close < 0:
+                continue
+            args = stripped[open_paren:close]
+            if re.search(r"\[\s*&", args) and re.search(
+                    rf"\b{name}\b", args):
+                findings.append(Finding(
+                    path, line_of(stripped, m.start()), "snapshot-escape",
+                    f"snapshot handle '{name}' captured by reference in a "
+                    "deferred callback: the callback outlives the frame "
+                    "holding the snapshot; capture by value (the handle is "
+                    "a cheap shared_ptr) or re-acquire inside the callback"))
+
+    # --- hotpath-alloc ---------------------------------------------------
+    hot_lines: Set[int] = set()
+    for i, raw in enumerate(text.splitlines(), start=1):
+        if HOT_PATH_MARK_RE.search(raw):
+            hot_lines.add(i + 1)  # marks the function on the next line
+    for name, start, end in function_body_spans(stripped, hot_lines):
+        body = stripped[start:end]
+        for pattern, what in HOT_ALLOC_RES:
+            for m in pattern.finditer(body):
+                findings.append(Finding(
+                    path, line_of(stripped, start + m.start()),
+                    "hotpath-alloc",
+                    f"{what} in hot-path function '{name}': the decision "
+                    "path budget is zero allocations per call (DESIGN.md "
+                    "§10); hoist the buffer to the caller or a member "
+                    "scratch area, or justify with allow(hotpath-alloc)"))
+
+    # --- raw-unit --------------------------------------------------------
+    for m in RAW_UNIT_RE.finditer(stripped):
+        name = m.group(1)
+        if RAW_UNIT_EXEMPT_RE.search(name):
+            continue
+        findings.append(Finding(
+            path, line_of(stripped, m.start()), "raw-unit",
+            f"raw arithmetic declaration '{name}' encodes a unit in its "
+            "name: use the strong type (sim::SimDuration/SimTime for time "
+            "spans/instants, core::Epoch for snapshot freshness) so unit "
+            "mixups fail to compile"))
 
     return findings
 
@@ -407,6 +608,7 @@ def regex_file_findings(path: str, text: str,
             findings.append(Finding(path, line_of(stripped, m.start()),
                                     rule, msg))
     findings.extend(concurrency_findings(path, stripped))
+    findings.extend(v2_findings(path, text, stripped))
 
     unordered = collect_unordered_names(stripped)
     if pool is not None:
@@ -498,6 +700,7 @@ def clang_file_findings(path: str, text: str) -> Optional[List[Finding]]:
             findings.append(Finding(path, line_of(stripped, m.start()),
                                     rule, msg))
     findings.extend(concurrency_findings(path, stripped))
+    findings.extend(v2_findings(path, text, stripped))
 
     def walk(cursor) -> None:
         for child in cursor.get_children():
@@ -539,8 +742,13 @@ def suppressed_rules(lines: Sequence[str], line_no: int) -> Set[str]:
 
 def lint_file(path: str, engine: str,
               pool: Optional[Set[str]] = None
-              ) -> Tuple[List[Finding], List[str]]:
-    """Returns (active findings, warnings about unknown suppressions)."""
+              ) -> Tuple[List[Finding], List[str], List[str]]:
+    """Returns (active findings, hygiene errors, hygiene warnings).
+
+    Hygiene errors are suppression annotations naming rules this linter
+    does not define: a typo there silently disables nothing, so it fails
+    the run (exit 1) even when the code itself is clean. Hygiene warnings
+    are unused suppressions — annotations that matched no finding."""
     with open(path, encoding="utf-8", errors="replace") as f:
         text = f.read()
     lines = text.splitlines()
@@ -554,6 +762,10 @@ def lint_file(path: str, engine: str,
     if findings is None:
         findings = regex_file_findings(path, text, pool)
 
+    raw_pairs = {(f.line, f.rule) for f in findings}
+    rules_hit = {f.rule for f in findings}
+
+    errors: List[str] = []
     warnings: List[str] = []
     file_allowed: Set[str] = set()
     for i, raw in enumerate(lines, start=1):
@@ -561,16 +773,30 @@ def lint_file(path: str, engine: str,
         if m:
             for r in (s.strip() for s in m.group(1).split(",")):
                 if r not in RULES:
+                    errors.append(
+                        f"{path}:{i}: unknown rule '{r}' in allow() — "
+                        "this suppresses nothing (typo?); known rules: "
+                        "--list-rules")
+                elif (i, r) not in raw_pairs and (i + 1, r) not in raw_pairs:
                     warnings.append(
-                        f"{path}:{i}: unknown rule '{r}' in allow()")
+                        f"{path}:{i}: unused suppression allow({r}): no "
+                        f"[{r}] finding on this line or the next — the "
+                        "code it excused has moved; delete the annotation")
         m = ALLOW_FILE_RE.search(raw)
         if m:
             for r in (s.strip() for s in m.group(1).split(",")):
                 if r in RULES:
                     file_allowed.add(r)
+                    if r not in rules_hit:
+                        warnings.append(
+                            f"{path}:{i}: unused suppression "
+                            f"allow-file({r}): no [{r}] finding anywhere "
+                            "in this file; delete the annotation")
                 else:
-                    warnings.append(
-                        f"{path}:{i}: unknown rule '{r}' in allow-file()")
+                    errors.append(
+                        f"{path}:{i}: unknown rule '{r}' in allow-file() — "
+                        "this suppresses nothing (typo?); known rules: "
+                        "--list-rules")
 
     if os.path.basename(path) in RAW_THREAD_BOUNDARY_BASENAMES:
         file_allowed.add("raw-thread")
@@ -580,7 +806,7 @@ def lint_file(path: str, engine: str,
               and f.rule not in suppressed_rules(lines, f.line)]
     # stable report order regardless of rule-pass order
     active.sort(key=lambda f: (f.path, f.line, f.rule))
-    return active, warnings
+    return active, errors, warnings
 
 
 def iter_cxx_files(paths: Iterable[str]) -> List[str]:
@@ -610,22 +836,32 @@ def collect_pool(files: Sequence[str]) -> Set[str]:
     return pool
 
 
-def run_lint(paths: Sequence[str], engine: str) -> int:
+def run_lint(paths: Sequence[str], engine: str,
+             strict_suppressions: bool = False) -> int:
     files = iter_cxx_files(paths)
     if not files:
         print("detlint: no C++ files under given paths", file=sys.stderr)
         return 2
     pool = collect_pool(files)
     total = 0
+    hygiene_errors = 0
     for path in files:
-        findings, warnings = lint_file(path, engine, pool)
+        findings, errors, warnings = lint_file(path, engine, pool)
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        hygiene_errors += len(errors)
         for w in warnings:
-            print(f"warning: {w}", file=sys.stderr)
+            if strict_suppressions:
+                print(f"error: {w}", file=sys.stderr)
+                hygiene_errors += 1
+            else:
+                print(f"warning: {w}", file=sys.stderr)
         for f in findings:
             print(f.render())
         total += len(findings)
-    if total:
-        print(f"detlint: {total} finding(s) in {len(files)} file(s)",
+    if total or hygiene_errors:
+        print(f"detlint: {total} finding(s), {hygiene_errors} suppression "
+              f"hygiene error(s) in {len(files)} file(s)",
               file=sys.stderr)
         return 1
     return 0
@@ -633,7 +869,9 @@ def run_lint(paths: Sequence[str], engine: str) -> int:
 
 def run_self_test(corpus_dir: str, engine: str) -> int:
     """bad_*.cpp must produce exactly their expect() annotations; clean_*.cpp
-    must produce none. The corpus is the linter's regression suite."""
+    must produce none. `expect-error(substr)` / `expect-warning(substr)`
+    annotations assert suppression-hygiene diagnostics the same way. The
+    corpus is the linter's regression suite."""
     files = iter_cxx_files([corpus_dir])
     if not files:
         print(f"detlint: empty corpus at {corpus_dir}", file=sys.stderr)
@@ -643,10 +881,16 @@ def run_self_test(corpus_dir: str, engine: str) -> int:
         with open(path, encoding="utf-8") as f:
             lines = f.read().splitlines()
         expected: Set[Tuple[int, str]] = set()
+        exp_errors: List[str] = []
+        exp_warnings: List[str] = []
         for i, raw in enumerate(lines, start=1):
             for m in EXPECT_RE.finditer(raw):
                 expected.add((i, m.group(1)))
-        findings, _ = lint_file(path, engine)
+            for m in EXPECT_ERROR_RE.finditer(raw):
+                exp_errors.append(m.group(1))
+            for m in EXPECT_WARNING_RE.finditer(raw):
+                exp_warnings.append(m.group(1))
+        findings, errors, warnings = lint_file(path, engine)
         actual = {(f.line, f.rule) for f in findings}
         base = os.path.basename(path)
         if base.startswith("clean_") and expected:
@@ -663,6 +907,22 @@ def run_self_test(corpus_dir: str, engine: str) -> int:
             print(f"SELFTEST SPURIOUS: {base}:{line} reported [{rule}] "
                   "not expected")
             failures += 1
+        # Hygiene diagnostics: every expect-error/expect-warning substring
+        # must match one diagnostic, and no diagnostic may go unexpected.
+        for label, got, want in (("error", errors, exp_errors),
+                                 ("warning", warnings, exp_warnings)):
+            unmatched = list(got)
+            for sub in want:
+                hit = next((d for d in unmatched if sub in d), None)
+                if hit is None:
+                    print(f"SELFTEST MISS: {base} expected a hygiene "
+                          f"{label} containing '{sub}'")
+                    failures += 1
+                else:
+                    unmatched.remove(hit)
+            for d in unmatched:
+                print(f"SELFTEST SPURIOUS: {base} hygiene {label}: {d}")
+                failures += 1
     if failures:
         print(f"detlint self-test: FAIL ({failures} mismatch(es))")
         return 1
@@ -682,6 +942,9 @@ def main(argv: Sequence[str]) -> int:
                              "engine when libclang is unavailable (CI)")
     parser.add_argument("--self-test", action="store_true",
                         help="run against the bundled corpus")
+    parser.add_argument("--strict-suppressions", action="store_true",
+                        help="treat unused suppressions as errors "
+                             "(full-tree CI runs)")
     parser.add_argument("--list-rules", action="store_true")
     args = parser.parse_args(argv)
 
@@ -702,7 +965,8 @@ def main(argv: Sequence[str]) -> int:
         return run_self_test(corpus, args.engine)
     if not args.paths:
         parser.error("paths required unless --self-test/--list-rules")
-    return run_lint(args.paths, args.engine)
+    return run_lint(args.paths, args.engine,
+                    strict_suppressions=args.strict_suppressions)
 
 
 if __name__ == "__main__":
