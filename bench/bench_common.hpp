@@ -1,6 +1,8 @@
 // Shared helpers for the figure-reproduction bench binaries.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <map>
@@ -14,6 +16,74 @@
 #include "intsched/sim/strfmt.hpp"
 
 namespace intsched::benchtool {
+
+/// Log-linear latency histogram (HDR-style): exact below 8 ns, then 8
+/// linear sub-buckets per power of two (~12.5% worst-case resolution).
+/// Fixed footprint, no allocation on the record path — safe inside a
+/// timed loop. Shared by micro_concurrent (per-reader rank latency) and
+/// qps_serve (per-request decision latency); per-thread histograms merge
+/// additively after the measurement window.
+class LatencyHistogram {
+ public:
+  void record(std::int64_t ns) {
+    ++buckets_[bucket_index(ns)];
+    ++count_;
+  }
+
+  /// Pools another thread's histogram into this one (bucket-wise sum).
+  void merge(const LatencyHistogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+  }
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+
+  /// Upper bound (ns) of the bucket holding the q-th quantile
+  /// (0 < q <= 1), nearest-rank; 0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    const auto target = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    std::int64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= target) return static_cast<double>(bucket_upper(i));
+    }
+    return static_cast<double>(bucket_upper(kBuckets - 1));
+  }
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double p999() const { return quantile(0.999); }
+
+ private:
+  static constexpr std::size_t kBuckets = 8 * 62;
+
+  static std::size_t bucket_index(std::int64_t ns) {
+    const std::uint64_t v = ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+    if (v < 8) return static_cast<std::size_t>(v);
+    int width = 0;
+    for (std::uint64_t w = v; w != 0; w >>= 1) ++width;  // bit width >= 4
+    const int shift = width - 4;
+    const std::uint64_t top = v >> shift;  // in [8, 15]
+    const std::size_t idx = static_cast<std::size_t>(width - 3) * 8 +
+                            static_cast<std::size_t>(top - 8);
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  static std::int64_t bucket_upper(std::size_t idx) {
+    if (idx < 8) return static_cast<std::int64_t>(idx);
+    const std::size_t width = idx / 8 + 3;
+    const std::size_t top = idx % 8 + 8;
+    return static_cast<std::int64_t>(((top + 1) << (width - 4)) - 1);
+  }
+
+  std::vector<std::int64_t> buckets_ = std::vector<std::int64_t>(kBuckets, 0);
+  std::int64_t count_ = 0;
+};
 
 struct Options {
   /// --full: paper scale (200 tasks per run). Default is a scaled-down run

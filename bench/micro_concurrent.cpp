@@ -6,8 +6,11 @@
 // plus thread 0 acting as the ingester. Reported metrics:
 //   items_per_second — ranks/sec across all query threads (the QPS axis;
 //                      only query threads call SetItemsProcessed)
-//   rank_p99_ns      — mean per-reader p99 rank latency from a log-linear
-//                      histogram (~12.5% resolution, bounded memory)
+//   rank_p50_ns / rank_p99_ns / rank_p999_ns
+//                    — mean per-reader rank-latency percentiles from the
+//                      shared log-linear histogram (benchtool::
+//                      LatencyHistogram, ~12.5% resolution, bounded
+//                      memory — the same helper qps_serve reports with)
 // Run both modes to A/B the lock-free snapshot path against the
 // single-mutex facade; the acceptance bar is QPS scaling of the snapshot
 // mode at 4 query threads vs the facade (meaningless on a 1-core box —
@@ -25,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "intsched/core/concurrent_map.hpp"
 
 namespace {
@@ -77,53 +81,7 @@ struct SharedState {
   }
 };
 
-/// Log-linear latency histogram: exact below 8 ns, then 8 linear
-/// sub-buckets per power of two (~12.5% resolution). Fixed footprint, no
-/// allocation on the record path — safe inside the timed loop.
-class LatencyHistogram {
- public:
-  void record(std::int64_t ns) {
-    ++buckets_[bucket_index(ns)];
-    ++count_;
-  }
-
-  /// Upper bound of the bucket holding the 99th percentile (0 if empty).
-  [[nodiscard]] double p99() const {
-    if (count_ == 0) return 0.0;
-    const std::int64_t target = (count_ * 99 + 99) / 100;  // ceil
-    std::int64_t seen = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-      seen += buckets_[i];
-      if (seen >= target) return static_cast<double>(bucket_upper(i));
-    }
-    return static_cast<double>(bucket_upper(kBuckets - 1));
-  }
-
- private:
-  static constexpr std::size_t kBuckets = 8 * 62;
-
-  static std::size_t bucket_index(std::int64_t ns) {
-    const std::uint64_t v = ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
-    if (v < 8) return static_cast<std::size_t>(v);
-    int width = 0;
-    for (std::uint64_t w = v; w != 0; w >>= 1) ++width;  // bit width >= 4
-    const int shift = width - 4;
-    const std::uint64_t top = v >> shift;  // in [8, 15]
-    const std::size_t idx =
-        static_cast<std::size_t>(width - 3) * 8 + static_cast<std::size_t>(top - 8);
-    return idx < kBuckets ? idx : kBuckets - 1;
-  }
-
-  static std::int64_t bucket_upper(std::size_t idx) {
-    if (idx < 8) return static_cast<std::int64_t>(idx);
-    const std::size_t width = idx / 8 + 3;
-    const std::size_t top = idx % 8 + 8;
-    return static_cast<std::int64_t>(((top + 1) << (width - 4)) - 1);
-  }
-
-  std::vector<std::int64_t> buckets_ = std::vector<std::int64_t>(kBuckets, 0);
-  std::int64_t count_ = 0;
-};
+using benchtool::LatencyHistogram;
 
 /// Thread 0 ingests (one report per iteration, cycling servers); every
 /// other thread ranks and times each call. ranks/sec comes out as
@@ -153,11 +111,13 @@ void run_rank_qps(benchmark::State& state, core::ConcurrentNetworkMap& map,
             .count());
   }
   state.SetItemsProcessed(state.iterations());
-  // Sum over readers of (p99 / readers) = mean per-reader p99; the
+  // Sum over readers of (pXX / readers) = mean per-reader percentile; the
   // ingester contributes nothing, so the default sum-merge is the mean.
   const int readers = state.threads() - 1;
-  state.counters["rank_p99_ns"] =
-      benchmark::Counter(hist.p99() / (readers > 0 ? readers : 1));
+  const double scale = 1.0 / (readers > 0 ? readers : 1);
+  state.counters["rank_p50_ns"] = benchmark::Counter(hist.p50() * scale);
+  state.counters["rank_p99_ns"] = benchmark::Counter(hist.p99() * scale);
+  state.counters["rank_p999_ns"] = benchmark::Counter(hist.p999() * scale);
 }
 
 void BM_RankQpsSnapshot(benchmark::State& state) {

@@ -174,18 +174,22 @@ struct CandidatePath {
   sim::SimDuration baseline_delay = sim::SimDuration::max();
 };
 
-/// Scores and sorts pre-resolved candidate paths, best first (ascending
-/// delay / descending bandwidth, server id as the deterministic
-/// tie-break). Unreachable candidates rank last. This is the single
-/// scoring + ordering implementation behind every ranking entry point.
+/// Scores and sorts pre-resolved candidate paths into `out` (cleared
+/// first), best first (ascending delay / descending bandwidth, server id
+/// as the deterministic tie-break). Unreachable candidates rank last.
+/// This is the single scoring + ordering implementation behind every
+/// ranking entry point; the pointer+count surface (rather than a vector)
+/// lets the serving path score a reused scratch prefix, and `out`
+/// retains its capacity across calls so a warmed-up caller allocates
+/// nothing (DESIGN.md §13).
 template <typename MapLike>
-[[nodiscard]] std::vector<ServerRank> rank_paths(
-    const MapLike& map, const RankerConfig& cfg,
-    const std::vector<CandidatePath>& candidates, RankingMetric metric,
-    sim::SimTime now) {
-  std::vector<ServerRank> out;
-  out.reserve(candidates.size());
-  for (const CandidatePath& c : candidates) {
+void rank_paths_into(const MapLike& map, const RankerConfig& cfg,
+                     const CandidatePath* candidates, std::size_t count,
+                     RankingMetric metric, sim::SimTime now,
+                     std::vector<ServerRank>& out) {
+  out.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const CandidatePath& c = candidates[i];
     ServerRank r;
     r.server = c.server;
     if (c.path.size() < 2) {
@@ -218,6 +222,18 @@ template <typename MapLike>
   } else {
     std::sort(out.begin(), out.end(), by_bandwidth);
   }
+}
+
+/// Vector-returning convenience over rank_paths_into (same contract).
+template <typename MapLike>
+[[nodiscard]] std::vector<ServerRank> rank_paths(
+    const MapLike& map, const RankerConfig& cfg,
+    const std::vector<CandidatePath>& candidates, RankingMetric metric,
+    sim::SimTime now) {
+  std::vector<ServerRank> out;
+  out.reserve(candidates.size());
+  rank_paths_into(map, cfg, candidates.data(), candidates.size(), metric, now,
+                  out);
   return out;
 }
 

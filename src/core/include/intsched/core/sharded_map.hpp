@@ -109,6 +109,41 @@ struct PickStats {
 /// flat ranking field-exactly; the general error bound is DESIGN.md §11.
 class MetroView {
  public:
+  /// Reusable buffers for the allocation-free query entry points
+  /// (rank_into / pick_with). Every vector retains its capacity across
+  /// calls — including the per-candidate path vectors inside `paths`,
+  /// which are cleared element-wise rather than destroyed — so after a
+  /// warm-up pass over the working set (origins seen, candidate counts
+  /// seen), a query performs zero heap allocations (the hotpath-alloc
+  /// lint + the serve allocation-counting test enforce this). One
+  /// scratch per thread; never shared.
+  struct RankScratch {
+    /// Resolved candidate paths; grown monotonically, reused in place.
+    std::vector<CandidatePath> paths;
+    /// Summary-spine and region-segment scratch for path expansion.
+    std::vector<core::NodeId> spine;
+    std::vector<core::NodeId> seg;
+    /// pick_with's region grouping: candidates tagged with their region
+    /// and original position, sorted to form contiguous groups.
+    struct Grouped {
+      core::RegionId region = core::kNoRegion;
+      std::size_t index = 0;
+      core::NodeId server = core::kInvalidNode;
+    };
+    std::vector<Grouped> grouped;
+    /// One entry per region group: admissible delay lower bound plus the
+    /// group's [begin, end) range in `grouped`.
+    struct GroupBound {
+      sim::SimDuration bound = sim::SimDuration::max();
+      core::RegionId region = core::kNoRegion;
+      std::size_t begin = 0;
+      std::size_t end = 0;
+    };
+    std::vector<GroupBound> order;
+    /// rank_paths_into output buffer.
+    std::vector<ServerRank> ranked;
+  };
+
   MetroView(std::shared_ptr<const RegionAssignment> regions,
             std::vector<std::shared_ptr<const RankSnapshot>> region_snaps,
             std::shared_ptr<const NetworkMap> summary_map,
@@ -125,6 +160,14 @@ class MetroView {
       core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now) const;
 
+  /// rank() into caller-owned buffers: byte-identical output (rank() is
+  /// a thin wrapper over this), but all working memory comes from
+  /// `scratch` and `out`, so a warmed-up caller allocates nothing. This
+  /// is the ServeFrontend entry point (DESIGN.md §13).
+  void rank_into(core::NodeId origin, const core::NodeId* candidates,
+                 std::size_t count, RankingMetric metric, sim::SimTime now,
+                 RankScratch& scratch, std::vector<ServerRank>& out) const;
+
   /// Best single candidate — exactly rank(...)[0] — but for the delay
   /// metric whole regions are pruned by lower bound (a region whose
   /// cheapest entry already costs more than the best full estimate seen
@@ -133,6 +176,13 @@ class MetroView {
   [[nodiscard]] std::optional<ServerRank> pick(
       core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now,
+      PickStats* stats = nullptr) const;
+
+  /// pick() from caller-owned scratch — same answer, zero allocations
+  /// once warm (the wrapper relationship mirrors rank/rank_into).
+  [[nodiscard]] std::optional<ServerRank> pick_with(
+      core::NodeId origin, const core::NodeId* candidates, std::size_t count,
+      RankingMetric metric, sim::SimTime now, RankScratch& scratch,
       PickStats* stats = nullptr) const;
 
   /// Publish epoch: the owning map's ingest epoch at publish time.
@@ -234,11 +284,15 @@ class MetroView {
   /// region-local for same-region servers, otherwise cheapest entry
   /// border (summary distance + region distance, smallest border id on
   /// ties) with the summary path expanded through region snapshots.
-  [[nodiscard]] CandidatePath candidate_path(const QueryContext& ctx,
-                                             core::NodeId origin,
-                                             core::NodeId server) const;
-  [[nodiscard]] std::vector<core::NodeId> expand_summary_path(
-      const QueryContext& ctx, core::NodeId origin, core::NodeId border) const;
+  /// Writes into the reused `c` (path capacity retained); allocation-free
+  /// once warm.
+  void candidate_path_into(const QueryContext& ctx, core::NodeId origin,
+                           core::NodeId server, CandidatePath& c,
+                           RankScratch& scratch) const;
+  void expand_summary_path_into(const QueryContext& ctx, core::NodeId origin,
+                                core::NodeId border,
+                                std::vector<core::NodeId>& out,
+                                RankScratch& scratch) const;
 
   std::shared_ptr<const RegionAssignment> regions_;
   std::vector<std::shared_ptr<const RankSnapshot>> region_snaps_;
@@ -306,6 +360,10 @@ class ShardedNetworkMap {
 
   [[nodiscard]] core::RegionId region_count() const {
     return regions_->count();
+  }
+  /// Static provisioning lookup (no lock: the assignment is immutable).
+  [[nodiscard]] core::RegionId region_of(core::NodeId n) const {
+    return regions_->region_of(n);
   }
   [[nodiscard]] std::int64_t reports_ingested() const
       INTSCHED_EXCLUDES(mutex_);

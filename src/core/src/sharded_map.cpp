@@ -142,22 +142,28 @@ const MetroView::QueryContext* MetroView::query_context(
   return &slot.ctx;
 }
 
-std::vector<core::NodeId> MetroView::expand_summary_path(
-    const QueryContext& ctx, core::NodeId origin, core::NodeId border) const {
-  std::vector<core::NodeId> out;
-  const std::vector<core::NodeId> spine = ctx.summary_sp.path_to(border);
-  if (spine.empty()) return out;
+// intsched-lint: hot-path
+void MetroView::expand_summary_path_into(const QueryContext& ctx,
+                                         core::NodeId origin,
+                                         core::NodeId border,
+                                         std::vector<core::NodeId>& out,
+                                         RankScratch& scratch) const {
+  out.clear();
+  scratch.spine.clear();
+  if (!ctx.summary_sp.append_path_to(border, scratch.spine)) return;
   out.push_back(origin);
-  for (std::size_t i = 1; i < spine.size(); ++i) {
-    const core::NodeId u = spine[i - 1];
-    const core::NodeId v = spine[i];
+  for (std::size_t i = 1; i < scratch.spine.size(); ++i) {
+    const core::NodeId u = scratch.spine[i - 1];
+    const core::NodeId v = scratch.spine[i];
     if (u == origin) {
       // Synthetic first edge: splice the region-local path origin..v.
       // (If the origin is itself a summary node, a real edge u->v has
       // the same cost as this splice, so either interpretation is
       // sound.)
-      const std::vector<core::NodeId> seg = ctx.sp0->path_to(v);
-      out.insert(out.end(), seg.begin() + 1, seg.end());
+      scratch.seg.clear();
+      if (ctx.sp0->append_path_to(v, scratch.seg)) {
+        out.insert(out.end(), scratch.seg.begin() + 1, scratch.seg.end());
+      }
       continue;
     }
     const auto t = transit_region_.find({u, v});
@@ -166,28 +172,32 @@ std::vector<core::NodeId> MetroView::expand_summary_path(
       const net::ShortestPaths* sp =
           region_snaps_[t->second.index()]->paths_from(u);
       assert(sp != nullptr);  // transit edges are built from these memos
-      const std::vector<core::NodeId> seg = sp->path_to(v);
-      out.insert(out.end(), seg.begin() + 1, seg.end());
+      scratch.seg.clear();
+      if (sp->append_path_to(v, scratch.seg)) {
+        out.insert(out.end(), scratch.seg.begin() + 1, scratch.seg.end());
+      }
       continue;
     }
     out.push_back(v);  // real cross-region hop
   }
-  return out;
 }
 
-CandidatePath MetroView::candidate_path(const QueryContext& ctx,
-                                        core::NodeId origin,
-                                        core::NodeId server) const {
-  CandidatePath c;
+// intsched-lint: hot-path
+void MetroView::candidate_path_into(const QueryContext& ctx,
+                                    core::NodeId origin, core::NodeId server,
+                                    CandidatePath& c,
+                                    RankScratch& scratch) const {
   c.server = server;
+  c.path.clear();
+  c.baseline_delay = sim::SimDuration::max();
   const core::RegionId rs = regions_->region_of(server);
   if (rs == ctx.region) {
-    c.path = ctx.sp0->path_to(server);
+    ctx.sp0->append_path_to(server, c.path);
     const auto d = ctx.sp0->distance.find(server);
     if (d != ctx.sp0->distance.end()) c.baseline_delay = d->second;
-    return c;
+    return;
   }
-  if (!valid_region(rs)) return c;  // unknown region: unreachable
+  if (!valid_region(rs)) return;  // unknown region: unreachable
 
   // Cheapest entry border of the server's region: summary distance to the
   // border plus region distance border -> server. Borders are sorted, so
@@ -210,87 +220,122 @@ CandidatePath MetroView::candidate_path(const QueryContext& ctx,
       best_tail = tail;
     }
   }
-  if (best_border == core::kInvalidNode) return c;
+  if (best_border == core::kInvalidNode) return;
 
   c.baseline_delay = best_total;
-  c.path = expand_summary_path(ctx, origin, best_border);
-  const std::vector<core::NodeId> tail_path = best_tail->path_to(server);
-  if (c.path.empty() || tail_path.empty()) {
+  expand_summary_path_into(ctx, origin, best_border, c.path, scratch);
+  scratch.seg.clear();
+  best_tail->append_path_to(server, scratch.seg);
+  if (c.path.empty() || scratch.seg.empty()) {
     c.path.clear();  // defensive: treat as unreachable
-    return c;
+    return;
   }
-  c.path.insert(c.path.end(), tail_path.begin() + 1, tail_path.end());
-  return c;
+  c.path.insert(c.path.end(), scratch.seg.begin() + 1, scratch.seg.end());
+}
+
+// intsched-lint: hot-path
+void MetroView::rank_into(core::NodeId origin, const core::NodeId* candidates,
+                          std::size_t count, RankingMetric metric,
+                          sim::SimTime now, RankScratch& scratch,
+                          std::vector<ServerRank>& out) const {
+  const QueryContext* ctx = query_context(origin);
+  // Grow-only: shrinking would destroy the pooled path vectors (and
+  // their capacity) the zero-allocation contract depends on.
+  if (scratch.paths.size() < count) scratch.paths.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    CandidatePath& c = scratch.paths[i];
+    if (ctx != nullptr && ctx->valid) {
+      candidate_path_into(*ctx, origin, candidates[i], c, scratch);
+    } else {
+      // Unknown origin: every candidate unreachable.
+      c.server = candidates[i];
+      c.path.clear();
+      c.baseline_delay = sim::SimDuration::max();
+    }
+  }
+  rank_paths_into(HierMap{this}, cfg_, scratch.paths.data(), count, metric,
+                  now, out);
 }
 
 std::vector<ServerRank> MetroView::rank(
     core::NodeId origin, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
-  std::vector<CandidatePath> paths;
-  paths.reserve(candidates.size());
-  const QueryContext* ctx = query_context(origin);
-  for (const core::NodeId server : candidates) {
-    if (ctx != nullptr && ctx->valid) {
-      paths.push_back(candidate_path(*ctx, origin, server));
-    } else {
-      CandidatePath c;  // unknown origin: every candidate unreachable
-      c.server = server;
-      paths.push_back(std::move(c));
-    }
-  }
-  return rank_paths(HierMap{this}, cfg_, paths, metric, now);
+  RankScratch scratch;
+  std::vector<ServerRank> out;
+  rank_into(origin, candidates.data(), candidates.size(), metric, now,
+            scratch, out);
+  return out;
 }
 
-std::optional<ServerRank> MetroView::pick(
-    core::NodeId origin, const std::vector<core::NodeId>& candidates,
-    RankingMetric metric, sim::SimTime now, PickStats* stats) const {
-  if (candidates.empty()) return std::nullopt;
+// intsched-lint: hot-path
+std::optional<ServerRank> MetroView::pick_with(
+    core::NodeId origin, const core::NodeId* candidates, std::size_t count,
+    RankingMetric metric, sim::SimTime now, RankScratch& scratch,
+    PickStats* stats) const {
+  if (count == 0) return std::nullopt;
   const QueryContext* ctx = query_context(origin);
   if (ctx == nullptr || !ctx->valid || metric != RankingMetric::kDelay) {
     // Bandwidth has no admissible region lower bound (a distant region
     // can still win); unknown origins rank everything unreachable. Both
     // fall back to the full ranking.
-    const std::vector<ServerRank> ranked = rank(origin, candidates, metric, now);
+    rank_into(origin, candidates, count, metric, now, scratch,
+              scratch.ranked);
     if (stats != nullptr) {
       stats->regions_considered = 1;
-      stats->candidates_scored =
-          static_cast<std::int64_t>(candidates.size());
+      stats->candidates_scored = static_cast<std::int64_t>(count);
     }
-    return ranked.front();
+    return scratch.ranked.front();
   }
 
-  // Group candidates by region, keeping candidate order within a group.
-  std::map<core::RegionId, std::vector<core::NodeId>> by_region;
-  for (const core::NodeId server : candidates) {
-    by_region[regions_->region_of(server)].push_back(server);
+  // Group candidates by region, keeping candidate order within a group:
+  // tag each candidate with (region, original index) and sort — the
+  // index tie-break reproduces exactly the per-region insertion order
+  // the previous std::map-of-vectors grouping produced, without its
+  // per-query node allocations.
+  scratch.grouped.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    RankScratch::Grouped g;
+    g.region = regions_->region_of(candidates[i]);
+    g.index = i;
+    g.server = candidates[i];
+    scratch.grouped.push_back(g);
   }
+  std::sort(scratch.grouped.begin(), scratch.grouped.end(),
+            [](const RankScratch::Grouped& a, const RankScratch::Grouped& b) {
+              if (a.region != b.region) return a.region < b.region;
+              return a.index < b.index;
+            });
 
   // Admissible lower bound per region: every path into region r enters
   // through a border, so no server there can beat the cheapest border
   // arrival (queue terms only add). The origin's own region starts at 0.
-  struct RegionBound {
-    sim::SimDuration bound = sim::SimDuration::max();
-    core::RegionId region = core::kNoRegion;
-  };
-  std::vector<RegionBound> order;
-  order.reserve(by_region.size());
-  for (const auto& [r, group] : by_region) {
-    RegionBound rb;
-    rb.region = r;
-    if (r == ctx->region) {
-      rb.bound = sim::SimDuration::zero();
-    } else if (valid_region(r)) {
-      for (const core::NodeId b : borders_by_region_[r.index()]) {
+  scratch.order.clear();
+  for (std::size_t begin = 0; begin < scratch.grouped.size();) {
+    std::size_t end = begin;
+    while (end < scratch.grouped.size() &&
+           scratch.grouped[end].region == scratch.grouped[begin].region) {
+      ++end;
+    }
+    RankScratch::GroupBound gb;
+    gb.region = scratch.grouped[begin].region;
+    gb.begin = begin;
+    gb.end = end;
+    if (gb.region == ctx->region) {
+      gb.bound = sim::SimDuration::zero();
+    } else if (valid_region(gb.region)) {
+      for (const core::NodeId b : borders_by_region_[gb.region.index()]) {
         const auto d = ctx->summary_sp.distance.find(b);
         if (d != ctx->summary_sp.distance.end()) {
-          rb.bound = std::min(rb.bound, d->second);
+          gb.bound = std::min(gb.bound, d->second);
         }
       }
     }
-    order.push_back(rb);
+    scratch.order.push_back(gb);
+    begin = end;
   }
-  std::sort(order.begin(), order.end(),
-            [](const RegionBound& a, const RegionBound& b) {
+  std::sort(scratch.order.begin(), scratch.order.end(),
+            [](const RankScratch::GroupBound& a,
+               const RankScratch::GroupBound& b) {
               if (a.bound != b.bound) return a.bound < b.bound;
               return a.region < b.region;
             });
@@ -298,26 +343,26 @@ std::optional<ServerRank> MetroView::pick(
   const HierMap hier{this};
   std::optional<ServerRank> best;
   PickStats local{};
-  for (const RegionBound& rb : order) {
+  for (const RankScratch::GroupBound& gb : scratch.order) {
     // Strict >: a region whose bound *ties* the best estimate can still
     // hold the tie-breaking (smaller-id) winner, so only a strictly
     // worse bound may be pruned.
-    if (best.has_value() && rb.bound > best->delay_estimate) {
+    if (best.has_value() && gb.bound > best->delay_estimate) {
       ++local.regions_pruned;
       continue;
     }
     ++local.regions_considered;
-    std::vector<CandidatePath> paths;
-    const std::vector<core::NodeId>& group = by_region.at(rb.region);
-    paths.reserve(group.size());
-    for (const core::NodeId server : group) {
-      paths.push_back(candidate_path(*ctx, origin, server));
+    const std::size_t group_size = gb.end - gb.begin;
+    if (scratch.paths.size() < group_size) scratch.paths.resize(group_size);
+    for (std::size_t i = 0; i < group_size; ++i) {
+      candidate_path_into(*ctx, origin, scratch.grouped[gb.begin + i].server,
+                          scratch.paths[i], scratch);
     }
-    local.candidates_scored += static_cast<std::int64_t>(paths.size());
-    const std::vector<ServerRank> ranked =
-        rank_paths(hier, cfg_, paths, metric, now);
-    if (ranked.empty()) continue;
-    const ServerRank& top = ranked.front();
+    local.candidates_scored += static_cast<std::int64_t>(group_size);
+    rank_paths_into(hier, cfg_, scratch.paths.data(), group_size, metric, now,
+                    scratch.ranked);
+    if (scratch.ranked.empty()) continue;
+    const ServerRank& top = scratch.ranked.front();
     if (!best.has_value() ||
         top.delay_estimate < best->delay_estimate ||
         (top.delay_estimate == best->delay_estimate &&
@@ -327,6 +372,14 @@ std::optional<ServerRank> MetroView::pick(
   }
   if (stats != nullptr) *stats = local;
   return best;
+}
+
+std::optional<ServerRank> MetroView::pick(
+    core::NodeId origin, const std::vector<core::NodeId>& candidates,
+    RankingMetric metric, sim::SimTime now, PickStats* stats) const {
+  RankScratch scratch;
+  return pick_with(origin, candidates.data(), candidates.size(), metric, now,
+                   scratch, stats);
 }
 
 // ---------------------------------------------------------------------------

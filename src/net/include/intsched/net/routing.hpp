@@ -43,6 +43,13 @@ struct ShortestPaths {
 
   /// Node sequence source..dst inclusive; empty if unreachable.
   [[nodiscard]] std::vector<core::NodeId> path_to(core::NodeId dst) const;
+
+  /// Appends the node sequence source..dst (inclusive) to `out`; returns
+  /// false — appending nothing — when dst is unreachable. The
+  /// allocation-free flavour of path_to for hot paths: with enough
+  /// capacity in `out` no heap allocation happens (the serving path
+  /// reuses one scratch vector per thread, DESIGN.md §13).
+  bool append_path_to(core::NodeId dst, std::vector<core::NodeId>& out) const;
 };
 
 /// Dijkstra with deterministic tie-breaking (by distance, then node id) so

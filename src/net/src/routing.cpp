@@ -23,16 +23,27 @@ std::vector<core::NodeId> Graph::nodes() const {
 
 std::vector<core::NodeId> ShortestPaths::path_to(core::NodeId dst) const {
   std::vector<core::NodeId> path;
-  if (!distance.contains(dst)) return path;
+  append_path_to(dst, path);
+  return path;
+}
+
+// intsched-lint: hot-path
+bool ShortestPaths::append_path_to(core::NodeId dst,
+                                   std::vector<core::NodeId>& out) const {
+  const std::size_t begin = out.size();
+  if (!distance.contains(dst)) return false;
   for (core::NodeId cur = dst; cur != source;) {
-    path.push_back(cur);
+    out.push_back(cur);
     const auto it = predecessor.find(cur);
-    if (it == predecessor.end()) return {};  // defensive: broken chain
+    if (it == predecessor.end()) {  // defensive: broken chain
+      out.resize(begin);
+      return false;
+    }
     cur = it->second;
   }
-  path.push_back(source);
-  std::reverse(path.begin(), path.end());
-  return path;
+  out.push_back(source);
+  std::reverse(out.begin() + static_cast<std::ptrdiff_t>(begin), out.end());
+  return true;
 }
 
 ShortestPaths dijkstra(const Graph& g, core::NodeId source) {

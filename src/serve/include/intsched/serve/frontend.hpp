@@ -1,0 +1,98 @@
+#pragma once
+
+// ServeFrontend: the scheduler-as-a-service request path (DESIGN.md
+// §13). One frontend fronts one ShardedNetworkMap; serving threads call
+// serve() concurrently with ingest, each with its own ServeContext.
+//
+// Hot-path budget per request — the contract the million-QPS harness
+// (bench/qps_serve.cpp) measures and the hotpath-alloc lint + the
+// allocation-counting test enforce:
+//
+//   * no locks: the answer is computed entirely from the immutable
+//     MetroView the map last published (one atomic shared_ptr acquire);
+//   * no per-request heap allocation once warm: decode writes into the
+//     context's fixed-capacity request struct, candidate validation
+//     probes the flat open-addressing registry (core::FlatTable — a
+//     contiguous array instead of std::unordered_map's node chase),
+//     ranking runs through MetroView::rank_into / pick_with over the
+//     context's reusable scratch, and encode writes straight into the
+//     caller's response buffer;
+//   * region sharding for free: pick_with routes the query through the
+//     per-region RankSnapshots and prunes whole regions by delay lower
+//     bound, so a metro-sized registry costs ~one region's work.
+//
+// Registration (register_server) is the cold path and must not run
+// concurrently with serve().
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "intsched/core/flat_table.hpp"
+#include "intsched/core/sharded_map.hpp"
+#include "intsched/core/types.hpp"
+#include "intsched/serve/wire.hpp"
+
+namespace intsched::serve {
+
+/// Per-thread working state: decoded-request/response staging, ranking
+/// scratch, and counters. Buffers retain capacity across requests —
+/// after the first request per shape, serve() allocates nothing.
+struct ServeContext {
+  core::MetroView::RankScratch scratch;
+  /// Validated explicit-candidate list (request order preserved).
+  std::vector<core::NodeId> candidates;
+  /// rank_into output staging.
+  std::vector<core::ServerRank> ranked;
+  RankRequest request;
+  RankResponse response;
+  std::int64_t served = 0;
+  std::int64_t malformed = 0;
+  std::int64_t unknown_origin = 0;
+  std::int64_t no_candidates = 0;
+};
+
+class ServeFrontend {
+ public:
+  explicit ServeFrontend(const core::ShardedNetworkMap& map) : map_{&map} {}
+
+  /// Cold path: adds one server to the registry (idempotent). The
+  /// registry is what candidate_count == 0 requests rank, and explicit
+  /// candidates are validated against it.
+  void register_server(core::NodeId server);
+
+  /// Registered servers, ascending node id.
+  [[nodiscard]] const std::vector<core::NodeId>& registered() const {
+    return registry_;
+  }
+
+  /// Registry membership probe (the flat-table lookup the decision path
+  /// uses); region is the server's provisioning region.
+  [[nodiscard]] bool is_registered(core::NodeId server,
+                                   core::RegionId* region = nullptr) const;
+
+  /// Hot path: decode one request frame, answer from the currently
+  /// published MetroView at sim-time `now`, and encode the response into
+  /// response_buf. Returns false (response_len = 0) only for malformed
+  /// requests or an undersized response buffer (kMaxFrameSize always
+  /// suffices); well-formed requests with no usable candidates still
+  /// produce an encoded response carrying the status.
+  bool serve(ServeContext& ctx, const std::byte* request_buf,
+             std::size_t request_len, std::byte* response_buf,
+             std::size_t response_cap, std::size_t& response_len,
+             sim::SimTime now) const;
+
+ private:
+  struct ServerInfo {
+    core::ServerId server = core::kInvalidServer;
+    core::RegionId region = core::kNoRegion;
+  };
+
+  const core::ShardedNetworkMap* map_;
+  /// Sorted unique registry — the deterministic iteration order the flat
+  /// table deliberately does not provide.
+  std::vector<core::NodeId> registry_;
+  core::FlatTable<core::NodeId, ServerInfo> table_{64};
+};
+
+}  // namespace intsched::serve

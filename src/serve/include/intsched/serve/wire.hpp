@@ -1,0 +1,163 @@
+#pragma once
+
+// Binary wire format for the scheduler-as-a-service serving path
+// (DESIGN.md §13). The design mirrors what PINT argues for telemetry —
+// small, bounded per-request bytes — on the serving side:
+//
+//   * fixed-width little-endian fields, no varints, no framing escapes:
+//     a request's size is a pure function of its candidate count, so
+//     buffers are sized statically and decode never scans;
+//   * a versioned 8-byte header so the format can evolve without
+//     ambiguity on the wire;
+//   * encode/decode work on caller-provided flat byte buffers and
+//     fixed-capacity message structs — zero heap allocation on the hot
+//     path in either direction;
+//   * every decode read is bounds-checked against the buffer AND the
+//     declared payload length, and every enum/count field is
+//     range-checked, so arbitrary garbage is rejected with a typed
+//     error instead of undefined behaviour (property-tested under
+//     ASan/UBSan in tests/serve/test_wire.cpp).
+//
+// Layout (all integers little-endian):
+//
+//   header (8 bytes, both directions)
+//     u16 magic     0x4E49 ("IN")
+//     u8  version   1
+//     u8  type      1 = rank request, 2 = rank response
+//     u32 payload_len   exact remaining bytes; trailing garbage is an error
+//
+//   rank request payload (16 + 4*candidate_count bytes)
+//     u64 query_id      echoed verbatim in the response
+//     i32 origin        requesting node id
+//     u8  metric        0 = delay, 1 = bandwidth
+//     u8  max_results   1..kMaxResponseEntries
+//     u16 candidate_count   0 = "rank the frontend's whole registry"
+//     i32 candidates[candidate_count]
+//
+//   rank response payload (20 + 32*entry_count bytes)
+//     u64 query_id
+//     i64 epoch         publish epoch the answer was computed from
+//     u8  status        0 = ok, 1 = unknown origin, 2 = no candidates
+//     u8  entry_count
+//     u16 reserved      must be zero
+//     entries[entry_count], 32 bytes each:
+//       i32 server
+//       u8  flags       bit 0 = stale telemetry on the path
+//       u8x3 reserved   must be zero
+//       i64 delay_estimate (ns; INT64_MAX = unreachable)
+//       i64 baseline_delay (ns)
+//       u64 bandwidth_estimate (IEEE-754 bit pattern of bits/second)
+//
+// The in-memory structs carry the repo's strong types (NodeId,
+// SimDuration, DataRate, Epoch); only the byte layout is raw, and the
+// conversion is exact both ways (ns are the native SimDuration rep,
+// doubles round-trip by bit pattern).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "intsched/core/ranking.hpp"
+#include "intsched/core/types.hpp"
+#include "intsched/sim/time.hpp"
+#include "intsched/sim/units.hpp"
+
+namespace intsched::serve {
+
+inline constexpr std::uint16_t kWireMagic = 0x4E49;  // "IN"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 8;
+/// Bounded like PINT bounds per-packet bytes: a request names at most
+/// this many explicit candidates (0 means "whole registry").
+inline constexpr std::size_t kMaxRequestCandidates = 128;
+/// A response carries at most the top-k entries the client asked for.
+inline constexpr std::size_t kMaxResponseEntries = 32;
+
+enum class MessageType : std::uint8_t {
+  kRankRequest = 1,
+  kRankResponse = 2,
+};
+
+/// Typed decode failure. Every malformed input maps to exactly one of
+/// these; none of them is undefined behaviour.
+enum class WireError : std::uint8_t {
+  kOk = 0,
+  kTruncated,    ///< buffer shorter than the header or fixed payload head
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kBadLength,    ///< payload_len disagrees with the buffer or the counts
+  kBadField,     ///< enum/count/reserved field out of range
+};
+
+[[nodiscard]] const char* to_string(WireError e);
+
+enum class ServeStatus : std::uint8_t {
+  kOk = 0,
+  kUnknownOrigin = 1,  ///< request carried an invalid origin id
+  kNoCandidates = 2,   ///< no requested candidate is registered
+};
+
+struct RankRequest {
+  std::uint64_t query_id = 0;
+  core::NodeId origin = core::kInvalidNode;
+  core::RankingMetric metric = core::RankingMetric::kDelay;
+  std::uint8_t max_results = 1;
+  /// 0 = rank every registered server; otherwise the first
+  /// candidate_count slots of `candidates` are the explicit set.
+  std::uint16_t candidate_count = 0;
+  std::array<core::NodeId, kMaxRequestCandidates> candidates{};
+};
+
+struct RankResponseEntry {
+  core::NodeId server = core::kInvalidNode;
+  bool stale = false;
+  sim::SimDuration delay_estimate = sim::SimDuration::zero();
+  sim::SimDuration baseline_delay = sim::SimDuration::zero();
+  sim::DataRate bandwidth_estimate = sim::DataRate::bits_per_second(0.0);
+};
+
+struct RankResponse {
+  std::uint64_t query_id = 0;
+  core::Epoch epoch = core::Epoch::none();
+  ServeStatus status = ServeStatus::kOk;
+  std::uint8_t entry_count = 0;
+  std::array<RankResponseEntry, kMaxResponseEntries> entries{};
+};
+
+[[nodiscard]] constexpr std::size_t encoded_request_size(
+    std::size_t candidate_count) {
+  return kHeaderSize + 16 + 4 * candidate_count;
+}
+[[nodiscard]] constexpr std::size_t encoded_response_size(
+    std::size_t entry_count) {
+  return kHeaderSize + 20 + 32 * entry_count;
+}
+/// Big enough for any frame in either direction — the harness and the
+/// frontend size their per-thread buffers with this.
+inline constexpr std::size_t kMaxFrameSize =
+    encoded_response_size(kMaxResponseEntries) >
+            encoded_request_size(kMaxRequestCandidates)
+        ? encoded_response_size(kMaxResponseEntries)
+        : encoded_request_size(kMaxRequestCandidates);
+
+/// Encodes into `buf`; returns the frame size, or 0 when the buffer is
+/// too small or a count field exceeds its wire bound. Never allocates.
+[[nodiscard]] std::size_t encode_rank_request(const RankRequest& req,
+                                              std::byte* buf,
+                                              std::size_t cap);
+[[nodiscard]] std::size_t encode_rank_response(const RankResponse& resp,
+                                               std::byte* buf,
+                                               std::size_t cap);
+
+/// Decodes exactly one frame from `buf[0..len)`; the frame must span the
+/// whole buffer (trailing bytes are kBadLength). On any error `out` may
+/// be partially written but the call itself is well-defined.
+[[nodiscard]] WireError decode_rank_request(const std::byte* buf,
+                                            std::size_t len,
+                                            RankRequest& out);
+[[nodiscard]] WireError decode_rank_response(const std::byte* buf,
+                                             std::size_t len,
+                                             RankResponse& out);
+
+}  // namespace intsched::serve

@@ -1,0 +1,133 @@
+// core::FlatTable: the open-addressing registry table on the serving
+// decision path (DESIGN.md §13). Covers insert/find/overwrite semantics,
+// growth + rehash correctness against a std::unordered_map oracle,
+// probe-length bounds under dense sequential keys (the realistic id
+// pattern), and the invalid-key sentinel contract.
+#include "intsched/core/flat_table.hpp"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "intsched/core/types.hpp"
+#include "intsched/sim/rng.hpp"
+
+namespace intsched::core {
+namespace {
+
+TEST(FlatTableTest, InsertFindOverwrite) {
+  FlatTable<NodeId, std::int32_t> table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.find(NodeId{7}), nullptr);
+  EXPECT_FALSE(table.contains(NodeId{7}));
+
+  table.insert_or_assign(NodeId{7}, 70);
+  table.insert_or_assign(NodeId{9}, 90);
+  ASSERT_NE(table.find(NodeId{7}), nullptr);
+  EXPECT_EQ(*table.find(NodeId{7}), 70);
+  EXPECT_EQ(*table.find(NodeId{9}), 90);
+  EXPECT_EQ(table.size(), 2u);
+
+  // insert_or_assign overwrites in place without growing the count.
+  table.insert_or_assign(NodeId{7}, 71);
+  EXPECT_EQ(*table.find(NodeId{7}), 71);
+  EXPECT_EQ(table.size(), 2u);
+
+  EXPECT_EQ(table.find(NodeId{8}), nullptr);
+}
+
+TEST(FlatTableTest, InvalidKeyIsNeverPresent) {
+  FlatTable<NodeId, int> table;
+  table.insert_or_assign(NodeId{1}, 1);
+  // Id::invalid() is the empty-slot sentinel; looking it up is
+  // well-defined and always absent.
+  EXPECT_EQ(table.find(kInvalidNode), nullptr);
+  EXPECT_FALSE(table.contains(NodeId::invalid()));
+}
+
+TEST(FlatTableTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ((FlatTable<NodeId, int>{0}.capacity()), 8u);
+  EXPECT_EQ((FlatTable<NodeId, int>{8}.capacity()), 8u);
+  EXPECT_EQ((FlatTable<NodeId, int>{9}.capacity()), 16u);
+  EXPECT_EQ((FlatTable<NodeId, int>{1000}.capacity()), 1024u);
+}
+
+TEST(FlatTableTest, GrowthKeepsEveryEntry) {
+  // Dense sequential ids — the real registry pattern — through several
+  // rehashes, checked against an unordered_map oracle.
+  FlatTable<NodeId, std::int64_t> table{8};
+  std::unordered_map<NodeId, std::int64_t> oracle;
+  for (std::int32_t i = 0; i < 5000; ++i) {
+    const NodeId key{i * 3};
+    table.insert_or_assign(key, i * 7);
+    oracle[key] = i * 7;
+  }
+  EXPECT_EQ(table.size(), oracle.size());
+  // Load factor stays at or below 70%.
+  EXPECT_LE(table.size() * 100, table.capacity() * 70);
+  // intsched-lint: allow(unordered-iter): order-free membership check
+  for (const auto& [key, value] : oracle) {
+    const std::int64_t* got = table.find(key);
+    ASSERT_NE(got, nullptr) << key;
+    EXPECT_EQ(*got, value) << key;
+  }
+  for (std::int32_t i = 0; i < 5000; ++i) {
+    if (i % 3 != 0) {
+      EXPECT_EQ(table.find(NodeId{i}), nullptr) << i;
+    }
+  }
+}
+
+TEST(FlatTableTest, RandomizedAgainstOracle) {
+  sim::Rng rng{2024};
+  FlatTable<ServerId, std::uint64_t> table;
+  std::unordered_map<ServerId, std::uint64_t> oracle;
+  for (int op = 0; op < 20000; ++op) {
+    const ServerId key{
+        static_cast<std::int32_t>(rng.uniform_int(0, 4000))};
+    if (rng.chance(0.7)) {
+      const std::uint64_t value = rng.next_u64();
+      table.insert_or_assign(key, value);
+      oracle[key] = value;
+    } else {
+      const auto it = oracle.find(key);
+      const std::uint64_t* got = table.find(key);
+      if (it == oracle.end()) {
+        EXPECT_EQ(got, nullptr);
+      } else {
+        ASSERT_NE(got, nullptr);
+        EXPECT_EQ(*got, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(table.size(), oracle.size());
+}
+
+TEST(FlatTableTest, ProbeLengthsStayShortAtMaxLoad) {
+  // Sequential ids at the 70% load bound: the splitmix64 mix must spread
+  // them well enough that the worst probe chain stays far below a scan.
+  FlatTable<NodeId, int> table{1024};
+  for (std::int32_t i = 0; i < 700; ++i) {
+    table.insert_or_assign(NodeId{i}, i);
+  }
+  EXPECT_EQ(table.capacity(), 1024u);  // no growth past the bound
+  EXPECT_GE(table.max_probe_length(), 1u);
+  EXPECT_LE(table.max_probe_length(), 64u);
+}
+
+TEST(FlatTableTest, NonTrivialValueType) {
+  FlatTable<RegionId, std::string> table;
+  table.insert_or_assign(RegionId{0}, "metro-a");
+  table.insert_or_assign(RegionId{1}, "metro-b");
+  table.insert_or_assign(RegionId{0}, "metro-a2");
+  ASSERT_NE(table.find(RegionId{0}), nullptr);
+  EXPECT_EQ(*table.find(RegionId{0}), "metro-a2");
+  EXPECT_EQ(*table.find(RegionId{1}), "metro-b");
+  EXPECT_EQ(table.size(), 2u);
+}
+
+}  // namespace
+}  // namespace intsched::core

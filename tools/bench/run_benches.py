@@ -19,6 +19,11 @@ Outputs (written to --out-dir, committed at tools/bench/):
                      two-level (sharded) arm wall clock, rank-latency
                      percentiles, decision fingerprints, and the
                      flat/sharded agreement fraction.
+  BENCH_qps.json     bench/qps_serve JSON at the smoke scale: the
+                     closed-loop decision-rate ceiling (aggregate QPS +
+                     service-time percentiles) and one open-loop trial at
+                     a fixed offered load (achieved QPS, p50/p99/p999
+                     from scheduled arrivals, error count).
 
 Modes:
 
@@ -39,6 +44,14 @@ Modes:
                      flat/sharded agreement, and fingerprint determinism
                      against the baseline (fingerprints are seeded and
                      hardware-independent, so they must match exactly).
+                     Unless --skip-qps, also re-run bench/qps_serve at
+                     the committed BENCH_qps.json's shape and gate the
+                     serving path: the fixed-load trial must stay
+                     error-free and sustain the baseline's offered load
+                     (within --threshold), the decision-rate ceiling may
+                     not collapse (2x threshold: the ceiling is the
+                     noisiest cross-machine number), and the closed-loop
+                     p99 may not blow up past 4x the baseline.
   --self-test        exercise the comparison logic on synthetic data
                      (clean, regressed, and identity-broken cases) with
                      no build directory needed; used by the ctest `lint`
@@ -195,6 +208,89 @@ def check_metro(build_dir: str, baseline_path: str, threshold: float,
     return 0
 
 
+def run_qps(build_dir: str, pods: int, threads: int, seconds: float,
+            offered: float, seed: int) -> Dict:
+    """Runs bench/qps_serve at the given shape and returns its JSON
+    report (closed-loop ceiling + fixed open-loop trial)."""
+    exe = os.path.join(build_dir, "bench", "qps_serve")
+    if not os.path.exists(exe):
+        print(f"run_benches: missing {exe} (build the qps_serve target)",
+              file=sys.stderr)
+        sys.exit(2)
+    out = "/tmp/BENCH_qps_fresh.json"
+    cmd = [exe, f"--pods={pods}", f"--threads={threads}",
+           f"--seconds={seconds}", f"--offered={offered}", f"--seed={seed}",
+           f"--json={out}"]
+    print(f"run_benches: {' '.join(cmd)}")
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(out, encoding="utf-8") as f:
+        data = json.load(f)
+    os.remove(out)
+    return data
+
+
+def compare_qps(baseline: Dict, fresh: Dict,
+                threshold: float) -> Tuple[List[str], int]:
+    """Pure comparison (no I/O) for the serving path. The open-loop p99
+    is dominated by host scheduling jitter on shared runners, so the
+    latency gate uses the closed-loop (service-time) histogram; the
+    throughput gate uses the offered load — a config constant — rather
+    than a machine-measured number. Returns (report lines, failures)."""
+    lines: List[str] = []
+    failures = 0
+    fixed = fresh.get("fixed", {})
+    if fixed.get("errors", 0) > 0:
+        lines.append(f"  ERRORS    fixed trial returned "
+                     f"{fixed['errors']} serve/decode error(s)")
+        failures += 1
+    offered = fixed.get("offered_qps", 0.0)
+    achieved = fixed.get("achieved_qps", 0.0)
+    verdict = "OK"
+    if offered > 0 and achieved < offered * (1.0 - threshold):
+        verdict = "THROUGHPUT"
+        failures += 1
+    lines.append(f"  {verdict:<9} fixed load: {achieved:.0f} / "
+                 f"{offered:.0f} qps offered")
+    old_ceiling = baseline.get("ceiling_qps", 0.0)
+    new_ceiling = fresh.get("ceiling_qps", 0.0)
+    delta = ((new_ceiling - old_ceiling) / old_ceiling * 100.0
+             if old_ceiling > 0 else 0.0)
+    verdict = "OK"
+    if old_ceiling > 0 and new_ceiling < old_ceiling * (1.0 - 2 * threshold):
+        verdict = "CEILING"
+        failures += 1
+    lines.append(f"  {verdict:<9} decision-rate ceiling: {old_ceiling:.0f} "
+                 f"-> {new_ceiling:.0f} qps ({delta:+.1f}%)")
+    old_p99 = baseline.get("ceiling", {}).get("p99_ns", 0.0)
+    new_p99 = fresh.get("ceiling", {}).get("p99_ns", 0.0)
+    verdict = "OK"
+    if old_p99 > 0 and new_p99 > 4.0 * old_p99:
+        verdict = "LATENCY"
+        failures += 1
+    lines.append(f"  {verdict:<9} closed-loop p99: {old_p99:.0f} -> "
+                 f"{new_p99:.0f} ns")
+    return lines, failures
+
+
+def check_qps(build_dir: str, baseline_path: str, threshold: float) -> int:
+    """Re-run qps_serve at the baseline's shape/seed and gate throughput,
+    ceiling, and service-time p99 against the committed numbers."""
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    fresh = run_qps(build_dir, baseline["pods"], baseline["threads"],
+                    baseline["seconds"],
+                    baseline["fixed"]["offered_qps"], baseline["seed"])
+    lines, failures = compare_qps(baseline, fresh, threshold)
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"run_benches: qps check failed ({failures} failure(s), "
+              f"threshold {threshold * 100:.0f}%)", file=sys.stderr)
+        return 1
+    print("run_benches: serving path within threshold")
+    return 0
+
+
 def compare_micro(baseline: Dict, fresh: Dict,
                   threshold: float) -> Tuple[List[str], int]:
     """Pure comparison (no I/O): per-benchmark ns/op vs. baseline.
@@ -336,6 +432,36 @@ def run_self_test() -> int:
         {"arm": "flat", "wall_seconds": 8.0, "fingerprint": "0xcc"},
         {"arm": "sharded", "wall_seconds": 2.0, "fingerprint": "0xcc"},
     ], "agreement": 1.0}
+    serve_base = {"ceiling_qps": 400000.0,
+                  "ceiling": {"p99_ns": 9000.0},
+                "fixed": {"offered_qps": 100000.0,
+                          "achieved_qps": 100000.0, "errors": 0,
+                          "p99_ns": 200000.0}}
+    serve_clean = {"ceiling_qps": 350000.0,
+                 "ceiling": {"p99_ns": 12000.0},
+                 "fixed": {"offered_qps": 100000.0,
+                           "achieved_qps": 99000.0, "errors": 0,
+                           "p99_ns": 900000.0}}
+    serve_starved = {"ceiling_qps": 380000.0,
+                   "ceiling": {"p99_ns": 9500.0},
+                   "fixed": {"offered_qps": 100000.0,
+                             "achieved_qps": 60000.0, "errors": 0,
+                             "p99_ns": 200000.0}}
+    serve_collapsed = {"ceiling_qps": 150000.0,
+                     "ceiling": {"p99_ns": 9000.0},
+                     "fixed": {"offered_qps": 100000.0,
+                               "achieved_qps": 100000.0, "errors": 0,
+                               "p99_ns": 200000.0}}
+    serve_blowup = {"ceiling_qps": 400000.0,
+                  "ceiling": {"p99_ns": 50000.0},
+                  "fixed": {"offered_qps": 100000.0,
+                            "achieved_qps": 100000.0, "errors": 0,
+                            "p99_ns": 200000.0}}
+    serve_errors = {"ceiling_qps": 400000.0,
+                  "ceiling": {"p99_ns": 9000.0},
+                  "fixed": {"offered_qps": 100000.0,
+                            "achieved_qps": 100000.0, "errors": 3,
+                            "p99_ns": 200000.0}}
 
     cases = (
         ("micro clean run passes",
@@ -360,6 +486,16 @@ def run_self_test() -> int:
          compare_metro(metro_base, metro_split, 0.25)[1] >= 2),
         ("metro seeded-fingerprint drift from baseline fails",
          compare_metro(metro_base, metro_drift, 0.25)[1] == 2),
+        ("qps clean run passes (ceiling noise + open-loop jitter ok)",
+         compare_qps(serve_base, serve_clean, 0.25)[1] == 0),
+        ("qps starved fixed load fails",
+         compare_qps(serve_base, serve_starved, 0.25)[1] == 1),
+        ("qps ceiling collapse fails",
+         compare_qps(serve_base, serve_collapsed, 0.25)[1] == 1),
+        ("qps closed-loop p99 blow-up fails",
+         compare_qps(serve_base, serve_blowup, 0.25)[1] == 1),
+        ("qps serve/decode errors fail",
+         compare_qps(serve_base, serve_errors, 0.25)[1] == 1),
     )
     failures = 0
     for name, ok in cases:
@@ -408,6 +544,23 @@ def main(argv: List[str]) -> int:
                         help="metro epochs when (re)generating the baseline")
     parser.add_argument("--metro-seed", type=int, default=42,
                         help="metro seed when (re)generating the baseline")
+    parser.add_argument("--skip-qps", action="store_true",
+                        help="skip the qps_serve run/check")
+    parser.add_argument("--qps-only", action="store_true",
+                        help="run/check only the qps_serve gate")
+    parser.add_argument("--qps-pods", type=int, default=4,
+                        help="qps pods when (re)generating the baseline")
+    parser.add_argument("--qps-threads", type=int, default=1,
+                        help="qps producer threads when (re)generating the "
+                             "baseline")
+    parser.add_argument("--qps-seconds", type=float, default=1.0,
+                        help="qps window seconds when (re)generating the "
+                             "baseline")
+    parser.add_argument("--qps-offered", type=float, default=100000.0,
+                        help="qps offered load when (re)generating the "
+                             "baseline")
+    parser.add_argument("--qps-seed", type=int, default=42,
+                        help="qps seed when (re)generating the baseline")
     parser.add_argument("--self-test", action="store_true",
                         help="run the synthetic comparison-logic suite "
                              "(no build directory required)")
@@ -419,9 +572,14 @@ def main(argv: List[str]) -> int:
     baseline = args.baseline or os.path.join(args.out_dir,
                                              "BENCH_micro.json")
     metro_baseline = os.path.join(args.out_dir, "BENCH_metro.json")
+    qps_baseline = os.path.join(args.out_dir, "BENCH_qps.json")
+    do_micro = not args.metro_only and not args.qps_only
+    do_metro = args.metro_only or (not args.skip_metro and
+                                   not args.qps_only)
+    do_qps = args.qps_only or (not args.skip_qps and not args.metro_only)
     if args.check:
         rc = 0
-        if not args.metro_only:
+        if do_micro:
             if not os.path.exists(baseline):
                 print(f"run_benches: no baseline at {baseline}; run "
                       "without --check once and commit the artifact",
@@ -438,7 +596,7 @@ def main(argv: List[str]) -> int:
                     return 2
                 rc = max(rc, check_suite(args.build_dir, suite_baseline,
                                          args.threshold))
-        if args.metro_only or not args.skip_metro:
+        if do_metro:
             if not os.path.exists(metro_baseline):
                 print(f"run_benches: no metro baseline at {metro_baseline}; "
                       "run without --check once and commit the artifact",
@@ -446,10 +604,18 @@ def main(argv: List[str]) -> int:
                 return 2
             rc = max(rc, check_metro(args.build_dir, metro_baseline,
                                      args.threshold, args.jobs))
+        if do_qps:
+            if not os.path.exists(qps_baseline):
+                print(f"run_benches: no qps baseline at {qps_baseline}; "
+                      "run without --check once and commit the artifact",
+                      file=sys.stderr)
+                return 2
+            rc = max(rc, check_qps(args.build_dir, qps_baseline,
+                                   args.threshold))
         return rc
 
     os.makedirs(args.out_dir, exist_ok=True)
-    if not args.metro_only:
+    if do_micro:
         run_micro(args.build_dir, os.path.join(args.out_dir,
                                                "BENCH_micro.json"))
         if not args.skip_suite:
@@ -463,7 +629,7 @@ def main(argv: List[str]) -> int:
                 print("run_benches: PARALLEL OUTPUT DIVERGED FROM SERIAL",
                       file=sys.stderr)
                 return 1
-    if args.metro_only or not args.skip_metro:
+    if do_metro:
         metro = run_metro(args.build_dir, args.metro_pods, args.metro_tasks,
                           args.metro_epochs, args.metro_seed, args.jobs)
         with open(metro_baseline, "w", encoding="utf-8") as f:
@@ -473,6 +639,17 @@ def main(argv: List[str]) -> int:
         arms = {a["arm"]: a["fingerprint"] for a in metro["arms"]}
         if len(set(arms.values())) != 1 or metro.get("agreement") != 1.0:
             print("run_benches: TWO-LEVEL DECISIONS DIVERGED FROM FLAT",
+                  file=sys.stderr)
+            return 1
+    if do_qps:
+        qps = run_qps(args.build_dir, args.qps_pods, args.qps_threads,
+                      args.qps_seconds, args.qps_offered, args.qps_seed)
+        with open(qps_baseline, "w", encoding="utf-8") as f:
+            json.dump(qps, f, indent=2)
+            f.write("\n")
+        print(f"run_benches: wrote {qps_baseline}")
+        if qps.get("fixed", {}).get("errors", 0) > 0:
+            print("run_benches: SERVING PATH RETURNED ERRORS",
                   file=sys.stderr)
             return 1
     return 0
