@@ -19,11 +19,12 @@
 // be stored. There is no erase: scheduler registries only grow.
 
 #include <algorithm>
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
+
+#include "intsched/core/contracts.hpp"
 
 namespace intsched::core {
 
@@ -38,10 +39,12 @@ class FlatTable {
     slots_.resize(cap);
   }
 
-  /// Inserts or overwrites. Cold path: may rehash. The key must be valid
-  /// (Id::invalid() is the empty-slot sentinel).
-  void insert_or_assign(Id key, Value value) {
-    assert(key.valid());
+  /// Inserts or overwrites. Cold path: may rehash. The key must be valid;
+  /// Id::invalid() is the empty-slot sentinel, so storing it would create
+  /// a phantom slot every probe chain stops at — such inserts are
+  /// rejected (no-op) rather than corrupting the table.
+  INTSCHED_COLDPATH void insert_or_assign(Id key, Value value) {
+    if (!key.valid()) return;
     if ((size_ + 1) * 100 > slots_.size() * kMaxLoadPercent) {
       grow();
     }
@@ -56,7 +59,7 @@ class FlatTable {
   /// Hot path: nullptr when absent. No allocation, no locks; probes a
   /// contiguous array with wrap-around.
   // intsched-lint: hot-path
-  [[nodiscard]] const Value* find(Id key) const {
+  [[nodiscard]] INTSCHED_HOTPATH const Value* find(Id key) const {
     if (!key.valid()) return nullptr;
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = mix(key) & mask;
@@ -117,7 +120,7 @@ class FlatTable {
     return slots_[i];
   }
 
-  void grow() {
+  INTSCHED_COLDPATH void grow() {
     std::vector<Slot> old = std::move(slots_);
     slots_.clear();
     slots_.resize(old.size() * 2);

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "intsched/core/contracts.hpp"
 #include "intsched/core/network_map.hpp"
 #include "intsched/core/ranking.hpp"
 
@@ -60,7 +61,7 @@ class RankSnapshot {
 
   /// Pure ranking over the frozen state: no locks, no shared mutation
   /// beyond the once-only memo fill. Identical semantics to Ranker::rank.
-  [[nodiscard]] std::vector<ServerRank> rank(
+  [[nodiscard]] INTSCHED_HOTPATH std::vector<ServerRank> rank(
       core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now) const;
 

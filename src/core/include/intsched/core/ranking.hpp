@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "intsched/core/contracts.hpp"
 #include "intsched/core/network_map.hpp"
 #include "intsched/net/routing.hpp"
 #include "intsched/sim/units.hpp"
@@ -183,10 +184,12 @@ struct CandidatePath {
 /// retains its capacity across calls so a warmed-up caller allocates
 /// nothing (DESIGN.md §13).
 template <typename MapLike>
-void rank_paths_into(const MapLike& map, const RankerConfig& cfg,
-                     const CandidatePath* candidates, std::size_t count,
-                     RankingMetric metric, sim::SimTime now,
-                     std::vector<ServerRank>& out) {
+INTSCHED_HOTPATH void rank_paths_into(const MapLike& map,
+                                      const RankerConfig& cfg,
+                                      const CandidatePath* candidates,
+                                      std::size_t count, RankingMetric metric,
+                                      sim::SimTime now,
+                                      std::vector<ServerRank>& out) {
   out.clear();
   for (std::size_t i = 0; i < count; ++i) {
     const CandidatePath& c = candidates[i];
@@ -226,7 +229,7 @@ void rank_paths_into(const MapLike& map, const RankerConfig& cfg,
 
 /// Vector-returning convenience over rank_paths_into (same contract).
 template <typename MapLike>
-[[nodiscard]] std::vector<ServerRank> rank_paths(
+[[nodiscard]] INTSCHED_COLDPATH std::vector<ServerRank> rank_paths(
     const MapLike& map, const RankerConfig& cfg,
     const std::vector<CandidatePath>& candidates, RankingMetric metric,
     sim::SimTime now) {
@@ -240,7 +243,7 @@ template <typename MapLike>
 /// Ranks `candidates` over precomputed shortest paths from the origin,
 /// best first (ascending delay / descending bandwidth, server id as the
 /// deterministic tie-break). Unreachable candidates rank last.
-[[nodiscard]] std::vector<ServerRank> rank_candidates(
+[[nodiscard]] INTSCHED_COLDPATH std::vector<ServerRank> rank_candidates(
     const NetworkMap& map, const RankerConfig& cfg,
     const net::ShortestPaths& sp, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now);

@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "intsched/core/contracts.hpp"
 #include "intsched/core/network_map.hpp"
 #include "intsched/core/rank_snapshot.hpp"
 #include "intsched/core/ranking.hpp"
@@ -156,7 +157,7 @@ class MetroView {
   /// Two-level ranking, identical output contract to Ranker::rank /
   /// RankSnapshot::rank (best first, server-id tie-break, unreachable
   /// last with delay = max / bandwidth = 0).
-  [[nodiscard]] std::vector<ServerRank> rank(
+  [[nodiscard]] INTSCHED_HOTPATH std::vector<ServerRank> rank(
       core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now) const;
 
@@ -164,23 +165,25 @@ class MetroView {
   /// a thin wrapper over this), but all working memory comes from
   /// `scratch` and `out`, so a warmed-up caller allocates nothing. This
   /// is the ServeFrontend entry point (DESIGN.md §13).
-  void rank_into(core::NodeId origin, const core::NodeId* candidates,
-                 std::size_t count, RankingMetric metric, sim::SimTime now,
-                 RankScratch& scratch, std::vector<ServerRank>& out) const;
+  INTSCHED_HOTPATH void rank_into(core::NodeId origin,
+                                  const core::NodeId* candidates,
+                                  std::size_t count, RankingMetric metric,
+                                  sim::SimTime now, RankScratch& scratch,
+                                  std::vector<ServerRank>& out) const;
 
   /// Best single candidate — exactly rank(...)[0] — but for the delay
   /// metric whole regions are pruned by lower bound (a region whose
   /// cheapest entry already costs more than the best full estimate seen
   /// cannot win), so most regions are never scored. `stats`, when
   /// non-null, reports how much work the pruning saved.
-  [[nodiscard]] std::optional<ServerRank> pick(
+  [[nodiscard]] INTSCHED_HOTPATH std::optional<ServerRank> pick(
       core::NodeId origin, const std::vector<core::NodeId>& candidates,
       RankingMetric metric, sim::SimTime now,
       PickStats* stats = nullptr) const;
 
   /// pick() from caller-owned scratch — same answer, zero allocations
   /// once warm (the wrapper relationship mirrors rank/rank_into).
-  [[nodiscard]] std::optional<ServerRank> pick_with(
+  [[nodiscard]] INTSCHED_HOTPATH std::optional<ServerRank> pick_with(
       core::NodeId origin, const core::NodeId* candidates, std::size_t count,
       RankingMetric metric, sim::SimTime now, RankScratch& scratch,
       PickStats* stats = nullptr) const;
@@ -278,7 +281,8 @@ class MetroView {
   /// Memoized query context for `origin` (nullptr when the origin is
   /// unknown to every region graph). Lock-free after the once-fill.
   [[nodiscard]] const QueryContext* query_context(core::NodeId origin) const;
-  void build_context(core::NodeId origin, QueryContext& ctx) const;
+  INTSCHED_COLDPATH void build_context(core::NodeId origin,
+                                       QueryContext& ctx) const;
 
   /// Resolves one candidate to its concrete node path + baseline:
   /// region-local for same-region servers, otherwise cheapest entry
@@ -331,12 +335,13 @@ class ShardedNetworkMap {
 
   /// Ingests one probe report and publishes a fresh view (freshness
   /// contract as ConcurrentNetworkMap::ingest).
-  void ingest(const telemetry::ProbeReport& report, sim::SimTime now)
-      INTSCHED_EXCLUDES(mutex_);
+  INTSCHED_COLDPATH void ingest(const telemetry::ProbeReport& report,
+                                sim::SimTime now) INTSCHED_EXCLUDES(mutex_);
 
   /// Coalesces a burst into one critical section + one publish.
-  void ingest_batch(const std::vector<telemetry::ProbeReport>& reports,
-                    sim::SimTime now) INTSCHED_EXCLUDES(mutex_);
+  INTSCHED_COLDPATH void ingest_batch(
+      const std::vector<telemetry::ProbeReport>& reports,
+      sim::SimTime now) INTSCHED_EXCLUDES(mutex_);
 
   /// Lock-free two-level ranking over the current view.
   [[nodiscard]] std::vector<ServerRank> rank(
@@ -351,7 +356,8 @@ class ShardedNetworkMap {
 
   /// Changes Algorithm 1's k and republishes (all regions rebuilt: cached
   /// state must never outlive the config it was computed under).
-  void set_k_factor(sim::SimDuration k) INTSCHED_EXCLUDES(mutex_);
+  INTSCHED_COLDPATH void set_k_factor(sim::SimDuration k)
+      INTSCHED_EXCLUDES(mutex_);
 
   /// Currently published view; never null after construction.
   [[nodiscard]] std::shared_ptr<const MetroView> view() const {
@@ -379,22 +385,25 @@ class ShardedNetworkMap {
   }
 
  private:
-  void apply_report_locked(const telemetry::ProbeReport& report,
-                           sim::SimTime now) INTSCHED_REQUIRES(mutex_);
+  INTSCHED_COLDPATH void apply_report_locked(
+      const telemetry::ProbeReport& report,
+      sim::SimTime now) INTSCHED_REQUIRES(mutex_);
   /// Routes one directed link observation to its owning shard and tracks
   /// border membership for cross-region links.
-  void learn_pair_locked(core::NodeId from, core::NodeId to,
-                         std::int32_t out_port, sim::SimDuration delay_sample,
-                         sim::SimTime now) INTSCHED_REQUIRES(mutex_);
-  void publish_locked() INTSCHED_REQUIRES(mutex_);
+  INTSCHED_COLDPATH void learn_pair_locked(
+      core::NodeId from, core::NodeId to, std::int32_t out_port,
+      sim::SimDuration delay_sample, sim::SimTime now)
+      INTSCHED_REQUIRES(mutex_);
+  INTSCHED_COLDPATH void publish_locked() INTSCHED_REQUIRES(mutex_);
 
   /// Deep-snapshots one region shard. Called from rebuild-executor worker
   /// threads while the publisher blocks holding mutex_: workers read
   /// disjoint guarded shards and the publisher cannot proceed (or
   /// mutate) until the executor returns, so the access is race-free but
   /// outside what the static analysis can model.
-  [[nodiscard]] std::shared_ptr<const RankSnapshot> build_region_snapshot(
-      std::size_t r) const INTSCHED_NO_THREAD_SAFETY_ANALYSIS;
+  [[nodiscard]] INTSCHED_COLDPATH std::shared_ptr<const RankSnapshot>
+  build_region_snapshot(std::size_t r) const
+      INTSCHED_NO_THREAD_SAFETY_ANALYSIS;
 
   std::shared_ptr<const RegionAssignment> regions_;
   ShardedMapConfig cfg_;

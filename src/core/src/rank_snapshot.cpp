@@ -20,7 +20,9 @@ const net::ShortestPaths* RankSnapshot::memoized_paths(
   const auto it = sp_slots_.find(origin);
   if (it == sp_slots_.end()) return nullptr;
   const SpSlot& slot = it->second;
+  // intsched-contract: allow(hot-lock): once-per-origin memo fill (§10)
   std::call_once(slot.once, [this, origin, &slot] {
+    // intsched-contract: allow(hot-coldcall): sanctioned once-only fill
     slot.sp = net::dijkstra(graph_, origin);
     memo_fills_.fetch_add(1, std::memory_order_relaxed);
   });
@@ -31,11 +33,14 @@ std::vector<ServerRank> RankSnapshot::rank(
     core::NodeId origin, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
   if (const net::ShortestPaths* sp = memoized_paths(origin)) {
+    // intsched-contract: allow(hot-coldcall): allocating overload contract
     return rank_candidates(map_, cfg_, *sp, candidates, metric, now);
   }
   // Origin unknown to the snapshot's graph (e.g. a device whose first
   // probe has not been ingested yet): compute locally, nothing to memoize.
+  // intsched-contract: allow(hot-coldcall): unknown-origin miss, once per origin
   const net::ShortestPaths sp = net::dijkstra(graph_, origin);
+  // intsched-contract: allow(hot-coldcall): allocating overload contract
   return rank_candidates(map_, cfg_, sp, candidates, metric, now);
 }
 

@@ -137,8 +137,11 @@ const MetroView::QueryContext* MetroView::query_context(
   const auto it = ctx_slots_.find(origin);
   if (it == ctx_slots_.end()) return nullptr;
   const CtxSlot& slot = it->second;
-  std::call_once(slot.once,
-                 [this, origin, &slot] { build_context(origin, slot.ctx); });
+  // intsched-contract: allow(hot-lock): once-per-origin memo fill (§11)
+  std::call_once(slot.once, [this, origin, &slot] {
+    // intsched-contract: allow(hot-coldcall): sanctioned once-only fill
+    build_context(origin, slot.ctx);
+  });
   return &slot.ctx;
 }
 
@@ -261,6 +264,7 @@ std::vector<ServerRank> MetroView::rank(
     core::NodeId origin, const std::vector<core::NodeId>& candidates,
     RankingMetric metric, sim::SimTime now) const {
   RankScratch scratch;
+  // intsched-contract: allow(hot-alloc): allocating overload contract
   std::vector<ServerRank> out;
   rank_into(origin, candidates.data(), candidates.size(), metric, now,
             scratch, out);

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "intsched/core/contracts.hpp"
 #include "intsched/net/packet.hpp"
 #include "intsched/sim/time.hpp"
 
@@ -42,7 +43,8 @@ struct ShortestPaths {
   std::unordered_map<core::NodeId, std::int32_t> first_hop_port;
 
   /// Node sequence source..dst inclusive; empty if unreachable.
-  [[nodiscard]] std::vector<core::NodeId> path_to(core::NodeId dst) const;
+  [[nodiscard]] INTSCHED_COLDPATH std::vector<core::NodeId> path_to(
+      core::NodeId dst) const;
 
   /// Appends the node sequence source..dst (inclusive) to `out`; returns
   /// false — appending nothing — when dst is unreachable. The
@@ -54,6 +56,7 @@ struct ShortestPaths {
 
 /// Dijkstra with deterministic tie-breaking (by distance, then node id) so
 /// route tables — and therefore every experiment — are reproducible.
-[[nodiscard]] ShortestPaths dijkstra(const Graph& g, core::NodeId source);
+[[nodiscard]] INTSCHED_COLDPATH ShortestPaths dijkstra(const Graph& g,
+                                                       core::NodeId source);
 
 }  // namespace intsched::net

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "intsched/core/contracts.hpp"
 #include "intsched/core/flat_table.hpp"
 #include "intsched/core/sharded_map.hpp"
 #include "intsched/core/types.hpp"
@@ -59,7 +60,7 @@ class ServeFrontend {
   /// Cold path: adds one server to the registry (idempotent). The
   /// registry is what candidate_count == 0 requests rank, and explicit
   /// candidates are validated against it.
-  void register_server(core::NodeId server);
+  INTSCHED_COLDPATH void register_server(core::NodeId server);
 
   /// Registered servers, ascending node id.
   [[nodiscard]] const std::vector<core::NodeId>& registered() const {
@@ -68,8 +69,8 @@ class ServeFrontend {
 
   /// Registry membership probe (the flat-table lookup the decision path
   /// uses); region is the server's provisioning region.
-  [[nodiscard]] bool is_registered(core::NodeId server,
-                                   core::RegionId* region = nullptr) const;
+  [[nodiscard]] INTSCHED_HOTPATH bool is_registered(
+      core::NodeId server, core::RegionId* region = nullptr) const;
 
   /// Hot path: decode one request frame, answer from the currently
   /// published MetroView at sim-time `now`, and encode the response into
@@ -77,10 +78,11 @@ class ServeFrontend {
   /// requests or an undersized response buffer (kMaxFrameSize always
   /// suffices); well-formed requests with no usable candidates still
   /// produce an encoded response carrying the status.
-  bool serve(ServeContext& ctx, const std::byte* request_buf,
-             std::size_t request_len, std::byte* response_buf,
-             std::size_t response_cap, std::size_t& response_len,
-             sim::SimTime now) const;
+  INTSCHED_HOTPATH bool serve(ServeContext& ctx, const std::byte* request_buf,
+                              std::size_t request_len, std::byte* response_buf,
+                              std::size_t response_cap,
+                              std::size_t& response_len,
+                              sim::SimTime now) const;
 
  private:
   struct ServerInfo {

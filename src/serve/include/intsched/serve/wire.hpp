@@ -54,15 +54,42 @@
 // doubles round-trip by bit pattern).
 
 #include <array>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 
+#include "intsched/core/contracts.hpp"
 #include "intsched/core/ranking.hpp"
 #include "intsched/core/types.hpp"
 #include "intsched/sim/time.hpp"
 #include "intsched/sim/units.hpp"
 
 namespace intsched::serve {
+
+// The wire layout is little-endian by definition. The codec moves bytes
+// with explicit shifts (wire.cpp put_le/get_le), never by memcpy of host
+// integers, so it frames correctly on either endianness — the constexpr
+// check below pins that property at compile time, and the host check
+// refuses the exotic mixed-endian targets the shift identity does not
+// cover (PDP-endian doubles would still reinterpret bit patterns).
+namespace detail {
+[[nodiscard]] constexpr std::array<std::uint8_t, 4> wire_le_bytes(
+    std::uint32_t v) {
+  // Mirror of wire.cpp's put_le byte moves, kept constexpr-evaluable.
+  return {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+          static_cast<std::uint8_t>(v >> 16),
+          static_cast<std::uint8_t>(v >> 24)};
+}
+}  // namespace detail
+
+static_assert(detail::wire_le_bytes(0x11223344u)[0] == 0x44 &&
+                  detail::wire_le_bytes(0x11223344u)[1] == 0x33 &&
+                  detail::wire_le_bytes(0x11223344u)[2] == 0x22 &&
+                  detail::wire_le_bytes(0x11223344u)[3] == 0x11,
+              "wire byte moves must produce little-endian layout");
+static_assert(std::endian::native == std::endian::little ||
+                  std::endian::native == std::endian::big,
+              "mixed-endian hosts are unsupported by the wire format");
 
 inline constexpr std::uint16_t kWireMagic = 0x4E49;  // "IN"
 inline constexpr std::uint8_t kWireVersion = 1;
@@ -143,21 +170,17 @@ inline constexpr std::size_t kMaxFrameSize =
 
 /// Encodes into `buf`; returns the frame size, or 0 when the buffer is
 /// too small or a count field exceeds its wire bound. Never allocates.
-[[nodiscard]] std::size_t encode_rank_request(const RankRequest& req,
-                                              std::byte* buf,
-                                              std::size_t cap);
-[[nodiscard]] std::size_t encode_rank_response(const RankResponse& resp,
-                                               std::byte* buf,
-                                               std::size_t cap);
+[[nodiscard]] INTSCHED_HOTPATH std::size_t encode_rank_request(
+    const RankRequest& req, std::byte* buf, std::size_t cap);
+[[nodiscard]] INTSCHED_HOTPATH std::size_t encode_rank_response(
+    const RankResponse& resp, std::byte* buf, std::size_t cap);
 
 /// Decodes exactly one frame from `buf[0..len)`; the frame must span the
 /// whole buffer (trailing bytes are kBadLength). On any error `out` may
 /// be partially written but the call itself is well-defined.
-[[nodiscard]] WireError decode_rank_request(const std::byte* buf,
-                                            std::size_t len,
-                                            RankRequest& out);
-[[nodiscard]] WireError decode_rank_response(const std::byte* buf,
-                                             std::size_t len,
-                                             RankResponse& out);
+[[nodiscard]] INTSCHED_HOTPATH WireError decode_rank_request(
+    const std::byte* buf, std::size_t len, RankRequest& out);
+[[nodiscard]] INTSCHED_HOTPATH WireError decode_rank_response(
+    const std::byte* buf, std::size_t len, RankResponse& out);
 
 }  // namespace intsched::serve

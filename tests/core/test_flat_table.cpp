@@ -5,6 +5,7 @@
 // pattern), and the invalid-key sentinel contract.
 #include "intsched/core/flat_table.hpp"
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -116,6 +117,98 @@ TEST(FlatTableTest, ProbeLengthsStayShortAtMaxLoad) {
   EXPECT_EQ(table.capacity(), 1024u);  // no growth past the bound
   EXPECT_GE(table.max_probe_length(), 1u);
   EXPECT_LE(table.max_probe_length(), 64u);
+}
+
+/// Test-side replica of FlatTable's documented hash (a fixed
+/// splitmix64-style finalizer) so tests can *construct* adversarial key
+/// sets instead of hoping random ones collide. If the table's mix ever
+/// changes, the probe-placement tests below fail loudly rather than
+/// silently testing nothing.
+std::size_t reference_mix(std::int32_t raw) {
+  auto h = static_cast<std::uint64_t>(static_cast<std::int64_t>(raw));
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return static_cast<std::size_t>(h);
+}
+
+/// Collects `want` distinct ids whose home slot equals `home` for the
+/// given table capacity (mask = capacity - 1).
+std::vector<std::int32_t> ids_with_home(std::size_t capacity,
+                                        std::size_t home, std::size_t want) {
+  std::vector<std::int32_t> ids;
+  for (std::int32_t raw = 0; ids.size() < want; ++raw) {
+    if ((reference_mix(raw) & (capacity - 1)) == home) ids.push_back(raw);
+  }
+  return ids;
+}
+
+TEST(FlatTableTest, ProbeChainsWrapAroundTheArrayEnd) {
+  // Pin several keys whose home is the *last* slot: every key after the
+  // first must wrap to index 0 and continue probing from the front. Stay
+  // below the growth threshold so the placement is exercised as built.
+  constexpr std::size_t kCap = 64;
+  FlatTable<NodeId, std::int32_t> table{kCap};
+  const std::vector<std::int32_t> ids = ids_with_home(kCap, kCap - 1, 5);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    table.insert_or_assign(NodeId{ids[i]}, static_cast<std::int32_t>(i));
+  }
+  EXPECT_EQ(table.capacity(), kCap);  // no growth: wrap really happened
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::int32_t* got = table.find(NodeId{ids[i]});
+    ASSERT_NE(got, nullptr) << ids[i];
+    EXPECT_EQ(*got, static_cast<std::int32_t>(i));
+  }
+  // A sixth same-home key that was never inserted must probe through the
+  // whole wrapped chain and stop at the first empty slot, not loop.
+  const std::int32_t absent = ids_with_home(kCap, kCap - 1, 6).back();
+  EXPECT_EQ(table.find(NodeId{absent}), nullptr);
+  // Overwriting the deepest wrapped key must hit its slot, not re-insert.
+  table.insert_or_assign(NodeId{ids.back()}, 99);
+  EXPECT_EQ(*table.find(NodeId{ids.back()}), 99);
+  EXPECT_EQ(table.size(), ids.size());
+}
+
+TEST(FlatTableTest, GrowthRehashesCollidingClusterCorrectly) {
+  // An adversarial cluster: many keys sharing one home slot at the small
+  // capacity. Growth doubles the array, so the cluster's keys scatter to
+  // new homes — every one must survive the rehash and stay findable, and
+  // keys absent before growth must stay absent after it.
+  constexpr std::size_t kSmall = 16;
+  FlatTable<NodeId, std::int32_t> table{kSmall};
+  const std::vector<std::int32_t> cluster = ids_with_home(kSmall, 3, 20);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    table.insert_or_assign(NodeId{cluster[i]},
+                           static_cast<std::int32_t>(i) * 11);
+  }
+  EXPECT_GT(table.capacity(), kSmall);  // the cluster forced growth
+  EXPECT_EQ(table.size(), cluster.size());
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    const std::int32_t* got = table.find(NodeId{cluster[i]});
+    ASSERT_NE(got, nullptr) << cluster[i];
+    EXPECT_EQ(*got, static_cast<std::int32_t>(i) * 11);
+  }
+  const std::int32_t absent = ids_with_home(kSmall, 3, 21).back();
+  EXPECT_EQ(table.find(NodeId{absent}), nullptr);
+}
+
+TEST(FlatTableTest, InsertOfInvalidSentinelIsRejected) {
+  // Id::invalid() is the empty-slot sentinel: storing it would create a
+  // phantom slot that terminates every probe chain crossing it. The
+  // insert must be a rejected no-op, and the table must stay fully
+  // functional afterwards.
+  FlatTable<NodeId, std::int32_t> table{8};
+  table.insert_or_assign(NodeId{1}, 10);
+  table.insert_or_assign(NodeId::invalid(), 666);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find(NodeId::invalid()), nullptr);
+  EXPECT_FALSE(table.contains(NodeId::invalid()));
+  table.insert_or_assign(NodeId{2}, 20);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(*table.find(NodeId{1}), 10);
+  EXPECT_EQ(*table.find(NodeId{2}), 20);
 }
 
 TEST(FlatTableTest, NonTrivialValueType) {

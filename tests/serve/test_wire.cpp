@@ -137,6 +137,93 @@ TEST(WireTest, ResponseRoundTripsByteIdentical) {
   }
 }
 
+// Golden-byte tests: the frames below are written out literally,
+// byte-for-byte, from the layout comment in wire.hpp. Round-trip tests
+// alone would pass on a codec that used host byte order throughout; only
+// comparing against explicitly constructed little-endian bytes proves
+// the on-wire layout is what the spec says on EVERY host (the companion
+// compile-time check is wire.hpp's wire_le_bytes static_assert).
+TEST(WireTest, RequestMatchesExplicitLittleEndianBytes) {
+  RankRequest req;
+  req.query_id = 0x1122334455667788ULL;
+  req.origin = NodeId{0x01020304};
+  req.metric = RankingMetric::kBandwidth;  // wire value 1
+  req.max_results = 2;
+  req.candidate_count = 2;
+  req.candidates[0] = NodeId{123};    // 0x0000007B
+  req.candidates[1] = NodeId{0x200};  // 512
+
+  const std::array<std::uint8_t, 32> want = {
+      // header: magic 0x4E49 LE, version 1, type 1 (request), len 24 LE
+      0x49, 0x4E, 0x01, 0x01, 0x18, 0x00, 0x00, 0x00,
+      // query_id LE
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,
+      // origin LE, metric, max_results
+      0x04, 0x03, 0x02, 0x01, 0x01, 0x02,
+      // candidate_count LE
+      0x02, 0x00,
+      // candidates LE
+      0x7B, 0x00, 0x00, 0x00, 0x00, 0x02, 0x00, 0x00};
+
+  std::array<std::byte, kMaxFrameSize> buf{};
+  const std::size_t len = encode_rank_request(req, buf.data(), buf.size());
+  ASSERT_EQ(len, want.size());
+  EXPECT_EQ(std::memcmp(buf.data(), want.data(), want.size()), 0);
+
+  // And the same bytes, built by hand, decode to the same fields.
+  RankRequest out;
+  ASSERT_EQ(decode_rank_request(
+                reinterpret_cast<const std::byte*>(want.data()), want.size(),
+                out),
+            WireError::kOk);
+  expect_requests_equal(out, req);
+}
+
+TEST(WireTest, ResponseMatchesExplicitLittleEndianBytes) {
+  RankResponse resp;
+  resp.query_id = 0x00000000DEADBEEFULL;
+  resp.epoch = core::Epoch{0x0102030405060708LL};
+  resp.status = ServeStatus::kOk;
+  resp.entry_count = 1;
+  resp.entries[0].server = NodeId{7};
+  resp.entries[0].stale = true;
+  resp.entries[0].delay_estimate = sim::SimDuration::nanoseconds(1000);
+  resp.entries[0].baseline_delay = sim::SimDuration::nanoseconds(500);
+  // 1.5 bits/s = IEEE-754 double 0x3FF8000000000000, shipped by bit
+  // pattern: the trailing bytes below are that pattern little-endian.
+  resp.entries[0].bandwidth_estimate = sim::DataRate::bits_per_second(1.5);
+
+  const std::array<std::uint8_t, 60> want = {
+      // header: magic LE, version 1, type 2 (response), len 52 LE
+      0x49, 0x4E, 0x01, 0x02, 0x34, 0x00, 0x00, 0x00,
+      // query_id LE
+      0xEF, 0xBE, 0xAD, 0xDE, 0x00, 0x00, 0x00, 0x00,
+      // epoch LE
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+      // status ok, entry_count 1, reserved u16
+      0x00, 0x01, 0x00, 0x00,
+      // entry: server LE, flags (stale bit), 3 reserved bytes
+      0x07, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,
+      // delay 1000ns LE
+      0xE8, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // baseline 500ns LE
+      0xF4, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // bandwidth: double 1.5 bit pattern LE
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF8, 0x3F};
+
+  std::array<std::byte, kMaxFrameSize> buf{};
+  const std::size_t len = encode_rank_response(resp, buf.data(), buf.size());
+  ASSERT_EQ(len, want.size());
+  EXPECT_EQ(std::memcmp(buf.data(), want.data(), want.size()), 0);
+
+  RankResponse out;
+  ASSERT_EQ(decode_rank_response(
+                reinterpret_cast<const std::byte*>(want.data()), want.size(),
+                out),
+            WireError::kOk);
+  expect_responses_equal(out, resp);
+}
+
 TEST(WireTest, EncodeRefusesUndersizedBuffers) {
   sim::Rng rng{13};
   const RankRequest req = random_request(rng);

@@ -1,0 +1,18 @@
+#include "map.hpp"
+
+#include <vector>
+
+namespace demo {
+
+void Map::publish() {
+  std::vector<int> staged(16);  // cold allocation: must NOT be reported
+  size_ = static_cast<int>(staged.size());
+}
+
+int Map::pick() {
+  publish();  // expect(hot-coldcall)
+  // expect-via(Map::pick->Map::publish)
+  return size_;
+}
+
+}  // namespace demo

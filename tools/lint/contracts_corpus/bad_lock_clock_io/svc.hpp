@@ -1,0 +1,20 @@
+#pragma once
+#include "contract_macros.hpp"
+
+#include <mutex>
+
+namespace demo {
+
+// One hot root fanning out to three helpers, each breaking a different
+// rule family: the analyzer must report all three with their own
+// multi-hop witnesses.
+struct Svc {
+  INTSCHED_HOTPATH long answer();
+  long warm();
+  long stamp();
+  void log_decision(long v);
+  std::mutex mu_;
+  long cached_ = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,28 @@
+#include "snap.hpp"
+
+namespace demo {
+
+const int* RankSnapshot::data() const {
+  return &best_;
+}
+
+const RankSnapshot* keep(const RankSnapshot& s) {
+  return &s;
+}
+
+std::shared_ptr<RankSnapshot> Holder::view() const {
+  return current_;
+}
+
+const RankSnapshot* Holder::leak() {
+  auto snap = view();
+  return snap.get();  // expect(snapshot-return)
+}
+
+const RankSnapshot* Holder::grab() {
+  auto snap = view();
+  return keep(*snap);  // expect(snapshot-return)
+  // expect-via(Holder::grab->keep)
+}
+
+}  // namespace demo

@@ -1,0 +1,23 @@
+#include "view.hpp"
+
+namespace demo {
+
+int MetroView::rank() const {
+  return epoch_;
+}
+
+void Cache::remember(const MetroView& view) {
+  last_ = &view;  // expect(snapshot-store)
+  // expect-via(Service::refresh->Cache::remember)
+}
+
+std::shared_ptr<MetroView> Service::view() const {
+  return current_;
+}
+
+void Service::refresh(Cache& c) {
+  auto v = view();
+  c.remember(*v);
+}
+
+}  // namespace demo

@@ -1,0 +1,21 @@
+#include "sched.hpp"
+
+#include <memory>
+
+namespace demo {
+
+int Helper::refresh() {
+  auto p = std::make_unique<int>(7);  // expect(hot-alloc)
+  // expect-via(Frontend::serve->Ranker::rank_into->Helper::refresh)
+  return *p;
+}
+
+int Ranker::rank_into(Helper& h) {
+  return h.refresh();
+}
+
+int Frontend::serve() {
+  return ranker_.rank_into(helper_);
+}
+
+}  // namespace demo

@@ -1,0 +1,5 @@
+#pragma once
+#ifndef INTSCHED_HOTPATH
+#define INTSCHED_HOTPATH __attribute__((annotate("intsched::hotpath")))
+#define INTSCHED_COLDPATH __attribute__((annotate("intsched::coldpath")))
+#endif

@@ -1,0 +1,16 @@
+#pragma once
+#include "contract_macros.hpp"
+
+#include <unordered_map>
+
+namespace demo {
+
+// Hash-order iteration on the decision path, one call below the root:
+// detlint flags this file-locally; here the *reachability* is the point.
+struct Table {
+  INTSCHED_HOTPATH long busiest();
+  long scan();
+  std::unordered_map<int, long> load_;
+};
+
+}  // namespace demo

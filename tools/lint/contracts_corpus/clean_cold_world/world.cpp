@@ -1,0 +1,29 @@
+#include "world.hpp"
+
+#include <fstream>
+#include <string>
+
+namespace demo {
+
+long MetroView::total() const {
+  return sum_;
+}
+
+void World::load_config() {
+  std::ifstream in("world.cfg");
+  std::string line;
+  while (std::getline(in, line)) {
+    staged_.push_back(static_cast<long>(line.size()));
+  }
+}
+
+std::shared_ptr<MetroView> World::view() const {
+  return current_;
+}
+
+long World::serve() {
+  auto v = view();
+  return v->total();
+}
+
+}  // namespace demo

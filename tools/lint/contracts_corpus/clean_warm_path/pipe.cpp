@@ -1,0 +1,16 @@
+#include "pipe.hpp"
+
+namespace demo {
+
+void Pipe::fill(std::vector<long>& out) {
+  for (long i = 0; i < 8; ++i) {
+    out.push_back(i);
+  }
+}
+
+void Pipe::emit(std::vector<long>& out) {
+  out.clear();
+  fill(out);
+}
+
+}  // namespace demo
